@@ -1,0 +1,32 @@
+//! AppVisor — the isolation layer between SDN applications and the
+//! controller (paper §3.1, §4.1).
+//!
+//! The paper's architecture splits app hosting into two halves:
+//!
+//! - the **proxy** ([`proxy::AppVisorProxy`]) runs alongside the controller,
+//!   dispatches events to isolated apps, maintains the subscription table,
+//!   and detects crashes via explicit reports, communication failures, and
+//!   heartbeat loss;
+//! - the **stub** ([`stub::run_stub`]) hosts one app in its own fault
+//!   domain, converts controller calls to RPC frames, and sends periodic
+//!   heartbeats.
+//!
+//! The RPC rides a pluggable [`transport::Transport`]: in-memory channels or
+//! UDP loopback (the paper's prototype transport). Fault domains are
+//! sandboxed threads with panic containment — the process-isolation
+//! substitution documented in DESIGN.md §2.
+
+pub mod proxy;
+pub mod rpc;
+pub mod stub;
+pub mod transport;
+
+pub use proxy::{
+    AppHandle, AppVisorProxy, AppWireStats, DeliverOutcome, ProxyConfig, ProxyError, TransportKind,
+};
+pub use rpc::{decode_frame, encode_frame, RpcMessage};
+pub use stub::{run_stub, spawn_stub, StubConfig, StubReport};
+pub use transport::{
+    ChannelTransport, FlakyTransport, TcpTransport, Transport, TransportError, UdpTransport,
+    MAX_DATAGRAM,
+};

@@ -1,0 +1,735 @@
+//! The AppVisor Proxy: the controller-side half of the isolation layer
+//! (paper §4.1).
+//!
+//! "The proxy dispatches the messages it receives from the controller to
+//! the stub [...] maintains the per-application subscriptions in a table
+//! [...] uses communication failures with the stub to detect that the
+//! SDN-App has crashed."
+//!
+//! The proxy is deliberately runtime-agnostic: it exposes blocking
+//! per-app RPCs (deliver / snapshot / restore) and heartbeat accounting;
+//! the LegoSDN runtime (crate `legosdn`) supplies the dispatch policy and
+//! Crash-Pad supplies recovery.
+
+use crate::rpc::{decode_frame, encode_frame, RpcMessage};
+use crate::stub::{spawn_stub, StubConfig, StubReport};
+use crate::transport::{ChannelTransport, TcpTransport, Transport, TransportError, UdpTransport};
+use legosdn_controller::app::{Command, SdnApp};
+use legosdn_controller::event::{Event, EventKind};
+use legosdn_controller::services::{DeviceView, TopologyView};
+use legosdn_netsim::SimTime;
+use std::fmt;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Which transport carries the proxy⇄stub RPC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-memory channels (fast path).
+    Channel,
+    /// UDP loopback (the paper-prototype configuration).
+    Udp,
+    /// TCP loopback with length framing (reliable-stream alternative).
+    Tcp,
+}
+
+/// Proxy behaviour knobs.
+#[derive(Clone, Debug)]
+pub struct ProxyConfig {
+    /// How long to wait for an event ack before declaring comm failure.
+    pub deliver_timeout: Duration,
+    /// How long to wait for snapshot/restore acks.
+    pub rpc_timeout: Duration,
+    /// Heartbeat staleness threshold.
+    pub heartbeat_timeout: Duration,
+    /// Stub-side settings used when the proxy spawns the stub itself.
+    pub stub: StubConfig,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            deliver_timeout: Duration::from_millis(500),
+            rpc_timeout: Duration::from_millis(500),
+            heartbeat_timeout: Duration::from_millis(100),
+            stub: StubConfig::default(),
+        }
+    }
+}
+
+/// Handle to a registered app.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AppHandle(pub usize);
+
+/// Result of delivering an event to an isolated app.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeliverOutcome {
+    /// The app processed the event; here are its commands.
+    Commands(Vec<Command>),
+    /// The stub reported the app crashed on this event.
+    Crashed { panic_message: String },
+    /// No response within the deadline — a communication failure, the
+    /// paper's primary crash signal.
+    CommFailure,
+}
+
+/// Proxy-level failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProxyError {
+    UnknownApp,
+    Transport(TransportError),
+    Timeout,
+    RegistrationFailed(String),
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::UnknownApp => write!(f, "unknown app handle"),
+            ProxyError::Transport(e) => write!(f, "transport failure: {e}"),
+            ProxyError::Timeout => write!(f, "rpc timeout"),
+            ProxyError::RegistrationFailed(s) => write!(f, "registration failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+/// Per-app wire counters (the serialization-overhead evidence for E2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AppWireStats {
+    pub events_delivered: u64,
+    pub crashes_detected: u64,
+    pub comm_failures: u64,
+    pub restores: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+}
+
+struct AppSlot {
+    name: String,
+    subscriptions: Vec<EventKind>,
+    transport: Box<dyn Transport>,
+    stub_thread: Option<JoinHandle<StubReport>>,
+    next_seq: u64,
+    last_heartbeat: Instant,
+    alive: bool,
+    stats: AppWireStats,
+}
+
+/// The AppVisor proxy.
+pub struct AppVisorProxy {
+    config: ProxyConfig,
+    apps: Vec<AppSlot>,
+}
+
+impl AppVisorProxy {
+    /// An empty proxy.
+    #[must_use]
+    pub fn new(config: ProxyConfig) -> Self {
+        AppVisorProxy { config, apps: Vec::new() }
+    }
+
+    /// Spawn a stub hosting `app` over the chosen transport and register it.
+    pub fn launch_app(
+        &mut self,
+        app: Box<dyn SdnApp>,
+        transport: TransportKind,
+    ) -> Result<AppHandle, ProxyError> {
+        let (proxy_side, handle): (Box<dyn Transport>, JoinHandle<StubReport>) = match transport {
+            TransportKind::Channel => {
+                let (a, b) = ChannelTransport::pair();
+                (Box::new(a), spawn_stub(b, app, self.config.stub.clone()))
+            }
+            TransportKind::Udp => {
+                let (a, b) = UdpTransport::pair()
+                    .map_err(|e| ProxyError::Transport(TransportError::Io(e.to_string())))?;
+                (Box::new(a), spawn_stub(b, app, self.config.stub.clone()))
+            }
+            TransportKind::Tcp => {
+                let (a, b) = TcpTransport::pair()
+                    .map_err(|e| ProxyError::Transport(TransportError::Io(e.to_string())))?;
+                (Box::new(a), spawn_stub(b, app, self.config.stub.clone()))
+            }
+        };
+        self.register_transport(proxy_side, Some(handle))
+    }
+
+    /// Register an app over an already-connected transport (the far end
+    /// must run [`crate::stub::run_stub`]). Waits for the `Register` frame.
+    pub fn register_transport(
+        &mut self,
+        mut transport: Box<dyn Transport>,
+        stub_thread: Option<JoinHandle<StubReport>>,
+    ) -> Result<AppHandle, ProxyError> {
+        let deadline = Instant::now() + self.config.rpc_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ProxyError::RegistrationFailed("no register frame".into()));
+            }
+            match transport.recv_timeout(remaining) {
+                Ok(Some(frame)) => {
+                    if let Ok(RpcMessage::Register { app_name, subscriptions }) =
+                        decode_frame(&frame)
+                    {
+                        self.apps.push(AppSlot {
+                            name: app_name,
+                            subscriptions,
+                            transport,
+                            stub_thread,
+                            next_seq: 0,
+                            last_heartbeat: Instant::now(),
+                            alive: true,
+                            stats: AppWireStats::default(),
+                        });
+                        return Ok(AppHandle(self.apps.len() - 1));
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => return Err(ProxyError::Transport(e)),
+            }
+        }
+    }
+
+    /// Registered app handles.
+    #[must_use]
+    pub fn handles(&self) -> Vec<AppHandle> {
+        (0..self.apps.len()).map(AppHandle).collect()
+    }
+
+    /// An app's registered name.
+    pub fn app_name(&self, h: AppHandle) -> Result<&str, ProxyError> {
+        self.apps.get(h.0).map(|s| s.name.as_str()).ok_or(ProxyError::UnknownApp)
+    }
+
+    /// An app's registered subscriptions.
+    pub fn subscriptions(&self, h: AppHandle) -> Result<&[EventKind], ProxyError> {
+        self.apps.get(h.0).map(|s| s.subscriptions.as_slice()).ok_or(ProxyError::UnknownApp)
+    }
+
+    /// Is the app believed alive?
+    pub fn is_alive(&self, h: AppHandle) -> Result<bool, ProxyError> {
+        self.apps.get(h.0).map(|s| s.alive).ok_or(ProxyError::UnknownApp)
+    }
+
+    /// Wire counters for an app.
+    pub fn wire_stats(&self, h: AppHandle) -> Result<AppWireStats, ProxyError> {
+        self.apps.get(h.0).map(|s| s.stats).ok_or(ProxyError::UnknownApp)
+    }
+
+    /// Deliver an event to an isolated app and wait for its commands.
+    pub fn deliver(
+        &mut self,
+        h: AppHandle,
+        event: &Event,
+        topology: &TopologyView,
+        devices: &DeviceView,
+        now: SimTime,
+    ) -> Result<DeliverOutcome, ProxyError> {
+        let deliver_timeout = self.config.deliver_timeout;
+        let slot = self.apps.get_mut(h.0).ok_or(ProxyError::UnknownApp)?;
+        slot.next_seq += 1;
+        let seq = slot.next_seq;
+        let frame = encode_frame(&RpcMessage::EventDeliver {
+            seq,
+            event: event.clone(),
+            topology: topology.clone(),
+            devices: devices.clone(),
+            now,
+        });
+        slot.stats.bytes_sent += frame.len() as u64;
+        slot.transport.send(&frame).map_err(ProxyError::Transport)?;
+
+        let deadline = Instant::now() + deliver_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                slot.stats.comm_failures += 1;
+                slot.alive = false;
+                return Ok(DeliverOutcome::CommFailure);
+            }
+            match slot.transport.recv_timeout(remaining) {
+                Ok(Some(frame)) => {
+                    slot.stats.bytes_received += frame.len() as u64;
+                    match decode_frame(&frame) {
+                        Ok(RpcMessage::EventAck { seq: s, commands }) if s == seq => {
+                            slot.stats.events_delivered += 1;
+                            slot.last_heartbeat = Instant::now();
+                            return Ok(DeliverOutcome::Commands(commands));
+                        }
+                        Ok(RpcMessage::Crashed { seq: s, panic_message }) if s == seq => {
+                            slot.stats.crashes_detected += 1;
+                            slot.alive = false;
+                            return Ok(DeliverOutcome::Crashed { panic_message });
+                        }
+                        Ok(RpcMessage::Heartbeat { .. }) => {
+                            slot.last_heartbeat = Instant::now();
+                        }
+                        // Stale acks from before a restore: ignore.
+                        _ => {}
+                    }
+                }
+                Ok(None) => {}
+                Err(TransportError::Disconnected) => {
+                    slot.stats.comm_failures += 1;
+                    slot.alive = false;
+                    return Ok(DeliverOutcome::CommFailure);
+                }
+                Err(e) => return Err(ProxyError::Transport(e)),
+            }
+        }
+    }
+
+    /// Take a checkpoint of the app's state ("the proxy creates a
+    /// checkpoint of an SDN-App process prior to dispatching every
+    /// message").
+    pub fn snapshot(&mut self, h: AppHandle) -> Result<Vec<u8>, ProxyError> {
+        let rpc_timeout = self.config.rpc_timeout;
+        let slot = self.apps.get_mut(h.0).ok_or(ProxyError::UnknownApp)?;
+        slot.next_seq += 1;
+        let seq = slot.next_seq;
+        let frame = encode_frame(&RpcMessage::SnapshotRequest { seq });
+        slot.stats.bytes_sent += frame.len() as u64;
+        slot.transport.send(&frame).map_err(ProxyError::Transport)?;
+        let deadline = Instant::now() + rpc_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ProxyError::Timeout);
+            }
+            match slot.transport.recv_timeout(remaining) {
+                Ok(Some(frame)) => {
+                    slot.stats.bytes_received += frame.len() as u64;
+                    match decode_frame(&frame) {
+                        Ok(RpcMessage::SnapshotReply { seq: s, bytes }) if s == seq => {
+                            return Ok(bytes);
+                        }
+                        Ok(RpcMessage::Heartbeat { .. }) => {
+                            slot.last_heartbeat = Instant::now();
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => return Err(ProxyError::Transport(e)),
+            }
+        }
+    }
+
+    /// Restore the app from a checkpoint, reviving it if it was dead (the
+    /// CRIU restore analogue).
+    pub fn restore(&mut self, h: AppHandle, bytes: &[u8]) -> Result<bool, ProxyError> {
+        let rpc_timeout = self.config.rpc_timeout;
+        let slot = self.apps.get_mut(h.0).ok_or(ProxyError::UnknownApp)?;
+        slot.next_seq += 1;
+        let seq = slot.next_seq;
+        let frame = encode_frame(&RpcMessage::RestoreRequest { seq, bytes: bytes.to_vec() });
+        slot.stats.bytes_sent += frame.len() as u64;
+        slot.transport.send(&frame).map_err(ProxyError::Transport)?;
+        let deadline = Instant::now() + rpc_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ProxyError::Timeout);
+            }
+            match slot.transport.recv_timeout(remaining) {
+                Ok(Some(frame)) => {
+                    slot.stats.bytes_received += frame.len() as u64;
+                    match decode_frame(&frame) {
+                        Ok(RpcMessage::RestoreAck { seq: s, ok }) if s == seq => {
+                            if ok {
+                                slot.alive = true;
+                                slot.stats.restores += 1;
+                                slot.last_heartbeat = Instant::now();
+                            }
+                            return Ok(ok);
+                        }
+                        Ok(RpcMessage::Heartbeat { .. }) => {
+                            slot.last_heartbeat = Instant::now();
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => return Err(ProxyError::Transport(e)),
+            }
+        }
+    }
+
+    /// Deliver one event to many isolated apps **concurrently**: the event
+    /// is pushed to every stub before any ack is awaited, so app processing
+    /// overlaps across their threads. The paper's stubs are independent
+    /// processes; this is the dispatch pattern that exploits it ("SDN-Apps
+    /// [...] can handle multiple events in parallel", §5).
+    ///
+    /// Returns one outcome per handle, in order. Unknown handles yield
+    /// `Err` entries without aborting the rest.
+    pub fn deliver_fanout(
+        &mut self,
+        handles: &[AppHandle],
+        event: &Event,
+        topology: &TopologyView,
+        devices: &DeviceView,
+        now: SimTime,
+    ) -> Vec<Result<DeliverOutcome, ProxyError>> {
+        let deliver_timeout = self.config.deliver_timeout;
+        // Phase 1: send to everyone.
+        let mut seqs: Vec<Option<u64>> = Vec::with_capacity(handles.len());
+        for h in handles {
+            match self.apps.get_mut(h.0) {
+                Some(slot) => {
+                    slot.next_seq += 1;
+                    let seq = slot.next_seq;
+                    let frame = encode_frame(&RpcMessage::EventDeliver {
+                        seq,
+                        event: event.clone(),
+                        topology: topology.clone(),
+                        devices: devices.clone(),
+                        now,
+                    });
+                    slot.stats.bytes_sent += frame.len() as u64;
+                    match slot.transport.send(&frame) {
+                        Ok(()) => seqs.push(Some(seq)),
+                        Err(_) => {
+                            slot.alive = false;
+                            slot.stats.comm_failures += 1;
+                            seqs.push(None);
+                        }
+                    }
+                }
+                None => seqs.push(None),
+            }
+        }
+        // Phase 2: collect acks per app (stubs worked in parallel already).
+        let deadline = Instant::now() + deliver_timeout;
+        handles
+            .iter()
+            .zip(seqs)
+            .map(|(h, seq)| {
+                let Some(slot) = self.apps.get_mut(h.0) else {
+                    return Err(ProxyError::UnknownApp);
+                };
+                let Some(seq) = seq else {
+                    return Ok(DeliverOutcome::CommFailure);
+                };
+                loop {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        slot.stats.comm_failures += 1;
+                        slot.alive = false;
+                        return Ok(DeliverOutcome::CommFailure);
+                    }
+                    match slot.transport.recv_timeout(remaining) {
+                        Ok(Some(frame)) => {
+                            slot.stats.bytes_received += frame.len() as u64;
+                            match decode_frame(&frame) {
+                                Ok(RpcMessage::EventAck { seq: s, commands }) if s == seq => {
+                                    slot.stats.events_delivered += 1;
+                                    slot.last_heartbeat = Instant::now();
+                                    return Ok(DeliverOutcome::Commands(commands));
+                                }
+                                Ok(RpcMessage::Crashed { seq: s, panic_message }) if s == seq => {
+                                    slot.stats.crashes_detected += 1;
+                                    slot.alive = false;
+                                    return Ok(DeliverOutcome::Crashed { panic_message });
+                                }
+                                Ok(RpcMessage::Heartbeat { .. }) => {
+                                    slot.last_heartbeat = Instant::now();
+                                }
+                                _ => {}
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(TransportError::Disconnected) => {
+                            slot.stats.comm_failures += 1;
+                            slot.alive = false;
+                            return Ok(DeliverOutcome::CommFailure);
+                        }
+                        Err(e) => return Err(ProxyError::Transport(e)),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Drain pending heartbeats (non-blocking-ish) and return the apps whose
+    /// heartbeat is stale — the paper's background crash detector.
+    pub fn check_liveness(&mut self) -> Vec<AppHandle> {
+        let threshold = self.config.heartbeat_timeout;
+        let mut stale = Vec::new();
+        for (i, slot) in self.apps.iter_mut().enumerate() {
+            // Drain whatever is queued.
+            while let Ok(Some(frame)) = slot.transport.recv_timeout(Duration::from_micros(1)) {
+                slot.stats.bytes_received += frame.len() as u64;
+                if matches!(decode_frame(&frame), Ok(RpcMessage::Heartbeat { .. })) {
+                    slot.last_heartbeat = Instant::now();
+                }
+            }
+            if slot.alive && slot.last_heartbeat.elapsed() > threshold {
+                slot.alive = false;
+                stale.push(AppHandle(i));
+            }
+        }
+        stale
+    }
+
+    /// Shut all stubs down and collect their reports.
+    pub fn shutdown(mut self) -> Vec<StubReport> {
+        let mut reports = Vec::new();
+        for slot in &mut self.apps {
+            let _ = slot.transport.send(&encode_frame(&RpcMessage::Shutdown));
+        }
+        for slot in &mut self.apps {
+            if let Some(handle) = slot.stub_thread.take() {
+                if let Ok(report) = handle.join() {
+                    reports.push(report);
+                }
+            }
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legosdn_controller::app::{Ctx, RestoreError};
+    use legosdn_openflow::prelude::*;
+
+    struct TestApp {
+        count: u32,
+        crash_on_count: Option<u32>,
+    }
+
+    impl SdnApp for TestApp {
+        fn name(&self) -> &str {
+            "proxy-test-app"
+        }
+        fn subscriptions(&self) -> Vec<EventKind> {
+            vec![EventKind::PacketIn, EventKind::SwitchUp]
+        }
+        fn on_event(&mut self, _event: &Event, ctx: &mut Ctx<'_>) {
+            self.count += 1;
+            if Some(self.count) == self.crash_on_count {
+                panic!("proxy test crash");
+            }
+            ctx.send(DatapathId(self.count as u64), Message::BarrierRequest);
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            self.count.to_be_bytes().to_vec()
+        }
+        fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
+            self.count = u32::from_be_bytes(
+                bytes.try_into().map_err(|_| RestoreError("len".into()))?,
+            );
+            Ok(())
+        }
+    }
+
+    fn proxy() -> AppVisorProxy {
+        AppVisorProxy::new(ProxyConfig {
+            deliver_timeout: Duration::from_millis(300),
+            rpc_timeout: Duration::from_secs(1),
+            heartbeat_timeout: Duration::from_millis(100),
+            stub: StubConfig { heartbeat_period: Duration::from_millis(10), report_crashes: true },
+        })
+    }
+
+    fn deliver(p: &mut AppVisorProxy, h: AppHandle) -> DeliverOutcome {
+        let topo = TopologyView::default();
+        let dev = DeviceView::default();
+        p.deliver(h, &Event::SwitchUp(DatapathId(1)), &topo, &dev, SimTime::ZERO).unwrap()
+    }
+
+    #[test]
+    fn launch_register_deliver_channel() {
+        let mut p = proxy();
+        let h = p
+            .launch_app(Box::new(TestApp { count: 0, crash_on_count: None }), TransportKind::Channel)
+            .unwrap();
+        assert_eq!(p.app_name(h).unwrap(), "proxy-test-app");
+        assert_eq!(p.subscriptions(h).unwrap().len(), 2);
+        match deliver(&mut p, h) {
+            DeliverOutcome::Commands(cmds) => {
+                assert_eq!(cmds.len(), 1);
+                assert_eq!(cmds[0].dpid, DatapathId(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = p.wire_stats(h).unwrap();
+        assert_eq!(stats.events_delivered, 1);
+        assert!(stats.bytes_sent > 0 && stats.bytes_received > 0);
+        let reports = p.shutdown();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].events_processed, 1);
+    }
+
+    #[test]
+    fn launch_register_deliver_udp() {
+        let mut p = proxy();
+        let h = p
+            .launch_app(Box::new(TestApp { count: 0, crash_on_count: None }), TransportKind::Udp)
+            .unwrap();
+        match deliver(&mut p, h) {
+            DeliverOutcome::Commands(cmds) => assert_eq!(cmds.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        p.shutdown();
+    }
+
+    #[test]
+    fn crash_detected_and_recovered_via_checkpoint() {
+        let mut p = proxy();
+        let h = p
+            .launch_app(
+                Box::new(TestApp { count: 0, crash_on_count: Some(2) }),
+                TransportKind::Channel,
+            )
+            .unwrap();
+        // Checkpoint before each event (the paper's discipline).
+        let checkpoint = p.snapshot(h).unwrap();
+        assert!(matches!(deliver(&mut p, h), DeliverOutcome::Commands(_)));
+        let checkpoint2 = p.snapshot(h).unwrap();
+        match deliver(&mut p, h) {
+            DeliverOutcome::Crashed { panic_message } => {
+                assert!(panic_message.contains("proxy test crash"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!p.is_alive(h).unwrap());
+        // Restore to the pre-crash checkpoint: alive again, same state.
+        assert!(p.restore(h, &checkpoint2).unwrap());
+        assert!(p.is_alive(h).unwrap());
+        // Replaying the same (deterministic) event crashes again.
+        assert!(matches!(deliver(&mut p, h), DeliverOutcome::Crashed { .. }));
+        // Restoring the earlier checkpoint shifts the crash point.
+        assert!(p.restore(h, &checkpoint).unwrap());
+        assert!(matches!(deliver(&mut p, h), DeliverOutcome::Commands(_)));
+        let _ = p.shutdown();
+    }
+
+    #[test]
+    fn comm_failure_on_silent_crash() {
+        let mut p = AppVisorProxy::new(ProxyConfig {
+            deliver_timeout: Duration::from_millis(100),
+            rpc_timeout: Duration::from_secs(1),
+            heartbeat_timeout: Duration::from_millis(50),
+            stub: StubConfig {
+                heartbeat_period: Duration::from_millis(10),
+                report_crashes: false, // dead process mode
+            },
+        });
+        let h = p
+            .launch_app(
+                Box::new(TestApp { count: 0, crash_on_count: Some(1) }),
+                TransportKind::Channel,
+            )
+            .unwrap();
+        assert_eq!(deliver(&mut p, h), DeliverOutcome::CommFailure);
+        assert!(!p.is_alive(h).unwrap());
+        assert_eq!(p.wire_stats(h).unwrap().comm_failures, 1);
+        let _ = p.shutdown();
+    }
+
+    #[test]
+    fn heartbeat_staleness_detects_silent_death() {
+        let mut p = AppVisorProxy::new(ProxyConfig {
+            deliver_timeout: Duration::from_millis(200),
+            rpc_timeout: Duration::from_secs(1),
+            heartbeat_timeout: Duration::from_millis(60),
+            stub: StubConfig {
+                heartbeat_period: Duration::from_millis(10),
+                report_crashes: false,
+            },
+        });
+        let h = p
+            .launch_app(
+                Box::new(TestApp { count: 0, crash_on_count: Some(1) }),
+                TransportKind::Channel,
+            )
+            .unwrap();
+        // Healthy: heartbeats keep it alive.
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(p.check_liveness().is_empty());
+        // Kill it silently (comm failure on the event), then wait out the
+        // heartbeat threshold.
+        let _ = deliver(&mut p, h); // CommFailure marks it dead already
+        let stale = p.check_liveness();
+        assert!(stale.is_empty(), "already marked dead, not re-reported");
+        let _ = p.shutdown();
+    }
+
+    #[test]
+    fn heartbeat_detector_fires_without_delivery() {
+        // Crash the app via a delivery on a second proxy-app, then observe
+        // staleness on the first... simpler: stop heartbeats by crashing
+        // through delivery is the only kill switch we have; instead verify
+        // the detector's arithmetic by shrinking the threshold below the
+        // heartbeat period.
+        let mut p = AppVisorProxy::new(ProxyConfig {
+            deliver_timeout: Duration::from_millis(200),
+            rpc_timeout: Duration::from_secs(1),
+            heartbeat_timeout: Duration::from_millis(1),
+            stub: StubConfig {
+                heartbeat_period: Duration::from_millis(500), // slower than threshold
+                report_crashes: true,
+            },
+        });
+        let h = p
+            .launch_app(Box::new(TestApp { count: 0, crash_on_count: None }), TransportKind::Channel)
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let stale = p.check_liveness();
+        assert_eq!(stale, vec![h], "no heartbeat within 1ms threshold");
+        let _ = p.shutdown();
+    }
+
+    #[test]
+    fn fanout_delivers_to_all_in_parallel() {
+        let mut p = proxy();
+        let handles: Vec<AppHandle> = (0..4)
+            .map(|_| {
+                p.launch_app(
+                    Box::new(TestApp { count: 0, crash_on_count: None }),
+                    TransportKind::Channel,
+                )
+                .unwrap()
+            })
+            .collect();
+        let topo = TopologyView::default();
+        let dev = DeviceView::default();
+        let results =
+            p.deliver_fanout(&handles, &Event::SwitchUp(DatapathId(1)), &topo, &dev, SimTime::ZERO);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(matches!(r, Ok(DeliverOutcome::Commands(c)) if c.len() == 1), "{r:?}");
+        }
+        // Mixed with a crasher and a bogus handle.
+        let crashy = p
+            .launch_app(
+                Box::new(TestApp { count: 0, crash_on_count: Some(1) }),
+                TransportKind::Channel,
+            )
+            .unwrap();
+        let mut all = handles.clone();
+        all.push(crashy);
+        all.push(AppHandle(99));
+        let results =
+            p.deliver_fanout(&all, &Event::SwitchUp(DatapathId(1)), &topo, &dev, SimTime::ZERO);
+        assert!(matches!(&results[4], Ok(DeliverOutcome::Crashed { .. })));
+        assert!(matches!(&results[5], Err(ProxyError::UnknownApp)));
+        // Healthy apps unaffected by their neighbor's crash.
+        for r in &results[..4] {
+            assert!(matches!(r, Ok(DeliverOutcome::Commands(_))));
+        }
+        let _ = p.shutdown();
+    }
+
+    #[test]
+    fn unknown_handle_errors() {
+        let mut p = proxy();
+        assert_eq!(p.app_name(AppHandle(9)).unwrap_err(), ProxyError::UnknownApp);
+        assert!(p.snapshot(AppHandle(9)).is_err());
+    }
+}

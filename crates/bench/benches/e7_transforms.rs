@@ -1,0 +1,96 @@
+//! E7 — §3.3: equivalence-compromise transformations.
+//!
+//! Correctness (the transformed link-downs cover exactly the dead switch's
+//! links, both rewrite directions hold) and cost (transform latency scales
+//! with switch degree; full equivalence recovery vs plain ignore).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use legosdn::controller::services::TopologyView;
+use legosdn::crashpad::{transform, TransformDirection};
+use legosdn::netsim::Endpoint;
+use legosdn::prelude::*;
+use legosdn_bench::print_table;
+use std::time::Instant;
+
+/// A star topology view: the hub switch has `degree` links.
+fn star_view(degree: u64) -> TopologyView {
+    let mut t = TopologyView::default();
+    t.switch_up(DatapathId(1), vec![]);
+    for i in 0..degree {
+        let leaf = DatapathId(10 + i);
+        t.switch_up(leaf, vec![]);
+        t.link_up(
+            Endpoint::new(DatapathId(1), (i + 1) as u16),
+            Endpoint::new(leaf, 1),
+        );
+    }
+    t
+}
+
+fn summary() {
+    let mut rows = Vec::new();
+    for degree in [2u64, 4, 8, 16, 48] {
+        let topo = star_view(degree);
+        let ev = Event::SwitchDown(DatapathId(1));
+        let iters = 10_000;
+        let start = Instant::now();
+        let mut produced = 0usize;
+        for _ in 0..iters {
+            let out = transform(&ev, &topo, TransformDirection::Decompose).unwrap();
+            produced = out.len();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+        rows.push(vec![degree.to_string(), produced.to_string(), format!("{ns:.0}")]);
+    }
+    print_table(
+        "E7: switch-down → link-downs decomposition vs switch degree",
+        &["degree", "events produced", "ns/transform"],
+        &rows,
+    );
+
+    // Round-trip coverage check: decompose a switch-down, generalize each
+    // resulting link-down, confirm the victim switch is among the answers.
+    let topo = star_view(4);
+    let downs = transform(&Event::SwitchDown(DatapathId(1)), &topo, TransformDirection::Decompose)
+        .unwrap();
+    let mut generalized_hits = 0;
+    for d in &downs {
+        if let Some(out) = transform(d, &topo, TransformDirection::Generalize) {
+            if out.iter().any(|e| matches!(e, Event::SwitchDown(_))) {
+                generalized_hits += 1;
+            }
+        }
+    }
+    eprintln!(
+        "round-trip: {generalized_hits}/{} link-downs generalize back to a switch-down\n",
+        downs.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_transforms");
+    for degree in [4u64, 16, 48] {
+        let topo = star_view(degree);
+        let ev = Event::SwitchDown(DatapathId(1));
+        g.bench_with_input(BenchmarkId::new("decompose_switch_down", degree), &degree, |b, _| {
+            b.iter(|| transform(&ev, &topo, TransformDirection::Decompose));
+        });
+    }
+    let topo = star_view(8);
+    let ld = Event::LinkDown {
+        a: Endpoint::new(DatapathId(1), 1),
+        b: Endpoint::new(DatapathId(10), 1),
+    };
+    g.bench_function("generalize_link_down", |b| {
+        b.iter(|| transform(&ld, &topo, TransformDirection::Generalize));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    summary();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

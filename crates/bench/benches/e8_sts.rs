@@ -1,0 +1,121 @@
+//! E8 — §5: STS-style minimal causal sequences over event histories.
+//!
+//! Cost model of ddmin: replays grow roughly logarithmically in history
+//! length for a single culprit and polynomially for scattered culprit
+//! sets; minimal-sequence size is exact. This is what makes "which
+//! checkpoint do we roll back to" tractable.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use legosdn::controller::app::{Ctx, RestoreError, SdnApp};
+use legosdn::controller::services::{DeviceView, TopologyView};
+use legosdn::prelude::*;
+use legosdn::sts::{ddmin, AppReplayOracle};
+use legosdn_bench::print_table;
+use std::time::Instant;
+
+/// Crashes after seeing `fuse` switch-downs (a cumulative multi-event bug).
+struct FuseApp {
+    seen: u32,
+    fuse: u32,
+}
+
+impl SdnApp for FuseApp {
+    fn name(&self) -> &str {
+        "fuse"
+    }
+    fn subscriptions(&self) -> Vec<EventKind> {
+        EventKind::ALL.to_vec()
+    }
+    fn on_event(&mut self, event: &Event, _ctx: &mut Ctx<'_>) {
+        if matches!(event, Event::SwitchDown(_)) {
+            self.seen += 1;
+            if self.seen >= self.fuse {
+                panic!("fuse blown");
+            }
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        self.seen.to_be_bytes().to_vec()
+    }
+    fn restore(&mut self, b: &[u8]) -> Result<(), RestoreError> {
+        self.seen =
+            u32::from_be_bytes(b.try_into().map_err(|_| RestoreError("len".into()))?);
+        Ok(())
+    }
+}
+
+/// A history of length `len` with `culprits` switch-downs evenly buried.
+fn history(len: usize, culprits: usize) -> Vec<Event> {
+    let mut h = Vec::with_capacity(len);
+    let stride = len / culprits.max(1);
+    for i in 0..len {
+        if culprits > 0 && i % stride == stride / 2 && h.iter().filter(|e| matches!(e, Event::SwitchDown(_))).count() < culprits {
+            h.push(Event::SwitchDown(DatapathId(i as u64)));
+        } else {
+            h.push(Event::SwitchUp(DatapathId(i as u64)));
+        }
+    }
+    h
+}
+
+fn minimize(len: usize, culprits: usize) -> (usize, usize, f64) {
+    let h = history(len, culprits);
+    let mut oracle = AppReplayOracle::new(
+        move || Box::new(FuseApp { seen: 0, fuse: culprits as u32 }),
+        TopologyView::default(),
+        DeviceView::default(),
+    );
+    let start = Instant::now();
+    let report = ddmin(&h, &mut oracle).expect("reproducible");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    (report.minimal.len(), report.replays, ms)
+}
+
+fn summary() {
+    let mut rows = Vec::new();
+    for len in [8usize, 32, 128, 512] {
+        for culprits in [1usize, 3] {
+            if culprits >= len {
+                continue;
+            }
+            let (minimal, replays, ms) = minimize(len, culprits);
+            rows.push(vec![
+                len.to_string(),
+                culprits.to_string(),
+                minimal.to_string(),
+                replays.to_string(),
+                format!("{ms:.2}"),
+            ]);
+        }
+    }
+    print_table(
+        "E8: ddmin minimal causal sequences",
+        &["history len", "culprits", "minimal len", "replays", "ms"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_sts");
+    g.sample_size(20);
+    for len in [32usize, 128, 512] {
+        g.bench_with_input(BenchmarkId::new("ddmin_1_culprit", len), &len, |b, &len| {
+            b.iter(|| minimize(len, 1));
+        });
+    }
+    g.bench_function("ddmin_128_3culprits", |b| {
+        b.iter(|| minimize(128, 3));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    // ddmin replays contained crashes by the hundred; silence their
+    // default backtraces so the output stays readable.
+    std::panic::set_hook(Box::new(|_| {}));
+    summary();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

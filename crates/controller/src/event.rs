@@ -1,0 +1,135 @@
+//! The controller-level event vocabulary delivered to SDN applications.
+//!
+//! Raw `NetEvent`s from the simulator are translated (by
+//! [`crate::translate::EventTranslator`]) into these higher-level events —
+//! the same vocabulary FloodLight exposes to its modules. Crash-Pad's
+//! *Equivalence Compromise* (paper §3.3) rewrites events in this vocabulary:
+//! a `SwitchDown` becomes a series of `LinkDown`s and vice versa.
+
+use legosdn_netsim::Endpoint;
+use legosdn_openflow::messages::{ErrorMsg, FlowRemoved, PacketIn, PortStatus, StatsReply};
+use legosdn_openflow::prelude::DatapathId;
+use legosdn_netsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// An event delivered to SDN applications.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A switch joined the control plane (handshake complete).
+    SwitchUp(DatapathId),
+    /// A switch left the control plane.
+    SwitchDown(DatapathId),
+    /// An inter-switch link was discovered or came back.
+    LinkUp { a: Endpoint, b: Endpoint },
+    /// An inter-switch link failed.
+    LinkDown { a: Endpoint, b: Endpoint },
+    /// A port changed state (admin or physical).
+    PortStatus(DatapathId, PortStatus),
+    /// A packet was punted to the controller.
+    PacketIn(DatapathId, PacketIn),
+    /// A flow expired or was deleted with notification.
+    FlowRemoved(DatapathId, FlowRemoved),
+    /// A statistics reply arrived.
+    StatsReply(DatapathId, StatsReply),
+    /// The switch reported a protocol error.
+    Error(DatapathId, ErrorMsg),
+    /// A periodic timer tick (virtual time).
+    Tick(SimTime),
+}
+
+/// Event kind, the subscription and policy-language key.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
+)]
+pub enum EventKind {
+    SwitchUp,
+    SwitchDown,
+    LinkUp,
+    LinkDown,
+    PortStatus,
+    PacketIn,
+    FlowRemoved,
+    StatsReply,
+    Error,
+    Tick,
+}
+
+impl EventKind {
+    /// Every kind.
+    pub const ALL: [EventKind; 10] = [
+        EventKind::SwitchUp,
+        EventKind::SwitchDown,
+        EventKind::LinkUp,
+        EventKind::LinkDown,
+        EventKind::PortStatus,
+        EventKind::PacketIn,
+        EventKind::FlowRemoved,
+        EventKind::StatsReply,
+        EventKind::Error,
+        EventKind::Tick,
+    ];
+}
+
+impl Event {
+    /// The kind discriminant.
+    #[must_use]
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::SwitchUp(_) => EventKind::SwitchUp,
+            Event::SwitchDown(_) => EventKind::SwitchDown,
+            Event::LinkUp { .. } => EventKind::LinkUp,
+            Event::LinkDown { .. } => EventKind::LinkDown,
+            Event::PortStatus(..) => EventKind::PortStatus,
+            Event::PacketIn(..) => EventKind::PacketIn,
+            Event::FlowRemoved(..) => EventKind::FlowRemoved,
+            Event::StatsReply(..) => EventKind::StatsReply,
+            Event::Error(..) => EventKind::Error,
+            Event::Tick(_) => EventKind::Tick,
+        }
+    }
+
+    /// The switch this event concerns, if it concerns exactly one.
+    #[must_use]
+    pub fn dpid(&self) -> Option<DatapathId> {
+        match self {
+            Event::SwitchUp(d) | Event::SwitchDown(d) => Some(*d),
+            Event::PortStatus(d, _)
+            | Event::PacketIn(d, _)
+            | Event::FlowRemoved(d, _)
+            | Event::StatsReply(d, _)
+            | Event::Error(d, _) => Some(*d),
+            Event::LinkUp { .. } | Event::LinkDown { .. } | Event::Tick(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(Event::SwitchUp(DatapathId(1)).kind(), EventKind::SwitchUp);
+        assert_eq!(Event::Tick(SimTime::ZERO).kind(), EventKind::Tick);
+        let a = Endpoint::new(DatapathId(1), 1);
+        let b = Endpoint::new(DatapathId(2), 1);
+        assert_eq!(Event::LinkDown { a, b }.kind(), EventKind::LinkDown);
+    }
+
+    #[test]
+    fn dpid_extraction() {
+        assert_eq!(Event::SwitchDown(DatapathId(7)).dpid(), Some(DatapathId(7)));
+        assert_eq!(Event::Tick(SimTime::ZERO).dpid(), None);
+        let a = Endpoint::new(DatapathId(1), 1);
+        let b = Endpoint::new(DatapathId(2), 1);
+        assert_eq!(Event::LinkUp { a, b }.dpid(), None);
+    }
+
+    #[test]
+    fn all_kinds_distinct() {
+        let mut v = EventKind::ALL.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 10);
+    }
+}

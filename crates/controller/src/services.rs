@@ -1,0 +1,364 @@
+//! Core controller services: the switch/link topology view and the end-host
+//! (device) view.
+//!
+//! These are the FloodLight-style services apps consult (switch manager,
+//! link discovery, device manager). They are plain serializable data so the
+//! AppVisor stub can reconstruct them for an isolated app from RPC bytes.
+
+use legosdn_netsim::{Endpoint, SimTime};
+use legosdn_openflow::messages::PortDesc;
+use legosdn_openflow::prelude::{DatapathId, Ipv4Addr, MacAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A normalized (smaller endpoint first) inter-switch link.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct LinkKey {
+    pub a: Endpoint,
+    pub b: Endpoint,
+}
+
+impl LinkKey {
+    /// Normalize endpoint order so each physical link has one key.
+    #[must_use]
+    pub fn new(x: Endpoint, y: Endpoint) -> Self {
+        if (x.dpid, x.port) <= (y.dpid, y.port) {
+            LinkKey { a: x, b: y }
+        } else {
+            LinkKey { a: y, b: x }
+        }
+    }
+
+    /// Does this link touch `dpid`?
+    #[must_use]
+    pub fn touches(&self, dpid: DatapathId) -> bool {
+        self.a.dpid == dpid || self.b.dpid == dpid
+    }
+
+    /// The endpoint on `dpid`, if any.
+    #[must_use]
+    pub fn endpoint_on(&self, dpid: DatapathId) -> Option<Endpoint> {
+        if self.a.dpid == dpid {
+            Some(self.a)
+        } else if self.b.dpid == dpid {
+            Some(self.b)
+        } else {
+            None
+        }
+    }
+}
+
+/// The controller's view of switches and inter-switch links.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TopologyView {
+    /// Connected switches and their last-reported port descriptors.
+    pub switches: BTreeMap<DatapathId, Vec<PortDesc>>,
+    /// Discovered links.
+    pub links: BTreeSet<LinkKey>,
+    /// Links each switch carried when it was last seen alive. Consulted by
+    /// Crash-Pad's equivalence transform: by the time a `SwitchDown` event
+    /// is dispatched, the live link set no longer contains the dead
+    /// switch's links.
+    graveyard: BTreeMap<DatapathId, Vec<LinkKey>>,
+}
+
+impl TopologyView {
+    /// Register (or refresh) a switch.
+    pub fn switch_up(&mut self, dpid: DatapathId, ports: Vec<PortDesc>) {
+        self.switches.insert(dpid, ports);
+    }
+
+    /// Remove a switch; returns the links that died with it. The dead
+    /// links are remembered (see [`Self::last_known_links`]).
+    pub fn switch_down(&mut self, dpid: DatapathId) -> Vec<LinkKey> {
+        self.switches.remove(&dpid);
+        let dead: Vec<LinkKey> = self.links.iter().filter(|l| l.touches(dpid)).copied().collect();
+        for l in &dead {
+            self.links.remove(l);
+        }
+        self.graveyard.insert(dpid, dead.clone());
+        dead
+    }
+
+    /// The links a switch carries now — or, if it just went down, the
+    /// links it carried when last alive.
+    #[must_use]
+    pub fn last_known_links(&self, dpid: DatapathId) -> Vec<LinkKey> {
+        let live = self.links_of(dpid);
+        if !live.is_empty() {
+            return live;
+        }
+        self.graveyard.get(&dpid).cloned().unwrap_or_default()
+    }
+
+    /// Record a discovered link. Returns true if it was new.
+    pub fn link_up(&mut self, x: Endpoint, y: Endpoint) -> bool {
+        self.links.insert(LinkKey::new(x, y))
+    }
+
+    /// Remove a link. Returns true if it was present.
+    pub fn link_down(&mut self, x: Endpoint, y: Endpoint) -> bool {
+        self.links.remove(&LinkKey::new(x, y))
+    }
+
+    /// Is the switch known?
+    #[must_use]
+    pub fn has_switch(&self, dpid: DatapathId) -> bool {
+        self.switches.contains_key(&dpid)
+    }
+
+    /// The link (if any) with an endpoint at `(dpid, port)`.
+    #[must_use]
+    pub fn link_at(&self, at: Endpoint) -> Option<LinkKey> {
+        self.links.iter().find(|l| l.a == at || l.b == at).copied()
+    }
+
+    /// Links touching a switch.
+    #[must_use]
+    pub fn links_of(&self, dpid: DatapathId) -> Vec<LinkKey> {
+        self.links.iter().filter(|l| l.touches(dpid)).copied().collect()
+    }
+
+    /// Neighbors of a switch: `(out_port, neighbor_dpid, neighbor_in_port)`.
+    #[must_use]
+    pub fn neighbors(&self, dpid: DatapathId) -> Vec<(u16, Endpoint)> {
+        let mut out = Vec::new();
+        for l in &self.links {
+            if l.a.dpid == dpid {
+                out.push((l.a.port, l.b));
+            } else if l.b.dpid == dpid {
+                out.push((l.b.port, l.a));
+            }
+        }
+        out
+    }
+
+    /// BFS shortest switch-path from `src` to `dst`.
+    ///
+    /// Returns the hops as `(switch, out_port)` pairs: forwarding a packet
+    /// at each listed switch out the listed port walks it to `dst`. Empty
+    /// path when `src == dst`.
+    #[must_use]
+    pub fn shortest_path(&self, src: DatapathId, dst: DatapathId) -> Option<Vec<(DatapathId, u16)>> {
+        if !self.has_switch(src) || !self.has_switch(dst) {
+            return None;
+        }
+        if src == dst {
+            return Some(Vec::new());
+        }
+        let mut prev: BTreeMap<DatapathId, (DatapathId, u16)> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        'bfs: while let Some(cur) = queue.pop_front() {
+            for (out_port, peer) in self.neighbors(cur) {
+                if peer.dpid == src || prev.contains_key(&peer.dpid) {
+                    continue;
+                }
+                prev.insert(peer.dpid, (cur, out_port));
+                if peer.dpid == dst {
+                    break 'bfs;
+                }
+                queue.push_back(peer.dpid);
+            }
+        }
+        if !prev.contains_key(&dst) {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let (p, port) = prev[&cur];
+            path.push((p, port));
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Number of known links.
+    #[must_use]
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// A known end host.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    pub mac: MacAddr,
+    pub ip: Option<Ipv4Addr>,
+    pub attach: Endpoint,
+    pub last_seen: SimTime,
+}
+
+/// The controller's view of end hosts, learned from packet-ins.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceView {
+    devices: BTreeMap<MacAddr, Device>,
+}
+
+impl DeviceView {
+    /// Learn (or refresh) a host from an observed packet.
+    pub fn learn(&mut self, mac: MacAddr, ip: Option<Ipv4Addr>, attach: Endpoint, now: SimTime) {
+        if mac.is_multicast() {
+            return;
+        }
+        let dev = self.devices.entry(mac).or_insert(Device { mac, ip, attach, last_seen: now });
+        dev.attach = attach;
+        dev.last_seen = now;
+        if ip.is_some() {
+            dev.ip = ip;
+        }
+    }
+
+    /// Look up a host.
+    #[must_use]
+    pub fn get(&self, mac: MacAddr) -> Option<&Device> {
+        self.devices.get(&mac)
+    }
+
+    /// Look up a host by IP.
+    #[must_use]
+    pub fn by_ip(&self, ip: Ipv4Addr) -> Option<&Device> {
+        self.devices.values().find(|d| d.ip == Some(ip))
+    }
+
+    /// Forget every host attached to `dpid` (switch died).
+    pub fn purge_switch(&mut self, dpid: DatapathId) {
+        self.devices.retain(|_, d| d.attach.dpid != dpid);
+    }
+
+    /// Number of known hosts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when no hosts are known.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Iterate over known devices.
+    pub fn iter(&self) -> impl Iterator<Item = &Device> {
+        self.devices.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(d: u64, p: u16) -> Endpoint {
+        Endpoint::new(DatapathId(d), p)
+    }
+
+    fn line3() -> TopologyView {
+        // 1 -(p1:p1)- 2 -(p2:p1)- 3
+        let mut t = TopologyView::default();
+        for d in 1..=3 {
+            t.switch_up(DatapathId(d), vec![]);
+        }
+        t.link_up(ep(1, 1), ep(2, 1));
+        t.link_up(ep(2, 2), ep(3, 1));
+        t
+    }
+
+    #[test]
+    fn link_key_normalizes() {
+        assert_eq!(LinkKey::new(ep(2, 1), ep(1, 1)), LinkKey::new(ep(1, 1), ep(2, 1)));
+        let k = LinkKey::new(ep(2, 1), ep(1, 1));
+        assert_eq!(k.a, ep(1, 1));
+        assert!(k.touches(DatapathId(2)));
+        assert!(!k.touches(DatapathId(3)));
+        assert_eq!(k.endpoint_on(DatapathId(2)), Some(ep(2, 1)));
+    }
+
+    #[test]
+    fn duplicate_links_dedupe() {
+        let mut t = TopologyView::default();
+        assert!(t.link_up(ep(1, 1), ep(2, 1)));
+        assert!(!t.link_up(ep(2, 1), ep(1, 1)));
+        assert_eq!(t.n_links(), 1);
+    }
+
+    #[test]
+    fn shortest_path_line() {
+        let t = line3();
+        let path = t.shortest_path(DatapathId(1), DatapathId(3)).unwrap();
+        assert_eq!(path, vec![(DatapathId(1), 1), (DatapathId(2), 2)]);
+        assert_eq!(t.shortest_path(DatapathId(1), DatapathId(1)).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewer_hops() {
+        // Triangle: 1-2, 2-3, 1-3. Path 1→3 must be direct.
+        let mut t = line3();
+        t.link_up(ep(1, 2), ep(3, 2));
+        let path = t.shortest_path(DatapathId(1), DatapathId(3)).unwrap();
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0], (DatapathId(1), 2));
+    }
+
+    #[test]
+    fn shortest_path_unreachable() {
+        let mut t = line3();
+        t.switch_up(DatapathId(9), vec![]);
+        assert_eq!(t.shortest_path(DatapathId(1), DatapathId(9)), None);
+        assert_eq!(t.shortest_path(DatapathId(1), DatapathId(42)), None);
+    }
+
+    #[test]
+    fn switch_down_kills_its_links() {
+        let mut t = line3();
+        let dead = t.switch_down(DatapathId(2));
+        assert_eq!(dead.len(), 2);
+        assert_eq!(t.n_links(), 0);
+        assert!(!t.has_switch(DatapathId(2)));
+        assert_eq!(t.shortest_path(DatapathId(1), DatapathId(3)), None);
+    }
+
+    #[test]
+    fn link_at_and_neighbors() {
+        let t = line3();
+        assert!(t.link_at(ep(2, 1)).is_some());
+        assert!(t.link_at(ep(2, 9)).is_none());
+        let mut n = t.neighbors(DatapathId(2));
+        n.sort_unstable_by_key(|(p, _)| *p);
+        assert_eq!(n, vec![(1, ep(1, 1)), (2, ep(3, 1))]);
+    }
+
+    #[test]
+    fn device_learning_updates_attachment() {
+        let mut d = DeviceView::default();
+        let mac = MacAddr::from_index(1);
+        d.learn(mac, Some(Ipv4Addr::from_index(1)), ep(1, 3), SimTime::ZERO);
+        assert_eq!(d.get(mac).unwrap().attach, ep(1, 3));
+        // Host moves.
+        d.learn(mac, None, ep(2, 4), SimTime::from_secs(5));
+        let dev = d.get(mac).unwrap();
+        assert_eq!(dev.attach, ep(2, 4));
+        assert_eq!(dev.ip, Some(Ipv4Addr::from_index(1)), "IP survives a None refresh");
+        assert_eq!(dev.last_seen, SimTime::from_secs(5));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn multicast_sources_are_not_learned() {
+        let mut d = DeviceView::default();
+        d.learn(MacAddr::BROADCAST, None, ep(1, 1), SimTime::ZERO);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn by_ip_and_purge() {
+        let mut d = DeviceView::default();
+        d.learn(MacAddr::from_index(1), Some(Ipv4Addr::from_index(1)), ep(1, 3), SimTime::ZERO);
+        d.learn(MacAddr::from_index(2), Some(Ipv4Addr::from_index(2)), ep(2, 3), SimTime::ZERO);
+        assert_eq!(d.by_ip(Ipv4Addr::from_index(2)).unwrap().mac, MacAddr::from_index(2));
+        d.purge_switch(DatapathId(1));
+        assert_eq!(d.len(), 1);
+        assert!(d.get(MacAddr::from_index(1)).is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! LegoSDN runtime configuration.
+
+use legosdn_appvisor::ProxyConfig;
+use legosdn_crashpad::CrashPadConfig;
+use legosdn_invariants::Checker;
+use legosdn_netlog::TxMode;
+
+/// Where each application's fault domain lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IsolationMode {
+    /// In-process sandbox with panic containment (fast path; still isolates
+    /// crashes from the controller).
+    Local,
+    /// AppVisor stub on its own thread, RPC over in-memory channels.
+    Channel,
+    /// AppVisor stub on its own thread, RPC over UDP loopback — the paper's
+    /// prototype configuration (§4.1).
+    Udp,
+    /// AppVisor stub on its own thread, RPC over TCP loopback with length
+    /// framing (the reliable-stream alternative).
+    Tcp,
+}
+
+/// Per-application resource limits (paper §3.4: "an operator can define
+/// resource limits for each SDN-App, thus limiting the impact of
+/// misbehaving applications").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Maximum events an app may consume (None = unlimited).
+    pub max_events: Option<u64>,
+    /// Maximum commands an app may emit (None = unlimited).
+    pub max_commands: Option<u64>,
+    /// Maximum snapshot size in bytes (None = unlimited). Oversized apps
+    /// are suspended — a runaway state is itself a resource leak.
+    pub max_snapshot_bytes: Option<u64>,
+}
+
+/// Full runtime configuration.
+#[derive(Clone, Debug)]
+pub struct LegoSdnConfig {
+    pub isolation: IsolationMode,
+    /// NetLog transaction mode: `Immediate` (full NetLog: apply + undo log)
+    /// or `Buffered` (the paper-prototype ablation).
+    pub netlog_mode: TxMode,
+    pub crashpad: CrashPadConfig,
+    /// Byzantine-failure detection: gate/inspect app output against network
+    /// invariants. `None` disables detection (fail-stop coverage only).
+    pub checker: Option<Checker>,
+    /// §5: when a No-Compromise app's byzantine output violates invariants,
+    /// shut the whole network down rather than run unsafely.
+    pub shutdown_network_on_no_compromise: bool,
+    /// Default per-app resource limits.
+    pub resource_limits: ResourceLimits,
+    /// AppVisor proxy tuning (timeouts, heartbeats) for isolated modes.
+    pub proxy: ProxyConfig,
+}
+
+impl Default for LegoSdnConfig {
+    fn default() -> Self {
+        LegoSdnConfig {
+            isolation: IsolationMode::Local,
+            netlog_mode: TxMode::Immediate,
+            crashpad: CrashPadConfig::default(),
+            checker: Some(Checker::default()),
+            shutdown_network_on_no_compromise: false,
+            resource_limits: ResourceLimits::default(),
+            proxy: ProxyConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_design() {
+        let c = LegoSdnConfig::default();
+        assert_eq!(c.isolation, IsolationMode::Local);
+        assert_eq!(c.netlog_mode, TxMode::Immediate);
+        assert!(c.checker.is_some());
+        assert_eq!(c.resource_limits, ResourceLimits::default());
+    }
+}

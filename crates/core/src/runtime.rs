@@ -1,0 +1,798 @@
+//! The LegoSDN runtime: the re-designed controller of paper §3.
+//!
+//! Composition (Figure 1, right side):
+//!
+//! ```text
+//!   Network ⇄ EventTranslator (controller core)
+//!                 │ events                    ▲ commands
+//!                 ▼                           │
+//!            Crash-Pad dispatch ──► NetLog transactions ──► invariant gate
+//!                 │                                               │
+//!            AppVisor proxy ⇄ stubs (isolated apps)        byzantine recovery
+//! ```
+//!
+//! Per app-event dispatch: checkpoint if due → deliver through the app's
+//! fault domain → on fail-stop, Crash-Pad recovers (restore + ignore/
+//! transform per policy) → the app's commands run inside a NetLog
+//! transaction → byzantine output is caught by the invariant checker and
+//! the transaction rolled back, after which Crash-Pad recovers the app's
+//! internal state too.
+//!
+//! Crashes never propagate: the controller core and every other app keep
+//! running — the paper's two fate-sharing relationships are gone.
+
+use crate::config::{IsolationMode, LegoSdnConfig, ResourceLimits};
+use crate::host::{Host, ProxyAdapter};
+use legosdn_appvisor::{AppVisorProxy, TransportKind};
+use legosdn_controller::app::{Command, SdnApp};
+use legosdn_controller::event::{Event, EventKind};
+use legosdn_controller::translate::EventTranslator;
+use legosdn_crashpad::{
+    CompromisePolicy, CrashPad, DispatchResult, LocalSandbox, RecoveryTaken,
+};
+use legosdn_invariants::{shutdown_network, Checker};
+use legosdn_netlog::{NetLog, TxMode};
+use legosdn_netsim::Network;
+use legosdn_openflow::prelude::Message;
+use std::fmt;
+
+/// Identifier of an attached app.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AppId(pub usize);
+
+/// Runtime-level counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// App-facing events produced by translation.
+    pub events_translated: u64,
+    /// (app, event) deliveries attempted.
+    pub dispatches: u64,
+    /// Commands executed against the network.
+    pub commands_executed: u64,
+    /// Commands suppressed by resource limits.
+    pub commands_suppressed: u64,
+    /// Fail-stop failures recovered.
+    pub failstop_recoveries: u64,
+    /// Byzantine outputs blocked (transaction aborted / buffer dropped).
+    pub byzantine_blocked: u64,
+    /// Apps currently dead (No-Compromise).
+    pub apps_dead: u64,
+    /// Events skipped because an app was dead or suspended.
+    pub events_skipped: u64,
+    /// Apps suspended by resource limits.
+    pub apps_suspended: u64,
+    /// Controller upgrades performed.
+    pub upgrades: u64,
+}
+
+/// Report of one run cycle.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LegoCycleReport {
+    pub events: usize,
+    pub commands: usize,
+    pub recoveries: usize,
+    pub byzantine_blocked: usize,
+}
+
+/// Per-app resource usage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceUsage {
+    pub events_consumed: u64,
+    pub commands_emitted: u64,
+    pub last_snapshot_bytes: u64,
+}
+
+/// Why an app is not being scheduled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AppStatus {
+    Running,
+    /// Dead under a No-Compromise policy.
+    Dead,
+    /// Suspended by a resource limit.
+    Suspended(&'static str),
+}
+
+struct AppRecord {
+    name: String,
+    subscriptions: Vec<EventKind>,
+    host: Host,
+    status: AppStatus,
+    limits: ResourceLimits,
+    usage: ResourceUsage,
+}
+
+/// Attach failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttachError(pub String);
+
+impl fmt::Display for AttachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attach failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for AttachError {}
+
+/// The LegoSDN runtime.
+pub struct LegoSdnRuntime {
+    config: LegoSdnConfig,
+    translator: EventTranslator,
+    crashpad: CrashPad,
+    netlog: NetLog,
+    checker: Option<Checker>,
+    proxy: AppVisorProxy,
+    apps: Vec<AppRecord>,
+    stats: RuntimeStats,
+}
+
+impl LegoSdnRuntime {
+    /// A runtime with the given configuration.
+    #[must_use]
+    pub fn new(config: LegoSdnConfig) -> Self {
+        LegoSdnRuntime {
+            translator: EventTranslator::new(),
+            crashpad: CrashPad::new(config.crashpad.clone()),
+            netlog: NetLog::new(config.netlog_mode),
+            checker: config.checker.clone(),
+            proxy: AppVisorProxy::new(config.proxy.clone()),
+            apps: Vec::new(),
+            stats: RuntimeStats::default(),
+            config,
+        }
+    }
+
+    /// Attach an app in the configured isolation mode.
+    pub fn attach(&mut self, app: Box<dyn SdnApp>) -> Result<AppId, AttachError> {
+        self.attach_with_limits(app, self.config.resource_limits)
+    }
+
+    /// Attach an app with specific resource limits (paper §3.4).
+    pub fn attach_with_limits(
+        &mut self,
+        app: Box<dyn SdnApp>,
+        limits: ResourceLimits,
+    ) -> Result<AppId, AttachError> {
+        let name = app.name().to_string();
+        let subscriptions = app.subscriptions();
+        let host = match self.config.isolation {
+            IsolationMode::Local => Host::Local(LocalSandbox::new(app)),
+            IsolationMode::Channel => Host::Isolated(
+                self.proxy
+                    .launch_app(app, TransportKind::Channel)
+                    .map_err(|e| AttachError(e.to_string()))?,
+            ),
+            IsolationMode::Udp => Host::Isolated(
+                self.proxy
+                    .launch_app(app, TransportKind::Udp)
+                    .map_err(|e| AttachError(e.to_string()))?,
+            ),
+            IsolationMode::Tcp => Host::Isolated(
+                self.proxy
+                    .launch_app(app, TransportKind::Tcp)
+                    .map_err(|e| AttachError(e.to_string()))?,
+            ),
+        };
+        self.apps.push(AppRecord {
+            name,
+            subscriptions,
+            host,
+            status: AppStatus::Running,
+            limits,
+            usage: ResourceUsage::default(),
+        });
+        Ok(AppId(self.apps.len() - 1))
+    }
+
+    /// Names of attached apps.
+    #[must_use]
+    pub fn app_names(&self) -> Vec<String> {
+        self.apps.iter().map(|a| a.name.clone()).collect()
+    }
+
+    /// An app's scheduling status.
+    pub fn app_status(&self, id: AppId) -> Option<&AppStatus> {
+        self.apps.get(id.0).map(|a| &a.status)
+    }
+
+    /// An app's resource usage.
+    pub fn app_usage(&self, id: AppId) -> Option<ResourceUsage> {
+        self.apps.get(id.0).map(|a| a.usage)
+    }
+
+    /// Runtime counters.
+    #[must_use]
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// The Crash-Pad engine (tickets, checkpoints, policies).
+    #[must_use]
+    pub fn crashpad(&self) -> &CrashPad {
+        &self.crashpad
+    }
+
+    /// Mutable Crash-Pad access (operator policy updates at runtime).
+    pub fn crashpad_mut(&mut self) -> &mut CrashPad {
+        &mut self.crashpad
+    }
+
+    /// The NetLog engine (transaction log, counter cache).
+    #[must_use]
+    pub fn netlog(&self) -> &NetLog {
+        &self.netlog
+    }
+
+    /// The controller core's views.
+    #[must_use]
+    pub fn translator(&self) -> &EventTranslator {
+        &self.translator
+    }
+
+    /// The controller is never crashed by app failures; this exists for
+    /// symmetry with the monolithic baseline in experiments.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        false
+    }
+
+    /// Drain network events, translate, and dispatch under full protection.
+    pub fn run_cycle(&mut self, net: &mut Network) -> LegoCycleReport {
+        let mut report = LegoCycleReport::default();
+        for raw in net.poll_events() {
+            let events = self.translator.process(net, raw);
+            self.stats.events_translated += events.len() as u64;
+            for ev in events {
+                report.events += 1;
+                self.dispatch_event(net, &ev, &mut report);
+            }
+        }
+        report
+    }
+
+    /// Deliver a Tick to subscribed apps.
+    pub fn tick_apps(&mut self, net: &mut Network) -> LegoCycleReport {
+        let mut report = LegoCycleReport::default();
+        let ev = Event::Tick(net.now());
+        report.events += 1;
+        self.dispatch_event(net, &ev, &mut report);
+        report
+    }
+
+    fn dispatch_event(&mut self, net: &mut Network, event: &Event, report: &mut LegoCycleReport) {
+        let kind = event.kind();
+        for idx in 0..self.apps.len() {
+            if !self.apps[idx].subscriptions.contains(&kind) {
+                continue;
+            }
+            if self.apps[idx].status != AppStatus::Running {
+                self.stats.events_skipped += 1;
+                continue;
+            }
+            if let Some(max) = self.apps[idx].limits.max_events {
+                if self.apps[idx].usage.events_consumed >= max {
+                    self.apps[idx].status = AppStatus::Suspended("event budget exhausted");
+                    self.stats.apps_suspended += 1;
+                    self.stats.events_skipped += 1;
+                    continue;
+                }
+            }
+            self.stats.dispatches += 1;
+            self.apps[idx].usage.events_consumed += 1;
+            self.dispatch_to_app(net, idx, event, report);
+        }
+    }
+
+    fn dispatch_to_app(
+        &mut self,
+        net: &mut Network,
+        idx: usize,
+        event: &Event,
+        report: &mut LegoCycleReport,
+    ) {
+        let now = net.now();
+        let name = self.apps[idx].name.clone();
+        // Crash-Pad protected delivery.
+        let result = match &mut self.apps[idx].host {
+            Host::Local(sandbox) => self.crashpad.dispatch(
+                sandbox,
+                &name,
+                event,
+                &self.translator.topology,
+                &self.translator.devices,
+                now,
+            ),
+            Host::Isolated(handle) => {
+                let mut adapter = ProxyAdapter { proxy: &mut self.proxy, handle: *handle };
+                self.crashpad.dispatch(
+                    &mut adapter,
+                    &name,
+                    event,
+                    &self.translator.topology,
+                    &self.translator.devices,
+                    now,
+                )
+            }
+        };
+        match result {
+            DispatchResult::Delivered(commands) => {
+                self.execute_guarded(net, idx, event, commands, report, true);
+            }
+            DispatchResult::Recovered { commands, recovery, .. } => {
+                report.recoveries += 1;
+                self.stats.failstop_recoveries += 1;
+                // Commands from transformed events are real output; execute
+                // them under the same guard (no further byzantine recursion
+                // on already-recovered output — drop instead).
+                let _ = recovery;
+                self.execute_guarded(net, idx, event, commands, report, false);
+            }
+            DispatchResult::AppDead { .. } => {
+                self.mark_dead(net, idx, event);
+            }
+        }
+    }
+
+    /// Execute an app's commands inside a NetLog transaction with the
+    /// byzantine gate. `allow_recovery` bounds the recursion: output from a
+    /// recovery path that is still byzantine is dropped, not re-recovered.
+    fn execute_guarded(
+        &mut self,
+        net: &mut Network,
+        idx: usize,
+        event: &Event,
+        commands: Vec<Command>,
+        report: &mut LegoCycleReport,
+        allow_recovery: bool,
+    ) {
+        if commands.is_empty() {
+            return;
+        }
+        // Resource limit on emitted commands.
+        if let Some(max) = self.apps[idx].limits.max_commands {
+            let used = self.apps[idx].usage.commands_emitted;
+            if used + commands.len() as u64 > max {
+                self.apps[idx].status = AppStatus::Suspended("command budget exhausted");
+                self.stats.apps_suspended += 1;
+                self.stats.commands_suppressed += commands.len() as u64;
+                return;
+            }
+        }
+
+        let mut tx = self.netlog.begin();
+        for c in &commands {
+            // Reads return synchronously in immediate mode; pass stats
+            // replies through the counter cache.
+            match self.netlog.execute(&mut tx, net, c.dpid, &c.msg) {
+                Ok(replies) => {
+                    for mut reply in replies {
+                        if let Message::StatsReply(ref mut sr) = reply {
+                            self.netlog.adjust_stats(c.dpid, sr);
+                        }
+                        // Replies would flow back to the app as events in a
+                        // fully async design; translation handles the async
+                        // ones, so synchronous replies are dropped here.
+                    }
+                }
+                Err(_) => { /* unknown/down switch: the op is a no-op */ }
+            }
+        }
+
+        // Byzantine gate. Only state-altering output can violate network
+        // invariants; pure packet-outs/reads skip the (expensive) check.
+        let alters_state = commands.iter().any(|c| c.msg.alters_network_state());
+        let violations = match (alters_state.then_some(()).and(self.checker.as_ref()), self.netlog.mode()) {
+            (Some(checker), TxMode::Buffered) => {
+                let r = checker.gate(net, tx.buffered_commands());
+                (!r.is_clean()).then_some(r.violations.len())
+            }
+            (Some(checker), TxMode::Immediate) => {
+                let r = checker.check(net);
+                (!r.is_clean()).then_some(r.violations.len())
+            }
+            (None, _) => None,
+        };
+
+        match violations {
+            Some(nviol) => {
+                // Abort: buffered mode drops the buffer; immediate mode
+                // rolls the network back via the undo log.
+                let _ = self.netlog.abort(tx, net);
+                report.byzantine_blocked += 1;
+                self.stats.byzantine_blocked += 1;
+                let policy =
+                    self.crashpad.policies.lookup(&self.apps[idx].name, event.kind());
+                if allow_recovery {
+                    let recovered = self.recover_byzantine(net, idx, event, nviol);
+                    // Recovered output (from transformed events) executes
+                    // with recovery disabled.
+                    self.execute_guarded(net, idx, event, recovered, report, false);
+                } else {
+                    self.stats.commands_suppressed += commands.len() as u64;
+                }
+                if policy == CompromisePolicy::NoCompromise
+                    && self.config.shutdown_network_on_no_compromise
+                {
+                    shutdown_network(net);
+                }
+            }
+            None => {
+                let applied = match self.netlog.commit(tx, net) {
+                    Ok(r) => r.ops_applied,
+                    Err(_) => 0,
+                };
+                report.commands += applied;
+                self.stats.commands_executed += applied as u64;
+                self.apps[idx].usage.commands_emitted += applied as u64;
+            }
+        }
+    }
+
+    fn recover_byzantine(
+        &mut self,
+        net: &mut Network,
+        idx: usize,
+        event: &Event,
+        violations: usize,
+    ) -> Vec<Command> {
+        let now = net.now();
+        let name = self.apps[idx].name.clone();
+        let result = match &mut self.apps[idx].host {
+            Host::Local(sandbox) => self.crashpad.recover_byzantine(
+                sandbox,
+                &name,
+                event,
+                violations,
+                &self.translator.topology,
+                &self.translator.devices,
+                now,
+            ),
+            Host::Isolated(handle) => {
+                let mut adapter = ProxyAdapter { proxy: &mut self.proxy, handle: *handle };
+                self.crashpad.recover_byzantine(
+                    &mut adapter,
+                    &name,
+                    event,
+                    violations,
+                    &self.translator.topology,
+                    &self.translator.devices,
+                    now,
+                )
+            }
+        };
+        match result {
+            DispatchResult::Recovered { commands, recovery, .. } => {
+                if recovery == RecoveryTaken::Transformed {
+                    commands
+                } else {
+                    Vec::new()
+                }
+            }
+            DispatchResult::AppDead { .. } => {
+                self.mark_dead(net, idx, event);
+                Vec::new()
+            }
+            DispatchResult::Delivered(c) => c,
+        }
+    }
+
+    fn mark_dead(&mut self, net: &mut Network, idx: usize, event: &Event) {
+        if self.apps[idx].status != AppStatus::Dead {
+            self.apps[idx].status = AppStatus::Dead;
+            self.stats.apps_dead += 1;
+        }
+        let policy = self.crashpad.policies.lookup(&self.apps[idx].name, event.kind());
+        if policy == CompromisePolicy::NoCompromise && self.config.shutdown_network_on_no_compromise
+        {
+            shutdown_network(net);
+        }
+    }
+
+    /// §5 STS-guided diagnosis: find the checkpoint and minimal causal
+    /// event sequence that reproduce a crash of the given app on
+    /// `offending`. The app's current state is preserved around the
+    /// search. Typical input for `offending` is the `offending_event` of
+    /// the app's latest problem ticket.
+    pub fn diagnose(
+        &mut self,
+        id: AppId,
+        offending: &Event,
+        now: legosdn_netsim::SimTime,
+    ) -> Result<legosdn_crashpad::Diagnosis, legosdn_crashpad::DiagnoseError> {
+        let Some(record) = self.apps.get_mut(id.0) else {
+            return Err(legosdn_crashpad::DiagnoseError::NoHistory);
+        };
+        let name = record.name.clone();
+        match &mut record.host {
+            Host::Local(sandbox) => self.crashpad.diagnose(
+                sandbox,
+                &name,
+                offending,
+                &self.translator.topology,
+                &self.translator.devices,
+                now,
+            ),
+            Host::Isolated(handle) => {
+                let mut adapter = ProxyAdapter { proxy: &mut self.proxy, handle: *handle };
+                self.crashpad.diagnose(
+                    &mut adapter,
+                    &name,
+                    offending,
+                    &self.translator.topology,
+                    &self.translator.devices,
+                    now,
+                )
+            }
+        }
+    }
+
+    /// §3.4 controller upgrade: restart the controller core without
+    /// touching the apps. The topology/device views are rebuilt by
+    /// re-handshaking every switch; apps keep their state and their fault
+    /// domains — the outage the monolithic reboot causes does not happen.
+    pub fn upgrade_controller(&mut self, net: &mut Network) {
+        self.translator = EventTranslator::new();
+        self.stats.upgrades += 1;
+        let dpids: Vec<_> = net.switches().map(|s| s.dpid()).collect();
+        for dpid in dpids {
+            if net.switch(dpid).map(|s| s.is_up()).unwrap_or(false) {
+                let _ = self
+                    .translator
+                    .process(net, legosdn_netsim::NetEvent::SwitchConnected(dpid));
+            }
+        }
+    }
+
+    /// Resume a suspended app (operator action after a resource review).
+    pub fn resume(&mut self, id: AppId, extra_budget: ResourceLimits) -> bool {
+        let Some(app) = self.apps.get_mut(id.0) else {
+            return false;
+        };
+        if matches!(app.status, AppStatus::Suspended(_)) {
+            app.status = AppStatus::Running;
+            app.limits = extra_budget;
+            return true;
+        }
+        false
+    }
+
+    /// Shut down all isolated stubs.
+    pub fn shutdown(self) {
+        let _ = self.proxy.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legosdn_apps::{BugEffect, BugTrigger, FaultyApp, Hub, LearningSwitch};
+    use legosdn_crashpad::{CheckpointPolicy, CrashPadConfig, PolicyTable, TransformDirection};
+    use legosdn_netsim::Topology;
+    use legosdn_openflow::prelude::*;
+
+    fn runtime(isolation: IsolationMode) -> LegoSdnRuntime {
+        LegoSdnRuntime::new(LegoSdnConfig { isolation, ..LegoSdnConfig::default() })
+    }
+
+    fn net2() -> (Network, Topology) {
+        let topo = Topology::linear(2, 1);
+        (Network::new(&topo), topo)
+    }
+
+    #[test]
+    fn healthy_learning_switch_delivers_traffic() {
+        let (mut net, topo) = net2();
+        let mut rt = runtime(IsolationMode::Local);
+        rt.attach(Box::new(LearningSwitch::new())).unwrap();
+        rt.run_cycle(&mut net); // handshake + discovery
+        let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+        // First packet floods (unknown dst), reply teaches, then direct.
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        rt.run_cycle(&mut net);
+        net.inject(b, Packet::ethernet(b, a)).unwrap();
+        rt.run_cycle(&mut net);
+        let trace = net.inject(a, Packet::ethernet(a, b)).unwrap();
+        rt.run_cycle(&mut net);
+        assert!(trace.delivered_to(b) || trace.packet_ins > 0);
+        assert!(rt.stats().commands_executed > 0);
+        assert!(!rt.is_crashed());
+    }
+
+    #[test]
+    fn app_crash_does_not_kill_controller_or_other_apps() {
+        let (mut net, topo) = net2();
+        let mut rt = runtime(IsolationMode::Local);
+        let poison = topo.hosts[1].mac;
+        rt.attach(Box::new(FaultyApp::new(
+            Box::new(Hub::new()),
+            BugTrigger::OnPacketToMac(poison),
+            BugEffect::Crash,
+        )))
+        .unwrap();
+        rt.attach(Box::new(LearningSwitch::new())).unwrap();
+        rt.run_cycle(&mut net);
+        let a = topo.hosts[0].mac;
+        net.inject(a, Packet::ethernet(a, poison)).unwrap();
+        let report = rt.run_cycle(&mut net);
+        assert!(report.recoveries >= 1, "{report:?}");
+        assert!(!rt.is_crashed());
+        // The learning switch still ran and emitted output for the event.
+        assert!(rt.stats().dispatches >= 2);
+        // And the system keeps processing later events.
+        net.inject(a, Packet::ethernet(a, MacAddr::from_index(9))).unwrap();
+        let report = rt.run_cycle(&mut net);
+        assert!(report.events > 0);
+    }
+
+    #[test]
+    fn isolated_channel_app_crash_is_contained() {
+        let (mut net, topo) = net2();
+        let mut rt = runtime(IsolationMode::Channel);
+        let poison = topo.hosts[1].mac;
+        rt.attach(Box::new(FaultyApp::new(
+            Box::new(Hub::new()),
+            BugTrigger::OnPacketToMac(poison),
+            BugEffect::Crash,
+        )))
+        .unwrap();
+        rt.run_cycle(&mut net);
+        let a = topo.hosts[0].mac;
+        net.inject(a, Packet::ethernet(a, poison)).unwrap();
+        let report = rt.run_cycle(&mut net);
+        assert!(report.recoveries >= 1);
+        // Recovered: a later clean packet still floods.
+        net.inject(a, Packet::ethernet(a, MacAddr::from_index(9))).unwrap();
+        let report = rt.run_cycle(&mut net);
+        assert!(report.commands > 0, "{report:?}");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn byzantine_blackhole_is_blocked_and_rolled_back() {
+        let (mut net, topo) = net2();
+        let mut rt = runtime(IsolationMode::Local);
+        rt.attach(Box::new(FaultyApp::new(
+            Box::new(Hub::new()),
+            BugTrigger::OnEventKind(EventKind::PacketIn),
+            BugEffect::Blackhole,
+        )))
+        .unwrap();
+        rt.run_cycle(&mut net);
+        let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        let report = rt.run_cycle(&mut net);
+        assert!(report.byzantine_blocked >= 1, "{report:?}");
+        // The drop-all rule must NOT be on any switch.
+        for sw in net.switches() {
+            assert!(
+                sw.table().iter().all(|e| e.priority != u16::MAX),
+                "black-hole rule survived on {:?}",
+                sw.dpid()
+            );
+        }
+    }
+
+    #[test]
+    fn byzantine_loop_blocked_in_buffered_mode() {
+        let (mut net, topo) = net2();
+        let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+            netlog_mode: TxMode::Buffered,
+            ..LegoSdnConfig::default()
+        });
+        rt.attach(Box::new(FaultyApp::new(
+            Box::new(Hub::new()),
+            BugTrigger::OnEventKind(EventKind::PacketIn),
+            BugEffect::ForwardingLoop,
+        )))
+        .unwrap();
+        rt.run_cycle(&mut net);
+        let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        let report = rt.run_cycle(&mut net);
+        assert!(report.byzantine_blocked >= 1);
+        for sw in net.switches() {
+            assert!(sw.table().iter().all(|e| e.priority != u16::MAX));
+        }
+    }
+
+    #[test]
+    fn no_compromise_app_dies_and_stays_dead() {
+        let (mut net, topo) = net2();
+        let mut policies = PolicyTable::with_default(CompromisePolicy::Absolute);
+        policies.set_app("hub#buggy", CompromisePolicy::NoCompromise);
+        let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+            crashpad: CrashPadConfig {
+                checkpoints: CheckpointPolicy::default(),
+                policies,
+                transform_direction: TransformDirection::Decompose,
+            },
+            ..LegoSdnConfig::default()
+        });
+        let id = rt
+            .attach(Box::new(FaultyApp::new(
+                Box::new(Hub::new()),
+                BugTrigger::OnEventKind(EventKind::PacketIn),
+                BugEffect::Crash,
+            )))
+            .unwrap();
+        rt.run_cycle(&mut net);
+        let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        rt.run_cycle(&mut net);
+        assert_eq!(rt.app_status(id), Some(&AppStatus::Dead));
+        assert_eq!(rt.stats().apps_dead, 1);
+        // Dead app skips future events; controller unaffected.
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        rt.run_cycle(&mut net);
+        assert!(rt.stats().events_skipped > 0);
+        assert!(!rt.is_crashed());
+    }
+
+    #[test]
+    fn resource_limit_suspends_runaway_app() {
+        let (mut net, topo) = net2();
+        let mut rt = runtime(IsolationMode::Local);
+        let id = rt
+            .attach_with_limits(
+                Box::new(Hub::new()),
+                ResourceLimits { max_events: Some(2), ..ResourceLimits::default() },
+            )
+            .unwrap();
+        rt.run_cycle(&mut net);
+        let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+        for _ in 0..4 {
+            net.inject(a, Packet::ethernet(a, b)).unwrap();
+            rt.run_cycle(&mut net);
+        }
+        assert!(matches!(rt.app_status(id), Some(AppStatus::Suspended(_))));
+        assert!(rt.stats().apps_suspended >= 1);
+        // Operator resumes with a bigger budget.
+        assert!(rt.resume(id, ResourceLimits { max_events: Some(100), ..ResourceLimits::default() }));
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        let report = rt.run_cycle(&mut net);
+        assert!(report.commands > 0);
+    }
+
+    #[test]
+    fn controller_upgrade_keeps_app_state() {
+        let (mut net, topo) = net2();
+        let mut rt = runtime(IsolationMode::Local);
+        rt.attach(Box::new(LearningSwitch::new())).unwrap();
+        rt.run_cycle(&mut net);
+        let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        rt.run_cycle(&mut net);
+        let checkpoint_events = rt.crashpad().checkpoints.events_delivered("learning-switch");
+        assert!(checkpoint_events > 0);
+        let links_before = rt.translator().topology.n_links();
+        rt.upgrade_controller(&mut net);
+        assert_eq!(rt.stats().upgrades, 1);
+        // Topology rediscovered without a network outage...
+        assert_eq!(rt.translator().topology.n_links(), links_before);
+        // ...and the app was NOT restarted: its event history continues.
+        assert_eq!(
+            rt.crashpad().checkpoints.events_delivered("learning-switch"),
+            checkpoint_events
+        );
+    }
+
+    #[test]
+    fn tickets_accumulate_for_triage() {
+        let (mut net, topo) = net2();
+        let mut rt = runtime(IsolationMode::Local);
+        rt.attach(Box::new(FaultyApp::new(
+            Box::new(Hub::new()),
+            BugTrigger::OnEventKind(EventKind::PacketIn),
+            BugEffect::Crash,
+        )))
+        .unwrap();
+        rt.run_cycle(&mut net);
+        let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+        for _ in 0..3 {
+            net.inject(a, Packet::ethernet(a, b)).unwrap();
+            rt.run_cycle(&mut net);
+        }
+        assert_eq!(rt.crashpad().tickets.len(), 3);
+        let rendered = rt.crashpad().tickets.iter().next().unwrap().render();
+        assert!(rendered.contains("hub#buggy"));
+    }
+}

@@ -1,0 +1,267 @@
+//! The checkpoint store — Crash-Pad's CRIU stand-in (paper §4.1, DESIGN.md
+//! §2).
+//!
+//! "The proxy creates a checkpoint of an SDN-App process prior to
+//! dispatching every message. In a normal scenario [...] the proxy simply
+//! ignores the checkpoint created. In the event of crash, however, the
+//! proxy restores the SDN-App to the checkpoint."
+//!
+//! §5 refines this: per-event checkpointing is "prohibitively expensive",
+//! so the store supports checkpoint-every-N with an event replay buffer —
+//! recovery restores the last snapshot and replays the events delivered
+//! since. A bounded history of older checkpoints supports the STS-guided
+//! multi-transaction rollback (§5).
+
+use legosdn_controller::event::Event;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// How often to checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Take a snapshot before every `interval`-th event. `1` is the paper
+    /// prototype (checkpoint before every event).
+    pub interval: u64,
+    /// How many past checkpoints to retain for history-based rollback.
+    pub history: usize,
+    /// How many delivered events to archive for STS-guided diagnosis.
+    pub archive: usize,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy { interval: 1, history: 8, archive: 1024 }
+    }
+}
+
+/// One retained checkpoint.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Index of the first event delivered *after* this snapshot.
+    pub event_index: u64,
+    /// Serialized app state.
+    pub bytes: Vec<u8>,
+}
+
+/// A recovery plan: restore `snapshot`, then replay `replay` in order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryPlan {
+    pub snapshot: Checkpoint,
+    pub replay: Vec<Event>,
+}
+
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct AppCheckpoints {
+    /// Most recent first is at the back.
+    history: VecDeque<Checkpoint>,
+    /// Events delivered since the latest snapshot.
+    replay_buffer: Vec<Event>,
+    /// Total events delivered to this app.
+    events_delivered: u64,
+    /// Bounded archive of delivered events, spanning (at least) the
+    /// retained checkpoint history — what §5's STS-guided diagnosis
+    /// replays. `archive[0]` is event index `archive_start`.
+    archive: VecDeque<Event>,
+    archive_start: u64,
+}
+
+/// Per-app checkpoint bookkeeping.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    pub policy: CheckpointPolicy,
+    apps: BTreeMap<String, AppCheckpoints>,
+    /// Lifetime snapshots taken (the cost driver in E3).
+    pub snapshots_taken: u64,
+    /// Lifetime bytes snapshotted.
+    pub bytes_snapshotted: u64,
+}
+
+impl CheckpointStore {
+    /// A store with the given policy.
+    #[must_use]
+    pub fn new(policy: CheckpointPolicy) -> Self {
+        CheckpointStore { policy, apps: BTreeMap::new(), snapshots_taken: 0, bytes_snapshotted: 0 }
+    }
+
+    /// Is a checkpoint due before delivering the app's next event?
+    #[must_use]
+    pub fn checkpoint_due(&self, app: &str) -> bool {
+        match self.apps.get(app) {
+            None => true, // first event: always snapshot first
+            Some(a) => a.events_delivered % self.policy.interval.max(1) == 0,
+        }
+    }
+
+    /// Record a snapshot taken before the app's next event.
+    pub fn record_snapshot(&mut self, app: &str, bytes: Vec<u8>) {
+        let entry = self.apps.entry(app.to_string()).or_default();
+        self.snapshots_taken += 1;
+        self.bytes_snapshotted += bytes.len() as u64;
+        entry.history.push_back(Checkpoint { event_index: entry.events_delivered, bytes });
+        while entry.history.len() > self.policy.history.max(1) {
+            entry.history.pop_front();
+        }
+        entry.replay_buffer.clear();
+    }
+
+    /// Record that an event was (successfully) delivered to the app.
+    pub fn record_delivered(&mut self, app: &str, event: &Event) {
+        let cap = self.policy.archive.max(1);
+        let entry = self.apps.entry(app.to_string()).or_default();
+        entry.events_delivered += 1;
+        entry.replay_buffer.push(event.clone());
+        entry.archive.push_back(event.clone());
+        while entry.archive.len() > cap {
+            entry.archive.pop_front();
+            entry.archive_start += 1;
+        }
+    }
+
+    /// Events delivered to the app so far.
+    #[must_use]
+    pub fn events_delivered(&self, app: &str) -> u64 {
+        self.apps.get(app).map_or(0, |a| a.events_delivered)
+    }
+
+    /// The plan to recover the app to its state just before the offending
+    /// event: the latest snapshot plus the events delivered since.
+    #[must_use]
+    pub fn recovery_plan(&self, app: &str) -> Option<RecoveryPlan> {
+        let a = self.apps.get(app)?;
+        let snapshot = a.history.back()?.clone();
+        Some(RecoveryPlan { snapshot, replay: a.replay_buffer.clone() })
+    }
+
+    /// A plan rolling back `extra` checkpoints further than the latest —
+    /// the §5 "read a history of snapshots" mechanism for failures that
+    /// span multiple events. Replay comes from the event archive: every
+    /// event delivered after that snapshot, in order (empty if the archive
+    /// has already evicted that span).
+    #[must_use]
+    pub fn historical_plan(&self, app: &str, extra: usize) -> Option<RecoveryPlan> {
+        let a = self.apps.get(app)?;
+        if extra == 0 {
+            return self.recovery_plan(app);
+        }
+        let idx = a.history.len().checked_sub(1 + extra)?;
+        let snapshot = a.history[idx].clone();
+        let replay = if snapshot.event_index >= a.archive_start {
+            let skip = (snapshot.event_index - a.archive_start) as usize;
+            a.archive.iter().skip(skip).cloned().collect()
+        } else {
+            Vec::new()
+        };
+        Some(RecoveryPlan { snapshot, replay })
+    }
+
+    /// Number of retained checkpoints for an app.
+    #[must_use]
+    pub fn history_len(&self, app: &str) -> usize {
+        self.apps.get(app).map_or(0, |a| a.history.len())
+    }
+
+    /// Retained checkpoints for an app (oldest first).
+    #[must_use]
+    pub fn history(&self, app: &str) -> Vec<&Checkpoint> {
+        self.apps.get(app).map(|a| a.history.iter().collect()).unwrap_or_default()
+    }
+
+    /// Forget an app entirely (it was detached).
+    pub fn forget(&mut self, app: &str) {
+        self.apps.remove(app);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legosdn_controller::event::Event;
+    use legosdn_openflow::prelude::DatapathId;
+
+    fn ev(d: u64) -> Event {
+        Event::SwitchUp(DatapathId(d))
+    }
+
+    #[test]
+    fn per_event_policy_checkpoints_every_time() {
+        let mut store = CheckpointStore::new(CheckpointPolicy { interval: 1, history: 4, ..CheckpointPolicy::default() });
+        for i in 0..5u64 {
+            assert!(store.checkpoint_due("a"), "event {i}");
+            store.record_snapshot("a", vec![i as u8]);
+            store.record_delivered("a", &ev(i));
+        }
+        assert_eq!(store.snapshots_taken, 5);
+        assert_eq!(store.events_delivered("a"), 5);
+    }
+
+    #[test]
+    fn interval_policy_checkpoints_every_n() {
+        let mut store = CheckpointStore::new(CheckpointPolicy { interval: 3, history: 4, ..CheckpointPolicy::default() });
+        let mut taken = 0;
+        for i in 0..9u64 {
+            if store.checkpoint_due("a") {
+                store.record_snapshot("a", vec![i as u8]);
+                taken += 1;
+            }
+            store.record_delivered("a", &ev(i));
+        }
+        assert_eq!(taken, 3, "events 0, 3, 6");
+    }
+
+    #[test]
+    fn recovery_plan_carries_replay_buffer() {
+        let mut store = CheckpointStore::new(CheckpointPolicy { interval: 4, history: 4, ..CheckpointPolicy::default() });
+        store.record_snapshot("a", vec![0xaa]);
+        store.record_delivered("a", &ev(1));
+        store.record_delivered("a", &ev(2));
+        let plan = store.recovery_plan("a").unwrap();
+        assert_eq!(plan.snapshot.bytes, vec![0xaa]);
+        assert_eq!(plan.replay, vec![ev(1), ev(2)]);
+        // A fresh snapshot clears the buffer.
+        store.record_snapshot("a", vec![0xbb]);
+        let plan = store.recovery_plan("a").unwrap();
+        assert!(plan.replay.is_empty());
+        assert_eq!(plan.snapshot.bytes, vec![0xbb]);
+    }
+
+    #[test]
+    fn history_is_bounded_and_ordered() {
+        let mut store = CheckpointStore::new(CheckpointPolicy { interval: 1, history: 3, ..CheckpointPolicy::default() });
+        for i in 0..5u8 {
+            store.record_snapshot("a", vec![i]);
+            store.record_delivered("a", &ev(u64::from(i)));
+        }
+        let hist = store.history("a");
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[0].bytes, vec![2]);
+        assert_eq!(hist[2].bytes, vec![4]);
+    }
+
+    #[test]
+    fn historical_plan_reaches_back() {
+        let mut store = CheckpointStore::new(CheckpointPolicy { interval: 1, history: 4, ..CheckpointPolicy::default() });
+        for i in 0..4u8 {
+            store.record_snapshot("a", vec![i]);
+            store.record_delivered("a", &ev(u64::from(i)));
+        }
+        assert_eq!(store.historical_plan("a", 0).unwrap().snapshot.bytes, vec![3]);
+        assert_eq!(store.historical_plan("a", 2).unwrap().snapshot.bytes, vec![1]);
+        assert!(store.historical_plan("a", 9).is_none());
+    }
+
+    #[test]
+    fn unknown_app_has_no_plan() {
+        let store = CheckpointStore::new(CheckpointPolicy::default());
+        assert!(store.recovery_plan("ghost").is_none());
+        assert_eq!(store.events_delivered("ghost"), 0);
+        assert!(store.checkpoint_due("ghost"), "first event always snapshots");
+    }
+
+    #[test]
+    fn forget_drops_state() {
+        let mut store = CheckpointStore::new(CheckpointPolicy::default());
+        store.record_snapshot("a", vec![1]);
+        store.forget("a");
+        assert!(store.recovery_plan("a").is_none());
+    }
+}

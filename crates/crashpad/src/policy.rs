@@ -1,0 +1,224 @@
+//! The availability–correctness policy language (paper §3.3).
+//!
+//! "Crash-Pad can support a simple policy language that allows operators to
+//! specify, on a per application basis, the set of events, if any, that
+//! they are willing to compromise on."
+//!
+//! Three compromise levels, most-specific rule wins:
+//!
+//! - **Absolute Compromise** — ignore the offending event; the app is
+//!   failure-oblivious.
+//! - **No Compromise** — let the app die; correctness over availability
+//!   (the right setting for security apps).
+//! - **Equivalence Compromise** — transform the event into equivalent ones
+//!   (e.g. switch-down → per-link link-downs).
+
+use legosdn_controller::event::EventKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// The three §3.3 compromise levels.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CompromisePolicy {
+    Absolute,
+    NoCompromise,
+    Equivalence,
+}
+
+impl fmt::Display for CompromisePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompromisePolicy::Absolute => write!(f, "absolute"),
+            CompromisePolicy::NoCompromise => write!(f, "no-compromise"),
+            CompromisePolicy::Equivalence => write!(f, "equivalence"),
+        }
+    }
+}
+
+impl FromStr for CompromisePolicy {
+    type Err = PolicyParseError;
+    fn from_str(s: &str) -> Result<Self, PolicyParseError> {
+        match s.to_ascii_lowercase().as_str() {
+            "absolute" => Ok(CompromisePolicy::Absolute),
+            "no-compromise" | "nocompromise" | "none" => Ok(CompromisePolicy::NoCompromise),
+            "equivalence" | "equivalent" => Ok(CompromisePolicy::Equivalence),
+            other => Err(PolicyParseError(format!("unknown policy '{other}'"))),
+        }
+    }
+}
+
+/// Parse failure for the policy language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolicyParseError(pub String);
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+fn parse_event_kind(s: &str) -> Result<EventKind, PolicyParseError> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "switchup" | "switch-up" => EventKind::SwitchUp,
+        "switchdown" | "switch-down" => EventKind::SwitchDown,
+        "linkup" | "link-up" => EventKind::LinkUp,
+        "linkdown" | "link-down" => EventKind::LinkDown,
+        "portstatus" | "port-status" => EventKind::PortStatus,
+        "packetin" | "packet-in" => EventKind::PacketIn,
+        "flowremoved" | "flow-removed" => EventKind::FlowRemoved,
+        "statsreply" | "stats-reply" => EventKind::StatsReply,
+        "error" => EventKind::Error,
+        "tick" => EventKind::Tick,
+        other => return Err(PolicyParseError(format!("unknown event kind '{other}'"))),
+    })
+}
+
+/// Operator policy table: default → per-app → per-(app, event kind).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicyTable {
+    pub default: CompromisePolicy,
+    per_app: BTreeMap<String, CompromisePolicy>,
+    per_app_event: BTreeMap<(String, EventKind), CompromisePolicy>,
+}
+
+impl Default for PolicyTable {
+    fn default() -> Self {
+        PolicyTable {
+            default: CompromisePolicy::Absolute,
+            per_app: BTreeMap::new(),
+            per_app_event: BTreeMap::new(),
+        }
+    }
+}
+
+impl PolicyTable {
+    /// A table with the given default.
+    #[must_use]
+    pub fn with_default(default: CompromisePolicy) -> Self {
+        PolicyTable { default, ..PolicyTable::default() }
+    }
+
+    /// Set an app-wide policy.
+    pub fn set_app(&mut self, app: &str, policy: CompromisePolicy) -> &mut Self {
+        self.per_app.insert(app.to_string(), policy);
+        self
+    }
+
+    /// Set a per-(app, event-kind) policy.
+    pub fn set_app_event(&mut self, app: &str, kind: EventKind, policy: CompromisePolicy) -> &mut Self {
+        self.per_app_event.insert((app.to_string(), kind), policy);
+        self
+    }
+
+    /// Resolve the policy for an app crashing on an event kind.
+    #[must_use]
+    pub fn lookup(&self, app: &str, kind: EventKind) -> CompromisePolicy {
+        if let Some(p) = self.per_app_event.get(&(app.to_string(), kind)) {
+            return *p;
+        }
+        if let Some(p) = self.per_app.get(app) {
+            return *p;
+        }
+        self.default
+    }
+
+    /// Parse the operator policy language. One directive per line:
+    ///
+    /// ```text
+    /// # comments and blank lines are ignored
+    /// default absolute
+    /// app firewall use no-compromise
+    /// app router on switch-down use equivalence
+    /// ```
+    pub fn parse(text: &str) -> Result<PolicyTable, PolicyParseError> {
+        let mut table = PolicyTable::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let words: Vec<&str> = line.split_whitespace().collect();
+            let fail = |msg: &str| {
+                Err(PolicyParseError(format!("line {}: {msg}: '{line}'", lineno + 1)))
+            };
+            match words.as_slice() {
+                ["default", policy] => {
+                    table.default = policy.parse()?;
+                }
+                ["app", name, "use", policy] => {
+                    table.per_app.insert((*name).to_string(), policy.parse()?);
+                }
+                ["app", name, "on", kind, "use", policy] => {
+                    table
+                        .per_app_event
+                        .insert(((*name).to_string(), parse_event_kind(kind)?), policy.parse()?);
+                }
+                _ => return fail("unrecognized directive"),
+            }
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_specificity_order() {
+        let mut t = PolicyTable::with_default(CompromisePolicy::Absolute);
+        t.set_app("router", CompromisePolicy::Equivalence);
+        t.set_app_event("router", EventKind::PacketIn, CompromisePolicy::NoCompromise);
+        assert_eq!(t.lookup("router", EventKind::PacketIn), CompromisePolicy::NoCompromise);
+        assert_eq!(t.lookup("router", EventKind::SwitchDown), CompromisePolicy::Equivalence);
+        assert_eq!(t.lookup("hub", EventKind::PacketIn), CompromisePolicy::Absolute);
+    }
+
+    #[test]
+    fn parse_full_language() {
+        let text = r"
+            # operator policy
+            default equivalence
+            app firewall use no-compromise
+            app router on switch-down use equivalence
+            app router on packet-in use absolute
+        ";
+        let t = PolicyTable::parse(text).unwrap();
+        assert_eq!(t.default, CompromisePolicy::Equivalence);
+        assert_eq!(t.lookup("firewall", EventKind::PacketIn), CompromisePolicy::NoCompromise);
+        assert_eq!(t.lookup("router", EventKind::SwitchDown), CompromisePolicy::Equivalence);
+        assert_eq!(t.lookup("router", EventKind::PacketIn), CompromisePolicy::Absolute);
+        assert_eq!(t.lookup("router", EventKind::LinkUp), CompromisePolicy::Equivalence);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PolicyTable::parse("defualt absolute").is_err());
+        assert!(PolicyTable::parse("default sometimes").is_err());
+        assert!(PolicyTable::parse("app x on nonsense use absolute").is_err());
+        let err = PolicyTable::parse("default absolute\nbogus line here").unwrap_err();
+        assert!(err.0.contains("line 2"));
+    }
+
+    #[test]
+    fn policy_names_roundtrip() {
+        for p in [
+            CompromisePolicy::Absolute,
+            CompromisePolicy::NoCompromise,
+            CompromisePolicy::Equivalence,
+        ] {
+            assert_eq!(p.to_string().parse::<CompromisePolicy>().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn event_kind_names_parse() {
+        assert_eq!(parse_event_kind("Switch-Down").unwrap(), EventKind::SwitchDown);
+        assert_eq!(parse_event_kind("packetin").unwrap(), EventKind::PacketIn);
+        assert!(parse_event_kind("flow").is_err());
+    }
+}

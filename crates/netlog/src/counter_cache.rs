@@ -1,0 +1,240 @@
+//! The counter-cache (paper §3.2).
+//!
+//! Undoing a flow delete is imperfect: re-adding the entry restores the
+//! match, actions, and (remaining) timeouts, but a real switch starts the
+//! new entry's counters at zero. NetLog therefore "stores the old counter
+//! values in a counter-cache and updates the counter value in messages
+//! (viz., statistics reply) to the correct one" — the restored entry's
+//! counters as reported to apps are `switch_counters + cached_baseline`.
+
+use legosdn_openflow::messages::StatsReply;
+use legosdn_openflow::prelude::{DatapathId, Match};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A cached counter baseline for one restored flow.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct CacheEntry {
+    dpid: DatapathId,
+    mat: Match,
+    priority: u16,
+    packets: u64,
+    bytes: u64,
+}
+
+/// FIFO-bounded counter cache.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CounterCache {
+    entries: VecDeque<CacheEntry>,
+    capacity: usize,
+    /// Lifetime adjustments applied to stats replies.
+    pub adjustments: u64,
+}
+
+impl Default for CounterCache {
+    fn default() -> Self {
+        CounterCache { entries: VecDeque::new(), capacity: 4096, adjustments: 0 }
+    }
+}
+
+impl CounterCache {
+    /// A cache bounded at `capacity` entries (oldest evicted first).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        CounterCache { capacity, ..CounterCache::default() }
+    }
+
+    /// Number of cached baselines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record (or accumulate onto) a baseline for a restored flow.
+    ///
+    /// Accumulation matters for repeated rollbacks: if a flow is restored,
+    /// accrues more traffic, is deleted and restored again, the baselines
+    /// stack.
+    pub fn record(&mut self, dpid: DatapathId, mat: &Match, priority: u16, packets: u64, bytes: u64) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.dpid == dpid && e.priority == priority && e.mat == *mat)
+        {
+            e.packets += packets;
+            e.bytes += bytes;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(CacheEntry { dpid, mat: mat.clone(), priority, packets, bytes });
+    }
+
+    /// The baseline for a flow, if cached.
+    #[must_use]
+    pub fn baseline(&self, dpid: DatapathId, mat: &Match, priority: u16) -> Option<(u64, u64)> {
+        self.entries
+            .iter()
+            .find(|e| e.dpid == dpid && e.priority == priority && e.mat == *mat)
+            .map(|e| (e.packets, e.bytes))
+    }
+
+    /// Drop the baseline for a flow (it expired or was deleted for real).
+    pub fn invalidate(&mut self, dpid: DatapathId, mat: &Match, priority: u16) {
+        self.entries.retain(|e| !(e.dpid == dpid && e.priority == priority && e.mat == *mat));
+    }
+
+    /// Rewrite a statistics reply from `dpid` so restored flows report
+    /// continuous counters.
+    pub fn adjust_stats_reply(&mut self, dpid: DatapathId, reply: &mut StatsReply) {
+        match reply {
+            StatsReply::Flow(flows) => {
+                for f in flows {
+                    if let Some((p, b)) = self.baseline(dpid, &f.mat, f.priority) {
+                        f.packet_count += p;
+                        f.byte_count += b;
+                        self.adjustments += 1;
+                    }
+                }
+            }
+            StatsReply::Aggregate { packet_count, byte_count, .. } => {
+                // Aggregate replies cover all matching flows; fold in every
+                // baseline for the switch (an over-approximation only when
+                // the request's filter excluded a cached flow — acceptable
+                // for a straw-man, per the paper's "undoing a state change
+                // is imperfect").
+                let (p, b) = self
+                    .entries
+                    .iter()
+                    .filter(|e| e.dpid == dpid)
+                    .fold((0u64, 0u64), |(p, b), e| (p + e.packets, b + e.bytes));
+                if p > 0 || b > 0 {
+                    *packet_count += p;
+                    *byte_count += b;
+                    self.adjustments += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legosdn_openflow::messages::FlowEntrySnapshot;
+    use legosdn_openflow::prelude::MacAddr;
+
+    fn mat(i: u64) -> Match {
+        Match::eth_dst(MacAddr::from_index(i))
+    }
+
+    fn snapshot(m: &Match, priority: u16, packets: u64) -> FlowEntrySnapshot {
+        FlowEntrySnapshot {
+            mat: m.clone(),
+            priority,
+            cookie: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            remaining_hard: None,
+            duration_sec: 0,
+            packet_count: packets,
+            byte_count: packets * 100,
+            send_flow_removed: false,
+            actions: vec![],
+        }
+    }
+
+    #[test]
+    fn record_and_baseline() {
+        let mut c = CounterCache::default();
+        c.record(DatapathId(1), &mat(1), 5, 10, 1000);
+        assert_eq!(c.baseline(DatapathId(1), &mat(1), 5), Some((10, 1000)));
+        assert_eq!(c.baseline(DatapathId(1), &mat(1), 6), None);
+        assert_eq!(c.baseline(DatapathId(2), &mat(1), 5), None);
+    }
+
+    #[test]
+    fn repeated_restores_accumulate() {
+        let mut c = CounterCache::default();
+        c.record(DatapathId(1), &mat(1), 5, 10, 1000);
+        c.record(DatapathId(1), &mat(1), 5, 7, 700);
+        assert_eq!(c.baseline(DatapathId(1), &mat(1), 5), Some((17, 1700)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut c = CounterCache::with_capacity(2);
+        c.record(DatapathId(1), &mat(1), 5, 1, 1);
+        c.record(DatapathId(1), &mat(2), 5, 2, 2);
+        c.record(DatapathId(1), &mat(3), 5, 3, 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.baseline(DatapathId(1), &mat(1), 5), None, "oldest evicted");
+        assert!(c.baseline(DatapathId(1), &mat(3), 5).is_some());
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = CounterCache::default();
+        c.record(DatapathId(1), &mat(1), 5, 1, 1);
+        c.invalidate(DatapathId(1), &mat(1), 5);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn flow_stats_adjusted() {
+        let mut c = CounterCache::default();
+        c.record(DatapathId(1), &mat(1), 5, 100, 10_000);
+        let mut reply = StatsReply::Flow(vec![
+            snapshot(&mat(1), 5, 3),  // restored flow: 3 post-restore packets
+            snapshot(&mat(2), 5, 50), // unrelated flow
+        ]);
+        c.adjust_stats_reply(DatapathId(1), &mut reply);
+        match reply {
+            StatsReply::Flow(flows) => {
+                assert_eq!(flows[0].packet_count, 103);
+                assert_eq!(flows[0].byte_count, 10_300);
+                assert_eq!(flows[1].packet_count, 50, "unrelated untouched");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.adjustments, 1);
+    }
+
+    #[test]
+    fn wrong_switch_not_adjusted() {
+        let mut c = CounterCache::default();
+        c.record(DatapathId(1), &mat(1), 5, 100, 10_000);
+        let mut reply = StatsReply::Flow(vec![snapshot(&mat(1), 5, 3)]);
+        c.adjust_stats_reply(DatapathId(2), &mut reply);
+        match reply {
+            StatsReply::Flow(flows) => assert_eq!(flows[0].packet_count, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_adjusted() {
+        let mut c = CounterCache::default();
+        c.record(DatapathId(1), &mat(1), 5, 100, 10_000);
+        c.record(DatapathId(1), &mat(2), 5, 50, 5_000);
+        c.record(DatapathId(2), &mat(3), 5, 9, 900);
+        let mut reply = StatsReply::Aggregate { packet_count: 1, byte_count: 10, flow_count: 2 };
+        c.adjust_stats_reply(DatapathId(1), &mut reply);
+        match reply {
+            StatsReply::Aggregate { packet_count, byte_count, .. } => {
+                assert_eq!(packet_count, 151);
+                assert_eq!(byte_count, 15_010);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

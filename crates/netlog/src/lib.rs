@@ -1,0 +1,22 @@
+//! NetLog — the network transaction layer (paper §3.2).
+//!
+//! Bundles the control messages an app emits while processing one event
+//! into an atomic, all-or-nothing network transaction. Built on the
+//! insight that every state-altering OpenFlow message is invertible given
+//! the pre-state it displaced (`legosdn_openflow::inverse`); the engine
+//! records inverses as it applies commands and replays them in reverse on
+//! abort.
+//!
+//! The lossy parts of inversion — flow counters and elapsed timeouts — are
+//! handled per the paper: restored entries carry their *remaining* hard
+//! timeout, and a [`counter_cache::CounterCache`] rewrites statistics
+//! replies so restored flows report continuous counters.
+
+pub mod counter_cache;
+pub mod engine;
+
+pub use counter_cache::CounterCache;
+pub use engine::{
+    CommitReport, NetLog, NetLogStats, RollbackReport, Transaction, TxError, TxId, TxMode,
+    TxRecord, TxState,
+};

@@ -1,0 +1,228 @@
+//! Property tests for NetLog's central theorem (paper §3.2): for *any*
+//! sequence of state-altering control messages applied inside a
+//! transaction on *any* pre-existing network state, aborting the
+//! transaction restores the network's forwarding state exactly.
+
+use legosdn_netlog::{NetLog, TxMode};
+use legosdn_netsim::{Network, SimDuration, Topology};
+use legosdn_openflow::prelude::*;
+use proptest::prelude::*;
+
+/// Semantic forwarding state of the whole network: per switch, the set of
+/// (match, priority, actions, idle, send_flow_removed) entries plus port
+/// admin state. Counters and install times are excluded — they are the
+/// acknowledged-imperfect part, handled by the counter-cache.
+fn forwarding_state(net: &Network) -> Vec<(u64, Vec<String>, Vec<bool>)> {
+    net.switches()
+        .map(|sw| {
+            let mut entries: Vec<String> = sw
+                .table()
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{:?}|{}|{:?}|{}|{}",
+                        e.mat, e.priority, e.actions, e.idle_timeout, e.send_flow_removed
+                    )
+                })
+                .collect();
+            entries.sort();
+            let ports: Vec<bool> = sw.ports().map(|p| p.desc.config_down).collect();
+            (sw.dpid().0, entries, ports)
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------
+// strategies: operations over a fixed 3-switch network
+// ------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Op {
+    Add { dpid: u64, dst: u64, priority: u16, port: u16, idle: u16 },
+    AddOverwrite { dpid: u64, dst: u64, priority: u16, port: u16 },
+    DeleteExact { dpid: u64, dst: u64, priority: u16 },
+    DeleteWild { dpid: u64 },
+    Modify { dpid: u64, dst: u64, priority: u16, port: u16 },
+    PortUpDown { dpid: u64, port: u16, down: bool },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let dpid = 1u64..=3;
+    let dst = 1u64..6; // small space to force collisions/overwrites
+    let prio = prop_oneof![Just(100u16), Just(200), Just(300)];
+    prop_oneof![
+        (dpid.clone(), dst.clone(), prio.clone(), 1u16..4, 0u16..30).prop_map(
+            |(dpid, dst, priority, port, idle)| Op::Add { dpid, dst, priority, port, idle }
+        ),
+        (dpid.clone(), dst.clone(), prio.clone(), 1u16..4)
+            .prop_map(|(dpid, dst, priority, port)| Op::AddOverwrite { dpid, dst, priority, port }),
+        (dpid.clone(), dst.clone(), prio.clone())
+            .prop_map(|(dpid, dst, priority)| Op::DeleteExact { dpid, dst, priority }),
+        (dpid.clone()).prop_map(|dpid| Op::DeleteWild { dpid }),
+        (dpid.clone(), dst, prio, 1u16..4)
+            .prop_map(|(dpid, dst, priority, port)| Op::Modify { dpid, dst, priority, port }),
+        (dpid, 1u16..4, any::<bool>())
+            .prop_map(|(dpid, port, down)| Op::PortUpDown { dpid, port, down }),
+    ]
+}
+
+fn op_to_message(op: &Op, net: &Network) -> (DatapathId, Message) {
+    let m = |dst: u64| Match::eth_dst(MacAddr::from_index(dst));
+    match op {
+        Op::Add { dpid, dst, priority, port, idle } => (
+            DatapathId(*dpid),
+            Message::FlowMod(
+                FlowMod::add(m(*dst))
+                    .priority(*priority)
+                    .idle_timeout(*idle)
+                    .action(Action::Output(PortNo::Phys(*port)))
+                    .notify_removed(),
+            ),
+        ),
+        Op::AddOverwrite { dpid, dst, priority, port } => (
+            DatapathId(*dpid),
+            Message::FlowMod(
+                FlowMod::add(m(*dst))
+                    .priority(*priority)
+                    .action(Action::Output(PortNo::Phys(*port))),
+            ),
+        ),
+        Op::DeleteExact { dpid, dst, priority } => (
+            DatapathId(*dpid),
+            Message::FlowMod(FlowMod::delete_strict(m(*dst), *priority)),
+        ),
+        Op::DeleteWild { dpid } => {
+            (DatapathId(*dpid), Message::FlowMod(FlowMod::delete(Match::any())))
+        }
+        Op::Modify { dpid, dst, priority, port } => {
+            let mut fm = FlowMod::add(m(*dst))
+                .priority(*priority)
+                .action(Action::Output(PortNo::Phys(*port)));
+            fm.command = FlowModCommand::ModifyStrict;
+            (DatapathId(*dpid), Message::FlowMod(fm))
+        }
+        Op::PortUpDown { dpid, port, down } => {
+            let hw = net
+                .switch(DatapathId(*dpid))
+                .and_then(|s| s.port(*port))
+                .map(|p| p.desc.hw_addr)
+                .unwrap_or(MacAddr::from_index(0));
+            (
+                DatapathId(*dpid),
+                Message::PortMod(PortMod { port_no: PortNo::Phys(*port), hw_addr: hw, down: *down }),
+            )
+        }
+    }
+}
+
+/// Build a network with some pre-existing (non-transactional) state.
+fn seeded_network(pre_ops: &[Op]) -> Network {
+    let topo = Topology::linear(3, 1);
+    let mut net = Network::new(&topo);
+    for op in pre_ops {
+        let (dpid, msg) = op_to_message(op, &net);
+        let _ = net.apply(dpid, &msg);
+    }
+    // Age the state a little so remaining-timeout arithmetic is exercised.
+    net.tick(SimDuration::from_secs(3));
+    let _ = net.poll_events();
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// THE rollback theorem: abort after arbitrary ops == never applied.
+    #[test]
+    fn abort_restores_forwarding_state(
+        pre in proptest::collection::vec(arb_op(), 0..10),
+        tx_ops in proptest::collection::vec(arb_op(), 1..15),
+    ) {
+        let mut net = seeded_network(&pre);
+        let baseline = forwarding_state(&net);
+
+        let mut nl = NetLog::new(TxMode::Immediate);
+        let mut tx = nl.begin();
+        for op in &tx_ops {
+            let (dpid, msg) = op_to_message(op, &net);
+            let _ = nl.execute(&mut tx, &mut net, dpid, &msg);
+        }
+        let report = nl.abort(tx, &mut net).unwrap();
+        prop_assert_eq!(report.undo_failures, 0, "undo must never fail");
+        prop_assert_eq!(forwarding_state(&net), baseline);
+    }
+
+    /// Buffered abort is trivially clean (nothing ever applied).
+    #[test]
+    fn buffered_abort_is_invisible(
+        pre in proptest::collection::vec(arb_op(), 0..6),
+        tx_ops in proptest::collection::vec(arb_op(), 1..10),
+    ) {
+        let mut net = seeded_network(&pre);
+        let baseline = forwarding_state(&net);
+        let mut nl = NetLog::new(TxMode::Buffered);
+        let mut tx = nl.begin();
+        for op in &tx_ops {
+            let (dpid, msg) = op_to_message(op, &net);
+            let _ = nl.execute(&mut tx, &mut net, dpid, &msg);
+        }
+        prop_assert_eq!(forwarding_state(&net), baseline.clone(), "buffer must not touch the net");
+        nl.abort(tx, &mut net).unwrap();
+        prop_assert_eq!(forwarding_state(&net), baseline);
+    }
+
+    /// Commit in the two modes converges to the same forwarding state for
+    /// write-only transactions (reads differ — that's the E9 point).
+    #[test]
+    fn modes_commit_to_same_state(tx_ops in proptest::collection::vec(arb_op(), 1..12)) {
+        let mut net_a = seeded_network(&[]);
+        let mut nl = NetLog::new(TxMode::Immediate);
+        let mut tx = nl.begin();
+        for op in &tx_ops {
+            let (dpid, msg) = op_to_message(op, &net_a);
+            let _ = nl.execute(&mut tx, &mut net_a, dpid, &msg);
+        }
+        nl.commit(tx, &mut net_a).unwrap();
+
+        let mut net_b = seeded_network(&[]);
+        let mut nl = NetLog::new(TxMode::Buffered);
+        let mut tx = nl.begin();
+        for op in &tx_ops {
+            let (dpid, msg) = op_to_message(op, &net_b);
+            let _ = nl.execute(&mut tx, &mut net_b, dpid, &msg);
+        }
+        nl.commit(tx, &mut net_b).unwrap();
+
+        prop_assert_eq!(forwarding_state(&net_a), forwarding_state(&net_b));
+    }
+
+    /// Abort then replaying the same ops non-transactionally equals having
+    /// committed in the first place (rollback leaves no hidden residue).
+    #[test]
+    fn rollback_then_redo_equals_commit(tx_ops in proptest::collection::vec(arb_op(), 1..10)) {
+        // Path 1: apply in tx, commit.
+        let mut net_commit = seeded_network(&[]);
+        let mut nl = NetLog::new(TxMode::Immediate);
+        let mut tx = nl.begin();
+        for op in &tx_ops {
+            let (dpid, msg) = op_to_message(op, &net_commit);
+            let _ = nl.execute(&mut tx, &mut net_commit, dpid, &msg);
+        }
+        nl.commit(tx, &mut net_commit).unwrap();
+
+        // Path 2: apply in tx, abort, then redo raw.
+        let mut net_redo = seeded_network(&[]);
+        let mut nl = NetLog::new(TxMode::Immediate);
+        let mut tx = nl.begin();
+        for op in &tx_ops {
+            let (dpid, msg) = op_to_message(op, &net_redo);
+            let _ = nl.execute(&mut tx, &mut net_redo, dpid, &msg);
+        }
+        nl.abort(tx, &mut net_redo).unwrap();
+        for op in &tx_ops {
+            let (dpid, msg) = op_to_message(op, &net_redo);
+            let _ = net_redo.apply(dpid, &msg);
+        }
+        prop_assert_eq!(forwarding_state(&net_commit), forwarding_state(&net_redo));
+    }
+}

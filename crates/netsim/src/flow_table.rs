@@ -1,0 +1,552 @@
+//! A single OpenFlow 1.0 flow table with priorities, wildcards, timeouts,
+//! and per-flow counters.
+//!
+//! The table is the unit of state NetLog must be able to roll back, so every
+//! mutation reports exactly what it displaced (as [`FlowEntrySnapshot`]s).
+
+use crate::clock::SimTime;
+use legosdn_openflow::error::{ErrorCode, ErrorType};
+use legosdn_openflow::messages::{
+    ErrorMsg, FlowEntrySnapshot, FlowMod, FlowModCommand, FlowRemovedReason, TableStats,
+};
+use legosdn_openflow::prelude::{Action, Match, Packet, PortNo};
+use serde::{Deserialize, Serialize};
+
+/// An installed flow entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowEntry {
+    pub mat: Match,
+    pub priority: u16,
+    pub cookie: u64,
+    pub idle_timeout: u16,
+    pub hard_timeout: u16,
+    pub send_flow_removed: bool,
+    pub actions: Vec<Action>,
+    pub installed_at: SimTime,
+    pub last_matched: SimTime,
+    pub packet_count: u64,
+    pub byte_count: u64,
+    /// Monotone insertion sequence; breaks priority ties deterministically.
+    seq: u64,
+}
+
+impl FlowEntry {
+    /// Snapshot this entry for stats replies or NetLog's undo log.
+    #[must_use]
+    pub fn snapshot(&self, now: SimTime) -> FlowEntrySnapshot {
+        let elapsed = now.since(self.installed_at).as_secs();
+        let remaining_hard = if self.hard_timeout > 0 {
+            Some(u32::from(self.hard_timeout).saturating_sub(elapsed as u32))
+        } else {
+            None
+        };
+        FlowEntrySnapshot {
+            mat: self.mat.clone(),
+            priority: self.priority,
+            cookie: self.cookie,
+            idle_timeout: self.idle_timeout,
+            hard_timeout: self.hard_timeout,
+            remaining_hard,
+            duration_sec: elapsed as u32,
+            packet_count: self.packet_count,
+            byte_count: self.byte_count,
+            send_flow_removed: self.send_flow_removed,
+            actions: self.actions.clone(),
+        }
+    }
+
+    /// Does this entry forward out `port`? (The OF 1.0 delete `out_port`
+    /// filter semantics.)
+    #[must_use]
+    pub fn outputs_to(&self, port: PortNo) -> bool {
+        self.actions.iter().any(|a| matches!(a, Action::Output(p) if *p == port))
+    }
+}
+
+/// What a flow-mod did to the table — the pre-state NetLog records.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlowModOutcome {
+    /// Entries removed or overwritten by the command, snapshotted as of
+    /// application time.
+    pub displaced: Vec<FlowEntrySnapshot>,
+    /// Of the displaced entries, those that requested flow-removed
+    /// notifications (deletes only, per OF 1.0).
+    pub notify_removed: Vec<FlowEntrySnapshot>,
+}
+
+/// A flow expired by the clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExpiredFlow {
+    pub snapshot: FlowEntrySnapshot,
+    pub reason: FlowRemovedReason,
+    /// Whether the entry asked for a flow-removed notification.
+    pub notify: bool,
+}
+
+/// A single-table OpenFlow 1.0 flow table.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+    next_seq: u64,
+    max_entries: usize,
+    lookup_count: u64,
+    matched_count: u64,
+}
+
+impl FlowTable {
+    /// A table bounded at `max_entries` (0 means unbounded).
+    #[must_use]
+    pub fn with_capacity(max_entries: usize) -> Self {
+        FlowTable { max_entries, ..FlowTable::default() }
+    }
+
+    /// Number of installed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over installed entries (highest priority first).
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Table summary counters.
+    #[must_use]
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            active_count: self.entries.len() as u32,
+            lookup_count: self.lookup_count,
+            matched_count: self.matched_count,
+            max_entries: if self.max_entries == 0 { u32::MAX } else { self.max_entries as u32 },
+        }
+    }
+
+    /// Apply a flow-mod. Returns what was displaced, or the OpenFlow error
+    /// the switch would send (table full, overlap).
+    pub fn apply(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, ErrorMsg> {
+        match fm.command {
+            FlowModCommand::Add => self.add(fm, now),
+            FlowModCommand::Modify => self.modify(fm, now, false),
+            FlowModCommand::ModifyStrict => self.modify(fm, now, true),
+            FlowModCommand::Delete => Ok(self.delete(fm, now, false)),
+            FlowModCommand::DeleteStrict => Ok(self.delete(fm, now, true)),
+        }
+    }
+
+    fn add(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, ErrorMsg> {
+        if fm.check_overlap
+            && self.entries.iter().any(|e| {
+                e.priority == fm.priority
+                    && e.mat != fm.mat
+                    && (e.mat.subsumes(&fm.mat) || fm.mat.subsumes(&e.mat))
+            })
+        {
+            return Err(ErrorMsg {
+                err_type: ErrorType::FlowModFailed,
+                code: ErrorCode::Overlap,
+                data: Vec::new(),
+            });
+        }
+        let mut outcome = FlowModOutcome::default();
+        // An add replaces an identical match+priority entry without
+        // generating a flow-removed (OF 1.0 §4.6).
+        if let Some(pos) =
+            self.entries.iter().position(|e| e.priority == fm.priority && e.mat == fm.mat)
+        {
+            let old = self.entries.remove(pos);
+            outcome.displaced.push(old.snapshot(now));
+        } else if self.max_entries > 0 && self.entries.len() >= self.max_entries {
+            return Err(ErrorMsg {
+                err_type: ErrorType::FlowModFailed,
+                code: ErrorCode::TablesFull,
+                data: Vec::new(),
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = FlowEntry {
+            mat: fm.mat.clone(),
+            priority: fm.priority,
+            cookie: fm.cookie,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            send_flow_removed: fm.send_flow_removed,
+            actions: fm.actions.clone(),
+            installed_at: now,
+            last_matched: now,
+            packet_count: 0,
+            byte_count: 0,
+            seq,
+        };
+        // Keep sorted: priority desc, then insertion order.
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.priority < entry.priority)
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, entry);
+        Ok(outcome)
+    }
+
+    fn modify(&mut self, fm: &FlowMod, now: SimTime, strict: bool) -> Result<FlowModOutcome, ErrorMsg> {
+        let mut outcome = FlowModOutcome::default();
+        let mut touched = false;
+        for e in &mut self.entries {
+            let hit = if strict {
+                e.priority == fm.priority && e.mat == fm.mat
+            } else {
+                fm.mat.subsumes(&e.mat)
+            };
+            if hit {
+                outcome.displaced.push(e.snapshot(now));
+                e.actions = fm.actions.clone();
+                e.cookie = fm.cookie;
+                touched = true;
+            }
+        }
+        if !touched {
+            // OF 1.0: a modify that matches nothing behaves like an add.
+            return self.add(fm, now);
+        }
+        Ok(outcome)
+    }
+
+    fn delete(&mut self, fm: &FlowMod, now: SimTime, strict: bool) -> FlowModOutcome {
+        let mut outcome = FlowModOutcome::default();
+        let out_port = fm.out_port;
+        self.entries.retain(|e| {
+            let hit = if strict {
+                e.priority == fm.priority && e.mat == fm.mat
+            } else {
+                fm.mat.subsumes(&e.mat)
+            };
+            let hit = hit && (out_port == PortNo::None || e.outputs_to(out_port));
+            if hit {
+                let snap = e.snapshot(now);
+                if e.send_flow_removed {
+                    outcome.notify_removed.push(snap.clone());
+                }
+                outcome.displaced.push(snap);
+            }
+            !hit
+        });
+        outcome
+    }
+
+    /// Match `pkt` arriving on `in_port`, updating counters on hit.
+    ///
+    /// Highest priority wins; ties break by insertion order, matching the
+    /// deterministic behaviour of software switches.
+    pub fn lookup(&mut self, pkt: &Packet, in_port: PortNo, now: SimTime) -> Option<&FlowEntry> {
+        self.lookup_count += 1;
+        let wire_len = u64::from(pkt.wire_len());
+        for e in &mut self.entries {
+            if e.mat.matches(pkt, in_port) {
+                e.packet_count += 1;
+                e.byte_count += wire_len;
+                e.last_matched = now;
+                self.matched_count += 1;
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Match without mutating counters (used by invariant checkers).
+    #[must_use]
+    pub fn peek(&self, pkt: &Packet, in_port: PortNo) -> Option<&FlowEntry> {
+        self.entries.iter().find(|e| e.mat.matches(pkt, in_port))
+    }
+
+    /// Expire idle and hard timeouts as of `now`.
+    pub fn expire(&mut self, now: SimTime) -> Vec<ExpiredFlow> {
+        let mut expired = Vec::new();
+        self.entries.retain(|e| {
+            let hard_hit = e.hard_timeout > 0
+                && now.since(e.installed_at).as_secs() >= u64::from(e.hard_timeout);
+            let idle_hit = e.idle_timeout > 0
+                && now.since(e.last_matched).as_secs() >= u64::from(e.idle_timeout);
+            if hard_hit || idle_hit {
+                expired.push(ExpiredFlow {
+                    snapshot: e.snapshot(now),
+                    reason: if hard_hit {
+                        FlowRemovedReason::HardTimeout
+                    } else {
+                        FlowRemovedReason::IdleTimeout
+                    },
+                    notify: e.send_flow_removed,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        expired
+    }
+
+    /// Snapshot entries subsumed by `mat` (and forwarding to `out_port`, if
+    /// not `None`) — the flow-stats request filter.
+    #[must_use]
+    pub fn snapshot_matching(&self, mat: &Match, out_port: PortNo, now: SimTime) -> Vec<FlowEntrySnapshot> {
+        self.entries
+            .iter()
+            .filter(|e| mat.subsumes(&e.mat))
+            .filter(|e| out_port == PortNo::None || e.outputs_to(out_port))
+            .map(|e| e.snapshot(now))
+            .collect()
+    }
+
+    /// Restore counters onto an entry (NetLog's counter-cache uses this when
+    /// reinstalling a rolled-back entry).
+    pub fn restore_counters(&mut self, mat: &Match, priority: u16, packets: u64, bytes: u64) -> bool {
+        for e in &mut self.entries {
+            if e.priority == priority && e.mat == *mat {
+                e.packet_count = packets;
+                e.byte_count = bytes;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legosdn_openflow::prelude::MacAddr;
+
+    fn pkt_to(dst: u64) -> Packet {
+        Packet::ethernet(MacAddr::from_index(1), MacAddr::from_index(dst))
+    }
+
+    fn add(mat: Match, priority: u16, port: u16) -> FlowMod {
+        FlowMod::add(mat).priority(priority).action(Action::Output(PortNo::Phys(port)))
+    }
+
+    #[test]
+    fn empty_table_misses() {
+        let mut t = FlowTable::default();
+        assert!(t.lookup(&pkt_to(2), PortNo::Phys(1), SimTime::ZERO).is_none());
+        assert_eq!(t.stats().lookup_count, 1);
+        assert_eq!(t.stats().matched_count, 0);
+    }
+
+    #[test]
+    fn add_and_match_updates_counters() {
+        let mut t = FlowTable::default();
+        let m = Match::eth_dst(MacAddr::from_index(2));
+        t.apply(&add(m, 10, 3), SimTime::ZERO).unwrap();
+        let p = pkt_to(2);
+        let hit = t.lookup(&p, PortNo::Phys(1), SimTime::from_secs(1)).unwrap();
+        assert_eq!(hit.packet_count, 1);
+        assert_eq!(hit.byte_count, u64::from(p.wire_len()));
+        assert_eq!(hit.last_matched, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = FlowTable::default();
+        t.apply(&add(Match::any(), 1, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 100, 2), SimTime::ZERO).unwrap();
+        let hit = t.lookup(&pkt_to(2), PortNo::Phys(9), SimTime::ZERO).unwrap();
+        assert_eq!(hit.priority, 100);
+        // A packet to someone else falls to the low-priority catch-all.
+        let hit = t.lookup(&pkt_to(3), PortNo::Phys(9), SimTime::ZERO).unwrap();
+        assert_eq!(hit.priority, 1);
+    }
+
+    #[test]
+    fn equal_priority_ties_break_by_insertion() {
+        let mut t = FlowTable::default();
+        t.apply(&add(Match::any(), 5, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 2), SimTime::ZERO).unwrap();
+        let hit = t.lookup(&pkt_to(2), PortNo::Phys(9), SimTime::ZERO).unwrap();
+        assert_eq!(hit.actions, vec![Action::Output(PortNo::Phys(1))]);
+    }
+
+    #[test]
+    fn add_replaces_identical_match_priority() {
+        let mut t = FlowTable::default();
+        let m = Match::eth_dst(MacAddr::from_index(2));
+        t.apply(&add(m.clone(), 5, 1), SimTime::ZERO).unwrap();
+        let out = t.apply(&add(m.clone(), 5, 9), SimTime::from_secs(2)).unwrap();
+        assert_eq!(out.displaced.len(), 1);
+        assert_eq!(out.displaced[0].actions, vec![Action::Output(PortNo::Phys(1))]);
+        assert_eq!(t.len(), 1);
+        let hit = t.lookup(&pkt_to(2), PortNo::Phys(1), SimTime::ZERO).unwrap();
+        assert_eq!(hit.actions, vec![Action::Output(PortNo::Phys(9))]);
+    }
+
+    #[test]
+    fn table_full_errors() {
+        let mut t = FlowTable::with_capacity(2);
+        t.apply(&add(Match::eth_dst(MacAddr::from_index(1)), 5, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 1), SimTime::ZERO).unwrap();
+        let err = t.apply(&add(Match::eth_dst(MacAddr::from_index(3)), 5, 1), SimTime::ZERO);
+        assert_eq!(err.unwrap_err().code, ErrorCode::TablesFull);
+        // Replacing an existing entry still works at capacity.
+        assert!(t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 7), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn check_overlap_rejects_overlapping_same_priority() {
+        let mut t = FlowTable::default();
+        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 1), SimTime::ZERO).unwrap();
+        let mut fm = add(Match::any(), 5, 2);
+        fm.check_overlap = true;
+        assert_eq!(t.apply(&fm, SimTime::ZERO).unwrap_err().code, ErrorCode::Overlap);
+        // Different priority: fine.
+        let mut fm = add(Match::any(), 6, 2);
+        fm.check_overlap = true;
+        assert!(t.apply(&fm, SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn non_strict_delete_subsumes() {
+        let mut t = FlowTable::default();
+        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(Match::eth_dst(MacAddr::from_index(3)), 9, 1), SimTime::ZERO).unwrap();
+        let out = t.apply(&FlowMod::delete(Match::any()), SimTime::ZERO).unwrap();
+        assert_eq!(out.displaced.len(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn strict_delete_requires_exact() {
+        let mut t = FlowTable::default();
+        let m = Match::eth_dst(MacAddr::from_index(2));
+        t.apply(&add(m.clone(), 5, 1), SimTime::ZERO).unwrap();
+        // Wrong priority: no-op.
+        let out = t.apply(&FlowMod::delete_strict(m.clone(), 6), SimTime::ZERO).unwrap();
+        assert!(out.displaced.is_empty());
+        assert_eq!(t.len(), 1);
+        let out = t.apply(&FlowMod::delete_strict(m, 5), SimTime::ZERO).unwrap();
+        assert_eq!(out.displaced.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_filters_by_out_port() {
+        let mut t = FlowTable::default();
+        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(Match::eth_dst(MacAddr::from_index(3)), 5, 2), SimTime::ZERO).unwrap();
+        let mut del = FlowMod::delete(Match::any());
+        del.out_port = PortNo::Phys(2);
+        let out = t.apply(&del, SimTime::ZERO).unwrap();
+        assert_eq!(out.displaced.len(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_notifies_when_requested() {
+        let mut t = FlowTable::default();
+        let fm = add(Match::any(), 5, 1).notify_removed();
+        t.apply(&fm, SimTime::ZERO).unwrap();
+        let out = t.apply(&FlowMod::delete(Match::any()), SimTime::ZERO).unwrap();
+        assert_eq!(out.notify_removed.len(), 1);
+    }
+
+    #[test]
+    fn modify_rewrites_actions_preserving_counters() {
+        let mut t = FlowTable::default();
+        let m = Match::eth_dst(MacAddr::from_index(2));
+        t.apply(&add(m.clone(), 5, 1), SimTime::ZERO).unwrap();
+        t.lookup(&pkt_to(2), PortNo::Phys(1), SimTime::ZERO).unwrap();
+        let mut fm = add(m, 5, 9);
+        fm.command = FlowModCommand::ModifyStrict;
+        let out = t.apply(&fm, SimTime::ZERO).unwrap();
+        assert_eq!(out.displaced.len(), 1);
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.actions, vec![Action::Output(PortNo::Phys(9))]);
+        assert_eq!(e.packet_count, 1, "modify must not reset counters");
+    }
+
+    #[test]
+    fn modify_of_nothing_adds() {
+        let mut t = FlowTable::default();
+        let mut fm = add(Match::any(), 5, 1);
+        fm.command = FlowModCommand::Modify;
+        t.apply(&fm, SimTime::ZERO).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn hard_timeout_expires() {
+        let mut t = FlowTable::default();
+        let fm = add(Match::any(), 5, 1).hard_timeout(10).notify_removed();
+        t.apply(&fm, SimTime::ZERO).unwrap();
+        assert!(t.expire(SimTime::from_secs(9)).is_empty());
+        let exp = t.expire(SimTime::from_secs(10));
+        assert_eq!(exp.len(), 1);
+        assert_eq!(exp[0].reason, FlowRemovedReason::HardTimeout);
+        assert!(exp[0].notify);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_resets_on_match() {
+        let mut t = FlowTable::default();
+        let fm = add(Match::any(), 5, 1).idle_timeout(5);
+        t.apply(&fm, SimTime::ZERO).unwrap();
+        // Traffic at t=4 pushes expiry to t=9.
+        t.lookup(&pkt_to(2), PortNo::Phys(1), SimTime::from_secs(4));
+        assert!(t.expire(SimTime::from_secs(8)).is_empty());
+        let exp = t.expire(SimTime::from_secs(9));
+        assert_eq!(exp.len(), 1);
+        assert_eq!(exp[0].reason, FlowRemovedReason::IdleTimeout);
+    }
+
+    #[test]
+    fn snapshot_remaining_hard_counts_down() {
+        let mut t = FlowTable::default();
+        t.apply(&add(Match::any(), 5, 1).hard_timeout(60), SimTime::ZERO).unwrap();
+        let snaps = t.snapshot_matching(&Match::any(), PortNo::None, SimTime::from_secs(18));
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].remaining_hard, Some(42));
+        assert_eq!(snaps[0].duration_sec, 18);
+    }
+
+    #[test]
+    fn snapshot_matching_filters() {
+        let mut t = FlowTable::default();
+        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(Match::eth_dst(MacAddr::from_index(3)), 5, 2), SimTime::ZERO).unwrap();
+        let all = t.snapshot_matching(&Match::any(), PortNo::None, SimTime::ZERO);
+        assert_eq!(all.len(), 2);
+        let one = t.snapshot_matching(&Match::any(), PortNo::Phys(2), SimTime::ZERO);
+        assert_eq!(one.len(), 1);
+        let narrow = t.snapshot_matching(
+            &Match::eth_dst(MacAddr::from_index(3)),
+            PortNo::None,
+            SimTime::ZERO,
+        );
+        assert_eq!(narrow.len(), 1);
+    }
+
+    #[test]
+    fn restore_counters_targets_exact_entry() {
+        let mut t = FlowTable::default();
+        let m = Match::eth_dst(MacAddr::from_index(2));
+        t.apply(&add(m.clone(), 5, 1), SimTime::ZERO).unwrap();
+        assert!(t.restore_counters(&m, 5, 77, 7700));
+        assert!(!t.restore_counters(&m, 6, 0, 0));
+        let e = t.iter().next().unwrap();
+        assert_eq!((e.packet_count, e.byte_count), (77, 7700));
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut t = FlowTable::default();
+        t.apply(&add(Match::any(), 5, 1), SimTime::ZERO).unwrap();
+        assert!(t.peek(&pkt_to(2), PortNo::Phys(1)).is_some());
+        assert_eq!(t.stats().lookup_count, 0);
+        assert_eq!(t.iter().next().unwrap().packet_count, 0);
+    }
+}

@@ -1,0 +1,684 @@
+//! The live network: switches wired by links, hosts at the edge, a virtual
+//! clock, and an event queue toward the controller.
+//!
+//! The network is the system of record for the state NetLog must be able to
+//! roll back. [`Network::apply`] therefore returns, with every
+//! state-altering message, the [`PreState`] the message displaced.
+//!
+//! Packets move synchronously: injecting a packet (or emitting one via
+//! packet-out) walks it through flow tables hop by hop until it is
+//! delivered, dropped, punted to the controller, or found to be looping.
+//! The walk is recorded in a [`DataplaneTrace`] — the ground truth for the
+//! black-hole and loop invariants.
+
+use crate::clock::{SimDuration, SimTime};
+use crate::switch::Switch;
+use crate::topology::{Endpoint, HostSpec, LinkSpec, Topology};
+use legosdn_openflow::inverse::PreState;
+use legosdn_openflow::prelude::{DatapathId, MacAddr, Message, Packet};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Maximum dataplane hops before a walk is declared a loop.
+pub const HOP_LIMIT: usize = 64;
+
+/// An asynchronous event toward the controller.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetEvent {
+    /// An asynchronous switch→controller message (packet-in, flow-removed,
+    /// port-status, error).
+    FromSwitch(DatapathId, Message),
+    /// A switch (re)connected to the control channel.
+    SwitchConnected(DatapathId),
+    /// A switch disconnected (powered off / control channel lost).
+    SwitchDisconnected(DatapathId),
+}
+
+/// Errors from control operations against the network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    UnknownSwitch(DatapathId),
+    UnknownHost(MacAddr),
+    SwitchDown(DatapathId),
+    UnknownLink,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownSwitch(d) => write!(f, "unknown switch {d}"),
+            NetError::UnknownHost(m) => write!(f, "unknown host {m}"),
+            NetError::SwitchDown(d) => write!(f, "switch {d} is down"),
+            NetError::UnknownLink => write!(f, "unknown link"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Result of applying a controller message to a switch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ApplyOutcome {
+    /// Synchronous replies (echo/stats/barrier replies, errors).
+    pub replies: Vec<Message>,
+    /// Pre-state displaced by a state-altering message (for inversion).
+    pub pre_state: Option<PreState>,
+    /// Dataplane activity triggered by the message (packet-outs).
+    pub trace: DataplaneTrace,
+}
+
+/// Record of one packet's walk through the dataplane.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DataplaneTrace {
+    /// `(dpid, in_port)` hops in visit order.
+    pub path: Vec<Endpoint>,
+    /// Hosts the packet reached, with the packet as delivered.
+    pub delivered: Vec<(MacAddr, Packet)>,
+    /// Packet-ins generated during the walk.
+    pub packet_ins: usize,
+    /// Packets that died on a dead port/link or a drop rule.
+    pub drops: usize,
+    /// The walk exceeded [`HOP_LIMIT`] or revisited a state — a forwarding
+    /// loop.
+    pub loop_detected: bool,
+}
+
+impl DataplaneTrace {
+    /// Was the packet delivered to exactly the given host?
+    #[must_use]
+    pub fn delivered_to(&self, mac: MacAddr) -> bool {
+        self.delivered.iter().any(|(m, _)| *m == mac)
+    }
+
+    fn merge(&mut self, other: DataplaneTrace) {
+        self.path.extend(other.path);
+        self.delivered.extend(other.delivered);
+        self.packet_ins += other.packet_ins;
+        self.drops += other.drops;
+        self.loop_detected |= other.loop_detected;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Link {
+    spec: LinkSpec,
+    up: bool,
+}
+
+/// The simulated network.
+///
+/// `Clone` is deliberate: invariant gates (NetLog pre-commit checks) verify
+/// candidate rule-sets against a scratch copy before touching the real
+/// network.
+#[derive(Clone, Debug)]
+pub struct Network {
+    now: SimTime,
+    switches: BTreeMap<DatapathId, Switch>,
+    links: Vec<Link>,
+    hosts: Vec<HostSpec>,
+    events: VecDeque<NetEvent>,
+    /// Lifetime delivery/drop counters for availability experiments.
+    total_delivered: u64,
+    total_dropped: u64,
+}
+
+impl Network {
+    /// Materialize a topology. All switches and links start up; a
+    /// `SwitchConnected` event is queued per switch (the initial handshake).
+    #[must_use]
+    pub fn new(topology: &Topology) -> Self {
+        let mut switches = BTreeMap::new();
+        for (&dpid, &n_ports) in &topology.switches {
+            switches.insert(dpid, Switch::new(dpid, n_ports));
+        }
+        let mut events = VecDeque::new();
+        for &dpid in switches.keys() {
+            events.push_back(NetEvent::SwitchConnected(dpid));
+        }
+        Network {
+            now: SimTime::ZERO,
+            switches,
+            links: topology.links.iter().map(|&spec| Link { spec, up: true }).collect(),
+            hosts: topology.hosts.clone(),
+            events,
+            total_delivered: 0,
+            total_dropped: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read a switch.
+    #[must_use]
+    pub fn switch(&self, dpid: DatapathId) -> Option<&Switch> {
+        self.switches.get(&dpid)
+    }
+
+    /// Mutable switch access (test setup, counter restoration).
+    pub fn switch_mut(&mut self, dpid: DatapathId) -> Option<&mut Switch> {
+        self.switches.get_mut(&dpid)
+    }
+
+    /// All switches, ascending by dpid.
+    pub fn switches(&self) -> impl Iterator<Item = &Switch> {
+        self.switches.values()
+    }
+
+    /// All hosts.
+    #[must_use]
+    pub fn hosts(&self) -> &[HostSpec] {
+        &self.hosts
+    }
+
+    /// All links with their current status.
+    pub fn links(&self) -> impl Iterator<Item = (&LinkSpec, bool)> {
+        self.links.iter().map(|l| (&l.spec, l.up))
+    }
+
+    /// Find a host by MAC.
+    #[must_use]
+    pub fn host_by_mac(&self, mac: MacAddr) -> Option<&HostSpec> {
+        self.hosts.iter().find(|h| h.mac == mac)
+    }
+
+    /// The host attached at `(dpid, port)`, if any.
+    #[must_use]
+    pub fn host_at(&self, at: Endpoint) -> Option<&HostSpec> {
+        self.hosts.iter().find(|h| h.attach == at)
+    }
+
+    /// The far end of the up link at `(dpid, port)`, if any.
+    #[must_use]
+    pub fn link_peer(&self, at: Endpoint) -> Option<Endpoint> {
+        self.links.iter().filter(|l| l.up).find_map(|l| {
+            if l.spec.a == at {
+                Some(l.spec.b)
+            } else if l.spec.b == at {
+                Some(l.spec.a)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Like [`Self::link_peer`] but ignoring link status — the wiring, not
+    /// the weather.
+    #[must_use]
+    pub fn wired_peer(&self, at: Endpoint) -> Option<Endpoint> {
+        self.links.iter().find_map(|l| {
+            if l.spec.a == at {
+                Some(l.spec.b)
+            } else if l.spec.b == at {
+                Some(l.spec.a)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Lifetime `(delivered, dropped)` dataplane counters.
+    #[must_use]
+    pub fn delivery_counters(&self) -> (u64, u64) {
+        (self.total_delivered, self.total_dropped)
+    }
+
+    /// Drain pending controller-bound events.
+    pub fn poll_events(&mut self) -> Vec<NetEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Apply a controller→switch message.
+    pub fn apply(&mut self, dpid: DatapathId, msg: &Message) -> Result<ApplyOutcome, NetError> {
+        let now = self.now;
+        let sw = self.switches.get_mut(&dpid).ok_or(NetError::UnknownSwitch(dpid))?;
+        if !sw.is_up() {
+            return Err(NetError::SwitchDown(dpid));
+        }
+        let out = sw.handle_message(msg, now);
+        for n in out.notifications {
+            self.events.push_back(NetEvent::FromSwitch(dpid, n));
+        }
+        let mut trace = DataplaneTrace::default();
+        for (port, pkt) in out.emissions {
+            if let Some(p) = port.phys() {
+                trace.merge(self.propagate(Endpoint::new(dpid, p), pkt));
+            }
+        }
+        Ok(ApplyOutcome { replies: out.replies, pre_state: out.pre_state, trace })
+    }
+
+    /// Inject a packet from a host into the network.
+    pub fn inject(&mut self, src: MacAddr, pkt: Packet) -> Result<DataplaneTrace, NetError> {
+        let host = self.host_by_mac(src).ok_or(NetError::UnknownHost(src))?;
+        let attach = host.attach;
+        Ok(self.deliver_into(attach, pkt))
+    }
+
+    /// Walk a packet that arrives *into* a switch port (from a host).
+    fn deliver_into(&mut self, at: Endpoint, pkt: Packet) -> DataplaneTrace {
+        let mut trace = DataplaneTrace::default();
+        let mut queue: VecDeque<(Endpoint, Packet)> = VecDeque::new();
+        let mut visited: HashSet<(DatapathId, u16, u64)> = HashSet::new();
+        queue.push_back((at, pkt));
+        self.walk(&mut queue, &mut visited, &mut trace);
+        trace
+    }
+
+    /// Walk a packet that leaves a switch port (packet-out emission).
+    fn propagate(&mut self, from: Endpoint, pkt: Packet) -> DataplaneTrace {
+        let mut trace = DataplaneTrace::default();
+        let mut queue: VecDeque<(Endpoint, Packet)> = VecDeque::new();
+        let mut visited: HashSet<(DatapathId, u16, u64)> = HashSet::new();
+        self.route_emission(from, pkt, &mut queue, &mut trace);
+        self.walk(&mut queue, &mut visited, &mut trace);
+        trace
+    }
+
+    fn walk(
+        &mut self,
+        queue: &mut VecDeque<(Endpoint, Packet)>,
+        visited: &mut HashSet<(DatapathId, u16, u64)>,
+        trace: &mut DataplaneTrace,
+    ) {
+        let mut hops = 0usize;
+        while let Some((at, pkt)) = queue.pop_front() {
+            hops += 1;
+            if hops > HOP_LIMIT {
+                trace.loop_detected = true;
+                break;
+            }
+            if !visited.insert((at.dpid, at.port, hash_packet(&pkt))) {
+                // Same packet re-entering the same port: a forwarding loop.
+                trace.loop_detected = true;
+                continue;
+            }
+            trace.path.push(at);
+            let now = self.now;
+            let Some(sw) = self.switches.get_mut(&at.dpid) else {
+                trace.drops += 1;
+                self.total_dropped += 1;
+                continue;
+            };
+            let out = sw.receive_packet(at.port, &pkt, now);
+            for n in out.notifications {
+                if matches!(n, Message::PacketIn(_)) {
+                    trace.packet_ins += 1;
+                }
+                self.events.push_back(NetEvent::FromSwitch(at.dpid, n));
+            }
+            for (port, emitted) in out.emissions {
+                if let Some(p) = port.phys() {
+                    self.route_emission(Endpoint::new(at.dpid, p), emitted, queue, trace);
+                }
+            }
+        }
+    }
+
+    /// Decide where a packet leaving `(dpid, port)` lands: a host, the far
+    /// end of a live link, or nowhere.
+    fn route_emission(
+        &mut self,
+        from: Endpoint,
+        pkt: Packet,
+        queue: &mut VecDeque<(Endpoint, Packet)>,
+        trace: &mut DataplaneTrace,
+    ) {
+        if let Some(host) = self.host_at(from) {
+            trace.delivered.push((host.mac, pkt));
+            self.total_delivered += 1;
+            return;
+        }
+        match self.link_peer(from) {
+            Some(peer) => {
+                let peer_up = self.switches.get(&peer.dpid).map(Switch::is_up).unwrap_or(false);
+                if peer_up {
+                    queue.push_back((peer, pkt));
+                } else {
+                    trace.drops += 1;
+                    self.total_dropped += 1;
+                }
+            }
+            None => {
+                // Dangling port or downed link.
+                trace.drops += 1;
+                self.total_dropped += 1;
+            }
+        }
+    }
+
+    /// Advance the clock, expiring flow timeouts.
+    pub fn tick(&mut self, delta: SimDuration) {
+        self.now += delta;
+        let now = self.now;
+        let dpids: Vec<_> = self.switches.keys().copied().collect();
+        for dpid in dpids {
+            let removed = {
+                let sw = self.switches.get_mut(&dpid).unwrap();
+                if !sw.is_up() {
+                    continue;
+                }
+                sw.expire_flows(now)
+            };
+            for msg in removed {
+                self.events.push_back(NetEvent::FromSwitch(dpid, msg));
+            }
+        }
+    }
+
+    /// Take the `idx`-th link up or down. Both endpoint switches observe the
+    /// change and emit port-status notifications.
+    pub fn set_link_up(&mut self, idx: usize, up: bool) -> Result<(), NetError> {
+        let link = self.links.get_mut(idx).ok_or(NetError::UnknownLink)?;
+        if link.up == up {
+            return Ok(());
+        }
+        link.up = up;
+        let spec = link.spec;
+        for ep in [spec.a, spec.b] {
+            if let Some(sw) = self.switches.get_mut(&ep.dpid) {
+                if let Some(msg) = sw.set_link_down(ep.port, !up) {
+                    if sw.is_up() {
+                        self.events.push_back(NetEvent::FromSwitch(ep.dpid, msg));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Find the index of the link between two switches (first match).
+    #[must_use]
+    pub fn find_link(&self, a: DatapathId, b: DatapathId) -> Option<usize> {
+        self.links.iter().position(|l| {
+            (l.spec.a.dpid == a && l.spec.b.dpid == b) || (l.spec.a.dpid == b && l.spec.b.dpid == a)
+        })
+    }
+
+    /// Power a switch on or off. Powering off drops its flow state, takes
+    /// down the far end of each of its links, and emits
+    /// `SwitchDisconnected`; powering on emits `SwitchConnected`.
+    pub fn set_switch_up(&mut self, dpid: DatapathId, up: bool) -> Result<(), NetError> {
+        let sw = self.switches.get_mut(&dpid).ok_or(NetError::UnknownSwitch(dpid))?;
+        if sw.is_up() == up {
+            return Ok(());
+        }
+        sw.set_up(up);
+        self.events.push_back(if up {
+            NetEvent::SwitchConnected(dpid)
+        } else {
+            NetEvent::SwitchDisconnected(dpid)
+        });
+        // Peers see their link to this switch flap.
+        let affected: Vec<(usize, Endpoint)> = self
+            .links
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| {
+                if l.spec.a.dpid == dpid {
+                    Some((i, l.spec.b))
+                } else if l.spec.b.dpid == dpid {
+                    Some((i, l.spec.a))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (idx, peer) in affected {
+            self.links[idx].up = up;
+            if let Some(psw) = self.switches.get_mut(&peer.dpid) {
+                if let Some(msg) = psw.set_link_down(peer.port, !up) {
+                    if psw.is_up() {
+                        self.events.push_back(NetEvent::FromSwitch(peer.dpid, msg));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn hash_packet(pkt: &Packet) -> u64 {
+    let mut h = DefaultHasher::new();
+    pkt.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legosdn_openflow::prelude::{Action, FlowMod, Match, PacketOut, PortNo};
+    use legosdn_openflow::types::BufferId;
+
+    /// s1(p2) -- (p2)s2, host A on s1:p1... wait, linear() allocates link
+    /// ports first. Build and discover.
+    fn two_switch() -> (Network, MacAddr, MacAddr) {
+        let topo = Topology::linear(2, 1);
+        let net = Network::new(&topo);
+        let a = topo.hosts[0].mac;
+        let b = topo.hosts[1].mac;
+        (net, a, b)
+    }
+
+    /// Install L2 forwarding toward `dst` on every switch using the path
+    /// out-ports discovered from the topology (for 2-switch linear only).
+    fn install_path(net: &mut Network, dst: MacAddr) {
+        let host = net.host_by_mac(dst).unwrap().clone();
+        // On the attachment switch, forward to the host port.
+        let fm = FlowMod::add(Match::eth_dst(dst))
+            .action(Action::Output(PortNo::Phys(host.attach.port)));
+        net.apply(host.attach.dpid, &Message::FlowMod(fm)).unwrap();
+        // On every other switch, forward toward the attachment switch.
+        let others: Vec<_> =
+            net.switches().map(|s| s.dpid()).filter(|d| *d != host.attach.dpid).collect();
+        for d in others {
+            // Find the port on d that links toward host.attach.dpid.
+            let port = net
+                .links()
+                .find_map(|(l, _)| {
+                    if l.a.dpid == d && l.b.dpid == host.attach.dpid {
+                        Some(l.a.port)
+                    } else if l.b.dpid == d && l.a.dpid == host.attach.dpid {
+                        Some(l.b.port)
+                    } else {
+                        None
+                    }
+                })
+                .expect("adjacent in linear(2)");
+            let fm = FlowMod::add(Match::eth_dst(dst)).action(Action::Output(PortNo::Phys(port)));
+            net.apply(d, &Message::FlowMod(fm)).unwrap();
+        }
+    }
+
+    #[test]
+    fn startup_emits_switch_connected() {
+        let (mut net, _, _) = two_switch();
+        let evs = net.poll_events();
+        assert_eq!(
+            evs.iter().filter(|e| matches!(e, NetEvent::SwitchConnected(_))).count(),
+            2
+        );
+        assert!(net.poll_events().is_empty());
+    }
+
+    #[test]
+    fn inject_without_rules_punts_to_controller() {
+        let (mut net, a, b) = two_switch();
+        net.poll_events();
+        let pkt = Packet::ethernet(a, b);
+        let trace = net.inject(a, pkt).unwrap();
+        assert_eq!(trace.packet_ins, 1);
+        assert!(trace.delivered.is_empty());
+        let evs = net.poll_events();
+        assert!(evs.iter().any(|e| matches!(e, NetEvent::FromSwitch(_, Message::PacketIn(_)))));
+    }
+
+    #[test]
+    fn end_to_end_delivery_across_switches() {
+        let (mut net, a, b) = two_switch();
+        install_path(&mut net, b);
+        let trace = net.inject(a, Packet::ethernet(a, b)).unwrap();
+        assert!(trace.delivered_to(b), "trace: {trace:?}");
+        assert_eq!(trace.path.len(), 2, "must traverse both switches");
+        assert_eq!(net.delivery_counters().0, 1);
+    }
+
+    #[test]
+    fn unknown_host_and_switch_error() {
+        let (mut net, a, _) = two_switch();
+        assert_eq!(
+            net.inject(MacAddr::from_index(99), Packet::ethernet(a, a)),
+            Err(NetError::UnknownHost(MacAddr::from_index(99)))
+        );
+        assert_eq!(
+            net.apply(DatapathId(99), &Message::Hello).unwrap_err(),
+            NetError::UnknownSwitch(DatapathId(99))
+        );
+    }
+
+    #[test]
+    fn packet_out_reaches_dataplane() {
+        let (mut net, a, b) = two_switch();
+        let host_b = net.host_by_mac(b).unwrap().clone();
+        let po = PacketOut {
+            buffer_id: BufferId::NONE,
+            in_port: PortNo::None,
+            actions: vec![Action::Output(PortNo::Phys(host_b.attach.port))],
+            packet: Some(Packet::ethernet(a, b)),
+        };
+        let out = net.apply(host_b.attach.dpid, &Message::PacketOut(po)).unwrap();
+        assert!(out.trace.delivered_to(b));
+    }
+
+    #[test]
+    fn link_down_blackholes_and_notifies() {
+        let (mut net, a, b) = two_switch();
+        install_path(&mut net, b);
+        net.poll_events();
+        net.set_link_up(0, false).unwrap();
+        let evs = net.poll_events();
+        assert_eq!(
+            evs.iter()
+                .filter(|e| matches!(e, NetEvent::FromSwitch(_, Message::PortStatus(_))))
+                .count(),
+            2,
+            "both endpoints must report the flap"
+        );
+        let trace = net.inject(a, Packet::ethernet(a, b)).unwrap();
+        assert!(!trace.delivered_to(b));
+        // The egress port is link-down, so the switch swallowed the packet.
+        assert_eq!(trace.path.len(), 1, "packet must not cross the dead link");
+        let first = net.host_by_mac(a).unwrap().attach.dpid;
+        let tx_dropped: u64 =
+            net.switch(first).unwrap().ports().map(|p| p.stats.tx_dropped).sum();
+        assert!(tx_dropped > 0);
+        // Bring it back.
+        net.set_link_up(0, true).unwrap();
+        let trace = net.inject(a, Packet::ethernet(a, b)).unwrap();
+        assert!(trace.delivered_to(b));
+    }
+
+    #[test]
+    fn switch_down_disconnects_and_flaps_peer_links() {
+        let (mut net, a, b) = two_switch();
+        install_path(&mut net, b);
+        net.poll_events();
+        let dpid_b = net.host_by_mac(b).unwrap().attach.dpid;
+        net.set_switch_up(dpid_b, false).unwrap();
+        let evs = net.poll_events();
+        assert!(evs.iter().any(|e| matches!(e, NetEvent::SwitchDisconnected(d) if *d == dpid_b)));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, NetEvent::FromSwitch(d, Message::PortStatus(_)) if *d != dpid_b)));
+        let trace = net.inject(a, Packet::ethernet(a, b)).unwrap();
+        assert!(!trace.delivered_to(b));
+        // Recovery: switch returns with empty tables.
+        net.set_switch_up(dpid_b, true).unwrap();
+        assert!(net.switch(dpid_b).unwrap().table().is_empty());
+        let evs = net.poll_events();
+        assert!(evs.iter().any(|e| matches!(e, NetEvent::SwitchConnected(d) if *d == dpid_b)));
+    }
+
+    #[test]
+    fn forwarding_loop_is_detected() {
+        // Two switches each forwarding everything to the other.
+        let (mut net, a, b) = two_switch();
+        let dpids: Vec<_> = net.switches().map(Switch::dpid).collect();
+        for (i, &d) in dpids.iter().enumerate() {
+            let other = dpids[1 - i];
+            let port = net
+                .links()
+                .find_map(|(l, _)| {
+                    if l.a.dpid == d && l.b.dpid == other {
+                        Some(l.a.port)
+                    } else if l.b.dpid == d && l.a.dpid == other {
+                        Some(l.b.port)
+                    } else {
+                        None
+                    }
+                })
+                .unwrap();
+            let fm = FlowMod::add(Match::any()).action(Action::Output(PortNo::Phys(port)));
+            net.apply(d, &Message::FlowMod(fm)).unwrap();
+        }
+        let trace = net.inject(a, Packet::ethernet(a, b)).unwrap();
+        assert!(trace.loop_detected);
+        assert!(!trace.delivered_to(b));
+    }
+
+    #[test]
+    fn tick_expires_and_notifies() {
+        let (mut net, _, b) = two_switch();
+        let host_b = net.host_by_mac(b).unwrap().clone();
+        let fm = FlowMod::add(Match::eth_dst(b))
+            .hard_timeout(3)
+            .action(Action::Output(PortNo::Phys(host_b.attach.port)))
+            .notify_removed();
+        net.apply(host_b.attach.dpid, &Message::FlowMod(fm)).unwrap();
+        net.poll_events();
+        net.tick(SimDuration::from_secs(2));
+        assert!(net.poll_events().is_empty());
+        net.tick(SimDuration::from_secs(1));
+        let evs = net.poll_events();
+        assert!(evs.iter().any(|e| matches!(e, NetEvent::FromSwitch(_, Message::FlowRemoved(_)))));
+        assert_eq!(net.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn apply_to_down_switch_errors() {
+        let (mut net, _, _) = two_switch();
+        let d = net.switches().next().unwrap().dpid();
+        net.set_switch_up(d, false).unwrap();
+        assert_eq!(net.apply(d, &Message::Hello).unwrap_err(), NetError::SwitchDown(d));
+    }
+
+    #[test]
+    fn flood_crosses_the_network() {
+        let (mut net, a, b) = two_switch();
+        // Flood on both switches delivers to every host except the sender.
+        let dpids: Vec<_> = net.switches().map(Switch::dpid).collect();
+        for d in dpids {
+            let fm = FlowMod::add(Match::any()).action(Action::Output(PortNo::Flood));
+            net.apply(d, &Message::FlowMod(fm)).unwrap();
+        }
+        let trace = net.inject(a, Packet::ethernet(a, MacAddr::BROADCAST)).unwrap();
+        assert!(trace.delivered_to(b));
+        // The sender's own host must not receive a copy (flood excludes the
+        // ingress port).
+        assert!(!trace.delivered_to(a));
+    }
+
+    #[test]
+    fn pre_state_flows_through_apply() {
+        let (mut net, _, b) = two_switch();
+        let host_b = net.host_by_mac(b).unwrap().clone();
+        let fm = FlowMod::add(Match::eth_dst(b)).action(Action::Output(PortNo::Phys(1)));
+        let out = net.apply(host_b.attach.dpid, &Message::FlowMod(fm)).unwrap();
+        assert_eq!(out.pre_state, Some(PreState::DisplacedFlows(vec![])));
+    }
+}

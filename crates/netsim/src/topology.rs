@@ -1,0 +1,422 @@
+//! Topology specifications and generators.
+//!
+//! A [`Topology`] is a pure description — switches, inter-switch links, and
+//! host attachment points — consumed by `Network::new`. Generators cover the
+//! shapes used across the experiment suite: linear chains, rings, stars,
+//! k-ary trees, fat-trees, and seeded random graphs.
+
+use legosdn_openflow::prelude::{DatapathId, Ipv4Addr, MacAddr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One end of an inter-switch link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct Endpoint {
+    pub dpid: DatapathId,
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Construct an endpoint.
+    #[must_use]
+    pub fn new(dpid: DatapathId, port: u16) -> Self {
+        Endpoint { dpid, port }
+    }
+}
+
+/// A bidirectional inter-switch link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LinkSpec {
+    pub a: Endpoint,
+    pub b: Endpoint,
+}
+
+/// A host attachment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostSpec {
+    pub mac: MacAddr,
+    pub ip: Ipv4Addr,
+    pub attach: Endpoint,
+}
+
+/// A full topology description.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Switch → number of ports.
+    pub switches: BTreeMap<DatapathId, u16>,
+    pub links: Vec<LinkSpec>,
+    pub hosts: Vec<HostSpec>,
+}
+
+impl Topology {
+    /// An empty topology to build up by hand.
+    #[must_use]
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Add a switch with `n_ports` ports (or widen an existing one).
+    pub fn add_switch(&mut self, dpid: DatapathId, n_ports: u16) {
+        let e = self.switches.entry(dpid).or_insert(0);
+        *e = (*e).max(n_ports);
+    }
+
+    /// The next free port on `dpid`, growing the switch.
+    fn alloc_port(&mut self, dpid: DatapathId) -> u16 {
+        let used = self
+            .links
+            .iter()
+            .flat_map(|l| [l.a, l.b])
+            .chain(self.hosts.iter().map(|h| h.attach))
+            .filter(|e| e.dpid == dpid)
+            .map(|e| e.port)
+            .max()
+            .unwrap_or(0);
+        let port = used + 1;
+        self.add_switch(dpid, port);
+        port
+    }
+
+    /// Link two switches on fresh ports; returns the link.
+    pub fn connect(&mut self, a: DatapathId, b: DatapathId) -> LinkSpec {
+        let pa = self.alloc_port(a);
+        let pb = self.alloc_port(b);
+        let link = LinkSpec { a: Endpoint::new(a, pa), b: Endpoint::new(b, pb) };
+        self.links.push(link);
+        link
+    }
+
+    /// Attach a numbered host to `dpid` on a fresh port.
+    pub fn attach_host(&mut self, dpid: DatapathId, host_idx: u64) -> HostSpec {
+        let port = self.alloc_port(dpid);
+        let host = HostSpec {
+            mac: MacAddr::from_index(host_idx),
+            ip: Ipv4Addr::from_index(host_idx as u32),
+            attach: Endpoint::new(dpid, port),
+        };
+        self.hosts.push(host.clone());
+        host
+    }
+
+    /// Number of switches.
+    #[must_use]
+    pub fn n_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// All switch ids, ascending.
+    #[must_use]
+    pub fn dpids(&self) -> Vec<DatapathId> {
+        self.switches.keys().copied().collect()
+    }
+
+    /// Is the switch-level graph connected (ignoring hosts)?
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let Some(&start) = self.switches.keys().next() else {
+            return true;
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(d) = stack.pop() {
+            if !seen.insert(d) {
+                continue;
+            }
+            for l in &self.links {
+                if l.a.dpid == d && !seen.contains(&l.b.dpid) {
+                    stack.push(l.b.dpid);
+                }
+                if l.b.dpid == d && !seen.contains(&l.a.dpid) {
+                    stack.push(l.a.dpid);
+                }
+            }
+        }
+        seen.len() == self.switches.len()
+    }
+
+    // ---------------------------------------------------------------
+    // generators
+    // ---------------------------------------------------------------
+
+    /// `n` switches in a chain, `hosts_per_switch` hosts on each.
+    #[must_use]
+    pub fn linear(n: usize, hosts_per_switch: usize) -> Self {
+        let mut t = Topology::new();
+        let mut host_idx = 1u64;
+        for i in 0..n {
+            t.add_switch(DatapathId(i as u64 + 1), 0);
+        }
+        for i in 1..n {
+            t.connect(DatapathId(i as u64), DatapathId(i as u64 + 1));
+        }
+        for i in 0..n {
+            for _ in 0..hosts_per_switch {
+                t.attach_host(DatapathId(i as u64 + 1), host_idx);
+                host_idx += 1;
+            }
+        }
+        t
+    }
+
+    /// `n` switches in a cycle (contains a topological loop — exercises the
+    /// loop-invariant checker), `hosts_per_switch` hosts each.
+    #[must_use]
+    pub fn ring(n: usize, hosts_per_switch: usize) -> Self {
+        let mut t = Self::linear(n, hosts_per_switch);
+        if n > 2 {
+            t.connect(DatapathId(n as u64), DatapathId(1));
+        }
+        t
+    }
+
+    /// A core switch with `leaves` edge switches, hosts on the edges only.
+    #[must_use]
+    pub fn star(leaves: usize, hosts_per_leaf: usize) -> Self {
+        let mut t = Topology::new();
+        let core = DatapathId(1);
+        t.add_switch(core, 0);
+        let mut host_idx = 1u64;
+        for i in 0..leaves {
+            let leaf = DatapathId(i as u64 + 2);
+            t.add_switch(leaf, 0);
+            t.connect(core, leaf);
+            for _ in 0..hosts_per_leaf {
+                t.attach_host(leaf, host_idx);
+                host_idx += 1;
+            }
+        }
+        t
+    }
+
+    /// A complete `fanout`-ary tree of the given `depth` (depth 1 == a
+    /// single root). Hosts attach to the leaf tier.
+    #[must_use]
+    pub fn tree(fanout: usize, depth: usize, hosts_per_leaf: usize) -> Self {
+        let mut t = Topology::new();
+        let mut next_dpid = 1u64;
+        let mut host_idx = 1u64;
+        let root = DatapathId(next_dpid);
+        next_dpid += 1;
+        t.add_switch(root, 0);
+        let mut frontier = vec![root];
+        for level in 1..depth {
+            let mut next_frontier = Vec::new();
+            for &parent in &frontier {
+                for _ in 0..fanout {
+                    let child = DatapathId(next_dpid);
+                    next_dpid += 1;
+                    t.add_switch(child, 0);
+                    t.connect(parent, child);
+                    next_frontier.push(child);
+                }
+            }
+            frontier = next_frontier;
+            let _ = level;
+        }
+        for &leaf in &frontier {
+            for _ in 0..hosts_per_leaf {
+                t.attach_host(leaf, host_idx);
+                host_idx += 1;
+            }
+        }
+        t
+    }
+
+    /// A k-ary fat-tree (k even): `(k/2)^2` core switches, `k` pods of
+    /// `k/2` aggregation + `k/2` edge switches, `k/2` hosts per edge switch.
+    ///
+    /// # Panics
+    /// If `k` is odd or zero.
+    #[must_use]
+    pub fn fat_tree(k: usize) -> Self {
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree requires even k >= 2");
+        let half = k / 2;
+        let mut t = Topology::new();
+        let mut next = 1u64;
+        let mut alloc = |t: &mut Topology| {
+            let d = DatapathId(next);
+            next += 1;
+            t.add_switch(d, 0);
+            d
+        };
+        let cores: Vec<_> = (0..half * half).map(|_| alloc(&mut t)).collect();
+        let mut host_idx = 1u64;
+        for _pod in 0..k {
+            let aggs: Vec<_> = (0..half).map(|_| alloc(&mut t)).collect();
+            let edges: Vec<_> = (0..half).map(|_| alloc(&mut t)).collect();
+            // Each aggregation switch connects to `half` cores.
+            for (i, &agg) in aggs.iter().enumerate() {
+                for j in 0..half {
+                    t.connect(agg, cores[i * half + j]);
+                }
+            }
+            // Full bipartite agg <-> edge within the pod.
+            for &agg in &aggs {
+                for &edge in &edges {
+                    t.connect(agg, edge);
+                }
+            }
+            for &edge in &edges {
+                for _ in 0..half {
+                    t.attach_host(edge, host_idx);
+                    host_idx += 1;
+                }
+            }
+        }
+        t
+    }
+
+    /// A connected random topology: a random spanning tree plus
+    /// `extra_links` random extra edges. Deterministic in `seed`.
+    #[must_use]
+    pub fn random(n: usize, extra_links: usize, hosts_per_switch: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Topology::new();
+        for i in 0..n {
+            t.add_switch(DatapathId(i as u64 + 1), 0);
+        }
+        // Random spanning tree: connect each new node to a random earlier one.
+        for i in 1..n {
+            let j = rng.gen_range(0..i);
+            t.connect(DatapathId(j as u64 + 1), DatapathId(i as u64 + 1));
+        }
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < extra_links && attempts < extra_links * 20 {
+            attempts += 1;
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b {
+                continue;
+            }
+            let (da, db) = (DatapathId(a as u64 + 1), DatapathId(b as u64 + 1));
+            let dup = t.links.iter().any(|l| {
+                (l.a.dpid == da && l.b.dpid == db) || (l.a.dpid == db && l.b.dpid == da)
+            });
+            if dup {
+                continue;
+            }
+            t.connect(da, db);
+            added += 1;
+        }
+        let mut host_idx = 1u64;
+        for i in 0..n {
+            for _ in 0..hosts_per_switch {
+                t.attach_host(DatapathId(i as u64 + 1), host_idx);
+                host_idx += 1;
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shape() {
+        let t = Topology::linear(4, 2);
+        assert_eq!(t.n_switches(), 4);
+        assert_eq!(t.links.len(), 3);
+        assert_eq!(t.hosts.len(), 8);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn ring_closes_the_loop() {
+        let t = Topology::ring(5, 1);
+        assert_eq!(t.links.len(), 5);
+        assert!(t.is_connected());
+        // Degenerate rings don't double-link.
+        assert_eq!(Topology::ring(2, 0).links.len(), 1);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Topology::star(6, 2);
+        assert_eq!(t.n_switches(), 7);
+        assert_eq!(t.links.len(), 6);
+        assert_eq!(t.hosts.len(), 12);
+        // All links touch the core.
+        assert!(t.links.iter().all(|l| l.a.dpid == DatapathId(1) || l.b.dpid == DatapathId(1)));
+    }
+
+    #[test]
+    fn tree_shape() {
+        let t = Topology::tree(2, 3, 1);
+        // 1 + 2 + 4 switches, hosts only on the 4 leaves.
+        assert_eq!(t.n_switches(), 7);
+        assert_eq!(t.links.len(), 6);
+        assert_eq!(t.hosts.len(), 4);
+        assert!(t.is_connected());
+        // Depth 1: a lone root that is also the leaf tier.
+        let single = Topology::tree(3, 1, 2);
+        assert_eq!(single.n_switches(), 1);
+        assert_eq!(single.hosts.len(), 2);
+    }
+
+    #[test]
+    fn fat_tree_k4_dimensions() {
+        let t = Topology::fat_tree(4);
+        // 4 cores + 4 pods * (2 agg + 2 edge) = 20 switches.
+        assert_eq!(t.n_switches(), 20);
+        // Hosts: 4 pods * 2 edges * 2 = 16.
+        assert_eq!(t.hosts.len(), 16);
+        // Links: agg-core 4*2*2=16, agg-edge 4*2*2=16.
+        assert_eq!(t.links.len(), 32);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn fat_tree_rejects_odd_k() {
+        let _ = Topology::fat_tree(3);
+    }
+
+    #[test]
+    fn random_is_connected_and_deterministic() {
+        let a = Topology::random(12, 5, 1, 42);
+        let b = Topology::random(12, 5, 1, 42);
+        assert_eq!(a, b);
+        assert!(a.is_connected());
+        assert!(a.links.len() >= 11);
+        let c = Topology::random(12, 5, 1, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ports_never_collide() {
+        let t = Topology::fat_tree(4);
+        let mut used = std::collections::BTreeSet::new();
+        for e in t.links.iter().flat_map(|l| [l.a, l.b]).chain(t.hosts.iter().map(|h| h.attach)) {
+            assert!(used.insert((e.dpid, e.port)), "port collision at {e:?}");
+        }
+    }
+
+    #[test]
+    fn hosts_have_unique_addresses() {
+        let t = Topology::fat_tree(4);
+        let mut macs = std::collections::BTreeSet::new();
+        for h in &t.hosts {
+            assert!(macs.insert(h.mac));
+        }
+    }
+
+    #[test]
+    fn empty_topology_is_connected() {
+        assert!(Topology::new().is_connected());
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut t = Topology::new();
+        t.add_switch(DatapathId(1), 2);
+        t.add_switch(DatapathId(2), 2);
+        assert!(!t.is_connected());
+        t.connect(DatapathId(1), DatapathId(2));
+        assert!(t.is_connected());
+    }
+}

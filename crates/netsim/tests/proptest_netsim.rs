@@ -1,0 +1,199 @@
+//! Property tests for the simulator: flow-table laws, dataplane sanity,
+//! and determinism.
+
+use legosdn_netsim::{FlowTable, Network, SimDuration, SimTime, Topology};
+use legosdn_openflow::prelude::*;
+use proptest::prelude::*;
+
+fn arb_match() -> impl Strategy<Value = Match> {
+    (proptest::option::of(1u64..6), proptest::option::of(1u64..6), proptest::option::of(1u16..4))
+        .prop_map(|(src, dst, in_port)| Match {
+            eth_src: src.map(MacAddr::from_index),
+            eth_dst: dst.map(MacAddr::from_index),
+            in_port: in_port.map(PortNo::Phys),
+            ..Match::default()
+        })
+}
+
+fn arb_flowmod() -> impl Strategy<Value = FlowMod> {
+    (
+        arb_match(),
+        prop_oneof![
+            Just(FlowModCommand::Add),
+            Just(FlowModCommand::Modify),
+            Just(FlowModCommand::ModifyStrict),
+            Just(FlowModCommand::Delete),
+            Just(FlowModCommand::DeleteStrict),
+        ],
+        0u16..4,
+        0u16..20,
+        0u16..20,
+        1u16..4,
+    )
+        .prop_map(|(mat, command, priority, idle, hard, port)| {
+            let mut fm = FlowMod::add(mat)
+                .priority(priority * 100)
+                .idle_timeout(idle)
+                .hard_timeout(hard)
+                .action(Action::Output(PortNo::Phys(port)));
+            fm.command = command;
+            fm
+        })
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (1u64..6, 1u64..6).prop_map(|(s, d)| {
+        Packet::ethernet(MacAddr::from_index(s), MacAddr::from_index(d))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Table entries stay sorted by priority descending.
+    #[test]
+    fn table_priority_order_invariant(mods in proptest::collection::vec(arb_flowmod(), 0..30)) {
+        let mut t = FlowTable::default();
+        for fm in &mods {
+            let _ = t.apply(fm, SimTime::ZERO);
+        }
+        let priorities: Vec<u16> = t.iter().map(|e| e.priority).collect();
+        let mut sorted = priorities.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(priorities, sorted);
+    }
+
+    /// No two entries ever share (match, priority) — adds replace.
+    #[test]
+    fn table_identity_uniqueness(mods in proptest::collection::vec(arb_flowmod(), 0..30)) {
+        let mut t = FlowTable::default();
+        for fm in &mods {
+            let _ = t.apply(fm, SimTime::ZERO);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for e in t.iter() {
+            let key = (format!("{:?}", e.mat), e.priority);
+            let fresh = seen.insert(key);
+            prop_assert!(fresh, "duplicate (match, priority) entry");
+        }
+    }
+
+    /// The matched entry is always the first (highest-priority) match.
+    #[test]
+    fn lookup_returns_highest_priority_match(
+        mods in proptest::collection::vec(arb_flowmod(), 0..20),
+        pkt in arb_packet(),
+        in_port in 1u16..4,
+    ) {
+        let mut t = FlowTable::default();
+        for fm in &mods {
+            let _ = t.apply(fm, SimTime::ZERO);
+        }
+        let expected_priority = t
+            .iter()
+            .filter(|e| e.mat.matches(&pkt, PortNo::Phys(in_port)))
+            .map(|e| e.priority)
+            .max();
+        let got = t.lookup(&pkt, PortNo::Phys(in_port), SimTime::ZERO).map(|e| e.priority);
+        prop_assert_eq!(got, expected_priority);
+    }
+
+    /// Wildcard delete leaves the table empty; the outcome reports exactly
+    /// what was there.
+    #[test]
+    fn delete_all_is_total(mods in proptest::collection::vec(arb_flowmod(), 0..20)) {
+        let mut t = FlowTable::default();
+        for fm in &mods {
+            let _ = t.apply(fm, SimTime::ZERO);
+        }
+        let before = t.len();
+        let out = t.apply(&FlowMod::delete(Match::any()), SimTime::ZERO).unwrap();
+        prop_assert_eq!(out.displaced.len(), before);
+        prop_assert_eq!(t.len(), 0);
+    }
+
+    /// Expiry is monotone: once a time-advance expires entries, re-running
+    /// at the same time expires nothing more.
+    #[test]
+    fn expiry_is_idempotent(
+        mods in proptest::collection::vec(arb_flowmod(), 0..20),
+        advance in 0u64..40,
+    ) {
+        let mut t = FlowTable::default();
+        for fm in &mods {
+            let _ = t.apply(fm, SimTime::ZERO);
+        }
+        let now = SimTime::from_secs(advance);
+        let _ = t.expire(now);
+        let second = t.expire(now);
+        prop_assert!(second.is_empty());
+        // Everything left genuinely has time remaining (or no timeout).
+        for e in t.iter() {
+            if e.hard_timeout > 0 {
+                prop_assert!(u64::from(e.hard_timeout) > advance);
+            }
+        }
+    }
+
+    /// peek and lookup agree on which entry matches.
+    #[test]
+    fn peek_lookup_agree(
+        mods in proptest::collection::vec(arb_flowmod(), 0..20),
+        pkt in arb_packet(),
+    ) {
+        let mut t = FlowTable::default();
+        for fm in &mods {
+            let _ = t.apply(fm, SimTime::ZERO);
+        }
+        let peeked = t.peek(&pkt, PortNo::Phys(1)).map(|e| (e.mat.clone(), e.priority));
+        let looked = t.lookup(&pkt, PortNo::Phys(1), SimTime::ZERO).map(|e| (e.mat.clone(), e.priority));
+        prop_assert_eq!(peeked, looked);
+    }
+
+    /// Dataplane conservation: a unicast injection is delivered at most
+    /// once per host, and deliveries+drops never exceed the flood fan-out
+    /// bound.
+    #[test]
+    fn dataplane_no_duplication(
+        seed in 0u64..1000,
+        n_pkts in 1usize..10,
+    ) {
+        let topo = Topology::random(4, 2, 1, seed);
+        let mut net = Network::new(&topo);
+        // Exact forwarding toward each host from its own switch only.
+        for h in &topo.hosts {
+            let fm = FlowMod::add(Match::eth_dst(h.mac))
+                .action(Action::Output(PortNo::Phys(h.attach.port)));
+            net.apply(h.attach.dpid, &Message::FlowMod(fm)).unwrap();
+        }
+        for i in 0..n_pkts {
+            let src = &topo.hosts[i % topo.hosts.len()];
+            let dst = &topo.hosts[(i + 1) % topo.hosts.len()];
+            let trace = net.inject(src.mac, Packet::ethernet(src.mac, dst.mac)).unwrap();
+            // At most one delivery to the destination per injection.
+            let copies =
+                trace.delivered.iter().filter(|(m, _)| *m == dst.mac).count();
+            prop_assert!(copies <= 1, "duplicated delivery: {:?}", trace);
+            prop_assert!(!trace.loop_detected);
+        }
+    }
+
+    /// Determinism: identical seeds give identical networks and traces.
+    #[test]
+    fn network_runs_are_deterministic(seed in 0u64..500) {
+        let run = || {
+            let topo = Topology::random(5, 2, 1, seed);
+            let mut net = Network::new(&topo);
+            for sw in topo.switches.keys() {
+                let fm = FlowMod::add(Match::any()).action(Action::Output(PortNo::Flood));
+                net.apply(*sw, &Message::FlowMod(fm)).unwrap();
+            }
+            let src = topo.hosts[0].mac;
+            let dst = topo.hosts[1].mac;
+            let trace = net.inject(src, Packet::ethernet(src, dst)).unwrap();
+            net.tick(SimDuration::from_secs(5));
+            (format!("{trace:?}"), net.delivery_counters())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

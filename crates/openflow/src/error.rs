@@ -1,0 +1,162 @@
+//! Protocol error vocabulary and codec errors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// OpenFlow 1.0 error categories (`ofp_error_type` subset).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ErrorType {
+    HelloFailed,
+    BadRequest,
+    BadAction,
+    FlowModFailed,
+    PortModFailed,
+    QueueOpFailed,
+}
+
+impl ErrorType {
+    /// The wire value.
+    #[must_use]
+    pub fn to_wire(self) -> u16 {
+        match self {
+            ErrorType::HelloFailed => 0,
+            ErrorType::BadRequest => 1,
+            ErrorType::BadAction => 2,
+            ErrorType::FlowModFailed => 3,
+            ErrorType::PortModFailed => 4,
+            ErrorType::QueueOpFailed => 5,
+        }
+    }
+
+    /// Decode from the wire value.
+    #[must_use]
+    pub fn from_wire(raw: u16) -> Option<Self> {
+        Some(match raw {
+            0 => ErrorType::HelloFailed,
+            1 => ErrorType::BadRequest,
+            2 => ErrorType::BadAction,
+            3 => ErrorType::FlowModFailed,
+            4 => ErrorType::PortModFailed,
+            5 => ErrorType::QueueOpFailed,
+            _ => return None,
+        })
+    }
+}
+
+/// Error codes; a deliberately flattened subset sufficient for the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// `OFPFMFC_ALL_TABLES_FULL`
+    TablesFull,
+    /// `OFPFMFC_OVERLAP` — CHECK_OVERLAP set and an overlapping entry exists.
+    Overlap,
+    /// Permissions / epoch errors.
+    EPerm,
+    /// Bad or unknown port referenced.
+    BadPort,
+    /// Unsupported action or message for this switch.
+    Unsupported,
+    /// Anything else, carried verbatim.
+    Other(u16),
+}
+
+impl ErrorCode {
+    /// The wire value.
+    #[must_use]
+    pub fn to_wire(self) -> u16 {
+        match self {
+            ErrorCode::TablesFull => 0,
+            ErrorCode::Overlap => 1,
+            ErrorCode::EPerm => 2,
+            ErrorCode::BadPort => 3,
+            ErrorCode::Unsupported => 4,
+            ErrorCode::Other(v) => v,
+        }
+    }
+
+    /// Decode from the wire value.
+    #[must_use]
+    pub fn from_wire(raw: u16) -> Self {
+        match raw {
+            0 => ErrorCode::TablesFull,
+            1 => ErrorCode::Overlap,
+            2 => ErrorCode::EPerm,
+            3 => ErrorCode::BadPort,
+            4 => ErrorCode::Unsupported,
+            v => ErrorCode::Other(v),
+        }
+    }
+}
+
+/// Errors produced by the binary wire codec.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// Fewer bytes than the header's length field promised (or than a
+    /// structure requires). Carries `(needed, available)`.
+    Truncated { needed: usize, available: usize },
+    /// Header version byte was not OpenFlow 1.0 (`0x01`).
+    BadVersion(u8),
+    /// Unknown message type byte.
+    UnknownType(u8),
+    /// A structurally invalid field (named for diagnostics).
+    BadField(&'static str),
+    /// Trailing bytes after a complete message body.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(f, "truncated message: needed {needed} bytes, have {available}")
+            }
+            CodecError::BadVersion(v) => write!(f, "unsupported OpenFlow version 0x{v:02x}"),
+            CodecError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            CodecError::BadField(name) => write!(f, "invalid field: {name}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message body"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_type_roundtrip() {
+        for t in [
+            ErrorType::HelloFailed,
+            ErrorType::BadRequest,
+            ErrorType::BadAction,
+            ErrorType::FlowModFailed,
+            ErrorType::PortModFailed,
+            ErrorType::QueueOpFailed,
+        ] {
+            assert_eq!(ErrorType::from_wire(t.to_wire()), Some(t));
+        }
+        assert_eq!(ErrorType::from_wire(99), None);
+    }
+
+    #[test]
+    fn error_code_roundtrip() {
+        for c in [
+            ErrorCode::TablesFull,
+            ErrorCode::Overlap,
+            ErrorCode::EPerm,
+            ErrorCode::BadPort,
+            ErrorCode::Unsupported,
+            ErrorCode::Other(77),
+        ] {
+            assert_eq!(ErrorCode::from_wire(c.to_wire()), c);
+        }
+    }
+
+    #[test]
+    fn codec_error_displays() {
+        let e = CodecError::Truncated { needed: 8, available: 3 };
+        assert!(e.to_string().contains("needed 8"));
+        assert!(CodecError::BadVersion(4).to_string().contains("0x04"));
+    }
+}

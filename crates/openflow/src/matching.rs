@@ -1,0 +1,345 @@
+//! The OpenFlow 1.0 match structure (`ofp_match`).
+//!
+//! Fields are modeled as `Option`s (`None` == wildcarded) with CIDR prefix
+//! lengths for the network addresses, exactly the semantics the OF 1.0
+//! wildcard bitfield encodes. [`Match::matches`] evaluates a match against a
+//! parsed [`Packet`]; [`Match::subsumes`] implements the wildcard-delete
+//! semantics of `OFPFC_DELETE` (non-strict).
+
+use crate::packet::{EtherType, IpProto, Packet};
+use crate::types::{prefix_mask, Ipv4Addr, MacAddr, PortNo, VlanId};
+use serde::{Deserialize, Serialize};
+
+/// An OpenFlow 1.0 12-tuple match. `None` fields are wildcards.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Match {
+    pub in_port: Option<PortNo>,
+    pub eth_src: Option<MacAddr>,
+    pub eth_dst: Option<MacAddr>,
+    pub vlan: Option<VlanId>,
+    pub vlan_pcp: Option<u8>,
+    pub eth_type: Option<EtherType>,
+    pub ip_tos: Option<u8>,
+    pub ip_proto: Option<IpProto>,
+    /// Source prefix: `(network, prefix_len)`. `prefix_len == 0` is a full
+    /// wildcard and is normalized to `None` by the constructors.
+    pub ip_src: Option<(Ipv4Addr, u8)>,
+    pub ip_dst: Option<(Ipv4Addr, u8)>,
+    pub tp_src: Option<u16>,
+    pub tp_dst: Option<u16>,
+}
+
+impl Match {
+    /// The all-wildcard match.
+    #[must_use]
+    pub fn any() -> Self {
+        Match::default()
+    }
+
+    /// Match on exact source and destination MAC.
+    #[must_use]
+    pub fn exact_eth(src: MacAddr, dst: MacAddr) -> Self {
+        Match {
+            eth_src: Some(src),
+            eth_dst: Some(dst),
+            ..Match::default()
+        }
+    }
+
+    /// Match on destination MAC only.
+    #[must_use]
+    pub fn eth_dst(dst: MacAddr) -> Self {
+        Match {
+            eth_dst: Some(dst),
+            ..Match::default()
+        }
+    }
+
+    /// Match IPv4 traffic to a destination prefix.
+    #[must_use]
+    pub fn ip_dst_prefix(net: Ipv4Addr, prefix_len: u8) -> Self {
+        Match {
+            eth_type: Some(EtherType::Ipv4),
+            ip_dst: if prefix_len == 0 { None } else { Some((net, prefix_len)) },
+            ..Match::default()
+        }
+    }
+
+    /// The exact match OpenFlow reactive forwarding installs for a packet
+    /// arriving on `in_port` (every field concretized).
+    #[must_use]
+    pub fn from_packet(pkt: &Packet, in_port: PortNo) -> Self {
+        Match {
+            in_port: Some(in_port),
+            eth_src: Some(pkt.eth_src),
+            eth_dst: Some(pkt.eth_dst),
+            vlan: Some(pkt.vlan),
+            vlan_pcp: pkt.vlan.is_tagged().then_some(pkt.vlan_pcp),
+            eth_type: Some(pkt.eth_type),
+            ip_tos: if pkt.ip_src.is_some() { Some(pkt.ip_tos) } else { None },
+            ip_proto: pkt.ip_proto,
+            ip_src: pkt.ip_src.map(|a| (a, 32)),
+            ip_dst: pkt.ip_dst.map(|a| (a, 32)),
+            tp_src: pkt.tp_src,
+            tp_dst: pkt.tp_dst,
+        }
+    }
+
+    /// Builder-style setter for `in_port`.
+    #[must_use]
+    pub fn with_in_port(mut self, port: PortNo) -> Self {
+        self.in_port = Some(port);
+        self
+    }
+
+    /// Builder-style setter for `tp_dst` (e.g. a service port).
+    #[must_use]
+    pub fn with_tp_dst(mut self, port: u16) -> Self {
+        self.tp_dst = Some(port);
+        self
+    }
+
+    /// Does `pkt`, having arrived on `in_port`, satisfy this match?
+    #[must_use]
+    pub fn matches(&self, pkt: &Packet, in_port: PortNo) -> bool {
+        if let Some(p) = self.in_port {
+            if p != in_port {
+                return false;
+            }
+        }
+        if let Some(m) = self.eth_src {
+            if m != pkt.eth_src {
+                return false;
+            }
+        }
+        if let Some(m) = self.eth_dst {
+            if m != pkt.eth_dst {
+                return false;
+            }
+        }
+        if let Some(v) = self.vlan {
+            if v != pkt.vlan {
+                return false;
+            }
+        }
+        if let Some(p) = self.vlan_pcp {
+            if !pkt.vlan.is_tagged() || p != pkt.vlan_pcp {
+                return false;
+            }
+        }
+        if let Some(t) = self.eth_type {
+            if t != pkt.eth_type {
+                return false;
+            }
+        }
+        if let Some(tos) = self.ip_tos {
+            if pkt.ip_src.is_none() || tos != pkt.ip_tos {
+                return false;
+            }
+        }
+        if let Some(pr) = self.ip_proto {
+            if pkt.ip_proto != Some(pr) {
+                return false;
+            }
+        }
+        if let Some((net, len)) = self.ip_src {
+            match pkt.ip_src {
+                Some(a) if a.in_prefix(net, len) => {}
+                _ => return false,
+            }
+        }
+        if let Some((net, len)) = self.ip_dst {
+            match pkt.ip_dst {
+                Some(a) if a.in_prefix(net, len) => {}
+                _ => return false,
+            }
+        }
+        if let Some(p) = self.tp_src {
+            if pkt.tp_src != Some(p) {
+                return false;
+            }
+        }
+        if let Some(p) = self.tp_dst {
+            if pkt.tp_dst != Some(p) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does this match subsume `other`? I.e. every packet matched by `other`
+    /// is also matched by `self`. This is the OF 1.0 non-strict delete /
+    /// flow-stats filter relation.
+    #[must_use]
+    pub fn subsumes(&self, other: &Match) -> bool {
+        fn field<T: PartialEq>(outer: &Option<T>, inner: &Option<T>) -> bool {
+            match (outer, inner) {
+                (None, _) => true,
+                (Some(a), Some(b)) => a == b,
+                (Some(_), None) => false,
+            }
+        }
+        fn prefix(outer: &Option<(Ipv4Addr, u8)>, inner: &Option<(Ipv4Addr, u8)>) -> bool {
+            match (outer, inner) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some((onet, olen)), Some((inet, ilen))) => {
+                    olen <= ilen && {
+                        let mask = prefix_mask(*olen);
+                        onet.0 & mask == inet.0 & mask
+                    }
+                }
+            }
+        }
+        field(&self.in_port, &other.in_port)
+            && field(&self.eth_src, &other.eth_src)
+            && field(&self.eth_dst, &other.eth_dst)
+            && field(&self.vlan, &other.vlan)
+            && field(&self.vlan_pcp, &other.vlan_pcp)
+            && field(&self.eth_type, &other.eth_type)
+            && field(&self.ip_tos, &other.ip_tos)
+            && field(&self.ip_proto, &other.ip_proto)
+            && prefix(&self.ip_src, &other.ip_src)
+            && prefix(&self.ip_dst, &other.ip_dst)
+            && field(&self.tp_src, &other.tp_src)
+            && field(&self.tp_dst, &other.tp_dst)
+    }
+
+    /// Number of concrete (non-wildcard) fields; a crude specificity measure
+    /// used by tests and diagnostics.
+    #[must_use]
+    pub fn specificity(&self) -> u32 {
+        let mut n = 0;
+        n += u32::from(self.in_port.is_some());
+        n += u32::from(self.eth_src.is_some());
+        n += u32::from(self.eth_dst.is_some());
+        n += u32::from(self.vlan.is_some());
+        n += u32::from(self.vlan_pcp.is_some());
+        n += u32::from(self.eth_type.is_some());
+        n += u32::from(self.ip_tos.is_some());
+        n += u32::from(self.ip_proto.is_some());
+        n += u32::from(self.ip_src.is_some());
+        n += u32::from(self.ip_dst.is_some());
+        n += u32::from(self.tp_src.is_some());
+        n += u32::from(self.tp_dst.is_some());
+        n
+    }
+
+    /// True if every field is wildcarded.
+    #[must_use]
+    pub fn is_wildcard_all(&self) -> bool {
+        self.specificity() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt() -> Packet {
+        Packet::tcp(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 1, 2),
+            4000,
+            80,
+        )
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(Match::any().matches(&pkt(), PortNo::Phys(1)));
+        assert!(Match::any().is_wildcard_all());
+    }
+
+    #[test]
+    fn exact_from_packet_matches_only_same_port() {
+        let p = pkt();
+        let m = Match::from_packet(&p, PortNo::Phys(3));
+        assert!(m.matches(&p, PortNo::Phys(3)));
+        assert!(!m.matches(&p, PortNo::Phys(4)));
+    }
+
+    #[test]
+    fn eth_dst_only() {
+        let p = pkt();
+        let m = Match::eth_dst(p.eth_dst);
+        assert!(m.matches(&p, PortNo::Phys(1)));
+        let m2 = Match::eth_dst(MacAddr::from_index(99));
+        assert!(!m2.matches(&p, PortNo::Phys(1)));
+    }
+
+    #[test]
+    fn ip_prefix_matching() {
+        let p = pkt();
+        assert!(Match::ip_dst_prefix(Ipv4Addr::new(10, 0, 1, 0), 24).matches(&p, PortNo::Phys(1)));
+        assert!(!Match::ip_dst_prefix(Ipv4Addr::new(10, 0, 2, 0), 24).matches(&p, PortNo::Phys(1)));
+        // prefix_len 0 normalizes to full wildcard
+        let m = Match::ip_dst_prefix(Ipv4Addr::new(1, 2, 3, 4), 0);
+        assert!(m.ip_dst.is_none());
+    }
+
+    #[test]
+    fn l4_fields() {
+        let p = pkt();
+        let m = Match::any().with_tp_dst(80);
+        assert!(m.matches(&p, PortNo::Phys(1)));
+        assert!(!Match::any().with_tp_dst(443).matches(&p, PortNo::Phys(1)));
+    }
+
+    #[test]
+    fn vlan_pcp_requires_tag() {
+        let mut p = pkt();
+        let m = Match {
+            vlan_pcp: Some(0),
+            ..Match::default()
+        };
+        assert!(!m.matches(&p, PortNo::Phys(1)));
+        p.vlan = VlanId(7);
+        assert!(m.matches(&p, PortNo::Phys(1)));
+    }
+
+    #[test]
+    fn non_ip_packet_fails_ip_fields() {
+        let l2 = Packet::ethernet(MacAddr::from_index(1), MacAddr::from_index(2));
+        assert!(!Match::ip_dst_prefix(Ipv4Addr::new(10, 0, 0, 0), 8).matches(&l2, PortNo::Phys(1)));
+        let tos = Match {
+            ip_tos: Some(0),
+            ..Match::default()
+        };
+        assert!(!tos.matches(&l2, PortNo::Phys(1)));
+    }
+
+    #[test]
+    fn subsumption_basics() {
+        let wide = Match::eth_dst(MacAddr::from_index(2));
+        let narrow = Match::from_packet(&pkt(), PortNo::Phys(1));
+        assert!(Match::any().subsumes(&narrow));
+        assert!(wide.subsumes(&narrow));
+        assert!(!narrow.subsumes(&wide));
+        assert!(narrow.subsumes(&narrow.clone()));
+    }
+
+    #[test]
+    fn prefix_subsumption() {
+        let wide = Match::ip_dst_prefix(Ipv4Addr::new(10, 0, 0, 0), 8);
+        let narrow = Match::ip_dst_prefix(Ipv4Addr::new(10, 0, 1, 0), 24);
+        assert!(wide.subsumes(&narrow));
+        assert!(!narrow.subsumes(&wide));
+        let disjoint = Match::ip_dst_prefix(Ipv4Addr::new(11, 0, 0, 0), 8);
+        assert!(!disjoint.subsumes(&narrow));
+    }
+
+    #[test]
+    fn specificity_counts_fields() {
+        assert_eq!(Match::any().specificity(), 0);
+        assert_eq!(Match::exact_eth(MacAddr::from_index(1), MacAddr::from_index(2)).specificity(), 2);
+        // Untagged packet: vlan_pcp stays wildcarded, so 11 of 12 fields.
+        let full = Match::from_packet(&pkt(), PortNo::Phys(1));
+        assert_eq!(full.specificity(), 11);
+        let mut tagged = pkt();
+        tagged.vlan = VlanId(5);
+        assert_eq!(Match::from_packet(&tagged, PortNo::Phys(1)).specificity(), 12);
+    }
+}

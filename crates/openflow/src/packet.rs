@@ -1,0 +1,290 @@
+//! A parsed packet header model.
+//!
+//! The simulator's dataplane and the flow-table matcher both operate on this
+//! structure; `PacketIn.data` carries its serialized form so that isolated
+//! apps (which only see bytes over the AppVisor RPC) can re-parse it.
+
+use crate::types::{Ipv4Addr, MacAddr, VlanId};
+use serde::{Deserialize, Serialize};
+
+/// EtherType values the match machinery understands.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum EtherType {
+    Ipv4,
+    Arp,
+    Lldp,
+    /// Anything else, carried verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The wire value.
+    #[must_use]
+    pub fn to_wire(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Lldp => 0x88cc,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// From the wire value.
+    #[must_use]
+    pub fn from_wire(raw: u16) -> Self {
+        match raw {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x88cc => EtherType::Lldp,
+            v => EtherType::Other(v),
+        }
+    }
+}
+
+/// IP protocol numbers the match machinery understands.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum IpProto {
+    Icmp,
+    Tcp,
+    Udp,
+    Other(u8),
+}
+
+impl IpProto {
+    /// The wire value.
+    #[must_use]
+    pub fn to_wire(self) -> u8 {
+        match self {
+            IpProto::Icmp => 1,
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Other(v) => v,
+        }
+    }
+
+    /// From the wire value.
+    #[must_use]
+    pub fn from_wire(raw: u8) -> Self {
+        match raw {
+            1 => IpProto::Icmp,
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            v => IpProto::Other(v),
+        }
+    }
+}
+
+/// A parsed packet: L2 always present, L3/L4 optional.
+///
+/// `payload_len` stands in for an actual payload so byte counters behave
+/// realistically without shuttling packet bodies around the simulator.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Packet {
+    pub eth_src: MacAddr,
+    pub eth_dst: MacAddr,
+    pub eth_type: EtherType,
+    pub vlan: VlanId,
+    pub vlan_pcp: u8,
+    pub ip_src: Option<Ipv4Addr>,
+    pub ip_dst: Option<Ipv4Addr>,
+    pub ip_proto: Option<IpProto>,
+    pub ip_tos: u8,
+    pub tp_src: Option<u16>,
+    pub tp_dst: Option<u16>,
+    /// Simulated payload length in bytes (excluding headers).
+    pub payload_len: u32,
+}
+
+impl Packet {
+    /// A minimal L2-only Ethernet frame.
+    #[must_use]
+    pub fn ethernet(src: MacAddr, dst: MacAddr) -> Self {
+        Packet {
+            eth_src: src,
+            eth_dst: dst,
+            eth_type: EtherType::Other(0x05ff),
+            vlan: VlanId::NONE,
+            vlan_pcp: 0,
+            ip_src: None,
+            ip_dst: None,
+            ip_proto: None,
+            ip_tos: 0,
+            tp_src: None,
+            tp_dst: None,
+            payload_len: 64,
+        }
+    }
+
+    /// A TCP/IPv4 packet with the given addressing.
+    #[must_use]
+    pub fn tcp(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+    ) -> Self {
+        Packet {
+            eth_src: src_mac,
+            eth_dst: dst_mac,
+            eth_type: EtherType::Ipv4,
+            vlan: VlanId::NONE,
+            vlan_pcp: 0,
+            ip_src: Some(src_ip),
+            ip_dst: Some(dst_ip),
+            ip_proto: Some(IpProto::Tcp),
+            ip_tos: 0,
+            tp_src: Some(src_port),
+            tp_dst: Some(dst_port),
+            payload_len: 512,
+        }
+    }
+
+    /// A UDP/IPv4 packet with the given addressing.
+    #[must_use]
+    pub fn udp(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+    ) -> Self {
+        let mut p = Self::tcp(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port);
+        p.ip_proto = Some(IpProto::Udp);
+        p.payload_len = 256;
+        p
+    }
+
+    /// An ICMP echo packet.
+    #[must_use]
+    pub fn icmp(src_mac: MacAddr, dst_mac: MacAddr, src_ip: Ipv4Addr, dst_ip: Ipv4Addr) -> Self {
+        Packet {
+            eth_src: src_mac,
+            eth_dst: dst_mac,
+            eth_type: EtherType::Ipv4,
+            vlan: VlanId::NONE,
+            vlan_pcp: 0,
+            ip_src: Some(src_ip),
+            ip_dst: Some(dst_ip),
+            ip_proto: Some(IpProto::Icmp),
+            ip_tos: 0,
+            tp_src: None,
+            tp_dst: None,
+            payload_len: 64,
+        }
+    }
+
+    /// An ARP request/reply stand-in between two hosts.
+    #[must_use]
+    pub fn arp(src_mac: MacAddr, dst_mac: MacAddr, src_ip: Ipv4Addr, dst_ip: Ipv4Addr) -> Self {
+        Packet {
+            eth_src: src_mac,
+            eth_dst: dst_mac,
+            eth_type: EtherType::Arp,
+            vlan: VlanId::NONE,
+            vlan_pcp: 0,
+            ip_src: Some(src_ip),
+            ip_dst: Some(dst_ip),
+            ip_proto: None,
+            ip_tos: 0,
+            tp_src: None,
+            tp_dst: None,
+            payload_len: 28,
+        }
+    }
+
+    /// An LLDP frame used by link discovery; the "chassis/port" information
+    /// is smuggled through `ip_src`/`tp_src` to avoid a separate TLV model.
+    #[must_use]
+    pub fn lldp(src_mac: MacAddr, origin_dpid_low: u32, origin_port: u16) -> Self {
+        Packet {
+            eth_src: src_mac,
+            eth_dst: MacAddr::new([0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e]),
+            eth_type: EtherType::Lldp,
+            vlan: VlanId::NONE,
+            vlan_pcp: 0,
+            ip_src: Some(Ipv4Addr(origin_dpid_low)),
+            ip_dst: None,
+            ip_proto: None,
+            ip_tos: 0,
+            tp_src: Some(origin_port),
+            tp_dst: None,
+            payload_len: 46,
+        }
+    }
+
+    /// Total simulated size on the wire, headers included.
+    #[must_use]
+    pub fn wire_len(&self) -> u32 {
+        let mut len = 14 + self.payload_len;
+        if self.vlan.is_tagged() {
+            len += 4;
+        }
+        if self.ip_src.is_some() {
+            len += 20;
+        }
+        if self.tp_src.is_some() || self.tp_dst.is_some() {
+            len += 8;
+        }
+        len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn macs() -> (MacAddr, MacAddr) {
+        (MacAddr::from_index(1), MacAddr::from_index(2))
+    }
+
+    #[test]
+    fn ethertype_wire_roundtrip() {
+        for et in [
+            EtherType::Ipv4,
+            EtherType::Arp,
+            EtherType::Lldp,
+            EtherType::Other(0x1234),
+        ] {
+            assert_eq!(EtherType::from_wire(et.to_wire()), et);
+        }
+    }
+
+    #[test]
+    fn ipproto_wire_roundtrip() {
+        for pr in [IpProto::Icmp, IpProto::Tcp, IpProto::Udp, IpProto::Other(89)] {
+            assert_eq!(IpProto::from_wire(pr.to_wire()), pr);
+        }
+    }
+
+    #[test]
+    fn tcp_constructor_sets_l3_l4() {
+        let (a, b) = macs();
+        let p = Packet::tcp(a, b, Ipv4Addr::from_index(1), Ipv4Addr::from_index(2), 1000, 80);
+        assert_eq!(p.eth_type, EtherType::Ipv4);
+        assert_eq!(p.ip_proto, Some(IpProto::Tcp));
+        assert_eq!(p.tp_dst, Some(80));
+    }
+
+    #[test]
+    fn wire_len_accounts_for_headers() {
+        let (a, b) = macs();
+        let l2 = Packet::ethernet(a, b);
+        assert_eq!(l2.wire_len(), 14 + 64);
+        let tcp = Packet::tcp(a, b, Ipv4Addr::from_index(1), Ipv4Addr::from_index(2), 1, 2);
+        assert_eq!(tcp.wire_len(), 14 + 20 + 8 + 512);
+        let mut tagged = l2;
+        tagged.vlan = VlanId(5);
+        assert_eq!(tagged.wire_len(), 14 + 4 + 64);
+    }
+
+    #[test]
+    fn lldp_carries_origin() {
+        let p = Packet::lldp(MacAddr::from_index(9), 0x42, 7);
+        assert_eq!(p.eth_type, EtherType::Lldp);
+        assert_eq!(p.ip_src, Some(Ipv4Addr(0x42)));
+        assert_eq!(p.tp_src, Some(7));
+    }
+}

@@ -1,0 +1,359 @@
+//! Core scalar types shared across the protocol surface.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A switch datapath identifier (OpenFlow `datapath_id`, 64 bits).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct DatapathId(pub u64);
+
+impl fmt::Debug for DatapathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dpid:{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for DatapathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl From<u64> for DatapathId {
+    fn from(v: u64) -> Self {
+        DatapathId(v)
+    }
+}
+
+/// An OpenFlow transaction id carried in every message header.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize, Default)]
+pub struct Xid(pub u32);
+
+impl Xid {
+    /// The next xid in sequence, wrapping on overflow.
+    #[must_use]
+    pub fn next(self) -> Xid {
+        Xid(self.0.wrapping_add(1))
+    }
+}
+
+/// A packet buffer id; `BufferId::NONE` (`0xffff_ffff`) means "no buffer".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct BufferId(pub u32);
+
+impl BufferId {
+    /// The distinguished "no buffer" value (`OFP_NO_BUFFER`).
+    pub const NONE: BufferId = BufferId(0xffff_ffff);
+
+    /// Whether this id refers to an actual buffered packet.
+    #[must_use]
+    pub fn is_some(self) -> bool {
+        self != Self::NONE
+    }
+}
+
+impl Default for BufferId {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+/// An Ethernet MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Construct from raw octets.
+    #[must_use]
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// Construct a locally-administered address from a small integer,
+    /// convenient for simulator host numbering.
+    #[must_use]
+    pub fn from_index(idx: u64) -> Self {
+        let b = idx.to_be_bytes();
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// True for broadcast or multicast destinations.
+    #[must_use]
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// The raw octets.
+    #[must_use]
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An IPv4 address (kept local rather than using `std::net` so the wire codec
+/// and match arithmetic can treat it as a plain `u32`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// Construct from dotted-quad octets.
+    #[must_use]
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// Construct a `10.x.y.z` address from a small integer, convenient for
+    /// simulator host numbering.
+    #[must_use]
+    pub fn from_index(idx: u32) -> Self {
+        Ipv4Addr(0x0a00_0000 | (idx & 0x00ff_ffff))
+    }
+
+    /// The dotted-quad octets.
+    #[must_use]
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Whether `self` falls inside the prefix `net/prefix_len`.
+    #[must_use]
+    pub fn in_prefix(self, net: Ipv4Addr, prefix_len: u8) -> bool {
+        let mask = prefix_mask(prefix_len);
+        self.0 & mask == net.0 & mask
+    }
+}
+
+/// The network mask for a prefix length, e.g. `prefix_mask(24) == 0xffff_ff00`.
+#[must_use]
+pub fn prefix_mask(prefix_len: u8) -> u32 {
+    match prefix_len {
+        0 => 0,
+        n if n >= 32 => u32::MAX,
+        n => u32::MAX << (32 - n),
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A VLAN id (12-bit); `VlanId::NONE` models an untagged frame.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct VlanId(pub u16);
+
+impl VlanId {
+    /// The OpenFlow 1.0 `OFP_VLAN_NONE` value.
+    pub const NONE: VlanId = VlanId(0xffff);
+
+    /// Whether the frame carries a VLAN tag.
+    #[must_use]
+    pub fn is_tagged(self) -> bool {
+        self != Self::NONE
+    }
+}
+
+impl Default for VlanId {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+/// An OpenFlow port: either a physical port number or one of the reserved
+/// pseudo-ports used in actions and flow-mod `out_port` filters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum PortNo {
+    /// A physical switch port. OpenFlow 1.0 numbers these `1..=0xff00`.
+    Phys(u16),
+    /// Send the packet out the port it arrived on.
+    InPort,
+    /// Process through the flow table (only valid in packet-out).
+    Table,
+    /// Legacy L2 processing.
+    Normal,
+    /// Flood out all ports except the ingress port (and blocked ports).
+    Flood,
+    /// Output to all ports except the ingress port.
+    All,
+    /// Punt to the controller.
+    Controller,
+    /// The switch's local networking stack.
+    Local,
+    /// Wildcard / "no port" (`OFPP_NONE`).
+    #[default]
+    None,
+}
+
+impl PortNo {
+    /// Encode to the OpenFlow 1.0 16-bit port number space.
+    #[must_use]
+    pub fn to_wire(self) -> u16 {
+        match self {
+            PortNo::Phys(p) => p,
+            PortNo::InPort => 0xfff8,
+            PortNo::Table => 0xfff9,
+            PortNo::Normal => 0xfffa,
+            PortNo::Flood => 0xfffb,
+            PortNo::All => 0xfffc,
+            PortNo::Controller => 0xfffd,
+            PortNo::Local => 0xfffe,
+            PortNo::None => 0xffff,
+        }
+    }
+
+    /// Decode from the OpenFlow 1.0 16-bit port number space.
+    #[must_use]
+    pub fn from_wire(raw: u16) -> Self {
+        match raw {
+            0xfff8 => PortNo::InPort,
+            0xfff9 => PortNo::Table,
+            0xfffa => PortNo::Normal,
+            0xfffb => PortNo::Flood,
+            0xfffc => PortNo::All,
+            0xfffd => PortNo::Controller,
+            0xfffe => PortNo::Local,
+            0xffff => PortNo::None,
+            p => PortNo::Phys(p),
+        }
+    }
+
+    /// The physical port number, if this is a physical port.
+    #[must_use]
+    pub fn phys(self) -> Option<u16> {
+        match self {
+            PortNo::Phys(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+
+impl fmt::Display for PortNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortNo::Phys(p) => write!(f, "{p}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datapath_id_formats_as_hex() {
+        assert_eq!(format!("{}", DatapathId(0xab)), "00000000000000ab");
+        assert_eq!(format!("{:?}", DatapathId(1)), "dpid:0000000000000001");
+    }
+
+    #[test]
+    fn xid_wraps() {
+        assert_eq!(Xid(u32::MAX).next(), Xid(0));
+        assert_eq!(Xid(41).next(), Xid(42));
+    }
+
+    #[test]
+    fn buffer_id_none_is_not_some() {
+        assert!(!BufferId::NONE.is_some());
+        assert!(BufferId(3).is_some());
+        assert_eq!(BufferId::default(), BufferId::NONE);
+    }
+
+    #[test]
+    fn mac_from_index_is_unicast_and_unique() {
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        assert_ne!(a, b);
+        assert!(!a.is_multicast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn mac_display() {
+        let m = MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:01");
+    }
+
+    #[test]
+    fn ipv4_octets_roundtrip() {
+        let ip = Ipv4Addr::new(10, 1, 2, 3);
+        assert_eq!(ip.octets(), [10, 1, 2, 3]);
+        assert_eq!(ip.to_string(), "10.1.2.3");
+    }
+
+    #[test]
+    fn ipv4_prefix_membership() {
+        let net = Ipv4Addr::new(10, 1, 0, 0);
+        assert!(Ipv4Addr::new(10, 1, 255, 3).in_prefix(net, 16));
+        assert!(!Ipv4Addr::new(10, 2, 0, 1).in_prefix(net, 16));
+        assert!(Ipv4Addr::new(192, 168, 0, 1).in_prefix(net, 0));
+    }
+
+    #[test]
+    fn prefix_mask_edges() {
+        assert_eq!(prefix_mask(0), 0);
+        assert_eq!(prefix_mask(32), u32::MAX);
+        assert_eq!(prefix_mask(24), 0xffff_ff00);
+        assert_eq!(prefix_mask(33), u32::MAX);
+    }
+
+    #[test]
+    fn vlan_none_is_untagged() {
+        assert!(!VlanId::NONE.is_tagged());
+        assert!(VlanId(100).is_tagged());
+    }
+
+    #[test]
+    fn portno_wire_roundtrip_specials() {
+        for p in [
+            PortNo::InPort,
+            PortNo::Table,
+            PortNo::Normal,
+            PortNo::Flood,
+            PortNo::All,
+            PortNo::Controller,
+            PortNo::Local,
+            PortNo::None,
+            PortNo::Phys(1),
+            PortNo::Phys(0xff00),
+        ] {
+            assert_eq!(PortNo::from_wire(p.to_wire()), p);
+        }
+    }
+
+    #[test]
+    fn portno_phys_accessor() {
+        assert_eq!(PortNo::Phys(4).phys(), Some(4));
+        assert_eq!(PortNo::Flood.phys(), None);
+    }
+}

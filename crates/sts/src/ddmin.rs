@@ -1,0 +1,227 @@
+//! Zeller's `ddmin` delta-debugging algorithm over event sequences.
+
+use crate::oracle::ReplayOracle;
+use legosdn_controller::event::Event;
+use std::fmt;
+
+/// Result of a minimization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinimizeReport {
+    /// A 1-minimal failing subsequence: removing any single event makes the
+    /// failure disappear.
+    pub minimal: Vec<Event>,
+    /// Oracle invocations (replays) consumed.
+    pub replays: usize,
+    /// Length of the input history.
+    pub original_len: usize,
+}
+
+/// Minimization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MinimizeError {
+    /// The full history does not reproduce the failure — nothing to
+    /// minimize (the bug is non-deterministic or externally triggered).
+    NotReproducible,
+    /// The history was empty.
+    EmptyHistory,
+}
+
+impl fmt::Display for MinimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinimizeError::NotReproducible => {
+                write!(f, "full history does not reproduce the failure")
+            }
+            MinimizeError::EmptyHistory => write!(f, "empty event history"),
+        }
+    }
+}
+
+impl std::error::Error for MinimizeError {}
+
+/// Find a 1-minimal subsequence of `history` that still makes
+/// `oracle.reproduces` return true.
+pub fn ddmin(
+    history: &[Event],
+    oracle: &mut dyn ReplayOracle,
+) -> Result<MinimizeReport, MinimizeError> {
+    if history.is_empty() {
+        return Err(MinimizeError::EmptyHistory);
+    }
+    let mut replays = 0usize;
+    let mut test = |events: &[Event], replays: &mut usize| -> bool {
+        *replays += 1;
+        oracle.reproduces(events)
+    };
+    if !test(history, &mut replays) {
+        return Err(MinimizeError::NotReproducible);
+    }
+
+    let mut current: Vec<Event> = history.to_vec();
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunks = partition(&current, n);
+        let mut reduced = false;
+
+        // Try each subset alone.
+        for chunk in &chunks {
+            if test(chunk, &mut replays) {
+                current = chunk.clone();
+                n = 2;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        // Try each complement.
+        if n > 2 {
+            for i in 0..chunks.len() {
+                let complement: Vec<Event> = chunks
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .flat_map(|(_, c)| c.iter().cloned())
+                    .collect();
+                if test(&complement, &mut replays) {
+                    current = complement;
+                    n = (n - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        // Refine granularity.
+        if n < current.len() {
+            n = (2 * n).min(current.len());
+        } else {
+            break;
+        }
+    }
+
+    Ok(MinimizeReport { minimal: current, replays, original_len: history.len() })
+}
+
+/// Split `events` into `n` nearly-equal contiguous chunks.
+fn partition(events: &[Event], n: usize) -> Vec<Vec<Event>> {
+    let n = n.min(events.len()).max(1);
+    let base = events.len() / n;
+    let extra = events.len() % n;
+    let mut out = Vec::with_capacity(n);
+    let mut idx = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < extra);
+        out.push(events[idx..idx + len].to_vec());
+        idx += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legosdn_openflow::prelude::DatapathId;
+
+    fn ev(d: u64) -> Event {
+        Event::SwitchUp(DatapathId(d))
+    }
+
+    /// Oracle: fails iff the sequence contains all of `required` in order.
+    struct SubsetOracle {
+        required: Vec<Event>,
+    }
+
+    impl ReplayOracle for SubsetOracle {
+        fn reproduces(&mut self, events: &[Event]) -> bool {
+            let mut it = events.iter();
+            self.required.iter().all(|r| it.any(|e| e == r))
+        }
+    }
+
+    #[test]
+    fn partition_covers_everything() {
+        let events: Vec<Event> = (0..10).map(ev).collect();
+        for n in 1..=10 {
+            let chunks = partition(&events, n);
+            assert_eq!(chunks.len(), n);
+            let flat: Vec<Event> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, events);
+        }
+    }
+
+    #[test]
+    fn single_culprit_is_found() {
+        let history: Vec<Event> = (0..64).map(ev).collect();
+        let mut oracle = SubsetOracle { required: vec![ev(37)] };
+        let report = ddmin(&history, &mut oracle).unwrap();
+        assert_eq!(report.minimal, vec![ev(37)]);
+        assert_eq!(report.original_len, 64);
+        // Sanity: far fewer replays than brute force (2^64).
+        assert!(report.replays < 200, "used {} replays", report.replays);
+    }
+
+    #[test]
+    fn pair_of_culprits_is_found() {
+        let history: Vec<Event> = (0..32).map(ev).collect();
+        let mut oracle = SubsetOracle { required: vec![ev(5), ev(29)] };
+        let report = ddmin(&history, &mut oracle).unwrap();
+        assert_eq!(report.minimal, vec![ev(5), ev(29)]);
+    }
+
+    #[test]
+    fn three_scattered_culprits() {
+        let history: Vec<Event> = (0..48).map(ev).collect();
+        let mut oracle = SubsetOracle { required: vec![ev(1), ev(24), ev(47)] };
+        let report = ddmin(&history, &mut oracle).unwrap();
+        assert_eq!(report.minimal, vec![ev(1), ev(24), ev(47)]);
+    }
+
+    #[test]
+    fn whole_history_needed_stays_whole() {
+        let history: Vec<Event> = (0..8).map(ev).collect();
+        let mut oracle = SubsetOracle { required: history.clone() };
+        let report = ddmin(&history, &mut oracle).unwrap();
+        assert_eq!(report.minimal.len(), 8);
+    }
+
+    #[test]
+    fn non_reproducible_is_reported() {
+        let history: Vec<Event> = (0..4).map(ev).collect();
+        let mut oracle = SubsetOracle { required: vec![ev(99)] };
+        assert_eq!(ddmin(&history, &mut oracle), Err(MinimizeError::NotReproducible));
+    }
+
+    #[test]
+    fn empty_history_is_reported() {
+        let mut oracle = SubsetOracle { required: vec![] };
+        assert_eq!(ddmin(&[], &mut oracle), Err(MinimizeError::EmptyHistory));
+    }
+
+    #[test]
+    fn minimality_property_holds() {
+        // For every event in the minimal sequence, removing it breaks
+        // reproduction (1-minimality).
+        let history: Vec<Event> = (0..40).map(ev).collect();
+        let mut oracle = SubsetOracle { required: vec![ev(3), ev(17), ev(33)] };
+        let report = ddmin(&history, &mut oracle).unwrap();
+        for skip in 0..report.minimal.len() {
+            let without: Vec<Event> = report
+                .minimal
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, e)| e.clone())
+                .collect();
+            assert!(
+                !oracle.reproduces(&without),
+                "removing element {skip} still reproduces — not 1-minimal"
+            );
+        }
+    }
+}

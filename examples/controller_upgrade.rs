@@ -1,0 +1,73 @@
+//! Controller upgrades (paper §3.4): a monolithic controller reboot loses
+//! every app's state (the HotSwap problem — outages up to 10 s in the
+//! paper's citation); LegoSDN's isolation lets the controller core restart
+//! while apps keep running with their state intact.
+//!
+//! ```sh
+//! cargo run --example controller_upgrade
+//! ```
+
+use legosdn::prelude::*;
+
+/// Count deliveries for one learned host pair before/after an upgrade.
+fn probe(net: &mut Network, a: MacAddr, b: MacAddr) -> bool {
+    net.inject(a, Packet::ethernet(a, b)).map(|t| t.delivered_to(b)).unwrap_or(false)
+}
+
+fn main() {
+    let topo = Topology::linear(2, 1);
+    let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+
+    // ---------------------------------------------------------- monolithic
+    let mut net = Network::new(&topo);
+    let mut mono = MonolithicController::new();
+    mono.attach(Box::new(LearningSwitch::new()));
+    mono.run_cycle(&mut net);
+    // Learn both directions so traffic is switch-local.
+    for _ in 0..2 {
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        mono.run_cycle(&mut net);
+        net.inject(b, Packet::ethernet(b, a)).unwrap();
+        mono.run_cycle(&mut net);
+    }
+    println!("[monolithic] pre-upgrade delivery a→b: {}", probe(&mut net, a, b));
+
+    // Upgrade = reboot: apps lose state, flows age out, topology forgotten.
+    mono.reboot();
+    net.tick(SimDuration::from_secs(10)); // installed flows idle out
+    mono.run_cycle(&mut net);
+    println!(
+        "[monolithic] post-upgrade: topology links known = {}, app must relearn from scratch",
+        mono.translator().topology.n_links()
+    );
+    println!("[monolithic] post-upgrade delivery a→b: {}\n", probe(&mut net, a, b));
+
+    // ------------------------------------------------------------- LegoSDN
+    let mut net = Network::new(&topo);
+    let mut lego = LegoSdnRuntime::new(LegoSdnConfig::default());
+    lego.attach(Box::new(LearningSwitch::new())).unwrap();
+    lego.run_cycle(&mut net);
+    for _ in 0..2 {
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        lego.run_cycle(&mut net);
+        net.inject(b, Packet::ethernet(b, a)).unwrap();
+        lego.run_cycle(&mut net);
+    }
+    println!("[legosdn] pre-upgrade delivery a→b: {}", probe(&mut net, a, b));
+    let app_events = lego.crashpad().checkpoints.events_delivered("learning-switch");
+
+    // Upgrade: the controller core restarts and re-handshakes inline; the
+    // app processes are untouched.
+    lego.upgrade_controller(&mut net);
+    println!(
+        "[legosdn] post-upgrade: topology links known = {} (re-handshake), \
+         app event history preserved = {}",
+        lego.translator().topology.n_links(),
+        lego.crashpad().checkpoints.events_delivered("learning-switch") == app_events,
+    );
+    // The app's MAC tables survived: fresh misses converge in one round.
+    net.inject(a, Packet::ethernet(a, b)).unwrap();
+    lego.run_cycle(&mut net);
+    println!("[legosdn] post-upgrade delivery a→b: {}", probe(&mut net, a, b));
+    println!("\nupgrades performed: {}", lego.stats().upgrades);
+}

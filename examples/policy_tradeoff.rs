@@ -1,0 +1,84 @@
+//! The availability–correctness trade-off (paper §3.3): the same crash
+//! under the three compromise policies, plus the operator policy language.
+//!
+//! ```sh
+//! cargo run --example policy_tradeoff
+//! ```
+
+use legosdn::crashpad::{CheckpointPolicy, CrashPadConfig, PolicyTable, TransformDirection};
+use legosdn::prelude::*;
+
+fn scenario(policies: PolicyTable, label: &str) {
+    let topo = Topology::linear(3, 1);
+    let mut net = Network::new(&topo);
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+        crashpad: CrashPadConfig {
+            checkpoints: CheckpointPolicy::default(),
+            policies,
+            transform_direction: TransformDirection::Decompose,
+        },
+        ..LegoSdnConfig::default()
+    });
+    let router = rt
+        .attach(Box::new(FaultyApp::new(
+            Box::new(ShortestPathRouter::new()),
+            BugTrigger::OnEventKind(EventKind::SwitchDown),
+            BugEffect::Crash,
+        )))
+        .unwrap();
+    rt.run_cycle(&mut net);
+
+    // Warm up, then kill the middle switch — the poisoned event.
+    let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+    net.inject(a, Packet::ethernet(a, b)).unwrap();
+    rt.run_cycle(&mut net);
+    net.set_switch_up(DatapathId(2), false).unwrap();
+    rt.run_cycle(&mut net);
+
+    let stats = rt.stats();
+    let alive = !matches!(rt.app_status(router), Some(AppStatus::Dead));
+    let recovery = rt
+        .crashpad()
+        .tickets
+        .iter()
+        .last()
+        .map(|t| format!("{:?}", t.recovery))
+        .unwrap_or_else(|| "none".into());
+    println!(
+        "{label:<32} app alive: {alive:<5}  recoveries: {}  last recovery: {recovery}",
+        stats.failstop_recoveries,
+    );
+}
+
+fn main() {
+    println!("crash: router panics on SwitchDown; middle switch dies\n");
+
+    scenario(
+        PolicyTable::with_default(CompromisePolicy::Absolute),
+        "Absolute Compromise (ignore)",
+    );
+    scenario(
+        PolicyTable::with_default(CompromisePolicy::NoCompromise),
+        "No Compromise (let it die)",
+    );
+    scenario(
+        PolicyTable::with_default(CompromisePolicy::Equivalence),
+        "Equivalence (transform)",
+    );
+
+    // The operator policy language: a security app gets No-Compromise, the
+    // router gets Equivalence for topology events only.
+    println!("\noperator policy file:");
+    let text = r"
+default absolute
+app firewall use no-compromise
+app shortest-path-router#buggy on switch-down use equivalence
+";
+    println!("{text}");
+    let table = PolicyTable::parse(text).expect("valid policy");
+    scenario(table, "parsed operator policy");
+
+    println!("\nreading: Absolute keeps the app alive but it misses the event;");
+    println!("Equivalence keeps it alive AND it learns the topology change via");
+    println!("link-downs; No-Compromise sacrifices the app for correctness.");
+}

@@ -1,0 +1,88 @@
+//! Quickstart: the paper's pitch in sixty lines.
+//!
+//! Runs the same buggy application stack on (a) a monolithic FloodLight-style
+//! controller, where one crash takes everything down, and (b) the LegoSDN
+//! runtime, where the crash is detected, the app is restored from its
+//! pre-event checkpoint, the offending event is compromised away, and the
+//! network keeps forwarding.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use legosdn::prelude::*;
+
+fn buggy_stack() -> Vec<Box<dyn SdnApp>> {
+    // A learning switch plus a hub with a deterministic bug: it panics on
+    // any packet destined to host 2 — the paper's "failure-inducing event".
+    vec![
+        Box::new(LearningSwitch::new()),
+        Box::new(FaultyApp::new(
+            Box::new(Hub::new()),
+            BugTrigger::OnPacketToMac(MacAddr::from_index(2)),
+            BugEffect::Crash,
+        )),
+    ]
+}
+
+fn main() {
+    let topo = Topology::linear(2, 1);
+    let (alice, bob) = (topo.hosts[0].mac, topo.hosts[1].mac);
+    println!("topology: 2 switches, hosts {alice} and {bob}\n");
+
+    // ---------------------------------------------------------- monolithic
+    let mut net = Network::new(&topo);
+    let mut mono = MonolithicController::new();
+    for app in buggy_stack() {
+        mono.attach(app);
+    }
+    mono.run_cycle(&mut net);
+    println!("[monolithic] controller up, apps: {:?}", mono.app_names());
+
+    net.inject(alice, Packet::ethernet(alice, bob)).unwrap();
+    let report = mono.run_cycle(&mut net);
+    if let Some(crash) = &report.crash {
+        println!("[monolithic] app '{}' crashed: {}", crash.app, crash.panic_message);
+    }
+    println!("[monolithic] controller dead: {}", mono.is_crashed());
+    net.inject(alice, Packet::ethernet(alice, MacAddr::from_index(99))).unwrap();
+    mono.run_cycle(&mut net);
+    println!(
+        "[monolithic] events lost while down: {}\n",
+        mono.stats().events_lost_while_down
+    );
+
+    // ------------------------------------------------------------- LegoSDN
+    let mut net = Network::new(&topo);
+    let mut lego = LegoSdnRuntime::new(LegoSdnConfig::default());
+    for app in buggy_stack() {
+        lego.attach(app).unwrap();
+    }
+    lego.run_cycle(&mut net);
+    println!("[legosdn] controller up, apps: {:?}", lego.app_names());
+
+    net.inject(alice, Packet::ethernet(alice, bob)).unwrap();
+    let report = lego.run_cycle(&mut net);
+    println!(
+        "[legosdn] same poisoned packet: {} recovery(ies), controller dead: {}",
+        report.recoveries,
+        lego.is_crashed()
+    );
+    for ticket in lego.crashpad().tickets.iter() {
+        print!("{}", ticket.render());
+    }
+
+    // Traffic keeps flowing afterwards: resend until the reactive rules
+    // converge along the path (one switch learns per round).
+    let mut delivered = false;
+    for _ in 0..4 {
+        let trace = net.inject(bob, Packet::ethernet(bob, alice)).unwrap();
+        lego.run_cycle(&mut net);
+        if trace.delivered_to(alice) {
+            delivered = true;
+            break;
+        }
+    }
+    println!("[legosdn] post-crash traffic bob→alice delivered: {delivered}");
+    println!("[legosdn] stats: {:?}", lego.stats());
+}

@@ -1,0 +1,193 @@
+//! Integration: the paper's headline claim (E1). An app crash kills the
+//! monolithic stack; under LegoSDN the controller, the other apps, and the
+//! network all keep working.
+
+use legosdn::prelude::*;
+
+/// Drive `n` packets through the network, returning the network's total
+/// end-to-end deliveries (hub-style apps deliver via packet-out floods
+/// executed during the controller cycle, so the lifetime counter is the
+/// right availability metric).
+fn drive_traffic<R>(
+    net: &mut Network,
+    topo: &Topology,
+    n: usize,
+    mut cycle: impl FnMut(&mut Network) -> R,
+) -> u64 {
+    let hosts = topo.hosts.clone();
+    for i in 0..n {
+        let src = &hosts[i % hosts.len()];
+        let dst = &hosts[(i + 1) % hosts.len()];
+        net.inject(src.mac, Packet::ethernet(src.mac, dst.mac)).unwrap();
+        cycle(net);
+    }
+    net.delivery_counters().0
+}
+
+fn poisoned_flooder(poison: MacAddr) -> Box<FaultyApp> {
+    Box::new(FaultyApp::new(
+        Box::new(Hub::new()),
+        BugTrigger::OnPacketToMac(poison),
+        BugEffect::Crash,
+    ))
+}
+
+#[test]
+fn monolithic_controller_dies_with_its_app() {
+    let topo = Topology::linear(3, 1);
+    let mut net = Network::new(&topo);
+    let poison = topo.hosts[2].mac;
+    let mut ctl = MonolithicController::new();
+    ctl.attach(poisoned_flooder(poison));
+    ctl.attach(Box::new(LearningSwitch::new()));
+    ctl.run_cycle(&mut net);
+    assert!(!ctl.is_crashed());
+
+    // Traffic to the poisoned destination kills the whole stack.
+    let a = topo.hosts[0].mac;
+    net.inject(a, Packet::ethernet(a, poison)).unwrap();
+    let report = ctl.run_cycle(&mut net);
+    assert!(report.crash.is_some());
+    assert!(ctl.is_crashed());
+
+    // Everything after is lost: no app sees events, no commands flow.
+    let before = ctl.stats().commands_executed;
+    net.inject(a, Packet::ethernet(a, topo.hosts[1].mac)).unwrap();
+    ctl.run_cycle(&mut net);
+    assert_eq!(ctl.stats().commands_executed, before);
+    assert!(ctl.stats().events_lost_while_down > 0);
+}
+
+#[test]
+fn legosdn_survives_the_same_bug() {
+    let topo = Topology::linear(3, 1);
+    let mut net = Network::new(&topo);
+    let poison = topo.hosts[2].mac;
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig::default());
+    rt.attach(poisoned_flooder(poison)).unwrap();
+    rt.attach(Box::new(LearningSwitch::new())).unwrap();
+    rt.run_cycle(&mut net);
+
+    let a = topo.hosts[0].mac;
+    net.inject(a, Packet::ethernet(a, poison)).unwrap();
+    let report = rt.run_cycle(&mut net);
+    assert!(report.recoveries >= 1);
+    assert!(!rt.is_crashed());
+
+    // The controller keeps executing commands afterwards.
+    let before = rt.stats().commands_executed;
+    net.inject(a, Packet::ethernet(a, topo.hosts[1].mac)).unwrap();
+    rt.run_cycle(&mut net);
+    assert!(rt.stats().commands_executed > before);
+}
+
+#[test]
+fn network_availability_gap_is_measurable() {
+    // The quantitative shape behind Figure 1: deliveries under a recurring
+    // crash trigger, monolithic vs LegoSDN, same workload. Traffic rotates
+    // over three hosts; packets toward host 3 are poisoned, so a third of
+    // the events trigger the bug.
+    let build = || {
+        let topo = Topology::linear(3, 1);
+        let net = Network::new(&topo);
+        (topo, net)
+    };
+
+    // Monolithic: the first poisoned packet kills everything.
+    let (topo, mut net) = build();
+    let poison = topo.hosts[2].mac;
+    let mut ctl = MonolithicController::new();
+    ctl.attach(poisoned_flooder(poison));
+    ctl.run_cycle(&mut net);
+    let mono_delivered = drive_traffic(&mut net, &topo, 30, |n| {
+        ctl.run_cycle(n);
+    });
+
+    // LegoSDN: identical apps, identical traffic; only the poisoned third
+    // of events is compromised away.
+    let (topo, mut net) = build();
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig::default());
+    rt.attach(poisoned_flooder(poison)).unwrap();
+    rt.run_cycle(&mut net);
+    let lego_delivered = drive_traffic(&mut net, &topo, 30, |n| {
+        rt.run_cycle(n);
+    });
+
+    assert!(
+        lego_delivered > mono_delivered,
+        "LegoSDN delivered {lego_delivered}, monolithic {mono_delivered}"
+    );
+    assert!(ctl.is_crashed());
+    assert!(!rt.is_crashed());
+}
+
+#[test]
+fn innocent_apps_keep_their_state_across_a_neighbors_crashes() {
+    let topo = Topology::linear(2, 1);
+    let mut net = Network::new(&topo);
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig::default());
+    rt.attach(Box::new(FaultyApp::new(
+        Box::new(Hub::new()),
+        BugTrigger::OnEventKind(EventKind::PacketIn),
+        BugEffect::Crash,
+    )))
+    .unwrap();
+    rt.attach(Box::new(LearningSwitch::new())).unwrap();
+    rt.run_cycle(&mut net);
+
+    let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+    // Several poisoned events: the faulty app crashes every time; the
+    // learning switch keeps learning (its checkpoint event counter grows).
+    for _ in 0..4 {
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        rt.run_cycle(&mut net);
+        net.inject(b, Packet::ethernet(b, a)).unwrap();
+        rt.run_cycle(&mut net);
+    }
+    assert!(rt.stats().failstop_recoveries >= 4);
+    let ls_events = rt.crashpad().checkpoints.events_delivered("learning-switch");
+    assert!(ls_events >= 4, "learning switch starved: {ls_events}");
+    // After learning both sides, traffic flows switch-locally.
+    let trace = net.inject(a, Packet::ethernet(a, b)).unwrap();
+    assert!(trace.delivered_to(b), "{trace:?}");
+}
+
+#[test]
+fn byzantine_app_cannot_blackhole_the_network() {
+    let topo = Topology::linear(2, 1);
+    let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+
+    // Monolithic: the byzantine rule lands and traffic dies.
+    let mut net = Network::new(&topo);
+    let mut ctl = MonolithicController::new();
+    ctl.attach(Box::new(FaultyApp::new(
+        Box::new(LearningSwitch::new()),
+        BugTrigger::OnEventKind(EventKind::PacketIn),
+        BugEffect::Blackhole,
+    )));
+    ctl.run_cycle(&mut net);
+    net.inject(a, Packet::ethernet(a, b)).unwrap();
+    ctl.run_cycle(&mut net);
+    let mono_blackholed = net
+        .switches()
+        .any(|s| s.table().iter().any(|e| e.priority == u16::MAX && e.actions.is_empty()));
+    assert!(mono_blackholed, "monolithic installs the bad rule");
+
+    // LegoSDN: the gate rejects it.
+    let mut net = Network::new(&topo);
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig::default());
+    rt.attach(Box::new(FaultyApp::new(
+        Box::new(LearningSwitch::new()),
+        BugTrigger::OnEventKind(EventKind::PacketIn),
+        BugEffect::Blackhole,
+    )))
+    .unwrap();
+    rt.run_cycle(&mut net);
+    net.inject(a, Packet::ethernet(a, b)).unwrap();
+    rt.run_cycle(&mut net);
+    assert!(rt.stats().byzantine_blocked >= 1);
+    let lego_blackholed = net
+        .switches()
+        .any(|s| s.table().iter().any(|e| e.priority == u16::MAX && e.actions.is_empty()));
+    assert!(!lego_blackholed, "LegoSDN must keep the bad rule out");
+}

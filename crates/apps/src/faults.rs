@@ -16,14 +16,14 @@
 //!   clone-based mechanism's target.
 
 use crate::util::{snap, unsnap};
+use legosdn_codec::Codec;
 use legosdn_controller::app::{Ctx, RestoreError, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_openflow::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// When the injected bug fires.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Codec)]
 pub enum BugTrigger {
     /// Never fires (control group).
     Never,
@@ -44,7 +44,7 @@ pub enum BugTrigger {
 }
 
 /// What the bug does when it fires.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Codec)]
 pub enum BugEffect {
     /// Fail-stop: panic inside the event handler.
     Crash,
@@ -58,19 +58,19 @@ pub enum BugEffect {
     FlushFlows,
 }
 
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Codec)]
 struct State {
     events_seen: u64,
     per_kind: BTreeMap<EventKind, u64>,
     times_fired: u64,
     /// RNG for the probabilistic trigger. `skip` keeps it out of snapshots:
     /// a restored app re-rolls, modelling non-determinism.
-    #[serde(skip)]
+    #[codec(skip)]
     rng: u64,
 }
 
 /// Saved form: own counters plus the inner app's opaque snapshot.
-#[derive(Serialize, Deserialize)]
+#[derive(Codec)]
 struct Saved {
     own: State,
     inner: Vec<u8>,
@@ -94,7 +94,16 @@ impl FaultyApp {
             BugTrigger::WithProbability { seed, .. } => *seed | 1,
             _ => 1,
         };
-        FaultyApp { inner, name, trigger, effect, state: State { rng: seed, ..State::default() } }
+        FaultyApp {
+            inner,
+            name,
+            trigger,
+            effect,
+            state: State {
+                rng: seed,
+                ..State::default()
+            },
+        }
     }
 
     /// Times the bug has fired.
@@ -227,7 +236,10 @@ impl SdnApp for FaultyApp {
     }
 
     fn snapshot(&self) -> Vec<u8> {
-        snap(&Saved { own: self.state.clone(), inner: self.inner.snapshot() })
+        snap(&Saved {
+            own: self.state.clone(),
+            inner: self.inner.snapshot(),
+        })
     }
 
     fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
@@ -259,11 +271,17 @@ mod tests {
         )
     }
 
-    fn deliver(app: &mut FaultyApp, ev: &Event) -> Result<Vec<legosdn_controller::app::Command>, String> {
+    fn deliver(
+        app: &mut FaultyApp,
+        ev: &Event,
+    ) -> Result<Vec<legosdn_controller::app::Command>, String> {
         let mut topo = TopologyView::default();
         topo.switch_up(DatapathId(1), vec![]);
         topo.switch_up(DatapathId(2), vec![]);
-        topo.link_up(Endpoint::new(DatapathId(1), 1), Endpoint::new(DatapathId(2), 1));
+        topo.link_up(
+            Endpoint::new(DatapathId(1), 1),
+            Endpoint::new(DatapathId(2), 1),
+        );
         let dev = DeviceView::default();
         let mut ctx = Ctx::new(SimTime::ZERO, &topo, &dev);
         let r = catch_unwind(AssertUnwindSafe(|| app.on_event(ev, &mut ctx)));
@@ -301,8 +319,11 @@ mod tests {
 
     #[test]
     fn nth_event_trigger_counts() {
-        let mut app =
-            FaultyApp::new(Box::new(Hub::new()), BugTrigger::OnNthEvent(3), BugEffect::Crash);
+        let mut app = FaultyApp::new(
+            Box::new(Hub::new()),
+            BugTrigger::OnNthEvent(3),
+            BugEffect::Crash,
+        );
         assert!(deliver(&mut app, &pin(2)).is_ok());
         assert!(deliver(&mut app, &pin(2)).is_ok());
         assert!(deliver(&mut app, &pin(2)).is_err());
@@ -396,7 +417,10 @@ mod tests {
         // to the snapshotted value — there is none).
         let mut app = FaultyApp::new(
             Box::new(Hub::new()),
-            BugTrigger::WithProbability { per_mille: 500, seed: 42 },
+            BugTrigger::WithProbability {
+                per_mille: 500,
+                seed: 42,
+            },
             BugEffect::Crash,
         );
         // Drive events until the first crash.
@@ -414,7 +438,10 @@ mod tests {
         app.restore(&snap).unwrap();
         let mut fresh = FaultyApp::new(
             Box::new(Hub::new()),
-            BugTrigger::WithProbability { per_mille: 500, seed: 42 },
+            BugTrigger::WithProbability {
+                per_mille: 500,
+                seed: 42,
+            },
             BugEffect::Crash,
         );
         let mut fresh_fired_at = None;

@@ -7,20 +7,20 @@
 //! security decision.
 
 use crate::util::{snap, unsnap};
+use legosdn_codec::Codec;
 use legosdn_controller::app::{Ctx, RestoreError, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_openflow::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// ACL verdict.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Codec)]
 pub enum Verdict {
     Allow,
     Deny,
 }
 
 /// One ACL rule. `None` fields are wildcards; first matching rule wins.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Codec)]
 pub struct AclRule {
     pub src: Option<(Ipv4Addr, u8)>,
     pub dst: Option<(Ipv4Addr, u8)>,
@@ -32,13 +32,23 @@ impl AclRule {
     /// Deny everything to a destination port (e.g. block telnet).
     #[must_use]
     pub fn deny_port(tp_dst: u16) -> Self {
-        AclRule { src: None, dst: None, tp_dst: Some(tp_dst), verdict: Verdict::Deny }
+        AclRule {
+            src: None,
+            dst: None,
+            tp_dst: Some(tp_dst),
+            verdict: Verdict::Deny,
+        }
     }
 
     /// Deny a source prefix.
     #[must_use]
     pub fn deny_src(net: Ipv4Addr, prefix: u8) -> Self {
-        AclRule { src: Some((net, prefix)), dst: None, tp_dst: None, verdict: Verdict::Deny }
+        AclRule {
+            src: Some((net, prefix)),
+            dst: None,
+            tp_dst: None,
+            verdict: Verdict::Deny,
+        }
     }
 
     fn matches(&self, pkt: &Packet) -> bool {
@@ -63,7 +73,7 @@ impl AclRule {
     }
 }
 
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Codec)]
 struct State {
     rules: Vec<AclRule>,
     denies_installed: u64,
@@ -83,7 +93,12 @@ impl Firewall {
     /// A firewall with the given ordered rule set (default allow).
     #[must_use]
     pub fn new(rules: Vec<AclRule>) -> Self {
-        Firewall { state: State { rules, ..State::default() } }
+        Firewall {
+            state: State {
+                rules,
+                ..State::default()
+            },
+        }
     }
 
     /// Packets evaluated so far.
@@ -117,7 +132,9 @@ impl SdnApp for Firewall {
     }
 
     fn on_event(&mut self, event: &Event, ctx: &mut Ctx<'_>) {
-        let Event::PacketIn(dpid, pi) = event else { return };
+        let Event::PacketIn(dpid, pi) = event else {
+            return;
+        };
         self.state.packets_evaluated += 1;
         if self.evaluate(&pi.packet) == Verdict::Deny {
             // Push a targeted drop rule; the buffered packet is simply not
@@ -208,7 +225,12 @@ mod tests {
     #[test]
     fn first_match_wins() {
         let allow_then_deny = vec![
-            AclRule { src: None, dst: None, tp_dst: Some(80), verdict: Verdict::Allow },
+            AclRule {
+                src: None,
+                dst: None,
+                tp_dst: Some(80),
+                verdict: Verdict::Allow,
+            },
             AclRule::deny_src(Ipv4Addr::new(10, 0, 0, 0), 8),
         ];
         let mut fw = Firewall::new(allow_then_deny);

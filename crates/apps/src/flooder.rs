@@ -3,13 +3,13 @@
 //! ported into its stub (§4.1).
 
 use crate::util::{packet_out_reply, snap, unsnap};
+use legosdn_codec::Codec;
 use legosdn_controller::app::{Ctx, RestoreError, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_openflow::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Codec)]
 struct State {
     provisioned: BTreeSet<DatapathId>,
 }
@@ -40,18 +40,21 @@ impl SdnApp for Flooder {
     }
 
     fn subscriptions(&self) -> Vec<EventKind> {
-        vec![EventKind::SwitchUp, EventKind::SwitchDown, EventKind::PacketIn]
+        vec![
+            EventKind::SwitchUp,
+            EventKind::SwitchDown,
+            EventKind::PacketIn,
+        ]
     }
 
     fn on_event(&mut self, event: &Event, ctx: &mut Ctx<'_>) {
         match event {
-            Event::SwitchUp(dpid)
-                if self.state.provisioned.insert(*dpid) => {
-                    let fm = FlowMod::add(Match::any())
-                        .priority(1)
-                        .action(Action::Output(PortNo::Flood));
-                    ctx.send(*dpid, Message::FlowMod(fm));
-                }
+            Event::SwitchUp(dpid) if self.state.provisioned.insert(*dpid) => {
+                let fm = FlowMod::add(Match::any())
+                    .priority(1)
+                    .action(Action::Output(PortNo::Flood));
+                ctx.send(*dpid, Message::FlowMod(fm));
+            }
             Event::SwitchDown(dpid) => {
                 self.state.provisioned.remove(dpid);
             }
@@ -94,7 +97,11 @@ mod tests {
     fn provisions_each_switch_once() {
         let mut app = Flooder::new();
         assert_eq!(run(&mut app, &Event::SwitchUp(DatapathId(1))), 1);
-        assert_eq!(run(&mut app, &Event::SwitchUp(DatapathId(1))), 0, "idempotent");
+        assert_eq!(
+            run(&mut app, &Event::SwitchUp(DatapathId(1))),
+            0,
+            "idempotent"
+        );
         assert_eq!(run(&mut app, &Event::SwitchUp(DatapathId(2))), 1);
         assert_eq!(app.provisioned(), 2);
     }

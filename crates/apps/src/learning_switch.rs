@@ -6,14 +6,14 @@
 //! destinations flood.
 
 use crate::util::{packet_out_reply, snap, unsnap};
+use legosdn_codec::Codec;
 use legosdn_controller::app::{Ctx, RestoreError, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_openflow::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Serializable state: per-switch MAC → port tables.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Codec)]
 struct State {
     tables: BTreeMap<DatapathId, BTreeMap<MacAddr, u16>>,
     packets_handled: u64,
@@ -32,7 +32,10 @@ impl LearningSwitch {
     /// A learning switch with the FloodLight default 5-second idle timeout.
     #[must_use]
     pub fn new() -> Self {
-        LearningSwitch { state: State::default(), idle_timeout: 5 }
+        LearningSwitch {
+            state: State::default(),
+            idle_timeout: 5,
+        }
     }
 
     /// Number of (switch, mac) entries learned.
@@ -60,7 +63,9 @@ impl SdnApp for LearningSwitch {
     fn on_event(&mut self, event: &Event, ctx: &mut Ctx<'_>) {
         match event {
             Event::PacketIn(dpid, pi) => {
-                let Some(in_port) = pi.in_port.phys() else { return };
+                let Some(in_port) = pi.in_port.phys() else {
+                    return;
+                };
                 self.state.packets_handled += 1;
                 let table = self.state.tables.entry(*dpid).or_default();
                 if !pi.packet.eth_src.is_multicast() {

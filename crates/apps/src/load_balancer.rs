@@ -6,20 +6,20 @@
 //! toward the chosen backend.
 
 use crate::util::{packet_out_reply, snap, unsnap};
+use legosdn_codec::Codec;
 use legosdn_controller::app::{Ctx, RestoreError, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_openflow::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A backend server.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Codec)]
 pub struct Backend {
     pub mac: MacAddr,
     pub ip: Ipv4Addr,
 }
 
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Codec)]
 struct State {
     vip: Ipv4Addr,
     backends: Vec<Backend>,
@@ -42,7 +42,11 @@ impl LoadBalancer {
     #[must_use]
     pub fn new(vip: Ipv4Addr, backends: Vec<Backend>) -> Self {
         LoadBalancer {
-            state: State { vip, backends, ..State::default() },
+            state: State {
+                vip,
+                backends,
+                ..State::default()
+            },
             idle_timeout: 10,
         }
     }
@@ -92,13 +96,19 @@ impl SdnApp for LoadBalancer {
     }
 
     fn on_event(&mut self, event: &Event, ctx: &mut Ctx<'_>) {
-        let Event::PacketIn(dpid, pi) = event else { return };
+        let Event::PacketIn(dpid, pi) = event else {
+            return;
+        };
         // Only claim traffic addressed to the VIP.
         if pi.packet.ip_dst != Some(self.state.vip) {
             return;
         }
-        let Some(client) = pi.packet.ip_src else { return };
-        let Some((_, backend)) = self.pick_backend(client) else { return };
+        let Some(client) = pi.packet.ip_src else {
+            return;
+        };
+        let Some((_, backend)) = self.pick_backend(client) else {
+            return;
+        };
 
         // Where is the backend? Prefer the device view; fall back to flood.
         let out_port = ctx
@@ -150,8 +160,14 @@ mod tests {
 
     fn backends() -> Vec<Backend> {
         vec![
-            Backend { mac: MacAddr::from_index(101), ip: Ipv4Addr::from_index(101) },
-            Backend { mac: MacAddr::from_index(102), ip: Ipv4Addr::from_index(102) },
+            Backend {
+                mac: MacAddr::from_index(101),
+                ip: Ipv4Addr::from_index(101),
+            },
+            Backend {
+                mac: MacAddr::from_index(102),
+                ip: Ipv4Addr::from_index(102),
+            },
         ]
     }
 
@@ -203,8 +219,12 @@ mod tests {
         assert_eq!(cmds.len(), 2);
         match &cmds[0].msg {
             Message::FlowMod(fm) => {
-                assert!(fm.actions.contains(&Action::SetEthDst(MacAddr::from_index(101))));
-                assert!(fm.actions.contains(&Action::SetIpDst(Ipv4Addr::from_index(101))));
+                assert!(fm
+                    .actions
+                    .contains(&Action::SetEthDst(MacAddr::from_index(101))));
+                assert!(fm
+                    .actions
+                    .contains(&Action::SetIpDst(Ipv4Addr::from_index(101))));
                 assert!(fm.actions.contains(&Action::Output(PortNo::Phys(5))));
             }
             other => panic!("unexpected {other:?}"),
@@ -280,7 +300,11 @@ mod tests {
         fresh.restore(&snapshot).unwrap();
         let mut ctx = Ctx::new(SimTime::ZERO, &topo, &dev);
         fresh.on_event(&vip_pin(1), &mut ctx);
-        assert_eq!(fresh.assignment_histogram(), vec![1, 0], "same backend after restore");
+        assert_eq!(
+            fresh.assignment_histogram(),
+            vec![1, 0],
+            "same backend after restore"
+        );
     }
 
     #[test]
@@ -289,7 +313,10 @@ mod tests {
         let mut topo = TopologyView::default();
         topo.switch_up(DatapathId(1), vec![]);
         topo.switch_up(DatapathId(2), vec![]);
-        topo.link_up(Endpoint::new(DatapathId(1), 9), Endpoint::new(DatapathId(2), 1));
+        topo.link_up(
+            Endpoint::new(DatapathId(1), 9),
+            Endpoint::new(DatapathId(2), 1),
+        );
         let mut dev = DeviceView::default();
         dev.learn(
             MacAddr::from_index(101),
@@ -299,7 +326,10 @@ mod tests {
         );
         let mut lb = LoadBalancer::new(
             vip(),
-            vec![Backend { mac: MacAddr::from_index(101), ip: Ipv4Addr::from_index(101) }],
+            vec![Backend {
+                mac: MacAddr::from_index(101),
+                ip: Ipv4Addr::from_index(101),
+            }],
         );
         let mut ctx = Ctx::new(SimTime::ZERO, &topo, &dev);
         lb.on_event(&vip_pin(1), &mut ctx);

@@ -6,14 +6,14 @@
 //! stateful behaviour that makes naive app reboots lossy (paper §1).
 
 use crate::util::{packet_out_reply, snap, unsnap};
+use legosdn_codec::Codec;
 use legosdn_controller::app::{Ctx, RestoreError, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_netsim::Endpoint;
 use legosdn_openflow::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// One installed route.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Codec)]
 struct Route {
     dst: MacAddr,
     cookie: u64,
@@ -30,7 +30,7 @@ impl Route {
     }
 }
 
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Codec)]
 struct State {
     routes: Vec<Route>,
     next_cookie: u64,
@@ -53,7 +53,10 @@ impl ShortestPathRouter {
     /// A router installing flows with a 30-second idle timeout.
     #[must_use]
     pub fn new() -> Self {
-        ShortestPathRouter { state: State::default(), idle_timeout: 30 }
+        ShortestPathRouter {
+            state: State::default(),
+            idle_timeout: 30,
+        }
     }
 
     /// Routes currently installed.
@@ -107,7 +110,10 @@ impl ShortestPathRouter {
         let first_port = hops[0].1;
         ctx.send(
             dpid,
-            Message::PacketOut(packet_out_reply(pi, vec![Action::Output(PortNo::Phys(first_port))])),
+            Message::PacketOut(packet_out_reply(
+                pi,
+                vec![Action::Output(PortNo::Phys(first_port))],
+            )),
         );
         self.state.packets_routed += 1;
         self.state.routes.push(Route { dst, cookie, hops });
@@ -119,7 +125,10 @@ impl ShortestPathRouter {
         for route in &dead {
             self.state.routes_torn_down += 1;
             for &(d, _) in &route.hops {
-                ctx.send(d, Message::FlowMod(FlowMod::delete(Match::eth_dst(route.dst))));
+                ctx.send(
+                    d,
+                    Message::FlowMod(FlowMod::delete(Match::eth_dst(route.dst))),
+                );
             }
         }
         self.state.routes = alive;
@@ -181,8 +190,14 @@ mod tests {
         for d in 1..=3 {
             topo.switch_up(DatapathId(d), vec![]);
         }
-        topo.link_up(Endpoint::new(DatapathId(1), 1), Endpoint::new(DatapathId(2), 1));
-        topo.link_up(Endpoint::new(DatapathId(2), 2), Endpoint::new(DatapathId(3), 1));
+        topo.link_up(
+            Endpoint::new(DatapathId(1), 1),
+            Endpoint::new(DatapathId(2), 1),
+        );
+        topo.link_up(
+            Endpoint::new(DatapathId(2), 2),
+            Endpoint::new(DatapathId(3), 1),
+        );
         let mut dev = DeviceView::default();
         dev.learn(
             MacAddr::from_index(1),
@@ -219,7 +234,10 @@ mod tests {
         app.on_event(&pin(1, 1, 2), &mut ctx);
         let cmds = ctx.into_commands();
         // 3 flow-mods (switches 1,2,3) + 1 packet-out.
-        let fms: Vec<_> = cmds.iter().filter(|c| matches!(c.msg, Message::FlowMod(_))).collect();
+        let fms: Vec<_> = cmds
+            .iter()
+            .filter(|c| matches!(c.msg, Message::FlowMod(_)))
+            .collect();
         assert_eq!(fms.len(), 3);
         let dpids: Vec<u64> = fms.iter().map(|c| c.dpid.0).collect();
         assert_eq!(dpids, vec![1, 2, 3]);
@@ -250,7 +268,10 @@ mod tests {
     #[test]
     fn no_path_means_drop() {
         let (mut topo, dev) = views();
-        topo.link_down(Endpoint::new(DatapathId(1), 1), Endpoint::new(DatapathId(2), 1));
+        topo.link_down(
+            Endpoint::new(DatapathId(1), 1),
+            Endpoint::new(DatapathId(2), 1),
+        );
         let mut app = ShortestPathRouter::new();
         let mut ctx = Ctx::new(SimTime::ZERO, &topo, &dev);
         app.on_event(&pin(1, 1, 2), &mut ctx);
@@ -274,7 +295,9 @@ mod tests {
         );
         let cmds = ctx.into_commands();
         assert_eq!(cmds.len(), 3, "delete at every hop: {cmds:?}");
-        assert!(cmds.iter().all(|c| matches!(&c.msg, Message::FlowMod(fm) if fm.is_delete())));
+        assert!(cmds
+            .iter()
+            .all(|c| matches!(&c.msg, Message::FlowMod(fm) if fm.is_delete())));
         assert_eq!(app.active_routes(), 0);
     }
 

@@ -8,15 +8,15 @@
 //! network with rule churn, so keeping its state across crashes matters.
 
 use crate::util::{snap, unsnap};
+use legosdn_codec::Codec;
 use legosdn_controller::app::{Ctx, RestoreError, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_controller::services::TopologyView;
 use legosdn_netsim::Endpoint;
 use legosdn_openflow::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Codec)]
 struct State {
     /// Ports (per switch) currently allowed to flood: tree ports + host
     /// ports (i.e. everything except non-tree inter-switch ports).
@@ -50,7 +50,11 @@ impl SpanningTree {
     /// Ports currently blocked on a switch.
     #[must_use]
     pub fn blocked_ports(&self, dpid: DatapathId) -> Vec<u16> {
-        self.state.blocked.get(&dpid).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.state
+            .blocked
+            .get(&dpid)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// BFS spanning tree over the topology view; returns the set of
@@ -92,8 +96,11 @@ impl SpanningTree {
         }
 
         // Deltas vs. current blocks.
-        let dpids: BTreeSet<DatapathId> =
-            want.keys().chain(self.state.blocked.keys()).copied().collect();
+        let dpids: BTreeSet<DatapathId> = want
+            .keys()
+            .chain(self.state.blocked.keys())
+            .copied()
+            .collect();
         for dpid in dpids {
             let empty = BTreeSet::new();
             let wanted = want.get(&dpid).unwrap_or(&empty);
@@ -131,7 +138,9 @@ impl SdnApp for SpanningTree {
 
     fn on_event(&mut self, event: &Event, ctx: &mut Ctx<'_>) {
         match event {
-            Event::SwitchUp(_) | Event::SwitchDown(_) | Event::LinkUp { .. }
+            Event::SwitchUp(_)
+            | Event::SwitchDown(_)
+            | Event::LinkUp { .. }
             | Event::LinkDown { .. } => {
                 // Any topology change can move the tree.
                 if let Event::SwitchDown(d) = event {
@@ -176,7 +185,11 @@ mod tests {
         t
     }
 
-    fn run(app: &mut SpanningTree, ev: &Event, topo: &TopologyView) -> Vec<legosdn_controller::app::Command> {
+    fn run(
+        app: &mut SpanningTree,
+        ev: &Event,
+        topo: &TopologyView,
+    ) -> Vec<legosdn_controller::app::Command> {
         let dev = DeviceView::default();
         let mut ctx = Ctx::new(SimTime::ZERO, topo, &dev);
         app.on_event(ev, &mut ctx);
@@ -199,12 +212,15 @@ mod tests {
         // One blocked link = two blocked endpoints = two drop rules.
         let blocks = cmds
             .iter()
-            .filter(|c| matches!(&c.msg, Message::FlowMod(fm)
-                if fm.command == FlowModCommand::Add && fm.priority == BLOCK_PRIORITY))
+            .filter(|c| {
+                matches!(&c.msg, Message::FlowMod(fm)
+                if fm.command == FlowModCommand::Add && fm.priority == BLOCK_PRIORITY)
+            })
             .count();
         assert_eq!(blocks, 2, "{cmds:?}");
-        let total_blocked: usize =
-            (1..=3).map(|d| app.blocked_ports(DatapathId(d)).len()).sum();
+        let total_blocked: usize = (1..=3)
+            .map(|d| app.blocked_ports(DatapathId(d)).len())
+            .sum();
         assert_eq!(total_blocked, 2);
     }
 
@@ -226,13 +242,17 @@ mod tests {
         let mut topo = triangle();
         let mut app = SpanningTree::new();
         run(&mut app, &Event::SwitchUp(DatapathId(1)), &topo);
-        let blocked_before: Vec<(u64, Vec<u16>)> =
-            (1..=3).map(|d| (d, app.blocked_ports(DatapathId(d)))).collect();
+        let blocked_before: Vec<(u64, Vec<u16>)> = (1..=3)
+            .map(|d| (d, app.blocked_ports(DatapathId(d))))
+            .collect();
         // Fail a TREE link (1-2 is always on the BFS tree from root 1).
         topo.link_down(ep(1, 1), ep(2, 1));
         let cmds = run(
             &mut app,
-            &Event::LinkDown { a: ep(1, 1), b: ep(2, 1) },
+            &Event::LinkDown {
+                a: ep(1, 1),
+                b: ep(2, 1),
+            },
             &topo,
         );
         // The previously blocked link must be unblocked (deletes emitted).
@@ -240,10 +260,14 @@ mod tests {
             .iter()
             .filter(|c| matches!(&c.msg, Message::FlowMod(fm) if fm.is_delete()))
             .count();
-        assert!(deletes >= 1, "spare link must be unblocked: {cmds:?} (was {blocked_before:?})");
+        assert!(
+            deletes >= 1,
+            "spare link must be unblocked: {cmds:?} (was {blocked_before:?})"
+        );
         // Now nothing is blocked: remaining topology is a line.
-        let total_blocked: usize =
-            (1..=3).map(|d| app.blocked_ports(DatapathId(d)).len()).sum();
+        let total_blocked: usize = (1..=3)
+            .map(|d| app.blocked_ports(DatapathId(d)).len())
+            .sum();
         assert_eq!(total_blocked, 0);
     }
 

@@ -3,15 +3,15 @@
 //! users (§4.1 notes the paper had to comment those out — ours works).
 
 use crate::util::{snap, unsnap};
+use legosdn_codec::Codec;
 use legosdn_controller::app::{Ctx, RestoreError, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_netsim::SimTime;
 use legosdn_openflow::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// One aggregate sample.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Codec)]
 pub struct Sample {
     pub at: SimTime,
     pub dpid: DatapathId,
@@ -20,7 +20,7 @@ pub struct Sample {
     pub flows: u32,
 }
 
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Codec)]
 struct State {
     switches: BTreeSet<DatapathId>,
     history: Vec<Sample>,
@@ -90,7 +90,14 @@ impl SdnApp for StatsMonitor {
                     );
                 }
             }
-            Event::StatsReply(dpid, StatsReply::Aggregate { packet_count, byte_count, flow_count }) => {
+            Event::StatsReply(
+                dpid,
+                StatsReply::Aggregate {
+                    packet_count,
+                    byte_count,
+                    flow_count,
+                },
+            ) => {
                 if self.state.history.len() >= HISTORY_CAP {
                     self.state.history.remove(0);
                 }
@@ -134,12 +141,24 @@ mod tests {
         let mut app = StatsMonitor::new();
         run(&mut app, &Event::SwitchUp(DatapathId(1)), SimTime::ZERO);
         run(&mut app, &Event::SwitchUp(DatapathId(2)), SimTime::ZERO);
-        let n = run(&mut app, &Event::Tick(SimTime::from_secs(1)), SimTime::from_secs(1));
+        let n = run(
+            &mut app,
+            &Event::Tick(SimTime::from_secs(1)),
+            SimTime::from_secs(1),
+        );
         assert_eq!(n, 2);
         assert_eq!(app.polls_sent(), 2);
         // A dead switch stops being polled.
-        run(&mut app, &Event::SwitchDown(DatapathId(2)), SimTime::from_secs(2));
-        let n = run(&mut app, &Event::Tick(SimTime::from_secs(3)), SimTime::from_secs(3));
+        run(
+            &mut app,
+            &Event::SwitchDown(DatapathId(2)),
+            SimTime::from_secs(2),
+        );
+        let n = run(
+            &mut app,
+            &Event::Tick(SimTime::from_secs(3)),
+            SimTime::from_secs(3),
+        );
         assert_eq!(n, 1);
     }
 
@@ -148,7 +167,11 @@ mod tests {
         let mut app = StatsMonitor::new();
         let reply = Event::StatsReply(
             DatapathId(1),
-            StatsReply::Aggregate { packet_count: 10, byte_count: 640, flow_count: 2 },
+            StatsReply::Aggregate {
+                packet_count: 10,
+                byte_count: 640,
+                flow_count: 2,
+            },
         );
         run(&mut app, &reply, SimTime::from_secs(9));
         assert_eq!(app.history().len(), 1);
@@ -162,7 +185,11 @@ mod tests {
         let mut app = StatsMonitor::new();
         let reply = Event::StatsReply(
             DatapathId(1),
-            StatsReply::Aggregate { packet_count: 1, byte_count: 1, flow_count: 1 },
+            StatsReply::Aggregate {
+                packet_count: 1,
+                byte_count: 1,
+                flow_count: 1,
+            },
         );
         for i in 0..(HISTORY_CAP + 10) {
             run(&mut app, &reply, SimTime::from_secs(i as u64));
@@ -189,13 +216,24 @@ mod tests {
         run(&mut app, &Event::SwitchUp(DatapathId(1)), SimTime::ZERO);
         let reply = Event::StatsReply(
             DatapathId(1),
-            StatsReply::Aggregate { packet_count: 5, byte_count: 50, flow_count: 1 },
+            StatsReply::Aggregate {
+                packet_count: 5,
+                byte_count: 50,
+                flow_count: 1,
+            },
         );
         run(&mut app, &reply, SimTime::from_secs(1));
         let s = app.snapshot();
         let mut fresh = StatsMonitor::new();
         fresh.restore(&s).unwrap();
         assert_eq!(fresh.history().len(), 1);
-        assert_eq!(run(&mut fresh, &Event::Tick(SimTime::from_secs(2)), SimTime::from_secs(2)), 1);
+        assert_eq!(
+            run(
+                &mut fresh,
+                &Event::Tick(SimTime::from_secs(2)),
+                SimTime::from_secs(2)
+            ),
+            1
+        );
     }
 }

@@ -1,18 +1,17 @@
 //! Shared helpers for application implementations.
 
+use legosdn_codec::Codec;
 use legosdn_controller::app::RestoreError;
 use legosdn_controller::snapshot;
-use serde::de::DeserializeOwned;
-use serde::Serialize;
 
 /// Serialize an app state (apps treat failure as a bug: state is always
 /// plain data).
-pub fn snap<T: Serialize>(state: &T) -> Vec<u8> {
+pub fn snap<T: Codec>(state: &T) -> Vec<u8> {
     snapshot::to_bytes(state).expect("app state must serialize")
 }
 
 /// Deserialize an app state.
-pub fn unsnap<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, RestoreError> {
+pub fn unsnap<T: Codec>(bytes: &[u8]) -> Result<T, RestoreError> {
     snapshot::from_bytes(bytes).map_err(|e| RestoreError(e.to_string()))
 }
 
@@ -27,7 +26,11 @@ pub fn packet_out_reply(
         buffer_id: pi.buffer_id,
         in_port: pi.in_port,
         actions,
-        packet: if pi.buffer_id.is_some() { None } else { Some(pi.packet.clone()) },
+        packet: if pi.buffer_id.is_some() {
+            None
+        } else {
+            Some(pi.packet.clone())
+        },
     }
 }
 
@@ -58,7 +61,10 @@ mod tests {
         assert_eq!(po.buffer_id, BufferId(5));
         assert!(po.packet.is_none());
 
-        let unbuffered = PacketIn { buffer_id: BufferId::NONE, ..buffered };
+        let unbuffered = PacketIn {
+            buffer_id: BufferId::NONE,
+            ..buffered
+        };
         let po = packet_out_reply(&unbuffered, vec![]);
         assert_eq!(po.packet, Some(pkt));
     }

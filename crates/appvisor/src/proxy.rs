@@ -18,6 +18,7 @@ use legosdn_controller::app::{Command, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_controller::services::{DeviceView, TopologyView};
 use legosdn_netsim::SimTime;
+use legosdn_obs::{Obs, RecordKind};
 use std::fmt;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -121,13 +122,24 @@ struct AppSlot {
 pub struct AppVisorProxy {
     config: ProxyConfig,
     apps: Vec<AppSlot>,
+    obs: Obs,
 }
 
 impl AppVisorProxy {
-    /// An empty proxy.
+    /// An empty proxy, reporting to [`Obs::global`].
     #[must_use]
     pub fn new(config: ProxyConfig) -> Self {
-        AppVisorProxy { config, apps: Vec::new() }
+        AppVisorProxy {
+            config,
+            apps: Vec::new(),
+            obs: Obs::global(),
+        }
+    }
+
+    /// Report metrics and journal records to `obs` instead of the global
+    /// instance.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Spawn a stub hosting `app` over the chosen transport and register it.
@@ -170,8 +182,10 @@ impl AppVisorProxy {
             }
             match transport.recv_timeout(remaining) {
                 Ok(Some(frame)) => {
-                    if let Ok(RpcMessage::Register { app_name, subscriptions }) =
-                        decode_frame(&frame)
+                    if let Ok(RpcMessage::Register {
+                        app_name,
+                        subscriptions,
+                    }) = decode_frame(&frame)
                     {
                         self.apps.push(AppSlot {
                             name: app_name,
@@ -200,22 +214,34 @@ impl AppVisorProxy {
 
     /// An app's registered name.
     pub fn app_name(&self, h: AppHandle) -> Result<&str, ProxyError> {
-        self.apps.get(h.0).map(|s| s.name.as_str()).ok_or(ProxyError::UnknownApp)
+        self.apps
+            .get(h.0)
+            .map(|s| s.name.as_str())
+            .ok_or(ProxyError::UnknownApp)
     }
 
     /// An app's registered subscriptions.
     pub fn subscriptions(&self, h: AppHandle) -> Result<&[EventKind], ProxyError> {
-        self.apps.get(h.0).map(|s| s.subscriptions.as_slice()).ok_or(ProxyError::UnknownApp)
+        self.apps
+            .get(h.0)
+            .map(|s| s.subscriptions.as_slice())
+            .ok_or(ProxyError::UnknownApp)
     }
 
     /// Is the app believed alive?
     pub fn is_alive(&self, h: AppHandle) -> Result<bool, ProxyError> {
-        self.apps.get(h.0).map(|s| s.alive).ok_or(ProxyError::UnknownApp)
+        self.apps
+            .get(h.0)
+            .map(|s| s.alive)
+            .ok_or(ProxyError::UnknownApp)
     }
 
     /// Wire counters for an app.
     pub fn wire_stats(&self, h: AppHandle) -> Result<AppWireStats, ProxyError> {
-        self.apps.get(h.0).map(|s| s.stats).ok_or(ProxyError::UnknownApp)
+        self.apps
+            .get(h.0)
+            .map(|s| s.stats)
+            .ok_or(ProxyError::UnknownApp)
     }
 
     /// Deliver an event to an isolated app and wait for its commands.
@@ -227,6 +253,8 @@ impl AppVisorProxy {
         devices: &DeviceView,
         now: SimTime,
     ) -> Result<DeliverOutcome, ProxyError> {
+        let obs = self.obs.clone();
+        let _span = obs.span("appvisor.deliver");
         let deliver_timeout = self.config.deliver_timeout;
         let slot = self.apps.get_mut(h.0).ok_or(ProxyError::UnknownApp)?;
         slot.next_seq += 1;
@@ -239,6 +267,8 @@ impl AppVisorProxy {
             now,
         });
         slot.stats.bytes_sent += frame.len() as u64;
+        obs.counter("appvisor", "bytes_sent", &slot.name)
+            .add(frame.len() as u64);
         slot.transport.send(&frame).map_err(ProxyError::Transport)?;
 
         let deadline = Instant::now() + deliver_timeout;
@@ -247,20 +277,30 @@ impl AppVisorProxy {
             if remaining.is_zero() {
                 slot.stats.comm_failures += 1;
                 slot.alive = false;
+                obs.counter("appvisor", "comm_failures", &slot.name).inc();
                 return Ok(DeliverOutcome::CommFailure);
             }
             match slot.transport.recv_timeout(remaining) {
                 Ok(Some(frame)) => {
                     slot.stats.bytes_received += frame.len() as u64;
+                    obs.counter("appvisor", "bytes_received", &slot.name)
+                        .add(frame.len() as u64);
                     match decode_frame(&frame) {
                         Ok(RpcMessage::EventAck { seq: s, commands }) if s == seq => {
                             slot.stats.events_delivered += 1;
                             slot.last_heartbeat = Instant::now();
+                            obs.counter("appvisor", "events_delivered", &slot.name)
+                                .inc();
                             return Ok(DeliverOutcome::Commands(commands));
                         }
-                        Ok(RpcMessage::Crashed { seq: s, panic_message }) if s == seq => {
+                        Ok(RpcMessage::Crashed {
+                            seq: s,
+                            panic_message,
+                        }) if s == seq => {
                             slot.stats.crashes_detected += 1;
                             slot.alive = false;
+                            obs.counter("appvisor", "crashes_detected", &slot.name)
+                                .inc();
                             return Ok(DeliverOutcome::Crashed { panic_message });
                         }
                         Ok(RpcMessage::Heartbeat { .. }) => {
@@ -274,6 +314,7 @@ impl AppVisorProxy {
                 Err(TransportError::Disconnected) => {
                     slot.stats.comm_failures += 1;
                     slot.alive = false;
+                    obs.counter("appvisor", "comm_failures", &slot.name).inc();
                     return Ok(DeliverOutcome::CommFailure);
                 }
                 Err(e) => return Err(ProxyError::Transport(e)),
@@ -285,12 +326,16 @@ impl AppVisorProxy {
     /// checkpoint of an SDN-App process prior to dispatching every
     /// message").
     pub fn snapshot(&mut self, h: AppHandle) -> Result<Vec<u8>, ProxyError> {
+        let obs = self.obs.clone();
+        let _span = obs.span("appvisor.snapshot");
         let rpc_timeout = self.config.rpc_timeout;
         let slot = self.apps.get_mut(h.0).ok_or(ProxyError::UnknownApp)?;
         slot.next_seq += 1;
         let seq = slot.next_seq;
         let frame = encode_frame(&RpcMessage::SnapshotRequest { seq });
         slot.stats.bytes_sent += frame.len() as u64;
+        obs.counter("appvisor", "bytes_sent", &slot.name)
+            .add(frame.len() as u64);
         slot.transport.send(&frame).map_err(ProxyError::Transport)?;
         let deadline = Instant::now() + rpc_timeout;
         loop {
@@ -301,6 +346,8 @@ impl AppVisorProxy {
             match slot.transport.recv_timeout(remaining) {
                 Ok(Some(frame)) => {
                     slot.stats.bytes_received += frame.len() as u64;
+                    obs.counter("appvisor", "bytes_received", &slot.name)
+                        .add(frame.len() as u64);
                     match decode_frame(&frame) {
                         Ok(RpcMessage::SnapshotReply { seq: s, bytes }) if s == seq => {
                             return Ok(bytes);
@@ -320,12 +367,19 @@ impl AppVisorProxy {
     /// Restore the app from a checkpoint, reviving it if it was dead (the
     /// CRIU restore analogue).
     pub fn restore(&mut self, h: AppHandle, bytes: &[u8]) -> Result<bool, ProxyError> {
+        let obs = self.obs.clone();
+        let _span = obs.span("appvisor.restore");
         let rpc_timeout = self.config.rpc_timeout;
         let slot = self.apps.get_mut(h.0).ok_or(ProxyError::UnknownApp)?;
         slot.next_seq += 1;
         let seq = slot.next_seq;
-        let frame = encode_frame(&RpcMessage::RestoreRequest { seq, bytes: bytes.to_vec() });
+        let frame = encode_frame(&RpcMessage::RestoreRequest {
+            seq,
+            bytes: bytes.to_vec(),
+        });
         slot.stats.bytes_sent += frame.len() as u64;
+        obs.counter("appvisor", "bytes_sent", &slot.name)
+            .add(frame.len() as u64);
         slot.transport.send(&frame).map_err(ProxyError::Transport)?;
         let deadline = Instant::now() + rpc_timeout;
         loop {
@@ -336,12 +390,15 @@ impl AppVisorProxy {
             match slot.transport.recv_timeout(remaining) {
                 Ok(Some(frame)) => {
                     slot.stats.bytes_received += frame.len() as u64;
+                    obs.counter("appvisor", "bytes_received", &slot.name)
+                        .add(frame.len() as u64);
                     match decode_frame(&frame) {
                         Ok(RpcMessage::RestoreAck { seq: s, ok }) if s == seq => {
                             if ok {
                                 slot.alive = true;
                                 slot.stats.restores += 1;
                                 slot.last_heartbeat = Instant::now();
+                                obs.counter("appvisor", "restores", &slot.name).inc();
                             }
                             return Ok(ok);
                         }
@@ -373,6 +430,8 @@ impl AppVisorProxy {
         devices: &DeviceView,
         now: SimTime,
     ) -> Vec<Result<DeliverOutcome, ProxyError>> {
+        let obs = self.obs.clone();
+        let _span = obs.span("appvisor.deliver_fanout");
         let deliver_timeout = self.config.deliver_timeout;
         // Phase 1: send to everyone.
         let mut seqs: Vec<Option<u64>> = Vec::with_capacity(handles.len());
@@ -389,11 +448,14 @@ impl AppVisorProxy {
                         now,
                     });
                     slot.stats.bytes_sent += frame.len() as u64;
+                    obs.counter("appvisor", "bytes_sent", &slot.name)
+                        .add(frame.len() as u64);
                     match slot.transport.send(&frame) {
                         Ok(()) => seqs.push(Some(seq)),
                         Err(_) => {
                             slot.alive = false;
                             slot.stats.comm_failures += 1;
+                            obs.counter("appvisor", "comm_failures", &slot.name).inc();
                             seqs.push(None);
                         }
                     }
@@ -418,20 +480,30 @@ impl AppVisorProxy {
                     if remaining.is_zero() {
                         slot.stats.comm_failures += 1;
                         slot.alive = false;
+                        obs.counter("appvisor", "comm_failures", &slot.name).inc();
                         return Ok(DeliverOutcome::CommFailure);
                     }
                     match slot.transport.recv_timeout(remaining) {
                         Ok(Some(frame)) => {
                             slot.stats.bytes_received += frame.len() as u64;
+                            obs.counter("appvisor", "bytes_received", &slot.name)
+                                .add(frame.len() as u64);
                             match decode_frame(&frame) {
                                 Ok(RpcMessage::EventAck { seq: s, commands }) if s == seq => {
                                     slot.stats.events_delivered += 1;
                                     slot.last_heartbeat = Instant::now();
+                                    obs.counter("appvisor", "events_delivered", &slot.name)
+                                        .inc();
                                     return Ok(DeliverOutcome::Commands(commands));
                                 }
-                                Ok(RpcMessage::Crashed { seq: s, panic_message }) if s == seq => {
+                                Ok(RpcMessage::Crashed {
+                                    seq: s,
+                                    panic_message,
+                                }) if s == seq => {
                                     slot.stats.crashes_detected += 1;
                                     slot.alive = false;
+                                    obs.counter("appvisor", "crashes_detected", &slot.name)
+                                        .inc();
                                     return Ok(DeliverOutcome::Crashed { panic_message });
                                 }
                                 Ok(RpcMessage::Heartbeat { .. }) => {
@@ -444,6 +516,7 @@ impl AppVisorProxy {
                         Err(TransportError::Disconnected) => {
                             slot.stats.comm_failures += 1;
                             slot.alive = false;
+                            obs.counter("appvisor", "comm_failures", &slot.name).inc();
                             return Ok(DeliverOutcome::CommFailure);
                         }
                         Err(e) => return Err(ProxyError::Transport(e)),
@@ -456,18 +529,27 @@ impl AppVisorProxy {
     /// Drain pending heartbeats (non-blocking-ish) and return the apps whose
     /// heartbeat is stale — the paper's background crash detector.
     pub fn check_liveness(&mut self) -> Vec<AppHandle> {
+        let obs = self.obs.clone();
+        let _span = obs.span("appvisor.check_liveness");
         let threshold = self.config.heartbeat_timeout;
         let mut stale = Vec::new();
         for (i, slot) in self.apps.iter_mut().enumerate() {
             // Drain whatever is queued.
             while let Ok(Some(frame)) = slot.transport.recv_timeout(Duration::from_micros(1)) {
                 slot.stats.bytes_received += frame.len() as u64;
+                obs.counter("appvisor", "bytes_received", &slot.name)
+                    .add(frame.len() as u64);
                 if matches!(decode_frame(&frame), Ok(RpcMessage::Heartbeat { .. })) {
                     slot.last_heartbeat = Instant::now();
                 }
             }
             if slot.alive && slot.last_heartbeat.elapsed() > threshold {
                 slot.alive = false;
+                obs.record(RecordKind::HeartbeatMiss {
+                    app: slot.name.clone(),
+                });
+                obs.counter("appvisor", "heartbeat_misses", &slot.name)
+                    .inc();
                 stale.push(AppHandle(i));
             }
         }
@@ -520,9 +602,8 @@ mod tests {
             self.count.to_be_bytes().to_vec()
         }
         fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
-            self.count = u32::from_be_bytes(
-                bytes.try_into().map_err(|_| RestoreError("len".into()))?,
-            );
+            self.count =
+                u32::from_be_bytes(bytes.try_into().map_err(|_| RestoreError("len".into()))?);
             Ok(())
         }
     }
@@ -532,21 +613,37 @@ mod tests {
             deliver_timeout: Duration::from_millis(300),
             rpc_timeout: Duration::from_secs(1),
             heartbeat_timeout: Duration::from_millis(100),
-            stub: StubConfig { heartbeat_period: Duration::from_millis(10), report_crashes: true },
+            stub: StubConfig {
+                heartbeat_period: Duration::from_millis(10),
+                report_crashes: true,
+            },
         })
     }
 
     fn deliver(p: &mut AppVisorProxy, h: AppHandle) -> DeliverOutcome {
         let topo = TopologyView::default();
         let dev = DeviceView::default();
-        p.deliver(h, &Event::SwitchUp(DatapathId(1)), &topo, &dev, SimTime::ZERO).unwrap()
+        p.deliver(
+            h,
+            &Event::SwitchUp(DatapathId(1)),
+            &topo,
+            &dev,
+            SimTime::ZERO,
+        )
+        .unwrap()
     }
 
     #[test]
     fn launch_register_deliver_channel() {
         let mut p = proxy();
         let h = p
-            .launch_app(Box::new(TestApp { count: 0, crash_on_count: None }), TransportKind::Channel)
+            .launch_app(
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: None,
+                }),
+                TransportKind::Channel,
+            )
             .unwrap();
         assert_eq!(p.app_name(h).unwrap(), "proxy-test-app");
         assert_eq!(p.subscriptions(h).unwrap().len(), 2);
@@ -569,7 +666,13 @@ mod tests {
     fn launch_register_deliver_udp() {
         let mut p = proxy();
         let h = p
-            .launch_app(Box::new(TestApp { count: 0, crash_on_count: None }), TransportKind::Udp)
+            .launch_app(
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: None,
+                }),
+                TransportKind::Udp,
+            )
             .unwrap();
         match deliver(&mut p, h) {
             DeliverOutcome::Commands(cmds) => assert_eq!(cmds.len(), 1),
@@ -583,7 +686,10 @@ mod tests {
         let mut p = proxy();
         let h = p
             .launch_app(
-                Box::new(TestApp { count: 0, crash_on_count: Some(2) }),
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: Some(2),
+                }),
                 TransportKind::Channel,
             )
             .unwrap();
@@ -622,7 +728,10 @@ mod tests {
         });
         let h = p
             .launch_app(
-                Box::new(TestApp { count: 0, crash_on_count: Some(1) }),
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: Some(1),
+                }),
                 TransportKind::Channel,
             )
             .unwrap();
@@ -645,7 +754,10 @@ mod tests {
         });
         let h = p
             .launch_app(
-                Box::new(TestApp { count: 0, crash_on_count: Some(1) }),
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: Some(1),
+                }),
                 TransportKind::Channel,
             )
             .unwrap();
@@ -677,7 +789,13 @@ mod tests {
             },
         });
         let h = p
-            .launch_app(Box::new(TestApp { count: 0, crash_on_count: None }), TransportKind::Channel)
+            .launch_app(
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: None,
+                }),
+                TransportKind::Channel,
+            )
             .unwrap();
         std::thread::sleep(Duration::from_millis(20));
         let stale = p.check_liveness();
@@ -691,7 +809,10 @@ mod tests {
         let handles: Vec<AppHandle> = (0..4)
             .map(|_| {
                 p.launch_app(
-                    Box::new(TestApp { count: 0, crash_on_count: None }),
+                    Box::new(TestApp {
+                        count: 0,
+                        crash_on_count: None,
+                    }),
                     TransportKind::Channel,
                 )
                 .unwrap()
@@ -699,24 +820,40 @@ mod tests {
             .collect();
         let topo = TopologyView::default();
         let dev = DeviceView::default();
-        let results =
-            p.deliver_fanout(&handles, &Event::SwitchUp(DatapathId(1)), &topo, &dev, SimTime::ZERO);
+        let results = p.deliver_fanout(
+            &handles,
+            &Event::SwitchUp(DatapathId(1)),
+            &topo,
+            &dev,
+            SimTime::ZERO,
+        );
         assert_eq!(results.len(), 4);
         for r in &results {
-            assert!(matches!(r, Ok(DeliverOutcome::Commands(c)) if c.len() == 1), "{r:?}");
+            assert!(
+                matches!(r, Ok(DeliverOutcome::Commands(c)) if c.len() == 1),
+                "{r:?}"
+            );
         }
         // Mixed with a crasher and a bogus handle.
         let crashy = p
             .launch_app(
-                Box::new(TestApp { count: 0, crash_on_count: Some(1) }),
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: Some(1),
+                }),
                 TransportKind::Channel,
             )
             .unwrap();
         let mut all = handles.clone();
         all.push(crashy);
         all.push(AppHandle(99));
-        let results =
-            p.deliver_fanout(&all, &Event::SwitchUp(DatapathId(1)), &topo, &dev, SimTime::ZERO);
+        let results = p.deliver_fanout(
+            &all,
+            &Event::SwitchUp(DatapathId(1)),
+            &topo,
+            &dev,
+            SimTime::ZERO,
+        );
         assert!(matches!(&results[4], Ok(DeliverOutcome::Crashed { .. })));
         assert!(matches!(&results[5], Err(ProxyError::UnknownApp)));
         // Healthy apps unaffected by their neighbor's crash.
@@ -729,7 +866,10 @@ mod tests {
     #[test]
     fn unknown_handle_errors() {
         let mut p = proxy();
-        assert_eq!(p.app_name(AppHandle(9)).unwrap_err(), ProxyError::UnknownApp);
+        assert_eq!(
+            p.app_name(AppHandle(9)).unwrap_err(),
+            ProxyError::UnknownApp
+        );
         assert!(p.snapshot(AppHandle(9)).is_err());
     }
 }

@@ -10,19 +10,22 @@
 //! controller's current topology/device views so the stub can rebuild the
 //! app context on its side of the isolation boundary.
 
+use legosdn_codec::Codec;
 use legosdn_controller::app::Command;
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_controller::services::{DeviceView, TopologyView};
 use legosdn_controller::snapshot;
 use legosdn_netsim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One RPC frame.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Codec)]
 pub enum RpcMessage {
     // ------------------------------------------------ stub → proxy
     /// First message after stub start: name + subscriptions.
-    Register { app_name: String, subscriptions: Vec<EventKind> },
+    Register {
+        app_name: String,
+        subscriptions: Vec<EventKind>,
+    },
     /// Periodic liveness signal ("the stub also sends periodic heart beat
     /// messages").
     Heartbeat { seq: u64 },
@@ -97,14 +100,25 @@ mod tests {
             seq: 7,
             commands: vec![Command {
                 dpid: DatapathId(1),
-                msg: Message::FlowMod(FlowMod::add(Match::any()).action(Action::Output(PortNo::Flood))),
+                msg: Message::FlowMod(
+                    FlowMod::add(Match::any()).action(Action::Output(PortNo::Flood)),
+                ),
             }],
         });
-        roundtrip(RpcMessage::Crashed { seq: 9, panic_message: "injected".into() });
-        roundtrip(RpcMessage::SnapshotReply { seq: 3, bytes: vec![1, 2, 3] });
+        roundtrip(RpcMessage::Crashed {
+            seq: 9,
+            panic_message: "injected".into(),
+        });
+        roundtrip(RpcMessage::SnapshotReply {
+            seq: 3,
+            bytes: vec![1, 2, 3],
+        });
         roundtrip(RpcMessage::RestoreAck { seq: 4, ok: true });
         roundtrip(RpcMessage::SnapshotRequest { seq: 5 });
-        roundtrip(RpcMessage::RestoreRequest { seq: 6, bytes: vec![] });
+        roundtrip(RpcMessage::RestoreRequest {
+            seq: 6,
+            bytes: vec![],
+        });
         roundtrip(RpcMessage::Shutdown);
     }
 

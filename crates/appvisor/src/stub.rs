@@ -35,7 +35,10 @@ pub struct StubConfig {
 
 impl Default for StubConfig {
     fn default() -> Self {
-        StubConfig { heartbeat_period: Duration::from_millis(20), report_crashes: true }
+        StubConfig {
+            heartbeat_period: Duration::from_millis(20),
+            report_crashes: true,
+        }
     }
 }
 
@@ -76,7 +79,10 @@ pub fn run_stub<T: Transport>(
             hb_seq += 1;
             report.heartbeats_sent += 1;
             last_heartbeat = Instant::now();
-            if transport.send(&encode_frame(&RpcMessage::Heartbeat { seq: hb_seq })).is_err() {
+            if transport
+                .send(&encode_frame(&RpcMessage::Heartbeat { seq: hb_seq }))
+                .is_err()
+            {
                 return report;
             }
         }
@@ -86,9 +92,17 @@ pub fn run_stub<T: Transport>(
             Err(TransportError::Disconnected) => return report,
             Err(_) => continue,
         };
-        let Ok(msg) = decode_frame(&frame) else { continue };
+        let Ok(msg) = decode_frame(&frame) else {
+            continue;
+        };
         match msg {
-            RpcMessage::EventDeliver { seq, event, topology, devices, now } => {
+            RpcMessage::EventDeliver {
+                seq,
+                event,
+                topology,
+                devices,
+                now,
+            } => {
                 if dead {
                     // A dead process can't answer. (The proxy's delivery
                     // timeout is its comm-failure crash signal.)
@@ -101,8 +115,10 @@ pub fn run_stub<T: Transport>(
                 match result {
                     Ok(()) => {
                         report.events_processed += 1;
-                        let ack =
-                            RpcMessage::EventAck { seq, commands: ctx.into_commands() };
+                        let ack = RpcMessage::EventAck {
+                            seq,
+                            commands: ctx.into_commands(),
+                        };
                         if transport.send(&encode_frame(&ack)).is_err() {
                             return report;
                         }
@@ -124,7 +140,10 @@ pub fn run_stub<T: Transport>(
                 if dead {
                     continue;
                 }
-                let reply = RpcMessage::SnapshotReply { seq, bytes: app.snapshot() };
+                let reply = RpcMessage::SnapshotReply {
+                    seq,
+                    bytes: app.snapshot(),
+                };
                 if transport.send(&encode_frame(&reply)).is_err() {
                     return report;
                 }
@@ -195,9 +214,8 @@ mod stub_tests {
             self.count.to_be_bytes().to_vec()
         }
         fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
-            self.count = u32::from_be_bytes(
-                bytes.try_into().map_err(|_| RestoreError("len".into()))?,
-            );
+            self.count =
+                u32::from_be_bytes(bytes.try_into().map_err(|_| RestoreError("len".into()))?);
             Ok(())
         }
     }
@@ -230,11 +248,17 @@ mod stub_tests {
         let (mut proxy_side, stub_side) = ChannelTransport::pair();
         let handle = spawn_stub(
             stub_side,
-            Box::new(TestApp { count: 0, crash_on: None }),
+            Box::new(TestApp {
+                count: 0,
+                crash_on: None,
+            }),
             StubConfig::default(),
         );
         match recv_msg(&mut proxy_side) {
-            RpcMessage::Register { app_name, subscriptions } => {
+            RpcMessage::Register {
+                app_name,
+                subscriptions,
+            } => {
                 assert_eq!(app_name, "test-app");
                 assert_eq!(subscriptions, vec![EventKind::SwitchUp]);
             }
@@ -248,7 +272,9 @@ mod stub_tests {
             }
             other => panic!("expected ack, got {other:?}"),
         }
-        proxy_side.send(&encode_frame(&RpcMessage::Shutdown)).unwrap();
+        proxy_side
+            .send(&encode_frame(&RpcMessage::Shutdown))
+            .unwrap();
         let report = handle.join().unwrap();
         assert_eq!(report.events_processed, 1);
         assert_eq!(report.crashes_contained, 0);
@@ -259,7 +285,10 @@ mod stub_tests {
         let (mut proxy_side, stub_side) = ChannelTransport::pair();
         let handle = spawn_stub(
             stub_side,
-            Box::new(TestApp { count: 0, crash_on: Some(2) }),
+            Box::new(TestApp {
+                count: 0,
+                crash_on: Some(2),
+            }),
             StubConfig::default(),
         );
         let _ = recv_msg(&mut proxy_side); // register
@@ -273,12 +302,15 @@ mod stub_tests {
             }
             other => panic!("expected crashed, got {other:?}"),
         }
-        // Dead stub ignores further events...
+        // Dead stub ignores further events: at most heartbeats come back.
         proxy_side.send(&deliver_frame(3)).unwrap();
-        assert!(proxy_side.recv_timeout(Duration::from_millis(100)).unwrap().map(|f| decode_frame(&f).unwrap()).is_none_or(|m| matches!(m, RpcMessage::Heartbeat { .. })) || true);
+        let _ = proxy_side.recv_timeout(Duration::from_millis(100)).unwrap();
         // ...until restored.
         proxy_side
-            .send(&encode_frame(&RpcMessage::RestoreRequest { seq: 4, bytes: 1u32.to_be_bytes().to_vec() }))
+            .send(&encode_frame(&RpcMessage::RestoreRequest {
+                seq: 4,
+                bytes: 1u32.to_be_bytes().to_vec(),
+            }))
             .unwrap();
         match recv_msg(&mut proxy_side) {
             RpcMessage::RestoreAck { seq, ok } => {
@@ -293,7 +325,9 @@ mod stub_tests {
             RpcMessage::Crashed { seq, .. } => assert_eq!(seq, 5),
             other => panic!("deterministic bug must re-crash, got {other:?}"),
         }
-        proxy_side.send(&encode_frame(&RpcMessage::Shutdown)).unwrap();
+        proxy_side
+            .send(&encode_frame(&RpcMessage::Shutdown))
+            .unwrap();
         let report = handle.join().unwrap();
         assert_eq!(report.crashes_contained, 2);
         assert_eq!(report.restores, 1);
@@ -308,7 +342,10 @@ mod stub_tests {
         };
         let _handle = spawn_stub(
             stub_side,
-            Box::new(TestApp { count: 0, crash_on: Some(1) }),
+            Box::new(TestApp {
+                count: 0,
+                crash_on: Some(1),
+            }),
             config,
         );
         let _ = recv_msg(&mut proxy_side); // register
@@ -325,7 +362,9 @@ mod stub_tests {
             }
         }
         assert!(last_non_heartbeat.is_none(), "got {last_non_heartbeat:?}");
-        proxy_side.send(&encode_frame(&RpcMessage::Shutdown)).unwrap();
+        proxy_side
+            .send(&encode_frame(&RpcMessage::Shutdown))
+            .unwrap();
     }
 
     #[test]
@@ -333,11 +372,16 @@ mod stub_tests {
         let (mut proxy_side, stub_side) = ChannelTransport::pair();
         let handle = spawn_stub(
             stub_side,
-            Box::new(TestApp { count: 7, crash_on: None }),
+            Box::new(TestApp {
+                count: 7,
+                crash_on: None,
+            }),
             StubConfig::default(),
         );
         let _ = recv_msg(&mut proxy_side);
-        proxy_side.send(&encode_frame(&RpcMessage::SnapshotRequest { seq: 1 })).unwrap();
+        proxy_side
+            .send(&encode_frame(&RpcMessage::SnapshotRequest { seq: 1 }))
+            .unwrap();
         match recv_msg(&mut proxy_side) {
             RpcMessage::SnapshotReply { seq, bytes } => {
                 assert_eq!(seq, 1);
@@ -345,7 +389,9 @@ mod stub_tests {
             }
             other => panic!("expected snapshot, got {other:?}"),
         }
-        proxy_side.send(&encode_frame(&RpcMessage::Shutdown)).unwrap();
+        proxy_side
+            .send(&encode_frame(&RpcMessage::Shutdown))
+            .unwrap();
         handle.join().unwrap();
     }
 
@@ -358,7 +404,10 @@ mod stub_tests {
         };
         let _handle = spawn_stub(
             stub_side,
-            Box::new(TestApp { count: 0, crash_on: None }),
+            Box::new(TestApp {
+                count: 0,
+                crash_on: None,
+            }),
             config,
         );
         let _ = proxy_side.recv_timeout(Duration::from_secs(1)); // register
@@ -372,6 +421,8 @@ mod stub_tests {
             }
         }
         assert!(beats >= 3, "expected heartbeats, got {beats}");
-        proxy_side.send(&encode_frame(&RpcMessage::Shutdown)).unwrap();
+        proxy_side
+            .send(&encode_frame(&RpcMessage::Shutdown))
+            .unwrap();
     }
 }

@@ -2,17 +2,17 @@
 //!
 //! Two implementations:
 //!
-//! - [`ChannelTransport`] — in-memory crossbeam channels. Fast, always
+//! - [`ChannelTransport`] — in-memory std mpsc channels. Fast, always
 //!   available; models stubs hosted in sandboxed threads.
 //! - [`UdpTransport`] — real UDP sockets on loopback, as in the paper's
 //!   prototype ("the proxy and stub communicate with each other using
 //!   UDP"). Includes the full serialization + kernel round-trip cost the
 //!   isolation-latency experiment (E2) measures.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::fmt;
 use std::io::ErrorKind;
 use std::net::UdpSocket;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
 /// Transport failure.
@@ -44,7 +44,7 @@ pub trait Transport: Send {
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError>;
 }
 
-/// In-memory transport over crossbeam channels.
+/// In-memory transport over std mpsc channels.
 pub struct ChannelTransport {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
@@ -54,15 +54,20 @@ impl ChannelTransport {
     /// A connected pair: writes on one side arrive on the other.
     #[must_use]
     pub fn pair() -> (ChannelTransport, ChannelTransport) {
-        let (a_tx, b_rx) = unbounded();
-        let (b_tx, a_rx) = unbounded();
-        (ChannelTransport { tx: a_tx, rx: a_rx }, ChannelTransport { tx: b_tx, rx: b_rx })
+        let (a_tx, b_rx) = channel();
+        let (b_tx, a_rx) = channel();
+        (
+            ChannelTransport { tx: a_tx, rx: a_rx },
+            ChannelTransport { tx: b_tx, rx: b_rx },
+        )
     }
 }
 
 impl Transport for ChannelTransport {
     fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
-        self.tx.send(bytes.to_vec()).map_err(|_| TransportError::Disconnected)
+        self.tx
+            .send(bytes.to_vec())
+            .map_err(|_| TransportError::Disconnected)
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
@@ -101,7 +106,10 @@ impl Transport for UdpTransport {
                 bytes.len()
             )));
         }
-        self.socket.send(bytes).map(|_| ()).map_err(|e| TransportError::Io(e.to_string()))
+        self.socket
+            .send(bytes)
+            .map(|_| ())
+            .map_err(|e| TransportError::Io(e.to_string()))
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
@@ -143,8 +151,14 @@ impl TcpTransport {
             s.set_nodelay(true)?;
         }
         Ok((
-            TcpTransport { stream: client, pending: Vec::new() },
-            TcpTransport { stream: server, pending: Vec::new() },
+            TcpTransport {
+                stream: client,
+                pending: Vec::new(),
+            },
+            TcpTransport {
+                stream: server,
+                pending: Vec::new(),
+            },
         ))
     }
 
@@ -199,8 +213,7 @@ impl Transport for TcpTransport {
                         return Ok(Some(frame));
                     }
                 }
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
                 Err(e) if e.kind() == ErrorKind::ConnectionReset => {
                     return Err(TransportError::Disconnected)
                 }
@@ -226,7 +239,12 @@ impl<T: Transport> FlakyTransport<T> {
     /// Wrap `inner`, dropping ~`drop_per_mille`/1000 of sent frames.
     #[must_use]
     pub fn new(inner: T, drop_per_mille: u32, seed: u64) -> Self {
-        FlakyTransport { inner, drop_per_mille, rng: seed | 1, dropped: 0 }
+        FlakyTransport {
+            inner,
+            drop_per_mille,
+            rng: seed | 1,
+            dropped: 0,
+        }
     }
 
     fn roll(&mut self) -> u64 {
@@ -270,8 +288,14 @@ mod tests {
         // Ordering.
         a.send(b"1").unwrap();
         a.send(b"2").unwrap();
-        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().unwrap(), b"1");
-        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().unwrap(), b"2");
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap().unwrap(),
+            b"1"
+        );
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap().unwrap(),
+            b"2"
+        );
     }
 
     #[test]
@@ -321,7 +345,10 @@ mod tests {
         let (mut a, b) = ChannelTransport::pair();
         drop(b);
         assert_eq!(a.send(b"x"), Err(TransportError::Disconnected));
-        assert_eq!(a.recv_timeout(Duration::from_millis(5)), Err(TransportError::Disconnected));
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(5)),
+            Err(TransportError::Disconnected)
+        );
     }
 
     #[test]
@@ -345,7 +372,11 @@ mod tests {
         }
         assert_eq!(received + flaky.dropped, sent);
         // ~50% drop rate, generous tolerance.
-        assert!(flaky.dropped > 50 && flaky.dropped < 150, "dropped {}", flaky.dropped);
+        assert!(
+            flaky.dropped > 50 && flaky.dropped < 150,
+            "dropped {}",
+            flaky.dropped
+        );
         // Determinism: same seed, same drops.
         let (a2, _b2) = ChannelTransport::pair();
         let mut flaky2 = FlakyTransport::new(a2, 500, 42);

@@ -8,81 +8,91 @@ use legosdn_controller::event::{Event, EventKind};
 use legosdn_controller::services::{DeviceView, TopologyView};
 use legosdn_netsim::{Endpoint, SimTime};
 use legosdn_openflow::prelude::*;
-use proptest::prelude::*;
+use legosdn_testkit::{forall, Rng};
 
-fn arb_event() -> impl Strategy<Value = Event> {
-    prop_oneof![
-        (1u64..100).prop_map(|d| Event::SwitchUp(DatapathId(d))),
-        (1u64..100).prop_map(|d| Event::SwitchDown(DatapathId(d))),
-        (1u64..50, 1u64..50, 1u16..8, 1u16..8).prop_map(|(a, b, pa, pb)| Event::LinkDown {
-            a: Endpoint::new(DatapathId(a), pa),
-            b: Endpoint::new(DatapathId(b), pb),
-        }),
-        (1u64..100, 1u64..64, 1u64..64, 1u16..48).prop_map(|(d, src, dst, port)| {
-            Event::PacketIn(
-                DatapathId(d),
-                PacketIn {
-                    buffer_id: BufferId::NONE,
-                    in_port: PortNo::Phys(port),
-                    reason: PacketInReason::NoMatch,
-                    packet: Packet::ethernet(MacAddr::from_index(src), MacAddr::from_index(dst)),
-                },
-            )
-        }),
-        (0u64..10_000).prop_map(|us| Event::Tick(SimTime::from_micros(us))),
-    ]
-}
-
-fn arb_command() -> impl Strategy<Value = Command> {
-    (1u64..100, 1u64..64, 1u16..48).prop_map(|(d, dst, port)| Command {
-        dpid: DatapathId(d),
-        msg: Message::FlowMod(
-            FlowMod::add(Match::eth_dst(MacAddr::from_index(dst)))
-                .action(Action::Output(PortNo::Phys(port))),
+fn arb_event(rng: &mut Rng) -> Event {
+    match rng.gen_range(0u32..5) {
+        0 => Event::SwitchUp(DatapathId(rng.gen_range(1u64..100))),
+        1 => Event::SwitchDown(DatapathId(rng.gen_range(1u64..100))),
+        2 => Event::LinkDown {
+            a: Endpoint::new(DatapathId(rng.gen_range(1u64..50)), rng.gen_range(1u16..8)),
+            b: Endpoint::new(DatapathId(rng.gen_range(1u64..50)), rng.gen_range(1u16..8)),
+        },
+        3 => Event::PacketIn(
+            DatapathId(rng.gen_range(1u64..100)),
+            PacketIn {
+                buffer_id: BufferId::NONE,
+                in_port: PortNo::Phys(rng.gen_range(1u16..48)),
+                reason: PacketInReason::NoMatch,
+                packet: Packet::ethernet(
+                    MacAddr::from_index(rng.gen_range(1u64..64)),
+                    MacAddr::from_index(rng.gen_range(1u64..64)),
+                ),
+            },
         ),
-    })
+        _ => Event::Tick(SimTime::from_micros(rng.gen_range(0u64..10_000))),
+    }
 }
 
-fn arb_views() -> impl Strategy<Value = (TopologyView, DeviceView)> {
-    (
-        proptest::collection::vec((1u64..20, 1u64..20, 1u16..8, 1u16..8), 0..10),
-        proptest::collection::vec((1u64..64, 1u64..20, 1u16..8), 0..10),
-    )
-        .prop_map(|(links, hosts)| {
-            let mut topo = TopologyView::default();
-            for (a, b, pa, pb) in links {
-                topo.switch_up(DatapathId(a), vec![]);
-                topo.switch_up(DatapathId(b), vec![]);
-                if a != b {
-                    topo.link_up(Endpoint::new(DatapathId(a), pa), Endpoint::new(DatapathId(b), pb));
-                }
-            }
-            let mut dev = DeviceView::default();
-            for (mac, d, p) in hosts {
-                dev.learn(
-                    MacAddr::from_index(mac),
-                    Some(Ipv4Addr::from_index(mac as u32)),
-                    Endpoint::new(DatapathId(d), p),
-                    SimTime::ZERO,
-                );
-            }
-            (topo, dev)
-        })
+fn arb_command(rng: &mut Rng) -> Command {
+    Command {
+        dpid: DatapathId(rng.gen_range(1u64..100)),
+        msg: Message::FlowMod(
+            FlowMod::add(Match::eth_dst(MacAddr::from_index(rng.gen_range(1u64..64))))
+                .action(Action::Output(PortNo::Phys(rng.gen_range(1u16..48)))),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn arb_views(rng: &mut Rng) -> (TopologyView, DeviceView) {
+    let links = rng.gen_vec(0..10, |r| {
+        (
+            r.gen_range(1u64..20),
+            r.gen_range(1u64..20),
+            r.gen_range(1u16..8),
+            r.gen_range(1u16..8),
+        )
+    });
+    let hosts = rng.gen_vec(0..10, |r| {
+        (
+            r.gen_range(1u64..64),
+            r.gen_range(1u64..20),
+            r.gen_range(1u16..8),
+        )
+    });
+    let mut topo = TopologyView::default();
+    for (a, b, pa, pb) in links {
+        topo.switch_up(DatapathId(a), vec![]);
+        topo.switch_up(DatapathId(b), vec![]);
+        if a != b {
+            topo.link_up(
+                Endpoint::new(DatapathId(a), pa),
+                Endpoint::new(DatapathId(b), pb),
+            );
+        }
+    }
+    let mut dev = DeviceView::default();
+    for (mac, d, p) in hosts {
+        dev.learn(
+            MacAddr::from_index(mac),
+            Some(Ipv4Addr::from_index(mac as u32)),
+            Endpoint::new(DatapathId(d), p),
+            SimTime::ZERO,
+        );
+    }
+    (topo, dev)
+}
 
-    #[test]
-    fn frames_roundtrip(
-        seq in any::<u64>(),
-        event in arb_event(),
-        (topology, devices) in arb_views(),
-        commands in proptest::collection::vec(arb_command(), 0..8),
-        bytes in proptest::collection::vec(any::<u8>(), 0..128),
-        name in "[a-z-]{1,24}",
-        ok in any::<bool>(),
-    ) {
+#[test]
+fn frames_roundtrip() {
+    forall(256, |rng| {
+        let seq = rng.next_u64();
+        let event = arb_event(rng);
+        let (topology, devices) = arb_views(rng);
+        let commands = rng.gen_vec(0..8, arb_command);
+        let bytes = rng.gen_vec(0..128, |r| r.next_u64() as u8);
+        let name = rng.gen_name(1..25);
+        let ok = rng.gen_bool(0.5);
         let frames = vec![
             RpcMessage::Register {
                 app_name: name,
@@ -90,8 +100,14 @@ proptest! {
             },
             RpcMessage::Heartbeat { seq },
             RpcMessage::EventAck { seq, commands },
-            RpcMessage::Crashed { seq, panic_message: "p".into() },
-            RpcMessage::SnapshotReply { seq, bytes: bytes.clone() },
+            RpcMessage::Crashed {
+                seq,
+                panic_message: "p".into(),
+            },
+            RpcMessage::SnapshotReply {
+                seq,
+                bytes: bytes.clone(),
+            },
             RpcMessage::RestoreAck { seq, ok },
             RpcMessage::EventDeliver {
                 seq,
@@ -107,16 +123,17 @@ proptest! {
         for f in frames {
             let encoded = encode_frame(&f);
             let back = decode_frame(&encoded).expect("decode");
-            prop_assert_eq!(back, f);
+            assert_eq!(back, f);
         }
-    }
+    });
+}
 
-    /// Truncation never decodes, never panics.
-    #[test]
-    fn truncated_frames_never_decode(
-        event in arb_event(),
-        cut_frac in 0.0f64..1.0,
-    ) {
+/// Truncation never decodes, never panics.
+#[test]
+fn truncated_frames_never_decode() {
+    forall(256, |rng| {
+        let event = arb_event(rng);
+        let cut_frac = rng.gen_f64();
         let frame = encode_frame(&RpcMessage::EventDeliver {
             seq: 1,
             event,
@@ -125,13 +142,16 @@ proptest! {
             now: SimTime::ZERO,
         });
         let cut = ((frame.len() as f64) * cut_frac) as usize;
-        prop_assert!(cut < frame.len());
-        prop_assert!(decode_frame(&frame[..cut]).is_err());
-    }
+        assert!(cut < frame.len());
+        assert!(decode_frame(&frame[..cut]).is_err());
+    });
+}
 
-    /// Random garbage never panics the decoder.
-    #[test]
-    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Random garbage never panics the decoder.
+#[test]
+fn garbage_never_panics() {
+    forall(256, |rng| {
+        let bytes = rng.gen_vec(0..256, |r| r.next_u64() as u8);
         let _ = decode_frame(&bytes);
-    }
+    });
 }

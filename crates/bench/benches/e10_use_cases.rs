@@ -3,12 +3,12 @@
 //! upgrade (LegoSDN) vs reboot (monolithic), and per-app resource-limit
 //! enforcement cost.
 
-use criterion::{criterion_group, Criterion};
 use legosdn::clone_runner::ClonePair;
 use legosdn::controller::services::{DeviceView, TopologyView};
 use legosdn::crashpad::{LocalSandbox, RecoverableApp};
 use legosdn::nversion::NVersionApp;
 use legosdn::prelude::*;
+use legosdn_bench::harness::{criterion_group, Criterion};
 use legosdn_bench::{print_table, workloads};
 use std::time::Instant;
 
@@ -36,7 +36,11 @@ fn summary() {
 
     let mut nv = LocalSandbox::new(Box::new(NVersionApp::new(
         "hub-3v",
-        vec![Box::new(Hub::new()), Box::new(Hub::new()), Box::new(Hub::new())],
+        vec![
+            Box::new(Hub::new()),
+            Box::new(Hub::new()),
+            Box::new(Hub::new()),
+        ],
     )));
     let nv_us = time_events(n, |i| {
         let _ = nv.deliver(&workloads::bench_packet_in(i), &topo, &dev, SimTime::ZERO);
@@ -82,8 +86,11 @@ fn summary() {
     rt.upgrade_controller(&mut net);
     let upgrade_us = start.elapsed().as_secs_f64() * 1e6;
     let lego_links = rt.translator().topology.n_links();
-    let app_state_kept =
-        rt.crashpad().checkpoints.events_delivered("learning-switch") > 0;
+    let app_state_kept = rt
+        .crashpad()
+        .checkpoints
+        .events_delivered("learning-switch")
+        > 0;
 
     let mut net = Network::new(&topo2);
     let mut ctl = MonolithicController::new();
@@ -101,7 +108,12 @@ fn summary() {
 
     print_table(
         "E10b: controller upgrade (LegoSDN) vs reboot (monolithic)",
-        &["architecture", "wall us", "links known after", "app state kept"],
+        &[
+            "architecture",
+            "wall us",
+            "links known after",
+            "app state kept",
+        ],
         &[
             vec![
                 "legosdn upgrade".into(),
@@ -122,7 +134,10 @@ fn summary() {
     let (mut net, mut rt, topo3) = workloads::lego_on_linear(2, 1, LegoSdnConfig::default());
     rt.attach_with_limits(
         Box::new(Hub::new()),
-        ResourceLimits { max_events: Some(u64::MAX >> 1), ..ResourceLimits::default() },
+        ResourceLimits {
+            max_events: Some(u64::MAX >> 1),
+            ..ResourceLimits::default()
+        },
     )
     .unwrap();
     rt.run_cycle(&mut net);
@@ -151,7 +166,11 @@ fn bench(c: &mut Criterion) {
 
     let mut nv = LocalSandbox::new(Box::new(NVersionApp::new(
         "hub-3v",
-        vec![Box::new(Hub::new()), Box::new(Hub::new()), Box::new(Hub::new())],
+        vec![
+            Box::new(Hub::new()),
+            Box::new(Hub::new()),
+            Box::new(Hub::new()),
+        ],
     )));
     g.bench_function("nversion_3", |b| {
         b.iter(|| {
@@ -181,5 +200,7 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
     summary();
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    legosdn_bench::harness::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

@@ -2,11 +2,11 @@
 //!
 //! The monolithic stack dies with its first crashing app; LegoSDN keeps
 //! processing. The summary table reports events processed, deliveries, and
-//! final controller state for identical workloads; the criterion benches
+//! final controller state for identical workloads; the timing benches
 //! time a full crash-workload cycle on each architecture.
 
-use criterion::{criterion_group, Criterion};
 use legosdn::prelude::*;
+use legosdn_bench::harness::{criterion_group, Criterion};
 use legosdn_bench::{print_table, workloads};
 
 /// One full run: poisoned hub + learning switch, 30 packets, every
@@ -21,11 +21,19 @@ fn run_monolithic(crash_every: usize) -> (u64, u64, bool) {
     let mut i = 0usize;
     workloads::round_robin_traffic(&topo, 30, |src, dst| {
         i += 1;
-        let target = if i.is_multiple_of(crash_every) { poison } else { dst };
+        let target = if i.is_multiple_of(crash_every) {
+            poison
+        } else {
+            dst
+        };
         let _ = net.inject(src, Packet::ethernet(src, target));
         ctl.run_cycle(&mut net);
     });
-    (ctl.stats().dispatches, net.delivery_counters().0, ctl.is_crashed())
+    (
+        ctl.stats().dispatches,
+        net.delivery_counters().0,
+        ctl.is_crashed(),
+    )
 }
 
 fn run_legosdn(crash_every: usize) -> (u64, u64, bool) {
@@ -37,11 +45,19 @@ fn run_legosdn(crash_every: usize) -> (u64, u64, bool) {
     let mut i = 0usize;
     workloads::round_robin_traffic(&topo, 30, |src, dst| {
         i += 1;
-        let target = if i.is_multiple_of(crash_every) { poison } else { dst };
+        let target = if i.is_multiple_of(crash_every) {
+            poison
+        } else {
+            dst
+        };
         let _ = net.inject(src, Packet::ethernet(src, target));
         rt.run_cycle(&mut net);
     });
-    (rt.stats().dispatches, net.delivery_counters().0, rt.is_crashed())
+    (
+        rt.stats().dispatches,
+        net.delivery_counters().0,
+        rt.is_crashed(),
+    )
 }
 
 fn summary() {
@@ -94,5 +110,7 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
     summary();
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    legosdn_bench::harness::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

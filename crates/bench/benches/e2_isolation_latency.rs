@@ -8,12 +8,12 @@
 //! latency into the control-loop" §3.1 argues is acceptable against the 4x
 //! slowdown controllers already impose on flow setup.
 
-use criterion::{criterion_group, Criterion};
 use legosdn::appvisor::{AppVisorProxy, ProxyConfig, StubConfig, TransportKind};
 use legosdn::controller::app::{Ctx, SdnApp};
 use legosdn::controller::services::{DeviceView, TopologyView};
 use legosdn::crashpad::{LocalSandbox, RecoverableApp};
 use legosdn::prelude::*;
+use legosdn_bench::harness::{criterion_group, Criterion};
 use legosdn_bench::{print_table, workloads};
 use std::time::{Duration, Instant};
 
@@ -65,7 +65,9 @@ fn summary() {
 
     // AppVisor / channel.
     let mut p = proxy();
-    let h = p.launch_app(Box::new(LearningSwitch::new()), TransportKind::Channel).unwrap();
+    let h = p
+        .launch_app(Box::new(LearningSwitch::new()), TransportKind::Channel)
+        .unwrap();
     let channel = time_deliveries(n, |i| {
         let ev = workloads::bench_packet_in(i);
         let _ = p.deliver(h, &ev, &topo, &dev, SimTime::ZERO);
@@ -75,7 +77,9 @@ fn summary() {
 
     // AppVisor / UDP (paper prototype).
     let mut p = proxy();
-    let h = p.launch_app(Box::new(LearningSwitch::new()), TransportKind::Udp).unwrap();
+    let h = p
+        .launch_app(Box::new(LearningSwitch::new()), TransportKind::Udp)
+        .unwrap();
     let udp = time_deliveries(n, |i| {
         let ev = workloads::bench_packet_in(i);
         let _ = p.deliver(h, &ev, &topo, &dev, SimTime::ZERO);
@@ -89,7 +93,12 @@ fn summary() {
         "E2: per-event dispatch latency by isolation mode",
         &["mode", "mean us/event", "x direct", "wire bytes/event"],
         &[
-            vec!["direct (monolithic)".into(), format!("{direct:.2}"), "1.0".into(), "0".into()],
+            vec![
+                "direct (monolithic)".into(),
+                format!("{direct:.2}"),
+                "1.0".into(),
+                "0".into(),
+            ],
             vec![
                 "local sandbox".into(),
                 format!("{local:.2}"),
@@ -117,7 +126,10 @@ fn summary() {
     // vs deliver_fanout (stubs process concurrently on their threads).
     let mut p = proxy();
     let handles: Vec<_> = (0..4)
-        .map(|_| p.launch_app(Box::new(LearningSwitch::new()), TransportKind::Channel).unwrap())
+        .map(|_| {
+            p.launch_app(Box::new(LearningSwitch::new()), TransportKind::Channel)
+                .unwrap()
+        })
         .collect();
     let seq_us = time_deliveries(500, |i| {
         let ev = workloads::bench_packet_in(i);
@@ -187,21 +199,39 @@ fn bench(c: &mut Criterion) {
     });
 
     let mut p = proxy();
-    let h = p.launch_app(Box::new(LearningSwitch::new()), TransportKind::Channel).unwrap();
+    let h = p
+        .launch_app(Box::new(LearningSwitch::new()), TransportKind::Channel)
+        .unwrap();
     g.bench_function("appvisor_channel", |b| {
         b.iter(|| {
             i += 1;
-            p.deliver(h, &workloads::bench_packet_in(i), &topo, &dev, SimTime::ZERO).unwrap()
+            p.deliver(
+                h,
+                &workloads::bench_packet_in(i),
+                &topo,
+                &dev,
+                SimTime::ZERO,
+            )
+            .unwrap()
         });
     });
     let _ = p.shutdown();
 
     let mut p = proxy();
-    let h = p.launch_app(Box::new(LearningSwitch::new()), TransportKind::Udp).unwrap();
+    let h = p
+        .launch_app(Box::new(LearningSwitch::new()), TransportKind::Udp)
+        .unwrap();
     g.bench_function("appvisor_udp", |b| {
         b.iter(|| {
             i += 1;
-            p.deliver(h, &workloads::bench_packet_in(i), &topo, &dev, SimTime::ZERO).unwrap()
+            p.deliver(
+                h,
+                &workloads::bench_packet_in(i),
+                &topo,
+                &dev,
+                SimTime::ZERO,
+            )
+            .unwrap()
         });
     });
     let _ = p.shutdown();
@@ -213,5 +243,7 @@ criterion_group!(benches, bench);
 fn main() {
     summary();
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    legosdn_bench::harness::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

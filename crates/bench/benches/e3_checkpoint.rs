@@ -6,13 +6,13 @@
 //! N while recovery time grows — the §5 trade-off, with the crossover
 //! visible in the table.
 
-use criterion::{criterion_group, BenchmarkId, Criterion};
 use legosdn::controller::app::SdnApp;
 use legosdn::controller::services::{DeviceView, TopologyView};
 use legosdn::crashpad::{
     CheckpointPolicy, CrashPad, CrashPadConfig, LocalSandbox, PolicyTable, TransformDirection,
 };
 use legosdn::prelude::*;
+use legosdn_bench::harness::{criterion_group, BenchmarkId, Criterion};
 use legosdn_bench::{print_table, workloads};
 use std::time::Instant;
 
@@ -20,7 +20,11 @@ const INTERVALS: [u64; 6] = [1, 2, 5, 10, 25, 100];
 
 fn pad(interval: u64) -> CrashPad {
     CrashPad::new(CrashPadConfig {
-        checkpoints: CheckpointPolicy { interval, history: 4, ..CheckpointPolicy::default() },
+        checkpoints: CheckpointPolicy {
+            interval,
+            history: 4,
+            ..CheckpointPolicy::default()
+        },
         policies: PolicyTable::with_default(CompromisePolicy::Absolute),
         transform_direction: TransformDirection::Decompose,
     })
@@ -39,7 +43,11 @@ fn steady_state(interval: u64, n: u64, state_size: u64) -> (f64, u64, u64) {
         cp.dispatch(&mut sandbox, "ls", &ev, &topo, &dev, SimTime::ZERO);
     }
     let us = start.elapsed().as_secs_f64() * 1e6 / n as f64;
-    (us, cp.checkpoints.snapshots_taken, cp.checkpoints.bytes_snapshotted)
+    (
+        us,
+        cp.checkpoints.snapshots_taken,
+        cp.checkpoints.bytes_snapshotted,
+    )
 }
 
 /// Recovery: deliver `interval - 1` healthy events past the checkpoint,
@@ -73,7 +81,10 @@ fn recovery_cost(interval: u64, state_size: u64) -> (f64, u64) {
     let start = Instant::now();
     let result = cp.dispatch(&mut sandbox, "f", &poison_ev, &topo, &dev, SimTime::ZERO);
     let us = start.elapsed().as_secs_f64() * 1e6;
-    assert!(matches!(result, legosdn::crashpad::DispatchResult::Recovered { .. }));
+    assert!(matches!(
+        result,
+        legosdn::crashpad::DispatchResult::Recovered { .. }
+    ));
     (us, cp.stats().events_replayed)
 }
 
@@ -99,7 +110,14 @@ fn summary() {
     }
     print_table(
         "E3: checkpoint interval sweep (400-event steady state + 1 crash)",
-        &["interval N", "us/event", "snapshots", "snap KiB", "recovery us", "replayed"],
+        &[
+            "interval N",
+            "us/event",
+            "snapshots",
+            "snap KiB",
+            "recovery us",
+            "replayed",
+        ],
         &rows,
     );
 }
@@ -134,5 +152,7 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
     summary();
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    legosdn_bench::harness::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

@@ -5,9 +5,9 @@
 //! switch fan-out, and the table verifies state equality after rollback
 //! (the correctness half of the claim).
 
-use criterion::{criterion_group, BenchmarkId, Criterion};
 use legosdn::netlog::{NetLog, TxMode};
 use legosdn::prelude::*;
+use legosdn_bench::harness::{criterion_group, BenchmarkId, Criterion};
 use legosdn_bench::print_table;
 use std::time::Instant;
 
@@ -27,7 +27,8 @@ fn rollback_run(m: u64, s: usize) -> (f64, usize, usize) {
     let mut tx = nl.begin();
     for i in 0..m {
         let dpid = DatapathId(1 + (i % s as u64));
-        nl.execute(&mut tx, &mut net, dpid, &add_flow(i, 1)).unwrap();
+        nl.execute(&mut tx, &mut net, dpid, &add_flow(i, 1))
+            .unwrap();
     }
     let start = Instant::now();
     let report = nl.abort(tx, &mut net).unwrap();
@@ -84,14 +85,24 @@ fn summary() {
     }
     print_table(
         "E4: rollback latency vs transaction size / switch fan-out",
-        &["tx size", "switches", "abort us", "undo msgs", "residual flows"],
+        &[
+            "tx size",
+            "switches",
+            "abort us",
+            "undo msgs",
+            "residual flows",
+        ],
         &rows,
     );
 
     let mut rows = Vec::new();
     for m in [1u64, 16, 128] {
         let (us, restored) = delete_rollback_run(m);
-        rows.push(vec![m.to_string(), format!("{us:.1}"), restored.to_string()]);
+        rows.push(vec![
+            m.to_string(),
+            format!("{us:.1}"),
+            restored.to_string(),
+        ]);
     }
     print_table(
         "E4b: rolling back a wildcard delete restores every entry",
@@ -119,7 +130,8 @@ fn bench(c: &mut Criterion) {
             let mut tx = nl.begin();
             for i in 0..64u64 {
                 let dpid = DatapathId(1 + (i % 4));
-                nl.execute(&mut tx, &mut net, dpid, &add_flow(i, 1)).unwrap();
+                nl.execute(&mut tx, &mut net, dpid, &add_flow(i, 1))
+                    .unwrap();
             }
             nl.commit(tx, &mut net).unwrap()
         });
@@ -132,5 +144,7 @@ criterion_group!(benches, bench);
 fn main() {
     summary();
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    legosdn_bench::harness::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

@@ -7,9 +7,9 @@
 //! switch). Absolute keeps availability but misses the change; Equivalence
 //! gets both; No-Compromise sacrifices the app.
 
-use criterion::{criterion_group, Criterion};
 use legosdn::crashpad::{CheckpointPolicy, CrashPadConfig, PolicyTable, TransformDirection};
 use legosdn::prelude::*;
+use legosdn_bench::harness::{criterion_group, Criterion};
 use legosdn_bench::print_table;
 use std::time::Instant;
 
@@ -45,7 +45,8 @@ fn run(policy: CompromisePolicy) -> Outcome {
     // react to the topology change" is observable.
     let (a, c) = (topo.hosts[0].mac, topo.hosts[2].mac);
     for h in &topo.hosts {
-        net.inject(h.mac, Packet::ethernet(h.mac, MacAddr::BROADCAST)).unwrap();
+        net.inject(h.mac, Packet::ethernet(h.mac, MacAddr::BROADCAST))
+            .unwrap();
         rt.run_cycle(&mut net);
     }
     net.inject(a, Packet::ethernet(a, c)).unwrap();
@@ -64,11 +65,18 @@ fn run(policy: CompromisePolicy) -> Outcome {
 
     // Availability probe: a fresh packet-in afterwards.
     let app_alive = !matches!(rt.app_status(id), Some(AppStatus::Dead));
-    let before = rt.crashpad().checkpoints.events_delivered("shortest-path-router#buggy");
-    net.inject(a, Packet::ethernet(a, topo.hosts[1].mac)).unwrap();
+    let before = rt
+        .crashpad()
+        .checkpoints
+        .events_delivered("shortest-path-router#buggy");
+    net.inject(a, Packet::ethernet(a, topo.hosts[1].mac))
+        .unwrap();
     rt.run_cycle(&mut net);
-    let processed_after =
-        rt.crashpad().checkpoints.events_delivered("shortest-path-router#buggy") > before;
+    let processed_after = rt
+        .crashpad()
+        .checkpoints
+        .events_delivered("shortest-path-router#buggy")
+        > before;
 
     let recovery_action = rt
         .crashpad()
@@ -77,7 +85,13 @@ fn run(policy: CompromisePolicy) -> Outcome {
         .last()
         .map(|t| format!("{:?}", t.recovery))
         .unwrap_or_else(|| "none".into());
-    Outcome { app_alive, processed_after, saw_topology_change, recovery_action, recovery_us }
+    Outcome {
+        app_alive,
+        processed_after,
+        saw_topology_change,
+        recovery_action,
+        recovery_us,
+    }
 }
 
 fn summary() {
@@ -120,8 +134,12 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_policies");
     g.sample_size(20);
     g.bench_function("absolute", |b| b.iter(|| run(CompromisePolicy::Absolute)));
-    g.bench_function("no_compromise", |b| b.iter(|| run(CompromisePolicy::NoCompromise)));
-    g.bench_function("equivalence", |b| b.iter(|| run(CompromisePolicy::Equivalence)));
+    g.bench_function("no_compromise", |b| {
+        b.iter(|| run(CompromisePolicy::NoCompromise))
+    });
+    g.bench_function("equivalence", |b| {
+        b.iter(|| run(CompromisePolicy::Equivalence))
+    });
     g.finish();
 }
 
@@ -133,5 +151,7 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
     summary();
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    legosdn_bench::harness::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

@@ -6,17 +6,16 @@
 //! and measures survival: fraction of runs where the control plane is
 //! still processing events at the end, monolithic vs LegoSDN.
 
-use criterion::{criterion_group, Criterion};
 use legosdn::prelude::*;
+use legosdn_bench::harness::{criterion_group, Criterion};
 use legosdn_bench::{print_table, workloads};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use legosdn_testkit::Rng;
 
 /// One sampled bug assignment for one app.
-fn sample_bug(rng: &mut StdRng, poison: MacAddr) -> (BugTrigger, BugEffect) {
+fn sample_bug(rng: &mut Rng, poison: MacAddr) -> (BugTrigger, BugEffect) {
     // 16% catastrophic crash (the FlowScale number), 8% byzantine, the rest
     // benign (never fires).
-    let roll: f64 = rng.gen();
+    let roll: f64 = rng.gen_f64();
     if roll < 0.16 {
         (BugTrigger::OnPacketToMac(poison), BugEffect::Crash)
     } else if roll < 0.24 {
@@ -27,7 +26,7 @@ fn sample_bug(rng: &mut StdRng, poison: MacAddr) -> (BugTrigger, BugEffect) {
 }
 
 /// The app-survey suite (Table 2), each possibly wrapped with a bug.
-fn suite(rng: &mut StdRng, poison: MacAddr) -> Vec<Box<dyn SdnApp>> {
+fn suite(rng: &mut Rng, poison: MacAddr) -> Vec<Box<dyn SdnApp>> {
     let bases: Vec<Box<dyn SdnApp>> = vec![
         Box::new(LearningSwitch::new()),
         Box::new(Hub::new()),
@@ -52,10 +51,14 @@ struct CampaignResult {
 }
 
 fn campaign_monolithic(runs: usize) -> CampaignResult {
-    let mut result =
-        CampaignResult { runs, survived: 0, crashes_seen: 0, byzantine_blocked: 0 };
+    let mut result = CampaignResult {
+        runs,
+        survived: 0,
+        crashes_seen: 0,
+        byzantine_blocked: 0,
+    };
     for seed in 0..runs as u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let topo = Topology::linear(3, 1);
         let mut net = Network::new(&topo);
         let poison = topo.hosts[2].mac;
@@ -77,10 +80,14 @@ fn campaign_monolithic(runs: usize) -> CampaignResult {
 }
 
 fn campaign_legosdn(runs: usize) -> CampaignResult {
-    let mut result =
-        CampaignResult { runs, survived: 0, crashes_seen: 0, byzantine_blocked: 0 };
+    let mut result = CampaignResult {
+        runs,
+        survived: 0,
+        crashes_seen: 0,
+        byzantine_blocked: 0,
+    };
     for seed in 0..runs as u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let topo = Topology::linear(3, 1);
         let mut net = Network::new(&topo);
         let poison = topo.hosts[2].mac;
@@ -108,7 +115,14 @@ fn summary() {
     let lego = campaign_legosdn(runs);
     print_table(
         "E6: fault campaign (16% crash / 8% byzantine per app, 5 apps, 50 seeds)",
-        &["architecture", "runs", "survived", "survival %", "crashes", "byzantine blocked"],
+        &[
+            "architecture",
+            "runs",
+            "survived",
+            "survival %",
+            "crashes",
+            "byzantine blocked",
+        ],
         &[
             vec![
                 "monolithic".into(),
@@ -133,7 +147,9 @@ fn summary() {
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_fault_campaign");
     g.sample_size(10);
-    g.bench_function("monolithic_10_seeds", |b| b.iter(|| campaign_monolithic(10)));
+    g.bench_function("monolithic_10_seeds", |b| {
+        b.iter(|| campaign_monolithic(10))
+    });
     g.bench_function("legosdn_10_seeds", |b| b.iter(|| campaign_legosdn(10)));
     g.finish();
 }
@@ -146,5 +162,7 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
     summary();
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    legosdn_bench::harness::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

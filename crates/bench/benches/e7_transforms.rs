@@ -4,11 +4,11 @@
 //! links, both rewrite directions hold) and cost (transform latency scales
 //! with switch degree; full equivalence recovery vs plain ignore).
 
-use criterion::{criterion_group, BenchmarkId, Criterion};
 use legosdn::controller::services::TopologyView;
 use legosdn::crashpad::{transform, TransformDirection};
 use legosdn::netsim::Endpoint;
 use legosdn::prelude::*;
+use legosdn_bench::harness::{criterion_group, BenchmarkId, Criterion};
 use legosdn_bench::print_table;
 use std::time::Instant;
 
@@ -40,7 +40,11 @@ fn summary() {
             produced = out.len();
         }
         let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
-        rows.push(vec![degree.to_string(), produced.to_string(), format!("{ns:.0}")]);
+        rows.push(vec![
+            degree.to_string(),
+            produced.to_string(),
+            format!("{ns:.0}"),
+        ]);
     }
     print_table(
         "E7: switch-down → link-downs decomposition vs switch degree",
@@ -51,8 +55,12 @@ fn summary() {
     // Round-trip coverage check: decompose a switch-down, generalize each
     // resulting link-down, confirm the victim switch is among the answers.
     let topo = star_view(4);
-    let downs = transform(&Event::SwitchDown(DatapathId(1)), &topo, TransformDirection::Decompose)
-        .unwrap();
+    let downs = transform(
+        &Event::SwitchDown(DatapathId(1)),
+        &topo,
+        TransformDirection::Decompose,
+    )
+    .unwrap();
     let mut generalized_hits = 0;
     for d in &downs {
         if let Some(out) = transform(d, &topo, TransformDirection::Generalize) {
@@ -72,9 +80,13 @@ fn bench(c: &mut Criterion) {
     for degree in [4u64, 16, 48] {
         let topo = star_view(degree);
         let ev = Event::SwitchDown(DatapathId(1));
-        g.bench_with_input(BenchmarkId::new("decompose_switch_down", degree), &degree, |b, _| {
-            b.iter(|| transform(&ev, &topo, TransformDirection::Decompose));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("decompose_switch_down", degree),
+            &degree,
+            |b, _| {
+                b.iter(|| transform(&ev, &topo, TransformDirection::Decompose));
+            },
+        );
     }
     let topo = star_view(8);
     let ld = Event::LinkDown {
@@ -92,5 +104,7 @@ criterion_group!(benches, bench);
 fn main() {
     summary();
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    legosdn_bench::harness::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

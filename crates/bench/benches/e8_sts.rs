@@ -5,11 +5,11 @@
 //! sets; minimal-sequence size is exact. This is what makes "which
 //! checkpoint do we roll back to" tractable.
 
-use criterion::{criterion_group, BenchmarkId, Criterion};
 use legosdn::controller::app::{Ctx, RestoreError, SdnApp};
 use legosdn::controller::services::{DeviceView, TopologyView};
 use legosdn::prelude::*;
 use legosdn::sts::{ddmin, AppReplayOracle};
+use legosdn_bench::harness::{criterion_group, BenchmarkId, Criterion};
 use legosdn_bench::print_table;
 use std::time::Instant;
 
@@ -38,8 +38,7 @@ impl SdnApp for FuseApp {
         self.seen.to_be_bytes().to_vec()
     }
     fn restore(&mut self, b: &[u8]) -> Result<(), RestoreError> {
-        self.seen =
-            u32::from_be_bytes(b.try_into().map_err(|_| RestoreError("len".into()))?);
+        self.seen = u32::from_be_bytes(b.try_into().map_err(|_| RestoreError("len".into()))?);
         Ok(())
     }
 }
@@ -49,7 +48,13 @@ fn history(len: usize, culprits: usize) -> Vec<Event> {
     let mut h = Vec::with_capacity(len);
     let stride = len / culprits.max(1);
     for i in 0..len {
-        if culprits > 0 && i % stride == stride / 2 && h.iter().filter(|e| matches!(e, Event::SwitchDown(_))).count() < culprits {
+        if culprits > 0
+            && i % stride == stride / 2
+            && h.iter()
+                .filter(|e| matches!(e, Event::SwitchDown(_)))
+                .count()
+                < culprits
+        {
             h.push(Event::SwitchDown(DatapathId(i as u64)));
         } else {
             h.push(Event::SwitchUp(DatapathId(i as u64)));
@@ -61,7 +66,12 @@ fn history(len: usize, culprits: usize) -> Vec<Event> {
 fn minimize(len: usize, culprits: usize) -> (usize, usize, f64) {
     let h = history(len, culprits);
     let mut oracle = AppReplayOracle::new(
-        move || Box::new(FuseApp { seen: 0, fuse: culprits as u32 }),
+        move || {
+            Box::new(FuseApp {
+                seen: 0,
+                fuse: culprits as u32,
+            })
+        },
         TopologyView::default(),
         DeviceView::default(),
     );
@@ -117,5 +127,7 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
     summary();
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    legosdn_bench::harness::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

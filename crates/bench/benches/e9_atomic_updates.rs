@@ -8,9 +8,9 @@
 //! costs one inverse per rule). The table reports residual rules and abort
 //! cost for each.
 
-use criterion::{criterion_group, BenchmarkId, Criterion};
 use legosdn::netlog::{NetLog, TxMode};
 use legosdn::prelude::*;
+use legosdn_bench::harness::{criterion_group, BenchmarkId, Criterion};
 use legosdn_bench::print_table;
 use std::time::Instant;
 
@@ -39,7 +39,8 @@ fn netlog_partial(mode: TxMode, m: u64, r: u64) -> (usize, f64) {
     let mut nl = NetLog::new(mode);
     let mut tx = nl.begin();
     for i in 0..r.min(m) {
-        nl.execute(&mut tx, &mut net, DatapathId(1 + i % 2), &rule(i)).unwrap();
+        nl.execute(&mut tx, &mut net, DatapathId(1 + i % 2), &rule(i))
+            .unwrap();
     }
     let start = Instant::now();
     nl.abort(tx, &mut net).unwrap();
@@ -96,5 +97,7 @@ criterion_group!(benches, bench);
 fn main() {
     summary();
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    legosdn_bench::harness::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

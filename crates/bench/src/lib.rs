@@ -2,9 +2,10 @@
 //! benches (DESIGN.md §4). Each `benches/eN_*.rs` target regenerates one
 //! paper exhibit/claim; this crate keeps their scenarios identical.
 
+pub mod harness;
 pub mod workloads;
 
-/// Print a paper-style results table to stderr (criterion owns stdout).
+/// Print a paper-style results table to stderr (the bench harness owns stdout).
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     eprintln!("\n=== {title} ===");
     let widths: Vec<usize> = headers
@@ -28,7 +29,14 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_string()).collect();
     eprintln!("{}", fmt_row(&header_cells));
-    eprintln!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    eprintln!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for r in rows {
         eprintln!("{}", fmt_row(r));
     }

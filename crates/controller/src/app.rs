@@ -16,13 +16,13 @@
 
 use crate::event::{Event, EventKind};
 use crate::services::{DeviceView, TopologyView};
+use legosdn_codec::Codec;
 use legosdn_netsim::SimTime;
 use legosdn_openflow::prelude::{DatapathId, Message};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A command an app asks the controller to execute.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Codec)]
 pub struct Command {
     pub dpid: DatapathId,
     pub msg: Message,
@@ -60,7 +60,12 @@ impl<'a> Ctx<'a> {
     /// Build a context for one dispatch.
     #[must_use]
     pub fn new(now: SimTime, topology: &'a TopologyView, devices: &'a DeviceView) -> Self {
-        Ctx { now, topology, devices, commands: Vec::new() }
+        Ctx {
+            now,
+            topology,
+            devices,
+            commands: Vec::new(),
+        }
     }
 
     /// Queue an OpenFlow message toward a switch.
@@ -130,8 +135,9 @@ mod tests {
             self.seen.to_be_bytes().to_vec()
         }
         fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
-            let arr: [u8; 4] =
-                bytes.try_into().map_err(|_| RestoreError("bad length".into()))?;
+            let arr: [u8; 4] = bytes
+                .try_into()
+                .map_err(|_| RestoreError("bad length".into()))?;
             self.seen = u32::from_be_bytes(arr);
             Ok(())
         }

@@ -6,14 +6,14 @@
 //! *Equivalence Compromise* (paper §3.3) rewrites events in this vocabulary:
 //! a `SwitchDown` becomes a series of `LinkDown`s and vice versa.
 
+use legosdn_codec::Codec;
 use legosdn_netsim::Endpoint;
+use legosdn_netsim::SimTime;
 use legosdn_openflow::messages::{ErrorMsg, FlowRemoved, PacketIn, PortStatus, StatsReply};
 use legosdn_openflow::prelude::DatapathId;
-use legosdn_netsim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// An event delivered to SDN applications.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Codec)]
 pub enum Event {
     /// A switch joined the control plane (handshake complete).
     SwitchUp(DatapathId),
@@ -38,9 +38,7 @@ pub enum Event {
 }
 
 /// Event kind, the subscription and policy-language key.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Codec)]
 pub enum EventKind {
     SwitchUp,
     SwitchDown,

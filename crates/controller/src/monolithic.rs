@@ -93,7 +93,10 @@ impl MonolithicController {
     /// post-reboot state.
     pub fn attach(&mut self, app: Box<dyn SdnApp>) {
         let initial_snapshot = app.snapshot();
-        self.apps.push(AppSlot { app, initial_snapshot });
+        self.apps.push(AppSlot {
+            app,
+            initial_snapshot,
+        });
     }
 
     /// Names of attached apps.
@@ -189,7 +192,11 @@ impl MonolithicController {
                 continue;
             }
             self.stats.dispatches += 1;
-            let mut ctx = Ctx::new(net.now(), &self.translator.topology, &self.translator.devices);
+            let mut ctx = Ctx::new(
+                net.now(),
+                &self.translator.topology,
+                &self.translator.devices,
+            );
             let result = catch_unwind(AssertUnwindSafe(|| {
                 slot.app.on_event(event, &mut ctx);
             }));
@@ -278,12 +285,18 @@ mod tests {
             vec![EventKind::PacketIn]
         }
         fn on_event(&mut self, event: &Event, ctx: &mut Ctx<'_>) {
-            let Event::PacketIn(dpid, pi) = event else { return };
+            let Event::PacketIn(dpid, pi) = event else {
+                return;
+            };
             if Some(pi.packet.eth_dst) == self.poison {
                 panic!("poisoned destination");
             }
             self.handled += 1;
-            let packet = if pi.buffer_id.is_some() { None } else { Some(pi.packet.clone()) };
+            let packet = if pi.buffer_id.is_some() {
+                None
+            } else {
+                Some(pi.packet.clone())
+            };
             ctx.send(
                 *dpid,
                 Message::PacketOut(PacketOut {
@@ -298,9 +311,8 @@ mod tests {
             self.handled.to_be_bytes().to_vec()
         }
         fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
-            self.handled = u32::from_be_bytes(
-                bytes.try_into().map_err(|_| RestoreError("len".into()))?,
-            );
+            self.handled =
+                u32::from_be_bytes(bytes.try_into().map_err(|_| RestoreError("len".into()))?);
             Ok(())
         }
     }
@@ -324,9 +336,8 @@ mod tests {
             self.count.to_be_bytes().to_vec()
         }
         fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
-            self.count = u32::from_be_bytes(
-                bytes.try_into().map_err(|_| RestoreError("len".into()))?,
-            );
+            self.count =
+                u32::from_be_bytes(bytes.try_into().map_err(|_| RestoreError("len".into()))?);
             Ok(())
         }
     }
@@ -366,10 +377,15 @@ mod tests {
         let report = ctl.run_cycle(&mut net);
         let crash = report.crash.expect("must crash");
         assert_eq!(crash.app, "crashy-flooder");
-        assert!(crash.panic_message.contains("poisoned"), "got: {:?}", crash.panic_message);
+        assert!(
+            crash.panic_message.contains("poisoned"),
+            "got: {:?}",
+            crash.panic_message
+        );
         assert!(ctl.is_crashed());
         // Subsequent events are lost — the fate-sharing cost.
-        net.inject(a, Packet::ethernet(a, MacAddr::from_index(9))).unwrap();
+        net.inject(a, Packet::ethernet(a, MacAddr::from_index(9)))
+            .unwrap();
         let report = ctl.run_cycle(&mut net);
         assert_eq!(report.events, 0);
         assert!(ctl.stats().events_lost_while_down > 0);
@@ -381,7 +397,8 @@ mod tests {
         ctl.run_cycle(&mut net);
         let baseline = ctl.stats().dispatches;
         let a = topo.hosts[0].mac;
-        net.inject(a, Packet::ethernet(a, MacAddr::from_index(2))).unwrap();
+        net.inject(a, Packet::ethernet(a, MacAddr::from_index(2)))
+            .unwrap();
         ctl.run_cycle(&mut net);
         let after_crash = ctl.stats().dispatches;
         // The crashing app was dispatched; the counter app (attached after)
@@ -395,7 +412,8 @@ mod tests {
         ctl.run_cycle(&mut net);
         assert!(ctl.translator().topology.n_links() > 0);
         let a = topo.hosts[0].mac;
-        net.inject(a, Packet::ethernet(a, MacAddr::from_index(2))).unwrap();
+        net.inject(a, Packet::ethernet(a, MacAddr::from_index(2)))
+            .unwrap();
         ctl.run_cycle(&mut net);
         assert!(ctl.is_crashed());
         ctl.reboot();
@@ -404,7 +422,8 @@ mod tests {
         // Controller core forgot the topology — must rediscover.
         assert_eq!(ctl.translator().topology.n_links(), 0);
         // And it still works for non-poisoned traffic.
-        net.inject(a, Packet::ethernet(a, MacAddr::from_index(9))).unwrap();
+        net.inject(a, Packet::ethernet(a, MacAddr::from_index(9)))
+            .unwrap();
         let report = ctl.run_cycle(&mut net);
         assert!(report.crash.is_none());
         assert!(report.events > 0);
@@ -426,7 +445,8 @@ mod tests {
         let (mut net, mut ctl, topo) = setup(None);
         ctl.run_cycle(&mut net);
         let a = topo.hosts[0].mac;
-        net.inject(a, Packet::ethernet(a, topo.hosts[1].mac)).unwrap();
+        net.inject(a, Packet::ethernet(a, topo.hosts[1].mac))
+            .unwrap();
         ctl.run_cycle(&mut net);
         assert!(ctl.stats().commands_executed >= 1);
         assert!(ctl.stats().events_translated >= 1);
@@ -435,6 +455,9 @@ mod tests {
     #[test]
     fn app_names_are_listed() {
         let (_, ctl, _) = setup(None);
-        assert_eq!(ctl.app_names(), vec!["crashy-flooder".to_string(), "counter".to_string()]);
+        assert_eq!(
+            ctl.app_names(),
+            vec!["crashy-flooder".to_string(), "counter".to_string()]
+        );
     }
 }

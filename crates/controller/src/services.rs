@@ -5,14 +5,14 @@
 //! link discovery, device manager). They are plain serializable data so the
 //! AppVisor stub can reconstruct them for an isolated app from RPC bytes.
 
+use legosdn_codec::Codec;
 use legosdn_netsim::{Endpoint, SimTime};
 use legosdn_openflow::messages::PortDesc;
 use legosdn_openflow::prelude::{DatapathId, Ipv4Addr, MacAddr};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A normalized (smaller endpoint first) inter-switch link.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Codec)]
 pub struct LinkKey {
     pub a: Endpoint,
     pub b: Endpoint,
@@ -49,7 +49,7 @@ impl LinkKey {
 }
 
 /// The controller's view of switches and inter-switch links.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Codec)]
 pub struct TopologyView {
     /// Connected switches and their last-reported port descriptors.
     pub switches: BTreeMap<DatapathId, Vec<PortDesc>>,
@@ -72,7 +72,12 @@ impl TopologyView {
     /// links are remembered (see [`Self::last_known_links`]).
     pub fn switch_down(&mut self, dpid: DatapathId) -> Vec<LinkKey> {
         self.switches.remove(&dpid);
-        let dead: Vec<LinkKey> = self.links.iter().filter(|l| l.touches(dpid)).copied().collect();
+        let dead: Vec<LinkKey> = self
+            .links
+            .iter()
+            .filter(|l| l.touches(dpid))
+            .copied()
+            .collect();
         for l in &dead {
             self.links.remove(l);
         }
@@ -116,7 +121,11 @@ impl TopologyView {
     /// Links touching a switch.
     #[must_use]
     pub fn links_of(&self, dpid: DatapathId) -> Vec<LinkKey> {
-        self.links.iter().filter(|l| l.touches(dpid)).copied().collect()
+        self.links
+            .iter()
+            .filter(|l| l.touches(dpid))
+            .copied()
+            .collect()
     }
 
     /// Neighbors of a switch: `(out_port, neighbor_dpid, neighbor_in_port)`.
@@ -139,7 +148,11 @@ impl TopologyView {
     /// at each listed switch out the listed port walks it to `dst`. Empty
     /// path when `src == dst`.
     #[must_use]
-    pub fn shortest_path(&self, src: DatapathId, dst: DatapathId) -> Option<Vec<(DatapathId, u16)>> {
+    pub fn shortest_path(
+        &self,
+        src: DatapathId,
+        dst: DatapathId,
+    ) -> Option<Vec<(DatapathId, u16)>> {
         if !self.has_switch(src) || !self.has_switch(dst) {
             return None;
         }
@@ -183,7 +196,7 @@ impl TopologyView {
 }
 
 /// A known end host.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Codec)]
 pub struct Device {
     pub mac: MacAddr,
     pub ip: Option<Ipv4Addr>,
@@ -192,7 +205,7 @@ pub struct Device {
 }
 
 /// The controller's view of end hosts, learned from packet-ins.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Codec)]
 pub struct DeviceView {
     devices: BTreeMap<MacAddr, Device>,
 }
@@ -203,7 +216,12 @@ impl DeviceView {
         if mac.is_multicast() {
             return;
         }
-        let dev = self.devices.entry(mac).or_insert(Device { mac, ip, attach, last_seen: now });
+        let dev = self.devices.entry(mac).or_insert(Device {
+            mac,
+            ip,
+            attach,
+            last_seen: now,
+        });
         dev.attach = attach;
         dev.last_seen = now;
         if ip.is_some() {
@@ -267,7 +285,10 @@ mod tests {
 
     #[test]
     fn link_key_normalizes() {
-        assert_eq!(LinkKey::new(ep(2, 1), ep(1, 1)), LinkKey::new(ep(1, 1), ep(2, 1)));
+        assert_eq!(
+            LinkKey::new(ep(2, 1), ep(1, 1)),
+            LinkKey::new(ep(1, 1), ep(2, 1))
+        );
         let k = LinkKey::new(ep(2, 1), ep(1, 1));
         assert_eq!(k.a, ep(1, 1));
         assert!(k.touches(DatapathId(2)));
@@ -288,7 +309,10 @@ mod tests {
         let t = line3();
         let path = t.shortest_path(DatapathId(1), DatapathId(3)).unwrap();
         assert_eq!(path, vec![(DatapathId(1), 1), (DatapathId(2), 2)]);
-        assert_eq!(t.shortest_path(DatapathId(1), DatapathId(1)).unwrap(), vec![]);
+        assert_eq!(
+            t.shortest_path(DatapathId(1), DatapathId(1)).unwrap(),
+            vec![]
+        );
     }
 
     #[test]
@@ -339,7 +363,11 @@ mod tests {
         d.learn(mac, None, ep(2, 4), SimTime::from_secs(5));
         let dev = d.get(mac).unwrap();
         assert_eq!(dev.attach, ep(2, 4));
-        assert_eq!(dev.ip, Some(Ipv4Addr::from_index(1)), "IP survives a None refresh");
+        assert_eq!(
+            dev.ip,
+            Some(Ipv4Addr::from_index(1)),
+            "IP survives a None refresh"
+        );
         assert_eq!(dev.last_seen, SimTime::from_secs(5));
         assert_eq!(d.len(), 1);
     }
@@ -354,9 +382,22 @@ mod tests {
     #[test]
     fn by_ip_and_purge() {
         let mut d = DeviceView::default();
-        d.learn(MacAddr::from_index(1), Some(Ipv4Addr::from_index(1)), ep(1, 3), SimTime::ZERO);
-        d.learn(MacAddr::from_index(2), Some(Ipv4Addr::from_index(2)), ep(2, 3), SimTime::ZERO);
-        assert_eq!(d.by_ip(Ipv4Addr::from_index(2)).unwrap().mac, MacAddr::from_index(2));
+        d.learn(
+            MacAddr::from_index(1),
+            Some(Ipv4Addr::from_index(1)),
+            ep(1, 3),
+            SimTime::ZERO,
+        );
+        d.learn(
+            MacAddr::from_index(2),
+            Some(Ipv4Addr::from_index(2)),
+            ep(2, 3),
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            d.by_ip(Ipv4Addr::from_index(2)).unwrap().mac,
+            MacAddr::from_index(2)
+        );
         d.purge_switch(DatapathId(1));
         assert_eq!(d.len(), 1);
         assert!(d.get(MacAddr::from_index(1)).is_none());

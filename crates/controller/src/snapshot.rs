@@ -1,647 +1,24 @@
-//! A compact, non-self-describing binary serde codec for application
-//! snapshots.
+//! Application snapshot encoding — a thin facade over [`legosdn_codec`].
 //!
-//! Crash-Pad's checkpoint primitive (the CRIU stand-in, DESIGN.md §2) is
-//! "serialize the app's complete state before each event". This module is
-//! the wire format those snapshots use: fixed-width little-endian integers,
-//! length-prefixed sequences and strings, one-byte option/bool tags, and
-//! `u32` enum variant indices — bincode-like semantics, implemented locally
-//! because the approved dependency set has `serde` but no serde format
-//! crate.
+//! Historically this module carried its own serde-based serializer; the
+//! build environment is fully offline, so the format now lives in the
+//! std-only `legosdn-codec` crate (same wire format: fixed-width
+//! little-endian integers, `u64` length prefixes, one-byte option/bool
+//! tags, `u32` enum variant indices). This module stays as the stable
+//! import path for apps and Crash-Pad: `snapshot::to_bytes` /
+//! `snapshot::from_bytes` / `snapshot::CodecError`.
 //!
-//! Like bincode, the format is not self-describing: decoding must use the
-//! same types as encoding. `deserialize_any` is unsupported.
+//! The format is not self-describing: decoding must use the same types as
+//! encoding.
 
-use serde::de::{self, DeserializeSeed, IntoDeserializer, SeqAccess, Visitor};
-use serde::ser::{self, Serialize};
-use serde::Deserialize;
-use std::fmt;
-
-/// Serialize `value` to bytes.
-pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
-    let mut ser = Serializer { out: Vec::new() };
-    value.serialize(&mut ser)?;
-    Ok(ser.out)
-}
-
-/// Deserialize a `T` from bytes produced by [`to_bytes`].
-pub fn from_bytes<'a, T: Deserialize<'a>>(bytes: &'a [u8]) -> Result<T, CodecError> {
-    let mut de = Deserializer { input: bytes, pos: 0 };
-    let value = T::deserialize(&mut de)?;
-    if de.pos != bytes.len() {
-        return Err(CodecError::Trailing(bytes.len() - de.pos));
-    }
-    Ok(value)
-}
-
-/// Codec failure.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum CodecError {
-    /// Ran out of input.
-    Eof,
-    /// Input bytes left over after a complete value.
-    Trailing(usize),
-    /// Structurally invalid input (bad tag, bad UTF-8, absurd length).
-    Invalid(String),
-    /// Serde-reported error.
-    Message(String),
-}
-
-impl fmt::Display for CodecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CodecError::Eof => write!(f, "unexpected end of snapshot"),
-            CodecError::Trailing(n) => write!(f, "{n} trailing bytes in snapshot"),
-            CodecError::Invalid(s) => write!(f, "invalid snapshot: {s}"),
-            CodecError::Message(s) => write!(f, "{s}"),
-        }
-    }
-}
-
-impl std::error::Error for CodecError {}
-
-impl ser::Error for CodecError {
-    fn custom<T: fmt::Display>(msg: T) -> Self {
-        CodecError::Message(msg.to_string())
-    }
-}
-
-impl de::Error for CodecError {
-    fn custom<T: fmt::Display>(msg: T) -> Self {
-        CodecError::Message(msg.to_string())
-    }
-}
-
-// -------------------------------------------------------------------------
-// serializer
-// -------------------------------------------------------------------------
-
-struct Serializer {
-    out: Vec<u8>,
-}
-
-impl Serializer {
-    fn put_len(&mut self, len: usize) {
-        self.out.extend_from_slice(&(len as u64).to_le_bytes());
-    }
-}
-
-impl ser::Serializer for &mut Serializer {
-    type Ok = ();
-    type Error = CodecError;
-    type SerializeSeq = Self;
-    type SerializeTuple = Self;
-    type SerializeTupleStruct = Self;
-    type SerializeTupleVariant = Self;
-    type SerializeMap = Self;
-    type SerializeStruct = Self;
-    type SerializeStructVariant = Self;
-
-    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
-        self.out.push(u8::from(v));
-        Ok(())
-    }
-    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
-        self.out.push(v);
-        Ok(())
-    }
-    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
-        Ok(())
-    }
-    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
-        Ok(())
-    }
-    fn serialize_char(self, v: char) -> Result<(), CodecError> {
-        self.serialize_u32(v as u32)
-    }
-    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
-        self.put_len(v.len());
-        self.out.extend_from_slice(v.as_bytes());
-        Ok(())
-    }
-    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
-        self.put_len(v.len());
-        self.out.extend_from_slice(v);
-        Ok(())
-    }
-    fn serialize_none(self) -> Result<(), CodecError> {
-        self.out.push(0);
-        Ok(())
-    }
-    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
-        self.out.push(1);
-        value.serialize(self)
-    }
-    fn serialize_unit(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
-        Ok(())
-    }
-    fn serialize_unit_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-    ) -> Result<(), CodecError> {
-        self.serialize_u32(variant_index)
-    }
-    fn serialize_newtype_struct<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(self)
-    }
-    fn serialize_newtype_variant<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        self.serialize_u32(variant_index)?;
-        value.serialize(self)
-    }
-    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
-        let len = len.ok_or_else(|| CodecError::Message("sequence length required".into()))?;
-        self.put_len(len);
-        Ok(self)
-    }
-    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
-        Ok(self)
-    }
-    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
-        Ok(self)
-    }
-    fn serialize_tuple_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self, CodecError> {
-        self.serialize_u32(variant_index)?;
-        Ok(self)
-    }
-    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
-        let len = len.ok_or_else(|| CodecError::Message("map length required".into()))?;
-        self.put_len(len);
-        Ok(self)
-    }
-    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
-        Ok(self)
-    }
-    fn serialize_struct_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self, CodecError> {
-        self.serialize_u32(variant_index)?;
-        Ok(self)
-    }
-}
-
-macro_rules! forward_compound {
-    ($trait:path, $method:ident $(, $key:ident)?) => {
-        impl<'a> $trait for &'a mut Serializer {
-            type Ok = ();
-            type Error = CodecError;
-            $(
-                fn $key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
-                    key.serialize(&mut **self)
-                }
-            )?
-            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-                value.serialize(&mut **self)
-            }
-            fn end(self) -> Result<(), CodecError> {
-                Ok(())
-            }
-        }
-    };
-}
-
-forward_compound!(ser::SerializeSeq, serialize_element);
-forward_compound!(ser::SerializeTuple, serialize_element);
-forward_compound!(ser::SerializeTupleStruct, serialize_field);
-forward_compound!(ser::SerializeTupleVariant, serialize_field);
-forward_compound!(ser::SerializeMap, serialize_value, serialize_key);
-
-impl ser::SerializeStruct for &mut Serializer {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-impl ser::SerializeStructVariant for &mut Serializer {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-// -------------------------------------------------------------------------
-// deserializer
-// -------------------------------------------------------------------------
-
-struct Deserializer<'de> {
-    input: &'de [u8],
-    pos: usize,
-}
-
-impl<'de> Deserializer<'de> {
-    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
-        if self.input.len() - self.pos < n {
-            return Err(CodecError::Eof);
-        }
-        let out = &self.input[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
-    }
-
-    fn get_len(&mut self) -> Result<usize, CodecError> {
-        let b = self.take(8)?;
-        let len = u64::from_le_bytes(b.try_into().unwrap());
-        let remaining = (self.input.len() - self.pos) as u64;
-        // Cheap sanity bound: a length can't exceed remaining bytes (every
-        // element is at least one byte... except units; allow slack x8).
-        if len > remaining.saturating_mul(8).saturating_add(64) {
-            return Err(CodecError::Invalid(format!("length {len} implausible")));
-        }
-        Ok(len as usize)
-    }
-
-    fn get_u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
-    }
-    fn get_u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-}
-
-macro_rules! de_num {
-    ($method:ident, $visit:ident, $ty:ty, $n:expr) => {
-        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-            let b = self.take($n)?;
-            visitor.$visit(<$ty>::from_le_bytes(b.try_into().unwrap()))
-        }
-    };
-}
-
-impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
-    type Error = CodecError;
-
-    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError::Message("snapshot format is not self-describing".into()))
-    }
-
-    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        match self.get_u8()? {
-            0 => visitor.visit_bool(false),
-            1 => visitor.visit_bool(true),
-            other => Err(CodecError::Invalid(format!("bool tag {other}"))),
-        }
-    }
-
-    de_num!(deserialize_i8, visit_i8, i8, 1);
-    de_num!(deserialize_i16, visit_i16, i16, 2);
-    de_num!(deserialize_i32, visit_i32, i32, 4);
-    de_num!(deserialize_i64, visit_i64, i64, 8);
-    de_num!(deserialize_u16, visit_u16, u16, 2);
-    de_num!(deserialize_u32, visit_u32, u32, 4);
-    de_num!(deserialize_u64, visit_u64, u64, 8);
-
-    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let v = self.get_u8()?;
-        visitor.visit_u8(v)
-    }
-
-    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let b = self.take(4)?;
-        visitor.visit_f32(f32::from_bits(u32::from_le_bytes(b.try_into().unwrap())))
-    }
-    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let b = self.take(8)?;
-        visitor.visit_f64(f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
-    }
-
-    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let v = self.get_u32()?;
-        let c = char::from_u32(v).ok_or_else(|| CodecError::Invalid(format!("char {v}")))?;
-        visitor.visit_char(c)
-    }
-
-    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.get_len()?;
-        let bytes = self.take(len)?;
-        let s = std::str::from_utf8(bytes)
-            .map_err(|_| CodecError::Invalid("non-UTF-8 string".into()))?;
-        visitor.visit_borrowed_str(s)
-    }
-
-    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        self.deserialize_str(visitor)
-    }
-
-    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.get_len()?;
-        visitor.visit_borrowed_bytes(self.take(len)?)
-    }
-
-    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        self.deserialize_bytes(visitor)
-    }
-
-    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        match self.get_u8()? {
-            0 => visitor.visit_none(),
-            1 => visitor.visit_some(self),
-            other => Err(CodecError::Invalid(format!("option tag {other}"))),
-        }
-    }
-
-    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_unit_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_newtype_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_newtype_struct(self)
-    }
-
-    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.get_len()?;
-        visitor.visit_seq(Counted { de: self, remaining: len })
-    }
-
-    fn deserialize_tuple<V: Visitor<'de>>(
-        self,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(Counted { de: self, remaining: len })
-    }
-
-    fn deserialize_tuple_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        self.deserialize_tuple(len, visitor)
-    }
-
-    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.get_len()?;
-        visitor.visit_map(Counted { de: self, remaining: len })
-    }
-
-    fn deserialize_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        self.deserialize_tuple(fields.len(), visitor)
-    }
-
-    fn deserialize_enum<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        _variants: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_enum(EnumAccess { de: self })
-    }
-
-    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError::Message("identifiers are not encoded".into()))
-    }
-
-    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError::Message("cannot skip values in a non-self-describing format".into()))
-    }
-
-    fn is_human_readable(&self) -> bool {
-        false
-    }
-}
-
-struct Counted<'a, 'de> {
-    de: &'a mut Deserializer<'de>,
-    remaining: usize,
-}
-
-impl<'a, 'de> SeqAccess<'de> for Counted<'a, 'de> {
-    type Error = CodecError;
-    fn next_element_seed<T: DeserializeSeed<'de>>(
-        &mut self,
-        seed: T,
-    ) -> Result<Option<T::Value>, CodecError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        self.remaining -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.remaining)
-    }
-}
-
-impl<'a, 'de> de::MapAccess<'de> for Counted<'a, 'de> {
-    type Error = CodecError;
-    fn next_key_seed<K: DeserializeSeed<'de>>(
-        &mut self,
-        seed: K,
-    ) -> Result<Option<K::Value>, CodecError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        self.remaining -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, CodecError> {
-        seed.deserialize(&mut *self.de)
-    }
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.remaining)
-    }
-}
-
-struct EnumAccess<'a, 'de> {
-    de: &'a mut Deserializer<'de>,
-}
-
-impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
-    type Error = CodecError;
-    type Variant = VariantAccess<'a, 'de>;
-    fn variant_seed<V: DeserializeSeed<'de>>(
-        self,
-        seed: V,
-    ) -> Result<(V::Value, Self::Variant), CodecError> {
-        let idx = self.de.get_u32()?;
-        let value = seed.deserialize(idx.into_deserializer())?;
-        Ok((value, VariantAccess { de: self.de }))
-    }
-}
-
-struct VariantAccess<'a, 'de> {
-    de: &'a mut Deserializer<'de>,
-}
-
-impl<'a, 'de> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
-    type Error = CodecError;
-    fn unit_variant(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, CodecError> {
-        seed.deserialize(self.de)
-    }
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
-        de::Deserializer::deserialize_tuple(self.de, len, visitor)
-    }
-    fn struct_variant<V: Visitor<'de>>(
-        self,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
-    }
-}
+pub use legosdn_codec::{from_bytes, to_bytes, Codec, CodecError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde::{Deserialize, Serialize};
-    use std::collections::BTreeMap;
 
-    fn roundtrip<T: Serialize + for<'a> Deserialize<'a> + PartialEq + fmt::Debug>(value: T) {
-        let bytes = to_bytes(&value).expect("serialize");
-        let back: T = from_bytes(&bytes).expect("deserialize");
-        assert_eq!(back, value);
-    }
-
-    #[derive(Serialize, Deserialize, PartialEq, Debug)]
-    struct Nested {
-        name: String,
-        items: Vec<(u32, bool)>,
-        lookup: BTreeMap<String, u64>,
-        maybe: Option<Box<Nested>>,
-    }
-
-    #[derive(Serialize, Deserialize, PartialEq, Debug)]
-    enum Shape {
-        Unit,
-        Newtype(u32),
-        Tuple(u8, String),
-        Struct { x: i64, y: Option<f64> },
-    }
-
-    #[test]
-    fn primitives() {
-        roundtrip(0u8);
-        roundtrip(u64::MAX);
-        roundtrip(-123i32);
-        roundtrip(i64::MIN);
-        roundtrip(true);
-        roundtrip(false);
-        roundtrip('\u{1F980}');
-        roundtrip(3.25f32);
-        roundtrip(-0.0f64);
-        roundtrip(String::from("hello snapshot"));
-        roundtrip(String::new());
-    }
-
-    #[test]
-    fn collections() {
-        roundtrip(vec![1u32, 2, 3]);
-        roundtrip(Vec::<String>::new());
-        roundtrip(BTreeMap::from([("a".to_string(), 1u8), ("b".to_string(), 2)]));
-        roundtrip((1u8, "x".to_string(), vec![true, false]));
-        roundtrip(Some(vec![Some(1u16), None]));
-    }
-
-    #[test]
-    fn structs_and_enums() {
-        roundtrip(Nested {
-            name: "root".into(),
-            items: vec![(1, true), (2, false)],
-            lookup: BTreeMap::from([("k".to_string(), 9u64)]),
-            maybe: Some(Box::new(Nested {
-                name: "leaf".into(),
-                items: vec![],
-                lookup: BTreeMap::new(),
-                maybe: None,
-            })),
-        });
-        roundtrip(Shape::Unit);
-        roundtrip(Shape::Newtype(7));
-        roundtrip(Shape::Tuple(1, "t".into()));
-        roundtrip(Shape::Struct { x: -5, y: Some(2.5) });
-        roundtrip(vec![Shape::Unit, Shape::Newtype(1)]);
-    }
+    // Primitive/collection/derive coverage lives in `legosdn-codec`; the
+    // tests here pin the *domain* types to the wire format.
 
     #[test]
     fn real_domain_types_roundtrip() {
@@ -650,8 +27,14 @@ mod tests {
         use legosdn_openflow::prelude::*;
 
         let mut topo = TopologyView::default();
-        topo.switch_up(DatapathId(1), vec![PortDesc::up(PortNo::Phys(1), MacAddr::from_index(1))]);
-        topo.link_up(Endpoint::new(DatapathId(1), 1), Endpoint::new(DatapathId(2), 2));
+        topo.switch_up(
+            DatapathId(1),
+            vec![PortDesc::up(PortNo::Phys(1), MacAddr::from_index(1))],
+        );
+        topo.link_up(
+            Endpoint::new(DatapathId(1), 1),
+            Endpoint::new(DatapathId(2), 2),
+        );
         let bytes = to_bytes(&topo).unwrap();
         let back: TopologyView = from_bytes(&bytes).unwrap();
         assert_eq!(back, topo);
@@ -694,36 +77,10 @@ mod tests {
     }
 
     #[test]
-    fn truncated_input_errors() {
-        let bytes = to_bytes(&vec![1u64, 2, 3]).unwrap();
-        for cut in 0..bytes.len() {
-            assert!(from_bytes::<Vec<u64>>(&bytes[..cut]).is_err(), "cut at {cut}");
-        }
-    }
-
-    #[test]
-    fn trailing_input_errors() {
+    fn error_api_is_preserved() {
         let mut bytes = to_bytes(&7u32).unwrap();
         bytes.push(0);
         assert_eq!(from_bytes::<u32>(&bytes), Err(CodecError::Trailing(1)));
-    }
-
-    #[test]
-    fn bad_tags_error() {
         assert!(from_bytes::<bool>(&[7]).is_err());
-        assert!(from_bytes::<Option<u8>>(&[9, 1]).is_err());
-        // Absurd length prefix.
-        let mut bytes = u64::MAX.to_le_bytes().to_vec();
-        bytes.push(0);
-        assert!(from_bytes::<String>(&bytes).is_err());
-    }
-
-    #[test]
-    fn type_confusion_is_detected_or_differs() {
-        // Not self-describing: decoding as the wrong type either errors or
-        // yields different bytes — it must never panic.
-        let bytes = to_bytes(&("abc".to_string(), 42u64)).unwrap();
-        let _ = from_bytes::<Vec<u8>>(&bytes);
-        let _ = from_bytes::<u64>(&bytes);
     }
 }

@@ -76,8 +76,10 @@ impl EventTranslator {
     fn handle_switch_disconnected(&mut self, dpid: DatapathId) -> Vec<Event> {
         let dead = self.topology.switch_down(dpid);
         self.devices.purge_switch(dpid);
-        let mut events: Vec<Event> =
-            dead.into_iter().map(|l| Event::LinkDown { a: l.a, b: l.b }).collect();
+        let mut events: Vec<Event> = dead
+            .into_iter()
+            .map(|l| Event::LinkDown { a: l.a, b: l.b })
+            .collect();
         events.push(Event::SwitchDown(dpid));
         events
     }
@@ -93,7 +95,8 @@ impl EventTranslator {
                 if let Some(p) = pi.in_port.phys() {
                     let at = Endpoint::new(dpid, p);
                     if self.topology.link_at(at).is_none() {
-                        self.devices.learn(pi.packet.eth_src, pi.packet.ip_src, at, net.now());
+                        self.devices
+                            .learn(pi.packet.eth_src, pi.packet.ip_src, at, net.now());
                     }
                 }
                 vec![Event::PacketIn(dpid, pi)]
@@ -111,7 +114,10 @@ impl EventTranslator {
                     if !ps.desc.is_live() {
                         if let Some(link) = self.topology.link_at(at) {
                             self.topology.link_down(link.a, link.b);
-                            events.push(Event::LinkDown { a: link.a, b: link.b });
+                            events.push(Event::LinkDown {
+                                a: link.a,
+                                b: link.b,
+                            });
                         }
                     } else {
                         // Port came back: re-probe to rediscover the link.
@@ -240,7 +246,13 @@ mod tests {
         let topo = Topology::linear(3, 1);
         let (_, tr, events) = boot(&topo);
         assert_eq!(tr.topology.switches.len(), 3);
-        assert_eq!(events.iter().filter(|e| matches!(e, Event::SwitchUp(_))).count(), 3);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::SwitchUp(_)))
+                .count(),
+            3
+        );
     }
 
     #[test]
@@ -248,7 +260,13 @@ mod tests {
         let topo = Topology::linear(4, 1);
         let (_, tr, events) = boot(&topo);
         assert_eq!(tr.topology.n_links(), 3, "all linear links discovered");
-        assert_eq!(events.iter().filter(|e| matches!(e, Event::LinkUp { .. })).count(), 3);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::LinkUp { .. }))
+                .count(),
+            3
+        );
     }
 
     #[test]
@@ -262,7 +280,10 @@ mod tests {
     fn discovered_paths_match_topology() {
         let topo = Topology::linear(4, 0);
         let (_, tr, _) = boot(&topo);
-        let path = tr.topology.shortest_path(DatapathId(1), DatapathId(4)).unwrap();
+        let path = tr
+            .topology
+            .shortest_path(DatapathId(1), DatapathId(4))
+            .unwrap();
         assert_eq!(path.len(), 3);
     }
 
@@ -292,11 +313,10 @@ mod tests {
         let b = topo.hosts[1].clone();
         // Flood everywhere so the packet reaches switch 2 via the trunk.
         for sw in topo.switches.keys() {
-            let fm = legosdn_openflow::prelude::FlowMod::add(
-                legosdn_openflow::prelude::Match::any(),
-            )
-            .action(Action::Output(PortNo::Flood))
-            .action(Action::Output(PortNo::Controller));
+            let fm =
+                legosdn_openflow::prelude::FlowMod::add(legosdn_openflow::prelude::Match::any())
+                    .action(Action::Output(PortNo::Flood))
+                    .action(Action::Output(PortNo::Controller));
             net.apply(*sw, &Message::FlowMod(fm)).unwrap();
         }
         net.inject(a.mac, Packet::ethernet(a.mac, b.mac)).unwrap();
@@ -304,7 +324,10 @@ mod tests {
             tr.process(&mut net, r);
         }
         let dev = tr.devices.get(a.mac).expect("learned somewhere");
-        assert_eq!(dev.attach, a.attach, "must be learned at the edge, not the trunk");
+        assert_eq!(
+            dev.attach, a.attach,
+            "must be learned at the edge, not the trunk"
+        );
     }
 
     #[test]
@@ -316,10 +339,19 @@ mod tests {
         for r in net.poll_events() {
             events.extend(tr.process(&mut net, r));
         }
-        let downs: Vec<_> = events.iter().filter(|e| matches!(e, Event::LinkDown { .. })).collect();
+        let downs: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, Event::LinkDown { .. }))
+            .collect();
         assert_eq!(downs.len(), 2, "middle switch had two links: {events:?}");
-        let sd_pos = events.iter().position(|e| matches!(e, Event::SwitchDown(_))).unwrap();
-        let ld_pos = events.iter().position(|e| matches!(e, Event::LinkDown { .. })).unwrap();
+        let sd_pos = events
+            .iter()
+            .position(|e| matches!(e, Event::SwitchDown(_)))
+            .unwrap();
+        let ld_pos = events
+            .iter()
+            .position(|e| matches!(e, Event::LinkDown { .. }))
+            .unwrap();
         assert!(ld_pos < sd_pos, "link-downs precede the switch-down");
         assert_eq!(tr.topology.n_links(), 0);
     }
@@ -334,7 +366,10 @@ mod tests {
             events.extend(tr.process(&mut net, r));
         }
         assert_eq!(
-            events.iter().filter(|e| matches!(e, Event::LinkDown { .. })).count(),
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::LinkDown { .. }))
+                .count(),
             1,
             "one LinkDown despite two port-status reports: {events:?}"
         );
@@ -372,7 +407,13 @@ mod tests {
         for r in net.poll_events() {
             events.extend(tr.process(&mut net, r));
         }
-        assert!(events.iter().any(|e| matches!(e, Event::SwitchUp(d) if *d == DatapathId(2))));
-        assert_eq!(tr.topology.n_links(), 1, "link rediscovered after reconnect");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::SwitchUp(d) if *d == DatapathId(2))));
+        assert_eq!(
+            tr.topology.n_links(),
+            1,
+            "link rediscovered after reconnect"
+        );
     }
 }

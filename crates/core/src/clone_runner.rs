@@ -41,7 +41,12 @@ impl<P: RecoverableApp, C: RecoverableApp> ClonePair<P, C> {
     /// Pair `primary` with `clone`. The clone must start in an equivalent
     /// state (typically both freshly constructed).
     pub fn new(primary: P, clone: C) -> Self {
-        ClonePair { primary, clone, clone_alive: true, stats: CloneStats::default() }
+        ClonePair {
+            primary,
+            clone,
+            clone_alive: true,
+            stats: CloneStats::default(),
+        }
     }
 
     /// Pair statistics.
@@ -205,7 +210,9 @@ mod tests {
         };
         let mut pair = ClonePair::new(bug(), bug());
         assert!(matches!(deliver(&mut pair, &pin(2)), DeliveryResult::Ok(_)));
-        if let DeliveryResult::Ok(_) = deliver(&mut pair, &pin(13)) { panic!("deterministic bug must not be absorbed") }
+        if let DeliveryResult::Ok(_) = deliver(&mut pair, &pin(13)) {
+            panic!("deterministic bug must not be absorbed")
+        }
         assert_eq!(pair.stats().double_faults, 1);
     }
 

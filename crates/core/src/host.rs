@@ -29,7 +29,10 @@ impl RecoverableApp for ProxyAdapter<'_> {
         devices: &DeviceView,
         now: SimTime,
     ) -> DeliveryResult {
-        match self.proxy.deliver(self.handle, event, topology, devices, now) {
+        match self
+            .proxy
+            .deliver(self.handle, event, topology, devices, now)
+        {
             Ok(DeliverOutcome::Commands(cmds)) => DeliveryResult::Ok(cmds),
             Ok(DeliverOutcome::Crashed { panic_message }) => {
                 DeliveryResult::Crashed { panic_message }
@@ -55,16 +58,21 @@ impl RecoverableApp for ProxyAdapter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use legosdn_appvisor::{ProxyConfig, TransportKind};
     use legosdn_apps::Hub;
+    use legosdn_appvisor::{ProxyConfig, TransportKind};
     use legosdn_controller::event::Event;
     use legosdn_openflow::prelude::DatapathId;
 
     #[test]
     fn proxy_adapter_bridges_deliver_and_checkpointing() {
         let mut proxy = AppVisorProxy::new(ProxyConfig::default());
-        let handle = proxy.launch_app(Box::new(Hub::new()), TransportKind::Channel).unwrap();
-        let mut adapter = ProxyAdapter { proxy: &mut proxy, handle };
+        let handle = proxy
+            .launch_app(Box::new(Hub::new()), TransportKind::Channel)
+            .unwrap();
+        let mut adapter = ProxyAdapter {
+            proxy: &mut proxy,
+            handle,
+        };
         let topo = TopologyView::default();
         let dev = DeviceView::default();
         // Hub ignores SwitchUp (not subscribed, but delivery still works).

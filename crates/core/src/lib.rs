@@ -75,25 +75,26 @@ pub use runtime::{
 };
 
 // Re-export the component crates under stable names.
-pub use legosdn_appvisor as appvisor;
 pub use legosdn_apps as apps;
+pub use legosdn_appvisor as appvisor;
 pub use legosdn_controller as controller;
 pub use legosdn_crashpad as crashpad;
 pub use legosdn_invariants as invariants;
 pub use legosdn_netlog as netlog;
 pub use legosdn_netsim as netsim;
+pub use legosdn_obs as obs;
 pub use legosdn_openflow as openflow;
 pub use legosdn_sts as sts;
 
 pub mod prelude {
     //! Everything a typical consumer needs.
+    pub use crate::clone_runner::ClonePair;
     pub use crate::config::{IsolationMode, LegoSdnConfig, ResourceLimits};
     pub use crate::nversion::NVersionApp;
     pub use crate::runtime::{AppId, AppStatus, LegoCycleReport, LegoSdnRuntime, RuntimeStats};
-    pub use crate::clone_runner::ClonePair;
     pub use legosdn_apps::{
-        AclRule, Backend, BugEffect, BugTrigger, FaultyApp, Firewall, Flooder, Hub,
-        LearningSwitch, LoadBalancer, ShortestPathRouter, SpanningTree, StatsMonitor,
+        AclRule, Backend, BugEffect, BugTrigger, FaultyApp, Firewall, Flooder, Hub, LearningSwitch,
+        LoadBalancer, ShortestPathRouter, SpanningTree, StatsMonitor,
     };
     pub use legosdn_appvisor::{ProxyConfig, StubConfig};
     pub use legosdn_controller::app::{Command, Ctx, SdnApp};
@@ -105,5 +106,6 @@ pub mod prelude {
     pub use legosdn_invariants::{Checker, Invariant};
     pub use legosdn_netlog::TxMode;
     pub use legosdn_netsim::{Network, SimDuration, SimTime, Topology};
+    pub use legosdn_obs::Obs;
     pub use legosdn_openflow::prelude::*;
 }

@@ -10,15 +10,15 @@
 //! any single app. Each version is panic-contained individually; a crashed
 //! version simply stops voting until the group is restored.
 
+use legosdn_codec::Codec;
 use legosdn_controller::app::{Command, Ctx, RestoreError, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_controller::snapshot;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Vote bookkeeping.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Codec)]
 pub struct VoteStats {
     /// Events where all live versions agreed.
     pub unanimous: u64,
@@ -30,7 +30,7 @@ pub struct VoteStats {
     pub version_crashes: u64,
 }
 
-#[derive(Serialize, Deserialize)]
+#[derive(Codec)]
 struct Saved {
     stats: VoteStats,
     dead: Vec<bool>,
@@ -52,9 +52,17 @@ impl NVersionApp {
     /// If `versions` is empty.
     #[must_use]
     pub fn new(name: &str, versions: Vec<Box<dyn SdnApp>>) -> Self {
-        assert!(!versions.is_empty(), "n-version group needs at least one version");
+        assert!(
+            !versions.is_empty(),
+            "n-version group needs at least one version"
+        );
         let dead = vec![false; versions.len()];
-        NVersionApp { name: name.to_string(), versions, dead, stats: VoteStats::default() }
+        NVersionApp {
+            name: name.to_string(),
+            versions,
+            dead,
+            stats: VoteStats::default(),
+        }
     }
 
     /// Voting statistics.
@@ -119,8 +127,10 @@ impl SdnApp for NVersionApp {
             self.stats.no_majority += 1;
             return;
         }
-        let (count, winner) =
-            ballots.into_values().max_by_key(|(count, _)| *count).expect("voters > 0");
+        let (count, winner) = ballots
+            .into_values()
+            .max_by_key(|(count, _)| *count)
+            .expect("voters > 0");
         if count == voters {
             self.stats.unanimous += 1;
         } else if count * 2 > voters {
@@ -145,8 +155,7 @@ impl SdnApp for NVersionApp {
     }
 
     fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
-        let saved: Saved =
-            snapshot::from_bytes(bytes).map_err(|e| RestoreError(e.to_string()))?;
+        let saved: Saved = snapshot::from_bytes(bytes).map_err(|e| RestoreError(e.to_string()))?;
         if saved.versions.len() != self.versions.len() {
             return Err(RestoreError(format!(
                 "snapshot has {} versions, group has {}",

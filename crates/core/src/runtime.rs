@@ -27,14 +27,14 @@ use legosdn_appvisor::{AppVisorProxy, TransportKind};
 use legosdn_controller::app::{Command, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_controller::translate::EventTranslator;
-use legosdn_crashpad::{
-    CompromisePolicy, CrashPad, DispatchResult, LocalSandbox, RecoveryTaken,
-};
+use legosdn_crashpad::{CompromisePolicy, CrashPad, DispatchResult, LocalSandbox, RecoveryTaken};
 use legosdn_invariants::{shutdown_network, Checker};
 use legosdn_netlog::{NetLog, TxMode};
 use legosdn_netsim::Network;
+use legosdn_obs::Obs;
 use legosdn_openflow::prelude::Message;
 use std::fmt;
+use std::time::Instant;
 
 /// Identifier of an attached app.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -63,6 +63,8 @@ pub struct RuntimeStats {
     pub apps_suspended: u64,
     /// Controller upgrades performed.
     pub upgrades: u64,
+    /// `run_cycle`/`tick_apps` invocations.
+    pub cycles: u64,
 }
 
 /// Report of one run cycle.
@@ -72,6 +74,8 @@ pub struct LegoCycleReport {
     pub commands: usize,
     pub recoveries: usize,
     pub byzantine_blocked: usize,
+    /// Wall-clock duration of the cycle in nanoseconds.
+    pub elapsed_ns: u64,
 }
 
 /// Per-app resource usage.
@@ -123,10 +127,11 @@ pub struct LegoSdnRuntime {
     proxy: AppVisorProxy,
     apps: Vec<AppRecord>,
     stats: RuntimeStats,
+    obs: Obs,
 }
 
 impl LegoSdnRuntime {
-    /// A runtime with the given configuration.
+    /// A runtime with the given configuration, reporting to [`Obs::global`].
     #[must_use]
     pub fn new(config: LegoSdnConfig) -> Self {
         LegoSdnRuntime {
@@ -137,8 +142,19 @@ impl LegoSdnRuntime {
             proxy: AppVisorProxy::new(config.proxy.clone()),
             apps: Vec::new(),
             stats: RuntimeStats::default(),
+            obs: Obs::global(),
             config,
         }
+    }
+
+    /// Route this runtime's metrics and journal records (and those of its
+    /// Crash-Pad, NetLog, and AppVisor layers) to `obs` instead of the
+    /// process-global instance.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.crashpad.set_obs(obs.clone());
+        self.netlog.set_obs(obs.clone());
+        self.proxy.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Attach an app in the configured isolation mode.
@@ -237,24 +253,35 @@ impl LegoSdnRuntime {
 
     /// Drain network events, translate, and dispatch under full protection.
     pub fn run_cycle(&mut self, net: &mut Network) -> LegoCycleReport {
+        let _span = self.obs.span("core.run_cycle");
+        let started = Instant::now();
+        self.stats.cycles += 1;
         let mut report = LegoCycleReport::default();
         for raw in net.poll_events() {
             let events = self.translator.process(net, raw);
             self.stats.events_translated += events.len() as u64;
+            self.obs
+                .counter("core", "events_translated", "")
+                .add(events.len() as u64);
             for ev in events {
                 report.events += 1;
                 self.dispatch_event(net, &ev, &mut report);
             }
         }
+        report.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         report
     }
 
     /// Deliver a Tick to subscribed apps.
     pub fn tick_apps(&mut self, net: &mut Network) -> LegoCycleReport {
+        let _span = self.obs.span("core.tick_apps");
+        let started = Instant::now();
+        self.stats.cycles += 1;
         let mut report = LegoCycleReport::default();
         let ev = Event::Tick(net.now());
         report.events += 1;
         self.dispatch_event(net, &ev, &mut report);
+        report.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         report
     }
 
@@ -277,6 +304,7 @@ impl LegoSdnRuntime {
                 }
             }
             self.stats.dispatches += 1;
+            self.obs.counter("core", "dispatches", "").inc();
             self.apps[idx].usage.events_consumed += 1;
             self.dispatch_to_app(net, idx, event, report);
         }
@@ -302,7 +330,10 @@ impl LegoSdnRuntime {
                 now,
             ),
             Host::Isolated(handle) => {
-                let mut adapter = ProxyAdapter { proxy: &mut self.proxy, handle: *handle };
+                let mut adapter = ProxyAdapter {
+                    proxy: &mut self.proxy,
+                    handle: *handle,
+                };
                 self.crashpad.dispatch(
                     &mut adapter,
                     &name,
@@ -317,9 +348,12 @@ impl LegoSdnRuntime {
             DispatchResult::Delivered(commands) => {
                 self.execute_guarded(net, idx, event, commands, report, true);
             }
-            DispatchResult::Recovered { commands, recovery, .. } => {
+            DispatchResult::Recovered {
+                commands, recovery, ..
+            } => {
                 report.recoveries += 1;
                 self.stats.failstop_recoveries += 1;
+                self.obs.counter("core", "failstop_recoveries", &name).inc();
                 // Commands from transformed events are real output; execute
                 // them under the same guard (no further byzantine recursion
                 // on already-recovered output — drop instead).
@@ -358,7 +392,7 @@ impl LegoSdnRuntime {
             }
         }
 
-        let mut tx = self.netlog.begin();
+        let mut tx = self.netlog.begin_for(&self.apps[idx].name);
         for c in &commands {
             // Reads return synchronously in immediate mode; pass stats
             // replies through the counter cache.
@@ -380,7 +414,10 @@ impl LegoSdnRuntime {
         // Byzantine gate. Only state-altering output can violate network
         // invariants; pure packet-outs/reads skip the (expensive) check.
         let alters_state = commands.iter().any(|c| c.msg.alters_network_state());
-        let violations = match (alters_state.then_some(()).and(self.checker.as_ref()), self.netlog.mode()) {
+        let violations = match (
+            alters_state.then_some(()).and(self.checker.as_ref()),
+            self.netlog.mode(),
+        ) {
             (Some(checker), TxMode::Buffered) => {
                 let r = checker.gate(net, tx.buffered_commands());
                 (!r.is_clean()).then_some(r.violations.len())
@@ -399,8 +436,13 @@ impl LegoSdnRuntime {
                 let _ = self.netlog.abort(tx, net);
                 report.byzantine_blocked += 1;
                 self.stats.byzantine_blocked += 1;
-                let policy =
-                    self.crashpad.policies.lookup(&self.apps[idx].name, event.kind());
+                self.obs
+                    .counter("core", "byzantine_blocked", &self.apps[idx].name)
+                    .inc();
+                let policy = self
+                    .crashpad
+                    .policies
+                    .lookup(&self.apps[idx].name, event.kind());
                 if allow_recovery {
                     let recovered = self.recover_byzantine(net, idx, event, nviol);
                     // Recovered output (from transformed events) executes
@@ -422,6 +464,9 @@ impl LegoSdnRuntime {
                 };
                 report.commands += applied;
                 self.stats.commands_executed += applied as u64;
+                self.obs
+                    .counter("core", "commands_executed", "")
+                    .add(applied as u64);
                 self.apps[idx].usage.commands_emitted += applied as u64;
             }
         }
@@ -447,7 +492,10 @@ impl LegoSdnRuntime {
                 now,
             ),
             Host::Isolated(handle) => {
-                let mut adapter = ProxyAdapter { proxy: &mut self.proxy, handle: *handle };
+                let mut adapter = ProxyAdapter {
+                    proxy: &mut self.proxy,
+                    handle: *handle,
+                };
                 self.crashpad.recover_byzantine(
                     &mut adapter,
                     &name,
@@ -460,7 +508,9 @@ impl LegoSdnRuntime {
             }
         };
         match result {
-            DispatchResult::Recovered { commands, recovery, .. } => {
+            DispatchResult::Recovered {
+                commands, recovery, ..
+            } => {
                 if recovery == RecoveryTaken::Transformed {
                     commands
                 } else {
@@ -480,7 +530,10 @@ impl LegoSdnRuntime {
             self.apps[idx].status = AppStatus::Dead;
             self.stats.apps_dead += 1;
         }
-        let policy = self.crashpad.policies.lookup(&self.apps[idx].name, event.kind());
+        let policy = self
+            .crashpad
+            .policies
+            .lookup(&self.apps[idx].name, event.kind());
         if policy == CompromisePolicy::NoCompromise && self.config.shutdown_network_on_no_compromise
         {
             shutdown_network(net);
@@ -512,7 +565,10 @@ impl LegoSdnRuntime {
                 now,
             ),
             Host::Isolated(handle) => {
-                let mut adapter = ProxyAdapter { proxy: &mut self.proxy, handle: *handle };
+                let mut adapter = ProxyAdapter {
+                    proxy: &mut self.proxy,
+                    handle: *handle,
+                };
                 self.crashpad.diagnose(
                     &mut adapter,
                     &name,
@@ -570,7 +626,10 @@ mod tests {
     use legosdn_openflow::prelude::*;
 
     fn runtime(isolation: IsolationMode) -> LegoSdnRuntime {
-        LegoSdnRuntime::new(LegoSdnConfig { isolation, ..LegoSdnConfig::default() })
+        LegoSdnRuntime::new(LegoSdnConfig {
+            isolation,
+            ..LegoSdnConfig::default()
+        })
     }
 
     fn net2() -> (Network, Topology) {
@@ -618,7 +677,8 @@ mod tests {
         // The learning switch still ran and emitted output for the event.
         assert!(rt.stats().dispatches >= 2);
         // And the system keeps processing later events.
-        net.inject(a, Packet::ethernet(a, MacAddr::from_index(9))).unwrap();
+        net.inject(a, Packet::ethernet(a, MacAddr::from_index(9)))
+            .unwrap();
         let report = rt.run_cycle(&mut net);
         assert!(report.events > 0);
     }
@@ -640,7 +700,8 @@ mod tests {
         let report = rt.run_cycle(&mut net);
         assert!(report.recoveries >= 1);
         // Recovered: a later clean packet still floods.
-        net.inject(a, Packet::ethernet(a, MacAddr::from_index(9))).unwrap();
+        net.inject(a, Packet::ethernet(a, MacAddr::from_index(9)))
+            .unwrap();
         let report = rt.run_cycle(&mut net);
         assert!(report.commands > 0, "{report:?}");
         rt.shutdown();
@@ -734,7 +795,10 @@ mod tests {
         let id = rt
             .attach_with_limits(
                 Box::new(Hub::new()),
-                ResourceLimits { max_events: Some(2), ..ResourceLimits::default() },
+                ResourceLimits {
+                    max_events: Some(2),
+                    ..ResourceLimits::default()
+                },
             )
             .unwrap();
         rt.run_cycle(&mut net);
@@ -746,7 +810,13 @@ mod tests {
         assert!(matches!(rt.app_status(id), Some(AppStatus::Suspended(_))));
         assert!(rt.stats().apps_suspended >= 1);
         // Operator resumes with a bigger budget.
-        assert!(rt.resume(id, ResourceLimits { max_events: Some(100), ..ResourceLimits::default() }));
+        assert!(rt.resume(
+            id,
+            ResourceLimits {
+                max_events: Some(100),
+                ..ResourceLimits::default()
+            }
+        ));
         net.inject(a, Packet::ethernet(a, b)).unwrap();
         let report = rt.run_cycle(&mut net);
         assert!(report.commands > 0);
@@ -761,7 +831,10 @@ mod tests {
         let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
         net.inject(a, Packet::ethernet(a, b)).unwrap();
         rt.run_cycle(&mut net);
-        let checkpoint_events = rt.crashpad().checkpoints.events_delivered("learning-switch");
+        let checkpoint_events = rt
+            .crashpad()
+            .checkpoints
+            .events_delivered("learning-switch");
         assert!(checkpoint_events > 0);
         let links_before = rt.translator().topology.n_links();
         rt.upgrade_controller(&mut net);
@@ -770,7 +843,9 @@ mod tests {
         assert_eq!(rt.translator().topology.n_links(), links_before);
         // ...and the app was NOT restarted: its event history continues.
         assert_eq!(
-            rt.crashpad().checkpoints.events_delivered("learning-switch"),
+            rt.crashpad()
+                .checkpoints
+                .events_delivered("learning-switch"),
             checkpoint_events
         );
     }

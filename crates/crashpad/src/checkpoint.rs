@@ -12,12 +12,12 @@
 //! since. A bounded history of older checkpoints supports the STS-guided
 //! multi-transaction rollback (§5).
 
+use legosdn_codec::Codec;
 use legosdn_controller::event::Event;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 /// How often to checkpoint.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Codec)]
 pub struct CheckpointPolicy {
     /// Take a snapshot before every `interval`-th event. `1` is the paper
     /// prototype (checkpoint before every event).
@@ -30,12 +30,16 @@ pub struct CheckpointPolicy {
 
 impl Default for CheckpointPolicy {
     fn default() -> Self {
-        CheckpointPolicy { interval: 1, history: 8, archive: 1024 }
+        CheckpointPolicy {
+            interval: 1,
+            history: 8,
+            archive: 1024,
+        }
     }
 }
 
 /// One retained checkpoint.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Codec)]
 pub struct Checkpoint {
     /// Index of the first event delivered *after* this snapshot.
     pub event_index: u64,
@@ -50,7 +54,7 @@ pub struct RecoveryPlan {
     pub replay: Vec<Event>,
 }
 
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Codec)]
 struct AppCheckpoints {
     /// Most recent first is at the back.
     history: VecDeque<Checkpoint>,
@@ -80,7 +84,12 @@ impl CheckpointStore {
     /// A store with the given policy.
     #[must_use]
     pub fn new(policy: CheckpointPolicy) -> Self {
-        CheckpointStore { policy, apps: BTreeMap::new(), snapshots_taken: 0, bytes_snapshotted: 0 }
+        CheckpointStore {
+            policy,
+            apps: BTreeMap::new(),
+            snapshots_taken: 0,
+            bytes_snapshotted: 0,
+        }
     }
 
     /// Is a checkpoint due before delivering the app's next event?
@@ -97,7 +106,10 @@ impl CheckpointStore {
         let entry = self.apps.entry(app.to_string()).or_default();
         self.snapshots_taken += 1;
         self.bytes_snapshotted += bytes.len() as u64;
-        entry.history.push_back(Checkpoint { event_index: entry.events_delivered, bytes });
+        entry.history.push_back(Checkpoint {
+            event_index: entry.events_delivered,
+            bytes,
+        });
         while entry.history.len() > self.policy.history.max(1) {
             entry.history.pop_front();
         }
@@ -129,7 +141,10 @@ impl CheckpointStore {
     pub fn recovery_plan(&self, app: &str) -> Option<RecoveryPlan> {
         let a = self.apps.get(app)?;
         let snapshot = a.history.back()?.clone();
-        Some(RecoveryPlan { snapshot, replay: a.replay_buffer.clone() })
+        Some(RecoveryPlan {
+            snapshot,
+            replay: a.replay_buffer.clone(),
+        })
     }
 
     /// A plan rolling back `extra` checkpoints further than the latest —
@@ -163,7 +178,10 @@ impl CheckpointStore {
     /// Retained checkpoints for an app (oldest first).
     #[must_use]
     pub fn history(&self, app: &str) -> Vec<&Checkpoint> {
-        self.apps.get(app).map(|a| a.history.iter().collect()).unwrap_or_default()
+        self.apps
+            .get(app)
+            .map(|a| a.history.iter().collect())
+            .unwrap_or_default()
     }
 
     /// Forget an app entirely (it was detached).
@@ -184,7 +202,11 @@ mod tests {
 
     #[test]
     fn per_event_policy_checkpoints_every_time() {
-        let mut store = CheckpointStore::new(CheckpointPolicy { interval: 1, history: 4, ..CheckpointPolicy::default() });
+        let mut store = CheckpointStore::new(CheckpointPolicy {
+            interval: 1,
+            history: 4,
+            ..CheckpointPolicy::default()
+        });
         for i in 0..5u64 {
             assert!(store.checkpoint_due("a"), "event {i}");
             store.record_snapshot("a", vec![i as u8]);
@@ -196,7 +218,11 @@ mod tests {
 
     #[test]
     fn interval_policy_checkpoints_every_n() {
-        let mut store = CheckpointStore::new(CheckpointPolicy { interval: 3, history: 4, ..CheckpointPolicy::default() });
+        let mut store = CheckpointStore::new(CheckpointPolicy {
+            interval: 3,
+            history: 4,
+            ..CheckpointPolicy::default()
+        });
         let mut taken = 0;
         for i in 0..9u64 {
             if store.checkpoint_due("a") {
@@ -210,7 +236,11 @@ mod tests {
 
     #[test]
     fn recovery_plan_carries_replay_buffer() {
-        let mut store = CheckpointStore::new(CheckpointPolicy { interval: 4, history: 4, ..CheckpointPolicy::default() });
+        let mut store = CheckpointStore::new(CheckpointPolicy {
+            interval: 4,
+            history: 4,
+            ..CheckpointPolicy::default()
+        });
         store.record_snapshot("a", vec![0xaa]);
         store.record_delivered("a", &ev(1));
         store.record_delivered("a", &ev(2));
@@ -226,7 +256,11 @@ mod tests {
 
     #[test]
     fn history_is_bounded_and_ordered() {
-        let mut store = CheckpointStore::new(CheckpointPolicy { interval: 1, history: 3, ..CheckpointPolicy::default() });
+        let mut store = CheckpointStore::new(CheckpointPolicy {
+            interval: 1,
+            history: 3,
+            ..CheckpointPolicy::default()
+        });
         for i in 0..5u8 {
             store.record_snapshot("a", vec![i]);
             store.record_delivered("a", &ev(u64::from(i)));
@@ -239,13 +273,23 @@ mod tests {
 
     #[test]
     fn historical_plan_reaches_back() {
-        let mut store = CheckpointStore::new(CheckpointPolicy { interval: 1, history: 4, ..CheckpointPolicy::default() });
+        let mut store = CheckpointStore::new(CheckpointPolicy {
+            interval: 1,
+            history: 4,
+            ..CheckpointPolicy::default()
+        });
         for i in 0..4u8 {
             store.record_snapshot("a", vec![i]);
             store.record_delivered("a", &ev(u64::from(i)));
         }
-        assert_eq!(store.historical_plan("a", 0).unwrap().snapshot.bytes, vec![3]);
-        assert_eq!(store.historical_plan("a", 2).unwrap().snapshot.bytes, vec![1]);
+        assert_eq!(
+            store.historical_plan("a", 0).unwrap().snapshot.bytes,
+            vec![3]
+        );
+        assert_eq!(
+            store.historical_plan("a", 2).unwrap().snapshot.bytes,
+            vec![1]
+        );
         assert!(store.historical_plan("a", 9).is_none());
     }
 
@@ -254,7 +298,10 @@ mod tests {
         let store = CheckpointStore::new(CheckpointPolicy::default());
         assert!(store.recovery_plan("ghost").is_none());
         assert_eq!(store.events_delivered("ghost"), 0);
-        assert!(store.checkpoint_due("ghost"), "first event always snapshots");
+        assert!(
+            store.checkpoint_due("ghost"),
+            "first event always snapshots"
+        );
     }
 
     #[test]

@@ -149,7 +149,8 @@ impl CrashPad {
             }
         }
 
-        app.restore(&resume_state).map_err(DiagnoseError::RestoreFailed)?;
+        app.restore(&resume_state)
+            .map_err(DiagnoseError::RestoreFailed)?;
         result
     }
 }
@@ -188,15 +189,18 @@ mod tests {
             self.seen.to_be_bytes().to_vec()
         }
         fn restore(&mut self, b: &[u8]) -> Result<(), RestoreError> {
-            self.seen =
-                u32::from_be_bytes(b.try_into().map_err(|_| RestoreError("len".into()))?);
+            self.seen = u32::from_be_bytes(b.try_into().map_err(|_| RestoreError("len".into()))?);
             Ok(())
         }
     }
 
     fn pad() -> CrashPad {
         CrashPad::new(CrashPadConfig {
-            checkpoints: CheckpointPolicy { interval: 4, history: 16, archive: 256 },
+            checkpoints: CheckpointPolicy {
+                interval: 4,
+                history: 16,
+                archive: 256,
+            },
             policies: PolicyTable::with_default(CompromisePolicy::Absolute),
             transform_direction: crate::TransformDirection::Decompose,
         })
@@ -225,7 +229,10 @@ mod tests {
         for i in 0..20u64 {
             let ev = if i == 5 || i == 13 { down(i) } else { up(i) };
             let r = pad.dispatch(&mut sandbox, "fuse", &ev, &topo, &dev, SimTime::ZERO);
-            assert!(matches!(r, crate::DispatchResult::Delivered(_)), "event {i}: {r:?}");
+            assert!(
+                matches!(r, crate::DispatchResult::Delivered(_)),
+                "event {i}: {r:?}"
+            );
         }
         // The offending third switch-down.
         let offending = down(99);
@@ -249,7 +256,11 @@ mod tests {
         // checkpoint the pre-state may already hold seen=1; roll back far
         // enough and ddmin must pick up the in-window switch-down too.
         let mut pad = CrashPad::new(CrashPadConfig {
-            checkpoints: CheckpointPolicy { interval: 8, history: 16, archive: 256 },
+            checkpoints: CheckpointPolicy {
+                interval: 8,
+                history: 16,
+                archive: 256,
+            },
             policies: PolicyTable::with_default(CompromisePolicy::Absolute),
             transform_direction: crate::TransformDirection::Decompose,
         });

@@ -20,7 +20,9 @@ use legosdn_controller::event::Event;
 use legosdn_controller::monolithic::panic_text;
 use legosdn_controller::services::{DeviceView, TopologyView};
 use legosdn_netsim::SimTime;
+use legosdn_obs::{Obs, RecordKind};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// Result of delivering one event to a protected app.
 #[derive(Clone, Debug, PartialEq)]
@@ -58,7 +60,11 @@ pub enum DispatchResult {
     Delivered(Vec<Command>),
     /// A failure occurred and was recovered from; `commands` are from the
     /// transformed events (empty when the event was ignored).
-    Recovered { recovery: RecoveryTaken, commands: Vec<Command>, ticket: u64 },
+    Recovered {
+        recovery: RecoveryTaken,
+        commands: Vec<Command>,
+        ticket: u64,
+    },
     /// Policy was No-Compromise (or recovery impossible): the app is dead.
     AppDead { ticket: u64 },
 }
@@ -115,10 +121,11 @@ pub struct CrashPad {
     pub tickets: TicketStore,
     pub transform_direction: TransformDirection,
     stats: CrashPadStats,
+    obs: Obs,
 }
 
 impl CrashPad {
-    /// An engine with the given configuration.
+    /// An engine with the given configuration, reporting to [`Obs::global`].
     #[must_use]
     pub fn new(config: CrashPadConfig) -> Self {
         CrashPad {
@@ -127,7 +134,14 @@ impl CrashPad {
             tickets: TicketStore::default(),
             transform_direction: config.transform_direction,
             stats: CrashPadStats::default(),
+            obs: Obs::global(),
         }
+    }
+
+    /// Report metrics and journal records to `obs` instead of the global
+    /// instance (isolated tests, side-by-side campaigns).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Engine counters.
@@ -148,7 +162,21 @@ impl CrashPad {
     ) -> DispatchResult {
         self.stats.events_dispatched += 1;
         if self.checkpoints.checkpoint_due(name) {
+            let started = Instant::now();
             if let Ok(bytes) = app.snapshot() {
+                let dur_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let size = bytes.len() as u64;
+                self.obs.record(RecordKind::CheckpointTaken {
+                    app: name.to_string(),
+                    bytes: size,
+                    dur_ns,
+                });
+                self.obs
+                    .histogram("crashpad", "checkpoint_ns", "")
+                    .observe(dur_ns);
+                self.obs
+                    .histogram("crashpad", "checkpoint_bytes", "")
+                    .observe(size);
                 self.checkpoints.record_snapshot(name, bytes);
             }
         }
@@ -159,6 +187,10 @@ impl CrashPad {
             }
             DeliveryResult::Crashed { panic_message } => {
                 self.stats.failures += 1;
+                self.obs.record(RecordKind::AppCrash {
+                    app: name.to_string(),
+                    detail: panic_message.clone(),
+                });
                 self.recover(
                     app,
                     name,
@@ -171,7 +203,18 @@ impl CrashPad {
             }
             DeliveryResult::CommFailure => {
                 self.stats.failures += 1;
-                self.recover(app, name, event, FailureKind::CommFailure, topology, devices, now)
+                self.obs.record(RecordKind::CommFailure {
+                    app: name.to_string(),
+                });
+                self.recover(
+                    app,
+                    name,
+                    event,
+                    FailureKind::CommFailure,
+                    topology,
+                    devices,
+                    now,
+                )
             }
         }
     }
@@ -193,7 +236,19 @@ impl CrashPad {
         now: SimTime,
     ) -> DispatchResult {
         self.stats.byzantine_failures += 1;
-        self.recover(app, name, event, FailureKind::Byzantine { violations }, topology, devices, now)
+        self.obs.record(RecordKind::ByzantineBlocked {
+            app: name.to_string(),
+            violations: violations as u64,
+        });
+        self.recover(
+            app,
+            name,
+            event,
+            FailureKind::Byzantine { violations },
+            topology,
+            devices,
+            now,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -215,8 +270,18 @@ impl CrashPad {
 
         if policy == CompromisePolicy::NoCompromise {
             self.stats.apps_let_die += 1;
-            let ticket =
-                self.tickets.file(now, name, event.clone(), failure, log, RecoveryTaken::LetDie);
+            self.record_verdict(name, policy, "let_die");
+            let ticket = self.tickets.file(
+                now,
+                name,
+                event.clone(),
+                failure,
+                log,
+                RecoveryTaken::LetDie,
+            );
+            self.obs.record(RecordKind::AppDead {
+                app: name.to_string(),
+            });
             return DispatchResult::AppDead { ticket };
         }
 
@@ -224,8 +289,18 @@ impl CrashPad {
         if !self.restore_and_replay(app, name, topology, devices, now) {
             // No checkpoint to restore (snapshot never succeeded): dead.
             self.stats.apps_let_die += 1;
-            let ticket =
-                self.tickets.file(now, name, event.clone(), failure, log, RecoveryTaken::LetDie);
+            self.record_verdict(name, policy, "no_checkpoint_let_die");
+            let ticket = self.tickets.file(
+                now,
+                name,
+                event.clone(),
+                failure,
+                log,
+                RecoveryTaken::LetDie,
+            );
+            self.obs.record(RecordKind::AppDead {
+                app: name.to_string(),
+            });
             return DispatchResult::AppDead { ticket };
         }
         self.stats.recoveries += 1;
@@ -248,6 +323,11 @@ impl CrashPad {
                 }
                 if all_ok {
                     self.stats.events_transformed += 1;
+                    self.record_verdict(name, policy, "transformed");
+                    self.obs.record(RecordKind::EventTransformed {
+                        app: name.to_string(),
+                    });
+                    let failure_class = failure_class(&failure);
                     let ticket = self.tickets.file(
                         now,
                         name,
@@ -256,6 +336,10 @@ impl CrashPad {
                         log,
                         RecoveryTaken::Transformed,
                     );
+                    self.obs.record(RecordKind::TicketFiled {
+                        app: name.to_string(),
+                        failure: failure_class.to_string(),
+                    });
                     return DispatchResult::Recovered {
                         recovery: RecoveryTaken::Transformed,
                         commands,
@@ -273,9 +357,40 @@ impl CrashPad {
 
         // Absolute compromise: the offending event is dropped on the floor.
         self.stats.events_ignored += 1;
-        let ticket =
-            self.tickets.file(now, name, event.clone(), failure, log, RecoveryTaken::Ignored);
-        DispatchResult::Recovered { recovery: RecoveryTaken::Ignored, commands: Vec::new(), ticket }
+        self.record_verdict(name, policy, "ignored");
+        self.obs.record(RecordKind::EventDropped {
+            app: name.to_string(),
+        });
+        let failure_class = failure_class(&failure);
+        let ticket = self.tickets.file(
+            now,
+            name,
+            event.clone(),
+            failure,
+            log,
+            RecoveryTaken::Ignored,
+        );
+        self.obs.record(RecordKind::TicketFiled {
+            app: name.to_string(),
+            failure: failure_class.to_string(),
+        });
+        DispatchResult::Recovered {
+            recovery: RecoveryTaken::Ignored,
+            commands: Vec::new(),
+            ticket,
+        }
+    }
+
+    /// Journal the compromise-policy engine's verdict for an incident.
+    fn record_verdict(&self, name: &str, policy: CompromisePolicy, verdict: &str) {
+        self.obs.record(RecordKind::PolicyDecision {
+            app: name.to_string(),
+            policy: policy.to_string(),
+            verdict: verdict.to_string(),
+        });
+        self.obs
+            .counter("crashpad", "policy_verdicts", verdict)
+            .inc();
     }
 
     /// Restore the latest checkpoint and replay the delivered-event suffix.
@@ -294,19 +409,33 @@ impl CrashPad {
         let Some(plan) = self.checkpoints.recovery_plan(name) else {
             return false;
         };
+        let restore_started = Instant::now();
         if app.restore(&plan.snapshot.bytes).is_err() {
             return false;
         }
+        let restore_ns = u64::try_from(restore_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.obs.record(RecordKind::CheckpointRestored {
+            app: name.to_string(),
+            bytes: plan.snapshot.bytes.len() as u64,
+            dur_ns: restore_ns,
+        });
+        self.obs
+            .histogram("crashpad", "restore_ns", "")
+            .observe(restore_ns);
+        let replay_started = Instant::now();
+        let mut replayed = 0u64;
         for ev in &plan.replay {
             match app.deliver(ev, topology, devices, now) {
                 DeliveryResult::Ok(_) => {
                     self.stats.events_replayed += 1;
+                    replayed += 1;
                 }
                 _ => {
                     // A replayed event crashed (non-deterministic bug, or
                     // state divergence). Restore the snapshot again and stop
                     // replaying — the app loses the suffix but lives.
                     self.stats.replay_failures += 1;
+                    self.obs.counter("crashpad", "replay_failures", "").inc();
                     if app.restore(&plan.snapshot.bytes).is_err() {
                         return false;
                     }
@@ -314,7 +443,22 @@ impl CrashPad {
                 }
             }
         }
+        self.obs.record(RecordKind::ReplayDone {
+            app: name.to_string(),
+            events_replayed: replayed,
+            dur_ns: u64::try_from(replay_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        });
         true
+    }
+}
+
+/// Stable export name for a failure kind (matches journal conventions).
+fn failure_class(failure: &FailureKind) -> &'static str {
+    match failure {
+        FailureKind::FailStop { .. } => "fail_stop",
+        FailureKind::CommFailure => "comm_failure",
+        FailureKind::HeartbeatLoss => "heartbeat_loss",
+        FailureKind::Byzantine { .. } => "byzantine",
     }
 }
 
@@ -367,14 +511,18 @@ impl RecoverableApp for LocalSandbox {
         now: SimTime,
     ) -> DeliveryResult {
         if self.dead {
-            return DeliveryResult::Crashed { panic_message: "app is dead".into() };
+            return DeliveryResult::Crashed {
+                panic_message: "app is dead".into(),
+            };
         }
         let mut ctx = Ctx::new(now, topology, devices);
         match catch_unwind(AssertUnwindSafe(|| self.app.on_event(event, &mut ctx))) {
             Ok(()) => DeliveryResult::Ok(ctx.into_commands()),
             Err(payload) => {
                 self.dead = true;
-                DeliveryResult::Crashed { panic_message: panic_text(&*payload) }
+                DeliveryResult::Crashed {
+                    panic_message: panic_text(&*payload),
+                }
             }
         }
     }
@@ -397,11 +545,11 @@ impl RecoverableApp for LocalSandbox {
 mod tests {
     use super::*;
     use crate::policy::CompromisePolicy;
+    use legosdn_codec::Codec;
     use legosdn_controller::app::RestoreError;
     use legosdn_controller::event::EventKind;
     use legosdn_netsim::Endpoint;
     use legosdn_openflow::prelude::*;
-    use serde::{Deserialize, Serialize};
 
     /// Counts events; crashes on SwitchDown. Deterministic.
     #[derive(Default)]
@@ -409,7 +557,7 @@ mod tests {
         state: BrittleState,
     }
 
-    #[derive(Clone, Debug, Default, Serialize, Deserialize)]
+    #[derive(Clone, Debug, Default, Codec)]
     struct BrittleState {
         events: u64,
         link_downs: u64,
@@ -445,13 +593,20 @@ mod tests {
         let mut t = TopologyView::default();
         t.switch_up(DatapathId(1), vec![]);
         t.switch_up(DatapathId(2), vec![]);
-        t.link_up(Endpoint::new(DatapathId(1), 1), Endpoint::new(DatapathId(2), 1));
+        t.link_up(
+            Endpoint::new(DatapathId(1), 1),
+            Endpoint::new(DatapathId(2), 1),
+        );
         t
     }
 
     fn pad(policy: CompromisePolicy, interval: u64) -> CrashPad {
         CrashPad::new(CrashPadConfig {
-            checkpoints: CheckpointPolicy { interval, history: 8, ..CheckpointPolicy::default() },
+            checkpoints: CheckpointPolicy {
+                interval,
+                history: 8,
+                ..CheckpointPolicy::default()
+            },
             policies: PolicyTable::with_default(policy),
             transform_direction: TransformDirection::Decompose,
         })
@@ -477,7 +632,12 @@ mod tests {
         let mut pad = pad(CompromisePolicy::Absolute, 1);
         let mut sandbox = LocalSandbox::new(Box::new(Brittle::default()));
         let topo = topo2();
-        let r = dispatch(&mut pad, &mut sandbox, &Event::SwitchUp(DatapathId(1)), &topo);
+        let r = dispatch(
+            &mut pad,
+            &mut sandbox,
+            &Event::SwitchUp(DatapathId(1)),
+            &topo,
+        );
         assert!(matches!(r, DispatchResult::Delivered(_)));
         assert_eq!(brittle_state(&sandbox).events, 1);
         assert_eq!(pad.stats().failures, 0);
@@ -488,10 +648,24 @@ mod tests {
         let mut pad = pad(CompromisePolicy::Absolute, 1);
         let mut sandbox = LocalSandbox::new(Box::new(Brittle::default()));
         let topo = topo2();
-        dispatch(&mut pad, &mut sandbox, &Event::SwitchUp(DatapathId(1)), &topo);
-        let r = dispatch(&mut pad, &mut sandbox, &Event::SwitchDown(DatapathId(1)), &topo);
+        dispatch(
+            &mut pad,
+            &mut sandbox,
+            &Event::SwitchUp(DatapathId(1)),
+            &topo,
+        );
+        let r = dispatch(
+            &mut pad,
+            &mut sandbox,
+            &Event::SwitchDown(DatapathId(1)),
+            &topo,
+        );
         match r {
-            DispatchResult::Recovered { recovery, commands, ticket } => {
+            DispatchResult::Recovered {
+                recovery,
+                commands,
+                ticket,
+            } => {
                 assert_eq!(recovery, RecoveryTaken::Ignored);
                 assert!(commands.is_empty());
                 assert!(pad.tickets.get(ticket).is_some());
@@ -502,7 +676,12 @@ mod tests {
         // State is pre-crash: exactly one event seen, poison not counted.
         assert_eq!(brittle_state(&sandbox).events, 1);
         // And the app keeps working.
-        let r = dispatch(&mut pad, &mut sandbox, &Event::SwitchUp(DatapathId(2)), &topo);
+        let r = dispatch(
+            &mut pad,
+            &mut sandbox,
+            &Event::SwitchUp(DatapathId(2)),
+            &topo,
+        );
         assert!(matches!(r, DispatchResult::Delivered(_)));
         assert_eq!(brittle_state(&sandbox).events, 2);
     }
@@ -512,7 +691,12 @@ mod tests {
         let mut pad = pad(CompromisePolicy::NoCompromise, 1);
         let mut sandbox = LocalSandbox::new(Box::new(Brittle::default()));
         let topo = topo2();
-        let r = dispatch(&mut pad, &mut sandbox, &Event::SwitchDown(DatapathId(1)), &topo);
+        let r = dispatch(
+            &mut pad,
+            &mut sandbox,
+            &Event::SwitchDown(DatapathId(1)),
+            &topo,
+        );
         assert!(matches!(r, DispatchResult::AppDead { .. }));
         assert!(sandbox.is_dead());
         assert_eq!(pad.stats().apps_let_die, 1);
@@ -523,7 +707,12 @@ mod tests {
         let mut pad = pad(CompromisePolicy::Equivalence, 1);
         let mut sandbox = LocalSandbox::new(Box::new(Brittle::default()));
         let topo = topo2();
-        let r = dispatch(&mut pad, &mut sandbox, &Event::SwitchDown(DatapathId(1)), &topo);
+        let r = dispatch(
+            &mut pad,
+            &mut sandbox,
+            &Event::SwitchDown(DatapathId(1)),
+            &topo,
+        );
         match r {
             DispatchResult::Recovered { recovery, .. } => {
                 assert_eq!(recovery, RecoveryTaken::Transformed);
@@ -564,7 +753,14 @@ mod tests {
         let mut sandbox = LocalSandbox::new(Box::new(TickBomb));
         let topo = topo2();
         let dev = DeviceView::default();
-        let r = pad.dispatch(&mut sandbox, "tickbomb", &Event::Tick(SimTime::ZERO), &topo, &dev, SimTime::ZERO);
+        let r = pad.dispatch(
+            &mut sandbox,
+            "tickbomb",
+            &Event::Tick(SimTime::ZERO),
+            &topo,
+            &dev,
+            SimTime::ZERO,
+        );
         match r {
             DispatchResult::Recovered { recovery, .. } => {
                 assert_eq!(recovery, RecoveryTaken::Ignored);
@@ -582,14 +778,28 @@ mod tests {
         let topo = topo2();
         // 3 healthy events (snapshot taken before the 1st only).
         for i in 0..3 {
-            dispatch(&mut pad, &mut sandbox, &Event::SwitchUp(DatapathId(i)), &topo);
+            dispatch(
+                &mut pad,
+                &mut sandbox,
+                &Event::SwitchUp(DatapathId(i)),
+                &topo,
+            );
         }
         assert_eq!(pad.checkpoints.snapshots_taken, 1);
         // Crash: restore to snapshot (state=0 events) + replay 3.
-        let r = dispatch(&mut pad, &mut sandbox, &Event::SwitchDown(DatapathId(1)), &topo);
+        let r = dispatch(
+            &mut pad,
+            &mut sandbox,
+            &Event::SwitchDown(DatapathId(1)),
+            &topo,
+        );
         assert!(matches!(r, DispatchResult::Recovered { .. }));
         assert_eq!(pad.stats().events_replayed, 3);
-        assert_eq!(brittle_state(&sandbox).events, 3, "suffix replay rebuilt state");
+        assert_eq!(
+            brittle_state(&sandbox).events,
+            3,
+            "suffix replay rebuilt state"
+        );
     }
 
     #[test]
@@ -598,7 +808,12 @@ mod tests {
         let mut sandbox = LocalSandbox::new(Box::new(Brittle::default()));
         let topo = topo2();
         for _ in 0..5 {
-            let r = dispatch(&mut pad, &mut sandbox, &Event::SwitchDown(DatapathId(1)), &topo);
+            let r = dispatch(
+                &mut pad,
+                &mut sandbox,
+                &Event::SwitchDown(DatapathId(1)),
+                &topo,
+            );
             assert!(matches!(r, DispatchResult::Recovered { .. }));
         }
         assert_eq!(pad.stats().failures, 5);
@@ -622,7 +837,11 @@ mod tests {
         let r = pad.recover_byzantine(&mut sandbox, "brittle", &ev, 2, &topo, &dev, SimTime::ZERO);
         assert!(matches!(r, DispatchResult::Recovered { .. }));
         // State rolled back to before the byzantine event...
-        assert_eq!(brittle_state(&sandbox).events, 1, "replay rebuilt the pre-crash suffix");
+        assert_eq!(
+            brittle_state(&sandbox).events,
+            1,
+            "replay rebuilt the pre-crash suffix"
+        );
         assert_eq!(pad.stats().byzantine_failures, 1);
     }
 
@@ -632,11 +851,18 @@ mod tests {
             policies: PolicyTable::with_default(CompromisePolicy::Absolute),
             ..CrashPadConfig::default()
         };
-        config.policies.set_app("brittle", CompromisePolicy::NoCompromise);
+        config
+            .policies
+            .set_app("brittle", CompromisePolicy::NoCompromise);
         let mut pad = CrashPad::new(config);
         let mut sandbox = LocalSandbox::new(Box::new(Brittle::default()));
         let topo = topo2();
-        let r = dispatch(&mut pad, &mut sandbox, &Event::SwitchDown(DatapathId(1)), &topo);
+        let r = dispatch(
+            &mut pad,
+            &mut sandbox,
+            &Event::SwitchDown(DatapathId(1)),
+            &topo,
+        );
         assert!(matches!(r, DispatchResult::AppDead { .. }));
     }
 
@@ -645,8 +871,15 @@ mod tests {
         let mut pad = pad(CompromisePolicy::Absolute, 1);
         let mut sandbox = LocalSandbox::new(Box::new(Brittle::default()));
         let topo = topo2();
-        let r = dispatch(&mut pad, &mut sandbox, &Event::SwitchDown(DatapathId(7)), &topo);
-        let DispatchResult::Recovered { ticket, .. } = r else { panic!("expected recovery") };
+        let r = dispatch(
+            &mut pad,
+            &mut sandbox,
+            &Event::SwitchDown(DatapathId(7)),
+            &topo,
+        );
+        let DispatchResult::Recovered { ticket, .. } = r else {
+            panic!("expected recovery")
+        };
         let t = pad.tickets.get(ticket).unwrap();
         assert_eq!(t.app, "brittle");
         assert!(matches!(t.offending_event, Event::SwitchDown(d) if d == DatapathId(7)));

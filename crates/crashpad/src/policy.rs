@@ -13,14 +13,14 @@
 //! - **Equivalence Compromise** — transform the event into equivalent ones
 //!   (e.g. switch-down → per-link link-downs).
 
+use legosdn_codec::Codec;
 use legosdn_controller::event::EventKind;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 
 /// The three §3.3 compromise levels.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum CompromisePolicy {
     Absolute,
     NoCompromise,
@@ -78,7 +78,7 @@ fn parse_event_kind(s: &str) -> Result<EventKind, PolicyParseError> {
 }
 
 /// Operator policy table: default → per-app → per-(app, event kind).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Codec)]
 pub struct PolicyTable {
     pub default: CompromisePolicy,
     per_app: BTreeMap<String, CompromisePolicy>,
@@ -99,7 +99,10 @@ impl PolicyTable {
     /// A table with the given default.
     #[must_use]
     pub fn with_default(default: CompromisePolicy) -> Self {
-        PolicyTable { default, ..PolicyTable::default() }
+        PolicyTable {
+            default,
+            ..PolicyTable::default()
+        }
     }
 
     /// Set an app-wide policy.
@@ -109,7 +112,12 @@ impl PolicyTable {
     }
 
     /// Set a per-(app, event-kind) policy.
-    pub fn set_app_event(&mut self, app: &str, kind: EventKind, policy: CompromisePolicy) -> &mut Self {
+    pub fn set_app_event(
+        &mut self,
+        app: &str,
+        kind: EventKind,
+        policy: CompromisePolicy,
+    ) -> &mut Self {
         self.per_app_event.insert((app.to_string(), kind), policy);
         self
     }
@@ -143,7 +151,10 @@ impl PolicyTable {
             }
             let words: Vec<&str> = line.split_whitespace().collect();
             let fail = |msg: &str| {
-                Err(PolicyParseError(format!("line {}: {msg}: '{line}'", lineno + 1)))
+                Err(PolicyParseError(format!(
+                    "line {}: {msg}: '{line}'",
+                    lineno + 1
+                )))
             };
             match words.as_slice() {
                 ["default", policy] => {
@@ -153,9 +164,10 @@ impl PolicyTable {
                     table.per_app.insert((*name).to_string(), policy.parse()?);
                 }
                 ["app", name, "on", kind, "use", policy] => {
-                    table
-                        .per_app_event
-                        .insert(((*name).to_string(), parse_event_kind(kind)?), policy.parse()?);
+                    table.per_app_event.insert(
+                        ((*name).to_string(), parse_event_kind(kind)?),
+                        policy.parse()?,
+                    );
                 }
                 _ => return fail("unrecognized directive"),
             }
@@ -172,10 +184,23 @@ mod tests {
     fn lookup_specificity_order() {
         let mut t = PolicyTable::with_default(CompromisePolicy::Absolute);
         t.set_app("router", CompromisePolicy::Equivalence);
-        t.set_app_event("router", EventKind::PacketIn, CompromisePolicy::NoCompromise);
-        assert_eq!(t.lookup("router", EventKind::PacketIn), CompromisePolicy::NoCompromise);
-        assert_eq!(t.lookup("router", EventKind::SwitchDown), CompromisePolicy::Equivalence);
-        assert_eq!(t.lookup("hub", EventKind::PacketIn), CompromisePolicy::Absolute);
+        t.set_app_event(
+            "router",
+            EventKind::PacketIn,
+            CompromisePolicy::NoCompromise,
+        );
+        assert_eq!(
+            t.lookup("router", EventKind::PacketIn),
+            CompromisePolicy::NoCompromise
+        );
+        assert_eq!(
+            t.lookup("router", EventKind::SwitchDown),
+            CompromisePolicy::Equivalence
+        );
+        assert_eq!(
+            t.lookup("hub", EventKind::PacketIn),
+            CompromisePolicy::Absolute
+        );
     }
 
     #[test]
@@ -189,10 +214,22 @@ mod tests {
         ";
         let t = PolicyTable::parse(text).unwrap();
         assert_eq!(t.default, CompromisePolicy::Equivalence);
-        assert_eq!(t.lookup("firewall", EventKind::PacketIn), CompromisePolicy::NoCompromise);
-        assert_eq!(t.lookup("router", EventKind::SwitchDown), CompromisePolicy::Equivalence);
-        assert_eq!(t.lookup("router", EventKind::PacketIn), CompromisePolicy::Absolute);
-        assert_eq!(t.lookup("router", EventKind::LinkUp), CompromisePolicy::Equivalence);
+        assert_eq!(
+            t.lookup("firewall", EventKind::PacketIn),
+            CompromisePolicy::NoCompromise
+        );
+        assert_eq!(
+            t.lookup("router", EventKind::SwitchDown),
+            CompromisePolicy::Equivalence
+        );
+        assert_eq!(
+            t.lookup("router", EventKind::PacketIn),
+            CompromisePolicy::Absolute
+        );
+        assert_eq!(
+            t.lookup("router", EventKind::LinkUp),
+            CompromisePolicy::Equivalence
+        );
     }
 
     #[test]
@@ -217,7 +254,10 @@ mod tests {
 
     #[test]
     fn event_kind_names_parse() {
-        assert_eq!(parse_event_kind("Switch-Down").unwrap(), EventKind::SwitchDown);
+        assert_eq!(
+            parse_event_kind("Switch-Down").unwrap(),
+            EventKind::SwitchDown
+        );
         assert_eq!(parse_event_kind("packetin").unwrap(), EventKind::PacketIn);
         assert!(parse_event_kind("flow").is_err());
     }

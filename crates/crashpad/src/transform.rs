@@ -37,7 +37,12 @@ pub fn transform(
             if links.is_empty() {
                 return None;
             }
-            Some(links.into_iter().map(|l| Event::LinkDown { a: l.a, b: l.b }).collect())
+            Some(
+                links
+                    .into_iter()
+                    .map(|l| Event::LinkDown { a: l.a, b: l.b })
+                    .collect(),
+            )
         }
         // Link-down ⇒ the "superset" switch-down of one endpoint. We pick
         // the endpoint with fewer remaining links (less collateral damage).
@@ -54,7 +59,12 @@ pub fn transform(
             if links.is_empty() {
                 return None;
             }
-            Some(links.into_iter().map(|l| Event::LinkUp { a: l.a, b: l.b }).collect())
+            Some(
+                links
+                    .into_iter()
+                    .map(|l| Event::LinkUp { a: l.a, b: l.b })
+                    .collect(),
+            )
         }
         // Link-up ⇒ switch-up of an endpoint.
         (Event::LinkUp { a, .. }, TransformDirection::Generalize) => {
@@ -90,7 +100,10 @@ fn decompose_port_status(
     }
     let port = ps.desc.port_no.phys()?;
     let link = topology.link_at(legosdn_netsim::Endpoint::new(dpid, port))?;
-    Some(vec![Event::LinkDown { a: link.a, b: link.b }])
+    Some(vec![Event::LinkDown {
+        a: link.a,
+        b: link.b,
+    }])
 }
 
 #[cfg(test)]
@@ -105,16 +118,26 @@ mod tests {
         for d in 1..=3 {
             t.switch_up(DatapathId(d), vec![]);
         }
-        t.link_up(Endpoint::new(DatapathId(1), 1), Endpoint::new(DatapathId(2), 1));
-        t.link_up(Endpoint::new(DatapathId(2), 2), Endpoint::new(DatapathId(3), 1));
+        t.link_up(
+            Endpoint::new(DatapathId(1), 1),
+            Endpoint::new(DatapathId(2), 1),
+        );
+        t.link_up(
+            Endpoint::new(DatapathId(2), 2),
+            Endpoint::new(DatapathId(3), 1),
+        );
         t
     }
 
     #[test]
     fn switch_down_decomposes_into_its_link_downs() {
         let t = topo();
-        let out = transform(&Event::SwitchDown(DatapathId(2)), &t, TransformDirection::Decompose)
-            .unwrap();
+        let out = transform(
+            &Event::SwitchDown(DatapathId(2)),
+            &t,
+            TransformDirection::Decompose,
+        )
+        .unwrap();
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|e| matches!(e, Event::LinkDown { .. })));
     }
@@ -124,7 +147,11 @@ mod tests {
         let mut t = topo();
         t.switch_up(DatapathId(9), vec![]);
         assert_eq!(
-            transform(&Event::SwitchDown(DatapathId(9)), &t, TransformDirection::Decompose),
+            transform(
+                &Event::SwitchDown(DatapathId(9)),
+                &t,
+                TransformDirection::Decompose
+            ),
             None
         );
     }
@@ -144,8 +171,12 @@ mod tests {
     #[test]
     fn switch_up_decomposes() {
         let t = topo();
-        let out =
-            transform(&Event::SwitchUp(DatapathId(2)), &t, TransformDirection::Decompose).unwrap();
+        let out = transform(
+            &Event::SwitchUp(DatapathId(2)),
+            &t,
+            TransformDirection::Decompose,
+        )
+        .unwrap();
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|e| matches!(e, Event::LinkUp { .. })));
     }
@@ -163,8 +194,12 @@ mod tests {
                 link_down: true,
             },
         };
-        let out = transform(&Event::PortStatus(DatapathId(2), ps), &t, TransformDirection::Decompose)
-            .unwrap();
+        let out = transform(
+            &Event::PortStatus(DatapathId(2), ps),
+            &t,
+            TransformDirection::Decompose,
+        )
+        .unwrap();
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0], Event::LinkDown { .. }));
     }
@@ -177,7 +212,11 @@ mod tests {
             desc: PortDesc::up(PortNo::Phys(1), MacAddr::from_index(1)),
         };
         assert_eq!(
-            transform(&Event::PortStatus(DatapathId(2), ps), &t, TransformDirection::Decompose),
+            transform(
+                &Event::PortStatus(DatapathId(2), ps),
+                &t,
+                TransformDirection::Decompose
+            ),
             None
         );
     }
@@ -191,8 +230,12 @@ mod tests {
             reason: PacketInReason::NoMatch,
             packet: Packet::ethernet(MacAddr::from_index(1), MacAddr::from_index(2)),
         };
-        let out = transform(&Event::PacketIn(DatapathId(1), pi), &t, TransformDirection::Decompose)
-            .unwrap();
+        let out = transform(
+            &Event::PacketIn(DatapathId(1), pi),
+            &t,
+            TransformDirection::Decompose,
+        )
+        .unwrap();
         match &out[0] {
             Event::PacketIn(_, alt) => assert_eq!(alt.reason, PacketInReason::Action),
             other => panic!("unexpected {other:?}"),
@@ -203,7 +246,11 @@ mod tests {
     fn tick_has_no_equivalent() {
         let t = topo();
         assert_eq!(
-            transform(&Event::Tick(legosdn_netsim::SimTime::ZERO), &t, TransformDirection::Decompose),
+            transform(
+                &Event::Tick(legosdn_netsim::SimTime::ZERO),
+                &t,
+                TransformDirection::Decompose
+            ),
             None
         );
     }

@@ -3,6 +3,7 @@
 //! language round-trips; the checkpoint store's plans are always
 //! consistent with what was delivered.
 
+use legosdn_codec::Codec;
 use legosdn_controller::app::{Ctx, RestoreError, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_controller::services::{DeviceView, TopologyView};
@@ -12,8 +13,7 @@ use legosdn_crashpad::{
 };
 use legosdn_netsim::SimTime;
 use legosdn_openflow::prelude::DatapathId;
-use proptest::prelude::*;
-use serde::{Deserialize, Serialize};
+use legosdn_testkit::{forall, Rng};
 
 /// An app whose state is the exact multiset of event kinds it has
 /// processed; crashes on SwitchDown events carrying a poisoned dpid.
@@ -23,7 +23,7 @@ struct Ledger {
     poison: u64,
 }
 
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Codec)]
 struct LedgerState {
     switch_ups: Vec<u64>,
     switch_downs: Vec<u64>,
@@ -70,13 +70,13 @@ enum Step {
     Tick,
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (1u64..20).prop_map(Step::Up),
-        (1u64..20).prop_map(Step::Down),
-        Just(Step::PoisonDown),
-        Just(Step::Tick),
-    ]
+fn arb_step(rng: &mut Rng) -> Step {
+    match rng.gen_range(0u32..4) {
+        0 => Step::Up(rng.gen_range(1u64..20)),
+        1 => Step::Down(rng.gen_range(1u64..20)),
+        2 => Step::PoisonDown,
+        _ => Step::Tick,
+    }
 }
 
 fn to_event(s: &Step) -> Event {
@@ -106,24 +106,28 @@ fn ledger_state(sandbox: &LocalSandbox) -> LedgerState {
     legosdn_controller::snapshot::from_bytes(&sandbox.app().snapshot()).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// THE Crash-Pad theorem under Absolute Compromise: for any event
-    /// stream with arbitrary crash points and any checkpoint interval, the
-    /// app ends in exactly the state of the stream with the poisoned
-    /// events removed, and is always alive at the end.
-    #[test]
-    fn recovery_equals_stream_without_poison(
-        steps in proptest::collection::vec(arb_step(), 1..40),
-        interval in 1u64..10,
-    ) {
+/// THE Crash-Pad theorem under Absolute Compromise: for any event
+/// stream with arbitrary crash points and any checkpoint interval, the
+/// app ends in exactly the state of the stream with the poisoned
+/// events removed, and is always alive at the end.
+#[test]
+fn recovery_equals_stream_without_poison() {
+    forall(128, |rng| {
+        let steps = rng.gen_vec(1..40, arb_step);
+        let interval = rng.gen_range(1u64..10);
         let mut pad = CrashPad::new(CrashPadConfig {
-            checkpoints: CheckpointPolicy { interval, history: 8, ..CheckpointPolicy::default() },
+            checkpoints: CheckpointPolicy {
+                interval,
+                history: 8,
+                ..CheckpointPolicy::default()
+            },
             policies: PolicyTable::with_default(CompromisePolicy::Absolute),
             transform_direction: TransformDirection::Decompose,
         });
-        let mut sandbox = LocalSandbox::new(Box::new(Ledger { poison: POISON, ..Ledger::default() }));
+        let mut sandbox = LocalSandbox::new(Box::new(Ledger {
+            poison: POISON,
+            ..Ledger::default()
+        }));
         let topo = TopologyView::default();
         let dev = DeviceView::default();
         for s in &steps {
@@ -132,26 +136,30 @@ proptest! {
             let recovered = matches!(result, DispatchResult::Recovered { .. });
             let delivered = matches!(result, DispatchResult::Delivered(_));
             match s {
-                Step::PoisonDown => prop_assert!(recovered, "poison must recover"),
-                _ => prop_assert!(delivered, "clean event must deliver"),
+                Step::PoisonDown => assert!(recovered, "poison must recover"),
+                _ => assert!(delivered, "clean event must deliver"),
             }
         }
-        prop_assert!(!sandbox.is_dead());
-        prop_assert_eq!(ledger_state(&sandbox), expected_state(&steps));
-    }
+        assert!(!sandbox.is_dead());
+        assert_eq!(ledger_state(&sandbox), expected_state(&steps));
+    });
+}
 
-    /// Under No-Compromise the first poisoned event kills the app and the
-    /// state freezes at the prefix before it.
-    #[test]
-    fn no_compromise_freezes_at_first_poison(
-        steps in proptest::collection::vec(arb_step(), 1..30),
-    ) {
+/// Under No-Compromise the first poisoned event kills the app and the
+/// state freezes at the prefix before it.
+#[test]
+fn no_compromise_freezes_at_first_poison() {
+    forall(128, |rng| {
+        let steps = rng.gen_vec(1..30, arb_step);
         let mut pad = CrashPad::new(CrashPadConfig {
             checkpoints: CheckpointPolicy::default(),
             policies: PolicyTable::with_default(CompromisePolicy::NoCompromise),
             transform_direction: TransformDirection::Decompose,
         });
-        let mut sandbox = LocalSandbox::new(Box::new(Ledger { poison: POISON, ..Ledger::default() }));
+        let mut sandbox = LocalSandbox::new(Box::new(Ledger {
+            poison: POISON,
+            ..Ledger::default()
+        }));
         let topo = TopologyView::default();
         let dev = DeviceView::default();
         let mut died = false;
@@ -168,50 +176,68 @@ proptest! {
             }
         }
         let has_poison = steps.iter().any(|s| matches!(s, Step::PoisonDown));
-        prop_assert_eq!(died, has_poison);
-    }
+        assert_eq!(died, has_poison);
+    });
+}
 
-    /// Ticket count equals the number of poisoned events dispatched.
-    #[test]
-    fn one_ticket_per_failure(
-        steps in proptest::collection::vec(arb_step(), 1..40),
-    ) {
+/// Ticket count equals the number of poisoned events dispatched.
+#[test]
+fn one_ticket_per_failure() {
+    forall(128, |rng| {
+        let steps = rng.gen_vec(1..40, arb_step);
         let mut pad = CrashPad::new(CrashPadConfig {
             checkpoints: CheckpointPolicy::default(),
             policies: PolicyTable::with_default(CompromisePolicy::Absolute),
             transform_direction: TransformDirection::Decompose,
         });
-        let mut sandbox = LocalSandbox::new(Box::new(Ledger { poison: POISON, ..Ledger::default() }));
+        let mut sandbox = LocalSandbox::new(Box::new(Ledger {
+            poison: POISON,
+            ..Ledger::default()
+        }));
         let topo = TopologyView::default();
         let dev = DeviceView::default();
         for s in &steps {
-            pad.dispatch(&mut sandbox, "ledger", &to_event(s), &topo, &dev, SimTime::ZERO);
+            pad.dispatch(
+                &mut sandbox,
+                "ledger",
+                &to_event(s),
+                &topo,
+                &dev,
+                SimTime::ZERO,
+            );
         }
-        let poisons = steps.iter().filter(|s| matches!(s, Step::PoisonDown)).count();
-        prop_assert_eq!(pad.tickets.len(), poisons);
-        prop_assert_eq!(pad.stats().failures, poisons as u64);
-    }
+        let poisons = steps
+            .iter()
+            .filter(|s| matches!(s, Step::PoisonDown))
+            .count();
+        assert_eq!(pad.tickets.len(), poisons);
+        assert_eq!(pad.stats().failures, poisons as u64);
+    });
+}
 
-    /// The policy language round-trips through its own syntax.
-    #[test]
-    fn policy_table_parse_roundtrip(
-        default_idx in 0usize..3,
-        apps in proptest::collection::vec(("[a-z]{1,8}", 0usize..3), 0..5),
-    ) {
-        let policies =
-            [CompromisePolicy::Absolute, CompromisePolicy::NoCompromise, CompromisePolicy::Equivalence];
+/// The policy language round-trips through its own syntax.
+#[test]
+fn policy_table_parse_roundtrip() {
+    forall(128, |rng| {
+        let default_idx = rng.gen_range(0usize..3);
+        let apps = rng.gen_vec(0..5, |r| (r.gen_name(1..9), r.gen_range(0usize..3)));
+        let policies = [
+            CompromisePolicy::Absolute,
+            CompromisePolicy::NoCompromise,
+            CompromisePolicy::Equivalence,
+        ];
         let mut text = format!("default {}\n", policies[default_idx]);
         for (name, idx) in &apps {
             text.push_str(&format!("app {} use {}\n", name, policies[*idx]));
         }
         let table = PolicyTable::parse(&text).unwrap();
-        prop_assert_eq!(table.default, policies[default_idx]);
+        assert_eq!(table.default, policies[default_idx]);
         for (name, idx) in &apps {
             // Later duplicate lines win, matching map-insert semantics:
             // find the LAST entry for this name.
             let last = apps.iter().rev().find(|(n, _)| n == name).unwrap();
-            prop_assert_eq!(table.lookup(name, EventKind::PacketIn), policies[last.1]);
+            assert_eq!(table.lookup(name, EventKind::PacketIn), policies[last.1]);
             let _ = idx;
         }
-    }
+    });
 }

@@ -5,12 +5,12 @@
 //! invariants with a network-shutdown escape hatch (§5).
 
 use crate::probe::{probe, ProbeOutcome};
+use legosdn_codec::Codec;
 use legosdn_netsim::{Endpoint, Network};
 use legosdn_openflow::prelude::{DatapathId, MacAddr, Message, Packet};
-use serde::{Deserialize, Serialize};
 
 /// A checkable network-wide invariant.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum Invariant {
     /// No host pair's traffic dies at a drop rule or dead port.
     NoBlackHoles,
@@ -21,11 +21,22 @@ pub enum Invariant {
 }
 
 /// A concrete violation found by the checker.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Codec)]
 pub enum Violation {
-    BlackHole { src: MacAddr, dst: MacAddr, at: Endpoint },
-    Loop { src: MacAddr, dst: MacAddr, path: Vec<Endpoint> },
-    Undelivered { src: MacAddr, dst: MacAddr },
+    BlackHole {
+        src: MacAddr,
+        dst: MacAddr,
+        at: Endpoint,
+    },
+    Loop {
+        src: MacAddr,
+        dst: MacAddr,
+        path: Vec<Endpoint>,
+    },
+    Undelivered {
+        src: MacAddr,
+        dst: MacAddr,
+    },
 }
 
 impl Violation {
@@ -41,7 +52,7 @@ impl Violation {
 }
 
 /// Result of a full check.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Codec)]
 pub struct CheckReport {
     pub pairs_checked: usize,
     pub pairs_delivered: usize,
@@ -59,7 +70,10 @@ impl CheckReport {
     /// Violations of a specific invariant.
     #[must_use]
     pub fn violations_of(&self, inv: Invariant) -> usize {
-        self.violations.iter().filter(|v| v.invariant() == inv).count()
+        self.violations
+            .iter()
+            .filter(|v| v.invariant() == inv)
+            .count()
     }
 }
 
@@ -86,7 +100,10 @@ impl Checker {
     /// A checker enforcing the given invariants.
     #[must_use]
     pub fn new(invariants: Vec<Invariant>) -> Self {
-        Checker { invariants, ..Checker::default() }
+        Checker {
+            invariants,
+            ..Checker::default()
+        }
     }
 
     /// Probe every (ordered) host pair and report violations of the
@@ -107,7 +124,9 @@ impl Checker {
                 let pkt = Packet::ethernet(src.mac, dst.mac);
                 match probe(net, src.mac, dst.mac, &pkt) {
                     ProbeOutcome::Delivered
-                    | ProbeOutcome::Flooded { reached_destination: true } => {
+                    | ProbeOutcome::Flooded {
+                        reached_destination: true,
+                    } => {
                         report.pairs_delivered += 1;
                     }
                     ProbeOutcome::Punt { .. } => {
@@ -131,7 +150,9 @@ impl Checker {
                             });
                         }
                     }
-                    ProbeOutcome::Flooded { reached_destination: false } => {
+                    ProbeOutcome::Flooded {
+                        reached_destination: false,
+                    } => {
                         if self.invariants.contains(&Invariant::AllPairsServiced) {
                             report.violations.push(Violation::Undelivered {
                                 src: src.mac,
@@ -192,7 +213,8 @@ mod tests {
                 } else {
                     (l.b.dpid, l.b.port)
                 };
-                let fm = FlowMod::add(Match::eth_dst(h.mac)).action(Action::Output(PortNo::Phys(p)));
+                let fm =
+                    FlowMod::add(Match::eth_dst(h.mac)).action(Action::Output(PortNo::Phys(p)));
                 net.apply(d, &Message::FlowMod(fm)).unwrap();
             }
         }
@@ -221,8 +243,11 @@ mod tests {
     fn blackhole_is_reported() {
         let (mut net, topo) = delivered_net();
         let d1 = topo.hosts[0].attach.dpid;
-        net.apply(d1, &Message::FlowMod(FlowMod::add(Match::any()).priority(u16::MAX)))
-            .unwrap();
+        net.apply(
+            d1,
+            &Message::FlowMod(FlowMod::add(Match::any()).priority(u16::MAX)),
+        )
+        .unwrap();
         let report = Checker::default().check(&net);
         assert!(!report.is_clean());
         assert!(report.violations_of(Invariant::NoBlackHoles) >= 1);
@@ -248,8 +273,11 @@ mod tests {
     fn disabled_invariants_are_not_reported() {
         let (mut net, topo) = delivered_net();
         let d1 = topo.hosts[0].attach.dpid;
-        net.apply(d1, &Message::FlowMod(FlowMod::add(Match::any()).priority(u16::MAX)))
-            .unwrap();
+        net.apply(
+            d1,
+            &Message::FlowMod(FlowMod::add(Match::any()).priority(u16::MAX)),
+        )
+        .unwrap();
         let loose = Checker::new(vec![Invariant::NoLoops]);
         assert!(loose.check(&net).is_clean());
     }
@@ -258,13 +286,21 @@ mod tests {
     fn gate_detects_violation_without_touching_network() {
         let (net, topo) = delivered_net();
         let d1 = topo.hosts[0].attach.dpid;
-        let bad = vec![(d1, Message::FlowMod(FlowMod::add(Match::any()).priority(u16::MAX)))];
+        let bad = vec![(
+            d1,
+            Message::FlowMod(FlowMod::add(Match::any()).priority(u16::MAX)),
+        )];
         let report = Checker::default().gate(&net, &bad);
         assert!(!report.is_clean());
         // Real network unchanged: still clean.
         assert!(Checker::default().check(&net).is_clean());
         assert_eq!(
-            net.switch(d1).unwrap().table().iter().filter(|e| e.priority == u16::MAX).count(),
+            net.switch(d1)
+                .unwrap()
+                .table()
+                .iter()
+                .filter(|e| e.priority == u16::MAX)
+                .count(),
             0
         );
     }
@@ -287,8 +323,10 @@ mod tests {
     fn max_pairs_caps_work() {
         let topo = Topology::star(3, 2); // 6 hosts → 30 ordered pairs
         let net = Network::new(&topo);
-        let mut checker = Checker::default();
-        checker.max_pairs = 7;
+        let checker = Checker {
+            max_pairs: 7,
+            ..Checker::default()
+        };
         let report = checker.check(&net);
         assert_eq!(report.pairs_checked, 7);
     }

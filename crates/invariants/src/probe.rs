@@ -6,9 +6,9 @@
 //! checker evaluate the *current* rule set — and, against a scratch clone of
 //! the network, a *candidate* rule set — without observable side effects.
 
+use legosdn_codec::Codec;
 use legosdn_netsim::{Endpoint, Network};
 use legosdn_openflow::prelude::{apply_actions, MacAddr, Packet, PortNo};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
@@ -17,7 +17,7 @@ use std::hash::{Hash, Hasher};
 pub const PROBE_HOP_LIMIT: usize = 64;
 
 /// How a probed packet fared.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Codec)]
 pub enum ProbeOutcome {
     /// Reached the destination host.
     Delivered,
@@ -44,14 +44,20 @@ impl ProbeOutcome {
     pub fn is_delivered(&self) -> bool {
         matches!(
             self,
-            ProbeOutcome::Delivered | ProbeOutcome::Flooded { reached_destination: true }
+            ProbeOutcome::Delivered
+                | ProbeOutcome::Flooded {
+                    reached_destination: true
+                }
         )
     }
 
     /// Is this outcome an invariant violation (black-hole or loop)?
     #[must_use]
     pub fn is_violation(&self) -> bool {
-        matches!(self, ProbeOutcome::BlackHole { .. } | ProbeOutcome::Loop { .. })
+        matches!(
+            self,
+            ProbeOutcome::BlackHole { .. } | ProbeOutcome::Loop { .. }
+        )
     }
 }
 
@@ -111,10 +117,7 @@ pub fn probe(net: &Network, src: MacAddr, dst: MacAddr, packet: &Packet) -> Prob
             let ports: Vec<u16> = match out {
                 PortNo::Phys(p) => vec![p],
                 PortNo::InPort => vec![at.port],
-                PortNo::Flood | PortNo::All => sw
-                    .live_ports()
-                    .filter(|&p| p != at.port)
-                    .collect(),
+                PortNo::Flood | PortNo::All => sw.live_ports().filter(|&p| p != at.port).collect(),
                 // Controller output punts; other pseudo-ports drop.
                 PortNo::Controller => {
                     punt.get_or_insert(at);
@@ -124,8 +127,7 @@ pub fn probe(net: &Network, src: MacAddr, dst: MacAddr, packet: &Packet) -> Prob
             };
             for p in ports {
                 let from = Endpoint::new(at.dpid, p);
-                let port_live =
-                    sw.port(p).map(|ps| ps.desc.is_live()).unwrap_or(false);
+                let port_live = sw.port(p).map(|ps| ps.desc.is_live()).unwrap_or(false);
                 if !port_live {
                     continue;
                 }
@@ -152,7 +154,9 @@ pub fn probe(net: &Network, src: MacAddr, dst: MacAddr, packet: &Packet) -> Prob
     if delivered_to_dst && !delivered_other {
         ProbeOutcome::Delivered
     } else if delivered_to_dst || delivered_other {
-        ProbeOutcome::Flooded { reached_destination: delivered_to_dst }
+        ProbeOutcome::Flooded {
+            reached_destination: delivered_to_dst,
+        }
     } else if let Some(at) = punt {
         ProbeOutcome::Punt { at }
     } else if let Some(at) = black_hole {
@@ -200,7 +204,14 @@ mod tests {
         assert!(matches!(out, ProbeOutcome::Punt { .. }));
         assert!(!out.is_violation());
         // Probing must not mutate counters.
-        assert_eq!(net.switch(DatapathId(1)).unwrap().table().stats().lookup_count, 0);
+        assert_eq!(
+            net.switch(DatapathId(1))
+                .unwrap()
+                .table()
+                .stats()
+                .lookup_count,
+            0
+        );
     }
 
     #[test]
@@ -265,7 +276,10 @@ mod tests {
             );
         }
         let out = probe(&net, a, b, &Packet::ethernet(a, b));
-        assert!(matches!(out, ProbeOutcome::Loop { ref path } if path.len() >= 2), "got {out:?}");
+        assert!(
+            matches!(out, ProbeOutcome::Loop { ref path } if path.len() >= 2),
+            "got {out:?}"
+        );
     }
 
     #[test]
@@ -273,7 +287,11 @@ mod tests {
         let (mut net, topo) = net2();
         let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
         for sw in topo.switches.keys() {
-            install(&mut net, *sw, FlowMod::add(Match::any()).action(Action::Output(PortNo::Flood)));
+            install(
+                &mut net,
+                *sw,
+                FlowMod::add(Match::any()).action(Action::Output(PortNo::Flood)),
+            );
         }
         let out = probe(&net, a, b, &Packet::ethernet(a, b));
         // Linear(2, 1): the flood exits to host b only (other ports are the
@@ -300,7 +318,12 @@ mod tests {
     fn unknown_source() {
         let (net, topo) = net2();
         let ghost = MacAddr::from_index(999);
-        let out = probe(&net, ghost, topo.hosts[0].mac, &Packet::ethernet(ghost, ghost));
+        let out = probe(
+            &net,
+            ghost,
+            topo.hosts[0].mac,
+            &Packet::ethernet(ghost, ghost),
+        );
         assert_eq!(out, ProbeOutcome::NoSuchSource);
     }
 }

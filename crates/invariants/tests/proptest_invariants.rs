@@ -6,7 +6,7 @@
 use legosdn_invariants::{probe, Checker};
 use legosdn_netsim::{Network, Topology};
 use legosdn_openflow::prelude::*;
-use proptest::prelude::*;
+use legosdn_testkit::forall;
 
 /// Install destination-based forwarding along shortest paths for every
 /// host (ground-truth-correct rules).
@@ -14,8 +14,8 @@ fn install_correct_routing(net: &mut Network, topo: &Topology) {
     // Controller-side BFS over the topology spec.
     for h in &topo.hosts {
         // Final hop.
-        let fm = FlowMod::add(Match::eth_dst(h.mac))
-            .action(Action::Output(PortNo::Phys(h.attach.port)));
+        let fm =
+            FlowMod::add(Match::eth_dst(h.mac)).action(Action::Output(PortNo::Phys(h.attach.port)));
         net.apply(h.attach.dpid, &Message::FlowMod(fm)).unwrap();
         // Other switches: BFS toward the attach switch.
         let dpids: Vec<DatapathId> = topo.switches.keys().copied().collect();
@@ -54,27 +54,26 @@ fn install_correct_routing(net: &mut Network, topo: &Topology) {
                 cur = p;
             }
             if let Some(port) = out_port {
-                let fm = FlowMod::add(Match::eth_dst(h.mac))
-                    .action(Action::Output(PortNo::Phys(port)));
+                let fm =
+                    FlowMod::add(Match::eth_dst(h.mac)).action(Action::Output(PortNo::Phys(port)));
                 net.apply(d, &Message::FlowMod(fm)).unwrap();
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// On correctly-routed random topologies the checker reports clean and
-    /// all pairs delivered; and probing agrees with actually injecting.
-    #[test]
-    fn correct_routing_is_clean_and_probe_matches_dataplane(seed in 0u64..500) {
+/// On correctly-routed random topologies the checker reports clean and
+/// all pairs delivered; and probing agrees with actually injecting.
+#[test]
+fn correct_routing_is_clean_and_probe_matches_dataplane() {
+    forall(64, |rng| {
+        let seed = rng.gen_range(0u64..500);
         let topo = Topology::random(5, 2, 1, seed);
         let mut net = Network::new(&topo);
         install_correct_routing(&mut net, &topo);
         let report = Checker::default().check(&net);
-        prop_assert!(report.is_clean(), "{:?}", report);
-        prop_assert_eq!(report.pairs_delivered, report.pairs_checked);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.pairs_delivered, report.pairs_checked);
 
         // Probe vs dataplane agreement on a few pairs.
         for (i, src) in topo.hosts.iter().enumerate().take(3) {
@@ -85,28 +84,39 @@ proptest! {
             let pkt = Packet::ethernet(src.mac, dst.mac);
             let probe_says = probe(&net, src.mac, dst.mac, &pkt).is_delivered();
             let trace = net.inject(src.mac, pkt).unwrap();
-            prop_assert_eq!(probe_says, trace.delivered_to(dst.mac));
+            assert_eq!(probe_says, trace.delivered_to(dst.mac));
         }
-    }
+    });
+}
 
-    /// check() is observationally pure: flow counters and stats untouched.
-    #[test]
-    fn check_has_no_side_effects(seed in 0u64..500) {
+/// check() is observationally pure: flow counters and stats untouched.
+#[test]
+fn check_has_no_side_effects() {
+    forall(64, |rng| {
+        let seed = rng.gen_range(0u64..500);
         let topo = Topology::random(4, 1, 1, seed);
         let mut net = Network::new(&topo);
         install_correct_routing(&mut net, &topo);
-        let lookups_before: Vec<u64> =
-            net.switches().map(|s| s.table().stats().lookup_count).collect();
+        let lookups_before: Vec<u64> = net
+            .switches()
+            .map(|s| s.table().stats().lookup_count)
+            .collect();
         let _ = Checker::default().check(&net);
-        let lookups_after: Vec<u64> =
-            net.switches().map(|s| s.table().stats().lookup_count).collect();
-        prop_assert_eq!(lookups_before, lookups_after);
-    }
+        let lookups_after: Vec<u64> = net
+            .switches()
+            .map(|s| s.table().stats().lookup_count)
+            .collect();
+        assert_eq!(lookups_before, lookups_after);
+    });
+}
 
-    /// Gate soundness: adding a top-priority drop rule to any switch on a
-    /// delivering path is caught, and the gate leaves the network intact.
-    #[test]
-    fn gate_catches_planted_blackhole(seed in 0u64..500, victim_idx in 0usize..5) {
+/// Gate soundness: adding a top-priority drop rule to any switch on a
+/// delivering path is caught, and the gate leaves the network intact.
+#[test]
+fn gate_catches_planted_blackhole() {
+    forall(64, |rng| {
+        let seed = rng.gen_range(0u64..500);
+        let victim_idx = rng.gen_range(0usize..5);
         let topo = Topology::random(5, 1, 1, seed);
         let mut net = Network::new(&topo);
         install_correct_routing(&mut net, &topo);
@@ -119,15 +129,18 @@ proptest! {
         let report = Checker::default().gate(&net, &bad);
         // The victim switch hosts at least one host or forwards for one, so
         // some pair must die.
-        prop_assert!(!report.is_clean(), "blackhole on {victim:?} undetected");
+        assert!(!report.is_clean(), "blackhole on {victim:?} undetected");
         // Gate never mutates the real network.
-        prop_assert!(Checker::default().check(&net).is_clean());
-    }
+        assert!(Checker::default().check(&net).is_clean());
+    });
+}
 
-    /// Loop soundness: pointing two adjacent switches at each other with a
-    /// top-priority rule is always caught as a loop or black-hole.
-    #[test]
-    fn gate_catches_planted_loop(seed in 0u64..500) {
+/// Loop soundness: pointing two adjacent switches at each other with a
+/// top-priority rule is always caught as a loop or black-hole.
+#[test]
+fn gate_catches_planted_loop() {
+    forall(64, |rng| {
+        let seed = rng.gen_range(0u64..500);
         let topo = Topology::random(4, 1, 1, seed);
         let mut net = Network::new(&topo);
         install_correct_routing(&mut net, &topo);
@@ -151,6 +164,6 @@ proptest! {
             ),
         ];
         let report = Checker::default().gate(&net, &bad);
-        prop_assert!(!report.is_clean(), "planted loop undetected");
-    }
+        assert!(!report.is_clean(), "planted loop undetected");
+    });
 }

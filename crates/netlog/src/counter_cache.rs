@@ -7,13 +7,13 @@
 //! (viz., statistics reply) to the correct one" — the restored entry's
 //! counters as reported to apps are `switch_counters + cached_baseline`.
 
+use legosdn_codec::Codec;
 use legosdn_openflow::messages::StatsReply;
 use legosdn_openflow::prelude::{DatapathId, Match};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A cached counter baseline for one restored flow.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Codec)]
 struct CacheEntry {
     dpid: DatapathId,
     mat: Match,
@@ -23,7 +23,7 @@ struct CacheEntry {
 }
 
 /// FIFO-bounded counter cache.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Codec)]
 pub struct CounterCache {
     entries: VecDeque<CacheEntry>,
     capacity: usize,
@@ -33,7 +33,11 @@ pub struct CounterCache {
 
 impl Default for CounterCache {
     fn default() -> Self {
-        CounterCache { entries: VecDeque::new(), capacity: 4096, adjustments: 0 }
+        CounterCache {
+            entries: VecDeque::new(),
+            capacity: 4096,
+            adjustments: 0,
+        }
     }
 }
 
@@ -41,7 +45,10 @@ impl CounterCache {
     /// A cache bounded at `capacity` entries (oldest evicted first).
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        CounterCache { capacity, ..CounterCache::default() }
+        CounterCache {
+            capacity,
+            ..CounterCache::default()
+        }
     }
 
     /// Number of cached baselines.
@@ -61,7 +68,14 @@ impl CounterCache {
     /// Accumulation matters for repeated rollbacks: if a flow is restored,
     /// accrues more traffic, is deleted and restored again, the baselines
     /// stack.
-    pub fn record(&mut self, dpid: DatapathId, mat: &Match, priority: u16, packets: u64, bytes: u64) {
+    pub fn record(
+        &mut self,
+        dpid: DatapathId,
+        mat: &Match,
+        priority: u16,
+        packets: u64,
+        bytes: u64,
+    ) {
         if let Some(e) = self
             .entries
             .iter_mut()
@@ -74,7 +88,13 @@ impl CounterCache {
         if self.entries.len() >= self.capacity {
             self.entries.pop_front();
         }
-        self.entries.push_back(CacheEntry { dpid, mat: mat.clone(), priority, packets, bytes });
+        self.entries.push_back(CacheEntry {
+            dpid,
+            mat: mat.clone(),
+            priority,
+            packets,
+            bytes,
+        });
     }
 
     /// The baseline for a flow, if cached.
@@ -88,7 +108,8 @@ impl CounterCache {
 
     /// Drop the baseline for a flow (it expired or was deleted for real).
     pub fn invalidate(&mut self, dpid: DatapathId, mat: &Match, priority: u16) {
-        self.entries.retain(|e| !(e.dpid == dpid && e.priority == priority && e.mat == *mat));
+        self.entries
+            .retain(|e| !(e.dpid == dpid && e.priority == priority && e.mat == *mat));
     }
 
     /// Rewrite a statistics reply from `dpid` so restored flows report
@@ -104,7 +125,11 @@ impl CounterCache {
                     }
                 }
             }
-            StatsReply::Aggregate { packet_count, byte_count, .. } => {
+            StatsReply::Aggregate {
+                packet_count,
+                byte_count,
+                ..
+            } => {
                 // Aggregate replies cover all matching flows; fold in every
                 // baseline for the switch (an over-approximation only when
                 // the request's filter excluded a cached flow — acceptable
@@ -177,7 +202,11 @@ mod tests {
         c.record(DatapathId(1), &mat(2), 5, 2, 2);
         c.record(DatapathId(1), &mat(3), 5, 3, 3);
         assert_eq!(c.len(), 2);
-        assert_eq!(c.baseline(DatapathId(1), &mat(1), 5), None, "oldest evicted");
+        assert_eq!(
+            c.baseline(DatapathId(1), &mat(1), 5),
+            None,
+            "oldest evicted"
+        );
         assert!(c.baseline(DatapathId(1), &mat(3), 5).is_some());
     }
 
@@ -227,10 +256,18 @@ mod tests {
         c.record(DatapathId(1), &mat(1), 5, 100, 10_000);
         c.record(DatapathId(1), &mat(2), 5, 50, 5_000);
         c.record(DatapathId(2), &mat(3), 5, 9, 900);
-        let mut reply = StatsReply::Aggregate { packet_count: 1, byte_count: 10, flow_count: 2 };
+        let mut reply = StatsReply::Aggregate {
+            packet_count: 1,
+            byte_count: 10,
+            flow_count: 2,
+        };
         c.adjust_stats_reply(DatapathId(1), &mut reply);
         match reply {
-            StatsReply::Aggregate { packet_count, byte_count, .. } => {
+            StatsReply::Aggregate {
+                packet_count,
+                byte_count,
+                ..
+            } => {
                 assert_eq!(packet_count, 151);
                 assert_eq!(byte_count, 15_010);
             }

@@ -6,7 +6,7 @@
 use legosdn_netlog::{NetLog, TxMode};
 use legosdn_netsim::{Network, SimDuration, Topology};
 use legosdn_openflow::prelude::*;
-use proptest::prelude::*;
+use legosdn_testkit::{forall, Rng};
 
 /// Semantic forwarding state of the whole network: per switch, the set of
 /// (match, priority, actions, idle, send_flow_removed) entries plus port
@@ -38,38 +38,88 @@ fn forwarding_state(net: &Network) -> Vec<(u64, Vec<String>, Vec<bool>)> {
 
 #[derive(Clone, Debug)]
 enum Op {
-    Add { dpid: u64, dst: u64, priority: u16, port: u16, idle: u16 },
-    AddOverwrite { dpid: u64, dst: u64, priority: u16, port: u16 },
-    DeleteExact { dpid: u64, dst: u64, priority: u16 },
-    DeleteWild { dpid: u64 },
-    Modify { dpid: u64, dst: u64, priority: u16, port: u16 },
-    PortUpDown { dpid: u64, port: u16, down: bool },
+    Add {
+        dpid: u64,
+        dst: u64,
+        priority: u16,
+        port: u16,
+        idle: u16,
+    },
+    AddOverwrite {
+        dpid: u64,
+        dst: u64,
+        priority: u16,
+        port: u16,
+    },
+    DeleteExact {
+        dpid: u64,
+        dst: u64,
+        priority: u16,
+    },
+    DeleteWild {
+        dpid: u64,
+    },
+    Modify {
+        dpid: u64,
+        dst: u64,
+        priority: u16,
+        port: u16,
+    },
+    PortUpDown {
+        dpid: u64,
+        port: u16,
+        down: bool,
+    },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let dpid = 1u64..=3;
-    let dst = 1u64..6; // small space to force collisions/overwrites
-    let prio = prop_oneof![Just(100u16), Just(200), Just(300)];
-    prop_oneof![
-        (dpid.clone(), dst.clone(), prio.clone(), 1u16..4, 0u16..30).prop_map(
-            |(dpid, dst, priority, port, idle)| Op::Add { dpid, dst, priority, port, idle }
-        ),
-        (dpid.clone(), dst.clone(), prio.clone(), 1u16..4)
-            .prop_map(|(dpid, dst, priority, port)| Op::AddOverwrite { dpid, dst, priority, port }),
-        (dpid.clone(), dst.clone(), prio.clone())
-            .prop_map(|(dpid, dst, priority)| Op::DeleteExact { dpid, dst, priority }),
-        (dpid.clone()).prop_map(|dpid| Op::DeleteWild { dpid }),
-        (dpid.clone(), dst, prio, 1u16..4)
-            .prop_map(|(dpid, dst, priority, port)| Op::Modify { dpid, dst, priority, port }),
-        (dpid, 1u16..4, any::<bool>())
-            .prop_map(|(dpid, port, down)| Op::PortUpDown { dpid, port, down }),
-    ]
+fn arb_op(rng: &mut Rng) -> Op {
+    let dpid = rng.gen_range_inclusive(1u64..=3);
+    let dst = rng.gen_range(1u64..6); // small space to force collisions/overwrites
+    let priority = *rng.pick(&[100u16, 200, 300]);
+    match rng.gen_range(0u32..6) {
+        0 => Op::Add {
+            dpid,
+            dst,
+            priority,
+            port: rng.gen_range(1u16..4),
+            idle: rng.gen_range(0u16..30),
+        },
+        1 => Op::AddOverwrite {
+            dpid,
+            dst,
+            priority,
+            port: rng.gen_range(1u16..4),
+        },
+        2 => Op::DeleteExact {
+            dpid,
+            dst,
+            priority,
+        },
+        3 => Op::DeleteWild { dpid },
+        4 => Op::Modify {
+            dpid,
+            dst,
+            priority,
+            port: rng.gen_range(1u16..4),
+        },
+        _ => Op::PortUpDown {
+            dpid,
+            port: rng.gen_range(1u16..4),
+            down: rng.gen_bool(0.5),
+        },
+    }
 }
 
 fn op_to_message(op: &Op, net: &Network) -> (DatapathId, Message) {
     let m = |dst: u64| Match::eth_dst(MacAddr::from_index(dst));
     match op {
-        Op::Add { dpid, dst, priority, port, idle } => (
+        Op::Add {
+            dpid,
+            dst,
+            priority,
+            port,
+            idle,
+        } => (
             DatapathId(*dpid),
             Message::FlowMod(
                 FlowMod::add(m(*dst))
@@ -79,7 +129,12 @@ fn op_to_message(op: &Op, net: &Network) -> (DatapathId, Message) {
                     .notify_removed(),
             ),
         ),
-        Op::AddOverwrite { dpid, dst, priority, port } => (
+        Op::AddOverwrite {
+            dpid,
+            dst,
+            priority,
+            port,
+        } => (
             DatapathId(*dpid),
             Message::FlowMod(
                 FlowMod::add(m(*dst))
@@ -87,14 +142,24 @@ fn op_to_message(op: &Op, net: &Network) -> (DatapathId, Message) {
                     .action(Action::Output(PortNo::Phys(*port))),
             ),
         ),
-        Op::DeleteExact { dpid, dst, priority } => (
+        Op::DeleteExact {
+            dpid,
+            dst,
+            priority,
+        } => (
             DatapathId(*dpid),
             Message::FlowMod(FlowMod::delete_strict(m(*dst), *priority)),
         ),
-        Op::DeleteWild { dpid } => {
-            (DatapathId(*dpid), Message::FlowMod(FlowMod::delete(Match::any())))
-        }
-        Op::Modify { dpid, dst, priority, port } => {
+        Op::DeleteWild { dpid } => (
+            DatapathId(*dpid),
+            Message::FlowMod(FlowMod::delete(Match::any())),
+        ),
+        Op::Modify {
+            dpid,
+            dst,
+            priority,
+            port,
+        } => {
             let mut fm = FlowMod::add(m(*dst))
                 .priority(*priority)
                 .action(Action::Output(PortNo::Phys(*port)));
@@ -109,7 +174,11 @@ fn op_to_message(op: &Op, net: &Network) -> (DatapathId, Message) {
                 .unwrap_or(MacAddr::from_index(0));
             (
                 DatapathId(*dpid),
-                Message::PortMod(PortMod { port_no: PortNo::Phys(*port), hw_addr: hw, down: *down }),
+                Message::PortMod(PortMod {
+                    port_no: PortNo::Phys(*port),
+                    hw_addr: hw,
+                    down: *down,
+                }),
             )
         }
     }
@@ -129,15 +198,12 @@ fn seeded_network(pre_ops: &[Op]) -> Network {
     net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// THE rollback theorem: abort after arbitrary ops == never applied.
-    #[test]
-    fn abort_restores_forwarding_state(
-        pre in proptest::collection::vec(arb_op(), 0..10),
-        tx_ops in proptest::collection::vec(arb_op(), 1..15),
-    ) {
+/// THE rollback theorem: abort after arbitrary ops == never applied.
+#[test]
+fn abort_restores_forwarding_state() {
+    forall(256, |rng| {
+        let pre = rng.gen_vec(0..10, arb_op);
+        let tx_ops = rng.gen_vec(1..15, arb_op);
         let mut net = seeded_network(&pre);
         let baseline = forwarding_state(&net);
 
@@ -148,16 +214,17 @@ proptest! {
             let _ = nl.execute(&mut tx, &mut net, dpid, &msg);
         }
         let report = nl.abort(tx, &mut net).unwrap();
-        prop_assert_eq!(report.undo_failures, 0, "undo must never fail");
-        prop_assert_eq!(forwarding_state(&net), baseline);
-    }
+        assert_eq!(report.undo_failures, 0, "undo must never fail");
+        assert_eq!(forwarding_state(&net), baseline);
+    });
+}
 
-    /// Buffered abort is trivially clean (nothing ever applied).
-    #[test]
-    fn buffered_abort_is_invisible(
-        pre in proptest::collection::vec(arb_op(), 0..6),
-        tx_ops in proptest::collection::vec(arb_op(), 1..10),
-    ) {
+/// Buffered abort is trivially clean (nothing ever applied).
+#[test]
+fn buffered_abort_is_invisible() {
+    forall(256, |rng| {
+        let pre = rng.gen_vec(0..6, arb_op);
+        let tx_ops = rng.gen_vec(1..10, arb_op);
         let mut net = seeded_network(&pre);
         let baseline = forwarding_state(&net);
         let mut nl = NetLog::new(TxMode::Buffered);
@@ -166,15 +233,22 @@ proptest! {
             let (dpid, msg) = op_to_message(op, &net);
             let _ = nl.execute(&mut tx, &mut net, dpid, &msg);
         }
-        prop_assert_eq!(forwarding_state(&net), baseline.clone(), "buffer must not touch the net");
+        assert_eq!(
+            forwarding_state(&net),
+            baseline.clone(),
+            "buffer must not touch the net"
+        );
         nl.abort(tx, &mut net).unwrap();
-        prop_assert_eq!(forwarding_state(&net), baseline);
-    }
+        assert_eq!(forwarding_state(&net), baseline);
+    });
+}
 
-    /// Commit in the two modes converges to the same forwarding state for
-    /// write-only transactions (reads differ — that's the E9 point).
-    #[test]
-    fn modes_commit_to_same_state(tx_ops in proptest::collection::vec(arb_op(), 1..12)) {
+/// Commit in the two modes converges to the same forwarding state for
+/// write-only transactions (reads differ — that's the E9 point).
+#[test]
+fn modes_commit_to_same_state() {
+    forall(256, |rng| {
+        let tx_ops = rng.gen_vec(1..12, arb_op);
         let mut net_a = seeded_network(&[]);
         let mut nl = NetLog::new(TxMode::Immediate);
         let mut tx = nl.begin();
@@ -193,13 +267,16 @@ proptest! {
         }
         nl.commit(tx, &mut net_b).unwrap();
 
-        prop_assert_eq!(forwarding_state(&net_a), forwarding_state(&net_b));
-    }
+        assert_eq!(forwarding_state(&net_a), forwarding_state(&net_b));
+    });
+}
 
-    /// Abort then replaying the same ops non-transactionally equals having
-    /// committed in the first place (rollback leaves no hidden residue).
-    #[test]
-    fn rollback_then_redo_equals_commit(tx_ops in proptest::collection::vec(arb_op(), 1..10)) {
+/// Abort then replaying the same ops non-transactionally equals having
+/// committed in the first place (rollback leaves no hidden residue).
+#[test]
+fn rollback_then_redo_equals_commit() {
+    forall(256, |rng| {
+        let tx_ops = rng.gen_vec(1..10, arb_op);
         // Path 1: apply in tx, commit.
         let mut net_commit = seeded_network(&[]);
         let mut nl = NetLog::new(TxMode::Immediate);
@@ -223,6 +300,6 @@ proptest! {
             let (dpid, msg) = op_to_message(op, &net_redo);
             let _ = net_redo.apply(dpid, &msg);
         }
-        prop_assert_eq!(forwarding_state(&net_commit), forwarding_state(&net_redo));
-    }
+        assert_eq!(forwarding_state(&net_commit), forwarding_state(&net_redo));
+    });
 }

@@ -5,20 +5,16 @@
 //! deadlines, detection latencies) are expressed in [`SimTime`] and advance
 //! only when the harness calls `Network::tick`.
 
-use serde::{Deserialize, Serialize};
+use legosdn_codec::Codec;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time, measured in microseconds since simulation start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Codec)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time, in microseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Debug, Codec)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {

@@ -5,15 +5,15 @@
 //! mutation reports exactly what it displaced (as [`FlowEntrySnapshot`]s).
 
 use crate::clock::SimTime;
+use legosdn_codec::Codec;
 use legosdn_openflow::error::{ErrorCode, ErrorType};
 use legosdn_openflow::messages::{
     ErrorMsg, FlowEntrySnapshot, FlowMod, FlowModCommand, FlowRemovedReason, TableStats,
 };
 use legosdn_openflow::prelude::{Action, Match, Packet, PortNo};
-use serde::{Deserialize, Serialize};
 
 /// An installed flow entry.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Codec)]
 pub struct FlowEntry {
     pub mat: Match,
     pub priority: u16,
@@ -59,7 +59,9 @@ impl FlowEntry {
     /// filter semantics.)
     #[must_use]
     pub fn outputs_to(&self, port: PortNo) -> bool {
-        self.actions.iter().any(|a| matches!(a, Action::Output(p) if *p == port))
+        self.actions
+            .iter()
+            .any(|a| matches!(a, Action::Output(p) if *p == port))
     }
 }
 
@@ -84,7 +86,7 @@ pub struct ExpiredFlow {
 }
 
 /// A single-table OpenFlow 1.0 flow table.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Codec)]
 pub struct FlowTable {
     entries: Vec<FlowEntry>,
     next_seq: u64,
@@ -97,7 +99,10 @@ impl FlowTable {
     /// A table bounded at `max_entries` (0 means unbounded).
     #[must_use]
     pub fn with_capacity(max_entries: usize) -> Self {
-        FlowTable { max_entries, ..FlowTable::default() }
+        FlowTable {
+            max_entries,
+            ..FlowTable::default()
+        }
     }
 
     /// Number of installed entries.
@@ -124,7 +129,11 @@ impl FlowTable {
             active_count: self.entries.len() as u32,
             lookup_count: self.lookup_count,
             matched_count: self.matched_count,
-            max_entries: if self.max_entries == 0 { u32::MAX } else { self.max_entries as u32 },
+            max_entries: if self.max_entries == 0 {
+                u32::MAX
+            } else {
+                self.max_entries as u32
+            },
         }
     }
 
@@ -157,8 +166,10 @@ impl FlowTable {
         let mut outcome = FlowModOutcome::default();
         // An add replaces an identical match+priority entry without
         // generating a flow-removed (OF 1.0 §4.6).
-        if let Some(pos) =
-            self.entries.iter().position(|e| e.priority == fm.priority && e.mat == fm.mat)
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| e.priority == fm.priority && e.mat == fm.mat)
         {
             let old = self.entries.remove(pos);
             outcome.displaced.push(old.snapshot(now));
@@ -195,7 +206,12 @@ impl FlowTable {
         Ok(outcome)
     }
 
-    fn modify(&mut self, fm: &FlowMod, now: SimTime, strict: bool) -> Result<FlowModOutcome, ErrorMsg> {
+    fn modify(
+        &mut self,
+        fm: &FlowMod,
+        now: SimTime,
+        strict: bool,
+    ) -> Result<FlowModOutcome, ErrorMsg> {
         let mut outcome = FlowModOutcome::default();
         let mut touched = false;
         for e in &mut self.entries {
@@ -294,7 +310,12 @@ impl FlowTable {
     /// Snapshot entries subsumed by `mat` (and forwarding to `out_port`, if
     /// not `None`) — the flow-stats request filter.
     #[must_use]
-    pub fn snapshot_matching(&self, mat: &Match, out_port: PortNo, now: SimTime) -> Vec<FlowEntrySnapshot> {
+    pub fn snapshot_matching(
+        &self,
+        mat: &Match,
+        out_port: PortNo,
+        now: SimTime,
+    ) -> Vec<FlowEntrySnapshot> {
         self.entries
             .iter()
             .filter(|e| mat.subsumes(&e.mat))
@@ -305,7 +326,13 @@ impl FlowTable {
 
     /// Restore counters onto an entry (NetLog's counter-cache uses this when
     /// reinstalling a rolled-back entry).
-    pub fn restore_counters(&mut self, mat: &Match, priority: u16, packets: u64, bytes: u64) -> bool {
+    pub fn restore_counters(
+        &mut self,
+        mat: &Match,
+        priority: u16,
+        packets: u64,
+        bytes: u64,
+    ) -> bool {
         for e in &mut self.entries {
             if e.priority == priority && e.mat == *mat {
                 e.packet_count = packets;
@@ -327,13 +354,17 @@ mod tests {
     }
 
     fn add(mat: Match, priority: u16, port: u16) -> FlowMod {
-        FlowMod::add(mat).priority(priority).action(Action::Output(PortNo::Phys(port)))
+        FlowMod::add(mat)
+            .priority(priority)
+            .action(Action::Output(PortNo::Phys(port)))
     }
 
     #[test]
     fn empty_table_misses() {
         let mut t = FlowTable::default();
-        assert!(t.lookup(&pkt_to(2), PortNo::Phys(1), SimTime::ZERO).is_none());
+        assert!(t
+            .lookup(&pkt_to(2), PortNo::Phys(1), SimTime::ZERO)
+            .is_none());
         assert_eq!(t.stats().lookup_count, 1);
         assert_eq!(t.stats().matched_count, 0);
     }
@@ -344,7 +375,9 @@ mod tests {
         let m = Match::eth_dst(MacAddr::from_index(2));
         t.apply(&add(m, 10, 3), SimTime::ZERO).unwrap();
         let p = pkt_to(2);
-        let hit = t.lookup(&p, PortNo::Phys(1), SimTime::from_secs(1)).unwrap();
+        let hit = t
+            .lookup(&p, PortNo::Phys(1), SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(hit.packet_count, 1);
         assert_eq!(hit.byte_count, u64::from(p.wire_len()));
         assert_eq!(hit.last_matched, SimTime::from_secs(1));
@@ -354,11 +387,19 @@ mod tests {
     fn priority_order_wins() {
         let mut t = FlowTable::default();
         t.apply(&add(Match::any(), 1, 1), SimTime::ZERO).unwrap();
-        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 100, 2), SimTime::ZERO).unwrap();
-        let hit = t.lookup(&pkt_to(2), PortNo::Phys(9), SimTime::ZERO).unwrap();
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(2)), 100, 2),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let hit = t
+            .lookup(&pkt_to(2), PortNo::Phys(9), SimTime::ZERO)
+            .unwrap();
         assert_eq!(hit.priority, 100);
         // A packet to someone else falls to the low-priority catch-all.
-        let hit = t.lookup(&pkt_to(3), PortNo::Phys(9), SimTime::ZERO).unwrap();
+        let hit = t
+            .lookup(&pkt_to(3), PortNo::Phys(9), SimTime::ZERO)
+            .unwrap();
         assert_eq!(hit.priority, 1);
     }
 
@@ -366,8 +407,14 @@ mod tests {
     fn equal_priority_ties_break_by_insertion() {
         let mut t = FlowTable::default();
         t.apply(&add(Match::any(), 5, 1), SimTime::ZERO).unwrap();
-        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 2), SimTime::ZERO).unwrap();
-        let hit = t.lookup(&pkt_to(2), PortNo::Phys(9), SimTime::ZERO).unwrap();
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(2)), 5, 2),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let hit = t
+            .lookup(&pkt_to(2), PortNo::Phys(9), SimTime::ZERO)
+            .unwrap();
         assert_eq!(hit.actions, vec![Action::Output(PortNo::Phys(1))]);
     }
 
@@ -376,32 +423,62 @@ mod tests {
         let mut t = FlowTable::default();
         let m = Match::eth_dst(MacAddr::from_index(2));
         t.apply(&add(m.clone(), 5, 1), SimTime::ZERO).unwrap();
-        let out = t.apply(&add(m.clone(), 5, 9), SimTime::from_secs(2)).unwrap();
+        let out = t
+            .apply(&add(m.clone(), 5, 9), SimTime::from_secs(2))
+            .unwrap();
         assert_eq!(out.displaced.len(), 1);
-        assert_eq!(out.displaced[0].actions, vec![Action::Output(PortNo::Phys(1))]);
+        assert_eq!(
+            out.displaced[0].actions,
+            vec![Action::Output(PortNo::Phys(1))]
+        );
         assert_eq!(t.len(), 1);
-        let hit = t.lookup(&pkt_to(2), PortNo::Phys(1), SimTime::ZERO).unwrap();
+        let hit = t
+            .lookup(&pkt_to(2), PortNo::Phys(1), SimTime::ZERO)
+            .unwrap();
         assert_eq!(hit.actions, vec![Action::Output(PortNo::Phys(9))]);
     }
 
     #[test]
     fn table_full_errors() {
         let mut t = FlowTable::with_capacity(2);
-        t.apply(&add(Match::eth_dst(MacAddr::from_index(1)), 5, 1), SimTime::ZERO).unwrap();
-        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 1), SimTime::ZERO).unwrap();
-        let err = t.apply(&add(Match::eth_dst(MacAddr::from_index(3)), 5, 1), SimTime::ZERO);
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(1)), 5, 1),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(2)), 5, 1),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let err = t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(3)), 5, 1),
+            SimTime::ZERO,
+        );
         assert_eq!(err.unwrap_err().code, ErrorCode::TablesFull);
         // Replacing an existing entry still works at capacity.
-        assert!(t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 7), SimTime::ZERO).is_ok());
+        assert!(t
+            .apply(
+                &add(Match::eth_dst(MacAddr::from_index(2)), 5, 7),
+                SimTime::ZERO
+            )
+            .is_ok());
     }
 
     #[test]
     fn check_overlap_rejects_overlapping_same_priority() {
         let mut t = FlowTable::default();
-        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 1), SimTime::ZERO).unwrap();
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(2)), 5, 1),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let mut fm = add(Match::any(), 5, 2);
         fm.check_overlap = true;
-        assert_eq!(t.apply(&fm, SimTime::ZERO).unwrap_err().code, ErrorCode::Overlap);
+        assert_eq!(
+            t.apply(&fm, SimTime::ZERO).unwrap_err().code,
+            ErrorCode::Overlap
+        );
         // Different priority: fine.
         let mut fm = add(Match::any(), 6, 2);
         fm.check_overlap = true;
@@ -411,9 +488,19 @@ mod tests {
     #[test]
     fn non_strict_delete_subsumes() {
         let mut t = FlowTable::default();
-        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 1), SimTime::ZERO).unwrap();
-        t.apply(&add(Match::eth_dst(MacAddr::from_index(3)), 9, 1), SimTime::ZERO).unwrap();
-        let out = t.apply(&FlowMod::delete(Match::any()), SimTime::ZERO).unwrap();
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(2)), 5, 1),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(3)), 9, 1),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let out = t
+            .apply(&FlowMod::delete(Match::any()), SimTime::ZERO)
+            .unwrap();
         assert_eq!(out.displaced.len(), 2);
         assert!(t.is_empty());
     }
@@ -424,10 +511,14 @@ mod tests {
         let m = Match::eth_dst(MacAddr::from_index(2));
         t.apply(&add(m.clone(), 5, 1), SimTime::ZERO).unwrap();
         // Wrong priority: no-op.
-        let out = t.apply(&FlowMod::delete_strict(m.clone(), 6), SimTime::ZERO).unwrap();
+        let out = t
+            .apply(&FlowMod::delete_strict(m.clone(), 6), SimTime::ZERO)
+            .unwrap();
         assert!(out.displaced.is_empty());
         assert_eq!(t.len(), 1);
-        let out = t.apply(&FlowMod::delete_strict(m, 5), SimTime::ZERO).unwrap();
+        let out = t
+            .apply(&FlowMod::delete_strict(m, 5), SimTime::ZERO)
+            .unwrap();
         assert_eq!(out.displaced.len(), 1);
         assert!(t.is_empty());
     }
@@ -435,8 +526,16 @@ mod tests {
     #[test]
     fn delete_filters_by_out_port() {
         let mut t = FlowTable::default();
-        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 1), SimTime::ZERO).unwrap();
-        t.apply(&add(Match::eth_dst(MacAddr::from_index(3)), 5, 2), SimTime::ZERO).unwrap();
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(2)), 5, 1),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(3)), 5, 2),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let mut del = FlowMod::delete(Match::any());
         del.out_port = PortNo::Phys(2);
         let out = t.apply(&del, SimTime::ZERO).unwrap();
@@ -449,7 +548,9 @@ mod tests {
         let mut t = FlowTable::default();
         let fm = add(Match::any(), 5, 1).notify_removed();
         t.apply(&fm, SimTime::ZERO).unwrap();
-        let out = t.apply(&FlowMod::delete(Match::any()), SimTime::ZERO).unwrap();
+        let out = t
+            .apply(&FlowMod::delete(Match::any()), SimTime::ZERO)
+            .unwrap();
         assert_eq!(out.notify_removed.len(), 1);
     }
 
@@ -458,7 +559,8 @@ mod tests {
         let mut t = FlowTable::default();
         let m = Match::eth_dst(MacAddr::from_index(2));
         t.apply(&add(m.clone(), 5, 1), SimTime::ZERO).unwrap();
-        t.lookup(&pkt_to(2), PortNo::Phys(1), SimTime::ZERO).unwrap();
+        t.lookup(&pkt_to(2), PortNo::Phys(1), SimTime::ZERO)
+            .unwrap();
         let mut fm = add(m, 5, 9);
         fm.command = FlowModCommand::ModifyStrict;
         let out = t.apply(&fm, SimTime::ZERO).unwrap();
@@ -506,7 +608,8 @@ mod tests {
     #[test]
     fn snapshot_remaining_hard_counts_down() {
         let mut t = FlowTable::default();
-        t.apply(&add(Match::any(), 5, 1).hard_timeout(60), SimTime::ZERO).unwrap();
+        t.apply(&add(Match::any(), 5, 1).hard_timeout(60), SimTime::ZERO)
+            .unwrap();
         let snaps = t.snapshot_matching(&Match::any(), PortNo::None, SimTime::from_secs(18));
         assert_eq!(snaps.len(), 1);
         assert_eq!(snaps[0].remaining_hard, Some(42));
@@ -516,8 +619,16 @@ mod tests {
     #[test]
     fn snapshot_matching_filters() {
         let mut t = FlowTable::default();
-        t.apply(&add(Match::eth_dst(MacAddr::from_index(2)), 5, 1), SimTime::ZERO).unwrap();
-        t.apply(&add(Match::eth_dst(MacAddr::from_index(3)), 5, 2), SimTime::ZERO).unwrap();
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(2)), 5, 1),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(3)), 5, 2),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let all = t.snapshot_matching(&Match::any(), PortNo::None, SimTime::ZERO);
         assert_eq!(all.len(), 2);
         let one = t.snapshot_matching(&Match::any(), PortNo::Phys(2), SimTime::ZERO);

@@ -140,7 +140,11 @@ impl Network {
         Network {
             now: SimTime::ZERO,
             switches,
-            links: topology.links.iter().map(|&spec| Link { spec, up: true }).collect(),
+            links: topology
+                .links
+                .iter()
+                .map(|&spec| Link { spec, up: true })
+                .collect(),
             hosts: topology.hosts.clone(),
             events,
             total_delivered: 0,
@@ -236,7 +240,10 @@ impl Network {
     /// Apply a controller→switch message.
     pub fn apply(&mut self, dpid: DatapathId, msg: &Message) -> Result<ApplyOutcome, NetError> {
         let now = self.now;
-        let sw = self.switches.get_mut(&dpid).ok_or(NetError::UnknownSwitch(dpid))?;
+        let sw = self
+            .switches
+            .get_mut(&dpid)
+            .ok_or(NetError::UnknownSwitch(dpid))?;
         if !sw.is_up() {
             return Err(NetError::SwitchDown(dpid));
         }
@@ -250,7 +257,11 @@ impl Network {
                 trace.merge(self.propagate(Endpoint::new(dpid, p), pkt));
             }
         }
-        Ok(ApplyOutcome { replies: out.replies, pre_state: out.pre_state, trace })
+        Ok(ApplyOutcome {
+            replies: out.replies,
+            pre_state: out.pre_state,
+            trace,
+        })
     }
 
     /// Inject a packet from a host into the network.
@@ -336,7 +347,11 @@ impl Network {
         }
         match self.link_peer(from) {
             Some(peer) => {
-                let peer_up = self.switches.get(&peer.dpid).map(Switch::is_up).unwrap_or(false);
+                let peer_up = self
+                    .switches
+                    .get(&peer.dpid)
+                    .map(Switch::is_up)
+                    .unwrap_or(false);
                 if peer_up {
                     queue.push_back((peer, pkt));
                 } else {
@@ -404,7 +419,10 @@ impl Network {
     /// down the far end of each of its links, and emits
     /// `SwitchDisconnected`; powering on emits `SwitchConnected`.
     pub fn set_switch_up(&mut self, dpid: DatapathId, up: bool) -> Result<(), NetError> {
-        let sw = self.switches.get_mut(&dpid).ok_or(NetError::UnknownSwitch(dpid))?;
+        let sw = self
+            .switches
+            .get_mut(&dpid)
+            .ok_or(NetError::UnknownSwitch(dpid))?;
         if sw.is_up() == up {
             return Ok(());
         }
@@ -474,8 +492,11 @@ mod tests {
             .action(Action::Output(PortNo::Phys(host.attach.port)));
         net.apply(host.attach.dpid, &Message::FlowMod(fm)).unwrap();
         // On every other switch, forward toward the attachment switch.
-        let others: Vec<_> =
-            net.switches().map(|s| s.dpid()).filter(|d| *d != host.attach.dpid).collect();
+        let others: Vec<_> = net
+            .switches()
+            .map(|s| s.dpid())
+            .filter(|d| *d != host.attach.dpid)
+            .collect();
         for d in others {
             // Find the port on d that links toward host.attach.dpid.
             let port = net
@@ -500,7 +521,9 @@ mod tests {
         let (mut net, _, _) = two_switch();
         let evs = net.poll_events();
         assert_eq!(
-            evs.iter().filter(|e| matches!(e, NetEvent::SwitchConnected(_))).count(),
+            evs.iter()
+                .filter(|e| matches!(e, NetEvent::SwitchConnected(_)))
+                .count(),
             2
         );
         assert!(net.poll_events().is_empty());
@@ -515,7 +538,9 @@ mod tests {
         assert_eq!(trace.packet_ins, 1);
         assert!(trace.delivered.is_empty());
         let evs = net.poll_events();
-        assert!(evs.iter().any(|e| matches!(e, NetEvent::FromSwitch(_, Message::PacketIn(_)))));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, NetEvent::FromSwitch(_, Message::PacketIn(_)))));
     }
 
     #[test]
@@ -551,7 +576,9 @@ mod tests {
             actions: vec![Action::Output(PortNo::Phys(host_b.attach.port))],
             packet: Some(Packet::ethernet(a, b)),
         };
-        let out = net.apply(host_b.attach.dpid, &Message::PacketOut(po)).unwrap();
+        let out = net
+            .apply(host_b.attach.dpid, &Message::PacketOut(po))
+            .unwrap();
         assert!(out.trace.delivered_to(b));
     }
 
@@ -574,8 +601,12 @@ mod tests {
         // The egress port is link-down, so the switch swallowed the packet.
         assert_eq!(trace.path.len(), 1, "packet must not cross the dead link");
         let first = net.host_by_mac(a).unwrap().attach.dpid;
-        let tx_dropped: u64 =
-            net.switch(first).unwrap().ports().map(|p| p.stats.tx_dropped).sum();
+        let tx_dropped: u64 = net
+            .switch(first)
+            .unwrap()
+            .ports()
+            .map(|p| p.stats.tx_dropped)
+            .sum();
         assert!(tx_dropped > 0);
         // Bring it back.
         net.set_link_up(0, true).unwrap();
@@ -591,7 +622,9 @@ mod tests {
         let dpid_b = net.host_by_mac(b).unwrap().attach.dpid;
         net.set_switch_up(dpid_b, false).unwrap();
         let evs = net.poll_events();
-        assert!(evs.iter().any(|e| matches!(e, NetEvent::SwitchDisconnected(d) if *d == dpid_b)));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, NetEvent::SwitchDisconnected(d) if *d == dpid_b)));
         assert!(evs
             .iter()
             .any(|e| matches!(e, NetEvent::FromSwitch(d, Message::PortStatus(_)) if *d != dpid_b)));
@@ -601,7 +634,9 @@ mod tests {
         net.set_switch_up(dpid_b, true).unwrap();
         assert!(net.switch(dpid_b).unwrap().table().is_empty());
         let evs = net.poll_events();
-        assert!(evs.iter().any(|e| matches!(e, NetEvent::SwitchConnected(d) if *d == dpid_b)));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, NetEvent::SwitchConnected(d) if *d == dpid_b)));
     }
 
     #[test]
@@ -639,13 +674,16 @@ mod tests {
             .hard_timeout(3)
             .action(Action::Output(PortNo::Phys(host_b.attach.port)))
             .notify_removed();
-        net.apply(host_b.attach.dpid, &Message::FlowMod(fm)).unwrap();
+        net.apply(host_b.attach.dpid, &Message::FlowMod(fm))
+            .unwrap();
         net.poll_events();
         net.tick(SimDuration::from_secs(2));
         assert!(net.poll_events().is_empty());
         net.tick(SimDuration::from_secs(1));
         let evs = net.poll_events();
-        assert!(evs.iter().any(|e| matches!(e, NetEvent::FromSwitch(_, Message::FlowRemoved(_)))));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, NetEvent::FromSwitch(_, Message::FlowRemoved(_)))));
         assert_eq!(net.now(), SimTime::from_secs(3));
     }
 
@@ -654,7 +692,10 @@ mod tests {
         let (mut net, _, _) = two_switch();
         let d = net.switches().next().unwrap().dpid();
         net.set_switch_up(d, false).unwrap();
-        assert_eq!(net.apply(d, &Message::Hello).unwrap_err(), NetError::SwitchDown(d));
+        assert_eq!(
+            net.apply(d, &Message::Hello).unwrap_err(),
+            NetError::SwitchDown(d)
+        );
     }
 
     #[test]
@@ -666,7 +707,9 @@ mod tests {
             let fm = FlowMod::add(Match::any()).action(Action::Output(PortNo::Flood));
             net.apply(d, &Message::FlowMod(fm)).unwrap();
         }
-        let trace = net.inject(a, Packet::ethernet(a, MacAddr::BROADCAST)).unwrap();
+        let trace = net
+            .inject(a, Packet::ethernet(a, MacAddr::BROADCAST))
+            .unwrap();
         assert!(trace.delivered_to(b));
         // The sender's own host must not receive a copy (flood excludes the
         // ingress port).
@@ -678,7 +721,9 @@ mod tests {
         let (mut net, _, b) = two_switch();
         let host_b = net.host_by_mac(b).unwrap().clone();
         let fm = FlowMod::add(Match::eth_dst(b)).action(Action::Output(PortNo::Phys(1)));
-        let out = net.apply(host_b.attach.dpid, &Message::FlowMod(fm)).unwrap();
+        let out = net
+            .apply(host_b.attach.dpid, &Message::FlowMod(fm))
+            .unwrap();
         assert_eq!(out.pre_state, Some(PreState::DisplacedFlows(vec![])));
     }
 }

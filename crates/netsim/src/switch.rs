@@ -8,16 +8,14 @@
 
 use crate::clock::SimTime;
 use crate::flow_table::FlowTable;
+use legosdn_codec::Codec;
 use legosdn_openflow::error::{ErrorCode, ErrorType};
 use legosdn_openflow::inverse::PreState;
 use legosdn_openflow::messages::{
     ErrorMsg, FlowRemoved, FlowRemovedReason, Message, PacketIn, PacketInReason, PortDesc,
     PortStats, PortStatus, PortStatusReason, StatsReply, StatsRequest, SwitchFeatures,
 };
-use legosdn_openflow::prelude::{
-    apply_actions, BufferId, DatapathId, MacAddr, Packet, PortNo,
-};
-use serde::{Deserialize, Serialize};
+use legosdn_openflow::prelude::{apply_actions, BufferId, DatapathId, MacAddr, Packet, PortNo};
 use std::collections::BTreeMap;
 
 /// Everything a message or packet arrival caused.
@@ -37,19 +35,22 @@ pub struct SwitchOutput {
 
 impl SwitchOutput {
     fn reply(msg: Message) -> Self {
-        SwitchOutput { replies: vec![msg], ..SwitchOutput::default() }
+        SwitchOutput {
+            replies: vec![msg],
+            ..SwitchOutput::default()
+        }
     }
 }
 
 /// Per-port runtime state.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Codec)]
 pub struct PortState {
     pub desc: PortDesc,
     pub stats: PortStats,
 }
 
 /// A simulated switch.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Codec)]
 pub struct Switch {
     dpid: DatapathId,
     ports: BTreeMap<u16, PortState>,
@@ -79,7 +80,10 @@ impl Switch {
                 p,
                 PortState {
                     desc: PortDesc::up(PortNo::Phys(p), hw),
-                    stats: PortStats { port_no: p, ..PortStats::default() },
+                    stats: PortStats {
+                        port_no: p,
+                        ..PortStats::default()
+                    },
                 },
             );
         }
@@ -135,7 +139,10 @@ impl Switch {
 
     /// Live physical ports (up administratively and physically).
     pub fn live_ports(&self) -> impl Iterator<Item = u16> + '_ {
-        self.ports.iter().filter(|(_, s)| s.desc.is_live()).map(|(p, _)| *p)
+        self.ports
+            .iter()
+            .filter(|(_, s)| s.desc.is_live())
+            .map(|(p, _)| *p)
     }
 
     /// Set a port's *physical* link state; returns the port-status
@@ -160,12 +167,14 @@ impl Switch {
         match msg {
             Message::Hello => SwitchOutput::reply(Message::Hello),
             Message::EchoRequest(d) => SwitchOutput::reply(Message::EchoReply(d.clone())),
-            Message::FeaturesRequest => SwitchOutput::reply(Message::FeaturesReply(SwitchFeatures {
-                datapath_id: self.dpid,
-                n_buffers: self.n_buffers,
-                n_tables: 1,
-                ports: self.ports.values().map(|s| s.desc.clone()).collect(),
-            })),
+            Message::FeaturesRequest => {
+                SwitchOutput::reply(Message::FeaturesReply(SwitchFeatures {
+                    datapath_id: self.dpid,
+                    n_buffers: self.n_buffers,
+                    n_tables: 1,
+                    ports: self.ports.values().map(|s| s.desc.clone()).collect(),
+                }))
+            }
             Message::BarrierRequest => SwitchOutput::reply(Message::BarrierReply),
             Message::FlowMod(fm) => self.handle_flow_mod(fm, now),
             Message::PacketOut(po) => {
@@ -177,7 +186,7 @@ impl Switch {
                                 err_type: ErrorType::BadRequest,
                                 code: ErrorCode::Other(0x100), // bad buffer
                                 data: Vec::new(),
-                            }))
+                            }));
                         }
                     }
                 } else {
@@ -228,10 +237,27 @@ impl Switch {
         }
     }
 
-    fn handle_flow_mod(&mut self, fm: &legosdn_openflow::messages::FlowMod, now: SimTime) -> SwitchOutput {
+    fn handle_flow_mod(
+        &mut self,
+        fm: &legosdn_openflow::messages::FlowMod,
+        now: SimTime,
+    ) -> SwitchOutput {
         let mut out = SwitchOutput::default();
         match self.table.apply(fm, now) {
             Ok(outcome) => {
+                // Per-switch flow-table churn counters. The switch itself is
+                // Codec-serialisable state, so it reports through the
+                // process-global observer rather than holding a handle.
+                let obs = legosdn_obs::Obs::global();
+                let dpid = self.dpid.0.to_string();
+                if fm.is_delete() {
+                    obs.counter("netsim", "flow_delete", &dpid)
+                        .add((outcome.displaced.len() as u64).max(1));
+                } else if outcome.displaced.is_empty() {
+                    obs.counter("netsim", "flow_install", &dpid).inc();
+                } else {
+                    obs.counter("netsim", "flow_overwrite", &dpid).inc();
+                }
                 out.pre_state = Some(if fm.is_delete() {
                     PreState::DeletedFlows(outcome.displaced.clone())
                 } else {
@@ -281,9 +307,11 @@ impl Switch {
             StatsRequest::Table => StatsReply::Table(self.table.stats()),
             StatsRequest::Port { port } => {
                 let stats = match port.phys() {
-                    Some(p) => {
-                        self.ports.get(&p).map(|s| vec![s.stats]).unwrap_or_default()
-                    }
+                    Some(p) => self
+                        .ports
+                        .get(&p)
+                        .map(|s| vec![s.stats])
+                        .unwrap_or_default(),
                     None => self.ports.values().map(|s| s.stats).collect(),
                 };
                 StatsReply::Port(stats)
@@ -298,7 +326,11 @@ impl Switch {
         if !self.up {
             return out;
         }
-        let live = self.ports.get(&in_port).map(|p| p.desc.is_live()).unwrap_or(false);
+        let live = self
+            .ports
+            .get(&in_port)
+            .map(|p| p.desc.is_live())
+            .unwrap_or(false);
         if !live {
             return out;
         }
@@ -357,9 +389,7 @@ impl Switch {
                     let targets: Vec<u16> = self
                         .ports
                         .iter()
-                        .filter(|(p, s)| {
-                            s.desc.is_live() && Some(**p) != in_port.phys()
-                        })
+                        .filter(|(p, s)| s.desc.is_live() && Some(**p) != in_port.phys())
                         .map(|(p, _)| *p)
                         .collect();
                     for p in targets {
@@ -610,7 +640,11 @@ mod tests {
     #[test]
     fn port_mod_unknown_port_errors() {
         let mut s = sw();
-        let pm = PortMod { port_no: PortNo::Phys(99), hw_addr: MacAddr::from_index(0), down: true };
+        let pm = PortMod {
+            port_no: PortNo::Phys(99),
+            hw_addr: MacAddr::from_index(0),
+            down: true,
+        };
         let out = s.handle_message(&Message::PortMod(pm), SimTime::ZERO);
         assert!(matches!(&out.replies[0], Message::Error(e) if e.code == ErrorCode::BadPort));
     }
@@ -622,7 +656,10 @@ mod tests {
         s.handle_message(&Message::FlowMod(fm), SimTime::ZERO);
         s.receive_packet(1, &pkt(), SimTime::ZERO);
         let out = s.handle_message(
-            &Message::StatsRequest(StatsRequest::Flow { mat: Match::any(), out_port: PortNo::None }),
+            &Message::StatsRequest(StatsRequest::Flow {
+                mat: Match::any(),
+                out_port: PortNo::None,
+            }),
             SimTime::ZERO,
         );
         match &out.replies[0] {
@@ -640,7 +677,11 @@ mod tests {
             SimTime::ZERO,
         );
         match &out.replies[0] {
-            Message::StatsReply(StatsReply::Aggregate { packet_count, flow_count, .. }) => {
+            Message::StatsReply(StatsReply::Aggregate {
+                packet_count,
+                flow_count,
+                ..
+            }) => {
                 assert_eq!(*packet_count, 1);
                 assert_eq!(*flow_count, 1);
             }
@@ -660,7 +701,9 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let out = s.handle_message(
-            &Message::StatsRequest(StatsRequest::Port { port: PortNo::Phys(2) }),
+            &Message::StatsRequest(StatsRequest::Port {
+                port: PortNo::Phys(2),
+            }),
             SimTime::ZERO,
         );
         match &out.replies[0] {
@@ -693,8 +736,14 @@ mod tests {
         let fm = FlowMod::add(Match::any()).action(Action::Output(PortNo::Phys(2)));
         s.handle_message(&Message::FlowMod(fm), SimTime::ZERO);
         s.set_up(false);
-        assert!(s.receive_packet(1, &pkt(), SimTime::ZERO).notifications.is_empty());
-        assert!(s.handle_message(&Message::Hello, SimTime::ZERO).replies.is_empty());
+        assert!(s
+            .receive_packet(1, &pkt(), SimTime::ZERO)
+            .notifications
+            .is_empty());
+        assert!(s
+            .handle_message(&Message::Hello, SimTime::ZERO)
+            .replies
+            .is_empty());
         // Power-cycle loses the flow table.
         s.set_up(true);
         assert!(s.table().is_empty());
@@ -704,7 +753,9 @@ mod tests {
     fn delete_strict_pre_state_is_deleted_flows() {
         let mut s = sw();
         let m = Match::eth_dst(MacAddr::from_index(2));
-        let fm = FlowMod::add(m.clone()).priority(9).action(Action::Output(PortNo::Phys(2)));
+        let fm = FlowMod::add(m.clone())
+            .priority(9)
+            .action(Action::Output(PortNo::Phys(2)));
         s.handle_message(&Message::FlowMod(fm), SimTime::ZERO);
         let out = s.handle_message(
             &Message::FlowMod(FlowMod::delete_strict(m, 9)),

@@ -5,14 +5,13 @@
 //! shapes used across the experiment suite: linear chains, rings, stars,
 //! k-ary trees, fat-trees, and seeded random graphs.
 
+use legosdn_codec::Codec;
 use legosdn_openflow::prelude::{DatapathId, Ipv4Addr, MacAddr};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use legosdn_testkit::Rng;
 use std::collections::BTreeMap;
 
 /// One end of an inter-switch link.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Codec)]
 pub struct Endpoint {
     pub dpid: DatapathId,
     pub port: u16,
@@ -27,14 +26,14 @@ impl Endpoint {
 }
 
 /// A bidirectional inter-switch link.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Codec)]
 pub struct LinkSpec {
     pub a: Endpoint,
     pub b: Endpoint,
 }
 
 /// A host attachment.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Codec)]
 pub struct HostSpec {
     pub mac: MacAddr,
     pub ip: Ipv4Addr,
@@ -42,7 +41,7 @@ pub struct HostSpec {
 }
 
 /// A full topology description.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Codec)]
 pub struct Topology {
     /// Switch → number of ports.
     pub switches: BTreeMap<DatapathId, u16>,
@@ -83,7 +82,10 @@ impl Topology {
     pub fn connect(&mut self, a: DatapathId, b: DatapathId) -> LinkSpec {
         let pa = self.alloc_port(a);
         let pb = self.alloc_port(b);
-        let link = LinkSpec { a: Endpoint::new(a, pa), b: Endpoint::new(b, pb) };
+        let link = LinkSpec {
+            a: Endpoint::new(a, pa),
+            b: Endpoint::new(b, pb),
+        };
         self.links.push(link);
         link
     }
@@ -231,7 +233,10 @@ impl Topology {
     /// If `k` is odd or zero.
     #[must_use]
     pub fn fat_tree(k: usize) -> Self {
-        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree requires even k >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree requires even k >= 2"
+        );
         let half = k / 2;
         let mut t = Topology::new();
         let mut next = 1u64;
@@ -272,7 +277,7 @@ impl Topology {
     /// `extra_links` random extra edges. Deterministic in `seed`.
     #[must_use]
     pub fn random(n: usize, extra_links: usize, hosts_per_switch: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut t = Topology::new();
         for i in 0..n {
             t.add_switch(DatapathId(i as u64 + 1), 0);
@@ -292,9 +297,10 @@ impl Topology {
                 continue;
             }
             let (da, db) = (DatapathId(a as u64 + 1), DatapathId(b as u64 + 1));
-            let dup = t.links.iter().any(|l| {
-                (l.a.dpid == da && l.b.dpid == db) || (l.a.dpid == db && l.b.dpid == da)
-            });
+            let dup = t
+                .links
+                .iter()
+                .any(|l| (l.a.dpid == da && l.b.dpid == db) || (l.a.dpid == db && l.b.dpid == da));
             if dup {
                 continue;
             }
@@ -341,7 +347,10 @@ mod tests {
         assert_eq!(t.links.len(), 6);
         assert_eq!(t.hosts.len(), 12);
         // All links touch the core.
-        assert!(t.links.iter().all(|l| l.a.dpid == DatapathId(1) || l.b.dpid == DatapathId(1)));
+        assert!(t
+            .links
+            .iter()
+            .all(|l| l.a.dpid == DatapathId(1) || l.b.dpid == DatapathId(1)));
     }
 
     #[test]
@@ -391,7 +400,12 @@ mod tests {
     fn ports_never_collide() {
         let t = Topology::fat_tree(4);
         let mut used = std::collections::BTreeSet::new();
-        for e in t.links.iter().flat_map(|l| [l.a, l.b]).chain(t.hosts.iter().map(|h| h.attach)) {
+        for e in t
+            .links
+            .iter()
+            .flat_map(|l| [l.a, l.b])
+            .chain(t.hosts.iter().map(|h| h.attach))
+        {
             assert!(used.insert((e.dpid, e.port)), "port collision at {e:?}");
         }
     }

@@ -3,56 +3,51 @@
 
 use legosdn_netsim::{FlowTable, Network, SimDuration, SimTime, Topology};
 use legosdn_openflow::prelude::*;
-use proptest::prelude::*;
+use legosdn_testkit::{forall, Rng};
 
-fn arb_match() -> impl Strategy<Value = Match> {
-    (proptest::option::of(1u64..6), proptest::option::of(1u64..6), proptest::option::of(1u16..4))
-        .prop_map(|(src, dst, in_port)| Match {
-            eth_src: src.map(MacAddr::from_index),
-            eth_dst: dst.map(MacAddr::from_index),
-            in_port: in_port.map(PortNo::Phys),
-            ..Match::default()
-        })
+fn arb_match(rng: &mut Rng) -> Match {
+    Match {
+        eth_src: rng
+            .gen_option(|r| r.gen_range(1u64..6))
+            .map(MacAddr::from_index),
+        eth_dst: rng
+            .gen_option(|r| r.gen_range(1u64..6))
+            .map(MacAddr::from_index),
+        in_port: rng.gen_option(|r| r.gen_range(1u16..4)).map(PortNo::Phys),
+        ..Match::default()
+    }
 }
 
-fn arb_flowmod() -> impl Strategy<Value = FlowMod> {
-    (
-        arb_match(),
-        prop_oneof![
-            Just(FlowModCommand::Add),
-            Just(FlowModCommand::Modify),
-            Just(FlowModCommand::ModifyStrict),
-            Just(FlowModCommand::Delete),
-            Just(FlowModCommand::DeleteStrict),
-        ],
-        0u16..4,
-        0u16..20,
-        0u16..20,
-        1u16..4,
+fn arb_flowmod(rng: &mut Rng) -> FlowMod {
+    let command = *rng.pick(&[
+        FlowModCommand::Add,
+        FlowModCommand::Modify,
+        FlowModCommand::ModifyStrict,
+        FlowModCommand::Delete,
+        FlowModCommand::DeleteStrict,
+    ]);
+    let mat = arb_match(rng);
+    let mut fm = FlowMod::add(mat)
+        .priority(rng.gen_range(0u16..4) * 100)
+        .idle_timeout(rng.gen_range(0u16..20))
+        .hard_timeout(rng.gen_range(0u16..20))
+        .action(Action::Output(PortNo::Phys(rng.gen_range(1u16..4))));
+    fm.command = command;
+    fm
+}
+
+fn arb_packet(rng: &mut Rng) -> Packet {
+    Packet::ethernet(
+        MacAddr::from_index(rng.gen_range(1u64..6)),
+        MacAddr::from_index(rng.gen_range(1u64..6)),
     )
-        .prop_map(|(mat, command, priority, idle, hard, port)| {
-            let mut fm = FlowMod::add(mat)
-                .priority(priority * 100)
-                .idle_timeout(idle)
-                .hard_timeout(hard)
-                .action(Action::Output(PortNo::Phys(port)));
-            fm.command = command;
-            fm
-        })
 }
 
-fn arb_packet() -> impl Strategy<Value = Packet> {
-    (1u64..6, 1u64..6).prop_map(|(s, d)| {
-        Packet::ethernet(MacAddr::from_index(s), MacAddr::from_index(d))
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Table entries stay sorted by priority descending.
-    #[test]
-    fn table_priority_order_invariant(mods in proptest::collection::vec(arb_flowmod(), 0..30)) {
+/// Table entries stay sorted by priority descending.
+#[test]
+fn table_priority_order_invariant() {
+    forall(256, |rng| {
+        let mods = rng.gen_vec(0..30, arb_flowmod);
         let mut t = FlowTable::default();
         for fm in &mods {
             let _ = t.apply(fm, SimTime::ZERO);
@@ -60,12 +55,15 @@ proptest! {
         let priorities: Vec<u16> = t.iter().map(|e| e.priority).collect();
         let mut sorted = priorities.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
-        prop_assert_eq!(priorities, sorted);
-    }
+        assert_eq!(priorities, sorted);
+    });
+}
 
-    /// No two entries ever share (match, priority) — adds replace.
-    #[test]
-    fn table_identity_uniqueness(mods in proptest::collection::vec(arb_flowmod(), 0..30)) {
+/// No two entries ever share (match, priority) — adds replace.
+#[test]
+fn table_identity_uniqueness() {
+    forall(256, |rng| {
+        let mods = rng.gen_vec(0..30, arb_flowmod);
         let mut t = FlowTable::default();
         for fm in &mods {
             let _ = t.apply(fm, SimTime::ZERO);
@@ -73,18 +71,18 @@ proptest! {
         let mut seen = std::collections::HashSet::new();
         for e in t.iter() {
             let key = (format!("{:?}", e.mat), e.priority);
-            let fresh = seen.insert(key);
-            prop_assert!(fresh, "duplicate (match, priority) entry");
+            assert!(seen.insert(key), "duplicate (match, priority) entry");
         }
-    }
+    });
+}
 
-    /// The matched entry is always the first (highest-priority) match.
-    #[test]
-    fn lookup_returns_highest_priority_match(
-        mods in proptest::collection::vec(arb_flowmod(), 0..20),
-        pkt in arb_packet(),
-        in_port in 1u16..4,
-    ) {
+/// The matched entry is always the first (highest-priority) match.
+#[test]
+fn lookup_returns_highest_priority_match() {
+    forall(256, |rng| {
+        let mods = rng.gen_vec(0..20, arb_flowmod);
+        let pkt = arb_packet(rng);
+        let in_port = rng.gen_range(1u16..4);
         let mut t = FlowTable::default();
         for fm in &mods {
             let _ = t.apply(fm, SimTime::ZERO);
@@ -94,31 +92,39 @@ proptest! {
             .filter(|e| e.mat.matches(&pkt, PortNo::Phys(in_port)))
             .map(|e| e.priority)
             .max();
-        let got = t.lookup(&pkt, PortNo::Phys(in_port), SimTime::ZERO).map(|e| e.priority);
-        prop_assert_eq!(got, expected_priority);
-    }
+        let got = t
+            .lookup(&pkt, PortNo::Phys(in_port), SimTime::ZERO)
+            .map(|e| e.priority);
+        assert_eq!(got, expected_priority);
+    });
+}
 
-    /// Wildcard delete leaves the table empty; the outcome reports exactly
-    /// what was there.
-    #[test]
-    fn delete_all_is_total(mods in proptest::collection::vec(arb_flowmod(), 0..20)) {
+/// Wildcard delete leaves the table empty; the outcome reports exactly
+/// what was there.
+#[test]
+fn delete_all_is_total() {
+    forall(256, |rng| {
+        let mods = rng.gen_vec(0..20, arb_flowmod);
         let mut t = FlowTable::default();
         for fm in &mods {
             let _ = t.apply(fm, SimTime::ZERO);
         }
         let before = t.len();
-        let out = t.apply(&FlowMod::delete(Match::any()), SimTime::ZERO).unwrap();
-        prop_assert_eq!(out.displaced.len(), before);
-        prop_assert_eq!(t.len(), 0);
-    }
+        let out = t
+            .apply(&FlowMod::delete(Match::any()), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(out.displaced.len(), before);
+        assert_eq!(t.len(), 0);
+    });
+}
 
-    /// Expiry is monotone: once a time-advance expires entries, re-running
-    /// at the same time expires nothing more.
-    #[test]
-    fn expiry_is_idempotent(
-        mods in proptest::collection::vec(arb_flowmod(), 0..20),
-        advance in 0u64..40,
-    ) {
+/// Expiry is monotone: once a time-advance expires entries, re-running
+/// at the same time expires nothing more.
+#[test]
+fn expiry_is_idempotent() {
+    forall(256, |rng| {
+        let mods = rng.gen_vec(0..20, arb_flowmod);
+        let advance = rng.gen_range(0u64..40);
         let mut t = FlowTable::default();
         for fm in &mods {
             let _ = t.apply(fm, SimTime::ZERO);
@@ -126,38 +132,44 @@ proptest! {
         let now = SimTime::from_secs(advance);
         let _ = t.expire(now);
         let second = t.expire(now);
-        prop_assert!(second.is_empty());
+        assert!(second.is_empty());
         // Everything left genuinely has time remaining (or no timeout).
         for e in t.iter() {
             if e.hard_timeout > 0 {
-                prop_assert!(u64::from(e.hard_timeout) > advance);
+                assert!(u64::from(e.hard_timeout) > advance);
             }
         }
-    }
+    });
+}
 
-    /// peek and lookup agree on which entry matches.
-    #[test]
-    fn peek_lookup_agree(
-        mods in proptest::collection::vec(arb_flowmod(), 0..20),
-        pkt in arb_packet(),
-    ) {
+/// peek and lookup agree on which entry matches.
+#[test]
+fn peek_lookup_agree() {
+    forall(256, |rng| {
+        let mods = rng.gen_vec(0..20, arb_flowmod);
+        let pkt = arb_packet(rng);
         let mut t = FlowTable::default();
         for fm in &mods {
             let _ = t.apply(fm, SimTime::ZERO);
         }
-        let peeked = t.peek(&pkt, PortNo::Phys(1)).map(|e| (e.mat.clone(), e.priority));
-        let looked = t.lookup(&pkt, PortNo::Phys(1), SimTime::ZERO).map(|e| (e.mat.clone(), e.priority));
-        prop_assert_eq!(peeked, looked);
-    }
+        let peeked = t
+            .peek(&pkt, PortNo::Phys(1))
+            .map(|e| (e.mat.clone(), e.priority));
+        let looked = t
+            .lookup(&pkt, PortNo::Phys(1), SimTime::ZERO)
+            .map(|e| (e.mat.clone(), e.priority));
+        assert_eq!(peeked, looked);
+    });
+}
 
-    /// Dataplane conservation: a unicast injection is delivered at most
-    /// once per host, and deliveries+drops never exceed the flood fan-out
-    /// bound.
-    #[test]
-    fn dataplane_no_duplication(
-        seed in 0u64..1000,
-        n_pkts in 1usize..10,
-    ) {
+/// Dataplane conservation: a unicast injection is delivered at most
+/// once per host, and deliveries+drops never exceed the flood fan-out
+/// bound.
+#[test]
+fn dataplane_no_duplication() {
+    forall(256, |rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let n_pkts = rng.gen_range(1usize..10);
         let topo = Topology::random(4, 2, 1, seed);
         let mut net = Network::new(&topo);
         // Exact forwarding toward each host from its own switch only.
@@ -169,18 +181,26 @@ proptest! {
         for i in 0..n_pkts {
             let src = &topo.hosts[i % topo.hosts.len()];
             let dst = &topo.hosts[(i + 1) % topo.hosts.len()];
-            let trace = net.inject(src.mac, Packet::ethernet(src.mac, dst.mac)).unwrap();
+            let trace = net
+                .inject(src.mac, Packet::ethernet(src.mac, dst.mac))
+                .unwrap();
             // At most one delivery to the destination per injection.
-            let copies =
-                trace.delivered.iter().filter(|(m, _)| *m == dst.mac).count();
-            prop_assert!(copies <= 1, "duplicated delivery: {:?}", trace);
-            prop_assert!(!trace.loop_detected);
+            let copies = trace
+                .delivered
+                .iter()
+                .filter(|(m, _)| *m == dst.mac)
+                .count();
+            assert!(copies <= 1, "duplicated delivery: {trace:?}");
+            assert!(!trace.loop_detected);
         }
-    }
+    });
+}
 
-    /// Determinism: identical seeds give identical networks and traces.
-    #[test]
-    fn network_runs_are_deterministic(seed in 0u64..500) {
+/// Determinism: identical seeds give identical networks and traces.
+#[test]
+fn network_runs_are_deterministic() {
+    forall(128, |rng| {
+        let seed = rng.gen_range(0u64..500);
         let run = || {
             let topo = Topology::random(5, 2, 1, seed);
             let mut net = Network::new(&topo);
@@ -194,6 +214,6 @@ proptest! {
             net.tick(SimDuration::from_secs(5));
             (format!("{trace:?}"), net.delivery_counters())
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
 }

@@ -1,0 +1,222 @@
+//! `legosdn-obs` — zero-dependency observability for LegoSDN.
+//!
+//! The paper's pitch is that app failures become *survivable events with a
+//! measurable recovery path*; this crate makes that path measurable. Four
+//! pieces, all std-only:
+//!
+//! - **Metrics** ([`metrics`]): lock-free counters/gauges and log-bucketed
+//!   latency histograms addressed by `(component, name, label)`.
+//! - **Spans** ([`span!`], [`Histogram::start`]): RAII guards timing a
+//!   region via `Instant`, feeding histograms.
+//! - **Journal** ([`journal`]): bounded ring buffer of structured recovery
+//!   records (crashes, checkpoints, NetLog transactions, policy verdicts,
+//!   tickets) with monotonic sequence numbers.
+//! - **Timelines** ([`timeline`]): stitches journal records into
+//!   per-incident detection→restore→replay reports.
+//!
+//! Exporters ([`Obs::prometheus`], [`Obs::json_snapshot`]) serve scraping
+//! and `BENCH_*.json` trajectories.
+//!
+//! Engines take an [`Obs`] handle (cheap `Arc` clone); everything defaults
+//! to [`Obs::global`] so wiring is optional per call site, while tests use
+//! private instances to stay isolated.
+
+pub mod export;
+pub mod journal;
+pub mod metrics;
+pub mod timeline;
+
+pub use journal::{Journal, Record, RecordKind};
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramRow, HistogramSummary,
+    SpanGuard,
+};
+pub use timeline::{reconstruct, IncidentReport, ReplayInfo, Resolution, RestoreInfo};
+
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use metrics::Registry;
+
+/// Default journal capacity: enough for thousands of incidents without
+/// unbounded growth.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 8192;
+
+/// Shared observability handle: a metrics registry plus an event journal
+/// with a common time base. Cloning is an `Arc` bump.
+#[derive(Clone, Debug)]
+pub struct Obs {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    registry: Registry,
+    journal: Journal,
+    start: Instant,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obs {
+    /// A fresh instance with the default journal capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// A fresh instance retaining at most `capacity` journal records.
+    #[must_use]
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        Obs {
+            inner: Arc::new(Inner {
+                registry: Registry::default(),
+                journal: Journal::new(capacity),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// The process-wide instance. Engines default to this when not handed
+    /// an explicit instance.
+    #[must_use]
+    pub fn global() -> Obs {
+        static GLOBAL: OnceLock<Obs> = OnceLock::new();
+        GLOBAL.get_or_init(Obs::new).clone()
+    }
+
+    /// Nanoseconds since this instance was created — the journal's time
+    /// base.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.inner.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Counter handle for `(component, name, label)`; hold it for hot
+    /// paths, updates are lock-free.
+    #[must_use]
+    pub fn counter(&self, component: &str, name: &str, label: &str) -> Arc<Counter> {
+        self.inner.registry.counter(component, name, label)
+    }
+
+    /// Gauge handle for `(component, name, label)`.
+    #[must_use]
+    pub fn gauge(&self, component: &str, name: &str, label: &str) -> Arc<Gauge> {
+        self.inner.registry.gauge(component, name, label)
+    }
+
+    /// Histogram handle for `(component, name, label)`.
+    #[must_use]
+    pub fn histogram(&self, component: &str, name: &str, label: &str) -> Arc<Histogram> {
+        self.inner.registry.histogram(component, name, label)
+    }
+
+    /// Start a span timing `path` (`"component.name"`, split at the first
+    /// dot). The guard records elapsed nanoseconds on drop.
+    #[must_use]
+    pub fn span(&self, path: &str) -> SpanGuard {
+        let (component, name) = path.split_once('.').unwrap_or(("obs", path));
+        self.histogram(component, name, "").start()
+    }
+
+    /// Append a journal record stamped with [`Obs::now_ns`]; returns its
+    /// sequence number.
+    pub fn record(&self, kind: RecordKind) -> u64 {
+        self.inner.journal.record_at(self.now_ns(), kind)
+    }
+
+    /// The underlying journal (for tests and exporters).
+    #[must_use]
+    pub fn journal(&self) -> &Journal {
+        &self.inner.journal
+    }
+
+    /// Reconstruct incident timelines from the current journal contents.
+    #[must_use]
+    pub fn incidents(&self) -> Vec<IncidentReport> {
+        reconstruct(&self.inner.journal.snapshot())
+    }
+
+    /// Prometheus text exposition of all metrics.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        export::prometheus(&self.inner.registry)
+    }
+
+    /// JSON snapshot (metrics + journal occupancy + incidents) for
+    /// `BENCH_*.json`.
+    #[must_use]
+    pub fn json_snapshot(&self) -> String {
+        export::json_snapshot(&self.inner.registry, &self.inner.journal, &self.incidents())
+    }
+}
+
+/// Time a region: `let _g = obs::span!(obs, "appvisor.deliver");` records
+/// elapsed nanoseconds into the `(appvisor, deliver, "")` histogram when
+/// the guard drops. The one-argument form uses [`Obs::global`].
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $path:expr) => {
+        $obs.span($path)
+    };
+    ($path:expr) => {
+        $crate::Obs::global().span($path)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_facade_roundtrip() {
+        let obs = Obs::with_journal_capacity(8);
+        obs.counter("core", "events", "").add(3);
+        {
+            let _g = span!(obs, "appvisor.deliver");
+        }
+        obs.record(RecordKind::AppCrash {
+            app: "a".into(),
+            detail: "p".into(),
+        });
+        obs.record(RecordKind::TicketFiled {
+            app: "a".into(),
+            failure: "fs".into(),
+        });
+
+        assert_eq!(obs.counter("core", "events", "").get(), 3);
+        assert_eq!(obs.histogram("appvisor", "deliver", "").count(), 1);
+        let incidents = obs.incidents();
+        assert_eq!(incidents.len(), 1);
+        assert!(obs.prometheus().contains("legosdn_core_events 3"));
+        assert!(obs.json_snapshot().contains("\"incidents\""));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Obs::new();
+        let b = a.clone();
+        a.counter("x", "y", "").inc();
+        assert_eq!(b.counter("x", "y", "").get(), 1);
+    }
+
+    #[test]
+    fn journal_timestamps_are_monotonic() {
+        let obs = Obs::new();
+        let s1 = obs.record(RecordKind::HeartbeatMiss { app: "a".into() });
+        let s2 = obs.record(RecordKind::HeartbeatMiss { app: "a".into() });
+        assert!(s2 > s1);
+        let snap = obs.journal().snapshot();
+        assert!(snap[1].at_ns >= snap[0].at_ns);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        Obs::global().counter("global", "probe", "").inc();
+        assert!(Obs::global().counter("global", "probe", "").get() >= 1);
+    }
+}

@@ -1,0 +1,397 @@
+//! Lock-free metric instruments and the registry that owns them.
+//!
+//! Updates are single atomic ops; the registry `Mutex` is only taken when a
+//! handle is first created, so hot paths hold handles (`Arc`) and never
+//! lock.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Metric address: `(component, name, label)`. Label is free-form — an app
+/// name, a switch dpid, or empty.
+pub type Key = (String, String, String);
+
+/// Monotonically increasing count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depths, live-app counts).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: bucket `i` covers `[2^i, 2^(i+1))`, bucket 0
+/// additionally holds zero. 64 buckets span the full `u64` range.
+pub const BUCKETS: usize = 64;
+
+/// Log-bucketed histogram of `u64` samples (latencies in nanoseconds,
+/// sizes in bytes).
+///
+/// Fixed ~2× relative error on quantiles in exchange for lock-free O(1)
+/// recording — the standard HdrHistogram-style trade.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a sample: `floor(log2(v))`, with 0 and 1 sharing
+/// bucket 0.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// Inclusive value range covered by bucket `i`.
+#[must_use]
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        return (0, 1);
+    }
+    let lo = 1u64 << i;
+    let hi = if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    };
+    (lo, hi)
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Start a timing span; its drop records the elapsed nanoseconds here.
+    #[must_use]
+    pub fn start(self: &Arc<Self>) -> SpanGuard {
+        SpanGuard {
+            hist: Arc::clone(self),
+            begun: Instant::now(),
+        }
+    }
+
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile `q in [0, 1]` by linear interpolation inside
+    /// the covering bucket. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let into = (rank - cum - 1) as f64 / c as f64;
+                let est = lo as f64 + into * (hi - lo) as f64;
+                // Never report beyond the observed max.
+                return (est as u64).min(self.max());
+            }
+            cum += c;
+        }
+        self.max()
+    }
+
+    /// The standard latency digest: count, sum, p50/p90/p99, max.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// Per-bucket `(inclusive upper bound, count)` for non-empty buckets.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_bounds(i).1, c))
+            })
+            .collect()
+    }
+}
+
+/// One registry histogram: its key, summary statistics, and
+/// `(upper_bound, count)` buckets.
+pub type HistogramRow = (Key, HistogramSummary, Vec<(u64, u64)>);
+
+/// Point-in-time digest of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+/// RAII timer: created by [`Histogram::start`], records elapsed
+/// nanoseconds into the histogram on drop.
+pub struct SpanGuard {
+    hist: Arc<Histogram>,
+    begun: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.begun.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.observe(ns);
+    }
+}
+
+/// Owns every instrument, addressable by [`Key`]. `BTreeMap` so exports
+/// are deterministically ordered.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<Key, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<Key, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<Key, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub fn counter(&self, component: &str, name: &str, label: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        Arc::clone(
+            map.entry((component.into(), name.into(), label.into()))
+                .or_default(),
+        )
+    }
+
+    pub fn gauge(&self, component: &str, name: &str, label: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        Arc::clone(
+            map.entry((component.into(), name.into(), label.into()))
+                .or_default(),
+        )
+    }
+
+    pub fn histogram(&self, component: &str, name: &str, label: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(
+            map.entry((component.into(), name.into(), label.into()))
+                .or_default(),
+        )
+    }
+
+    /// Snapshot of all counters as `(key, value)`.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(Key, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Snapshot of all gauges as `(key, value)`.
+    #[must_use]
+    pub fn gauges(&self) -> Vec<(Key, i64)> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect()
+    }
+
+    /// Snapshot of all histograms as `(key, summary, buckets)`.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<HistogramRow> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary(), h.buckets()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(7), 2);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        // Log buckets give ~2× relative error; check the right ballpark.
+        let p50 = h.quantile(0.50);
+        assert!((256..=1000).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((512..=1000).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(1.0) <= 1000);
+        assert_eq!(h.quantile(0.0), h.quantile(0.001));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn quantile_single_value() {
+        let h = Histogram::default();
+        h.observe(777);
+        // Log buckets: the answer lands in 777's bucket [512, 1023],
+        // clamped to the observed max.
+        let q = h.quantile(0.5);
+        assert!((512..=777).contains(&q), "q = {q}");
+        assert_eq!(h.max(), 777);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let h = Histogram::default();
+        h.observe(5);
+        h.observe(1_000_000);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert!(h.quantile(q) <= 1_000_000);
+        }
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let h = Arc::new(Histogram::default());
+        {
+            let _guard = h.start();
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() > 0, "elapsed time is nonzero");
+    }
+
+    #[test]
+    fn registry_returns_same_instrument_for_same_key() {
+        let r = Registry::default();
+        r.counter("core", "events", "").inc();
+        r.counter("core", "events", "").inc();
+        assert_eq!(r.counter("core", "events", "").get(), 2);
+        r.counter("core", "events", "app1").inc();
+        assert_eq!(r.counter("core", "events", "app1").get(), 1);
+        assert_eq!(r.counters().len(), 2);
+    }
+}

@@ -2,10 +2,10 @@
 
 use crate::packet::Packet;
 use crate::types::{Ipv4Addr, MacAddr, PortNo, VlanId};
-use serde::{Deserialize, Serialize};
+use legosdn_codec::Codec;
 
 /// An OpenFlow 1.0 action.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum Action {
     /// Forward out a port (physical or pseudo).
     Output(PortNo),
@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn output_collects_ports_in_order() {
-        let acts = vec![Action::Output(PortNo::Phys(1)), Action::Output(PortNo::Phys(2))];
+        let acts = vec![
+            Action::Output(PortNo::Phys(1)),
+            Action::Output(PortNo::Phys(2)),
+        ];
         let (_, outs) = apply_actions(&acts, &pkt());
         assert_eq!(outs, vec![PortNo::Phys(1), PortNo::Phys(2)]);
     }

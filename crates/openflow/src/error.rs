@@ -1,10 +1,10 @@
 //! Protocol error vocabulary and codec errors.
 
-use serde::{Deserialize, Serialize};
+use legosdn_codec::Codec;
 use std::fmt;
 
 /// OpenFlow 1.0 error categories (`ofp_error_type` subset).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum ErrorType {
     HelloFailed,
     BadRequest,
@@ -44,7 +44,7 @@ impl ErrorType {
 }
 
 /// Error codes; a deliberately flattened subset sufficient for the simulator.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum ErrorCode {
     /// `OFPFMFC_ALL_TABLES_FULL`
     TablesFull,
@@ -108,7 +108,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::Truncated { needed, available } => {
-                write!(f, "truncated message: needed {needed} bytes, have {available}")
+                write!(
+                    f,
+                    "truncated message: needed {needed} bytes, have {available}"
+                )
             }
             CodecError::BadVersion(v) => write!(f, "unsupported OpenFlow version 0x{v:02x}"),
             CodecError::UnknownType(t) => write!(f, "unknown message type {t}"),
@@ -155,7 +158,10 @@ mod tests {
 
     #[test]
     fn codec_error_displays() {
-        let e = CodecError::Truncated { needed: 8, available: 3 };
+        let e = CodecError::Truncated {
+            needed: 8,
+            available: 3,
+        };
         assert!(e.to_string().contains("needed 8"));
         assert!(CodecError::BadVersion(4).to_string().contains("0x04"));
     }

@@ -13,10 +13,10 @@
 //! counter-cache handles those; see `legosdn-netlog`.
 
 use crate::messages::{FlowEntrySnapshot, FlowMod, FlowModCommand, Message, PortMod};
-use serde::{Deserialize, Serialize};
+use legosdn_codec::Codec;
 
 /// Pre-state captured before applying a state-altering message.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Codec)]
 pub enum PreState {
     /// For `FlowMod::Add` / `Modify*`: the entries the message displaced or
     /// rewrote (empty if it created fresh state).
@@ -109,11 +109,17 @@ fn inverse_of_flowmod(fm: &FlowMod, pre_state: &PreState) -> Inverse {
                 _ => &[],
             };
             let mut undo = Vec::new();
-            if displaced.iter().any(|s| s.mat == fm.mat && s.priority == fm.priority) {
+            if displaced
+                .iter()
+                .any(|s| s.mat == fm.mat && s.priority == fm.priority)
+            {
                 // The add overwrote an identical match+priority entry;
                 // restoring it implicitly removes the new one.
             } else {
-                undo.push(Message::FlowMod(FlowMod::delete_strict(fm.mat.clone(), fm.priority)));
+                undo.push(Message::FlowMod(FlowMod::delete_strict(
+                    fm.mat.clone(),
+                    fm.priority,
+                )));
             }
             for snap in displaced {
                 undo.push(Message::FlowMod(restore_flow(snap)));
@@ -130,7 +136,10 @@ fn inverse_of_flowmod(fm: &FlowMod, pre_state: &PreState) -> Inverse {
             // Modify that matched nothing behaves like Add in OF 1.0.
             let mut undo: Vec<Message> = Vec::new();
             if rewritten.is_empty() {
-                undo.push(Message::FlowMod(FlowMod::delete_strict(fm.mat.clone(), fm.priority)));
+                undo.push(Message::FlowMod(FlowMod::delete_strict(
+                    fm.mat.clone(),
+                    fm.priority,
+                )));
             }
             undo.extend(rewritten.iter().map(|s| Message::FlowMod(restore_flow(s))));
             Inverse::Messages(undo)
@@ -140,7 +149,12 @@ fn inverse_of_flowmod(fm: &FlowMod, pre_state: &PreState) -> Inverse {
                 PreState::DeletedFlows(v) => v.as_slice(),
                 _ => &[],
             };
-            Inverse::Messages(deleted.iter().map(|s| Message::FlowMod(restore_flow(s))).collect())
+            Inverse::Messages(
+                deleted
+                    .iter()
+                    .map(|s| Message::FlowMod(restore_flow(s)))
+                    .collect(),
+            )
         }
     }
 }
@@ -172,7 +186,10 @@ mod tests {
     #[test]
     fn add_with_nothing_displaced_inverts_to_delete_strict() {
         let fm = FlowMod::add(Match::any()).priority(5);
-        let inv = inverse_of(&Message::FlowMod(fm.clone()), &PreState::DisplacedFlows(vec![]));
+        let inv = inverse_of(
+            &Message::FlowMod(fm.clone()),
+            &PreState::DisplacedFlows(vec![]),
+        );
         match inv {
             Inverse::Messages(msgs) => {
                 assert_eq!(msgs.len(), 1);
@@ -192,9 +209,13 @@ mod tests {
     #[test]
     fn add_overwriting_identical_entry_inverts_to_restore_only() {
         let s = snap(5);
-        let fm = FlowMod::add(s.mat.clone()).priority(5).action(Action::Output(PortNo::Phys(9)));
-        let inv =
-            inverse_of(&Message::FlowMod(fm), &PreState::DisplacedFlows(vec![s.clone()]));
+        let fm = FlowMod::add(s.mat.clone())
+            .priority(5)
+            .action(Action::Output(PortNo::Phys(9)));
+        let inv = inverse_of(
+            &Message::FlowMod(fm),
+            &PreState::DisplacedFlows(vec![s.clone()]),
+        );
         let msgs = inv.into_messages();
         assert_eq!(msgs.len(), 1);
         match &msgs[0] {
@@ -212,7 +233,10 @@ mod tests {
     fn delete_inverts_to_adds_for_every_deleted_entry() {
         let fm = FlowMod::delete(Match::any());
         let deleted = vec![snap(1), snap(2), snap(3)];
-        let inv = inverse_of(&Message::FlowMod(fm), &PreState::DeletedFlows(deleted.clone()));
+        let inv = inverse_of(
+            &Message::FlowMod(fm),
+            &PreState::DeletedFlows(deleted.clone()),
+        );
         let msgs = inv.into_messages();
         assert_eq!(msgs.len(), 3);
         for (m, s) in msgs.iter().zip(&deleted) {
@@ -239,7 +263,10 @@ mod tests {
         let s = snap(5);
         let mut fm = FlowMod::add(s.mat.clone()).priority(5);
         fm.command = FlowModCommand::ModifyStrict;
-        let inv = inverse_of(&Message::FlowMod(fm), &PreState::DisplacedFlows(vec![s.clone()]));
+        let inv = inverse_of(
+            &Message::FlowMod(fm),
+            &PreState::DisplacedFlows(vec![s.clone()]),
+        );
         let msgs = inv.into_messages();
         assert_eq!(msgs.len(), 1);
         match &msgs[0] {
@@ -255,12 +282,18 @@ mod tests {
         let inv = inverse_of(&Message::FlowMod(fm), &PreState::DisplacedFlows(vec![]));
         let msgs = inv.into_messages();
         assert_eq!(msgs.len(), 1);
-        assert!(matches!(&msgs[0], Message::FlowMod(d) if d.command == FlowModCommand::DeleteStrict));
+        assert!(
+            matches!(&msgs[0], Message::FlowMod(d) if d.command == FlowModCommand::DeleteStrict)
+        );
     }
 
     #[test]
     fn portmod_inverts_to_opposite_state() {
-        let pm = PortMod { port_no: PortNo::Phys(1), hw_addr: MacAddr::from_index(1), down: true };
+        let pm = PortMod {
+            port_no: PortNo::Phys(1),
+            hw_addr: MacAddr::from_index(1),
+            down: true,
+        };
         let inv = inverse_of(&Message::PortMod(pm.clone()), &PreState::PortWasDown(false));
         let msgs = inv.into_messages();
         assert_eq!(msgs.len(), 1);
@@ -269,7 +302,11 @@ mod tests {
 
     #[test]
     fn portmod_noop_inverts_to_nothing() {
-        let pm = PortMod { port_no: PortNo::Phys(1), hw_addr: MacAddr::from_index(1), down: true };
+        let pm = PortMod {
+            port_no: PortNo::Phys(1),
+            hw_addr: MacAddr::from_index(1),
+            down: true,
+        };
         let inv = inverse_of(&Message::PortMod(pm), &PreState::PortWasDown(true));
         assert_eq!(inv, Inverse::Messages(vec![]));
     }
@@ -282,13 +319,19 @@ mod tests {
             actions: vec![Action::Output(PortNo::Flood)],
             packet: None,
         });
-        assert_eq!(inverse_of(&po, &PreState::DisplacedFlows(vec![])), Inverse::Ephemeral);
+        assert_eq!(
+            inverse_of(&po, &PreState::DisplacedFlows(vec![])),
+            Inverse::Ephemeral
+        );
     }
 
     #[test]
     fn reads_are_ephemeral() {
         let sr = Message::StatsRequest(StatsRequest::Table);
-        assert_eq!(inverse_of(&sr, &PreState::DeletedFlows(vec![])), Inverse::Ephemeral);
+        assert_eq!(
+            inverse_of(&sr, &PreState::DeletedFlows(vec![])),
+            Inverse::Ephemeral
+        );
         assert_eq!(
             inverse_of(&Message::BarrierRequest, &PreState::DeletedFlows(vec![])),
             Inverse::Ephemeral

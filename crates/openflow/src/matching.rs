@@ -8,10 +8,10 @@
 
 use crate::packet::{EtherType, IpProto, Packet};
 use crate::types::{prefix_mask, Ipv4Addr, MacAddr, PortNo, VlanId};
-use serde::{Deserialize, Serialize};
+use legosdn_codec::Codec;
 
 /// An OpenFlow 1.0 12-tuple match. `None` fields are wildcards.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Codec)]
 pub struct Match {
     pub in_port: Option<PortNo>,
     pub eth_src: Option<MacAddr>,
@@ -60,7 +60,11 @@ impl Match {
     pub fn ip_dst_prefix(net: Ipv4Addr, prefix_len: u8) -> Self {
         Match {
             eth_type: Some(EtherType::Ipv4),
-            ip_dst: if prefix_len == 0 { None } else { Some((net, prefix_len)) },
+            ip_dst: if prefix_len == 0 {
+                None
+            } else {
+                Some((net, prefix_len))
+            },
             ..Match::default()
         }
     }
@@ -76,7 +80,11 @@ impl Match {
             vlan: Some(pkt.vlan),
             vlan_pcp: pkt.vlan.is_tagged().then_some(pkt.vlan_pcp),
             eth_type: Some(pkt.eth_type),
-            ip_tos: if pkt.ip_src.is_some() { Some(pkt.ip_tos) } else { None },
+            ip_tos: if pkt.ip_src.is_some() {
+                Some(pkt.ip_tos)
+            } else {
+                None
+            },
             ip_proto: pkt.ip_proto,
             ip_src: pkt.ip_src.map(|a| (a, 32)),
             ip_dst: pkt.ip_dst.map(|a| (a, 32)),
@@ -334,12 +342,18 @@ mod tests {
     #[test]
     fn specificity_counts_fields() {
         assert_eq!(Match::any().specificity(), 0);
-        assert_eq!(Match::exact_eth(MacAddr::from_index(1), MacAddr::from_index(2)).specificity(), 2);
+        assert_eq!(
+            Match::exact_eth(MacAddr::from_index(1), MacAddr::from_index(2)).specificity(),
+            2
+        );
         // Untagged packet: vlan_pcp stays wildcarded, so 11 of 12 fields.
         let full = Match::from_packet(&pkt(), PortNo::Phys(1));
         assert_eq!(full.specificity(), 11);
         let mut tagged = pkt();
         tagged.vlan = VlanId(5);
-        assert_eq!(Match::from_packet(&tagged, PortNo::Phys(1)).specificity(), 12);
+        assert_eq!(
+            Match::from_packet(&tagged, PortNo::Phys(1)).specificity(),
+            12
+        );
     }
 }

@@ -10,10 +10,10 @@ use crate::error::{ErrorCode, ErrorType};
 use crate::matching::Match;
 use crate::packet::Packet;
 use crate::types::{BufferId, DatapathId, MacAddr, PortNo};
-use serde::{Deserialize, Serialize};
+use legosdn_codec::Codec;
 
 /// `ofp_flow_mod` command.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum FlowModCommand {
     /// Add a new flow (replacing an identical match+priority entry).
     Add,
@@ -28,7 +28,7 @@ pub enum FlowModCommand {
 }
 
 /// `ofp_flow_mod`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct FlowMod {
     pub command: FlowModCommand,
     pub mat: Match,
@@ -136,12 +136,15 @@ impl FlowMod {
     /// Whether this command mutates switch state (all flow-mods do).
     #[must_use]
     pub fn is_delete(&self) -> bool {
-        matches!(self.command, FlowModCommand::Delete | FlowModCommand::DeleteStrict)
+        matches!(
+            self.command,
+            FlowModCommand::Delete | FlowModCommand::DeleteStrict
+        )
     }
 }
 
 /// Why a `PacketIn` was generated.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum PacketInReason {
     /// No matching flow entry.
     NoMatch,
@@ -150,7 +153,7 @@ pub enum PacketInReason {
 }
 
 /// `ofp_packet_in`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct PacketIn {
     pub buffer_id: BufferId,
     pub in_port: PortNo,
@@ -159,7 +162,7 @@ pub struct PacketIn {
 }
 
 /// `ofp_packet_out`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct PacketOut {
     pub buffer_id: BufferId,
     pub in_port: PortNo,
@@ -169,7 +172,7 @@ pub struct PacketOut {
 }
 
 /// Why a `FlowRemoved` was generated.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum FlowRemovedReason {
     IdleTimeout,
     HardTimeout,
@@ -177,7 +180,7 @@ pub enum FlowRemovedReason {
 }
 
 /// `ofp_flow_removed`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct FlowRemoved {
     pub mat: Match,
     pub cookie: u64,
@@ -191,7 +194,7 @@ pub struct FlowRemoved {
 }
 
 /// Why a `PortStatus` was generated.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum PortStatusReason {
     Add,
     Delete,
@@ -199,7 +202,7 @@ pub enum PortStatusReason {
 }
 
 /// `ofp_phy_port` (subset).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct PortDesc {
     pub port_no: PortNo,
     pub hw_addr: MacAddr,
@@ -231,14 +234,14 @@ impl PortDesc {
 }
 
 /// `ofp_port_status`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct PortStatus {
     pub reason: PortStatusReason,
     pub desc: PortDesc,
 }
 
 /// A statistics request (`ofp_stats_request` subset).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum StatsRequest {
     /// Per-flow stats for flows subsumed by the match.
     Flow { mat: Match, out_port: PortNo },
@@ -252,7 +255,7 @@ pub enum StatsRequest {
 
 /// A single flow's statistics, also the snapshot NetLog stores before a
 /// delete so the entry can be faithfully restored (paper §3.2).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct FlowEntrySnapshot {
     pub mat: Match,
     pub priority: u16,
@@ -270,7 +273,7 @@ pub struct FlowEntrySnapshot {
 }
 
 /// Per-port counters.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Codec)]
 pub struct PortStats {
     pub port_no: u16,
     pub rx_packets: u64,
@@ -282,7 +285,7 @@ pub struct PortStats {
 }
 
 /// Flow-table summary counters.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Codec)]
 pub struct TableStats {
     pub active_count: u32,
     pub lookup_count: u64,
@@ -291,7 +294,7 @@ pub struct TableStats {
 }
 
 /// A statistics reply (`ofp_stats_reply` subset).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum StatsReply {
     Flow(Vec<FlowEntrySnapshot>),
     Aggregate {
@@ -304,7 +307,7 @@ pub enum StatsReply {
 }
 
 /// `ofp_switch_features` (features reply).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct SwitchFeatures {
     pub datapath_id: DatapathId,
     pub n_buffers: u32,
@@ -313,7 +316,7 @@ pub struct SwitchFeatures {
 }
 
 /// `ofp_port_mod` (subset: administrative up/down).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct PortMod {
     pub port_no: PortNo,
     pub hw_addr: MacAddr,
@@ -322,7 +325,7 @@ pub struct PortMod {
 }
 
 /// `ofp_error_msg`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct ErrorMsg {
     pub err_type: ErrorType,
     pub code: ErrorCode,
@@ -331,7 +334,7 @@ pub struct ErrorMsg {
 }
 
 /// Every OpenFlow message the system speaks.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum Message {
     Hello,
     EchoRequest(Vec<u8>),
@@ -352,7 +355,7 @@ pub enum Message {
 }
 
 /// The kind of a message, used for subscriptions and policy keys.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Codec)]
 pub enum MessageKind {
     Hello,
     EchoRequest,

@@ -5,10 +5,10 @@
 //! apps (which only see bytes over the AppVisor RPC) can re-parse it.
 
 use crate::types::{Ipv4Addr, MacAddr, VlanId};
-use serde::{Deserialize, Serialize};
+use legosdn_codec::Codec;
 
 /// EtherType values the match machinery understands.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum EtherType {
     Ipv4,
     Arp,
@@ -42,7 +42,7 @@ impl EtherType {
 }
 
 /// IP protocol numbers the match machinery understands.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Codec)]
 pub enum IpProto {
     Icmp,
     Tcp,
@@ -78,7 +78,7 @@ impl IpProto {
 ///
 /// `payload_len` stands in for an actual payload so byte counters behave
 /// realistically without shuttling packet bodies around the simulator.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct Packet {
     pub eth_src: MacAddr,
     pub eth_dst: MacAddr,
@@ -254,7 +254,12 @@ mod tests {
 
     #[test]
     fn ipproto_wire_roundtrip() {
-        for pr in [IpProto::Icmp, IpProto::Tcp, IpProto::Udp, IpProto::Other(89)] {
+        for pr in [
+            IpProto::Icmp,
+            IpProto::Tcp,
+            IpProto::Udp,
+            IpProto::Other(89),
+        ] {
             assert_eq!(IpProto::from_wire(pr.to_wire()), pr);
         }
     }
@@ -262,7 +267,14 @@ mod tests {
     #[test]
     fn tcp_constructor_sets_l3_l4() {
         let (a, b) = macs();
-        let p = Packet::tcp(a, b, Ipv4Addr::from_index(1), Ipv4Addr::from_index(2), 1000, 80);
+        let p = Packet::tcp(
+            a,
+            b,
+            Ipv4Addr::from_index(1),
+            Ipv4Addr::from_index(2),
+            1000,
+            80,
+        );
         assert_eq!(p.eth_type, EtherType::Ipv4);
         assert_eq!(p.ip_proto, Some(IpProto::Tcp));
         assert_eq!(p.tp_dst, Some(80));

@@ -1,10 +1,10 @@
 //! Core scalar types shared across the protocol surface.
 
-use serde::{Deserialize, Serialize};
+use legosdn_codec::Codec;
 use std::fmt;
 
 /// A switch datapath identifier (OpenFlow `datapath_id`, 64 bits).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Codec, Default)]
 pub struct DatapathId(pub u64);
 
 impl fmt::Debug for DatapathId {
@@ -26,7 +26,7 @@ impl From<u64> for DatapathId {
 }
 
 /// An OpenFlow transaction id carried in every message header.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Codec, Default)]
 pub struct Xid(pub u32);
 
 impl Xid {
@@ -38,7 +38,7 @@ impl Xid {
 }
 
 /// A packet buffer id; `BufferId::NONE` (`0xffff_ffff`) means "no buffer".
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct BufferId(pub u32);
 
 impl BufferId {
@@ -59,7 +59,7 @@ impl Default for BufferId {
 }
 
 /// An Ethernet MAC address.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Codec, Default)]
 pub struct MacAddr(pub [u8; 6]);
 
 impl MacAddr {
@@ -112,7 +112,7 @@ impl fmt::Display for MacAddr {
 
 /// An IPv4 address (kept local rather than using `std::net` so the wire codec
 /// and match arithmetic can treat it as a plain `u32`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Codec, Default)]
 pub struct Ipv4Addr(pub u32);
 
 impl Ipv4Addr {
@@ -167,7 +167,7 @@ impl fmt::Display for Ipv4Addr {
 }
 
 /// A VLAN id (12-bit); `VlanId::NONE` models an untagged frame.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Codec)]
 pub struct VlanId(pub u16);
 
 impl VlanId {
@@ -189,8 +189,7 @@ impl Default for VlanId {
 
 /// An OpenFlow port: either a physical port number or one of the reserved
 /// pseudo-ports used in actions and flow-mod `out_port` filters.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Codec, Default)]
 pub enum PortNo {
     /// A physical switch port. OpenFlow 1.0 numbers these `1..=0xff00`.
     Phys(u16),
@@ -255,7 +254,6 @@ impl PortNo {
         }
     }
 }
-
 
 impl fmt::Display for PortNo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

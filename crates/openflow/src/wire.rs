@@ -20,7 +20,35 @@ use crate::messages::{
 };
 use crate::packet::{EtherType, IpProto, Packet};
 use crate::types::{BufferId, DatapathId, Ipv4Addr, MacAddr, PortNo, VlanId, Xid};
-use bytes::{BufMut, BytesMut};
+
+/// Big-endian append helpers over `Vec<u8>` — the subset of `bytes`'s
+/// `BufMut` this codec needs, implemented locally (offline build, no
+/// registry deps).
+trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
 
 /// The OpenFlow version byte this codec speaks.
 pub const OFP_VERSION: u8 = 0x01;
@@ -64,7 +92,7 @@ const OFPFW_NW_TOS: u32 = 1 << 21;
 /// Encode `msg` with transaction id `xid` into a fresh byte vector.
 #[must_use]
 pub fn encode(msg: &Message, xid: Xid) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(64);
+    let mut buf = Vec::with_capacity(64);
     // Header placeholder; length patched at the end.
     buf.put_u8(OFP_VERSION);
     buf.put_u8(type_byte(msg));
@@ -72,9 +100,12 @@ pub fn encode(msg: &Message, xid: Xid) -> Vec<u8> {
     buf.put_u32(xid.0);
     encode_body(msg, &mut buf);
     let len = buf.len();
-    assert!(len <= u16::MAX as usize, "message exceeds OpenFlow frame limit");
+    assert!(
+        len <= u16::MAX as usize,
+        "message exceeds OpenFlow frame limit"
+    );
     buf[2..4].copy_from_slice(&(len as u16).to_be_bytes());
-    buf.to_vec()
+    buf
 }
 
 /// Decode one complete message from `bytes`.
@@ -91,7 +122,10 @@ pub fn decode(bytes: &[u8]) -> Result<(Message, Xid), CodecError> {
     let len = r.u16()? as usize;
     let xid = Xid(r.u32()?);
     if bytes.len() < len {
-        return Err(CodecError::Truncated { needed: len, available: bytes.len() });
+        return Err(CodecError::Truncated {
+            needed: len,
+            available: bytes.len(),
+        });
     }
     if bytes.len() > len {
         return Err(CodecError::TrailingBytes(bytes.len() - len));
@@ -106,7 +140,10 @@ pub fn decode(bytes: &[u8]) -> Result<(Message, Xid), CodecError> {
 /// Peek the total frame length from a header prefix (for stream framing).
 pub fn frame_len(header: &[u8]) -> Result<usize, CodecError> {
     if header.len() < 4 {
-        return Err(CodecError::Truncated { needed: 4, available: header.len() });
+        return Err(CodecError::Truncated {
+            needed: 4,
+            available: header.len(),
+        });
     }
     Ok(u16::from_be_bytes([header[2], header[3]]) as usize)
 }
@@ -132,7 +169,7 @@ fn type_byte(msg: &Message) -> u8 {
     }
 }
 
-fn encode_body(msg: &Message, buf: &mut BytesMut) {
+fn encode_body(msg: &Message, buf: &mut Vec<u8>) {
     match msg {
         Message::Hello
         | Message::FeaturesRequest
@@ -262,7 +299,11 @@ fn encode_body(msg: &Message, buf: &mut BytesMut) {
                     put_flow_snapshot(buf, f);
                 }
             }
-            StatsReply::Aggregate { packet_count, byte_count, flow_count } => {
+            StatsReply::Aggregate {
+                packet_count,
+                byte_count,
+                flow_count,
+            } => {
                 buf.put_u16(2);
                 buf.put_u64(*packet_count);
                 buf.put_u64(*byte_count);
@@ -303,7 +344,11 @@ fn decode_body(ty: u8, r: &mut Reader<'_>) -> Result<Message, CodecError> {
         T_ERROR => {
             let ety = ErrorType::from_wire(r.u16()?).ok_or(CodecError::BadField("error type"))?;
             let code = ErrorCode::from_wire(r.u16()?);
-            Message::Error(ErrorMsg { err_type: ety, code, data: r.rest().to_vec() })
+            Message::Error(ErrorMsg {
+                err_type: ety,
+                code,
+                data: r.rest().to_vec(),
+            })
         }
         T_FEATURES_REPLY => {
             let datapath_id = DatapathId(r.u64()?);
@@ -315,7 +360,12 @@ fn decode_body(ty: u8, r: &mut Reader<'_>) -> Result<Message, CodecError> {
             for _ in 0..n_ports {
                 ports.push(get_port_desc(r)?);
             }
-            Message::FeaturesReply(SwitchFeatures { datapath_id, n_buffers, n_tables, ports })
+            Message::FeaturesReply(SwitchFeatures {
+                datapath_id,
+                n_buffers,
+                n_tables,
+                ports,
+            })
         }
         T_PACKET_IN => {
             let buffer_id = BufferId(r.u32()?);
@@ -327,7 +377,12 @@ fn decode_body(ty: u8, r: &mut Reader<'_>) -> Result<Message, CodecError> {
             };
             r.skip(1)?;
             let packet = get_packet(r)?;
-            Message::PacketIn(PacketIn { buffer_id, in_port, reason, packet })
+            Message::PacketIn(PacketIn {
+                buffer_id,
+                in_port,
+                reason,
+                packet,
+            })
         }
         T_PACKET_OUT => {
             let buffer_id = BufferId(r.u32()?);
@@ -342,7 +397,12 @@ fn decode_body(ty: u8, r: &mut Reader<'_>) -> Result<Message, CodecError> {
                 1 => Some(get_packet(r)?),
                 _ => return Err(CodecError::BadField("packet-out data flag")),
             };
-            Message::PacketOut(PacketOut { buffer_id, in_port, actions, packet })
+            Message::PacketOut(PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                packet,
+            })
         }
         T_FLOW_MOD => {
             let mat = get_match(r)?;
@@ -426,15 +486,27 @@ fn decode_body(ty: u8, r: &mut Reader<'_>) -> Result<Message, CodecError> {
                 _ => return Err(CodecError::BadField("port-mod down flag")),
             };
             r.skip(7)?;
-            Message::PortMod(PortMod { port_no, hw_addr, down })
+            Message::PortMod(PortMod {
+                port_no,
+                hw_addr,
+                down,
+            })
         }
         T_STATS_REQUEST => {
             let sty = r.u16()?;
             Message::StatsRequest(match sty {
-                1 => StatsRequest::Flow { mat: get_match(r)?, out_port: PortNo::from_wire(r.u16()?) },
-                2 => StatsRequest::Aggregate { mat: get_match(r)?, out_port: PortNo::from_wire(r.u16()?) },
+                1 => StatsRequest::Flow {
+                    mat: get_match(r)?,
+                    out_port: PortNo::from_wire(r.u16()?),
+                },
+                2 => StatsRequest::Aggregate {
+                    mat: get_match(r)?,
+                    out_port: PortNo::from_wire(r.u16()?),
+                },
                 3 => StatsRequest::Table,
-                4 => StatsRequest::Port { port: PortNo::from_wire(r.u16()?) },
+                4 => StatsRequest::Port {
+                    port: PortNo::from_wire(r.u16()?),
+                },
                 _ => return Err(CodecError::BadField("stats-request type")),
             })
         }
@@ -487,7 +559,7 @@ fn decode_body(ty: u8, r: &mut Reader<'_>) -> Result<Message, CodecError> {
 // structure codecs
 // -------------------------------------------------------------------------
 
-fn put_match(buf: &mut BytesMut, m: &Match) {
+fn put_match(buf: &mut Vec<u8>, m: &Match) {
     let mut wc = 0u32;
     if m.in_port.is_none() {
         wc |= OFPFW_IN_PORT;
@@ -582,7 +654,7 @@ fn get_match(r: &mut Reader<'_>) -> Result<Match, CodecError> {
     })
 }
 
-fn put_action(buf: &mut BytesMut, a: &Action) {
+fn put_action(buf: &mut Vec<u8>, a: &Action) {
     match *a {
         Action::Output(p) => {
             buf.put_u16(0);
@@ -713,7 +785,7 @@ const PKT_F_PROTO: u8 = 1 << 2;
 const PKT_F_TP_SRC: u8 = 1 << 3;
 const PKT_F_TP_DST: u8 = 1 << 4;
 
-fn put_packet(buf: &mut BytesMut, p: &Packet) {
+fn put_packet(buf: &mut Vec<u8>, p: &Packet) {
     let mut flags = 0u8;
     if p.ip_src.is_some() {
         flags |= PKT_F_IP_SRC;
@@ -763,11 +835,31 @@ fn get_packet(r: &mut Reader<'_>) -> Result<Packet, CodecError> {
     let vlan = VlanId(r.u16()?);
     let vlan_pcp = r.u8()?;
     let ip_tos = r.u8()?;
-    let ip_src = if flags & PKT_F_IP_SRC != 0 { Some(Ipv4Addr(r.u32()?)) } else { None };
-    let ip_dst = if flags & PKT_F_IP_DST != 0 { Some(Ipv4Addr(r.u32()?)) } else { None };
-    let ip_proto = if flags & PKT_F_PROTO != 0 { Some(IpProto::from_wire(r.u8()?)) } else { None };
-    let tp_src = if flags & PKT_F_TP_SRC != 0 { Some(r.u16()?) } else { None };
-    let tp_dst = if flags & PKT_F_TP_DST != 0 { Some(r.u16()?) } else { None };
+    let ip_src = if flags & PKT_F_IP_SRC != 0 {
+        Some(Ipv4Addr(r.u32()?))
+    } else {
+        None
+    };
+    let ip_dst = if flags & PKT_F_IP_DST != 0 {
+        Some(Ipv4Addr(r.u32()?))
+    } else {
+        None
+    };
+    let ip_proto = if flags & PKT_F_PROTO != 0 {
+        Some(IpProto::from_wire(r.u8()?))
+    } else {
+        None
+    };
+    let tp_src = if flags & PKT_F_TP_SRC != 0 {
+        Some(r.u16()?)
+    } else {
+        None
+    };
+    let tp_dst = if flags & PKT_F_TP_DST != 0 {
+        Some(r.u16()?)
+    } else {
+        None
+    };
     let payload_len = r.u32()?;
     Ok(Packet {
         eth_src,
@@ -785,7 +877,7 @@ fn get_packet(r: &mut Reader<'_>) -> Result<Packet, CodecError> {
     })
 }
 
-fn put_port_desc(buf: &mut BytesMut, p: &PortDesc) {
+fn put_port_desc(buf: &mut Vec<u8>, p: &PortDesc) {
     buf.put_u16(p.port_no.to_wire());
     buf.put_slice(&p.hw_addr.octets());
     let name = p.name.as_bytes();
@@ -804,10 +896,16 @@ fn get_port_desc(r: &mut Reader<'_>) -> Result<PortDesc, CodecError> {
         String::from_utf8(name_bytes.to_vec()).map_err(|_| CodecError::BadField("port name"))?;
     let config_down = r.u8()? != 0;
     let link_down = r.u8()? != 0;
-    Ok(PortDesc { port_no, hw_addr, name, config_down, link_down })
+    Ok(PortDesc {
+        port_no,
+        hw_addr,
+        name,
+        config_down,
+        link_down,
+    })
 }
 
-fn put_flow_snapshot(buf: &mut BytesMut, f: &FlowEntrySnapshot) {
+fn put_flow_snapshot(buf: &mut Vec<u8>, f: &FlowEntrySnapshot) {
     put_match(buf, &f.mat);
     buf.put_u16(f.priority);
     buf.put_u64(f.cookie);
@@ -875,7 +973,10 @@ impl<'a> Reader<'a> {
 
     fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.remaining() < n {
-            return Err(CodecError::Truncated { needed: n, available: self.remaining() });
+            return Err(CodecError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
         }
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -908,7 +1009,9 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> Result<u64, CodecError> {
         let b = self.bytes(8)?;
-        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn mac(&mut self) -> Result<[u8; 6], CodecError> {
@@ -1090,21 +1193,25 @@ mod tests {
             out_port: PortNo::Phys(1),
         }));
         roundtrip(Message::StatsRequest(StatsRequest::Table));
-        roundtrip(Message::StatsRequest(StatsRequest::Port { port: PortNo::None }));
+        roundtrip(Message::StatsRequest(StatsRequest::Port {
+            port: PortNo::None,
+        }));
 
-        roundtrip(Message::StatsReply(StatsReply::Flow(vec![FlowEntrySnapshot {
-            mat: sample_match(),
-            priority: 1,
-            cookie: 2,
-            idle_timeout: 3,
-            hard_timeout: 4,
-            remaining_hard: Some(2),
-            duration_sec: 2,
-            packet_count: 10,
-            byte_count: 640,
-            send_flow_removed: true,
-            actions: vec![Action::Output(PortNo::Phys(1))],
-        }])));
+        roundtrip(Message::StatsReply(StatsReply::Flow(vec![
+            FlowEntrySnapshot {
+                mat: sample_match(),
+                priority: 1,
+                cookie: 2,
+                idle_timeout: 3,
+                hard_timeout: 4,
+                remaining_hard: Some(2),
+                duration_sec: 2,
+                packet_count: 10,
+                byte_count: 640,
+                send_flow_removed: true,
+                actions: vec![Action::Output(PortNo::Phys(1))],
+            },
+        ])));
         roundtrip(Message::StatsReply(StatsReply::Aggregate {
             packet_count: 1,
             byte_count: 2,
@@ -1161,7 +1268,10 @@ mod tests {
         );
         for cut in 0..bytes.len() {
             let res = decode(&bytes[..cut]);
-            assert!(res.is_err(), "decode of {cut}-byte prefix unexpectedly succeeded");
+            assert!(
+                res.is_err(),
+                "decode of {cut}-byte prefix unexpectedly succeeded"
+            );
         }
     }
 
@@ -1194,6 +1304,10 @@ mod tests {
         // the same order of magnitude so latency benches are honest.
         let fm = FlowMod::add(sample_match()).action(Action::Output(PortNo::Phys(1)));
         let bytes = encode(&Message::FlowMod(fm), Xid(0));
-        assert!(bytes.len() >= 60 && bytes.len() <= 120, "unexpected size {}", bytes.len());
+        assert!(
+            bytes.len() >= 60 && bytes.len() <= 120,
+            "unexpected size {}",
+            bytes.len()
+        );
     }
 }

@@ -105,7 +105,11 @@ pub fn ddmin(
         }
     }
 
-    Ok(MinimizeReport { minimal: current, replays, original_len: history.len() })
+    Ok(MinimizeReport {
+        minimal: current,
+        replays,
+        original_len: history.len(),
+    })
 }
 
 /// Split `events` into `n` nearly-equal contiguous chunks.
@@ -158,7 +162,9 @@ mod tests {
     #[test]
     fn single_culprit_is_found() {
         let history: Vec<Event> = (0..64).map(ev).collect();
-        let mut oracle = SubsetOracle { required: vec![ev(37)] };
+        let mut oracle = SubsetOracle {
+            required: vec![ev(37)],
+        };
         let report = ddmin(&history, &mut oracle).unwrap();
         assert_eq!(report.minimal, vec![ev(37)]);
         assert_eq!(report.original_len, 64);
@@ -169,7 +175,9 @@ mod tests {
     #[test]
     fn pair_of_culprits_is_found() {
         let history: Vec<Event> = (0..32).map(ev).collect();
-        let mut oracle = SubsetOracle { required: vec![ev(5), ev(29)] };
+        let mut oracle = SubsetOracle {
+            required: vec![ev(5), ev(29)],
+        };
         let report = ddmin(&history, &mut oracle).unwrap();
         assert_eq!(report.minimal, vec![ev(5), ev(29)]);
     }
@@ -177,7 +185,9 @@ mod tests {
     #[test]
     fn three_scattered_culprits() {
         let history: Vec<Event> = (0..48).map(ev).collect();
-        let mut oracle = SubsetOracle { required: vec![ev(1), ev(24), ev(47)] };
+        let mut oracle = SubsetOracle {
+            required: vec![ev(1), ev(24), ev(47)],
+        };
         let report = ddmin(&history, &mut oracle).unwrap();
         assert_eq!(report.minimal, vec![ev(1), ev(24), ev(47)]);
     }
@@ -185,7 +195,9 @@ mod tests {
     #[test]
     fn whole_history_needed_stays_whole() {
         let history: Vec<Event> = (0..8).map(ev).collect();
-        let mut oracle = SubsetOracle { required: history.clone() };
+        let mut oracle = SubsetOracle {
+            required: history.clone(),
+        };
         let report = ddmin(&history, &mut oracle).unwrap();
         assert_eq!(report.minimal.len(), 8);
     }
@@ -193,8 +205,13 @@ mod tests {
     #[test]
     fn non_reproducible_is_reported() {
         let history: Vec<Event> = (0..4).map(ev).collect();
-        let mut oracle = SubsetOracle { required: vec![ev(99)] };
-        assert_eq!(ddmin(&history, &mut oracle), Err(MinimizeError::NotReproducible));
+        let mut oracle = SubsetOracle {
+            required: vec![ev(99)],
+        };
+        assert_eq!(
+            ddmin(&history, &mut oracle),
+            Err(MinimizeError::NotReproducible)
+        );
     }
 
     #[test]
@@ -208,7 +225,9 @@ mod tests {
         // For every event in the minimal sequence, removing it breaks
         // reproduction (1-minimality).
         let history: Vec<Event> = (0..40).map(ev).collect();
-        let mut oracle = SubsetOracle { required: vec![ev(3), ev(17), ev(33)] };
+        let mut oracle = SubsetOracle {
+            required: vec![ev(3), ev(17), ev(33)],
+        };
         let report = ddmin(&history, &mut oracle).unwrap();
         for skip in 0..report.minimal.len() {
             let without: Vec<Event> = report

@@ -36,7 +36,13 @@ where
 {
     /// An oracle over fresh instances from `factory`.
     pub fn new(factory: F, topology: TopologyView, devices: DeviceView) -> Self {
-        AppReplayOracle { factory, start_from: None, topology, devices, replays: 0 }
+        AppReplayOracle {
+            factory,
+            start_from: None,
+            topology,
+            devices,
+            replays: 0,
+        }
     }
 
     /// Seed each replay from a checkpoint.
@@ -106,9 +112,8 @@ mod tests {
             self.seen.to_be_bytes().to_vec()
         }
         fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
-            self.seen = u32::from_be_bytes(
-                bytes.try_into().map_err(|_| RestoreError("len".into()))?,
-            );
+            self.seen =
+                u32::from_be_bytes(bytes.try_into().map_err(|_| RestoreError("len".into()))?);
             Ok(())
         }
     }
@@ -136,7 +141,10 @@ mod tests {
         let report = ddmin(&history, &mut oracle).unwrap();
         // Minimal sequence: exactly the 3 switch-downs.
         assert_eq!(report.minimal.len(), 3);
-        assert!(report.minimal.iter().all(|e| matches!(e, Event::SwitchDown(_))));
+        assert!(report
+            .minimal
+            .iter()
+            .all(|e| matches!(e, Event::SwitchDown(_))));
         assert!(oracle.replays > 0);
     }
 

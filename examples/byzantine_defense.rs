@@ -65,11 +65,23 @@ fn main() {
 
     // The proof: the network is still invariant-clean.
     let report = checker.check(&net);
-    println!("\nfinal invariant check over {} host pairs:", report.pairs_checked);
+    println!(
+        "\nfinal invariant check over {} host pairs:",
+        report.pairs_checked
+    );
     println!("  delivered: {}", report.pairs_delivered);
     println!("  punted:    {}", report.pairs_punted);
-    println!("  violations: {} (black-holes + loops)", report.violations.len());
-    println!("\nbyzantine outputs blocked in total: {}", rt.stats().byzantine_blocked);
+    println!(
+        "  violations: {} (black-holes + loops)",
+        report.violations.len()
+    );
+    println!(
+        "\nbyzantine outputs blocked in total: {}",
+        rt.stats().byzantine_blocked
+    );
     println!("controller crashed: {}", rt.is_crashed());
-    assert!(report.is_clean(), "the gate must have kept the network clean");
+    assert!(
+        report.is_clean(),
+        "the gate must have kept the network clean"
+    );
 }

@@ -11,7 +11,9 @@ use legosdn::prelude::*;
 
 /// Count deliveries for one learned host pair before/after an upgrade.
 fn probe(net: &mut Network, a: MacAddr, b: MacAddr) -> bool {
-    net.inject(a, Packet::ethernet(a, b)).map(|t| t.delivered_to(b)).unwrap_or(false)
+    net.inject(a, Packet::ethernet(a, b))
+        .map(|t| t.delivered_to(b))
+        .unwrap_or(false)
 }
 
 fn main() {
@@ -30,7 +32,10 @@ fn main() {
         net.inject(b, Packet::ethernet(b, a)).unwrap();
         mono.run_cycle(&mut net);
     }
-    println!("[monolithic] pre-upgrade delivery a→b: {}", probe(&mut net, a, b));
+    println!(
+        "[monolithic] pre-upgrade delivery a→b: {}",
+        probe(&mut net, a, b)
+    );
 
     // Upgrade = reboot: apps lose state, flows age out, topology forgotten.
     mono.reboot();
@@ -40,7 +45,10 @@ fn main() {
         "[monolithic] post-upgrade: topology links known = {}, app must relearn from scratch",
         mono.translator().topology.n_links()
     );
-    println!("[monolithic] post-upgrade delivery a→b: {}\n", probe(&mut net, a, b));
+    println!(
+        "[monolithic] post-upgrade delivery a→b: {}\n",
+        probe(&mut net, a, b)
+    );
 
     // ------------------------------------------------------------- LegoSDN
     let mut net = Network::new(&topo);
@@ -53,8 +61,14 @@ fn main() {
         net.inject(b, Packet::ethernet(b, a)).unwrap();
         lego.run_cycle(&mut net);
     }
-    println!("[legosdn] pre-upgrade delivery a→b: {}", probe(&mut net, a, b));
-    let app_events = lego.crashpad().checkpoints.events_delivered("learning-switch");
+    println!(
+        "[legosdn] pre-upgrade delivery a→b: {}",
+        probe(&mut net, a, b)
+    );
+    let app_events = lego
+        .crashpad()
+        .checkpoints
+        .events_delivered("learning-switch");
 
     // Upgrade: the controller core restarts and re-handshakes inline; the
     // app processes are untouched.
@@ -63,11 +77,17 @@ fn main() {
         "[legosdn] post-upgrade: topology links known = {} (re-handshake), \
          app event history preserved = {}",
         lego.translator().topology.n_links(),
-        lego.crashpad().checkpoints.events_delivered("learning-switch") == app_events,
+        lego.crashpad()
+            .checkpoints
+            .events_delivered("learning-switch")
+            == app_events,
     );
     // The app's MAC tables survived: fresh misses converge in one round.
     net.inject(a, Packet::ethernet(a, b)).unwrap();
     lego.run_cycle(&mut net);
-    println!("[legosdn] post-upgrade delivery a→b: {}", probe(&mut net, a, b));
+    println!(
+        "[legosdn] post-upgrade delivery a→b: {}",
+        probe(&mut net, a, b)
+    );
     println!("\nupgrades performed: {}", lego.stats().upgrades);
 }

@@ -55,7 +55,11 @@ fn main() {
             // A sparse checkpoint interval: the leaks and the crash all land
             // in one window, so the reproducing snapshot predates the leaks
             // and ddmin must pick the link-downs out of the noisy suffix.
-            checkpoints: CheckpointPolicy { interval: 64, history: 32, archive: 512 },
+            checkpoints: CheckpointPolicy {
+                interval: 64,
+                history: 32,
+                archive: 512,
+            },
             policies: PolicyTable::with_default(CompromisePolicy::Absolute),
             transform_direction: TransformDirection::Decompose,
         },
@@ -74,15 +78,26 @@ fn main() {
     net.set_switch_up(DatapathId(3), false).unwrap();
     rt.run_cycle(&mut net);
 
-    let ticket = rt.crashpad().tickets.iter().last().expect("a crash was survived");
+    let ticket = rt
+        .crashpad()
+        .tickets
+        .iter()
+        .last()
+        .expect("a crash was survived");
     println!("--- ticket ---\n{}", ticket.render());
 
     let offending = ticket.offending_event.clone();
     match rt.diagnose(app, &offending, net.now()) {
         Ok(d) => {
             println!("--- diagnosis ---");
-            println!("reproducing checkpoint: {} back from latest", d.checkpoints_back);
-            println!("suffix replayed: {} events, ddmin replays: {}", d.suffix_len, d.replays);
+            println!(
+                "reproducing checkpoint: {} back from latest",
+                d.checkpoints_back
+            );
+            println!(
+                "suffix replayed: {} events, ddmin replays: {}",
+                d.suffix_len, d.replays
+            );
             println!("minimal causal sequence ({} events):", d.minimal.len());
             for (i, ev) in d.minimal.iter().enumerate() {
                 println!("  {}. {:?}", i + 1, ev.kind());
@@ -92,7 +107,10 @@ fn main() {
                 d.minimal.len() - 1
             );
             println!("switch-down — a multi-event bug no single-event replay would find.");
-            assert!(d.minimal.len() >= 4, "diagnosis must surface the cumulative cause");
+            assert!(
+                d.minimal.len() >= 4,
+                "diagnosis must surface the cumulative cause"
+            );
         }
         Err(e) => println!("diagnosis failed: {e}"),
     }

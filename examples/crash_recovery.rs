@@ -16,7 +16,11 @@ fn run(interval: u64) {
     let mut net = Network::new(&topo);
     let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
         crashpad: CrashPadConfig {
-            checkpoints: CheckpointPolicy { interval, history: 8, ..CheckpointPolicy::default() },
+            checkpoints: CheckpointPolicy {
+                interval,
+                history: 8,
+                ..CheckpointPolicy::default()
+            },
             policies: PolicyTable::with_default(CompromisePolicy::Absolute),
             transform_direction: TransformDirection::Decompose,
         },

@@ -38,7 +38,11 @@ fn main() {
     rt.run_cycle(&mut net);
 
     for i in 0..6u64 {
-        let dst = if i % 2 == 0 { b } else { MacAddr::from_index(50 + i) };
+        let dst = if i % 2 == 0 {
+            b
+        } else {
+            MacAddr::from_index(50 + i)
+        };
         net.inject(a, Packet::ethernet(a, dst)).unwrap();
         let report = rt.run_cycle(&mut net);
         println!(
@@ -48,9 +52,11 @@ fn main() {
     }
 
     // The network never saw the byzantine rule and never lost the app.
-    let blackholed = net
-        .switches()
-        .any(|s| s.table().iter().any(|e| e.priority == u16::MAX && e.actions.is_empty()));
+    let blackholed = net.switches().any(|s| {
+        s.table()
+            .iter()
+            .any(|e| e.priority == u16::MAX && e.actions.is_empty())
+    });
     println!("\nblack-hole rule reached the network: {blackholed}");
     println!("controller crashed: {}", rt.is_crashed());
     println!("runtime stats: {:?}", rt.stats());

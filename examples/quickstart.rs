@@ -42,10 +42,14 @@ fn main() {
     net.inject(alice, Packet::ethernet(alice, bob)).unwrap();
     let report = mono.run_cycle(&mut net);
     if let Some(crash) = &report.crash {
-        println!("[monolithic] app '{}' crashed: {}", crash.app, crash.panic_message);
+        println!(
+            "[monolithic] app '{}' crashed: {}",
+            crash.app, crash.panic_message
+        );
     }
     println!("[monolithic] controller dead: {}", mono.is_crashed());
-    net.inject(alice, Packet::ethernet(alice, MacAddr::from_index(99))).unwrap();
+    net.inject(alice, Packet::ethernet(alice, MacAddr::from_index(99)))
+        .unwrap();
     mono.run_cycle(&mut net);
     println!(
         "[monolithic] events lost while down: {}\n",

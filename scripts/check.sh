@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, tests. Run before every commit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "all checks passed"

@@ -2,9 +2,7 @@
 //! proxy over both transports, crash containment, comm-failure detection,
 //! and checkpoint/restore through the RPC plane.
 
-use legosdn::appvisor::{
-    AppVisorProxy, DeliverOutcome, ProxyConfig, StubConfig, TransportKind,
-};
+use legosdn::appvisor::{AppVisorProxy, DeliverOutcome, ProxyConfig, StubConfig, TransportKind};
 use legosdn::prelude::*;
 use std::time::Duration;
 
@@ -13,7 +11,10 @@ fn proxy(report_crashes: bool) -> AppVisorProxy {
         deliver_timeout: Duration::from_millis(300),
         rpc_timeout: Duration::from_secs(2),
         heartbeat_timeout: Duration::from_millis(100),
-        stub: StubConfig { heartbeat_period: Duration::from_millis(10), report_crashes },
+        stub: StubConfig {
+            heartbeat_period: Duration::from_millis(10),
+            report_crashes,
+        },
     })
 }
 
@@ -36,7 +37,10 @@ fn deliver_over(kind: TransportKind) {
     let topo = legosdn::controller::services::TopologyView::default();
     let dev = legosdn::controller::services::DeviceView::default();
     // Unknown destination → the app answers with a flood packet-out.
-    match p.deliver(h, &packet_in_event(9), &topo, &dev, SimTime::ZERO).unwrap() {
+    match p
+        .deliver(h, &packet_in_event(9), &topo, &dev, SimTime::ZERO)
+        .unwrap()
+    {
         DeliverOutcome::Commands(cmds) => {
             assert_eq!(cmds.len(), 1);
             assert!(matches!(cmds[0].msg, Message::PacketOut(_)));
@@ -83,11 +87,15 @@ fn crash_containment_with_explicit_report() {
     // The paper's discipline: snapshot before every dispatch.
     let checkpoint = p.snapshot(h).unwrap();
     assert!(matches!(
-        p.deliver(h, &packet_in_event(2), &topo, &dev, SimTime::ZERO).unwrap(),
+        p.deliver(h, &packet_in_event(2), &topo, &dev, SimTime::ZERO)
+            .unwrap(),
         DeliverOutcome::Commands(_)
     ));
     let checkpoint2 = p.snapshot(h).unwrap();
-    match p.deliver(h, &packet_in_event(13), &topo, &dev, SimTime::ZERO).unwrap() {
+    match p
+        .deliver(h, &packet_in_event(13), &topo, &dev, SimTime::ZERO)
+        .unwrap()
+    {
         DeliverOutcome::Crashed { panic_message } => {
             assert!(panic_message.contains("injected bug"));
         }
@@ -97,13 +105,15 @@ fn crash_containment_with_explicit_report() {
     // Restore-and-retry reproduces (deterministic bug).
     assert!(p.restore(h, &checkpoint2).unwrap());
     assert!(matches!(
-        p.deliver(h, &packet_in_event(13), &topo, &dev, SimTime::ZERO).unwrap(),
+        p.deliver(h, &packet_in_event(13), &topo, &dev, SimTime::ZERO)
+            .unwrap(),
         DeliverOutcome::Crashed { .. }
     ));
     // Restore to the pre-traffic checkpoint and ignore the poison: alive.
     assert!(p.restore(h, &checkpoint).unwrap());
     assert!(matches!(
-        p.deliver(h, &packet_in_event(2), &topo, &dev, SimTime::ZERO).unwrap(),
+        p.deliver(h, &packet_in_event(2), &topo, &dev, SimTime::ZERO)
+            .unwrap(),
         DeliverOutcome::Commands(_)
     ));
     let _ = p.shutdown();
@@ -124,7 +134,9 @@ fn silent_death_detected_as_comm_failure_over_udp() {
         .unwrap();
     let topo = legosdn::controller::services::TopologyView::default();
     let dev = legosdn::controller::services::DeviceView::default();
-    let outcome = p.deliver(h, &packet_in_event(2), &topo, &dev, SimTime::ZERO).unwrap();
+    let outcome = p
+        .deliver(h, &packet_in_event(2), &topo, &dev, SimTime::ZERO)
+        .unwrap();
     assert_eq!(outcome, DeliverOutcome::CommFailure);
     assert_eq!(p.wire_stats(h).unwrap().comm_failures, 1);
     // Restore revives even a silent corpse. A FaultyApp snapshot nests the
@@ -137,7 +149,9 @@ fn silent_death_detected_as_comm_failure_over_udp() {
     assert!(p.restore(h, &donor.snapshot()).unwrap());
     // The app is alive again, but the deterministic OnNthEvent(1) trigger
     // re-fires on its (restored) first event — silence again.
-    let outcome = p.deliver(h, &packet_in_event(2), &topo, &dev, SimTime::ZERO).unwrap();
+    let outcome = p
+        .deliver(h, &packet_in_event(2), &topo, &dev, SimTime::ZERO)
+        .unwrap();
     assert_eq!(outcome, DeliverOutcome::CommFailure);
     let _ = p.shutdown();
 }
@@ -155,18 +169,22 @@ fn many_apps_one_proxy_independent_fault_domains() {
             TransportKind::Channel,
         )
         .unwrap();
-    let healthy = p.launch_app(Box::new(LearningSwitch::new()), TransportKind::Channel).unwrap();
+    let healthy = p
+        .launch_app(Box::new(LearningSwitch::new()), TransportKind::Channel)
+        .unwrap();
     let topo = legosdn::controller::services::TopologyView::default();
     let dev = legosdn::controller::services::DeviceView::default();
 
     assert!(matches!(
-        p.deliver(crashy, &packet_in_event(2), &topo, &dev, SimTime::ZERO).unwrap(),
+        p.deliver(crashy, &packet_in_event(2), &topo, &dev, SimTime::ZERO)
+            .unwrap(),
         DeliverOutcome::Crashed { .. }
     ));
     // The other app is untouched.
     assert!(p.is_alive(healthy).unwrap());
     assert!(matches!(
-        p.deliver(healthy, &packet_in_event(2), &topo, &dev, SimTime::ZERO).unwrap(),
+        p.deliver(healthy, &packet_in_event(2), &topo, &dev, SimTime::ZERO)
+            .unwrap(),
         DeliverOutcome::Commands(_)
     ));
     let _ = p.shutdown();
@@ -181,7 +199,10 @@ fn lossy_transport_degrades_to_comm_failures_not_hangs() {
         deliver_timeout: Duration::from_millis(80),
         rpc_timeout: Duration::from_secs(2),
         heartbeat_timeout: Duration::from_millis(200),
-        stub: StubConfig { heartbeat_period: Duration::from_millis(10), report_crashes: true },
+        stub: StubConfig {
+            heartbeat_period: Duration::from_millis(10),
+            report_crashes: true,
+        },
     });
     let (proxy_side, stub_side) = ChannelTransport::pair();
     let proxy_side = FlakyTransport::new(proxy_side, 400, 7);
@@ -189,7 +210,10 @@ fn lossy_transport_degrades_to_comm_failures_not_hangs() {
     let handle = spawn_stub(
         stub_side,
         Box::new(Hub::new()),
-        StubConfig { heartbeat_period: Duration::from_millis(10), report_crashes: true },
+        StubConfig {
+            heartbeat_period: Duration::from_millis(10),
+            report_crashes: true,
+        },
     );
     // Registration itself may need retries under loss: register_transport
     // waits for the Register frame; at 40% loss it may be eaten, in which
@@ -237,7 +261,8 @@ fn isolated_runtime_end_to_end_over_udp() {
     let report = rt.run_cycle(&mut net);
     assert!(report.recoveries >= 1, "{report:?}");
     // Clean traffic still works after recovery.
-    net.inject(a, Packet::ethernet(a, MacAddr::from_index(50))).unwrap();
+    net.inject(a, Packet::ethernet(a, MacAddr::from_index(50)))
+        .unwrap();
     let report = rt.run_cycle(&mut net);
     assert!(report.commands > 0, "{report:?}");
     rt.shutdown();

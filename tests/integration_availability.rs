@@ -18,7 +18,8 @@ fn drive_traffic<R>(
     for i in 0..n {
         let src = &hosts[i % hosts.len()];
         let dst = &hosts[(i + 1) % hosts.len()];
-        net.inject(src.mac, Packet::ethernet(src.mac, dst.mac)).unwrap();
+        net.inject(src.mac, Packet::ethernet(src.mac, dst.mac))
+            .unwrap();
         cycle(net);
     }
     net.delivery_counters().0
@@ -52,7 +53,8 @@ fn monolithic_controller_dies_with_its_app() {
 
     // Everything after is lost: no app sees events, no commands flow.
     let before = ctl.stats().commands_executed;
-    net.inject(a, Packet::ethernet(a, topo.hosts[1].mac)).unwrap();
+    net.inject(a, Packet::ethernet(a, topo.hosts[1].mac))
+        .unwrap();
     ctl.run_cycle(&mut net);
     assert_eq!(ctl.stats().commands_executed, before);
     assert!(ctl.stats().events_lost_while_down > 0);
@@ -76,7 +78,8 @@ fn legosdn_survives_the_same_bug() {
 
     // The controller keeps executing commands afterwards.
     let before = rt.stats().commands_executed;
-    net.inject(a, Packet::ethernet(a, topo.hosts[1].mac)).unwrap();
+    net.inject(a, Packet::ethernet(a, topo.hosts[1].mac))
+        .unwrap();
     rt.run_cycle(&mut net);
     assert!(rt.stats().commands_executed > before);
 }
@@ -145,7 +148,10 @@ fn innocent_apps_keep_their_state_across_a_neighbors_crashes() {
         rt.run_cycle(&mut net);
     }
     assert!(rt.stats().failstop_recoveries >= 4);
-    let ls_events = rt.crashpad().checkpoints.events_delivered("learning-switch");
+    let ls_events = rt
+        .crashpad()
+        .checkpoints
+        .events_delivered("learning-switch");
     assert!(ls_events >= 4, "learning switch starved: {ls_events}");
     // After learning both sides, traffic flows switch-locally.
     let trace = net.inject(a, Packet::ethernet(a, b)).unwrap();
@@ -168,9 +174,11 @@ fn byzantine_app_cannot_blackhole_the_network() {
     ctl.run_cycle(&mut net);
     net.inject(a, Packet::ethernet(a, b)).unwrap();
     ctl.run_cycle(&mut net);
-    let mono_blackholed = net
-        .switches()
-        .any(|s| s.table().iter().any(|e| e.priority == u16::MAX && e.actions.is_empty()));
+    let mono_blackholed = net.switches().any(|s| {
+        s.table()
+            .iter()
+            .any(|e| e.priority == u16::MAX && e.actions.is_empty())
+    });
     assert!(mono_blackholed, "monolithic installs the bad rule");
 
     // LegoSDN: the gate rejects it.
@@ -186,8 +194,10 @@ fn byzantine_app_cannot_blackhole_the_network() {
     net.inject(a, Packet::ethernet(a, b)).unwrap();
     rt.run_cycle(&mut net);
     assert!(rt.stats().byzantine_blocked >= 1);
-    let lego_blackholed = net
-        .switches()
-        .any(|s| s.table().iter().any(|e| e.priority == u16::MAX && e.actions.is_empty()));
+    let lego_blackholed = net.switches().any(|s| {
+        s.table()
+            .iter()
+            .any(|e| e.priority == u16::MAX && e.actions.is_empty())
+    });
     assert!(!lego_blackholed, "LegoSDN must keep the bad rule out");
 }

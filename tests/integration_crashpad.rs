@@ -35,9 +35,10 @@ fn run_scenario(policy: CompromisePolicy) -> (LegoSdnRuntime, Network, Topology)
     rt.run_cycle(&mut net);
     // Teach the device manager where hosts live.
     for h in &topo.hosts {
-        let peer = &topo.hosts[(topo.hosts.iter().position(|x| x.mac == h.mac).unwrap() + 1)
-            % topo.hosts.len()];
-        net.inject(h.mac, Packet::ethernet(h.mac, peer.mac)).unwrap();
+        let peer = &topo.hosts
+            [(topo.hosts.iter().position(|x| x.mac == h.mac).unwrap() + 1) % topo.hosts.len()];
+        net.inject(h.mac, Packet::ethernet(h.mac, peer.mac))
+            .unwrap();
         rt.run_cycle(&mut net);
     }
     // The poison: switch 2 goes down.
@@ -85,7 +86,10 @@ fn equivalence_compromise_delivers_linkdowns_instead() {
     // The router processed the equivalent link-downs: its route teardown
     // logic ran (observable through the checkpoint event counter including
     // the transformed events).
-    let delivered = rt.crashpad().checkpoints.events_delivered("shortest-path-router#buggy");
+    let delivered = rt
+        .crashpad()
+        .checkpoints
+        .events_delivered("shortest-path-router#buggy");
     assert!(delivered > 0);
 }
 
@@ -138,7 +142,11 @@ fn checkpoint_interval_trades_snapshots_for_replay() {
         let mut net = Network::new(&topo);
         let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
             crashpad: CrashPadConfig {
-                checkpoints: CheckpointPolicy { interval, history: 4, ..CheckpointPolicy::default() },
+                checkpoints: CheckpointPolicy {
+                    interval,
+                    history: 4,
+                    ..CheckpointPolicy::default()
+                },
                 policies: PolicyTable::with_default(CompromisePolicy::Absolute),
                 transform_direction: TransformDirection::Decompose,
             },
@@ -154,7 +162,8 @@ fn checkpoint_interval_trades_snapshots_for_replay() {
         let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
         // 6 clean events, then the poison.
         for _ in 0..6 {
-            net.inject(a, Packet::ethernet(a, MacAddr::from_index(77))).unwrap();
+            net.inject(a, Packet::ethernet(a, MacAddr::from_index(77)))
+                .unwrap();
             rt.run_cycle(&mut net);
         }
         net.inject(a, Packet::ethernet(a, b)).unwrap();
@@ -191,7 +200,6 @@ fn deterministic_crash_loop_generates_one_ticket_per_hit() {
     }
     assert_eq!(rt.crashpad().tickets.len(), 7);
     // Tickets carry distinct ids and the same diagnosis.
-    let ids: std::collections::BTreeSet<u64> =
-        rt.crashpad().tickets.iter().map(|t| t.id).collect();
+    let ids: std::collections::BTreeSet<u64> = rt.crashpad().tickets.iter().map(|t| t.id).collect();
     assert_eq!(ids.len(), 7);
 }

@@ -35,7 +35,10 @@ fn full_app_stack_on_fat_tree_with_crashing_router() {
     // Bound the invariant checker: all-pairs probing on a 16-host fat-tree
     // after every transaction is the naive-checker cost the paper's VeriFlow
     // citation exists to avoid.
-    let checker = Checker { max_pairs: 24, ..Checker::default() };
+    let checker = Checker {
+        max_pairs: 24,
+        ..Checker::default()
+    };
     let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
         checker: Some(checker),
         ..LegoSdnConfig::default()
@@ -54,17 +57,23 @@ fn full_app_stack_on_fat_tree_with_crashing_router() {
         BugEffect::Crash,
     )))
     .unwrap();
-    rt.attach(Box::new(Firewall::new(vec![AclRule::deny_port(23)]))).unwrap();
+    rt.attach(Box::new(Firewall::new(vec![AclRule::deny_port(23)])))
+        .unwrap();
     rt.attach(Box::new(StatsMonitor::new())).unwrap();
 
     rt.run_cycle(&mut net);
-    assert_eq!(rt.translator().topology.n_links(), 32, "fat-tree discovered");
+    assert_eq!(
+        rt.translator().topology.n_links(),
+        32,
+        "fat-tree discovered"
+    );
 
     // Every host announces itself (ARP-style broadcast) so the device
     // manager learns attachment points — the router can only compute paths
     // between known hosts.
     for h in &topo.hosts {
-        net.inject(h.mac, Packet::ethernet(h.mac, MacAddr::BROADCAST)).unwrap();
+        net.inject(h.mac, Packet::ethernet(h.mac, MacAddr::BROADCAST))
+            .unwrap();
         rt.run_cycle(&mut net);
     }
 
@@ -84,7 +93,11 @@ fn full_app_stack_on_fat_tree_with_crashing_router() {
             delivered_pairs += 1;
         }
     }
-    assert!(rt.stats().failstop_recoveries >= 1, "the bug fired: {:?}", rt.stats());
+    assert!(
+        rt.stats().failstop_recoveries >= 1,
+        "the bug fired: {:?}",
+        rt.stats()
+    );
     assert!(!rt.is_crashed());
     assert!(
         delivered_pairs >= 4,
@@ -103,7 +116,10 @@ fn full_app_stack_on_fat_tree_with_crashing_router() {
     rt.run_cycle(&mut net);
     let trace = net.inject(src.mac, telnet).unwrap();
     rt.run_cycle(&mut net);
-    assert!(!trace.delivered_to(dst.mac), "firewall drop must hold: {trace:?}");
+    assert!(
+        !trace.delivered_to(dst.mac),
+        "firewall drop must hold: {trace:?}"
+    );
 }
 
 #[test]
@@ -112,12 +128,16 @@ fn load_balancer_spreads_and_survives_neighbour_crashes() {
     let mut net = Network::new(&topo);
     let backends: Vec<Backend> = topo.hosts[..2]
         .iter()
-        .map(|h| Backend { mac: h.mac, ip: h.ip })
+        .map(|h| Backend {
+            mac: h.mac,
+            ip: h.ip,
+        })
         .collect();
     let vip = Ipv4Addr::new(10, 99, 0, 1);
 
     let mut rt = LegoSdnRuntime::new(LegoSdnConfig::default());
-    rt.attach(Box::new(LoadBalancer::new(vip, backends))).unwrap();
+    rt.attach(Box::new(LoadBalancer::new(vip, backends)))
+        .unwrap();
     rt.attach(Box::new(LearningSwitch::new())).unwrap();
     rt.attach(Box::new(FaultyApp::new(
         Box::new(Hub::new()),
@@ -129,13 +149,21 @@ fn load_balancer_spreads_and_survives_neighbour_crashes() {
 
     // Teach the device manager where the backends are.
     for h in &topo.hosts[..2] {
-        net.inject(h.mac, Packet::ethernet(h.mac, MacAddr::BROADCAST)).unwrap();
+        net.inject(h.mac, Packet::ethernet(h.mac, MacAddr::BROADCAST))
+            .unwrap();
         rt.run_cycle(&mut net);
     }
     // Clients hit the VIP; the crashing hub fails on every packet-in.
     let clients = &topo.hosts[2..];
     for (i, c) in clients.iter().enumerate() {
-        let pkt = Packet::tcp(c.mac, MacAddr::from_index(999), c.ip, vip, 9000 + i as u16, 80);
+        let pkt = Packet::tcp(
+            c.mac,
+            MacAddr::from_index(999),
+            c.ip,
+            vip,
+            9000 + i as u16,
+            80,
+        );
         net.inject(c.mac, pkt).unwrap();
         rt.run_cycle(&mut net);
     }
@@ -231,8 +259,10 @@ fn deterministic_runs_are_reproducible() {
             net.inject(src, Packet::ethernet(src, dst)).unwrap();
             rt.run_cycle(&mut net);
         }
-        let tables: Vec<(u64, usize)> =
-            net.switches().map(|s| (s.dpid().0, s.table().len())).collect();
+        let tables: Vec<(u64, usize)> = net
+            .switches()
+            .map(|s| (s.dpid().0, s.table().len()))
+            .collect();
         (rt.stats(), tables, net.delivery_counters())
     };
     let a = run();

@@ -27,7 +27,8 @@ fn committed_transaction_is_durable_across_switches() {
     let mut nl = NetLog::new(TxMode::Immediate);
     let mut tx = nl.begin();
     for d in 1..=3u64 {
-        nl.execute(&mut tx, &mut net, DatapathId(d), &add_flow(100, 1)).unwrap();
+        nl.execute(&mut tx, &mut net, DatapathId(d), &add_flow(100, 1))
+            .unwrap();
     }
     nl.commit(tx, &mut net).unwrap();
     assert_eq!(total_flows(&net), 3);
@@ -47,7 +48,8 @@ fn aborted_transaction_leaves_no_trace_anywhere() {
     let mut tx = nl.begin();
     for d in 1..=3u64 {
         for i in 0..5u64 {
-            nl.execute(&mut tx, &mut net, DatapathId(d), &add_flow(200 + i, 1)).unwrap();
+            nl.execute(&mut tx, &mut net, DatapathId(d), &add_flow(200 + i, 1))
+                .unwrap();
         }
     }
     // And a delete of the pre-existing flow, mid-transaction.
@@ -88,26 +90,43 @@ fn rollback_restores_traffic_continuity_with_counter_cache() {
     let dst = MacAddr::from_index(42);
 
     // A flow carrying real traffic.
-    net.apply(dpid, &Message::FlowMod(FlowMod::add(Match::eth_dst(dst)).action(Action::Output(PortNo::Phys(1))))).unwrap();
+    net.apply(
+        dpid,
+        &Message::FlowMod(
+            FlowMod::add(Match::eth_dst(dst)).action(Action::Output(PortNo::Phys(1))),
+        ),
+    )
+    .unwrap();
     for _ in 0..25 {
-        net.inject(host.mac, Packet::ethernet(host.mac, dst)).unwrap();
+        net.inject(host.mac, Packet::ethernet(host.mac, dst))
+            .unwrap();
     }
 
     // A buggy transaction flushes the table, then gets rolled back.
     let mut nl = NetLog::new(TxMode::Immediate);
     let mut tx = nl.begin();
-    nl.execute(&mut tx, &mut net, dpid, &Message::FlowMod(FlowMod::delete(Match::any()))).unwrap();
+    nl.execute(
+        &mut tx,
+        &mut net,
+        dpid,
+        &Message::FlowMod(FlowMod::delete(Match::any())),
+    )
+    .unwrap();
     nl.abort(tx, &mut net).unwrap();
 
     // Post-rollback traffic accrues on the restored entry.
     for _ in 0..5 {
-        net.inject(host.mac, Packet::ethernet(host.mac, dst)).unwrap();
+        net.inject(host.mac, Packet::ethernet(host.mac, dst))
+            .unwrap();
     }
     // Raw switch counters restarted, but NetLog-adjusted stats continue.
     let out = net
         .apply(
             dpid,
-            &Message::StatsRequest(StatsRequest::Flow { mat: Match::any(), out_port: PortNo::None }),
+            &Message::StatsRequest(StatsRequest::Flow {
+                mat: Match::any(),
+                out_port: PortNo::None,
+            }),
         )
         .unwrap();
     let mut reply = match &out.replies[0] {
@@ -130,7 +149,8 @@ fn buffered_mode_discards_on_abort_without_rollback_messages() {
     let mut nl = NetLog::new(TxMode::Buffered);
     let mut tx = nl.begin();
     for d in 1..=3u64 {
-        nl.execute(&mut tx, &mut net, DatapathId(d), &add_flow(1, 1)).unwrap();
+        nl.execute(&mut tx, &mut net, DatapathId(d), &add_flow(1, 1))
+            .unwrap();
     }
     assert_eq!(total_flows(&net), 0, "nothing touched the network yet");
     let report = nl.abort(tx, &mut net).unwrap();
@@ -144,20 +164,31 @@ fn buffered_mode_cannot_read_its_own_writes_immediate_can() {
     // within a transaction, a stats read in buffered mode misses the
     // transaction's own installs.
     let (mut net, _) = setup();
-    let stats_req =
-        Message::StatsRequest(StatsRequest::Aggregate { mat: Match::any(), out_port: PortNo::None });
+    let stats_req = Message::StatsRequest(StatsRequest::Aggregate {
+        mat: Match::any(),
+        out_port: PortNo::None,
+    });
 
     let mut nl = NetLog::new(TxMode::Buffered);
     let mut tx = nl.begin();
-    nl.execute(&mut tx, &mut net, DatapathId(1), &add_flow(5, 1)).unwrap();
-    let replies = nl.execute(&mut tx, &mut net, DatapathId(1), &stats_req).unwrap();
-    assert!(replies.is_empty(), "buffered reads return nothing until commit");
+    nl.execute(&mut tx, &mut net, DatapathId(1), &add_flow(5, 1))
+        .unwrap();
+    let replies = nl
+        .execute(&mut tx, &mut net, DatapathId(1), &stats_req)
+        .unwrap();
+    assert!(
+        replies.is_empty(),
+        "buffered reads return nothing until commit"
+    );
     nl.commit(tx, &mut net).unwrap();
 
     let mut nl = NetLog::new(TxMode::Immediate);
     let mut tx = nl.begin();
-    nl.execute(&mut tx, &mut net, DatapathId(2), &add_flow(5, 1)).unwrap();
-    let replies = nl.execute(&mut tx, &mut net, DatapathId(2), &stats_req).unwrap();
+    nl.execute(&mut tx, &mut net, DatapathId(2), &add_flow(5, 1))
+        .unwrap();
+    let replies = nl
+        .execute(&mut tx, &mut net, DatapathId(2), &stats_req)
+        .unwrap();
     match replies.first() {
         Some(Message::StatsReply(StatsReply::Aggregate { flow_count, .. })) => {
             assert_eq!(*flow_count, 1, "immediate mode sees its own writes");
@@ -178,7 +209,8 @@ fn partial_install_ambiguity_is_resolved_by_abort() {
     let mut tx = nl.begin();
     // The app intended 6 rules but "crashed" after 3.
     for i in 0..3u64 {
-        nl.execute(&mut tx, &mut net, DatapathId(1), &add_flow(300 + i, 1)).unwrap();
+        nl.execute(&mut tx, &mut net, DatapathId(1), &add_flow(300 + i, 1))
+            .unwrap();
     }
     assert_eq!(total_flows(&net), 3, "partial prefix visible pre-abort");
     nl.abort(tx, &mut net).unwrap();
@@ -192,10 +224,14 @@ fn interleaved_transactions_roll_back_independently() {
     let mut nl = NetLog::new(TxMode::Immediate);
     let mut tx_keep = nl.begin();
     let mut tx_drop = nl.begin();
-    nl.execute(&mut tx_keep, &mut net, DatapathId(1), &add_flow(1, 1)).unwrap();
-    nl.execute(&mut tx_drop, &mut net, DatapathId(1), &add_flow(2, 1)).unwrap();
-    nl.execute(&mut tx_keep, &mut net, DatapathId(2), &add_flow(1, 1)).unwrap();
-    nl.execute(&mut tx_drop, &mut net, DatapathId(2), &add_flow(2, 1)).unwrap();
+    nl.execute(&mut tx_keep, &mut net, DatapathId(1), &add_flow(1, 1))
+        .unwrap();
+    nl.execute(&mut tx_drop, &mut net, DatapathId(1), &add_flow(2, 1))
+        .unwrap();
+    nl.execute(&mut tx_keep, &mut net, DatapathId(2), &add_flow(1, 1))
+        .unwrap();
+    nl.execute(&mut tx_drop, &mut net, DatapathId(2), &add_flow(2, 1))
+        .unwrap();
     nl.abort(tx_drop, &mut net).unwrap();
     nl.commit(tx_keep, &mut net).unwrap();
     // Only tx_keep's flows remain.

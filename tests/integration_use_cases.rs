@@ -48,7 +48,10 @@ fn resource_limited_app_cannot_starve_the_controller() {
     let rogue = rt
         .attach_with_limits(
             Box::new(Hub::new()),
-            ResourceLimits { max_commands: Some(3), ..ResourceLimits::default() },
+            ResourceLimits {
+                max_commands: Some(3),
+                ..ResourceLimits::default()
+            },
         )
         .unwrap();
     rt.attach(Box::new(LearningSwitch::new())).unwrap();
@@ -58,7 +61,10 @@ fn resource_limited_app_cannot_starve_the_controller() {
         net.inject(a, Packet::ethernet(a, b)).unwrap();
         rt.run_cycle(&mut net);
     }
-    assert!(matches!(rt.app_status(rogue), Some(AppStatus::Suspended(_))));
+    assert!(matches!(
+        rt.app_status(rogue),
+        Some(AppStatus::Suspended(_))
+    ));
     assert!(rt.stats().commands_suppressed > 0);
     // The learning switch is unaffected.
     let usage = rt.app_usage(rogue).unwrap();
@@ -80,7 +86,11 @@ fn controller_upgrade_vs_monolithic_reboot() {
     net.inject(b, Packet::ethernet(b, a)).unwrap();
     ctl.run_cycle(&mut net);
     ctl.reboot();
-    assert_eq!(ctl.translator().topology.n_links(), 0, "monolithic forgets the topology");
+    assert_eq!(
+        ctl.translator().topology.n_links(),
+        0,
+        "monolithic forgets the topology"
+    );
 
     // LegoSDN: learn, upgrade, verify continuity.
     let mut net = Network::new(&topo);
@@ -90,11 +100,19 @@ fn controller_upgrade_vs_monolithic_reboot() {
     net.inject(a, Packet::ethernet(a, b)).unwrap();
     net.inject(b, Packet::ethernet(b, a)).unwrap();
     rt.run_cycle(&mut net);
-    let events_before = rt.crashpad().checkpoints.events_delivered("learning-switch");
+    let events_before = rt
+        .crashpad()
+        .checkpoints
+        .events_delivered("learning-switch");
     rt.upgrade_controller(&mut net);
-    assert!(rt.translator().topology.n_links() > 0, "LegoSDN re-handshakes inline");
+    assert!(
+        rt.translator().topology.n_links() > 0,
+        "LegoSDN re-handshakes inline"
+    );
     assert_eq!(
-        rt.crashpad().checkpoints.events_delivered("learning-switch"),
+        rt.crashpad()
+            .checkpoints
+            .events_delivered("learning-switch"),
         events_before,
         "apps were not restarted"
     );
@@ -112,7 +130,10 @@ fn clone_pair_survives_nondeterministic_bug_under_crashpad() {
     let make = |seed| {
         LocalSandbox::new(Box::new(FaultyApp::new(
             Box::new(Hub::new()),
-            BugTrigger::WithProbability { per_mille: 400, seed },
+            BugTrigger::WithProbability {
+                per_mille: 400,
+                seed,
+            },
             BugEffect::Crash,
         )))
     };
@@ -193,25 +214,46 @@ fn sts_pinpoints_the_multi_event_trigger() {
     for i in 0..40u64 {
         history.push(Event::SwitchUp(DatapathId(i)));
         if i == 7 || i == 21 {
-            history.push(Event::LinkDown { a: ep(1, 1), b: ep(2, 1) });
+            history.push(Event::LinkDown {
+                a: ep(1, 1),
+                b: ep(2, 1),
+            });
         }
         if i == 33 {
             history.push(Event::SwitchDown(DatapathId(9)));
         }
     }
     let mut oracle = AppReplayOracle::new(
-        || Box::new(Accumulator { link_downs: 0, switch_downs: 0 }),
+        || {
+            Box::new(Accumulator {
+                link_downs: 0,
+                switch_downs: 0,
+            })
+        },
         legosdn::controller::services::TopologyView::default(),
         legosdn::controller::services::DeviceView::default(),
     );
     let report = ddmin(&history, &mut oracle).unwrap();
-    assert_eq!(report.minimal.len(), 3, "exactly the culprits: {:?}", report.minimal);
     assert_eq!(
-        report.minimal.iter().filter(|e| matches!(e, Event::LinkDown { .. })).count(),
+        report.minimal.len(),
+        3,
+        "exactly the culprits: {:?}",
+        report.minimal
+    );
+    assert_eq!(
+        report
+            .minimal
+            .iter()
+            .filter(|e| matches!(e, Event::LinkDown { .. }))
+            .count(),
         2
     );
     assert_eq!(
-        report.minimal.iter().filter(|e| matches!(e, Event::SwitchDown(_))).count(),
+        report
+            .minimal
+            .iter()
+            .filter(|e| matches!(e, Event::SwitchDown(_)))
+            .count(),
         1
     );
 }
@@ -236,7 +278,8 @@ fn runtime_diagnose_pinpoints_crash_cause() {
     let a = topo.hosts[0].mac;
     // Clean traffic, then the poison (recovered via Absolute policy).
     for i in 0..5u64 {
-        net.inject(a, Packet::ethernet(a, MacAddr::from_index(40 + i))).unwrap();
+        net.inject(a, Packet::ethernet(a, MacAddr::from_index(40 + i)))
+            .unwrap();
         rt.run_cycle(&mut net);
     }
     net.inject(a, Packet::ethernet(a, poison)).unwrap();
@@ -252,12 +295,15 @@ fn runtime_diagnose_pinpoints_crash_cause() {
         .expect("ticket filed")
         .offending_event
         .clone();
-    let diagnosis = rt.diagnose(id, &offending, net.now()).expect("reproducible");
+    let diagnosis = rt
+        .diagnose(id, &offending, net.now())
+        .expect("reproducible");
     assert_eq!(diagnosis.minimal.len(), 1, "{:?}", diagnosis.minimal);
     assert!(matches!(&diagnosis.minimal[0], Event::PacketIn(_, pi)
         if pi.packet.eth_dst == poison));
     // The app still works after being used as a diagnosis testbed.
-    net.inject(a, Packet::ethernet(a, MacAddr::from_index(70))).unwrap();
+    net.inject(a, Packet::ethernet(a, MacAddr::from_index(70)))
+        .unwrap();
     let report = rt.run_cycle(&mut net);
     assert!(report.commands > 0);
 }
@@ -286,7 +332,10 @@ fn software_diversity_voting_rejects_byzantine_minority() {
     let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
     net.inject(a, Packet::ethernet(a, b)).unwrap();
     let report = rt.run_cycle(&mut net);
-    assert_eq!(report.byzantine_blocked, 0, "vote filtered it before the gate");
+    assert_eq!(
+        report.byzantine_blocked, 0,
+        "vote filtered it before the gate"
+    );
     for sw in net.switches() {
         assert!(sw.table().iter().all(|e| e.priority != u16::MAX));
     }

@@ -96,6 +96,18 @@ impl fmt::Display for ProxyError {
 
 impl std::error::Error for ProxyError {}
 
+/// Time remaining before `deadline`, or `None` once it has passed.
+///
+/// Every proxy recv loop gates on this so an expired deadline is
+/// classified as a timeout exactly once, up front — we never hand a
+/// zero-duration (or sub-tick) timeout to `recv_timeout`, which on the
+/// UDP/TCP transports would round up to a full extra millisecond of
+/// blocking and an extra wasted syscall per call site.
+fn time_left(deadline: Instant) -> Option<Duration> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    (!remaining.is_zero()).then_some(remaining)
+}
+
 /// Per-app wire counters (the serialization-overhead evidence for E2).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AppWireStats {
@@ -176,10 +188,9 @@ impl AppVisorProxy {
     ) -> Result<AppHandle, ProxyError> {
         let deadline = Instant::now() + self.config.rpc_timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
+            let Some(remaining) = time_left(deadline) else {
                 return Err(ProxyError::RegistrationFailed("no register frame".into()));
-            }
+            };
             match transport.recv_timeout(remaining) {
                 Ok(Some(frame)) => {
                     if let Ok(RpcMessage::Register {
@@ -273,13 +284,12 @@ impl AppVisorProxy {
 
         let deadline = Instant::now() + deliver_timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
+            let Some(remaining) = time_left(deadline) else {
                 slot.stats.comm_failures += 1;
                 slot.alive = false;
                 obs.counter("appvisor", "comm_failures", &slot.name).inc();
                 return Ok(DeliverOutcome::CommFailure);
-            }
+            };
             match slot.transport.recv_timeout(remaining) {
                 Ok(Some(frame)) => {
                     slot.stats.bytes_received += frame.len() as u64;
@@ -339,10 +349,9 @@ impl AppVisorProxy {
         slot.transport.send(&frame).map_err(ProxyError::Transport)?;
         let deadline = Instant::now() + rpc_timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
+            let Some(remaining) = time_left(deadline) else {
                 return Err(ProxyError::Timeout);
-            }
+            };
             match slot.transport.recv_timeout(remaining) {
                 Ok(Some(frame)) => {
                     slot.stats.bytes_received += frame.len() as u64;
@@ -383,10 +392,9 @@ impl AppVisorProxy {
         slot.transport.send(&frame).map_err(ProxyError::Transport)?;
         let deadline = Instant::now() + rpc_timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
+            let Some(remaining) = time_left(deadline) else {
                 return Err(ProxyError::Timeout);
-            }
+            };
             match slot.transport.recv_timeout(remaining) {
                 Ok(Some(frame)) => {
                     slot.stats.bytes_received += frame.len() as u64;
@@ -476,13 +484,12 @@ impl AppVisorProxy {
                     return Ok(DeliverOutcome::CommFailure);
                 };
                 loop {
-                    let remaining = deadline.saturating_duration_since(Instant::now());
-                    if remaining.is_zero() {
+                    let Some(remaining) = time_left(deadline) else {
                         slot.stats.comm_failures += 1;
                         slot.alive = false;
                         obs.counter("appvisor", "comm_failures", &slot.name).inc();
                         return Ok(DeliverOutcome::CommFailure);
-                    }
+                    };
                     match slot.transport.recv_timeout(remaining) {
                         Ok(Some(frame)) => {
                             slot.stats.bytes_received += frame.len() as u64;
@@ -860,6 +867,84 @@ mod tests {
         for r in &results[..4] {
             assert!(matches!(r, Ok(DeliverOutcome::Commands(_))));
         }
+        let _ = p.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_one_timeout_classification() {
+        // A zero deliver timeout means the deadline has already passed when
+        // the recv loop starts: it must short-circuit to exactly one
+        // CommFailure — one comm_failures increment, no heartbeat-miss
+        // double count — without issuing a zero-duration recv.
+        let mut p = AppVisorProxy::new(ProxyConfig {
+            deliver_timeout: Duration::ZERO,
+            rpc_timeout: Duration::from_secs(1),
+            heartbeat_timeout: Duration::from_secs(10),
+            stub: StubConfig {
+                heartbeat_period: Duration::from_millis(10),
+                report_crashes: true,
+            },
+        });
+        let obs = legosdn_obs::Obs::new();
+        p.set_obs(obs.clone());
+        let h = p
+            .launch_app(
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: None,
+                }),
+                TransportKind::Channel,
+            )
+            .unwrap();
+        assert_eq!(deliver(&mut p, h), DeliverOutcome::CommFailure);
+        let stats = p.wire_stats(h).unwrap();
+        assert_eq!(stats.comm_failures, 1, "exactly one classification");
+        assert_eq!(stats.events_delivered, 0);
+        assert_eq!(
+            obs.counter("appvisor", "comm_failures", "proxy-test-app")
+                .get(),
+            1
+        );
+        assert_eq!(
+            obs.counter("appvisor", "heartbeat_misses", "proxy-test-app")
+                .get(),
+            0,
+            "timeout must not also count as a heartbeat miss"
+        );
+        let _ = p.shutdown();
+    }
+
+    #[test]
+    fn expired_rpc_deadline_times_out_snapshot_and_restore() {
+        let mut p = AppVisorProxy::new(ProxyConfig {
+            deliver_timeout: Duration::from_millis(300),
+            rpc_timeout: Duration::ZERO,
+            heartbeat_timeout: Duration::from_secs(10),
+            stub: StubConfig {
+                heartbeat_period: Duration::from_millis(10),
+                report_crashes: true,
+            },
+        });
+        // Registration also runs on rpc_timeout; hand-register over a raw
+        // transport pair so launch itself is not subject to the zero
+        // deadline.
+        let (proxy_side, stub_side) = ChannelTransport::pair();
+        let handle = spawn_stub(
+            stub_side,
+            Box::new(TestApp {
+                count: 0,
+                crash_on_count: None,
+            }),
+            p.config.stub.clone(),
+        );
+        // Restore a sane registration window just for the handshake.
+        p.config.rpc_timeout = Duration::from_secs(1);
+        let h = p
+            .register_transport(Box::new(proxy_side), Some(handle))
+            .unwrap();
+        p.config.rpc_timeout = Duration::ZERO;
+        assert_eq!(p.snapshot(h).unwrap_err(), ProxyError::Timeout);
+        assert_eq!(p.restore(h, &[]).unwrap_err(), ProxyError::Timeout);
         let _ = p.shutdown();
     }
 

@@ -1,0 +1,247 @@
+//! `campaign` — the repo's first serve-forever workload: a long-running
+//! fault-campaign daemon with a live ops endpoint.
+//!
+//! Runs configurable fault campaigns (apps × fault kinds × policies)
+//! indefinitely while `legosdn_obs::ObsServer` serves the live metrics,
+//! JSON snapshot, and recovery timelines of exactly this campaign:
+//!
+//! ```sh
+//! cargo run --release -p legosdn-bench --bin campaign -- --addr 127.0.0.1:9184
+//! curl http://127.0.0.1:9184/metrics     # Prometheus text
+//! curl http://127.0.0.1:9184/incidents   # recovery timelines
+//! ```
+//!
+//! `--rounds 0` (the default) runs until the process is killed; a finite
+//! `--rounds N` makes the daemon a smoke-testable batch job (used by
+//! `scripts/check.sh`).
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use legosdn::crashpad::{CheckpointPolicy, CrashPadConfig, PolicyTable, TransformDirection};
+use legosdn::prelude::*;
+
+struct CampaignConfig {
+    addr: SocketAddr,
+    rounds: u64,
+    switches: usize,
+    hosts_per_switch: usize,
+    policy: CompromisePolicy,
+    faults: Vec<BugEffect>,
+    period: Duration,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 9184)),
+            rounds: 0,
+            switches: 3,
+            hosts_per_switch: 1,
+            policy: CompromisePolicy::Absolute,
+            faults: vec![BugEffect::Crash, BugEffect::Blackhole],
+            period: Duration::from_millis(20),
+        }
+    }
+}
+
+const USAGE: &str = "usage: campaign [--addr HOST:PORT] [--rounds N] \
+[--switches N] [--hosts N] [--policy absolute|no-compromise|equivalence] \
+[--faults crash,blackhole,loop,flush] [--period-ms MS]\n\
+--rounds 0 (default) serves forever.";
+
+fn parse_fault(s: &str) -> Result<BugEffect, String> {
+    match s {
+        "crash" => Ok(BugEffect::Crash),
+        "blackhole" => Ok(BugEffect::Blackhole),
+        "loop" => Ok(BugEffect::ForwardingLoop),
+        "flush" => Ok(BugEffect::FlushFlows),
+        other => Err(format!("unknown fault kind: {other}")),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<CampaignConfig, String> {
+    let mut cfg = CampaignConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value()?.parse().map_err(|e| format!("--addr: {e}"))?,
+            "--rounds" => cfg.rounds = value()?.parse().map_err(|e| format!("--rounds: {e}"))?,
+            "--switches" => {
+                cfg.switches = value()?.parse().map_err(|e| format!("--switches: {e}"))?;
+                if cfg.switches < 2 {
+                    return Err("--switches must be at least 2".into());
+                }
+            }
+            "--hosts" => {
+                cfg.hosts_per_switch = value()?.parse().map_err(|e| format!("--hosts: {e}"))?;
+                if cfg.hosts_per_switch == 0 {
+                    return Err("--hosts must be at least 1".into());
+                }
+            }
+            "--policy" => {
+                cfg.policy = match value()?.as_str() {
+                    "absolute" => CompromisePolicy::Absolute,
+                    "no-compromise" => CompromisePolicy::NoCompromise,
+                    "equivalence" => CompromisePolicy::Equivalence,
+                    other => return Err(format!("unknown policy: {other}")),
+                }
+            }
+            "--faults" => {
+                cfg.faults = value()?
+                    .split(',')
+                    .map(parse_fault)
+                    .collect::<Result<_, _>>()?;
+                if cfg.faults.is_empty() {
+                    return Err("--faults needs at least one kind".into());
+                }
+            }
+            "--period-ms" => {
+                cfg.period = Duration::from_millis(
+                    value()?.parse().map_err(|e| format!("--period-ms: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// Attach the campaign roster: one healthy app plus one faulty app per
+/// configured fault kind (fail-stop kinds trigger on switch-down, the
+/// byzantine kinds on a poisoned MAC).
+fn attach_roster(rt: &mut LegoSdnRuntime, faults: &[BugEffect], poison: MacAddr) {
+    rt.attach(Box::new(LearningSwitch::new()))
+        .expect("attach learning switch");
+    for &fault in faults {
+        let app: Box<dyn SdnApp> = match fault {
+            BugEffect::Crash => Box::new(FaultyApp::new(
+                Box::new(ShortestPathRouter::new()),
+                BugTrigger::OnEventKind(EventKind::SwitchDown),
+                BugEffect::Crash,
+            )),
+            byzantine => Box::new(FaultyApp::new(
+                Box::new(Hub::new()),
+                BugTrigger::OnPacketToMac(poison),
+                byzantine,
+            )),
+        };
+        rt.attach(app).expect("attach faulty app");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    // Injected crashes are contained by design; silence their backtraces so
+    // the daemon's stderr stays a readable status stream.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let topo = Topology::linear(cfg.switches, cfg.hosts_per_switch);
+    let mut net = Network::new(&topo);
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+        crashpad: CrashPadConfig {
+            checkpoints: CheckpointPolicy {
+                interval: 2,
+                history: 8,
+                ..CheckpointPolicy::default()
+            },
+            policies: PolicyTable::with_default(cfg.policy),
+            transform_direction: TransformDirection::Decompose,
+        },
+        checker: Some(Checker::new(vec![
+            Invariant::NoBlackHoles,
+            Invariant::NoLoops,
+        ])),
+        ..LegoSdnConfig::default()
+    });
+    // A private obs instance: the endpoint serves exactly this campaign,
+    // not whatever else the process global may have accumulated.
+    rt.set_obs(Obs::new());
+    let obs = rt.obs();
+
+    let poison = topo.hosts[topo.hosts.len() - 1].mac;
+    attach_roster(&mut rt, &cfg.faults, poison);
+    rt.run_cycle(&mut net); // handshake + discovery
+
+    let server = ObsServer::start(
+        obs.clone(),
+        ServeConfig {
+            addr: cfg.addr,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot bind ops endpoint on {}: {e}", cfg.addr);
+        std::process::exit(1);
+    });
+    eprintln!(
+        "campaign: serving /metrics /metrics.json /incidents /healthz on http://{} \
+         ({} switches, policy {}, {} fault app(s), {})",
+        server.local_addr(),
+        cfg.switches,
+        cfg.policy,
+        cfg.faults.len(),
+        if cfg.rounds == 0 {
+            "until killed".to_string()
+        } else {
+            format!("{} rounds", cfg.rounds)
+        },
+    );
+
+    let (a, b) = (topo.hosts[0].mac, topo.hosts[1 % topo.hosts.len()].mac);
+    let bounce = DatapathId(cfg.switches as u64); // the last switch
+    let mut round: u64 = 0;
+    loop {
+        round += 1;
+        // Healthy traffic, then a byzantine poke, then a switch bounce (the
+        // fail-stop trigger) — one full failure/recovery story per round.
+        for _ in 0..4 {
+            let _ = net.inject(a, Packet::ethernet(a, b));
+            rt.run_cycle(&mut net);
+        }
+        let _ = net.inject(a, Packet::ethernet(a, poison));
+        rt.run_cycle(&mut net);
+        let _ = net.set_switch_up(bounce, false);
+        rt.run_cycle(&mut net);
+        let _ = net.set_switch_up(bounce, true);
+        rt.run_cycle(&mut net);
+
+        if round.is_multiple_of(50) || round == cfg.rounds {
+            let stats = rt.stats();
+            eprintln!(
+                "campaign: round {round} cycles={} recoveries={} byzantine_blocked={} \
+                 incidents={}",
+                stats.cycles,
+                stats.failstop_recoveries,
+                stats.byzantine_blocked,
+                obs.incidents().len(),
+            );
+        }
+        if round == cfg.rounds {
+            break;
+        }
+        std::thread::sleep(cfg.period);
+    }
+
+    let joined = server.shutdown();
+    eprintln!(
+        "campaign: done after {round} round(s); endpoint shut down ({joined} thread(s) joined)"
+    );
+}

@@ -221,6 +221,15 @@ impl LegoSdnRuntime {
         self.stats
     }
 
+    /// The observability handle this runtime (and its Crash-Pad, NetLog,
+    /// and AppVisor layers) reports into. Cloning is an `Arc` bump, so a
+    /// long-running driver can hand it to an ops endpoint
+    /// (`legosdn_obs::ObsServer`) without touching the hot path.
+    #[must_use]
+    pub fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
     /// The Crash-Pad engine (tickets, checkpoints, policies).
     #[must_use]
     pub fn crashpad(&self) -> &CrashPad {

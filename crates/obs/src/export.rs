@@ -18,14 +18,20 @@ fn metric_name(key: &Key) -> String {
     format!("legosdn_{}_{}", sanitize(&key.0), sanitize(&key.1))
 }
 
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and line feed.
+fn escape_label(label: &str) -> String {
+    label
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 fn label_suffix(label: &str) -> String {
     if label.is_empty() {
         String::new()
     } else {
-        format!(
-            "{{label=\"{}\"}}",
-            label.replace('\\', "\\\\").replace('"', "\\\"")
-        )
+        format!("{{label=\"{}\"}}", escape_label(label))
     }
 }
 
@@ -61,10 +67,7 @@ pub fn prometheus(registry: &Registry) -> String {
         let extra = if label.is_empty() {
             String::new()
         } else {
-            format!(
-                ",label=\"{}\"",
-                label.replace('\\', "\\\\").replace('"', "\\\"")
-            )
+            format!(",label=\"{}\"", escape_label(label))
         };
         let mut cum = 0u64;
         for (le, count) in &buckets {
@@ -252,6 +255,24 @@ mod tests {
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn label_escaping_covers_backslash_quote_and_newline() {
+        assert_eq!(escape_label(r"a\b"), r"a\\b");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        let r = Registry::default();
+        r.counter("core", "weird", "x\"y\\z\nw").inc();
+        let h = r.histogram("core", "weird_ns", "x\"y\\z\nw");
+        h.observe(7);
+        let text = prometheus(&r);
+        // The raw newline must never reach the exposition: every metric
+        // stays on one line, with the escaped form in both the counter
+        // suffix and the histogram bucket labels.
+        assert!(text.lines().all(|l| !l.is_empty()));
+        assert!(text.contains("legosdn_core_weird{label=\"x\\\"y\\\\z\\nw\"} 1"));
+        assert!(text.contains("le=\"+Inf\",label=\"x\\\"y\\\\z\\nw\"}"));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   tickets) with monotonic sequence numbers.
 //! - **Timelines** ([`timeline`]): stitches journal records into
 //!   per-incident detection→restore→replay reports.
+//! - **Ops endpoint** ([`serve`]): a bounded, blocking HTTP responder
+//!   serving all of the above live over TCP (`/metrics`, `/metrics.json`,
+//!   `/incidents`, `/healthz`).
 //!
 //! Exporters ([`Obs::prometheus`], [`Obs::json_snapshot`]) serve scraping
 //! and `BENCH_*.json` trajectories.
@@ -24,6 +27,7 @@
 pub mod export;
 pub mod journal;
 pub mod metrics;
+pub mod serve;
 pub mod timeline;
 
 pub use journal::{Journal, Record, RecordKind};
@@ -31,6 +35,7 @@ pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramRow, HistogramSummary,
     SpanGuard,
 };
+pub use serve::{ObsServer, ServeConfig};
 pub use timeline::{reconstruct, IncidentReport, ReplayInfo, Resolution, RestoreInfo};
 
 use std::sync::{Arc, OnceLock};

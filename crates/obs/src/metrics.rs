@@ -110,7 +110,13 @@ impl Histogram {
     pub fn observe(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        // Saturate instead of wrapping: long-running campaigns accumulate
+        // enough nanoseconds to overflow, and a wrapped sum silently
+        // corrupts every scrape after that point.
+        let prev = self.sum.fetch_add(v, Ordering::Relaxed);
+        if prev.checked_add(v).is_none() {
+            self.sum.store(u64::MAX, Ordering::Relaxed);
+        }
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -161,8 +167,10 @@ impl Histogram {
                 let (lo, hi) = bucket_bounds(i);
                 let into = (rank - cum - 1) as f64 / c as f64;
                 let est = lo as f64 + into * (hi - lo) as f64;
-                // Never report beyond the observed max.
-                return (est as u64).min(self.max());
+                // Clamp into the covering bucket (float rounding must not
+                // report below its lower bound), and never beyond the
+                // observed max.
+                return (est as u64).clamp(lo, hi).min(self.max());
             }
             cum += c;
         }
@@ -371,6 +379,33 @@ mod tests {
         h.observe(1_000_000);
         for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
             assert!(h.quantile(q) <= 1_000_000);
+        }
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = Histogram::default();
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "second overflow-sized sample pins");
+        h.observe(1);
+        assert_eq!(h.sum(), u64::MAX, "saturated sum never moves again");
+        assert_eq!(h.count(), 3, "count still tracks every sample");
+    }
+
+    #[test]
+    fn quantile_never_below_covering_bucket_floor() {
+        // All samples share bucket [1024, 2047]; every quantile must stay
+        // within it (and at or below the observed max).
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.observe(1024);
+        }
+        for q in [0.0, 0.001, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((1024..=2047).contains(&v), "q={q} gave {v}");
+            assert!(v <= h.max());
         }
     }
 

@@ -1,0 +1,446 @@
+//! Ops endpoint: a minimal, std-only, blocking HTTP/1.1 responder that
+//! serves live [`Obs`] state to external scrapers.
+//!
+//! The paper's operability story (Crash-Pad problem tickets, §5) assumes
+//! operators can *watch* failures and recoveries as they happen; until now
+//! the obs subsystem was only readable post-mortem via `BENCH_*.json`
+//! dumps. [`ObsServer`] closes that gap:
+//!
+//! - `GET /metrics` — Prometheus text exposition ([`Obs::prometheus`])
+//! - `GET /metrics.json` — JSON snapshot ([`Obs::json_snapshot`])
+//! - `GET /incidents` — rendered recovery timelines ([`Obs::incidents`])
+//! - `GET /healthz` — liveness probe (`200 ok`)
+//!
+//! Resource behaviour is deliberately bounded: a fixed worker pool drains
+//! a bounded connection queue (overload answers `503` instead of queueing
+//! without limit), every connection gets read/write deadlines, request
+//! heads are capped at [`ServeConfig::max_request_bytes`], and responses
+//! close the connection (no keep-alive state to leak). Shutdown is an
+//! atomic flag plus a self-connect to wake the blocking `accept`, then a
+//! join of every thread — a hung scrape cannot wedge process exit past
+//! its I/O deadline.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::Obs;
+
+/// Endpoint knobs. The defaults suit a localhost scraper.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Address to bind; port 0 picks an ephemeral port (tests).
+    pub addr: SocketAddr,
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Queued-but-unserved connection limit; beyond it clients get `503`.
+    pub backlog: usize,
+    /// Per-connection read *and* write deadline.
+    pub io_timeout: Duration,
+    /// Maximum bytes of request head we will buffer before answering `431`.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 9184)),
+            workers: 2,
+            backlog: 32,
+            io_timeout: Duration::from_secs(2),
+            max_request_bytes: 8 * 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Config bound to an ephemeral loopback port — the test default.
+    #[must_use]
+    pub fn ephemeral() -> Self {
+        ServeConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// A running ops endpoint. Dropping it (or calling [`ObsServer::shutdown`])
+/// stops the accept loop and joins every thread.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `config.addr` and start serving `obs`. Returns once the
+    /// listener is live, so [`ObsServer::local_addr`] is immediately
+    /// scrapable.
+    pub fn start(obs: Obs, config: ServeConfig) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = sync_channel::<TcpStream>(config.backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let obs = obs.clone();
+                let cfg = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("obsd-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &obs, &cfg))
+                    .expect("spawn obsd worker")
+            })
+            .collect();
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_obs = obs.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("obsd-accept".into())
+            .spawn(move || {
+                // `tx` lives here: when the accept loop exits the sender
+                // drops, the channel disconnects, and the workers drain
+                // what is queued and exit.
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    accept_obs.counter("obsd", "connections_total", "").inc();
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            accept_obs.counter("obsd", "overload_total", "").inc();
+                            respond_best_effort(stream, 503, "text/plain", "overloaded\n");
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+            })
+            .expect("spawn obsd accept loop");
+
+        Ok(ObsServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the queue, and join every thread. Returns the
+    /// number of threads joined cleanly — `workers + 1` when nothing
+    /// panicked or leaked.
+    pub fn shutdown(mut self) -> usize {
+        self.stop_and_join()
+    }
+
+    fn stop_and_join(&mut self) -> usize {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept; the flag makes it exit before queueing
+        // this connection.
+        let _ = TcpStream::connect(self.addr);
+        let mut joined = 0;
+        if let Some(h) = self.accept_thread.take() {
+            joined += usize::from(h.join().is_ok());
+        }
+        for h in self.workers.drain(..) {
+            joined += usize::from(h.join().is_ok());
+        }
+        joined
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, obs: &Obs, cfg: &ServeConfig) {
+    loop {
+        // Hold the lock only while waiting, never while serving.
+        let conn = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match conn {
+            Ok(stream) => handle_connection(stream, obs, cfg),
+            Err(_) => return, // accept loop gone: graceful exit
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, obs: &Obs, cfg: &ServeConfig) {
+    let _ = stream.set_read_timeout(Some(cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+    let _span = obs.span("obsd.handle");
+    match read_request_head(&mut stream, cfg.max_request_bytes) {
+        Ok(head) => {
+            let (status, content_type, body) = route(&head, obs);
+            obs.counter("obsd", "http_requests_total", &status.to_string())
+                .inc();
+            respond_best_effort(stream, status, content_type, &body);
+        }
+        Err(status) => {
+            obs.counter("obsd", "http_requests_total", &status.to_string())
+                .inc();
+            respond_best_effort(stream, status, "text/plain", "bad request\n");
+        }
+    }
+}
+
+/// Read until the blank line ending the request head. `Err` carries the
+/// HTTP status to answer with (`408` timeout, `431` oversized head, `400`
+/// otherwise).
+fn read_request_head(stream: &mut TcpStream, cap: usize) -> Result<String, u16> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            return String::from_utf8(buf[..end].to_vec()).map_err(|_| 400);
+        }
+        if buf.len() >= cap {
+            return Err(431);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(400),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(408)
+            }
+            Err(_) => return Err(400),
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Dispatch one parsed request head to `(status, content-type, body)`.
+fn route(head: &str, obs: &Obs) -> (u16, &'static str, String) {
+    let request_line = head.lines().next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return (400, "text/plain", "malformed request line\n".into());
+    };
+    if method != "GET" {
+        return (405, "text/plain", "method not allowed; use GET\n".into());
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/metrics" => (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            obs.prometheus(),
+        ),
+        "/metrics.json" => (200, "application/json", obs.json_snapshot()),
+        "/incidents" => (200, "text/plain; charset=utf-8", incidents_report(obs)),
+        "/healthz" => (200, "text/plain", "ok\n".into()),
+        _ => (404, "text/plain", "not found\n".into()),
+    }
+}
+
+/// The `/incidents` body: a count header followed by each rendered
+/// recovery timeline.
+fn incidents_report(obs: &Obs) -> String {
+    let incidents = obs.incidents();
+    let mut out = format!("{} incident(s) reconstructed\n", incidents.len());
+    for inc in &incidents {
+        out.push('\n');
+        out.push_str(&inc.render());
+    }
+    out
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+/// Write a full `Connection: close` response; errors are swallowed — the
+/// client hanging up mid-write must not take a worker down.
+fn respond_best_effort(mut stream: TcpStream, status: u16, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    let allow = if status == 405 { "Allow: GET\r\n" } else { "" };
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(allow.as_bytes()))
+        .and_then(|()| stream.write_all(b"\r\n"))
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush());
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordKind;
+
+    /// Raw-TCP fetch returning `(status, body)`.
+    fn fetch(addr: SocketAddr, request: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect to endpoint");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        fetch(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    fn server() -> (Obs, ObsServer) {
+        let obs = Obs::new();
+        let srv = ObsServer::start(obs.clone(), ServeConfig::ephemeral()).unwrap();
+        (obs, srv)
+    }
+
+    #[test]
+    fn serves_all_routes() {
+        let (obs, srv) = server();
+        obs.counter("core", "events", "").add(5);
+        obs.record(RecordKind::AppCrash {
+            app: "a".into(),
+            detail: "p".into(),
+        });
+        let addr = srv.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("legosdn_core_events 5"));
+
+        let (status, body) = get(addr, "/metrics.json");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"incidents\""));
+
+        let (status, body) = get(addr, "/incidents");
+        assert_eq!(status, 200);
+        assert!(body.contains("1 incident(s) reconstructed"));
+        assert!(body.contains("incident app=a"));
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        srv.shutdown();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_non_get_is_405() {
+        let (_obs, srv) = server();
+        let addr = srv.local_addr();
+        assert_eq!(get(addr, "/nope").0, 404);
+        assert_eq!(
+            fetch(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").0,
+            405
+        );
+        srv.shutdown();
+    }
+
+    #[test]
+    fn query_strings_are_ignored_for_routing() {
+        let (_obs, srv) = server();
+        assert_eq!(get(srv.local_addr(), "/healthz?probe=1").0, 200);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_head_is_rejected() {
+        let obs = Obs::new();
+        let srv = ObsServer::start(
+            obs,
+            ServeConfig {
+                max_request_bytes: 256,
+                ..ServeConfig::ephemeral()
+            },
+        )
+        .unwrap();
+        let huge = format!(
+            "GET /metrics HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(4096)
+        );
+        assert_eq!(fetch(srv.local_addr(), &huge).0, 431);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn own_request_counter_increases_between_scrapes() {
+        let (_obs, srv) = server();
+        let addr = srv.local_addr();
+        let first = get(addr, "/metrics").1;
+        let second = get(addr, "/metrics").1;
+        let count = |body: &str| {
+            body.lines()
+                .find(|l| l.starts_with("legosdn_obsd_http_requests_total{label=\"200\"}"))
+                .and_then(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        };
+        let (a, b) = (count(&first), count(&second));
+        assert!(b > a, "strictly increasing: {a:?} then {b:?}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads_and_closes_listener() {
+        let obs = Obs::new();
+        let cfg = ServeConfig {
+            workers: 3,
+            ..ServeConfig::ephemeral()
+        };
+        let srv = ObsServer::start(obs, cfg).unwrap();
+        let addr = srv.local_addr();
+        assert_eq!(get(addr, "/healthz").0, 200);
+        let joined = srv.shutdown();
+        assert_eq!(joined, 4, "accept loop + 3 workers, none leaked");
+        assert!(
+            TcpStream::connect(addr).is_err(),
+            "listener closed after shutdown"
+        );
+    }
+
+    #[test]
+    fn drop_also_shuts_down() {
+        let (_obs, srv) = server();
+        let addr = srv.local_addr();
+        drop(srv);
+        assert!(TcpStream::connect(addr).is_err());
+    }
+}

@@ -1,13 +1,33 @@
-//! Observability end-to-end: run a small fault campaign and read the story
-//! back out of the `legosdn-obs` subsystem — Prometheus exposition for the
-//! metrics, and a reconstructed recovery timeline for each incident.
+//! Observability end-to-end: run a small fault campaign with a live ops
+//! endpoint attached, then read the story back the way an external
+//! operator would — scraping `/metrics` and `/incidents` over a real TCP
+//! socket instead of calling the exporters in-process.
 //!
 //! ```sh
 //! cargo run --example observability
 //! ```
+//!
+//! For a serve-forever campaign on a fixed port, see the `campaign` bin in
+//! `crates/bench` (`cargo run -p legosdn-bench --bin campaign`).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 
 use legosdn::crashpad::{CheckpointPolicy, CrashPadConfig, PolicyTable, TransformDirection};
 use legosdn::prelude::*;
+
+/// Fetch `path` from the endpoint and return the response body.
+fn scrape(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to ops endpoint");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: legosdn\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw.split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or(raw)
+}
 
 fn main() {
     // Injected app crashes are contained by design; silence their default
@@ -32,6 +52,12 @@ fn main() {
         ])),
         ..LegoSdnConfig::default()
     });
+
+    // Serve this runtime's obs state on an ephemeral loopback port. A real
+    // deployment would pass a fixed `addr` for its scraper to target.
+    let server = ObsServer::start(rt.obs(), ServeConfig::ephemeral()).expect("bind ops endpoint");
+    let addr = server.local_addr();
+    println!("ops endpoint live on http://{addr}");
 
     // A healthy learning switch, a router that crashes on switch-down (the
     // paper's running fail-stop example), and a hub that turns byzantine on
@@ -67,19 +93,18 @@ fn main() {
         rt.run_cycle(&mut net);
     }
 
-    let obs = Obs::global();
-    println!("==== Prometheus exposition ====");
-    println!("{}", obs.prometheus());
+    println!("==== GET /metrics (Prometheus exposition, over TCP) ====");
+    println!("{}", scrape(addr, "/metrics"));
 
-    let incidents = obs.incidents();
-    println!("==== {} incident(s) reconstructed ====", incidents.len());
-    if let Some(report) = incidents.first() {
-        println!("{}", report.render());
-    }
+    println!("==== GET /incidents (recovery timelines, over TCP) ====");
+    println!("{}", scrape(addr, "/incidents"));
+
     println!(
         "runtime stats: recoveries={} byzantine_blocked={} cycles={}",
         rt.stats().failstop_recoveries,
         rt.stats().byzantine_blocked,
         rt.stats().cycles,
     );
+    let joined = server.shutdown();
+    println!("endpoint shut down cleanly ({joined} thread(s) joined)");
 }

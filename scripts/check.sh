@@ -12,4 +12,15 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
+echo "==> campaign bin builds and completes a bounded run"
+cargo build -q --offline --release -p legosdn-bench --bin campaign
+timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1 \
+  || { echo "campaign smoke run failed or hung" >&2; exit 1; }
+
+# Re-run the endpoint integration test under a hard timeout: a hung accept
+# loop or leaked worker must fail fast here instead of wedging CI.
+echo "==> obs endpoint integration test (hard 120s timeout)"
+timeout 120 cargo test -q --offline -p legosdn --test integration_obs_endpoint \
+  || { echo "obs endpoint integration test failed or timed out" >&2; exit 1; }
+
 echo "all checks passed"

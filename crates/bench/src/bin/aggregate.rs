@@ -1,0 +1,157 @@
+//! `aggregate` — the fleet aggregation daemon: accepts pushes from N
+//! `campaign` daemons and serves the merged operator view.
+//!
+//! ```sh
+//! cargo run --release -p legosdn-bench --bin aggregate -- --addr 127.0.0.1:9200
+//! # in other shells:
+//! cargo run --release -p legosdn-bench --bin campaign -- \
+//!     --addr 127.0.0.1:0 --campaign alpha --push-to 127.0.0.1:9200
+//! cargo run --release -p legosdn-bench --bin campaign -- \
+//!     --addr 127.0.0.1:0 --campaign beta --push-to 127.0.0.1:9200
+//! curl http://127.0.0.1:9200/metrics    # every series labelled by campaign
+//! curl http://127.0.0.1:9200/incidents  # fleet-wide incident total order
+//! curl http://127.0.0.1:9200/healthz    # per-campaign liveness
+//! ```
+//!
+//! The endpoint serves with a small close-grace so a kill/restart of this
+//! process can re-bind its port immediately (`TIME_WAIT` stays on the
+//! pushing side); exporters keep buffering and retrying in the gap and
+//! rewind on the restarted aggregator's low ack, so no campaign data that
+//! their journal rings still hold is lost.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use legosdn::obs::{AggregateConfig, Aggregator, ObsServer, DEFAULT_JOURNAL_CAPACITY};
+
+struct AggregateArgs {
+    addr: SocketAddr,
+    addr_file: Option<String>,
+    liveness: Duration,
+    journal_capacity: usize,
+    max_seconds: u64,
+    status_every: Duration,
+}
+
+impl Default for AggregateArgs {
+    fn default() -> Self {
+        AggregateArgs {
+            addr: SocketAddr::from(([127, 0, 0, 1], 9200)),
+            addr_file: None,
+            liveness: Duration::from_secs(5),
+            journal_capacity: DEFAULT_JOURNAL_CAPACITY,
+            max_seconds: 0,
+            status_every: Duration::from_secs(10),
+        }
+    }
+}
+
+const USAGE: &str = "usage: aggregate [--addr HOST:PORT] [--addr-file PATH] \
+[--liveness-ms MS] [--journal-capacity N] [--max-seconds N]\n\
+--addr 127.0.0.1:0 picks an ephemeral port (written to --addr-file for \
+scripts). --max-seconds 0 (default) serves forever.";
+
+fn parse_args(args: &[String]) -> Result<AggregateArgs, String> {
+    let mut cfg = AggregateArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value()?.parse().map_err(|e| format!("--addr: {e}"))?,
+            "--addr-file" => cfg.addr_file = Some(value()?),
+            "--liveness-ms" => {
+                cfg.liveness = Duration::from_millis(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--liveness-ms: {e}"))?,
+                )
+            }
+            "--journal-capacity" => {
+                cfg.journal_capacity = value()?
+                    .parse()
+                    .map_err(|e| format!("--journal-capacity: {e}"))?
+            }
+            "--max-seconds" => {
+                cfg.max_seconds = value()?
+                    .parse()
+                    .map_err(|e| format!("--max-seconds: {e}"))?
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    let aggregator = Arc::new(Aggregator::new(AggregateConfig {
+        liveness_window: cfg.liveness,
+        journal_capacity: cfg.journal_capacity,
+    }));
+    let server = ObsServer::builder()
+        .addr(cfg.addr)
+        .close_grace(Duration::from_secs(1))
+        .start_with(aggregator.clone(), aggregator.obs())
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot bind aggregator on {}: {e}", cfg.addr);
+            std::process::exit(1);
+        });
+    let addr = server.local_addr();
+    if let Some(path) = &cfg.addr_file {
+        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+            eprintln!("error: cannot write --addr-file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "aggregate: accepting pushes on http://{addr}/push, serving merged \
+         /metrics /metrics.json /incidents /healthz ({})",
+        if cfg.max_seconds == 0 {
+            "until killed".to_string()
+        } else {
+            format!("for at most {} s", cfg.max_seconds)
+        },
+    );
+
+    let begun = Instant::now();
+    let mut last_status = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        if cfg.max_seconds > 0 && begun.elapsed() >= Duration::from_secs(cfg.max_seconds) {
+            break;
+        }
+        if last_status.elapsed() >= cfg.status_every {
+            last_status = Instant::now();
+            let rows = aggregator.campaigns();
+            let alive = rows.iter().filter(|r| r.alive).count();
+            eprintln!(
+                "aggregate: {} campaign(s), {alive} alive, {} incident(s) fleet-wide",
+                rows.len(),
+                aggregator.incidents().len(),
+            );
+        }
+    }
+
+    let joined = server.shutdown();
+    eprintln!(
+        "aggregate: done after {:.1} s; endpoint shut down ({joined} thread(s) joined)",
+        begun.elapsed().as_secs_f64()
+    );
+}

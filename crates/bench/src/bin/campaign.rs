@@ -14,6 +14,12 @@
 //! `--rounds 0` (the default) runs until the process is killed; a finite
 //! `--rounds N` makes the daemon a smoke-testable batch job (used by
 //! `scripts/check.sh`).
+//!
+//! With `--push-to HOST:PORT` the daemon additionally *pushes* its
+//! snapshot to a fleet aggregator (the `aggregate` binary) under the name
+//! given by `--campaign`, so N concurrent campaigns merge into one
+//! operator view. Pushing is fire-and-forget with backoff: a dead
+//! aggregator never slows the campaign down.
 
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -29,6 +35,8 @@ struct CampaignConfig {
     policy: CompromisePolicy,
     faults: Vec<BugEffect>,
     period: Duration,
+    push_to: Option<SocketAddr>,
+    campaign: String,
 }
 
 impl Default for CampaignConfig {
@@ -41,14 +49,18 @@ impl Default for CampaignConfig {
             policy: CompromisePolicy::Absolute,
             faults: vec![BugEffect::Crash, BugEffect::Blackhole],
             period: Duration::from_millis(20),
+            push_to: None,
+            campaign: "campaign".to_string(),
         }
     }
 }
 
 const USAGE: &str = "usage: campaign [--addr HOST:PORT] [--rounds N] \
 [--switches N] [--hosts N] [--policy absolute|no-compromise|equivalence] \
-[--faults crash,blackhole,loop,flush] [--period-ms MS]\n\
---rounds 0 (default) serves forever.";
+[--faults crash,blackhole,loop,flush] [--period-ms MS] \
+[--push-to HOST:PORT] [--campaign NAME]\n\
+--rounds 0 (default) serves forever. --push-to exports to a fleet \
+aggregator under the --campaign name.";
 
 fn parse_fault(s: &str) -> Result<BugEffect, String> {
     match s {
@@ -106,6 +118,15 @@ fn parse_args(args: &[String]) -> Result<CampaignConfig, String> {
                     value()?.parse().map_err(|e| format!("--period-ms: {e}"))?,
                 )
             }
+            "--push-to" => {
+                cfg.push_to = Some(value()?.parse().map_err(|e| format!("--push-to: {e}"))?)
+            }
+            "--campaign" => {
+                cfg.campaign = value()?;
+                if cfg.campaign.is_empty() || cfg.campaign == legosdn::obs::FLEET {
+                    return Err("--campaign must be a non-reserved, non-empty name".into());
+                }
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -155,25 +176,28 @@ fn main() {
 
     let topo = Topology::linear(cfg.switches, cfg.hosts_per_switch);
     let mut net = Network::new(&topo);
-    let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
-        crashpad: CrashPadConfig {
-            checkpoints: CheckpointPolicy {
-                interval: 2,
-                history: 8,
-                ..CheckpointPolicy::default()
+    // A private obs instance, wired at construction: the endpoint serves
+    // exactly this campaign, not whatever else the process global may
+    // have accumulated.
+    let mut rt = LegoSdnRuntime::new(
+        LegoSdnConfig {
+            crashpad: CrashPadConfig {
+                checkpoints: CheckpointPolicy {
+                    interval: 2,
+                    history: 8,
+                    ..CheckpointPolicy::default()
+                },
+                policies: PolicyTable::with_default(cfg.policy),
+                transform_direction: TransformDirection::Decompose,
             },
-            policies: PolicyTable::with_default(cfg.policy),
-            transform_direction: TransformDirection::Decompose,
-        },
-        checker: Some(Checker::new(vec![
-            Invariant::NoBlackHoles,
-            Invariant::NoLoops,
-        ])),
-        ..LegoSdnConfig::default()
-    });
-    // A private obs instance: the endpoint serves exactly this campaign,
-    // not whatever else the process global may have accumulated.
-    rt.set_obs(Obs::new());
+            checker: Some(Checker::new(vec![
+                Invariant::NoBlackHoles,
+                Invariant::NoLoops,
+            ])),
+            ..LegoSdnConfig::default()
+        }
+        .with_obs(Obs::new()),
+    );
     let obs = rt.obs();
 
     let poison = topo.hosts[topo.hosts.len() - 1].mac;
@@ -204,6 +228,15 @@ fn main() {
             format!("{} rounds", cfg.rounds)
         },
     );
+
+    let exporter = cfg.push_to.map(|target| {
+        eprintln!(
+            "campaign: pushing to aggregator http://{target}/push as campaign \
+             {:?}",
+            cfg.campaign
+        );
+        PushExporter::start(obs.clone(), PushConfig::new(target, cfg.campaign.clone()))
+    });
 
     let (a, b) = (topo.hosts[0].mac, topo.hosts[1 % topo.hosts.len()].mac);
     let bounce = DatapathId(cfg.switches as u64); // the last switch
@@ -240,6 +273,10 @@ fn main() {
         std::thread::sleep(cfg.period);
     }
 
+    if let Some(exporter) = exporter {
+        // Final flush inside: short smoke runs still land a complete frame.
+        exporter.shutdown();
+    }
     let joined = server.shutdown();
     eprintln!(
         "campaign: done after {round} round(s); endpoint shut down ({joined} thread(s) joined)"

@@ -4,6 +4,7 @@ use legosdn_appvisor::ProxyConfig;
 use legosdn_crashpad::CrashPadConfig;
 use legosdn_invariants::Checker;
 use legosdn_netlog::TxMode;
+use legosdn_obs::Obs;
 
 /// Where each application's fault domain lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,6 +54,13 @@ pub struct LegoSdnConfig {
     pub resource_limits: ResourceLimits,
     /// AppVisor proxy tuning (timeouts, heartbeats) for isolated modes.
     pub proxy: ProxyConfig,
+    /// Observability instance for the runtime and every sub-layer
+    /// (Crash-Pad, NetLog, AppVisor). `None` means [`Obs::global`] —
+    /// wired once at construction, so there is no window where layers
+    /// report to different instances. Set via
+    /// [`LegoSdnConfig::with_obs`] or
+    /// [`LegoSdnConfig::with_journal_capacity`].
+    pub obs: Option<Obs>,
 }
 
 impl Default for LegoSdnConfig {
@@ -65,7 +73,27 @@ impl Default for LegoSdnConfig {
             shutdown_network_on_no_compromise: false,
             resource_limits: ResourceLimits::default(),
             proxy: ProxyConfig::default(),
+            obs: None,
         }
+    }
+}
+
+impl LegoSdnConfig {
+    /// Route the runtime (and all sub-layers) to `obs` instead of the
+    /// process-global instance. Tests and multi-runtime processes use
+    /// this to keep observability private per runtime.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Shorthand for [`LegoSdnConfig::with_obs`] with a fresh instance
+    /// retaining at most `capacity` journal records. The last
+    /// `with_obs`/`with_journal_capacity` call wins.
+    #[must_use]
+    pub fn with_journal_capacity(self, capacity: usize) -> Self {
+        self.with_obs(Obs::with_journal_capacity(capacity))
     }
 }
 
@@ -80,5 +108,21 @@ mod tests {
         assert_eq!(c.netlog_mode, TxMode::Immediate);
         assert!(c.checker.is_some());
         assert_eq!(c.resource_limits, ResourceLimits::default());
+        assert!(c.obs.is_none(), "default means Obs::global at build time");
+    }
+
+    #[test]
+    fn obs_builders_set_the_instance_and_last_call_wins() {
+        let mine = Obs::new();
+        let c = LegoSdnConfig::default()
+            .with_journal_capacity(16)
+            .with_obs(mine.clone());
+        mine.counter("t", "probe", "").inc();
+        assert_eq!(c.obs.as_ref().unwrap().counter("t", "probe", "").get(), 1);
+
+        let c = LegoSdnConfig::default()
+            .with_obs(mine)
+            .with_journal_capacity(16);
+        assert_eq!(c.obs.unwrap().journal().capacity(), 16);
     }
 }

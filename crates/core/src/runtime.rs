@@ -131,30 +131,68 @@ pub struct LegoSdnRuntime {
 }
 
 impl LegoSdnRuntime {
-    /// A runtime with the given configuration, reporting to [`Obs::global`].
+    /// A runtime with the given configuration. Observability is wired here,
+    /// once, for every layer: [`LegoSdnConfig::obs`] if set (see
+    /// [`LegoSdnConfig::with_obs`] / [`LegoSdnConfig::with_journal_capacity`]),
+    /// otherwise [`Obs::global`].
     #[must_use]
     pub fn new(config: LegoSdnConfig) -> Self {
+        let obs = config.obs.clone().unwrap_or_else(Obs::global);
+        let mut crashpad = CrashPad::new(config.crashpad.clone());
+        crashpad.set_obs(obs.clone());
+        let mut netlog = NetLog::new(config.netlog_mode);
+        netlog.set_obs(obs.clone());
+        let mut proxy = AppVisorProxy::new(config.proxy.clone());
+        proxy.set_obs(obs.clone());
         LegoSdnRuntime {
             translator: EventTranslator::new(),
-            crashpad: CrashPad::new(config.crashpad.clone()),
-            netlog: NetLog::new(config.netlog_mode),
+            crashpad,
+            netlog,
             checker: config.checker.clone(),
-            proxy: AppVisorProxy::new(config.proxy.clone()),
+            proxy,
             apps: Vec::new(),
             stats: RuntimeStats::default(),
-            obs: Obs::global(),
+            obs,
             config,
         }
     }
 
     /// Route this runtime's metrics and journal records (and those of its
     /// Crash-Pad, NetLog, and AppVisor layers) to `obs` instead of the
-    /// process-global instance.
+    /// instance wired at construction.
+    #[deprecated(
+        since = "0.1.0",
+        note = "wire observability at construction time: \
+                LegoSdnConfig::with_obs / with_journal_capacity"
+    )]
     pub fn set_obs(&mut self, obs: Obs) {
         self.crashpad.set_obs(obs.clone());
         self.netlog.set_obs(obs.clone());
         self.proxy.set_obs(obs.clone());
         self.obs = obs;
+    }
+
+    /// Build a push frame of this runtime's observability state for
+    /// `campaign`: the cumulative metric snapshot plus the journal delta
+    /// after `since` (see [`legosdn_obs::Obs::frame`]). This is the
+    /// runtime-level entry point a custom export loop would use; the
+    /// stock [`legosdn_obs::PushExporter`] calls the same machinery.
+    #[must_use]
+    pub fn obs_frame(
+        &self,
+        campaign: &str,
+        since: Option<u64>,
+        max_records: usize,
+    ) -> legosdn_obs::PushFrame {
+        self.obs.frame(campaign, since, max_records)
+    }
+
+    /// Journal records with sequence numbers after `since` (all retained
+    /// records when `None`) — the raw snapshot-delta without the metric
+    /// snapshot around it.
+    #[must_use]
+    pub fn obs_delta(&self, since: Option<u64>) -> Vec<legosdn_obs::Record> {
+        self.obs.journal().snapshot_since(since)
     }
 
     /// Attach an app in the configured isolation mode.
@@ -644,6 +682,59 @@ mod tests {
     fn net2() -> (Network, Topology) {
         let topo = Topology::linear(2, 1);
         (Network::new(&topo), topo)
+    }
+
+    #[test]
+    fn construction_time_obs_wiring_reaches_every_layer() {
+        let obs = Obs::new();
+        let (mut net, topo) = net2();
+        let mut rt = LegoSdnRuntime::new(LegoSdnConfig::default().with_obs(obs.clone()));
+        rt.attach(Box::new(FaultyApp::new(
+            Box::new(Hub::new()),
+            BugTrigger::OnEventKind(EventKind::PacketIn),
+            BugEffect::Crash,
+        )))
+        .unwrap();
+        rt.run_cycle(&mut net);
+        let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        rt.run_cycle(&mut net);
+        // The runtime's own counters and the Crash-Pad journal records
+        // both landed in the private instance, with no set_obs call.
+        assert!(obs.counter("core", "dispatches", "").get() > 0);
+        assert!(obs
+            .journal()
+            .snapshot()
+            .iter()
+            .any(|r| r.kind.is_detection()));
+    }
+
+    #[test]
+    fn with_journal_capacity_bounds_the_private_journal() {
+        let rt = LegoSdnRuntime::new(LegoSdnConfig::default().with_journal_capacity(4));
+        assert_eq!(rt.obs().journal().capacity(), 4);
+    }
+
+    #[test]
+    fn obs_frame_and_delta_expose_the_snapshot() {
+        let obs = Obs::new();
+        let rt = LegoSdnRuntime::new(LegoSdnConfig::default().with_obs(obs.clone()));
+        obs.record(legosdn_obs::RecordKind::HeartbeatMiss { app: "a".into() });
+        obs.record(legosdn_obs::RecordKind::HeartbeatMiss { app: "b".into() });
+        let frame = rt.obs_frame("alpha", None, 4096);
+        assert_eq!(frame.campaign, "alpha");
+        assert_eq!(frame.records.len(), 2);
+        assert_eq!(rt.obs_delta(Some(0)).len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_set_obs_shim_still_rewires() {
+        let mut rt = LegoSdnRuntime::new(LegoSdnConfig::default());
+        let obs = Obs::new();
+        rt.set_obs(obs.clone());
+        rt.obs().counter("core", "probe", "").inc();
+        assert_eq!(obs.counter("core", "probe", "").get(), 1);
     }
 
     #[test]

@@ -1,0 +1,809 @@
+//! Fleet aggregation: merge pushes from N campaign daemons into one
+//! operator view.
+//!
+//! Each [`crate::push::PushExporter`] POSTs [`PushFrame`]s here. The
+//! [`Aggregator`] keeps per-campaign state (latest cumulative metric
+//! snapshot plus a bounded journal of records) and re-serves the merged
+//! fleet through the same routes a single campaign exposes:
+//!
+//! - `/metrics` — every series namespaced with a `campaign` label, plus a
+//!   fleet roll-up under the reserved campaign [`FLEET`]: counters and
+//!   gauges sum, histograms merge *bucket-wise* (per upper bound), so
+//!   fleet percentiles stay honest.
+//! - `/incidents` — recovery timelines from every campaign in one total
+//!   order: `(push epoch, local seq)`, where the epoch is the arrival
+//!   order of the push that delivered the incident's detection record.
+//!   Local sequence numbers from different campaigns are incomparable;
+//!   arrival epochs are what one observer can actually totally order.
+//! - `/healthz` — per-campaign liveness: a campaign that has not pushed
+//!   within [`AggregateConfig::liveness_window`] reports `alive=false`
+//!   (and flips the first line to `degraded`) but its series stay
+//!   retained — disappearance is itself a signal worth serving.
+//!
+//! Because frames carry *cumulative* metrics, ingest is idempotent
+//! (last-write-wins per campaign) and a lost frame costs freshness only.
+//! Journal records dedupe on sequence number; the ack returned to the
+//! exporter is this aggregator's high-water mark, which after a restart
+//! is low or absent — exactly the signal that makes exporters rewind and
+//! resend what their rings still hold.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::error::ObsError;
+use crate::export::{escape_label, json_escape, metric_name};
+use crate::journal::Record;
+use crate::metrics::Key;
+use crate::push::PushFrame;
+use crate::serve::{Request, Response, RouteHandler};
+use crate::timeline::{reconstruct, IncidentReport, Resolution};
+use crate::{Obs, DEFAULT_JOURNAL_CAPACITY};
+
+/// Reserved campaign label for fleet roll-up series. Pushing under this
+/// name (or an empty name) is a protocol error.
+pub const FLEET: &str = "_fleet";
+
+/// Aggregator knobs.
+#[derive(Clone, Debug)]
+pub struct AggregateConfig {
+    /// A campaign with no push for longer than this reports
+    /// `alive=false` on `/healthz`.
+    pub liveness_window: Duration,
+    /// Records retained per campaign; oldest drop first.
+    pub journal_capacity: usize,
+}
+
+impl Default for AggregateConfig {
+    fn default() -> Self {
+        AggregateConfig {
+            liveness_window: Duration::from_secs(5),
+            journal_capacity: DEFAULT_JOURNAL_CAPACITY,
+        }
+    }
+}
+
+/// A campaign's histogram as last pushed: summary scalars plus raw
+/// per-bucket counts keyed by upper bound, ready for bucket-wise merging.
+#[derive(Clone, Debug, Default)]
+struct HistogramState {
+    count: u64,
+    sum: u64,
+    max: u64,
+    buckets: BTreeMap<u64, u64>,
+}
+
+#[derive(Debug)]
+struct CampaignState {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, i64>,
+    histograms: BTreeMap<Key, HistogramState>,
+    /// `(arrival epoch, record)`, oldest first, deduped by `seq`.
+    records: VecDeque<(u64, Record)>,
+    /// Highest record sequence ever ingested — the ack.
+    max_seq: Option<u64>,
+    journal_total: u64,
+    journal_evicted: u64,
+    pushes: u64,
+    last_push: Instant,
+}
+
+impl CampaignState {
+    fn new() -> Self {
+        CampaignState {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            records: VecDeque::new(),
+            max_seq: None,
+            journal_total: 0,
+            journal_evicted: 0,
+            pushes: 0,
+            last_push: Instant::now(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct AggState {
+    /// Arrival counter: bumped once per accepted push. Stamps every
+    /// ingested record, giving incidents their cross-campaign order.
+    epoch: u64,
+    campaigns: BTreeMap<String, CampaignState>,
+}
+
+/// One campaign's liveness row, as reported by [`Aggregator::campaigns`].
+#[derive(Clone, Debug)]
+pub struct CampaignSummary {
+    pub name: String,
+    pub alive: bool,
+    pub age: Duration,
+    pub pushes: u64,
+    pub max_seq: Option<u64>,
+}
+
+/// An incident placed in the fleet-wide total order.
+#[derive(Clone, Debug)]
+pub struct FleetIncident {
+    pub campaign: String,
+    /// Arrival epoch of the push that delivered the detection record.
+    pub epoch: u64,
+    pub report: IncidentReport,
+}
+
+/// The fleet merge point. Shared behind an `Arc` between the serving
+/// machinery (it implements [`RouteHandler`]) and whoever wants to
+/// inspect state directly (tests, the `aggregate` binary's status loop).
+pub struct Aggregator {
+    cfg: AggregateConfig,
+    /// The aggregator's *own* instruments (`aggregate.pushes_total` etc.)
+    /// plus the serving endpoint's request counters.
+    obs: Obs,
+    state: Mutex<AggState>,
+}
+
+impl Aggregator {
+    #[must_use]
+    pub fn new(cfg: AggregateConfig) -> Aggregator {
+        Aggregator {
+            cfg,
+            obs: Obs::new(),
+            state: Mutex::new(AggState::default()),
+        }
+    }
+
+    /// The aggregator's own observability handle — hand this to
+    /// [`crate::ObsServerBuilder::start_with`] so endpoint counters land
+    /// beside the aggregation counters.
+    #[must_use]
+    pub fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
+    /// Ingest one push frame; returns the ack (this aggregator's highest
+    /// known record sequence for the campaign).
+    pub fn ingest(&self, frame: &PushFrame) -> Result<Option<u64>, ObsError> {
+        if frame.campaign.is_empty() {
+            return Err(ObsError::Protocol("empty campaign name".into()));
+        }
+        if frame.campaign == FLEET {
+            return Err(ObsError::Protocol(format!(
+                "campaign name {FLEET:?} is reserved for the fleet roll-up"
+            )));
+        }
+        let mut state = self.state.lock().unwrap();
+        state.epoch += 1;
+        let epoch = state.epoch;
+        let campaign = state
+            .campaigns
+            .entry(frame.campaign.clone())
+            .or_insert_with(CampaignState::new);
+
+        // Cumulative snapshots: last write wins, wholesale.
+        campaign.counters = frame.counters.iter().cloned().collect();
+        campaign.gauges = frame.gauges.iter().cloned().collect();
+        campaign.histograms = frame
+            .histograms
+            .iter()
+            .map(|h| {
+                (
+                    h.key.clone(),
+                    HistogramState {
+                        count: h.count,
+                        sum: h.sum,
+                        max: h.max,
+                        buckets: h.buckets.iter().copied().collect(),
+                    },
+                )
+            })
+            .collect();
+
+        // Records dedupe on seq: an exporter rewound by a restart resends
+        // what we may already hold.
+        let mut fresh = 0u64;
+        for rec in &frame.records {
+            if campaign.max_seq.is_some_and(|m| rec.seq <= m) {
+                continue;
+            }
+            campaign.max_seq = Some(rec.seq);
+            campaign.records.push_back((epoch, rec.clone()));
+            fresh += 1;
+        }
+        while campaign.records.len() > self.cfg.journal_capacity.max(1) {
+            campaign.records.pop_front();
+        }
+        campaign.journal_total = frame.journal_total;
+        campaign.journal_evicted = frame.journal_evicted;
+        campaign.pushes += 1;
+        campaign.last_push = Instant::now();
+        let ack = campaign.max_seq;
+        drop(state);
+
+        self.obs
+            .counter("aggregate", "pushes_total", &frame.campaign)
+            .inc();
+        self.obs
+            .counter("aggregate", "records_total", &frame.campaign)
+            .add(fresh);
+        Ok(ack)
+    }
+
+    /// Per-campaign liveness rows, sorted by campaign name.
+    #[must_use]
+    pub fn campaigns(&self) -> Vec<CampaignSummary> {
+        let state = self.state.lock().unwrap();
+        state
+            .campaigns
+            .iter()
+            .map(|(name, c)| {
+                let age = c.last_push.elapsed();
+                CampaignSummary {
+                    name: name.clone(),
+                    alive: age <= self.cfg.liveness_window,
+                    age,
+                    pushes: c.pushes,
+                    max_seq: c.max_seq,
+                }
+            })
+            .collect()
+    }
+
+    /// Every campaign's incidents in the fleet-wide total order:
+    /// `(arrival epoch of the detection record, local detection seq)`.
+    #[must_use]
+    pub fn incidents(&self) -> Vec<FleetIncident> {
+        let state = self.state.lock().unwrap();
+        let mut out = Vec::new();
+        for (name, c) in &state.campaigns {
+            let records: Vec<Record> = c.records.iter().map(|(_, r)| r.clone()).collect();
+            let epoch_of: BTreeMap<u64, u64> = c.records.iter().map(|(e, r)| (r.seq, *e)).collect();
+            for report in reconstruct(&records) {
+                let epoch = epoch_of.get(&report.detection_seq).copied().unwrap_or(0);
+                out.push(FleetIncident {
+                    campaign: name.clone(),
+                    epoch,
+                    report,
+                });
+            }
+        }
+        out.sort_by_key(|i| (i.epoch, i.report.detection_seq));
+        out
+    }
+
+    /// Merged Prometheus exposition: every series labelled by campaign,
+    /// plus [`FLEET`] roll-up series (sums; histograms bucket-wise).
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        let state = self.state.lock().unwrap();
+        let mut counters: BTreeMap<Key, BTreeMap<&str, u64>> = BTreeMap::new();
+        let mut gauges: BTreeMap<Key, BTreeMap<&str, i64>> = BTreeMap::new();
+        let mut histograms: BTreeMap<Key, BTreeMap<&str, &HistogramState>> = BTreeMap::new();
+        for (name, c) in &state.campaigns {
+            for (k, v) in &c.counters {
+                counters.entry(k.clone()).or_default().insert(name, *v);
+            }
+            for (k, v) in &c.gauges {
+                gauges.entry(k.clone()).or_default().insert(name, *v);
+            }
+            for (k, h) in &c.histograms {
+                histograms.entry(k.clone()).or_default().insert(name, h);
+            }
+        }
+
+        let mut out = String::new();
+        for (key, per_campaign) in &counters {
+            let name = metric_name(key);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let mut fleet = 0u64;
+            for (campaign, v) in per_campaign {
+                fleet = fleet.saturating_add(*v);
+                let _ = writeln!(out, "{name}{} {v}", labels(campaign, &key.2, None));
+            }
+            let _ = writeln!(out, "{name}{} {fleet}", labels(FLEET, &key.2, None));
+        }
+        for (key, per_campaign) in &gauges {
+            let name = metric_name(key);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let mut fleet = 0i64;
+            for (campaign, v) in per_campaign {
+                fleet = fleet.saturating_add(*v);
+                let _ = writeln!(out, "{name}{} {v}", labels(campaign, &key.2, None));
+            }
+            let _ = writeln!(out, "{name}{} {fleet}", labels(FLEET, &key.2, None));
+        }
+        for (key, per_campaign) in &histograms {
+            let name = metric_name(key);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut fleet = HistogramState::default();
+            for (campaign, h) in per_campaign {
+                fleet.count = fleet.count.saturating_add(h.count);
+                fleet.sum = fleet.sum.saturating_add(h.sum);
+                fleet.max = fleet.max.max(h.max);
+                for (le, n) in &h.buckets {
+                    *fleet.buckets.entry(*le).or_default() += n;
+                }
+                write_histogram(&mut out, &name, campaign, &key.2, h);
+            }
+            write_histogram(&mut out, &name, FLEET, &key.2, &fleet);
+        }
+        out
+    }
+
+    /// Merged JSON snapshot: campaign liveness plus every series with its
+    /// `campaign` field, plus the totally ordered incident list.
+    #[must_use]
+    pub fn json_snapshot(&self) -> String {
+        let rows = self.campaigns();
+        let incidents = self.incidents();
+        let state = self.state.lock().unwrap();
+
+        let mut out = String::from("{\n  \"campaigns\": [");
+        for (i, row) in rows.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let c = &state.campaigns[&row.name];
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"campaign\":\"{}\",\"alive\":{},\"age_ms\":{},\
+                 \"pushes\":{},\"max_seq\":{},\"journal\":{{\"total\":{},\
+                 \"evicted\":{},\"retained\":{}}}}}",
+                json_escape(&row.name),
+                row.alive,
+                row.age.as_millis(),
+                row.pushes,
+                row.max_seq.map_or("null".to_string(), |s| s.to_string()),
+                c.journal_total,
+                c.journal_evicted,
+                c.records.len()
+            );
+        }
+        out.push_str("\n  ],\n  \"counters\": [");
+        let mut first = true;
+        for (name, c) in &state.campaigns {
+            for (key, v) in &c.counters {
+                let sep = if first { "" } else { "," };
+                first = false;
+                let _ = write!(
+                    out,
+                    "{sep}\n    {{\"campaign\":\"{}\",{},\"value\":{v}}}",
+                    json_escape(name),
+                    key_fields(key)
+                );
+            }
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        let mut first = true;
+        for (name, c) in &state.campaigns {
+            for (key, v) in &c.gauges {
+                let sep = if first { "" } else { "," };
+                first = false;
+                let _ = write!(
+                    out,
+                    "{sep}\n    {{\"campaign\":\"{}\",{},\"value\":{v}}}",
+                    json_escape(name),
+                    key_fields(key)
+                );
+            }
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        let mut first = true;
+        for (name, c) in &state.campaigns {
+            for (key, h) in &c.histograms {
+                let sep = if first { "" } else { "," };
+                first = false;
+                let _ = write!(
+                    out,
+                    "{sep}\n    {{\"campaign\":\"{}\",{},\"count\":{},\"sum\":{},\
+                     \"max\":{}}}",
+                    json_escape(name),
+                    key_fields(key),
+                    h.count,
+                    h.sum,
+                    h.max
+                );
+            }
+        }
+        out.push_str("\n  ],\n  \"incidents\": [");
+        for (i, inc) in incidents.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let resolution = match &inc.report.resolution {
+                Resolution::Ticketed { failure } => format!("ticketed:{failure}"),
+                Resolution::AppDead => "app_dead".to_string(),
+                Resolution::Superseded => "superseded".to_string(),
+                Resolution::Open => "open".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"campaign\":\"{}\",\"epoch\":{},\"app\":\"{}\",\
+                 \"detected_by\":\"{}\",\"detection_seq\":{},\
+                 \"resolution\":\"{}\",\"total_ns\":{}}}",
+                json_escape(&inc.campaign),
+                inc.epoch,
+                json_escape(&inc.report.app),
+                json_escape(&inc.report.detected_by),
+                inc.report.detection_seq,
+                json_escape(&resolution),
+                inc.report.total_ns()
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// The `/healthz` body: `ok`/`degraded` headline, then one liveness
+    /// row per campaign. Always served with status 200 — the aggregator
+    /// being up is its own health; campaign health is the payload.
+    #[must_use]
+    pub fn healthz(&self) -> String {
+        let rows = self.campaigns();
+        let headline = if rows.iter().all(|r| r.alive) {
+            "ok"
+        } else {
+            "degraded"
+        };
+        let mut out = format!("{headline}\n");
+        for row in &rows {
+            let _ = writeln!(
+                out,
+                "campaign={} alive={} age_ms={} pushes={}",
+                row.name,
+                row.alive,
+                row.age.as_millis(),
+                row.pushes
+            );
+        }
+        out
+    }
+
+    fn incidents_text(&self) -> String {
+        let incidents = self.incidents();
+        let mut out = format!("{} incident(s) across the fleet\n", incidents.len());
+        for inc in &incidents {
+            let _ = write!(
+                out,
+                "\n[campaign={} epoch={}] {}",
+                inc.campaign,
+                inc.epoch,
+                inc.report.render()
+            );
+        }
+        out
+    }
+}
+
+impl RouteHandler for Aggregator {
+    fn route(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/push") => {
+                let frame: PushFrame = match legosdn_codec::from_bytes(&req.body) {
+                    Ok(f) => f,
+                    Err(e) => return Response::text(400, format!("bad push frame: {e}\n")),
+                };
+                match self.ingest(&frame) {
+                    Ok(Some(seq)) => Response::text(200, format!("ack={seq}\n")),
+                    Ok(None) => Response::text(200, "ack=none\n"),
+                    Err(e) => Response::text(400, format!("{e}\n")),
+                }
+            }
+            ("GET", "/metrics") => Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: self.prometheus(),
+            },
+            ("GET", "/metrics.json") => Response {
+                status: 200,
+                content_type: "application/json",
+                body: self.json_snapshot(),
+            },
+            ("GET", "/incidents") => Response {
+                status: 200,
+                content_type: "text/plain; charset=utf-8",
+                body: self.incidents_text(),
+            },
+            ("GET", "/healthz") => Response::text(200, self.healthz()),
+            ("GET", _) => Response::text(404, "not found\n"),
+            _ => Response::text(405, "method not allowed\n"),
+        }
+    }
+}
+
+/// `{campaign="...",le="..."[,label="..."]}` — campaign first, optional
+/// `le` for histogram buckets, the original instrument label last.
+fn labels(campaign: &str, label: &str, le: Option<&str>) -> String {
+    let mut out = format!("{{campaign=\"{}\"", escape_label(campaign));
+    if let Some(le) = le {
+        let _ = write!(out, ",le=\"{le}\"");
+    }
+    if !label.is_empty() {
+        let _ = write!(out, ",label=\"{}\"", escape_label(label));
+    }
+    out.push('}');
+    out
+}
+
+fn write_histogram(out: &mut String, name: &str, campaign: &str, label: &str, h: &HistogramState) {
+    let mut cum = 0u64;
+    for (le, n) in &h.buckets {
+        cum += n;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cum}",
+            labels(campaign, label, Some(&le.to_string()))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {}",
+        labels(campaign, label, Some("+Inf")),
+        h.count
+    );
+    let _ = writeln!(out, "{name}_sum{} {}", labels(campaign, label, None), h.sum);
+    let _ = writeln!(
+        out,
+        "{name}_count{} {}",
+        labels(campaign, label, None),
+        h.count
+    );
+}
+
+fn key_fields(key: &Key) -> String {
+    format!(
+        "\"component\":\"{}\",\"name\":\"{}\",\"label\":\"{}\"",
+        json_escape(&key.0),
+        json_escape(&key.1),
+        json_escape(&key.2)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordKind;
+
+    fn frame_from(obs: &Obs, campaign: &str, since: Option<u64>) -> PushFrame {
+        obs.frame(campaign, since, 4096)
+    }
+
+    fn crash(app: &str) -> RecordKind {
+        RecordKind::AppCrash {
+            app: app.into(),
+            detail: "panic".into(),
+        }
+    }
+
+    fn ticket(app: &str) -> RecordKind {
+        RecordKind::TicketFiled {
+            app: app.into(),
+            failure: "fail_stop".into(),
+        }
+    }
+
+    #[test]
+    fn reserved_and_empty_campaign_names_are_rejected() {
+        let agg = Aggregator::new(AggregateConfig::default());
+        let obs = Obs::new();
+        for name in ["", FLEET] {
+            let mut frame = frame_from(&obs, "x", None);
+            frame.campaign = name.to_string();
+            let err = agg.ingest(&frame).unwrap_err();
+            assert!(matches!(err, ObsError::Protocol(_)), "{name:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn label_collisions_stay_separated_by_campaign_and_fleet_sums() {
+        let agg = Aggregator::new(AggregateConfig::default());
+        // Same (component, name, label) key from two campaigns.
+        let a = Obs::new();
+        a.counter("core", "events", "x").add(3);
+        let b = Obs::new();
+        b.counter("core", "events", "x").add(5);
+        agg.ingest(&frame_from(&a, "alpha", None)).unwrap();
+        agg.ingest(&frame_from(&b, "beta", None)).unwrap();
+
+        let text = agg.prometheus();
+        assert!(text.contains("legosdn_core_events{campaign=\"alpha\",label=\"x\"} 3"));
+        assert!(text.contains("legosdn_core_events{campaign=\"beta\",label=\"x\"} 5"));
+        assert!(text.contains("legosdn_core_events{campaign=\"_fleet\",label=\"x\"} 8"));
+        // One TYPE line per family, not per campaign.
+        assert_eq!(
+            text.matches("# TYPE legosdn_core_events counter").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn gauges_merge_with_signed_sums() {
+        let agg = Aggregator::new(AggregateConfig::default());
+        let a = Obs::new();
+        a.gauge("core", "apps_alive", "").set(2);
+        let b = Obs::new();
+        b.gauge("core", "apps_alive", "").set(-1);
+        agg.ingest(&frame_from(&a, "alpha", None)).unwrap();
+        agg.ingest(&frame_from(&b, "beta", None)).unwrap();
+        let text = agg.prometheus();
+        assert!(text.contains("legosdn_core_apps_alive{campaign=\"_fleet\"} 1"));
+    }
+
+    #[test]
+    fn histograms_merge_bucket_wise() {
+        let agg = Aggregator::new(AggregateConfig::default());
+        let a = Obs::new();
+        a.histogram("appvisor", "deliver_ns", "").observe(100);
+        a.histogram("appvisor", "deliver_ns", "").observe(100);
+        let b = Obs::new();
+        b.histogram("appvisor", "deliver_ns", "").observe(100);
+        b.histogram("appvisor", "deliver_ns", "").observe(1 << 20);
+        agg.ingest(&frame_from(&a, "alpha", None)).unwrap();
+        agg.ingest(&frame_from(&b, "beta", None)).unwrap();
+
+        let text = agg.prometheus();
+        // Both observations of 100 land in the same bucket; the fleet
+        // series holds their sum (3), per-campaign series hold 2 and 1.
+        let bucket_of_100 = crate::bucket_bounds(crate::bucket_index(100));
+        let fleet_line = format!(
+            "legosdn_appvisor_deliver_ns_bucket{{campaign=\"_fleet\",le=\"{}\"}} 3",
+            bucket_of_100.1
+        );
+        assert!(
+            text.contains(&fleet_line),
+            "missing {fleet_line:?} in:\n{text}"
+        );
+        assert!(
+            text.contains("legosdn_appvisor_deliver_ns_bucket{campaign=\"_fleet\",le=\"+Inf\"} 4")
+        );
+        assert!(text.contains("legosdn_appvisor_deliver_ns_count{campaign=\"_fleet\"} 4"));
+        assert!(text.contains("legosdn_appvisor_deliver_ns_count{campaign=\"alpha\"} 2"));
+        assert!(text.contains("legosdn_appvisor_deliver_ns_count{campaign=\"beta\"} 2"));
+    }
+
+    #[test]
+    fn incidents_are_totally_ordered_by_arrival_epoch_then_seq() {
+        let agg = Aggregator::new(AggregateConfig::default());
+        let a = Obs::new();
+        let b = Obs::new();
+        // beta's incident arrives first (epoch 1), alpha's second (epoch
+        // 2) — even though alpha's local seqs are the same numbers.
+        b.record(crash("fwd"));
+        b.record(ticket("fwd"));
+        agg.ingest(&frame_from(&b, "beta", None)).unwrap();
+        a.record(crash("lb"));
+        a.record(ticket("lb"));
+        agg.ingest(&frame_from(&a, "alpha", None)).unwrap();
+        // A later beta incident arrives third.
+        b.record(crash("fwd"));
+        b.record(ticket("fwd"));
+        agg.ingest(&frame_from(&b, "beta", Some(1))).unwrap();
+
+        let incidents = agg.incidents();
+        assert_eq!(incidents.len(), 3);
+        let order: Vec<(&str, u64)> = incidents
+            .iter()
+            .map(|i| (i.campaign.as_str(), i.epoch))
+            .collect();
+        assert_eq!(order, vec![("beta", 1), ("alpha", 2), ("beta", 3)]);
+        // Epochs are nondecreasing — the total order is real.
+        for w in incidents.windows(2) {
+            assert!(
+                (w[0].epoch, w[0].report.detection_seq) < (w[1].epoch, w[1].report.detection_seq)
+            );
+        }
+    }
+
+    #[test]
+    fn reingested_records_dedupe_on_seq() {
+        let agg = Aggregator::new(AggregateConfig::default());
+        let obs = Obs::new();
+        obs.record(crash("fwd"));
+        obs.record(ticket("fwd"));
+        let frame = frame_from(&obs, "alpha", None);
+        assert_eq!(agg.ingest(&frame).unwrap(), Some(1));
+        // A rewound exporter resends the same records.
+        assert_eq!(agg.ingest(&frame).unwrap(), Some(1));
+        assert_eq!(agg.incidents().len(), 1, "no duplicate incidents");
+    }
+
+    #[test]
+    fn disappeared_campaign_flips_healthz_but_series_are_retained() {
+        let agg = Aggregator::new(AggregateConfig {
+            liveness_window: Duration::from_millis(30),
+            ..AggregateConfig::default()
+        });
+        let a = Obs::new();
+        a.counter("core", "events", "").add(9);
+        agg.ingest(&frame_from(&a, "alpha", None)).unwrap();
+        let health = agg.healthz();
+        assert!(health.starts_with("ok\n"), "{health}");
+        assert!(health.contains("campaign=alpha alive=true"));
+
+        std::thread::sleep(Duration::from_millis(60));
+        let health = agg.healthz();
+        assert!(health.starts_with("degraded\n"), "{health}");
+        assert!(health.contains("campaign=alpha alive=false"));
+        // The dead campaign's series are still served.
+        assert!(agg
+            .prometheus()
+            .contains("legosdn_core_events{campaign=\"alpha\"} 9"));
+        assert!(agg.json_snapshot().contains("\"alive\":false"));
+    }
+
+    #[test]
+    fn journal_capacity_drops_oldest_per_campaign() {
+        let agg = Aggregator::new(AggregateConfig {
+            journal_capacity: 2,
+            ..AggregateConfig::default()
+        });
+        let obs = Obs::new();
+        for i in 0..5 {
+            obs.record(crash(&format!("app{i}")));
+        }
+        agg.ingest(&frame_from(&obs, "alpha", None)).unwrap();
+        let state = agg.state.lock().unwrap();
+        let kept: Vec<u64> = state.campaigns["alpha"]
+            .records
+            .iter()
+            .map(|(_, r)| r.seq)
+            .collect();
+        assert_eq!(kept, vec![3, 4], "newest retained");
+    }
+
+    #[test]
+    fn routes_serve_the_merged_view_and_reject_unknowns() {
+        let agg = Aggregator::new(AggregateConfig::default());
+        let obs = Obs::new();
+        obs.counter("core", "events", "").add(1);
+        let frame = frame_from(&obs, "alpha", None);
+        let body = legosdn_codec::to_bytes(&frame).unwrap();
+
+        let push = Request {
+            method: "POST".into(),
+            path: "/push".into(),
+            body,
+        };
+        let resp = agg.route(&push);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "ack=none\n", "no journal records yet");
+
+        let get = |path: &str| {
+            agg.route(&Request {
+                method: "GET".into(),
+                path: path.into(),
+                body: Vec::new(),
+            })
+        };
+        assert!(get("/metrics").body.contains("campaign=\"alpha\""));
+        assert!(get("/metrics.json").body.contains("\"campaigns\""));
+        assert!(get("/incidents").body.contains("0 incident(s)"));
+        assert_eq!(get("/healthz").status, 200);
+        assert_eq!(get("/nope").status, 404);
+        let bad = agg.route(&Request {
+            method: "POST".into(),
+            path: "/push".into(),
+            body: vec![1, 2, 3],
+        });
+        assert_eq!(bad.status, 400);
+        let wrong_method = agg.route(&Request {
+            method: "DELETE".into(),
+            path: "/metrics".into(),
+            body: Vec::new(),
+        });
+        assert_eq!(wrong_method.status, 405);
+    }
+
+    #[test]
+    fn ack_advances_with_fresh_records() {
+        let agg = Aggregator::new(AggregateConfig::default());
+        let obs = Obs::new();
+        obs.record(crash("fwd"));
+        assert_eq!(
+            agg.ingest(&frame_from(&obs, "alpha", None)).unwrap(),
+            Some(0)
+        );
+        obs.record(ticket("fwd"));
+        obs.record(crash("fwd"));
+        assert_eq!(
+            agg.ingest(&frame_from(&obs, "alpha", Some(0))).unwrap(),
+            Some(2)
+        );
+    }
+}

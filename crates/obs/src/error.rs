@@ -1,0 +1,107 @@
+//! A single error vocabulary for the serve/push/aggregate paths.
+//!
+//! The pull endpoint, the push exporter, and the aggregator used to speak
+//! three dialects (`io::Error`, `String`, raw HTTP status codes); callers
+//! could not tell a full queue from an expired deadline from a garbled
+//! frame. [`ObsError`] names exactly those distinctions so retry logic can
+//! branch on them: overload and deadline are transient (back off and
+//! retry), protocol errors are permanent for a given frame (drop it),
+//! and I/O errors depend on the socket (connect refused while an
+//! aggregator restarts is transient; a bind failure is not).
+
+use std::fmt;
+use std::io;
+
+/// What went wrong in the observability plumbing.
+#[derive(Debug)]
+pub enum ObsError {
+    /// The peer answered `503`: its worker queue is full. Transient —
+    /// back off and retry.
+    Overload,
+    /// A connect/send/receive deadline expired before the operation
+    /// completed. Transient.
+    Deadline,
+    /// The bytes on the wire made no sense: a malformed frame, a reserved
+    /// campaign name, or an unexpected HTTP status. Permanent for this
+    /// payload.
+    Protocol(String),
+    /// Socket-level failure (connect refused, reset, bind error).
+    Io(io::Error),
+}
+
+impl ObsError {
+    /// Short stable name — used as a metric label on error counters.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsError::Overload => "overload",
+            ObsError::Deadline => "deadline",
+            ObsError::Protocol(_) => "protocol",
+            ObsError::Io(_) => "io",
+        }
+    }
+
+    /// Whether a retry with backoff can reasonably succeed.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ObsError::Overload | ObsError::Deadline | ObsError::Io(_)
+        )
+    }
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Overload => write!(f, "peer overloaded (503)"),
+            ObsError::Deadline => write!(f, "deadline expired"),
+            ObsError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ObsError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ObsError {
+    /// Timeout-shaped I/O errors become [`ObsError::Deadline`]; the rest
+    /// stay [`ObsError::Io`].
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ObsError::Deadline,
+            _ => ObsError::Io(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeouts_classify_as_deadline() {
+        let e: ObsError = io::Error::new(io::ErrorKind::TimedOut, "slow").into();
+        assert!(matches!(e, ObsError::Deadline));
+        let e: ObsError = io::Error::new(io::ErrorKind::WouldBlock, "slow").into();
+        assert!(matches!(e, ObsError::Deadline));
+        let e: ObsError = io::Error::new(io::ErrorKind::ConnectionRefused, "down").into();
+        assert!(matches!(e, ObsError::Io(_)));
+    }
+
+    #[test]
+    fn kinds_and_transience() {
+        assert_eq!(ObsError::Overload.kind(), "overload");
+        assert!(ObsError::Overload.is_transient());
+        assert!(ObsError::Deadline.is_transient());
+        assert!(!ObsError::Protocol("x".into()).is_transient());
+        assert!(ObsError::Io(io::Error::other("x")).is_transient());
+    }
+}

@@ -14,13 +14,13 @@ fn sanitize(s: &str) -> String {
         .collect()
 }
 
-fn metric_name(key: &Key) -> String {
+pub(crate) fn metric_name(key: &Key) -> String {
     format!("legosdn_{}_{}", sanitize(&key.0), sanitize(&key.1))
 }
 
 /// Escape a label value per the Prometheus text exposition format:
 /// backslash, double-quote, and line feed.
-fn escape_label(label: &str) -> String {
+pub(crate) fn escape_label(label: &str) -> String {
     label
         .replace('\\', "\\\\")
         .replace('"', "\\\"")
@@ -81,7 +81,7 @@ pub fn prometheus(registry: &Registry) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

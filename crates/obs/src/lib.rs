@@ -24,18 +24,24 @@
 //! to [`Obs::global`] so wiring is optional per call site, while tests use
 //! private instances to stay isolated.
 
+pub mod aggregate;
+pub mod error;
 pub mod export;
 pub mod journal;
 pub mod metrics;
+pub mod push;
 pub mod serve;
 pub mod timeline;
 
+pub use aggregate::{AggregateConfig, Aggregator, FleetIncident, FLEET};
+pub use error::ObsError;
 pub use journal::{Journal, Record, RecordKind};
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramRow, HistogramSummary,
     SpanGuard,
 };
-pub use serve::{ObsServer, ServeConfig};
+pub use push::{PushAck, PushConfig, PushExporter, PushFrame, WireHistogram};
+pub use serve::{ObsServer, ObsServerBuilder, Request, Response, RouteHandler, ServeConfig};
 pub use timeline::{reconstruct, IncidentReport, ReplayInfo, Resolution, RestoreInfo};
 
 use std::sync::{Arc, OnceLock};
@@ -138,6 +144,11 @@ impl Obs {
     #[must_use]
     pub fn journal(&self) -> &Journal {
         &self.inner.journal
+    }
+
+    /// The metrics registry — push/aggregate internals snapshot it whole.
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.inner.registry
     }
 
     /// Reconstruct incident timelines from the current journal contents.

@@ -1,0 +1,522 @@
+//! Push export: remote-write-style shipping of one campaign's [`Obs`]
+//! state to a fleet aggregator.
+//!
+//! The pull endpoint shows a single process. Fleet experiments — N
+//! `campaign` daemons crashing apps concurrently — need the inverse
+//! topology: every campaign *pushes* its snapshot to one
+//! [`crate::aggregate::Aggregator`], which merges and re-serves them. The
+//! exporter here is deliberately an at-least-once, loss-tolerant client:
+//!
+//! - Each [`PushFrame`] carries the full cumulative metric snapshot (so a
+//!   lost frame costs freshness, never correctness) plus the journal
+//!   *delta* since the aggregator's last acknowledged sequence number.
+//! - The aggregator's ack is its own high-water mark. A restarted
+//!   aggregator acks low (or `none`), and the exporter simply rewinds and
+//!   resends whatever the local journal ring still retains — the ring's
+//!   drop-oldest eviction *is* the bounded buffer, so a dead aggregator
+//!   can neither block the campaign nor grow its memory.
+//! - Failures back off exponentially between [`PushConfig::backoff_initial`]
+//!   and [`PushConfig::backoff_max`]; every attempt is bounded by
+//!   [`PushConfig::deadline`] end to end (connect + send + ack).
+//!
+//! Frames travel as `POST /push` bodies encoded with `legosdn-codec` over
+//! the same std-only HTTP/1.1 used everywhere else in this repo.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use legosdn_codec::Codec;
+
+use crate::error::ObsError;
+use crate::journal::Record;
+use crate::metrics::Key;
+use crate::Obs;
+
+/// One histogram as it travels on the wire: the summary scalars plus the
+/// per-bucket `(upper_bound_ns, count)` rows the aggregator needs for
+/// bucket-wise merging.
+#[derive(Clone, Debug, PartialEq, Eq, Codec)]
+pub struct WireHistogram {
+    pub key: Key,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    /// Non-cumulative `(upper_bound, count)` per occupied bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// One push: the sender's identity, a cumulative metric snapshot, and the
+/// journal delta since the last acknowledged sequence number.
+///
+/// Field order is the wire format — append new fields at the end only.
+#[derive(Clone, Debug, PartialEq, Eq, Codec)]
+pub struct PushFrame {
+    /// Campaign name; becomes the `campaign` label on every series.
+    pub campaign: String,
+    /// Sender-local push attempt counter (1-based), for diagnostics.
+    pub push_seq: u64,
+    /// Sender clock at serialization, ns since its `Obs` was created.
+    pub at_ns: u64,
+    pub counters: Vec<(Key, u64)>,
+    pub gauges: Vec<(Key, i64)>,
+    pub histograms: Vec<WireHistogram>,
+    /// Journal records ever appended at the sender (including evicted).
+    pub journal_total: u64,
+    /// Journal records lost to ring eviction at the sender.
+    pub journal_evicted: u64,
+    /// Records with `seq` greater than the last ack, oldest first.
+    pub records: Vec<Record>,
+}
+
+/// The aggregator's reply to a push: its high-water journal sequence for
+/// this campaign (`None` until it has seen any record — or again after a
+/// restart lost its state, which tells the exporter to rewind).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PushAck {
+    pub acked: Option<u64>,
+}
+
+impl Obs {
+    /// Build a [`PushFrame`] for `campaign`: the full cumulative metric
+    /// snapshot plus journal records after `since` (all retained records
+    /// when `None`), capped at `max_records` oldest-first so one frame
+    /// stays bounded. `push_seq` is left 0 for the caller to stamp.
+    #[must_use]
+    pub fn frame(&self, campaign: &str, since: Option<u64>, max_records: usize) -> PushFrame {
+        let mut records = self.journal().snapshot_since(since);
+        records.truncate(max_records.max(1));
+        PushFrame {
+            campaign: campaign.to_string(),
+            push_seq: 0,
+            at_ns: self.now_ns(),
+            counters: self.registry().counters(),
+            gauges: self.registry().gauges(),
+            histograms: self
+                .registry()
+                .histograms()
+                .into_iter()
+                .map(|(key, summary, buckets)| WireHistogram {
+                    key,
+                    count: summary.count,
+                    sum: summary.sum,
+                    max: summary.max,
+                    buckets,
+                })
+                .collect(),
+            journal_total: self.journal().total_recorded(),
+            journal_evicted: self.journal().evicted(),
+            records,
+        }
+    }
+}
+
+/// Time left before `deadline` elapses from `start`, or `Err(Deadline)`.
+fn left(start: Instant, deadline: Duration) -> Result<Duration, ObsError> {
+    deadline
+        .checked_sub(start.elapsed())
+        .filter(|d| !d.is_zero())
+        .ok_or(ObsError::Deadline)
+}
+
+/// Ship one frame to `target` and parse the ack. The whole exchange —
+/// connect, send, receive — happens within `deadline`. The client closes
+/// the connection first (after reading exactly the response), so repeated
+/// pushes leave `TIME_WAIT` state on the campaign's ephemeral ports, not
+/// on the aggregator's listening port.
+pub fn push_frame(
+    target: SocketAddr,
+    frame: &PushFrame,
+    deadline: Duration,
+) -> Result<PushAck, ObsError> {
+    let begun = Instant::now();
+    let body = legosdn_codec::to_bytes(frame)
+        .map_err(|e| ObsError::Protocol(format!("encode push frame: {e}")))?;
+
+    let mut stream = TcpStream::connect_timeout(&target, left(begun, deadline)?)?;
+    stream.set_write_timeout(Some(left(begun, deadline)?))?;
+    let head = format!(
+        "POST /push HTTP/1.1\r\nHost: aggregator\r\n\
+         Content-Type: application/octet-stream\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&body)?;
+    stream.flush()?;
+
+    stream.set_read_timeout(Some(left(begun, deadline)?))?;
+    let reply = read_reply(&mut stream, begun, deadline)?;
+    // Client closes first: TIME_WAIT lands here, not on the aggregator.
+    let _ = stream.shutdown(Shutdown::Both);
+    drop(stream);
+
+    match reply.status {
+        200 => parse_ack(&reply.body),
+        503 => Err(ObsError::Overload),
+        status => Err(ObsError::Protocol(format!(
+            "aggregator answered {status}: {}",
+            reply.body.trim()
+        ))),
+    }
+}
+
+struct Reply {
+    status: u16,
+    body: String,
+}
+
+/// Read status line, headers, and exactly `Content-Length` body bytes.
+fn read_reply(
+    stream: &mut TcpStream,
+    begun: Instant,
+    deadline: Duration,
+) -> Result<Reply, ObsError> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break end;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err(ObsError::Protocol("oversized ack head".into()));
+        }
+        stream.set_read_timeout(Some(left(begun, deadline)?))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ObsError::Protocol("peer closed before ack".into())),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(ObsError::Deadline)
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ObsError::Protocol("non-utf8 ack head".into()))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ObsError::Protocol("malformed status line".into()))?;
+    let content_length: usize = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(n, _)| n.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0);
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        stream.set_read_timeout(Some(left(begun, deadline)?))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(ObsError::Deadline)
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Reply {
+        status,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// Parse `ack=<seq>` / `ack=none`.
+fn parse_ack(body: &str) -> Result<PushAck, ObsError> {
+    let token = body
+        .trim()
+        .strip_prefix("ack=")
+        .ok_or_else(|| ObsError::Protocol(format!("unexpected ack body: {body:?}")))?;
+    if token == "none" {
+        return Ok(PushAck { acked: None });
+    }
+    token
+        .parse::<u64>()
+        .map(|seq| PushAck { acked: Some(seq) })
+        .map_err(|_| ObsError::Protocol(format!("unexpected ack body: {body:?}")))
+}
+
+/// Exporter knobs.
+#[derive(Clone, Debug)]
+pub struct PushConfig {
+    /// Where the aggregator listens.
+    pub target: SocketAddr,
+    /// Campaign name stamped on every frame.
+    pub campaign: String,
+    /// Steady-state interval between successful pushes.
+    pub period: Duration,
+    /// End-to-end deadline per push attempt (connect + send + ack).
+    pub deadline: Duration,
+    /// First retry delay after a failed push.
+    pub backoff_initial: Duration,
+    /// Retry delay ceiling; doubling stops here.
+    pub backoff_max: Duration,
+    /// Journal records per frame, oldest first; the rest wait for the
+    /// next push.
+    pub max_records: usize,
+}
+
+impl PushConfig {
+    /// Defaults: 250 ms period, 1 s deadline, 100 ms → 5 s backoff,
+    /// 4096 records per frame.
+    #[must_use]
+    pub fn new(target: SocketAddr, campaign: impl Into<String>) -> Self {
+        PushConfig {
+            target,
+            campaign: campaign.into(),
+            period: Duration::from_millis(250),
+            deadline: Duration::from_secs(1),
+            backoff_initial: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(5),
+            max_records: 4096,
+        }
+    }
+}
+
+/// Background thread pushing an [`Obs`] to an aggregator until shut down.
+///
+/// Self-instruments into the same `Obs` it exports:
+/// `push.frames_total{label=<"ok"|error kind>}` and
+/// `push.records_acked_total` — so the fleet view shows each campaign's
+/// own export health.
+pub struct PushExporter {
+    shared: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PushExporter {
+    /// Spawn the export loop. Never blocks the caller: all socket work
+    /// happens on the `obs-push` thread.
+    #[must_use]
+    pub fn start(obs: Obs, cfg: PushConfig) -> PushExporter {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("obs-push".into())
+            .spawn(move || export_loop(&obs, &cfg, &thread_shared))
+            .expect("spawn obs-push thread");
+        PushExporter {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signal the loop to stop, let it attempt one final flush push, and
+    /// join the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let (stopped, cv) = &*self.shared;
+            *stopped.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PushExporter {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn export_loop(obs: &Obs, cfg: &PushConfig, shared: &Arc<(Mutex<bool>, Condvar)>) {
+    let mut push_seq = 0u64;
+    let mut last_acked: Option<u64> = None;
+    let mut backoff = cfg.backoff_initial;
+    loop {
+        push_seq += 1;
+        let wait = match push_once(obs, cfg, push_seq, &mut last_acked) {
+            Ok(()) => {
+                backoff = cfg.backoff_initial;
+                cfg.period
+            }
+            Err(_) => {
+                let wait = backoff;
+                backoff = (backoff * 2).min(cfg.backoff_max);
+                wait
+            }
+        };
+        if sleep_or_stopped(shared, wait) {
+            // Final flush: ship whatever accumulated since the last ack so
+            // short-lived campaigns (tiny `--rounds` smoke runs) still land
+            // at least one complete frame.
+            push_seq += 1;
+            let _ = push_once(obs, cfg, push_seq, &mut last_acked);
+            return;
+        }
+    }
+}
+
+/// One push attempt; on success advances `last_acked` to the aggregator's
+/// high-water mark (which may *rewind* after an aggregator restart —
+/// exactly what makes retained records get resent).
+fn push_once(
+    obs: &Obs,
+    cfg: &PushConfig,
+    push_seq: u64,
+    last_acked: &mut Option<u64>,
+) -> Result<(), ObsError> {
+    let mut frame = obs.frame(&cfg.campaign, *last_acked, cfg.max_records);
+    frame.push_seq = push_seq;
+    let shipped = frame.records.len() as u64;
+    match push_frame(cfg.target, &frame, cfg.deadline) {
+        Ok(ack) => {
+            *last_acked = ack.acked;
+            obs.counter("push", "frames_total", "ok").inc();
+            obs.counter("push", "records_acked_total", "").add(shipped);
+            Ok(())
+        }
+        Err(e) => {
+            obs.counter("push", "frames_total", e.kind()).inc();
+            Err(e)
+        }
+    }
+}
+
+/// Wait up to `dur` or until shutdown is signalled; returns whether the
+/// exporter should stop.
+fn sleep_or_stopped(shared: &Arc<(Mutex<bool>, Condvar)>, dur: Duration) -> bool {
+    let (stopped, cv) = &**shared;
+    let mut guard = stopped.lock().unwrap();
+    let begun = Instant::now();
+    while !*guard {
+        let Some(remaining) = dur.checked_sub(begun.elapsed()) else {
+            return false;
+        };
+        let (g, timeout) = cv.wait_timeout(guard, remaining).unwrap();
+        guard = g;
+        if timeout.timed_out() {
+            return *guard;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordKind;
+    use std::net::TcpListener;
+
+    fn crash(app: &str) -> RecordKind {
+        RecordKind::AppCrash {
+            app: app.into(),
+            detail: "panic".into(),
+        }
+    }
+
+    #[test]
+    fn frame_carries_snapshot_and_journal_delta() {
+        let obs = Obs::new();
+        obs.counter("core", "events", "").add(3);
+        obs.gauge("core", "apps_alive", "").set(2);
+        obs.histogram("appvisor", "deliver_ns", "").observe(100);
+        obs.record(crash("a"));
+        obs.record(crash("b"));
+
+        let full = obs.frame("alpha", None, 4096);
+        assert_eq!(full.campaign, "alpha");
+        assert_eq!(full.records.len(), 2);
+        assert_eq!(full.counters.len(), 1);
+        assert_eq!(full.gauges.len(), 1);
+        assert_eq!(full.histograms.len(), 1);
+        assert_eq!(full.histograms[0].count, 1);
+        assert_eq!(full.journal_total, 2);
+
+        let delta = obs.frame("alpha", Some(0), 4096);
+        assert_eq!(delta.records.len(), 1);
+        assert_eq!(delta.records[0].seq, 1);
+        // Metrics stay cumulative even in a delta frame.
+        assert_eq!(delta.counters, full.counters);
+
+        let capped = obs.frame("alpha", None, 1);
+        assert_eq!(capped.records.len(), 1);
+        assert_eq!(capped.records[0].seq, 0, "oldest first under the cap");
+    }
+
+    #[test]
+    fn frames_roundtrip_through_the_codec() {
+        let obs = Obs::new();
+        obs.counter("core", "events", "x\"y").add(7);
+        obs.histogram("h", "ns", "").observe(42);
+        obs.record(crash("alpha"));
+        let mut frame = obs.frame("alpha", None, 4096);
+        frame.push_seq = 9;
+        let bytes = legosdn_codec::to_bytes(&frame).unwrap();
+        let back: PushFrame = legosdn_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn ack_parsing() {
+        assert_eq!(parse_ack("ack=17\n").unwrap(), PushAck { acked: Some(17) });
+        assert_eq!(parse_ack("ack=none\n").unwrap(), PushAck { acked: None });
+        assert!(matches!(parse_ack("nak"), Err(ObsError::Protocol(_))));
+        assert!(matches!(parse_ack("ack=zz"), Err(ObsError::Protocol(_))));
+    }
+
+    #[test]
+    fn push_to_unreachable_target_is_io_error() {
+        let obs = Obs::new();
+        // Bind then drop a listener to get a port that refuses connections.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let frame = obs.frame("alpha", None, 16);
+        let err = push_frame(addr, &frame, Duration::from_secs(2)).unwrap_err();
+        assert!(matches!(err, ObsError::Io(_) | ObsError::Deadline));
+    }
+
+    #[test]
+    fn push_to_silent_listener_hits_the_deadline() {
+        let obs = Obs::new();
+        // Accepts but never responds.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let frame = obs.frame("alpha", None, 16);
+        let begun = Instant::now();
+        let err = push_frame(addr, &frame, Duration::from_millis(200)).unwrap_err();
+        assert!(matches!(err, ObsError::Deadline), "got {err}");
+        assert!(begun.elapsed() < Duration::from_secs(2), "deadline bounded");
+        drop(hold.join());
+    }
+
+    #[test]
+    fn exporter_backs_off_and_never_blocks_its_owner() {
+        let obs = Obs::new();
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut cfg = PushConfig::new(addr, "alpha");
+        cfg.period = Duration::from_millis(5);
+        cfg.deadline = Duration::from_millis(100);
+        cfg.backoff_initial = Duration::from_millis(5);
+        cfg.backoff_max = Duration::from_millis(20);
+        let exporter = PushExporter::start(obs.clone(), cfg);
+        // The owner keeps recording at full speed while pushes fail.
+        for i in 0..100 {
+            obs.record(crash(&format!("app{i}")));
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        exporter.shutdown();
+        let failures = obs.counter("push", "frames_total", "io").get()
+            + obs.counter("push", "frames_total", "deadline").get();
+        assert!(failures >= 1, "at least one failed push was counted");
+        assert_eq!(obs.counter("push", "frames_total", "ok").get(), 0);
+        assert_eq!(obs.journal().total_recorded(), 100);
+    }
+}

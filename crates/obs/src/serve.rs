@@ -1,24 +1,36 @@
-//! Ops endpoint: a minimal, std-only, blocking HTTP/1.1 responder that
-//! serves live [`Obs`] state to external scrapers.
+//! Ops endpoint: a minimal, std-only, blocking HTTP/1.1 responder shared
+//! by the pull endpoint (one campaign's live [`Obs`] state) and the
+//! fleet aggregator ([`crate::aggregate::Aggregator`]).
 //!
 //! The paper's operability story (Crash-Pad problem tickets, §5) assumes
-//! operators can *watch* failures and recoveries as they happen; until now
-//! the obs subsystem was only readable post-mortem via `BENCH_*.json`
-//! dumps. [`ObsServer`] closes that gap:
+//! operators can *watch* failures and recoveries as they happen.
+//! [`ObsServer`] is the watching machinery; what it serves is decided by a
+//! [`RouteHandler`]:
 //!
-//! - `GET /metrics` — Prometheus text exposition ([`Obs::prometheus`])
-//! - `GET /metrics.json` — JSON snapshot ([`Obs::json_snapshot`])
-//! - `GET /incidents` — rendered recovery timelines ([`Obs::incidents`])
-//! - `GET /healthz` — liveness probe (`200 ok`)
+//! - [`ObsServerBuilder::start`] serves one `Obs` instance (the pull
+//!   routes: `/metrics`, `/metrics.json`, `/incidents`, `/healthz`);
+//! - [`ObsServerBuilder::start_with`] serves any handler — the aggregator
+//!   uses this to add `POST /push` and fleet-merged views of the same
+//!   routes.
 //!
 //! Resource behaviour is deliberately bounded: a fixed worker pool drains
 //! a bounded connection queue (overload answers `503` instead of queueing
 //! without limit), every connection gets read/write deadlines, request
-//! heads are capped at [`ServeConfig::max_request_bytes`], and responses
-//! close the connection (no keep-alive state to leak). Shutdown is an
-//! atomic flag plus a self-connect to wake the blocking `accept`, then a
-//! join of every thread — a hung scrape cannot wedge process exit past
-//! its I/O deadline.
+//! heads are capped at [`ServeConfig::max_request_bytes`], bodies at
+//! [`ServeConfig::max_body_bytes`] (`413` beyond it), and responses close
+//! the connection (no keep-alive state to leak). Shutdown is an atomic
+//! flag plus a self-connect to wake the blocking `accept`, then a join of
+//! every thread — a hung scrape cannot wedge process exit past its I/O
+//! deadline.
+//!
+//! One subtlety for restartable servers: whichever TCP endpoint closes
+//! first owns the `TIME_WAIT` state, and a port with server-side
+//! `TIME_WAIT` sockets cannot be re-bound (std exposes no `SO_REUSEADDR`).
+//! [`ServeConfig::close_grace`] makes the server wait briefly for the
+//! client's FIN after writing a response, so well-behaved clients (the
+//! push exporter, scrapers that parse `Content-Length`) close first and
+//! the port is immediately re-bindable — which is what lets an aggregator
+//! be killed and restarted on the same address mid-campaign.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -26,8 +38,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crate::error::ObsError;
 use crate::Obs;
 
 /// Endpoint knobs. The defaults suit a localhost scraper.
@@ -43,6 +56,14 @@ pub struct ServeConfig {
     pub io_timeout: Duration,
     /// Maximum bytes of request head we will buffer before answering `431`.
     pub max_request_bytes: usize,
+    /// Maximum request body bytes (push frames); beyond it clients get
+    /// `413`.
+    pub max_body_bytes: usize,
+    /// After writing a response, wait up to this long for the client to
+    /// close first. Zero (the default) closes immediately. Servers that
+    /// must re-bind their port promptly after shutdown — a restarted
+    /// aggregator — set a small grace so `TIME_WAIT` lands on the client.
+    pub close_grace: Duration,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +74,8 @@ impl Default for ServeConfig {
             backlog: 32,
             io_timeout: Duration::from_secs(2),
             max_request_bytes: 8 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+            close_grace: Duration::ZERO,
         }
     }
 }
@@ -68,6 +91,159 @@ impl ServeConfig {
     }
 }
 
+/// One parsed HTTP request, as handed to a [`RouteHandler`].
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …) exactly as received.
+    pub method: String,
+    /// Request path with any query string stripped.
+    pub path: String,
+    /// Request body (empty unless the client sent `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// What a [`RouteHandler`] answers with.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: String,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain",
+            body: body.into(),
+        }
+    }
+}
+
+/// Dispatches parsed requests to responses. Implemented by the pull
+/// routes (over an [`Obs`]) and by the aggregator; anything else that
+/// wants to ride the bounded serving machinery can implement it too.
+pub trait RouteHandler: Send + Sync + 'static {
+    /// Answer one request. Must not block beyond its own computation —
+    /// socket deadlines are the server's job.
+    fn route(&self, req: &Request) -> Response;
+}
+
+/// The single-campaign pull routes: the original `ObsServer` behaviour.
+struct PullRoutes {
+    obs: Obs,
+}
+
+impl RouteHandler for PullRoutes {
+    fn route(&self, req: &Request) -> Response {
+        if req.method != "GET" {
+            return Response::text(405, "method not allowed; use GET\n");
+        }
+        match req.path.as_str() {
+            "/metrics" => Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: self.obs.prometheus(),
+            },
+            "/metrics.json" => Response {
+                status: 200,
+                content_type: "application/json",
+                body: self.obs.json_snapshot(),
+            },
+            "/incidents" => Response {
+                status: 200,
+                content_type: "text/plain; charset=utf-8",
+                body: incidents_report(&self.obs),
+            },
+            "/healthz" => Response::text(200, "ok\n"),
+            _ => Response::text(404, "not found\n"),
+        }
+    }
+}
+
+/// Builds an [`ObsServer`]: the one construction path shared by the pull
+/// endpoint and the aggregator. Starts from [`ServeConfig::ephemeral`];
+/// call [`ObsServerBuilder::addr`] for a fixed port.
+#[derive(Clone, Debug, Default)]
+pub struct ObsServerBuilder {
+    cfg: Option<ServeConfig>,
+}
+
+impl ObsServerBuilder {
+    fn cfg(&mut self) -> &mut ServeConfig {
+        self.cfg.get_or_insert_with(ServeConfig::ephemeral)
+    }
+
+    /// Bind address (port 0 picks an ephemeral port).
+    #[must_use]
+    pub fn addr(mut self, addr: SocketAddr) -> Self {
+        self.cfg().addr = addr;
+        self
+    }
+
+    /// Worker threads answering requests.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg().workers = workers;
+        self
+    }
+
+    /// Queued-but-unserved connection limit; beyond it clients get `503`.
+    #[must_use]
+    pub fn backlog(mut self, backlog: usize) -> Self {
+        self.cfg().backlog = backlog;
+        self
+    }
+
+    /// Per-connection read *and* write deadline.
+    #[must_use]
+    pub fn io_deadline(mut self, deadline: Duration) -> Self {
+        self.cfg().io_timeout = deadline;
+        self
+    }
+
+    /// Request-head byte cap (`431` beyond it).
+    #[must_use]
+    pub fn max_request_bytes(mut self, cap: usize) -> Self {
+        self.cfg().max_request_bytes = cap;
+        self
+    }
+
+    /// Request-body byte cap (`413` beyond it).
+    #[must_use]
+    pub fn max_body_bytes(mut self, cap: usize) -> Self {
+        self.cfg().max_body_bytes = cap;
+        self
+    }
+
+    /// Post-response wait for the client's FIN (see [`ServeConfig`]).
+    #[must_use]
+    pub fn close_grace(mut self, grace: Duration) -> Self {
+        self.cfg().close_grace = grace;
+        self
+    }
+
+    /// Start serving the pull routes over `obs`.
+    pub fn start(mut self, obs: Obs) -> Result<ObsServer, ObsError> {
+        let cfg = self.cfg().clone();
+        ObsServer::start_inner(Arc::new(PullRoutes { obs: obs.clone() }), obs, cfg)
+    }
+
+    /// Start serving a custom handler; `obs` receives the endpoint's own
+    /// request/overload counters (the aggregator passes its private
+    /// instance).
+    pub fn start_with(
+        mut self,
+        handler: Arc<dyn RouteHandler>,
+        obs: Obs,
+    ) -> Result<ObsServer, ObsError> {
+        let cfg = self.cfg().clone();
+        ObsServer::start_inner(handler, obs, cfg)
+    }
+}
+
 /// A running ops endpoint. Dropping it (or calling [`ObsServer::shutdown`])
 /// stops the accept loop and joins every thread.
 pub struct ObsServer {
@@ -78,10 +254,32 @@ pub struct ObsServer {
 }
 
 impl ObsServer {
+    /// The builder: one construction path for every knob.
+    #[must_use]
+    pub fn builder() -> ObsServerBuilder {
+        ObsServerBuilder::default()
+    }
+
     /// Bind `config.addr` and start serving `obs`. Returns once the
     /// listener is live, so [`ObsServer::local_addr`] is immediately
     /// scrapable.
+    ///
+    /// Positional-construction shim kept for existing callers; prefer
+    /// [`ObsServer::builder`].
     pub fn start(obs: Obs, config: ServeConfig) -> std::io::Result<ObsServer> {
+        Self::start_inner(Arc::new(PullRoutes { obs: obs.clone() }), obs, config).map_err(|e| {
+            match e {
+                ObsError::Io(io) => io,
+                other => std::io::Error::other(other.to_string()),
+            }
+        })
+    }
+
+    fn start_inner(
+        handler: Arc<dyn RouteHandler>,
+        obs: Obs,
+        config: ServeConfig,
+    ) -> Result<ObsServer, ObsError> {
         let listener = TcpListener::bind(config.addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -91,11 +289,12 @@ impl ObsServer {
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
                 let obs = obs.clone();
                 let cfg = config.clone();
                 std::thread::Builder::new()
                     .name(format!("obsd-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &obs, &cfg))
+                    .spawn(move || worker_loop(&rx, &handler, &obs, &cfg))
                     .expect("spawn obsd worker")
             })
             .collect();
@@ -118,7 +317,13 @@ impl ObsServer {
                         Ok(()) => {}
                         Err(TrySendError::Full(stream)) => {
                             accept_obs.counter("obsd", "overload_total", "").inc();
-                            respond_best_effort(stream, 503, "text/plain", "overloaded\n");
+                            respond_best_effort(
+                                stream,
+                                503,
+                                "text/plain",
+                                "overloaded\n",
+                                Duration::ZERO,
+                            );
                         }
                         Err(TrySendError::Disconnected(_)) => break,
                     }
@@ -169,7 +374,12 @@ impl Drop for ObsServer {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, obs: &Obs, cfg: &ServeConfig) {
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    handler: &Arc<dyn RouteHandler>,
+    obs: &Obs,
+    cfg: &ServeConfig,
+) {
     loop {
         // Hold the lock only while waiting, never while serving.
         let conn = match rx.lock() {
@@ -177,40 +387,107 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, obs: &Obs, cfg: &ServeConfig) {
             Err(_) => return,
         };
         match conn {
-            Ok(stream) => handle_connection(stream, obs, cfg),
+            Ok(stream) => handle_connection(stream, handler, obs, cfg),
             Err(_) => return, // accept loop gone: graceful exit
         }
     }
 }
 
-fn handle_connection(mut stream: TcpStream, obs: &Obs, cfg: &ServeConfig) {
+fn handle_connection(
+    mut stream: TcpStream,
+    handler: &Arc<dyn RouteHandler>,
+    obs: &Obs,
+    cfg: &ServeConfig,
+) {
     let _ = stream.set_read_timeout(Some(cfg.io_timeout));
     let _ = stream.set_write_timeout(Some(cfg.io_timeout));
     let _span = obs.span("obsd.handle");
-    match read_request_head(&mut stream, cfg.max_request_bytes) {
-        Ok(head) => {
-            let (status, content_type, body) = route(&head, obs);
-            obs.counter("obsd", "http_requests_total", &status.to_string())
+    match read_request(&mut stream, cfg) {
+        Ok(req) => {
+            let resp = handler.route(&req);
+            obs.counter("obsd", "http_requests_total", &resp.status.to_string())
                 .inc();
-            respond_best_effort(stream, status, content_type, &body);
+            respond_best_effort(
+                stream,
+                resp.status,
+                resp.content_type,
+                &resp.body,
+                cfg.close_grace,
+            );
         }
         Err(status) => {
             obs.counter("obsd", "http_requests_total", &status.to_string())
                 .inc();
-            respond_best_effort(stream, status, "text/plain", "bad request\n");
+            respond_best_effort(
+                stream,
+                status,
+                "text/plain",
+                "bad request\n",
+                cfg.close_grace,
+            );
         }
     }
 }
 
-/// Read until the blank line ending the request head. `Err` carries the
-/// HTTP status to answer with (`408` timeout, `431` oversized head, `400`
-/// otherwise).
-fn read_request_head(stream: &mut TcpStream, cap: usize) -> Result<String, u16> {
+/// Read and parse one request (head, then any `Content-Length` body).
+/// `Err` carries the HTTP status to answer with (`408` timeout, `431`
+/// oversized head, `413` oversized body, `400` otherwise).
+fn read_request(stream: &mut TcpStream, cfg: &ServeConfig) -> Result<Request, u16> {
     let mut buf = Vec::with_capacity(512);
+    let head_end = read_until_head_end(stream, &mut buf, cfg.max_request_bytes)?;
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| 400u16)?;
+
+    let request_line = head.lines().next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(400);
+    };
+    let method = method.to_string();
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let content_length = content_length(head)?;
+    if content_length > cfg.max_body_bytes {
+        return Err(413);
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    let mut chunk = [0u8; 4096];
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(400),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(408)
+            }
+            Err(_) => return Err(400),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+/// Parse a `Content-Length` header (case-insensitive); absent means 0.
+fn content_length(head: &str) -> Result<usize, u16> {
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                return value.trim().parse().map_err(|_| 400u16);
+            }
+        }
+    }
+    Ok(0)
+}
+
+/// Read until the blank line ending the request head; returns the head
+/// length (bytes read past it stay in `buf` — the start of the body).
+fn read_until_head_end(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> Result<usize, u16> {
     let mut chunk = [0u8; 1024];
     loop {
-        if let Some(end) = find_head_end(&buf) {
-            return String::from_utf8(buf[..end].to_vec()).map_err(|_| 400);
+        if let Some(end) = find_head_end(buf) {
+            return Ok(end);
         }
         if buf.len() >= cap {
             return Err(431);
@@ -228,30 +505,6 @@ fn read_request_head(stream: &mut TcpStream, cap: usize) -> Result<String, u16> 
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
-}
-
-/// Dispatch one parsed request head to `(status, content-type, body)`.
-fn route(head: &str, obs: &Obs) -> (u16, &'static str, String) {
-    let request_line = head.lines().next().unwrap_or_default();
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
-        return (400, "text/plain", "malformed request line\n".into());
-    };
-    if method != "GET" {
-        return (405, "text/plain", "method not allowed; use GET\n".into());
-    }
-    let path = target.split('?').next().unwrap_or(target);
-    match path {
-        "/metrics" => (
-            200,
-            "text/plain; version=0.0.4; charset=utf-8",
-            obs.prometheus(),
-        ),
-        "/metrics.json" => (200, "application/json", obs.json_snapshot()),
-        "/incidents" => (200, "text/plain; charset=utf-8", incidents_report(obs)),
-        "/healthz" => (200, "text/plain", "ok\n".into()),
-        _ => (404, "text/plain", "not found\n".into()),
-    }
 }
 
 /// The `/incidents` body: a count header followed by each rendered
@@ -273,6 +526,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Error",
@@ -280,8 +534,16 @@ fn reason(status: u16) -> &'static str {
 }
 
 /// Write a full `Connection: close` response; errors are swallowed — the
-/// client hanging up mid-write must not take a worker down.
-fn respond_best_effort(mut stream: TcpStream, status: u16, content_type: &str, body: &str) {
+/// client hanging up mid-write must not take a worker down. With a
+/// nonzero `close_grace`, wait up to that long for the client's FIN
+/// before closing, so `TIME_WAIT` lands on the client side.
+fn respond_best_effort(
+    mut stream: TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close_grace: Duration,
+) {
     let head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n",
@@ -289,13 +551,35 @@ fn respond_best_effort(mut stream: TcpStream, status: u16, content_type: &str, b
         body.len()
     );
     let allow = if status == 405 { "Allow: GET\r\n" } else { "" };
-    let _ = stream
+    let sent = stream
         .write_all(head.as_bytes())
         .and_then(|()| stream.write_all(allow.as_bytes()))
         .and_then(|()| stream.write_all(b"\r\n"))
         .and_then(|()| stream.write_all(body.as_bytes()))
         .and_then(|()| stream.flush());
+    if sent.is_ok() && !close_grace.is_zero() {
+        drain_until_client_close(&mut stream, close_grace);
+    }
     let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Read (and discard) until EOF or the grace expires. A prompt client
+/// returns in microseconds; a rude one costs at most `grace`.
+fn drain_until_client_close(stream: &mut TcpStream, grace: Duration) {
+    let begun = Instant::now();
+    let mut sink = [0u8; 256];
+    loop {
+        let Some(left) = grace.checked_sub(begun.elapsed()).filter(|d| !d.is_zero()) else {
+            return;
+        };
+        if stream.set_read_timeout(Some(left)).is_err() {
+            return;
+        }
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -386,20 +670,115 @@ mod tests {
     #[test]
     fn oversized_request_head_is_rejected() {
         let obs = Obs::new();
-        let srv = ObsServer::start(
-            obs,
-            ServeConfig {
-                max_request_bytes: 256,
-                ..ServeConfig::ephemeral()
-            },
-        )
-        .unwrap();
+        let srv = ObsServer::builder()
+            .max_request_bytes(256)
+            .start(obs)
+            .unwrap();
         let huge = format!(
             "GET /metrics HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
             "a".repeat(4096)
         );
         assert_eq!(fetch(srv.local_addr(), &huge).0, 431);
         srv.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_with_413() {
+        let obs = Obs::new();
+        let srv = ObsServer::builder().max_body_bytes(64).start(obs).unwrap();
+        let req = format!(
+            "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 4096\r\n\r\n{}",
+            "b".repeat(4096)
+        );
+        assert_eq!(fetch(srv.local_addr(), &req).0, 413);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn custom_handler_receives_method_path_and_body() {
+        struct Echo;
+        impl RouteHandler for Echo {
+            fn route(&self, req: &Request) -> Response {
+                Response::text(
+                    200,
+                    format!("{} {} {}b\n", req.method, req.path, req.body.len()),
+                )
+            }
+        }
+        let srv = ObsServer::builder()
+            .start_with(Arc::new(Echo), Obs::new())
+            .unwrap();
+        let (status, body) = fetch(
+            srv.local_addr(),
+            "POST /push HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body, "POST /push 5b\n");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn builder_configures_the_endpoint() {
+        let obs = Obs::new();
+        let srv = ObsServer::builder()
+            .workers(3)
+            .backlog(8)
+            .io_deadline(Duration::from_secs(1))
+            .close_grace(Duration::from_millis(200))
+            .start(obs)
+            .unwrap();
+        let addr = srv.local_addr();
+        assert_eq!(get(addr, "/healthz").0, 200);
+        let joined = srv.shutdown();
+        assert_eq!(joined, 4, "accept loop + 3 workers, none leaked");
+    }
+
+    #[test]
+    fn close_grace_port_is_rebindable_when_client_closes_first() {
+        let obs = Obs::new();
+        let srv = ObsServer::builder()
+            .close_grace(Duration::from_secs(1))
+            .start(obs.clone())
+            .unwrap();
+        let addr = srv.local_addr();
+        // A well-behaved client: parse Content-Length, read exactly the
+        // response, close first.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 256];
+        let body_len = loop {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed before client");
+            buf.extend_from_slice(&chunk[..n]);
+            if let Some(end) = find_head_end(&buf) {
+                let head = std::str::from_utf8(&buf[..end]).unwrap();
+                break content_length_of(head);
+            }
+        };
+        while buf.len() < buf.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4 + body_len {
+            let n = stream.read(&mut chunk).unwrap();
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        drop(stream); // client FIN first → server side leaves no TIME_WAIT
+        srv.shutdown();
+        // The port is immediately re-bindable.
+        let srv2 = ObsServer::builder().addr(addr).start(Obs::new()).unwrap();
+        assert_eq!(get(srv2.local_addr(), "/healthz").0, 200);
+        srv2.shutdown();
+    }
+
+    fn content_length_of(head: &str) -> usize {
+        head.lines()
+            .filter_map(|l| l.split_once(':'))
+            .find(|(n, _)| n.trim().eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.trim().parse().ok())
+            .unwrap_or(0)
     }
 
     #[test]

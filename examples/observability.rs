@@ -36,26 +36,36 @@ fn main() {
 
     let topo = Topology::linear(3, 1);
     let mut net = Network::new(&topo);
-    let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
-        crashpad: CrashPadConfig {
-            checkpoints: CheckpointPolicy {
-                interval: 2,
-                history: 8,
-                ..CheckpointPolicy::default()
+    // Observability is wired at construction: `with_journal_capacity`
+    // gives this runtime a private obs instance whose journal retains the
+    // last 1024 records.
+    let mut rt = LegoSdnRuntime::new(
+        LegoSdnConfig {
+            crashpad: CrashPadConfig {
+                checkpoints: CheckpointPolicy {
+                    interval: 2,
+                    history: 8,
+                    ..CheckpointPolicy::default()
+                },
+                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+                transform_direction: TransformDirection::Decompose,
             },
-            policies: PolicyTable::with_default(CompromisePolicy::Absolute),
-            transform_direction: TransformDirection::Decompose,
-        },
-        checker: Some(Checker::new(vec![
-            Invariant::NoBlackHoles,
-            Invariant::NoLoops,
-        ])),
-        ..LegoSdnConfig::default()
-    });
+            checker: Some(Checker::new(vec![
+                Invariant::NoBlackHoles,
+                Invariant::NoLoops,
+            ])),
+            ..LegoSdnConfig::default()
+        }
+        .with_journal_capacity(1024),
+    );
 
     // Serve this runtime's obs state on an ephemeral loopback port. A real
-    // deployment would pass a fixed `addr` for its scraper to target.
-    let server = ObsServer::start(rt.obs(), ServeConfig::ephemeral()).expect("bind ops endpoint");
+    // deployment would pass `.addr(..)` with a fixed port for its scraper
+    // to target.
+    let server = ObsServer::builder()
+        .workers(2)
+        .start(rt.obs())
+        .expect("bind ops endpoint");
     let addr = server.local_addr();
     println!("ops endpoint live on http://{addr}");
 

@@ -13,9 +13,43 @@ echo "==> cargo test"
 cargo test -q --offline --workspace
 
 echo "==> campaign bin builds and completes a bounded run"
-cargo build -q --offline --release -p legosdn-bench --bin campaign
+cargo build -q --offline --release -p legosdn-bench --bin campaign --bin aggregate
 timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1 \
   || { echo "campaign smoke run failed or hung" >&2; exit 1; }
+
+echo "==> fleet smoke: aggregator + two pushing campaigns"
+AGG_ADDR_FILE="$(mktemp)"
+AGG_OUT="$(mktemp)"
+trap 'kill "$AGG_PID" 2>/dev/null || true; rm -f "$AGG_ADDR_FILE" "$AGG_OUT"' EXIT
+./target/release/aggregate --addr 127.0.0.1:0 --addr-file "$AGG_ADDR_FILE" \
+  --max-seconds 60 2>"$AGG_OUT" &
+AGG_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$AGG_ADDR_FILE" ] && break
+  kill -0 "$AGG_PID" 2>/dev/null || { cat "$AGG_OUT" >&2; exit 1; }
+  sleep 0.1
+done
+AGG_ADDR="$(cat "$AGG_ADDR_FILE")"
+[ -n "$AGG_ADDR" ] || { echo "aggregator never published its address" >&2; exit 1; }
+timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 3 --period-ms 1 \
+  --campaign alpha --push-to "$AGG_ADDR" \
+  || { echo "campaign alpha smoke run failed or hung" >&2; exit 1; }
+timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 3 --period-ms 1 \
+  --campaign beta --push-to "$AGG_ADDR" \
+  || { echo "campaign beta smoke run failed or hung" >&2; exit 1; }
+# Scrape the merged exposition over bash's /dev/tcp (curl may be absent):
+# both campaign labels and a TYPE comment must appear.
+MERGED="$(exec 3<>"/dev/tcp/${AGG_ADDR%:*}/${AGG_ADDR#*:}" \
+  && printf 'GET /metrics HTTP/1.1\r\nHost: check\r\n\r\n' >&3 \
+  && timeout 10 cat <&3; exec 3<&- 3>&- || true)"
+echo "$MERGED" | grep -q 'campaign="alpha"' \
+  || { echo "merged /metrics is missing campaign=\"alpha\"" >&2; exit 1; }
+echo "$MERGED" | grep -q 'campaign="beta"' \
+  || { echo "merged /metrics is missing campaign=\"beta\"" >&2; exit 1; }
+echo "$MERGED" | grep -q '^# TYPE legosdn_' \
+  || { echo "merged /metrics is missing TYPE comments" >&2; exit 1; }
+kill "$AGG_PID" 2>/dev/null || true
+wait "$AGG_PID" 2>/dev/null || true
 
 # Re-run the endpoint integration test under a hard timeout: a hung accept
 # loop or leaked worker must fail fast here instead of wedging CI.

@@ -153,25 +153,28 @@ impl Campaign {
     fn new() -> Self {
         let topo = Topology::linear(3, 1);
         let mut net = Network::new(&topo);
-        let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
-            crashpad: CrashPadConfig {
-                checkpoints: CheckpointPolicy {
-                    interval: 2,
-                    history: 8,
-                    ..CheckpointPolicy::default()
+        // Private obs instance (construction-time wiring): the endpoint
+        // must serve exactly this campaign, isolated from other tests in
+        // the process.
+        let mut rt = LegoSdnRuntime::new(
+            LegoSdnConfig {
+                crashpad: CrashPadConfig {
+                    checkpoints: CheckpointPolicy {
+                        interval: 2,
+                        history: 8,
+                        ..CheckpointPolicy::default()
+                    },
+                    policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+                    transform_direction: TransformDirection::Decompose,
                 },
-                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
-                transform_direction: TransformDirection::Decompose,
-            },
-            checker: Some(Checker::new(vec![
-                Invariant::NoBlackHoles,
-                Invariant::NoLoops,
-            ])),
-            ..LegoSdnConfig::default()
-        });
-        // Private obs instance: the endpoint must serve exactly this
-        // campaign, isolated from other tests in the process.
-        rt.set_obs(legosdn::obs::Obs::new());
+                checker: Some(Checker::new(vec![
+                    Invariant::NoBlackHoles,
+                    Invariant::NoLoops,
+                ])),
+                ..LegoSdnConfig::default()
+            }
+            .with_obs(legosdn::obs::Obs::new()),
+        );
         let poison = topo.hosts[2].mac;
         rt.attach(Box::new(LearningSwitch::new())).unwrap();
         rt.attach(Box::new(FaultyApp::new(

@@ -1,0 +1,316 @@
+//! Fleet-level push/aggregate pipeline, end to end over real TCP:
+//!
+//! one `Aggregator` endpoint plus two concurrent campaign runtimes, each
+//! with a private `Obs` wired at construction and a `PushExporter`
+//! shipping snapshots. Asserts the acceptance criteria of the push
+//! pipeline:
+//!
+//! - the merged `/metrics` carries per-campaign labels and a `_fleet`
+//!   roll-up whose counters are monotone across scrapes;
+//! - `/incidents` shows incidents from both campaigns in one total
+//!   cross-campaign order (nondecreasing arrival epochs);
+//! - `/healthz` reports both campaigns alive while they push;
+//! - killing the aggregator mid-run never stalls a campaign — rounds keep
+//!   advancing, pushes fail fast with backoff — and after a restart *on
+//!   the same address* the exporters resume and re-deliver what their
+//!   journal rings retained.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use legosdn::crashpad::{CheckpointPolicy, CrashPadConfig, PolicyTable, TransformDirection};
+use legosdn::obs::{AggregateConfig, Aggregator, ObsServer, PushConfig, PushExporter};
+use legosdn::prelude::*;
+
+/// Scrape `path`, reading exactly `Content-Length` body bytes and closing
+/// first so `TIME_WAIT` stays client-side (the aggregator's port must
+/// remain immediately re-bindable after a kill).
+fn scrape(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to aggregator");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .expect("send scrape");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "aggregator closed before responding");
+        buf.extend_from_slice(&chunk[..n]);
+        if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break end;
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).expect("utf8 head");
+    let content_length: usize = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(n, _)| n.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .expect("Content-Length header");
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "short body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    String::from_utf8(body).expect("utf8 body")
+    // stream drops here: client closes first.
+}
+
+/// Poll until `pred` passes or the deadline expires; returns the last
+/// scraped value either way.
+fn poll_until(
+    addr: SocketAddr,
+    path: &str,
+    deadline: Duration,
+    pred: impl Fn(&str) -> bool,
+) -> String {
+    let begun = Instant::now();
+    loop {
+        let body = scrape(addr, path);
+        if pred(&body) || begun.elapsed() > deadline {
+            return body;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The value of the first sample line whose name starts with `prefix`.
+fn sample(body: &str, prefix: &str) -> Option<u64> {
+    body.lines()
+        .find(|l| l.starts_with(prefix))
+        .and_then(|l| l.rsplit(' ').next()?.parse().ok())
+}
+
+/// One campaign runtime driving fault rounds on a worker thread until
+/// stopped, with a private obs instance pushed to `target`.
+struct CampaignThread {
+    rounds: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CampaignThread {
+    fn spawn(name: &'static str, target: SocketAddr) -> CampaignThread {
+        let rounds = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_rounds = Arc::clone(&rounds);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("campaign-{name}"))
+            .spawn(move || run_campaign(name, target, &thread_rounds, &thread_stop))
+            .expect("spawn campaign thread");
+        CampaignThread {
+            rounds,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Acquire)
+    }
+
+    fn finish(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            h.join().expect("campaign thread panicked");
+        }
+    }
+}
+
+fn run_campaign(
+    name: &'static str,
+    target: SocketAddr,
+    rounds: &Arc<AtomicU64>,
+    stop: &Arc<AtomicBool>,
+) {
+    let topo = Topology::linear(3, 1);
+    let mut net = Network::new(&topo);
+    let mut rt = LegoSdnRuntime::new(
+        LegoSdnConfig {
+            crashpad: CrashPadConfig {
+                checkpoints: CheckpointPolicy {
+                    interval: 2,
+                    history: 8,
+                    ..CheckpointPolicy::default()
+                },
+                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+                transform_direction: TransformDirection::Decompose,
+            },
+            checker: Some(Checker::new(vec![
+                Invariant::NoBlackHoles,
+                Invariant::NoLoops,
+            ])),
+            ..LegoSdnConfig::default()
+        }
+        .with_obs(Obs::new()),
+    );
+    let poison = topo.hosts[2].mac;
+    rt.attach(Box::new(LearningSwitch::new())).unwrap();
+    rt.attach(Box::new(FaultyApp::new(
+        Box::new(ShortestPathRouter::new()),
+        BugTrigger::OnEventKind(EventKind::SwitchDown),
+        BugEffect::Crash,
+    )))
+    .unwrap();
+    rt.run_cycle(&mut net);
+
+    let mut cfg = PushConfig::new(target, name);
+    cfg.period = Duration::from_millis(20);
+    cfg.deadline = Duration::from_millis(500);
+    cfg.backoff_initial = Duration::from_millis(20);
+    cfg.backoff_max = Duration::from_millis(100);
+    let exporter = PushExporter::start(rt.obs(), cfg);
+
+    let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+    while !stop.load(Ordering::Acquire) {
+        for _ in 0..2 {
+            let _ = net.inject(a, Packet::ethernet(a, b));
+            rt.run_cycle(&mut net);
+        }
+        let _ = net.inject(a, Packet::ethernet(a, poison));
+        rt.run_cycle(&mut net);
+        let _ = net.set_switch_up(DatapathId(2), false);
+        rt.run_cycle(&mut net);
+        let _ = net.set_switch_up(DatapathId(2), true);
+        rt.run_cycle(&mut net);
+        rounds.fetch_add(1, Ordering::Release);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    exporter.shutdown();
+}
+
+fn start_aggregator(addr: SocketAddr) -> (Arc<Aggregator>, ObsServer) {
+    let aggregator = Arc::new(Aggregator::new(AggregateConfig {
+        liveness_window: Duration::from_millis(500),
+        ..AggregateConfig::default()
+    }));
+    // close_grace: responses wait for the client FIN, keeping the listening
+    // port free of TIME_WAIT so the kill/restart below can re-bind it.
+    let server = ObsServer::builder()
+        .addr(addr)
+        .close_grace(Duration::from_secs(1))
+        .start_with(aggregator.clone(), aggregator.obs())
+        .expect("bind aggregator");
+    (aggregator, server)
+}
+
+#[test]
+fn fleet_pipeline_two_campaigns_survive_aggregator_restart() {
+    // Injected crashes are contained by design; keep test output readable.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let (_aggregator, server) = start_aggregator(SocketAddr::from(([127, 0, 0, 1], 0)));
+    let addr = server.local_addr();
+
+    let alpha = CampaignThread::spawn("alpha", addr);
+    let beta = CampaignThread::spawn("beta", addr);
+
+    // Phase 1 — both campaigns visible in the merged view.
+    let metrics = poll_until(addr, "/metrics", Duration::from_secs(10), |m| {
+        m.contains("campaign=\"alpha\"")
+            && m.contains("campaign=\"beta\"")
+            && m.contains("campaign=\"_fleet\"")
+    });
+    assert!(
+        metrics.contains("campaign=\"alpha\"") && metrics.contains("campaign=\"beta\""),
+        "both campaign labels in merged /metrics:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE"),
+        "exposition carries TYPE comments"
+    );
+
+    // Merged fleet counters are monotone between scrapes.
+    let fleet_key = "legosdn_core_dispatches{campaign=\"_fleet\"}";
+    let first = sample(&metrics, fleet_key).expect("fleet dispatches sample");
+    let later = poll_until(addr, "/metrics", Duration::from_secs(10), |m| {
+        sample(m, fleet_key).is_some_and(|v| v > first)
+    });
+    let second = sample(&later, fleet_key).expect("fleet dispatches sample (second)");
+    assert!(
+        second > first,
+        "fleet counter is monotone: {first} then {second}"
+    );
+
+    // Incidents from both campaigns, in one total (epoch, seq) order.
+    let incidents = poll_until(addr, "/metrics.json", Duration::from_secs(10), |j| {
+        j.contains("\"campaign\":\"alpha\",\"epoch\":")
+            && j.contains("\"campaign\":\"beta\",\"epoch\":")
+    });
+    let epochs: Vec<u64> = incidents
+        .lines()
+        .filter(|l| l.contains("\"epoch\":"))
+        .filter_map(|l| {
+            let rest = l.split("\"epoch\":").nth(1)?;
+            rest.split(',').next()?.trim().parse().ok()
+        })
+        .collect();
+    assert!(
+        epochs.len() >= 2,
+        "incidents from both campaigns:\n{incidents}"
+    );
+    assert!(
+        epochs.windows(2).all(|w| w[0] <= w[1]),
+        "incident epochs are nondecreasing (total order): {epochs:?}"
+    );
+
+    // Healthz: both alive.
+    let health = poll_until(addr, "/healthz", Duration::from_secs(5), |h| {
+        h.contains("campaign=alpha alive=true") && h.contains("campaign=beta alive=true")
+    });
+    assert!(health.starts_with("ok"), "healthy fleet:\n{health}");
+
+    // Phase 2 — kill the aggregator mid-run. Campaigns must keep making
+    // progress while their pushes fail and back off.
+    server.shutdown();
+    let rounds_at_kill = (alpha.rounds(), beta.rounds());
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(
+        alpha.rounds() > rounds_at_kill.0 && beta.rounds() > rounds_at_kill.1,
+        "campaigns never stall on a dead aggregator: {rounds_at_kill:?} then \
+         ({}, {})",
+        alpha.rounds(),
+        beta.rounds()
+    );
+
+    // Phase 3 — restart on the SAME address (fresh state). Exporters must
+    // reconnect, get rewound by the low ack, and re-deliver retained
+    // journal records.
+    let begun = Instant::now();
+    let (_aggregator2, server2) = loop {
+        match std::panic::catch_unwind(|| start_aggregator(addr)) {
+            Ok(pair) => break pair,
+            Err(_) if begun.elapsed() < Duration::from_secs(5) => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => std::panic::resume_unwind(e),
+        }
+    };
+    let metrics = poll_until(addr, "/metrics", Duration::from_secs(10), |m| {
+        m.contains("campaign=\"alpha\"") && m.contains("campaign=\"beta\"")
+    });
+    assert!(
+        metrics.contains("campaign=\"alpha\"") && metrics.contains("campaign=\"beta\""),
+        "pushes resumed after restart:\n{metrics}"
+    );
+    let incidents = poll_until(addr, "/incidents", Duration::from_secs(10), |i| {
+        i.contains("campaign=alpha") && i.contains("campaign=beta")
+    });
+    assert!(
+        incidents.contains("campaign=alpha") && incidents.contains("campaign=beta"),
+        "rewound exporters re-delivered incident records:\n{incidents}"
+    );
+
+    alpha.finish();
+    beta.finish();
+    server2.shutdown();
+}

@@ -22,7 +22,8 @@ pub mod stub;
 pub mod transport;
 
 pub use proxy::{
-    AppHandle, AppVisorProxy, AppWireStats, DeliverOutcome, ProxyConfig, ProxyError, TransportKind,
+    AppHandle, AppVisorProxy, AppWireStats, DeliverOutcome, FanoutDelivery, FanoutTicket,
+    ProxyConfig, ProxyError, TransportKind,
 };
 pub use rpc::{decode_frame, encode_frame, RpcMessage};
 pub use stub::{run_stub, spawn_stub, StubConfig, StubReport};

@@ -74,6 +74,39 @@ pub enum DeliverOutcome {
     CommFailure,
 }
 
+/// One app's result from a fan-out delivery: the outcome plus how long
+/// the proxy waited for it (wall time from the end of the send phase),
+/// so callers can attribute pipeline latency per app.
+#[derive(Clone, Debug)]
+pub struct FanoutDelivery {
+    /// What the app did with the event (or why we could not ask it).
+    pub outcome: Result<DeliverOutcome, ProxyError>,
+    /// Wall time from the end of [`AppVisorProxy::fanout_send`] until
+    /// this app's outcome was classified. Because collection is
+    /// in-order, an app's elapsed time includes any wait spent on apps
+    /// ahead of it; the *maximum* over a fan-out is the round's cost.
+    pub elapsed: Duration,
+}
+
+/// In-flight fan-out: the frames are sent, the acks are not yet
+/// collected. Produced by [`AppVisorProxy::fanout_send`], consumed by
+/// [`AppVisorProxy::fanout_collect`]. Dropping it without collecting
+/// leaves unread acks queued on the transports; the per-seq matching in
+/// the recv loops discards stale acks, so that is safe but wasteful.
+#[must_use = "collect the fan-out or the acks rot in the transports"]
+pub struct FanoutTicket {
+    handles: Vec<AppHandle>,
+    seqs: Vec<Option<u64>>,
+    started: Instant,
+}
+
+impl FanoutTicket {
+    /// Apps included in this fan-out, in send (and collection) order.
+    pub fn handles(&self) -> &[AppHandle] {
+        &self.handles
+    }
+}
+
 /// Proxy-level failure.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ProxyError {
@@ -428,8 +461,14 @@ impl AppVisorProxy {
     /// processes; this is the dispatch pattern that exploits it ("SDN-Apps
     /// [...] can handle multiple events in parallel", §5).
     ///
-    /// Returns one outcome per handle, in order. Unknown handles yield
-    /// `Err` entries without aborting the rest.
+    /// Returns one [`FanoutDelivery`] per handle, in order, each carrying
+    /// the outcome plus the wall time until that app's result was
+    /// available. Unknown handles yield `Err` outcomes without aborting
+    /// the rest.
+    ///
+    /// This is [`AppVisorProxy::fanout_send`] + [`AppVisorProxy::fanout_collect`]
+    /// back to back; the pipelined runtime calls the halves directly so it
+    /// can run in-process sandboxes between them while the stubs work.
     pub fn deliver_fanout(
         &mut self,
         handles: &[AppHandle],
@@ -437,11 +476,25 @@ impl AppVisorProxy {
         topology: &TopologyView,
         devices: &DeviceView,
         now: SimTime,
-    ) -> Vec<Result<DeliverOutcome, ProxyError>> {
+    ) -> Vec<FanoutDelivery> {
+        let ticket = self.fanout_send(handles, event, topology, devices, now);
+        self.fanout_collect(ticket)
+    }
+
+    /// Fan-out phase 1: push the event to every stub without awaiting any
+    /// ack. Returns the ticket [`AppVisorProxy::fanout_collect`] needs to
+    /// gather the results; the stubs start processing as soon as their
+    /// frame lands, so work done between the two calls overlaps with them.
+    pub fn fanout_send(
+        &mut self,
+        handles: &[AppHandle],
+        event: &Event,
+        topology: &TopologyView,
+        devices: &DeviceView,
+        now: SimTime,
+    ) -> FanoutTicket {
         let obs = self.obs.clone();
-        let _span = obs.span("appvisor.deliver_fanout");
-        let deliver_timeout = self.config.deliver_timeout;
-        // Phase 1: send to everyone.
+        let _span = obs.span("appvisor.fanout_send");
         let mut seqs: Vec<Option<u64>> = Vec::with_capacity(handles.len());
         for h in handles {
             match self.apps.get_mut(h.0) {
@@ -471,66 +524,102 @@ impl AppVisorProxy {
                 None => seqs.push(None),
             }
         }
-        // Phase 2: collect acks per app (stubs worked in parallel already).
-        let deadline = Instant::now() + deliver_timeout;
+        FanoutTicket {
+            handles: handles.to_vec(),
+            seqs,
+            started: Instant::now(),
+        }
+    }
+
+    /// Fan-out phase 2: gather one result per handle in the ticket, in
+    /// order (the stubs worked in parallel already). Each result carries
+    /// the wall time from the end of the send phase to that app's outcome
+    /// being classified, recorded in the `appvisor.fanout_app_ns`
+    /// histogram per app.
+    pub fn fanout_collect(&mut self, ticket: FanoutTicket) -> Vec<FanoutDelivery> {
+        let obs = self.obs.clone();
+        let _span = obs.span("appvisor.fanout_collect");
+        let FanoutTicket {
+            handles,
+            seqs,
+            started,
+        } = ticket;
+        let deadline = started + self.config.deliver_timeout;
         handles
             .iter()
             .zip(seqs)
             .map(|(h, seq)| {
-                let Some(slot) = self.apps.get_mut(h.0) else {
-                    return Err(ProxyError::UnknownApp);
-                };
-                let Some(seq) = seq else {
-                    return Ok(DeliverOutcome::CommFailure);
-                };
-                loop {
-                    let Some(remaining) = time_left(deadline) else {
-                        slot.stats.comm_failures += 1;
-                        slot.alive = false;
-                        obs.counter("appvisor", "comm_failures", &slot.name).inc();
-                        return Ok(DeliverOutcome::CommFailure);
-                    };
-                    match slot.transport.recv_timeout(remaining) {
-                        Ok(Some(frame)) => {
-                            slot.stats.bytes_received += frame.len() as u64;
-                            obs.counter("appvisor", "bytes_received", &slot.name)
-                                .add(frame.len() as u64);
-                            match decode_frame(&frame) {
-                                Ok(RpcMessage::EventAck { seq: s, commands }) if s == seq => {
-                                    slot.stats.events_delivered += 1;
-                                    slot.last_heartbeat = Instant::now();
-                                    obs.counter("appvisor", "events_delivered", &slot.name)
-                                        .inc();
-                                    return Ok(DeliverOutcome::Commands(commands));
-                                }
-                                Ok(RpcMessage::Crashed {
-                                    seq: s,
-                                    panic_message,
-                                }) if s == seq => {
-                                    slot.stats.crashes_detected += 1;
-                                    slot.alive = false;
-                                    obs.counter("appvisor", "crashes_detected", &slot.name)
-                                        .inc();
-                                    return Ok(DeliverOutcome::Crashed { panic_message });
-                                }
-                                Ok(RpcMessage::Heartbeat { .. }) => {
-                                    slot.last_heartbeat = Instant::now();
-                                }
-                                _ => {}
-                            }
-                        }
-                        Ok(None) => {}
-                        Err(TransportError::Disconnected) => {
-                            slot.stats.comm_failures += 1;
-                            slot.alive = false;
-                            obs.counter("appvisor", "comm_failures", &slot.name).inc();
-                            return Ok(DeliverOutcome::CommFailure);
-                        }
-                        Err(e) => return Err(ProxyError::Transport(e)),
-                    }
+                let outcome = self.collect_one(*h, seq, deadline, &obs);
+                let elapsed = started.elapsed();
+                if let Some(slot) = self.apps.get(h.0) {
+                    obs.histogram("appvisor", "fanout_app_ns", &slot.name)
+                        .observe(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
                 }
+                FanoutDelivery { outcome, elapsed }
             })
             .collect()
+    }
+
+    /// Await one app's ack for an already-sent fan-out frame.
+    fn collect_one(
+        &mut self,
+        h: AppHandle,
+        seq: Option<u64>,
+        deadline: Instant,
+        obs: &Obs,
+    ) -> Result<DeliverOutcome, ProxyError> {
+        let Some(slot) = self.apps.get_mut(h.0) else {
+            return Err(ProxyError::UnknownApp);
+        };
+        let Some(seq) = seq else {
+            return Ok(DeliverOutcome::CommFailure);
+        };
+        loop {
+            let Some(remaining) = time_left(deadline) else {
+                slot.stats.comm_failures += 1;
+                slot.alive = false;
+                obs.counter("appvisor", "comm_failures", &slot.name).inc();
+                return Ok(DeliverOutcome::CommFailure);
+            };
+            match slot.transport.recv_timeout(remaining) {
+                Ok(Some(frame)) => {
+                    slot.stats.bytes_received += frame.len() as u64;
+                    obs.counter("appvisor", "bytes_received", &slot.name)
+                        .add(frame.len() as u64);
+                    match decode_frame(&frame) {
+                        Ok(RpcMessage::EventAck { seq: s, commands }) if s == seq => {
+                            slot.stats.events_delivered += 1;
+                            slot.last_heartbeat = Instant::now();
+                            obs.counter("appvisor", "events_delivered", &slot.name)
+                                .inc();
+                            return Ok(DeliverOutcome::Commands(commands));
+                        }
+                        Ok(RpcMessage::Crashed {
+                            seq: s,
+                            panic_message,
+                        }) if s == seq => {
+                            slot.stats.crashes_detected += 1;
+                            slot.alive = false;
+                            obs.counter("appvisor", "crashes_detected", &slot.name)
+                                .inc();
+                            return Ok(DeliverOutcome::Crashed { panic_message });
+                        }
+                        Ok(RpcMessage::Heartbeat { .. }) => {
+                            slot.last_heartbeat = Instant::now();
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(None) => {}
+                Err(TransportError::Disconnected) => {
+                    slot.stats.comm_failures += 1;
+                    slot.alive = false;
+                    obs.counter("appvisor", "comm_failures", &slot.name).inc();
+                    return Ok(DeliverOutcome::CommFailure);
+                }
+                Err(e) => return Err(ProxyError::Transport(e)),
+            }
+        }
     }
 
     /// Drain pending heartbeats (non-blocking-ish) and return the apps whose
@@ -837,7 +926,7 @@ mod tests {
         assert_eq!(results.len(), 4);
         for r in &results {
             assert!(
-                matches!(r, Ok(DeliverOutcome::Commands(c)) if c.len() == 1),
+                matches!(&r.outcome, Ok(DeliverOutcome::Commands(c)) if c.len() == 1),
                 "{r:?}"
             );
         }
@@ -861,11 +950,55 @@ mod tests {
             &dev,
             SimTime::ZERO,
         );
-        assert!(matches!(&results[4], Ok(DeliverOutcome::Crashed { .. })));
-        assert!(matches!(&results[5], Err(ProxyError::UnknownApp)));
+        assert!(matches!(
+            &results[4].outcome,
+            Ok(DeliverOutcome::Crashed { .. })
+        ));
+        assert!(matches!(&results[5].outcome, Err(ProxyError::UnknownApp)));
         // Healthy apps unaffected by their neighbor's crash.
         for r in &results[..4] {
-            assert!(matches!(r, Ok(DeliverOutcome::Commands(_))));
+            assert!(matches!(&r.outcome, Ok(DeliverOutcome::Commands(_))));
+        }
+        let _ = p.shutdown();
+    }
+
+    #[test]
+    fn fanout_send_collect_split_matches_composed_call() {
+        // The pipelined runtime calls the halves directly so it can run
+        // local sandboxes between them; the split must behave exactly
+        // like the composed `deliver_fanout` and report per-app wall time.
+        let mut p = proxy();
+        let handles: Vec<AppHandle> = (0..3)
+            .map(|_| {
+                p.launch_app(
+                    Box::new(TestApp {
+                        count: 0,
+                        crash_on_count: None,
+                    }),
+                    TransportKind::Channel,
+                )
+                .unwrap()
+            })
+            .collect();
+        let topo = TopologyView::default();
+        let dev = DeviceView::default();
+        let ticket = p.fanout_send(
+            &handles,
+            &Event::SwitchUp(DatapathId(7)),
+            &topo,
+            &dev,
+            SimTime::ZERO,
+        );
+        assert_eq!(ticket.handles(), &handles[..]);
+        // Stubs are processing while the caller is free to do other work.
+        let results = p.fanout_collect(ticket);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(
+                matches!(&r.outcome, Ok(DeliverOutcome::Commands(c)) if c.len() == 1),
+                "{r:?}"
+            );
+            assert!(r.elapsed < Duration::from_secs(1));
         }
         let _ = p.shutdown();
     }

@@ -37,6 +37,8 @@ struct CampaignConfig {
     period: Duration,
     push_to: Option<SocketAddr>,
     campaign: String,
+    dispatch: DispatchMode,
+    isolation: IsolationMode,
 }
 
 impl Default for CampaignConfig {
@@ -51,6 +53,8 @@ impl Default for CampaignConfig {
             period: Duration::from_millis(20),
             push_to: None,
             campaign: "campaign".to_string(),
+            dispatch: DispatchMode::Sequential,
+            isolation: IsolationMode::Local,
         }
     }
 }
@@ -58,9 +62,11 @@ impl Default for CampaignConfig {
 const USAGE: &str = "usage: campaign [--addr HOST:PORT] [--rounds N] \
 [--switches N] [--hosts N] [--policy absolute|no-compromise|equivalence] \
 [--faults crash,blackhole,loop,flush] [--period-ms MS] \
-[--push-to HOST:PORT] [--campaign NAME]\n\
+[--push-to HOST:PORT] [--campaign NAME] \
+[--dispatch sequential|pipelined] [--isolation local|channel|udp|tcp]\n\
 --rounds 0 (default) serves forever. --push-to exports to a fleet \
-aggregator under the --campaign name.";
+aggregator under the --campaign name. --dispatch pipelined fans events \
+out to isolated apps concurrently (same network state, see DESIGN.md).";
 
 fn parse_fault(s: &str) -> Result<BugEffect, String> {
     match s {
@@ -127,6 +133,20 @@ fn parse_args(args: &[String]) -> Result<CampaignConfig, String> {
                     return Err("--campaign must be a non-reserved, non-empty name".into());
                 }
             }
+            "--dispatch" => {
+                let v = value()?;
+                cfg.dispatch =
+                    DispatchMode::parse(&v).ok_or_else(|| format!("unknown dispatch mode: {v}"))?;
+            }
+            "--isolation" => {
+                cfg.isolation = match value()?.as_str() {
+                    "local" => IsolationMode::Local,
+                    "channel" => IsolationMode::Channel,
+                    "udp" => IsolationMode::Udp,
+                    "tcp" => IsolationMode::Tcp,
+                    other => return Err(format!("unknown isolation mode: {other}")),
+                }
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -181,6 +201,8 @@ fn main() {
     // have accumulated.
     let mut rt = LegoSdnRuntime::new(
         LegoSdnConfig {
+            isolation: cfg.isolation,
+            dispatch: cfg.dispatch,
             crashpad: CrashPadConfig {
                 checkpoints: CheckpointPolicy {
                     interval: 2,
@@ -217,11 +239,13 @@ fn main() {
     });
     eprintln!(
         "campaign: serving /metrics /metrics.json /incidents /healthz on http://{} \
-         ({} switches, policy {}, {} fault app(s), {})",
+         ({} switches, policy {}, {} fault app(s), {:?}/{:?} dispatch, {})",
         server.local_addr(),
         cfg.switches,
         cfg.policy,
         cfg.faults.len(),
+        cfg.dispatch,
+        cfg.isolation,
         if cfg.rounds == 0 {
             "until killed".to_string()
         } else {

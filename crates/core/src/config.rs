@@ -22,6 +22,35 @@ pub enum IsolationMode {
     Tcp,
 }
 
+/// How `dispatch_event` moves one event through the app roster.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// One blocking Crash-Pad round-trip per app, in attach order — the
+    /// original monolithic loop. Simple and the reference for
+    /// determinism.
+    #[default]
+    Sequential,
+    /// Phased pipeline: checkpoint all selected apps up front, fan the
+    /// event out to isolated stubs concurrently (local sandboxes run
+    /// inline while the stubs work), gather outcomes and recover only
+    /// the failures, then commit each app's commands through NetLog in
+    /// attach order. Network state and transaction order are identical
+    /// to `Sequential`; wall time per event is bounded by the slowest
+    /// app instead of the sum.
+    Pipelined,
+}
+
+impl DispatchMode {
+    /// Parse a CLI-style name (`sequential` | `pipelined`).
+    pub fn parse(s: &str) -> Option<DispatchMode> {
+        match s {
+            "sequential" => Some(DispatchMode::Sequential),
+            "pipelined" => Some(DispatchMode::Pipelined),
+            _ => None,
+        }
+    }
+}
+
 /// Per-application resource limits (paper §3.4: "an operator can define
 /// resource limits for each SDN-App, thus limiting the impact of
 /// misbehaving applications").
@@ -40,6 +69,8 @@ pub struct ResourceLimits {
 #[derive(Clone, Debug)]
 pub struct LegoSdnConfig {
     pub isolation: IsolationMode,
+    /// Event-dispatch strategy; see [`DispatchMode`].
+    pub dispatch: DispatchMode,
     /// NetLog transaction mode: `Immediate` (full NetLog: apply + undo log)
     /// or `Buffered` (the paper-prototype ablation).
     pub netlog_mode: TxMode,
@@ -67,6 +98,7 @@ impl Default for LegoSdnConfig {
     fn default() -> Self {
         LegoSdnConfig {
             isolation: IsolationMode::Local,
+            dispatch: DispatchMode::default(),
             netlog_mode: TxMode::Immediate,
             crashpad: CrashPadConfig::default(),
             checker: Some(Checker::default()),
@@ -95,6 +127,13 @@ impl LegoSdnConfig {
     pub fn with_journal_capacity(self, capacity: usize) -> Self {
         self.with_obs(Obs::with_journal_capacity(capacity))
     }
+
+    /// Select the event-dispatch strategy.
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -105,10 +144,30 @@ mod tests {
     fn defaults_are_the_paper_design() {
         let c = LegoSdnConfig::default();
         assert_eq!(c.isolation, IsolationMode::Local);
+        assert_eq!(c.dispatch, DispatchMode::Sequential);
         assert_eq!(c.netlog_mode, TxMode::Immediate);
         assert!(c.checker.is_some());
         assert_eq!(c.resource_limits, ResourceLimits::default());
         assert!(c.obs.is_none(), "default means Obs::global at build time");
+    }
+
+    #[test]
+    fn dispatch_mode_parses_cli_names() {
+        assert_eq!(
+            DispatchMode::parse("sequential"),
+            Some(DispatchMode::Sequential)
+        );
+        assert_eq!(
+            DispatchMode::parse("pipelined"),
+            Some(DispatchMode::Pipelined)
+        );
+        assert_eq!(DispatchMode::parse("warp"), None);
+        assert_eq!(
+            LegoSdnConfig::default()
+                .with_dispatch(DispatchMode::Pipelined)
+                .dispatch,
+            DispatchMode::Pipelined
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! App hosting: uniform [`RecoverableApp`] access to apps in any isolation
 //! mode.
 
-use legosdn_appvisor::{AppHandle, AppVisorProxy, DeliverOutcome};
+use legosdn_appvisor::{AppHandle, AppVisorProxy, DeliverOutcome, ProxyError};
 use legosdn_controller::event::Event;
 use legosdn_controller::services::{DeviceView, TopologyView};
 use legosdn_crashpad::{DeliveryResult, LocalSandbox, RecoverableApp};
@@ -13,6 +13,19 @@ pub enum Host {
     Local(LocalSandbox),
     /// Behind the AppVisor proxy (stub thread + transport).
     Isolated(AppHandle),
+}
+
+/// Classify a proxy delivery the way Crash-Pad expects: proxy-level
+/// errors (unknown handle, transport failure) count as communication
+/// failures — the paper's primary crash signal. Shared by the blocking
+/// [`ProxyAdapter::deliver`] path and the pipelined fan-out path so both
+/// dispatch modes see identical failure semantics.
+pub fn outcome_to_delivery(outcome: Result<DeliverOutcome, ProxyError>) -> DeliveryResult {
+    match outcome {
+        Ok(DeliverOutcome::Commands(cmds)) => DeliveryResult::Ok(cmds),
+        Ok(DeliverOutcome::Crashed { panic_message }) => DeliveryResult::Crashed { panic_message },
+        Ok(DeliverOutcome::CommFailure) | Err(_) => DeliveryResult::CommFailure,
+    }
 }
 
 /// Adapter giving Crash-Pad `RecoverableApp` access to a proxy-hosted app.
@@ -29,17 +42,10 @@ impl RecoverableApp for ProxyAdapter<'_> {
         devices: &DeviceView,
         now: SimTime,
     ) -> DeliveryResult {
-        match self
-            .proxy
-            .deliver(self.handle, event, topology, devices, now)
-        {
-            Ok(DeliverOutcome::Commands(cmds)) => DeliveryResult::Ok(cmds),
-            Ok(DeliverOutcome::Crashed { panic_message }) => {
-                DeliveryResult::Crashed { panic_message }
-            }
-            Ok(DeliverOutcome::CommFailure) => DeliveryResult::CommFailure,
-            Err(_) => DeliveryResult::CommFailure,
-        }
+        outcome_to_delivery(
+            self.proxy
+                .deliver(self.handle, event, topology, devices, now),
+        )
     }
 
     fn snapshot(&mut self) -> Result<Vec<u8>, String> {

@@ -21,13 +21,16 @@
 //! Crashes never propagate: the controller core and every other app keep
 //! running — the paper's two fate-sharing relationships are gone.
 
-use crate::config::{IsolationMode, LegoSdnConfig, ResourceLimits};
-use crate::host::{Host, ProxyAdapter};
-use legosdn_appvisor::{AppVisorProxy, TransportKind};
+use crate::config::{DispatchMode, IsolationMode, LegoSdnConfig, ResourceLimits};
+use crate::host::{outcome_to_delivery, Host, ProxyAdapter};
+use legosdn_appvisor::{AppHandle, AppVisorProxy, TransportKind};
 use legosdn_controller::app::{Command, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
 use legosdn_controller::translate::EventTranslator;
-use legosdn_crashpad::{CompromisePolicy, CrashPad, DispatchResult, LocalSandbox, RecoveryTaken};
+use legosdn_crashpad::{
+    CompromisePolicy, CrashPad, DeliveryResult, DispatchResult, LocalSandbox, RecoverableApp,
+    RecoveryTaken,
+};
 use legosdn_invariants::{shutdown_network, Checker};
 use legosdn_netlog::{NetLog, TxMode};
 use legosdn_netsim::Network;
@@ -155,21 +158,6 @@ impl LegoSdnRuntime {
             obs,
             config,
         }
-    }
-
-    /// Route this runtime's metrics and journal records (and those of its
-    /// Crash-Pad, NetLog, and AppVisor layers) to `obs` instead of the
-    /// instance wired at construction.
-    #[deprecated(
-        since = "0.1.0",
-        note = "wire observability at construction time: \
-                LegoSdnConfig::with_obs / with_journal_capacity"
-    )]
-    pub fn set_obs(&mut self, obs: Obs) {
-        self.crashpad.set_obs(obs.clone());
-        self.netlog.set_obs(obs.clone());
-        self.proxy.set_obs(obs.clone());
-        self.obs = obs;
     }
 
     /// Build a push frame of this runtime's observability state for
@@ -333,27 +321,192 @@ impl LegoSdnRuntime {
     }
 
     fn dispatch_event(&mut self, net: &mut Network, event: &Event, report: &mut LegoCycleReport) {
+        match self.config.dispatch {
+            DispatchMode::Sequential => self.dispatch_sequential(net, event, report),
+            DispatchMode::Pipelined => self.dispatch_pipelined(net, event, report),
+        }
+    }
+
+    /// Subscription / status / event-budget gate for one app. Returns
+    /// `true` when the app should receive the event, charging the event
+    /// to its budget. Both dispatch modes use this, so selection (and
+    /// its suspension side effects) is identical across them.
+    fn select_app(&mut self, idx: usize, kind: EventKind) -> bool {
+        if !self.apps[idx].subscriptions.contains(&kind) {
+            return false;
+        }
+        if self.apps[idx].status != AppStatus::Running {
+            self.stats.events_skipped += 1;
+            return false;
+        }
+        if let Some(max) = self.apps[idx].limits.max_events {
+            if self.apps[idx].usage.events_consumed >= max {
+                self.apps[idx].status = AppStatus::Suspended("event budget exhausted");
+                self.stats.apps_suspended += 1;
+                self.stats.events_skipped += 1;
+                return false;
+            }
+        }
+        self.stats.dispatches += 1;
+        self.obs.counter("core", "dispatches", "").inc();
+        self.apps[idx].usage.events_consumed += 1;
+        true
+    }
+
+    /// The original monolithic loop: one blocking Crash-Pad round-trip
+    /// per app, in attach order.
+    fn dispatch_sequential(
+        &mut self,
+        net: &mut Network,
+        event: &Event,
+        report: &mut LegoCycleReport,
+    ) {
         let kind = event.kind();
         for idx in 0..self.apps.len() {
-            if !self.apps[idx].subscriptions.contains(&kind) {
+            if !self.select_app(idx, kind) {
                 continue;
             }
-            if self.apps[idx].status != AppStatus::Running {
-                self.stats.events_skipped += 1;
-                continue;
-            }
-            if let Some(max) = self.apps[idx].limits.max_events {
-                if self.apps[idx].usage.events_consumed >= max {
-                    self.apps[idx].status = AppStatus::Suspended("event budget exhausted");
-                    self.stats.apps_suspended += 1;
-                    self.stats.events_skipped += 1;
-                    continue;
+            self.dispatch_to_app(net, idx, event, report);
+        }
+    }
+
+    /// Phased pipeline over the same roster (see [`DispatchMode`]):
+    ///
+    /// - **prepare**: select apps, checkpoint each if due;
+    /// - **deliver**: fan the event out to isolated stubs (they process
+    ///   on their own threads), run local sandboxes inline meanwhile;
+    /// - **gather**: classify each outcome through Crash-Pad in attach
+    ///   order — restore/replay/transform runs only for failed apps;
+    /// - **commit**: NetLog transactions + byzantine gate per app, in
+    ///   attach order.
+    ///
+    /// Deliveries read only the translator's views and per-app state, so
+    /// overlapping them cannot be observed by the apps; everything that
+    /// touches the network — commits, byzantine recovery, No-Compromise
+    /// shutdown — stays serialized in attach order. Network state and
+    /// NetLog transaction order are therefore identical to
+    /// [`DispatchMode::Sequential`] (the determinism integration test
+    /// holds both modes to that).
+    fn dispatch_pipelined(
+        &mut self,
+        net: &mut Network,
+        event: &Event,
+        report: &mut LegoCycleReport,
+    ) {
+        let kind = event.kind();
+        let now = net.now();
+        self.obs
+            .counter("core", "pipelined_dispatch_rounds", "")
+            .inc();
+
+        // Phase A — prepare: selection, then up-front checkpoints.
+        let selected: Vec<usize> = {
+            let _span = self.obs.span("core.dispatch_prepare");
+            let selected: Vec<usize> = (0..self.apps.len())
+                .filter(|&i| self.select_app(i, kind))
+                .collect();
+            for &idx in &selected {
+                let name = self.apps[idx].name.clone();
+                match &mut self.apps[idx].host {
+                    Host::Local(sandbox) => self.crashpad.prepare(sandbox, &name),
+                    Host::Isolated(handle) => {
+                        let mut adapter = ProxyAdapter {
+                            proxy: &mut self.proxy,
+                            handle: *handle,
+                        };
+                        self.crashpad.prepare(&mut adapter, &name);
+                    }
                 }
             }
-            self.stats.dispatches += 1;
-            self.obs.counter("core", "dispatches", "").inc();
-            self.apps[idx].usage.events_consumed += 1;
-            self.dispatch_to_app(net, idx, event, report);
+            selected
+        };
+
+        // Phase B — deliver: stubs get their frames first so they start
+        // processing; local sandboxes run inline while the stubs work;
+        // then collect the stub outcomes.
+        let mut deliveries: Vec<Option<DeliveryResult>> =
+            (0..selected.len()).map(|_| None).collect();
+        {
+            let _span = self.obs.span("core.dispatch_deliver");
+            let mut stub_slots: Vec<usize> = Vec::new();
+            let mut stub_handles: Vec<AppHandle> = Vec::new();
+            for (pos, &idx) in selected.iter().enumerate() {
+                if let Host::Isolated(h) = &self.apps[idx].host {
+                    stub_slots.push(pos);
+                    stub_handles.push(*h);
+                }
+            }
+            let ticket = (!stub_handles.is_empty()).then(|| {
+                self.proxy.fanout_send(
+                    &stub_handles,
+                    event,
+                    &self.translator.topology,
+                    &self.translator.devices,
+                    now,
+                )
+            });
+            for (pos, &idx) in selected.iter().enumerate() {
+                if let Host::Local(sandbox) = &mut self.apps[idx].host {
+                    deliveries[pos] = Some(sandbox.deliver(
+                        event,
+                        &self.translator.topology,
+                        &self.translator.devices,
+                        now,
+                    ));
+                }
+            }
+            if let Some(ticket) = ticket {
+                for (&pos, d) in stub_slots.iter().zip(self.proxy.fanout_collect(ticket)) {
+                    deliveries[pos] = Some(outcome_to_delivery(d.outcome));
+                }
+            }
+        }
+
+        // Phase C — gather: Crash-Pad bookkeeping per app in attach
+        // order; restore + policy transform/replay only for failures.
+        let outcomes: Vec<DispatchResult> = {
+            let _span = self.obs.span("core.dispatch_gather");
+            selected
+                .iter()
+                .zip(deliveries)
+                .map(|(&idx, delivery)| {
+                    let delivery = delivery.expect("every selected app was delivered");
+                    let name = self.apps[idx].name.clone();
+                    match &mut self.apps[idx].host {
+                        Host::Local(sandbox) => self.crashpad.complete(
+                            sandbox,
+                            &name,
+                            event,
+                            delivery,
+                            &self.translator.topology,
+                            &self.translator.devices,
+                            now,
+                        ),
+                        Host::Isolated(handle) => {
+                            let mut adapter = ProxyAdapter {
+                                proxy: &mut self.proxy,
+                                handle: *handle,
+                            };
+                            self.crashpad.complete(
+                                &mut adapter,
+                                &name,
+                                event,
+                                delivery,
+                                &self.translator.topology,
+                                &self.translator.devices,
+                                now,
+                            )
+                        }
+                    }
+                })
+                .collect()
+        };
+
+        // Phase D — commit: network effects in attach order, exactly as
+        // sequential dispatch would issue them.
+        let _span = self.obs.span("core.dispatch_commit");
+        for (&idx, result) in selected.iter().zip(outcomes) {
+            self.commit_outcome(net, idx, event, result, report);
         }
     }
 
@@ -391,6 +544,20 @@ impl LegoSdnRuntime {
                 )
             }
         };
+        self.commit_outcome(net, idx, event, result, report);
+    }
+
+    /// Act on one app's dispatch outcome: execute its commands under the
+    /// NetLog/byzantine guard, or mark it dead. Shared tail of both
+    /// dispatch modes.
+    fn commit_outcome(
+        &mut self,
+        net: &mut Network,
+        idx: usize,
+        event: &Event,
+        result: DispatchResult,
+        report: &mut LegoCycleReport,
+    ) {
         match result {
             DispatchResult::Delivered(commands) => {
                 self.execute_guarded(net, idx, event, commands, report, true);
@@ -400,7 +567,9 @@ impl LegoSdnRuntime {
             } => {
                 report.recoveries += 1;
                 self.stats.failstop_recoveries += 1;
-                self.obs.counter("core", "failstop_recoveries", &name).inc();
+                self.obs
+                    .counter("core", "failstop_recoveries", &self.apps[idx].name)
+                    .inc();
                 // Commands from transformed events are real output; execute
                 // them under the same guard (no further byzantine recursion
                 // on already-recovered output — drop instead).
@@ -728,13 +897,47 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_set_obs_shim_still_rewires() {
-        let mut rt = LegoSdnRuntime::new(LegoSdnConfig::default());
+    fn pipelined_dispatch_contains_crashes_and_counts_phases() {
+        let (mut net, topo) = net2();
         let obs = Obs::new();
-        rt.set_obs(obs.clone());
-        rt.obs().counter("core", "probe", "").inc();
-        assert_eq!(obs.counter("core", "probe", "").get(), 1);
+        let mut rt = LegoSdnRuntime::new(
+            LegoSdnConfig {
+                isolation: IsolationMode::Channel,
+                ..LegoSdnConfig::default()
+            }
+            .with_obs(obs.clone())
+            .with_dispatch(DispatchMode::Pipelined),
+        );
+        let poison = topo.hosts[1].mac;
+        rt.attach(Box::new(FaultyApp::new(
+            Box::new(Hub::new()),
+            BugTrigger::OnPacketToMac(poison),
+            BugEffect::Crash,
+        )))
+        .unwrap();
+        rt.attach(Box::new(LearningSwitch::new())).unwrap();
+        rt.run_cycle(&mut net);
+        let a = topo.hosts[0].mac;
+        net.inject(a, Packet::ethernet(a, poison)).unwrap();
+        let report = rt.run_cycle(&mut net);
+        assert!(report.recoveries >= 1, "{report:?}");
+        assert!(!rt.is_crashed());
+        // Healthy neighbor still produced network output.
+        assert!(report.commands > 0, "{report:?}");
+        // Per-phase instrumentation landed.
+        assert!(obs.counter("core", "pipelined_dispatch_rounds", "").get() > 0);
+        for phase in [
+            "dispatch_prepare",
+            "dispatch_deliver",
+            "dispatch_gather",
+            "dispatch_commit",
+        ] {
+            assert!(
+                obs.histogram("core", phase, "").count() > 0,
+                "missing span histogram for {phase}"
+            );
+        }
+        rt.shutdown();
     }
 
     #[test]

@@ -151,6 +151,12 @@ impl CrashPad {
     }
 
     /// Deliver `event` to the app under Crash-Pad protection.
+    ///
+    /// This is the monolithic form of the protocol: [`CrashPad::prepare`]
+    /// (checkpoint), the app's own [`RecoverableApp::deliver`], and
+    /// [`CrashPad::complete`] (bookkeeping + recovery), back to back.
+    /// Pipelined runtimes call the halves directly so deliveries can
+    /// overlap across fault domains between the two.
     pub fn dispatch(
         &mut self,
         app: &mut dyn RecoverableApp,
@@ -160,6 +166,16 @@ impl CrashPad {
         devices: &DeviceView,
         now: SimTime,
     ) -> DispatchResult {
+        self.prepare(app, name);
+        let delivery = app.deliver(event, topology, devices, now);
+        self.complete(app, name, event, delivery, topology, devices, now)
+    }
+
+    /// First half of a protected dispatch: count it and checkpoint the app
+    /// if one is due. Must be called exactly once per delivery, *before*
+    /// the event reaches the app — the snapshot taken here is what
+    /// [`CrashPad::complete`] restores on failure.
+    pub fn prepare(&mut self, app: &mut dyn RecoverableApp, name: &str) {
         self.stats.events_dispatched += 1;
         if self.checkpoints.checkpoint_due(name) {
             let started = Instant::now();
@@ -180,7 +196,24 @@ impl CrashPad {
                 self.checkpoints.record_snapshot(name, bytes);
             }
         }
-        match app.deliver(event, topology, devices, now) {
+    }
+
+    /// Second half of a protected dispatch: fold the raw delivery outcome
+    /// into checkpoint bookkeeping and, on failure, the recovery protocol.
+    /// The `app` handle must be the same one [`CrashPad::prepare`]
+    /// checkpointed for this delivery.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        app: &mut dyn RecoverableApp,
+        name: &str,
+        event: &Event,
+        delivery: DeliveryResult,
+        topology: &TopologyView,
+        devices: &DeviceView,
+        now: SimTime,
+    ) -> DispatchResult {
+        match delivery {
             DeliveryResult::Ok(commands) => {
                 self.checkpoints.record_delivered(name, event);
                 DispatchResult::Delivered(commands)
@@ -641,6 +674,44 @@ mod tests {
         assert!(matches!(r, DispatchResult::Delivered(_)));
         assert_eq!(brittle_state(&sandbox).events, 1);
         assert_eq!(pad.stats().failures, 0);
+    }
+
+    #[test]
+    fn split_halves_match_monolithic_dispatch() {
+        // One pad dispatches monolithically, the other through the
+        // prepare / deliver / complete halves; outcomes, stats, and
+        // post-recovery app state must be identical.
+        let mut mono = pad(CompromisePolicy::Absolute, 1);
+        let mut split = pad(CompromisePolicy::Absolute, 1);
+        let mut sandbox_a = LocalSandbox::new(Box::new(Brittle::default()));
+        let mut sandbox_b = LocalSandbox::new(Box::new(Brittle::default()));
+        let topo = topo2();
+        let dev = DeviceView::default();
+        let events = [
+            Event::SwitchUp(DatapathId(1)),
+            Event::SwitchDown(DatapathId(1)), // crashes Brittle
+            Event::SwitchUp(DatapathId(2)),
+        ];
+        for ev in &events {
+            let a = mono.dispatch(&mut sandbox_a, "brittle", ev, &topo, &dev, SimTime::ZERO);
+            split.prepare(&mut sandbox_b, "brittle");
+            let delivery = sandbox_b.deliver(ev, &topo, &dev, SimTime::ZERO);
+            let b = split.complete(
+                &mut sandbox_b,
+                "brittle",
+                ev,
+                delivery,
+                &topo,
+                &dev,
+                SimTime::ZERO,
+            );
+            assert_eq!(a, b);
+        }
+        assert_eq!(mono.stats(), split.stats());
+        assert_eq!(
+            brittle_state(&sandbox_a).events,
+            brittle_state(&sandbox_b).events
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -74,7 +75,7 @@ struct HistogramState {
     buckets: BTreeMap<u64, u64>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct CampaignState {
     counters: BTreeMap<Key, u64>,
     gauges: BTreeMap<Key, i64>,
@@ -105,12 +106,22 @@ impl CampaignState {
     }
 }
 
-#[derive(Debug, Default)]
-struct AggState {
-    /// Arrival counter: bumped once per accepted push. Stamps every
-    /// ingested record, giving incidents their cross-campaign order.
-    epoch: u64,
-    campaigns: BTreeMap<String, CampaignState>,
+/// Number of ingest shards. Campaigns hash onto a fixed shard, so two
+/// campaigns pushing concurrently contend only when they collide — with
+/// 16 shards, a fleet of a few daemons almost never does. A power of two
+/// keeps the modulo a mask.
+const SHARDS: usize = 16;
+
+/// FNV-1a over the campaign name, folded onto a shard index. Stable
+/// (no RandomState) so a campaign's shard never moves within a process
+/// or across restarts.
+fn shard_of(campaign: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in campaign.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) & (SHARDS - 1)
 }
 
 /// One campaign's liveness row, as reported by [`Aggregator::campaigns`].
@@ -140,7 +151,16 @@ pub struct Aggregator {
     /// The aggregator's *own* instruments (`aggregate.pushes_total` etc.)
     /// plus the serving endpoint's request counters.
     obs: Obs,
-    state: Mutex<AggState>,
+    /// Arrival counter: bumped once per accepted push. Stamps every
+    /// ingested record, giving incidents their cross-campaign order.
+    /// Atomic so concurrent ingests order themselves without sharing a
+    /// lock.
+    epoch: AtomicU64,
+    /// Campaign states, sharded by [`shard_of`] so concurrent pushes
+    /// from different campaigns do not serialize on one mutex. Reads
+    /// that need the whole fleet merge a clone of every shard
+    /// ([`Aggregator::collect`]).
+    shards: [Mutex<BTreeMap<String, CampaignState>>; SHARDS],
 }
 
 impl Aggregator {
@@ -149,8 +169,24 @@ impl Aggregator {
         Aggregator {
             cfg,
             obs: Obs::new(),
-            state: Mutex::new(AggState::default()),
+            epoch: AtomicU64::new(0),
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
         }
+    }
+
+    /// Read-merge: clone every shard's campaigns into one sorted map.
+    /// Serving paths pay this copy so the ingest hot path never waits on
+    /// a renderer holding a fleet-wide lock. Each shard is locked
+    /// briefly and in turn; the result is a consistent-enough snapshot
+    /// (cumulative frames make any interleaving last-write-wins).
+    fn collect(&self) -> BTreeMap<String, CampaignState> {
+        let mut merged = BTreeMap::new();
+        for shard in &self.shards {
+            for (name, c) in shard.lock().unwrap().iter() {
+                merged.insert(name.clone(), c.clone());
+            }
+        }
+        merged
     }
 
     /// The aggregator's own observability handle — hand this to
@@ -172,11 +208,9 @@ impl Aggregator {
                 "campaign name {FLEET:?} is reserved for the fleet roll-up"
             )));
         }
-        let mut state = self.state.lock().unwrap();
-        state.epoch += 1;
-        let epoch = state.epoch;
-        let campaign = state
-            .campaigns
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self.shards[shard_of(&frame.campaign)].lock().unwrap();
+        let campaign = shard
             .entry(frame.campaign.clone())
             .or_insert_with(CampaignState::new);
 
@@ -218,7 +252,7 @@ impl Aggregator {
         campaign.pushes += 1;
         campaign.last_push = Instant::now();
         let ack = campaign.max_seq;
-        drop(state);
+        drop(shard);
 
         self.obs
             .counter("aggregate", "pushes_total", &frame.campaign)
@@ -232,9 +266,7 @@ impl Aggregator {
     /// Per-campaign liveness rows, sorted by campaign name.
     #[must_use]
     pub fn campaigns(&self) -> Vec<CampaignSummary> {
-        let state = self.state.lock().unwrap();
-        state
-            .campaigns
+        self.collect()
             .iter()
             .map(|(name, c)| {
                 let age = c.last_push.elapsed();
@@ -253,9 +285,9 @@ impl Aggregator {
     /// `(arrival epoch of the detection record, local detection seq)`.
     #[must_use]
     pub fn incidents(&self) -> Vec<FleetIncident> {
-        let state = self.state.lock().unwrap();
+        let campaigns = self.collect();
         let mut out = Vec::new();
-        for (name, c) in &state.campaigns {
+        for (name, c) in &campaigns {
             let records: Vec<Record> = c.records.iter().map(|(_, r)| r.clone()).collect();
             let epoch_of: BTreeMap<u64, u64> = c.records.iter().map(|(e, r)| (r.seq, *e)).collect();
             for report in reconstruct(&records) {
@@ -275,11 +307,11 @@ impl Aggregator {
     /// plus [`FLEET`] roll-up series (sums; histograms bucket-wise).
     #[must_use]
     pub fn prometheus(&self) -> String {
-        let state = self.state.lock().unwrap();
+        let campaigns = self.collect();
         let mut counters: BTreeMap<Key, BTreeMap<&str, u64>> = BTreeMap::new();
         let mut gauges: BTreeMap<Key, BTreeMap<&str, i64>> = BTreeMap::new();
         let mut histograms: BTreeMap<Key, BTreeMap<&str, &HistogramState>> = BTreeMap::new();
-        for (name, c) in &state.campaigns {
+        for (name, c) in &campaigns {
             for (k, v) in &c.counters {
                 counters.entry(k.clone()).or_default().insert(name, *v);
             }
@@ -336,12 +368,12 @@ impl Aggregator {
     pub fn json_snapshot(&self) -> String {
         let rows = self.campaigns();
         let incidents = self.incidents();
-        let state = self.state.lock().unwrap();
+        let campaigns = self.collect();
 
         let mut out = String::from("{\n  \"campaigns\": [");
         for (i, row) in rows.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let c = &state.campaigns[&row.name];
+            let c = &campaigns[&row.name];
             let _ = write!(
                 out,
                 "{sep}\n    {{\"campaign\":\"{}\",\"alive\":{},\"age_ms\":{},\
@@ -359,7 +391,7 @@ impl Aggregator {
         }
         out.push_str("\n  ],\n  \"counters\": [");
         let mut first = true;
-        for (name, c) in &state.campaigns {
+        for (name, c) in &campaigns {
             for (key, v) in &c.counters {
                 let sep = if first { "" } else { "," };
                 first = false;
@@ -373,7 +405,7 @@ impl Aggregator {
         }
         out.push_str("\n  ],\n  \"gauges\": [");
         let mut first = true;
-        for (name, c) in &state.campaigns {
+        for (name, c) in &campaigns {
             for (key, v) in &c.gauges {
                 let sep = if first { "" } else { "," };
                 first = false;
@@ -387,7 +419,7 @@ impl Aggregator {
         }
         out.push_str("\n  ],\n  \"histograms\": [");
         let mut first = true;
-        for (name, c) in &state.campaigns {
+        for (name, c) in &campaigns {
             for (key, h) in &c.histograms {
                 let sep = if first { "" } else { "," };
                 first = false;
@@ -738,13 +770,53 @@ mod tests {
             obs.record(crash(&format!("app{i}")));
         }
         agg.ingest(&frame_from(&obs, "alpha", None)).unwrap();
-        let state = agg.state.lock().unwrap();
-        let kept: Vec<u64> = state.campaigns["alpha"]
+        let campaigns = agg.collect();
+        let kept: Vec<u64> = campaigns["alpha"]
             .records
             .iter()
             .map(|(_, r)| r.seq)
             .collect();
         assert_eq!(kept, vec![3, 4], "newest retained");
+    }
+
+    #[test]
+    fn concurrent_campaign_pushes_keep_the_fleet_rollup_exact() {
+        // Sharded ingest: many campaigns pushing from their own threads
+        // must neither lose pushes nor corrupt the merged view. Every
+        // campaign pushes a known counter value; the fleet sum is exact.
+        use std::sync::Arc;
+        let agg = Arc::new(Aggregator::new(AggregateConfig::default()));
+        let n_campaigns: u64 = 24; // more campaigns than shards: collisions too
+        let rounds: u64 = 20;
+        let threads: Vec<_> = (0..n_campaigns)
+            .map(|i| {
+                let agg = Arc::clone(&agg);
+                std::thread::spawn(move || {
+                    let obs = Obs::new();
+                    let name = format!("c{i:02}");
+                    for _ in 0..rounds {
+                        obs.counter("core", "events", "").inc();
+                        agg.ingest(&obs.frame(&name, None, 64)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let rows = agg.campaigns();
+        assert_eq!(rows.len() as u64, n_campaigns);
+        assert!(rows.iter().all(|r| r.pushes == rounds));
+        let fleet = rounds * n_campaigns;
+        let text = agg.prometheus();
+        assert!(
+            text.contains(&format!(
+                "legosdn_core_events{{campaign=\"_fleet\"}} {fleet}"
+            )),
+            "fleet roll-up wrong in:\n{text}"
+        );
+        // Epochs were handed out once per push, no reuse, no gaps.
+        assert_eq!(agg.epoch.load(Ordering::Relaxed), fleet);
     }
 
     #[test]

@@ -17,6 +17,13 @@ cargo build -q --offline --release -p legosdn-bench --bin campaign --bin aggrega
 timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1 \
   || { echo "campaign smoke run failed or hung" >&2; exit 1; }
 
+# Same campaign under pipelined dispatch with isolated stubs: the fan-out
+# path must survive a full failure/recovery story, not just the bench.
+echo "==> campaign smoke under pipelined dispatch"
+timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1 \
+  --dispatch pipelined --isolation channel \
+  || { echo "pipelined campaign smoke run failed or hung" >&2; exit 1; }
+
 echo "==> fleet smoke: aggregator + two pushing campaigns"
 AGG_ADDR_FILE="$(mktemp)"
 AGG_OUT="$(mktemp)"
@@ -56,5 +63,12 @@ wait "$AGG_PID" 2>/dev/null || true
 echo "==> obs endpoint integration test (hard 120s timeout)"
 timeout 120 cargo test -q --offline -p legosdn --test integration_obs_endpoint \
   || { echo "obs endpoint integration test failed or timed out" >&2; exit 1; }
+
+# Dispatch determinism: pipelined and sequential must leave bit-identical
+# flow tables, NetLog order, and counters. A stub deadlock would hang the
+# test, so it too runs under a hard timeout.
+echo "==> dispatch determinism integration test (hard 120s timeout)"
+timeout 120 cargo test -q --offline -p legosdn --test integration_dispatch_determinism \
+  || { echo "dispatch determinism test failed or timed out" >&2; exit 1; }
 
 echo "all checks passed"

@@ -19,6 +19,7 @@ use legosdn_controller::event::{Event, EventKind};
 use legosdn_controller::services::{DeviceView, TopologyView};
 use legosdn_netsim::SimTime;
 use legosdn_obs::{Obs, RecordKind};
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -161,6 +162,27 @@ struct AppSlot {
     last_heartbeat: Instant,
     alive: bool,
     stats: AppWireStats,
+    /// Tagged replies that arrived while a *different* tag was being
+    /// collected (multi-event in-flight queue; also absorbs datagram
+    /// reordering on the UDP transport). Consulted before the transport
+    /// on every tagged collect.
+    inbox: VecDeque<RpcMessage>,
+    /// Tags whose replies will never be collected — the window cancelled
+    /// them after an earlier failure. Replies matching these are dropped
+    /// on sight; the set is pruned as later tags match (replies are
+    /// FIFO per stub, so an entry below a matched tag is unreachable).
+    cancelled: BTreeSet<u64>,
+}
+
+/// The tag of a stub→proxy reply, if the message carries one.
+fn reply_seq(msg: &RpcMessage) -> Option<u64> {
+    match msg {
+        RpcMessage::EventAck { seq, .. }
+        | RpcMessage::Crashed { seq, .. }
+        | RpcMessage::SnapshotReply { seq, .. }
+        | RpcMessage::RestoreAck { seq, .. } => Some(*seq),
+        _ => None,
+    }
 }
 
 /// The AppVisor proxy.
@@ -240,6 +262,8 @@ impl AppVisorProxy {
                             last_heartbeat: Instant::now(),
                             alive: true,
                             stats: AppWireStats::default(),
+                            inbox: VecDeque::new(),
+                            cancelled: BTreeSet::new(),
                         });
                         return Ok(AppHandle(self.apps.len() - 1));
                     }
@@ -435,6 +459,11 @@ impl AppVisorProxy {
                         .add(frame.len() as u64);
                     match decode_frame(&frame) {
                         Ok(RpcMessage::RestoreAck { seq: s, ok }) if s == seq => {
+                            // Anything stashed or cancelled predates this
+                            // restore and can never be collected: the
+                            // in-flight queue starts clean.
+                            slot.inbox.clear();
+                            slot.cancelled.clear();
                             if ok {
                                 slot.alive = true;
                                 slot.stats.restores += 1;
@@ -622,6 +651,119 @@ impl AppVisorProxy {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Tagged multi-event in-flight queue (the cross-event dispatch
+    // window): queue_* pushes a request without awaiting the reply,
+    // collect_* awaits a specific tag. A stub processes its queue in
+    // order, so event k+1 can be on its thread while the proxy is still
+    // gathering event k from its peers.
+    // ------------------------------------------------------------------
+
+    /// Queue one event delivery on an app's RPC stream without awaiting
+    /// the ack. `Ok(Some(tag))` is the handle for
+    /// [`AppVisorProxy::collect_deliver`]; `Ok(None)` means the send
+    /// itself failed (recorded as a comm failure, the slot marked dead) —
+    /// classify the delivery as [`DeliverOutcome::CommFailure`] without
+    /// collecting.
+    pub fn queue_deliver(
+        &mut self,
+        h: AppHandle,
+        event: &Event,
+        topology: &TopologyView,
+        devices: &DeviceView,
+        now: SimTime,
+    ) -> Result<Option<u64>, ProxyError> {
+        let obs = self.obs.clone();
+        let slot = self.apps.get_mut(h.0).ok_or(ProxyError::UnknownApp)?;
+        slot.next_seq += 1;
+        let seq = slot.next_seq;
+        let frame = encode_frame(&RpcMessage::EventDeliver {
+            seq,
+            event: event.clone(),
+            topology: topology.clone(),
+            devices: devices.clone(),
+            now,
+        });
+        Ok(send_queued(slot, &frame, seq, &obs))
+    }
+
+    /// Queue a snapshot request without awaiting the reply. Interleaved
+    /// between two queued deliveries it captures the state *between*
+    /// those events — exactly the pre-event checkpoint the sequential
+    /// protocol takes, collected lazily via
+    /// [`AppVisorProxy::collect_snapshot`].
+    pub fn queue_snapshot(&mut self, h: AppHandle) -> Result<Option<u64>, ProxyError> {
+        let obs = self.obs.clone();
+        let slot = self.apps.get_mut(h.0).ok_or(ProxyError::UnknownApp)?;
+        slot.next_seq += 1;
+        let seq = slot.next_seq;
+        let frame = encode_frame(&RpcMessage::SnapshotRequest { seq });
+        Ok(send_queued(slot, &frame, seq, &obs))
+    }
+
+    /// Collect the outcome of a queued delivery. The timeout window opens
+    /// *now*, not at send time: a queued stub is legitimately busy with
+    /// the deliveries ahead of this one.
+    pub fn collect_deliver(
+        &mut self,
+        h: AppHandle,
+        seq: u64,
+    ) -> Result<DeliverOutcome, ProxyError> {
+        let obs = self.obs.clone();
+        let deadline = Instant::now() + self.config.deliver_timeout;
+        let slot = self.apps.get_mut(h.0).ok_or(ProxyError::UnknownApp)?;
+        match await_tag(slot, seq, deadline, &obs) {
+            Ok(Some(RpcMessage::EventAck { commands, .. })) => {
+                slot.stats.events_delivered += 1;
+                slot.last_heartbeat = Instant::now();
+                obs.counter("appvisor", "events_delivered", &slot.name)
+                    .inc();
+                Ok(DeliverOutcome::Commands(commands))
+            }
+            Ok(Some(RpcMessage::Crashed { panic_message, .. })) => {
+                slot.stats.crashes_detected += 1;
+                slot.alive = false;
+                obs.counter("appvisor", "crashes_detected", &slot.name)
+                    .inc();
+                Ok(DeliverOutcome::Crashed { panic_message })
+            }
+            Ok(Some(_)) | Ok(None) | Err(TransportError::Disconnected) => {
+                slot.stats.comm_failures += 1;
+                slot.alive = false;
+                obs.counter("appvisor", "comm_failures", &slot.name).inc();
+                Ok(DeliverOutcome::CommFailure)
+            }
+            Err(e) => Err(ProxyError::Transport(e)),
+        }
+    }
+
+    /// Collect the bytes of a queued snapshot request.
+    pub fn collect_snapshot(&mut self, h: AppHandle, seq: u64) -> Result<Vec<u8>, ProxyError> {
+        let obs = self.obs.clone();
+        let deadline = Instant::now() + self.config.rpc_timeout;
+        let slot = self.apps.get_mut(h.0).ok_or(ProxyError::UnknownApp)?;
+        match await_tag(slot, seq, deadline, &obs) {
+            Ok(Some(RpcMessage::SnapshotReply { bytes, .. })) => Ok(bytes),
+            Ok(Some(_) | None) => Err(ProxyError::Timeout),
+            Err(e) => Err(ProxyError::Transport(e)),
+        }
+    }
+
+    /// Drop queued-but-uncollected tags after a failure: their replies —
+    /// if any ever arrive; a dead stub drops the requests silently — are
+    /// discarded on sight, and any already stashed in the inbox are
+    /// purged. Must cover every tag of the app's cancelled window slots
+    /// before the app is restored and the window refills.
+    pub fn cancel_pending(&mut self, h: AppHandle, seqs: &[u64]) -> Result<(), ProxyError> {
+        let slot = self.apps.get_mut(h.0).ok_or(ProxyError::UnknownApp)?;
+        slot.cancelled.extend(seqs.iter().copied());
+        let AppSlot {
+            inbox, cancelled, ..
+        } = slot;
+        inbox.retain(|m| reply_seq(m).is_none_or(|s| !cancelled.contains(&s)));
+        Ok(())
+    }
+
     /// Drain pending heartbeats (non-blocking-ish) and return the apps whose
     /// heartbeat is stale — the paper's background crash detector.
     pub fn check_liveness(&mut self) -> Vec<AppHandle> {
@@ -666,6 +808,76 @@ impl AppVisorProxy {
             }
         }
         reports
+    }
+}
+
+/// Account and push an already-encoded queued request; on send failure
+/// mark the slot dead and record the comm failure (mirrors
+/// [`AppVisorProxy::fanout_send`]'s per-slot behaviour).
+fn send_queued(slot: &mut AppSlot, frame: &[u8], seq: u64, obs: &Obs) -> Option<u64> {
+    slot.stats.bytes_sent += frame.len() as u64;
+    obs.counter("appvisor", "bytes_sent", &slot.name)
+        .add(frame.len() as u64);
+    match slot.transport.send(frame) {
+        Ok(()) => Some(seq),
+        Err(_) => {
+            slot.alive = false;
+            slot.stats.comm_failures += 1;
+            obs.counter("appvisor", "comm_failures", &slot.name).inc();
+            None
+        }
+    }
+}
+
+/// Await the reply tagged `seq`: inbox first, then the transport.
+/// Later tags' replies are stashed in the inbox, cancelled and stale
+/// tags are dropped, and the cancelled set is pruned below a matched tag
+/// (FIFO replies make those unreachable). `Ok(None)` is a timeout.
+fn await_tag(
+    slot: &mut AppSlot,
+    seq: u64,
+    deadline: Instant,
+    obs: &Obs,
+) -> Result<Option<RpcMessage>, TransportError> {
+    if let Some(pos) = slot.inbox.iter().position(|m| reply_seq(m) == Some(seq)) {
+        let msg = slot.inbox.remove(pos).expect("position is in range");
+        slot.cancelled = slot.cancelled.split_off(&seq);
+        return Ok(Some(msg));
+    }
+    loop {
+        let Some(remaining) = time_left(deadline) else {
+            return Ok(None);
+        };
+        match slot.transport.recv_timeout(remaining) {
+            Ok(Some(frame)) => {
+                slot.stats.bytes_received += frame.len() as u64;
+                obs.counter("appvisor", "bytes_received", &slot.name)
+                    .add(frame.len() as u64);
+                let Ok(msg) = decode_frame(&frame) else {
+                    continue;
+                };
+                if matches!(msg, RpcMessage::Heartbeat { .. }) {
+                    slot.last_heartbeat = Instant::now();
+                    continue;
+                }
+                match reply_seq(&msg) {
+                    Some(s) if s == seq => {
+                        slot.cancelled = slot.cancelled.split_off(&seq);
+                        return Ok(Some(msg));
+                    }
+                    Some(s) if slot.cancelled.contains(&s) => {}
+                    // A later tag's reply outran ours (UDP datagrams can
+                    // reorder) or sits ahead of a reply we collect later:
+                    // keep it for that collect.
+                    Some(s) if s > seq => slot.inbox.push_back(msg),
+                    // Below the tag we are waiting on: already collected
+                    // or pre-restore — stale either way.
+                    _ => {}
+                }
+            }
+            Ok(None) => {}
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -1078,6 +1290,149 @@ mod tests {
         p.config.rpc_timeout = Duration::ZERO;
         assert_eq!(p.snapshot(h).unwrap_err(), ProxyError::Timeout);
         assert_eq!(p.restore(h, &[]).unwrap_err(), ProxyError::Timeout);
+        let _ = p.shutdown();
+    }
+
+    #[test]
+    fn tagged_queue_interleaves_deliveries_and_snapshots_in_order() {
+        // The windowed dispatch pattern: [deliver k, snapshot, deliver
+        // k+1] queued up front, collected in order. The snapshot queued
+        // between the deliveries must capture the state *between* them.
+        let mut p = proxy();
+        let h = p
+            .launch_app(
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: None,
+                }),
+                TransportKind::Channel,
+            )
+            .unwrap();
+        let topo = TopologyView::default();
+        let dev = DeviceView::default();
+        let ev = Event::SwitchUp(DatapathId(1));
+        let d1 = p
+            .queue_deliver(h, &ev, &topo, &dev, SimTime::ZERO)
+            .unwrap()
+            .unwrap();
+        let s1 = p.queue_snapshot(h).unwrap().unwrap();
+        let d2 = p
+            .queue_deliver(h, &ev, &topo, &dev, SimTime::ZERO)
+            .unwrap()
+            .unwrap();
+        assert!(d1 < s1 && s1 < d2, "tags are the per-slot send order");
+        assert!(matches!(
+            p.collect_deliver(h, d1).unwrap(),
+            DeliverOutcome::Commands(_)
+        ));
+        let between = p.collect_snapshot(h, s1).unwrap();
+        assert_eq!(between, 1u32.to_be_bytes().to_vec(), "one event seen");
+        assert!(matches!(
+            p.collect_deliver(h, d2).unwrap(),
+            DeliverOutcome::Commands(_)
+        ));
+        assert_eq!(p.wire_stats(h).unwrap().events_delivered, 2);
+        let _ = p.shutdown();
+    }
+
+    #[test]
+    fn out_of_order_replies_park_in_the_inbox() {
+        // Hand-run the stub side so replies can be sent out of tag order
+        // (as UDP datagram reordering would): the collect for the earlier
+        // tag must stash the later reply, and the later collect must find
+        // it in the inbox without touching the transport.
+        let (proxy_side, mut stub_side) = ChannelTransport::pair();
+        stub_side
+            .send(&encode_frame(&RpcMessage::Register {
+                app_name: "manual".into(),
+                subscriptions: vec![EventKind::PacketIn],
+            }))
+            .unwrap();
+        let mut p = proxy();
+        let h = p.register_transport(Box::new(proxy_side), None).unwrap();
+        let topo = TopologyView::default();
+        let dev = DeviceView::default();
+        let ev = Event::SwitchUp(DatapathId(1));
+        let d1 = p
+            .queue_deliver(h, &ev, &topo, &dev, SimTime::ZERO)
+            .unwrap()
+            .unwrap();
+        let d2 = p
+            .queue_deliver(h, &ev, &topo, &dev, SimTime::ZERO)
+            .unwrap()
+            .unwrap();
+        // Reply to d2 first, then d1.
+        stub_side
+            .send(&encode_frame(&RpcMessage::EventAck {
+                seq: d2,
+                commands: vec![],
+            }))
+            .unwrap();
+        stub_side
+            .send(&encode_frame(&RpcMessage::Crashed {
+                seq: d1,
+                panic_message: "late".into(),
+            }))
+            .unwrap();
+        assert!(matches!(
+            p.collect_deliver(h, d1).unwrap(),
+            DeliverOutcome::Crashed { .. }
+        ));
+        assert!(matches!(
+            p.collect_deliver(h, d2).unwrap(),
+            DeliverOutcome::Commands(_)
+        ));
+        assert_eq!(p.wire_stats(h).unwrap().crashes_detected, 1);
+    }
+
+    #[test]
+    fn cancelled_tags_are_dropped_and_restore_resets_the_queue() {
+        // Crash mid-window: collect the crash, cancel the queued
+        // follow-ups, restore, and the stream must be clean for re-sends.
+        let mut p = proxy();
+        let h = p
+            .launch_app(
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: Some(2),
+                }),
+                TransportKind::Channel,
+            )
+            .unwrap();
+        let topo = TopologyView::default();
+        let dev = DeviceView::default();
+        let ev = Event::SwitchUp(DatapathId(1));
+        let checkpoint = p.snapshot(h).unwrap();
+        let tags: Vec<u64> = (0..3)
+            .map(|_| {
+                p.queue_deliver(h, &ev, &topo, &dev, SimTime::ZERO)
+                    .unwrap()
+                    .unwrap()
+            })
+            .collect();
+        assert!(matches!(
+            p.collect_deliver(h, tags[0]).unwrap(),
+            DeliverOutcome::Commands(_)
+        ));
+        assert!(matches!(
+            p.collect_deliver(h, tags[1]).unwrap(),
+            DeliverOutcome::Crashed { .. }
+        ));
+        assert!(!p.is_alive(h).unwrap());
+        // The dead stub silently dropped tags[2]; never collect it.
+        p.cancel_pending(h, &tags[2..]).unwrap();
+        assert!(p.restore(h, &checkpoint).unwrap());
+        assert!(p.is_alive(h).unwrap());
+        // Fresh delivery on the cleaned stream works (count restored to
+        // 0, so the crash-on-2 bug is one event away again).
+        let d = p
+            .queue_deliver(h, &ev, &topo, &dev, SimTime::ZERO)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            p.collect_deliver(h, d).unwrap(),
+            DeliverOutcome::Commands(_)
+        ));
         let _ = p.shutdown();
     }
 

@@ -88,6 +88,26 @@ fn recovery_cost(interval: u64, state_size: u64) -> (f64, u64) {
     (us, cp.stats().events_replayed)
 }
 
+/// Elision: dispatch `n` events that do not touch the app's state (a
+/// switch-down for a dpid the app never learned) with per-event
+/// checkpointing. Every snapshot after the first hashes (FNV-1a)
+/// identical to the stored one and is elided — recorded but not stored.
+/// Returns (stored, elided).
+fn elision_rate(n: u64, state_size: u64) -> (u64, u64) {
+    let mut cp = pad(1);
+    let mut sandbox = LocalSandbox::new(Box::new(workloads::warmed_learning_switch(state_size)));
+    let topo = TopologyView::default();
+    let dev = DeviceView::default();
+    for _ in 0..n {
+        let ev = Event::SwitchDown(DatapathId(0xdead));
+        cp.dispatch(&mut sandbox, "ls", &ev, &topo, &dev, SimTime::ZERO);
+    }
+    (
+        cp.checkpoints.snapshots_taken,
+        cp.checkpoints.snapshots_elided,
+    )
+}
+
 fn summary() {
     let state = 500; // learned MACs in the app: a realistic snapshot size
     let snap_bytes = {
@@ -120,6 +140,16 @@ fn summary() {
         ],
         &rows,
     );
+
+    // Elision check: state-neutral events at interval 1 must store one
+    // snapshot and hash-skip the rest.
+    let (stored, elided) = elision_rate(200, state);
+    assert!(
+        stored == 1 && elided == 199,
+        "stable state should elide every snapshot after the first \
+         (stored {stored}, elided {elided})"
+    );
+    eprintln!("elision on state-neutral events at interval 1: {stored} stored, {elided} elided");
 }
 
 fn bench(c: &mut Criterion) {

@@ -38,6 +38,7 @@ struct CampaignConfig {
     push_to: Option<SocketAddr>,
     campaign: String,
     dispatch: DispatchMode,
+    window: usize,
     isolation: IsolationMode,
 }
 
@@ -53,7 +54,8 @@ impl Default for CampaignConfig {
             period: Duration::from_millis(20),
             push_to: None,
             campaign: "campaign".to_string(),
-            dispatch: DispatchMode::Sequential,
+            dispatch: DispatchMode::default(),
+            window: 1,
             isolation: IsolationMode::Local,
         }
     }
@@ -63,10 +65,13 @@ const USAGE: &str = "usage: campaign [--addr HOST:PORT] [--rounds N] \
 [--switches N] [--hosts N] [--policy absolute|no-compromise|equivalence] \
 [--faults crash,blackhole,loop,flush] [--period-ms MS] \
 [--push-to HOST:PORT] [--campaign NAME] \
-[--dispatch sequential|pipelined] [--isolation local|channel|udp|tcp]\n\
+[--dispatch sequential|pipelined] [--window DEPTH] \
+[--isolation local|channel|udp|tcp]\n\
 --rounds 0 (default) serves forever. --push-to exports to a fleet \
-aggregator under the --campaign name. --dispatch pipelined fans events \
-out to isolated apps concurrently (same network state, see DESIGN.md).";
+aggregator under the --campaign name. --dispatch pipelined (the default) \
+fans events out to isolated apps concurrently; --window DEPTH keeps up \
+to DEPTH events of a cycle in flight on each stub's stream (default 1; \
+same network state either way, see DESIGN.md).";
 
 fn parse_fault(s: &str) -> Result<BugEffect, String> {
     match s {
@@ -137,6 +142,12 @@ fn parse_args(args: &[String]) -> Result<CampaignConfig, String> {
                 let v = value()?;
                 cfg.dispatch =
                     DispatchMode::parse(&v).ok_or_else(|| format!("unknown dispatch mode: {v}"))?;
+            }
+            "--window" => {
+                cfg.window = value()?.parse().map_err(|e| format!("--window: {e}"))?;
+                if cfg.window == 0 {
+                    return Err("--window must be at least 1".into());
+                }
             }
             "--isolation" => {
                 cfg.isolation = match value()?.as_str() {
@@ -218,6 +229,7 @@ fn main() {
             ])),
             ..LegoSdnConfig::default()
         }
+        .with_window(cfg.window)
         .with_obs(Obs::new()),
     );
     let obs = rt.obs();
@@ -239,13 +251,15 @@ fn main() {
     });
     eprintln!(
         "campaign: serving /metrics /metrics.json /incidents /healthz on http://{} \
-         ({} switches, policy {}, {} fault app(s), {:?}/{:?} dispatch, {})",
+         ({} switches, policy {}, {} fault app(s), {:?}/{:?} dispatch, \
+         window {}, {})",
         server.local_addr(),
         cfg.switches,
         cfg.policy,
         cfg.faults.len(),
         cfg.dispatch,
         cfg.isolation,
+        cfg.window,
         if cfg.rounds == 0 {
             "until killed".to_string()
         } else {

@@ -28,7 +28,6 @@ pub enum DispatchMode {
     /// One blocking Crash-Pad round-trip per app, in attach order — the
     /// original monolithic loop. Simple and the reference for
     /// determinism.
-    #[default]
     Sequential,
     /// Phased pipeline: checkpoint all selected apps up front, fan the
     /// event out to isolated stubs concurrently (local sandboxes run
@@ -36,7 +35,9 @@ pub enum DispatchMode {
     /// the failures, then commit each app's commands through NetLog in
     /// attach order. Network state and transaction order are identical
     /// to `Sequential`; wall time per event is bounded by the slowest
-    /// app instead of the sum.
+    /// app instead of the sum. The default since the determinism sweep
+    /// proved it observationally identical to `Sequential`.
+    #[default]
     Pipelined,
 }
 
@@ -47,6 +48,37 @@ impl DispatchMode {
             "sequential" => Some(DispatchMode::Sequential),
             "pipelined" => Some(DispatchMode::Pipelined),
             _ => None,
+        }
+    }
+}
+
+/// Cross-event dispatch window for [`DispatchMode::Pipelined`]: up to
+/// `depth` translated events from one cycle are in flight to the isolated
+/// stubs at once. Each stub's RPC queue carries the deliveries (and any
+/// due checkpoint requests) in per-app event order, so an app never sees
+/// event *k+1* before it has answered *k*; gather and commit stay fully
+/// serialized in (event, attach) order, keeping network state, the NetLog
+/// txlog, and runtime counters bit-identical to `Sequential`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchWindow {
+    /// Events in flight at once. `1` (the default) is the single-event
+    /// pipeline; values above 1 overlap delivery of later events with
+    /// gather/commit of earlier ones.
+    pub depth: usize,
+}
+
+impl Default for DispatchWindow {
+    fn default() -> Self {
+        DispatchWindow { depth: 1 }
+    }
+}
+
+impl DispatchWindow {
+    /// A window of the given depth (clamped to at least 1).
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        DispatchWindow {
+            depth: depth.max(1),
         }
     }
 }
@@ -71,6 +103,9 @@ pub struct LegoSdnConfig {
     pub isolation: IsolationMode,
     /// Event-dispatch strategy; see [`DispatchMode`].
     pub dispatch: DispatchMode,
+    /// Cross-event dispatch window for pipelined dispatch; see
+    /// [`DispatchWindow`]. Ignored under [`DispatchMode::Sequential`].
+    pub window: DispatchWindow,
     /// NetLog transaction mode: `Immediate` (full NetLog: apply + undo log)
     /// or `Buffered` (the paper-prototype ablation).
     pub netlog_mode: TxMode,
@@ -99,6 +134,7 @@ impl Default for LegoSdnConfig {
         LegoSdnConfig {
             isolation: IsolationMode::Local,
             dispatch: DispatchMode::default(),
+            window: DispatchWindow::default(),
             netlog_mode: TxMode::Immediate,
             crashpad: CrashPadConfig::default(),
             checker: Some(Checker::default()),
@@ -134,6 +170,13 @@ impl LegoSdnConfig {
         self.dispatch = dispatch;
         self
     }
+
+    /// Set the cross-event dispatch window depth (clamped to at least 1).
+    #[must_use]
+    pub fn with_window(mut self, depth: usize) -> Self {
+        self.window = DispatchWindow::new(depth);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -144,11 +187,22 @@ mod tests {
     fn defaults_are_the_paper_design() {
         let c = LegoSdnConfig::default();
         assert_eq!(c.isolation, IsolationMode::Local);
-        assert_eq!(c.dispatch, DispatchMode::Sequential);
+        // Pipelined has soaked (determinism sweep holds it bit-identical
+        // to Sequential) and is now the default; the window stays at 1
+        // until the operator widens it.
+        assert_eq!(c.dispatch, DispatchMode::Pipelined);
+        assert_eq!(c.window, DispatchWindow { depth: 1 });
         assert_eq!(c.netlog_mode, TxMode::Immediate);
         assert!(c.checker.is_some());
         assert_eq!(c.resource_limits, ResourceLimits::default());
         assert!(c.obs.is_none(), "default means Obs::global at build time");
+    }
+
+    #[test]
+    fn window_builder_clamps_to_one() {
+        assert_eq!(LegoSdnConfig::default().with_window(8).window.depth, 8);
+        assert_eq!(LegoSdnConfig::default().with_window(0).window.depth, 1);
+        assert_eq!(DispatchWindow::new(0).depth, 1);
     }
 
     #[test]

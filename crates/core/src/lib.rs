@@ -67,7 +67,7 @@ pub mod nversion;
 pub mod runtime;
 
 pub use clone_runner::{ClonePair, CloneStats};
-pub use config::{DispatchMode, IsolationMode, LegoSdnConfig, ResourceLimits};
+pub use config::{DispatchMode, DispatchWindow, IsolationMode, LegoSdnConfig, ResourceLimits};
 pub use host::{Host, ProxyAdapter};
 pub use nversion::{NVersionApp, VoteStats};
 pub use runtime::{
@@ -89,7 +89,9 @@ pub use legosdn_sts as sts;
 pub mod prelude {
     //! Everything a typical consumer needs.
     pub use crate::clone_runner::ClonePair;
-    pub use crate::config::{DispatchMode, IsolationMode, LegoSdnConfig, ResourceLimits};
+    pub use crate::config::{
+        DispatchMode, DispatchWindow, IsolationMode, LegoSdnConfig, ResourceLimits,
+    };
     pub use crate::nversion::NVersionApp;
     pub use crate::runtime::{AppId, AppStatus, LegoCycleReport, LegoSdnRuntime, RuntimeStats};
     pub use legosdn_apps::{

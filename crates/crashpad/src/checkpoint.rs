@@ -54,10 +54,27 @@ pub struct RecoveryPlan {
     pub replay: Vec<Event>,
 }
 
+/// FNV-1a over the serialized state — cheap enough to run on every
+/// snapshot, collision-resistant enough to gate *elision* (a false match
+/// would reuse a stale checkpoint; at 64 bits that is vanishingly rarer
+/// than the fault rates the paper's recovery machinery exists for).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 #[derive(Clone, Debug, Default, Codec)]
 struct AppCheckpoints {
     /// Most recent first is at the back.
     history: VecDeque<Checkpoint>,
+    /// FNV-1a hash of the latest stored snapshot's bytes; used to elide
+    /// a new snapshot whose serialized state is unchanged.
+    last_hash: Option<u64>,
     /// Events delivered since the latest snapshot.
     replay_buffer: Vec<Event>,
     /// Total events delivered to this app.
@@ -78,6 +95,9 @@ pub struct CheckpointStore {
     pub snapshots_taken: u64,
     /// Lifetime bytes snapshotted.
     pub bytes_snapshotted: u64,
+    /// Snapshots elided because the serialized state was unchanged since
+    /// the previous one (hash match — see [`CheckpointStore::record_snapshot`]).
+    pub snapshots_elided: u64,
 }
 
 impl CheckpointStore {
@@ -89,23 +109,52 @@ impl CheckpointStore {
             apps: BTreeMap::new(),
             snapshots_taken: 0,
             bytes_snapshotted: 0,
+            snapshots_elided: 0,
         }
     }
 
     /// Is a checkpoint due before delivering the app's next event?
     #[must_use]
     pub fn checkpoint_due(&self, app: &str) -> bool {
+        self.checkpoint_due_ahead(app, 0)
+    }
+
+    /// Is a checkpoint due before the app's (next + `ahead`)-th event?
+    /// The windowed dispatcher asks this speculatively while `ahead`
+    /// earlier deliveries are still in flight; `ahead = 0` is the plain
+    /// [`CheckpointStore::checkpoint_due`] question.
+    #[must_use]
+    pub fn checkpoint_due_ahead(&self, app: &str, ahead: u64) -> bool {
+        let interval = self.policy.interval.max(1);
         match self.apps.get(app) {
-            None => true, // first event: always snapshot first
-            Some(a) => a.events_delivered % self.policy.interval.max(1) == 0,
+            // First contact: the very first event always snapshots first,
+            // later window slots follow the interval from zero.
+            None => ahead.is_multiple_of(interval),
+            Some(a) => (a.events_delivered + ahead).is_multiple_of(interval),
         }
     }
 
-    /// Record a snapshot taken before the app's next event.
-    pub fn record_snapshot(&mut self, app: &str, bytes: Vec<u8>) {
+    /// Record a snapshot taken before the app's next event. Returns `true`
+    /// if the snapshot was stored, `false` if it was *elided*: when the
+    /// serialized state hashes identically to the latest stored snapshot,
+    /// the store just re-dates that checkpoint (`event_index` := now) and
+    /// clears the replay buffer — restore + empty replay reproduces the
+    /// current state exactly, so recovery plans stay correct while the
+    /// copy and its history slot are saved.
+    pub fn record_snapshot(&mut self, app: &str, bytes: Vec<u8>) -> bool {
         let entry = self.apps.entry(app.to_string()).or_default();
+        let hash = fnv1a(&bytes);
+        if entry.last_hash == Some(hash) {
+            if let Some(latest) = entry.history.back_mut() {
+                latest.event_index = entry.events_delivered;
+                entry.replay_buffer.clear();
+                self.snapshots_elided += 1;
+                return false;
+            }
+        }
         self.snapshots_taken += 1;
         self.bytes_snapshotted += bytes.len() as u64;
+        entry.last_hash = Some(hash);
         entry.history.push_back(Checkpoint {
             event_index: entry.events_delivered,
             bytes,
@@ -114,6 +163,7 @@ impl CheckpointStore {
             entry.history.pop_front();
         }
         entry.replay_buffer.clear();
+        true
     }
 
     /// Record that an event was (successfully) delivered to the app.
@@ -291,6 +341,66 @@ mod tests {
             vec![1]
         );
         assert!(store.historical_plan("a", 9).is_none());
+    }
+
+    #[test]
+    fn unchanged_state_elides_the_snapshot_but_keeps_plans_correct() {
+        let mut store = CheckpointStore::new(CheckpointPolicy {
+            interval: 1,
+            history: 4,
+            ..CheckpointPolicy::default()
+        });
+        assert!(store.record_snapshot("a", vec![7, 7]));
+        store.record_delivered("a", &ev(0));
+        // State unchanged: elide, but the retained checkpoint must now
+        // cover event 1 onward with nothing to replay.
+        assert!(!store.record_snapshot("a", vec![7, 7]));
+        store.record_delivered("a", &ev(1));
+        assert_eq!(store.snapshots_taken, 1);
+        assert_eq!(store.snapshots_elided, 1);
+        assert_eq!(store.bytes_snapshotted, 2);
+        assert_eq!(store.history_len("a"), 1);
+        let plan = store.recovery_plan("a").unwrap();
+        assert_eq!(plan.snapshot.event_index, 1);
+        assert_eq!(plan.snapshot.bytes, vec![7, 7]);
+        assert_eq!(plan.replay, vec![ev(1)]);
+        // State changed again: stored as usual.
+        assert!(store.record_snapshot("a", vec![7, 8]));
+        assert_eq!(store.snapshots_taken, 2);
+        assert_eq!(store.history_len("a"), 2);
+    }
+
+    #[test]
+    fn elision_is_per_app() {
+        let mut store = CheckpointStore::new(CheckpointPolicy::default());
+        assert!(store.record_snapshot("a", vec![1]));
+        // Same bytes, different app: no cross-talk.
+        assert!(store.record_snapshot("b", vec![1]));
+        assert!(!store.record_snapshot("a", vec![1]));
+        assert_eq!(store.snapshots_elided, 1);
+    }
+
+    #[test]
+    fn due_ahead_projects_the_interval_over_in_flight_deliveries() {
+        let mut store = CheckpointStore::new(CheckpointPolicy {
+            interval: 3,
+            ..CheckpointPolicy::default()
+        });
+        // Nothing delivered yet: due at slots 0, 3, 6...
+        assert!(store.checkpoint_due_ahead("a", 0));
+        assert!(!store.checkpoint_due_ahead("a", 1));
+        assert!(!store.checkpoint_due_ahead("a", 2));
+        assert!(store.checkpoint_due_ahead("a", 3));
+        for i in 0..2 {
+            store.record_delivered("a", &ev(i));
+        }
+        // Two delivered: the next (ahead=0) is index 2, due at ahead=1.
+        assert!(!store.checkpoint_due_ahead("a", 0));
+        assert!(store.checkpoint_due_ahead("a", 1));
+        assert_eq!(
+            store.checkpoint_due("a"),
+            store.checkpoint_due_ahead("a", 0)
+        );
     }
 
     #[test]

@@ -176,25 +176,44 @@ impl CrashPad {
     /// the event reaches the app — the snapshot taken here is what
     /// [`CrashPad::complete`] restores on failure.
     pub fn prepare(&mut self, app: &mut dyn RecoverableApp, name: &str) {
-        self.stats.events_dispatched += 1;
+        self.note_dispatch();
         if self.checkpoints.checkpoint_due(name) {
             let started = Instant::now();
             if let Ok(bytes) = app.snapshot() {
                 let dur_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                let size = bytes.len() as u64;
-                self.obs.record(RecordKind::CheckpointTaken {
-                    app: name.to_string(),
-                    bytes: size,
-                    dur_ns,
-                });
-                self.obs
-                    .histogram("crashpad", "checkpoint_ns", "")
-                    .observe(dur_ns);
-                self.obs
-                    .histogram("crashpad", "checkpoint_bytes", "")
-                    .observe(size);
-                self.checkpoints.record_snapshot(name, bytes);
+                self.record_prepared(name, bytes, dur_ns);
             }
+        }
+    }
+
+    /// Count one delivery attempt. [`CrashPad::prepare`] calls this; the
+    /// windowed dispatcher calls it separately as each in-flight delivery
+    /// is collected, so `events_dispatched` counts deliveries that
+    /// actually completed rather than speculative sends.
+    pub fn note_dispatch(&mut self) {
+        self.stats.events_dispatched += 1;
+    }
+
+    /// Book a pre-event snapshot that took `dur_ns` to capture: journal
+    /// and histogram the cost, then store (or elide) the bytes. The
+    /// windowed dispatcher uses this directly because it captures
+    /// snapshots remotely via the stub RPC queue rather than through a
+    /// [`RecoverableApp`] handle.
+    pub fn record_prepared(&mut self, name: &str, bytes: Vec<u8>, dur_ns: u64) {
+        let size = bytes.len() as u64;
+        self.obs.record(RecordKind::CheckpointTaken {
+            app: name.to_string(),
+            bytes: size,
+            dur_ns,
+        });
+        self.obs
+            .histogram("crashpad", "checkpoint_ns", "")
+            .observe(dur_ns);
+        self.obs
+            .histogram("crashpad", "checkpoint_bytes", "")
+            .observe(size);
+        if !self.checkpoints.record_snapshot(name, bytes) {
+            self.obs.counter("crashpad", "snapshots_elided", "").inc();
         }
     }
 

@@ -24,6 +24,13 @@ timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1
   --dispatch pipelined --isolation channel \
   || { echo "pipelined campaign smoke run failed or hung" >&2; exit 1; }
 
+# And with a cross-event window: multiple events in flight per stub, with
+# crash/cancel/re-send riding the same failure/recovery story.
+echo "==> campaign smoke under windowed dispatch (--window 8)"
+timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1 \
+  --dispatch pipelined --isolation channel --window 8 \
+  || { echo "windowed campaign smoke run failed or hung" >&2; exit 1; }
+
 echo "==> fleet smoke: aggregator + two pushing campaigns"
 AGG_ADDR_FILE="$(mktemp)"
 AGG_OUT="$(mktemp)"
@@ -65,8 +72,9 @@ timeout 120 cargo test -q --offline -p legosdn --test integration_obs_endpoint \
   || { echo "obs endpoint integration test failed or timed out" >&2; exit 1; }
 
 # Dispatch determinism: pipelined and sequential must leave bit-identical
-# flow tables, NetLog order, and counters. A stub deadlock would hang the
-# test, so it too runs under a hard timeout.
+# flow tables, NetLog order, and counters — swept across window depths
+# {1, 2, 8} and under seeded random crash injection. A stub deadlock would
+# hang the test, so it too runs under a hard timeout.
 echo "==> dispatch determinism integration test (hard 120s timeout)"
 timeout 120 cargo test -q --offline -p legosdn --test integration_dispatch_determinism \
   || { echo "dispatch determinism test failed or timed out" >&2; exit 1; }

@@ -337,6 +337,7 @@ impl AppVisorProxy {
         slot.stats.bytes_sent += frame.len() as u64;
         obs.counter("appvisor", "bytes_sent", &slot.name)
             .add(frame.len() as u64);
+        obs.trace_event("send", &slot.name, "rpc");
         slot.transport.send(&frame).map_err(ProxyError::Transport)?;
 
         let deadline = Instant::now() + deliver_timeout;
@@ -345,6 +346,7 @@ impl AppVisorProxy {
                 slot.stats.comm_failures += 1;
                 slot.alive = false;
                 obs.counter("appvisor", "comm_failures", &slot.name).inc();
+                obs.trace_event("collect", &slot.name, "comm_failure");
                 return Ok(DeliverOutcome::CommFailure);
             };
             match slot.transport.recv_timeout(remaining) {
@@ -358,6 +360,7 @@ impl AppVisorProxy {
                             slot.last_heartbeat = Instant::now();
                             obs.counter("appvisor", "events_delivered", &slot.name)
                                 .inc();
+                            obs.trace_event("collect", &slot.name, "ok");
                             return Ok(DeliverOutcome::Commands(commands));
                         }
                         Ok(RpcMessage::Crashed {
@@ -368,6 +371,7 @@ impl AppVisorProxy {
                             slot.alive = false;
                             obs.counter("appvisor", "crashes_detected", &slot.name)
                                 .inc();
+                            obs.trace_event("collect", &slot.name, "crashed");
                             return Ok(DeliverOutcome::Crashed { panic_message });
                         }
                         Ok(RpcMessage::Heartbeat { .. }) => {
@@ -382,6 +386,7 @@ impl AppVisorProxy {
                     slot.stats.comm_failures += 1;
                     slot.alive = false;
                     obs.counter("appvisor", "comm_failures", &slot.name).inc();
+                    obs.trace_event("collect", &slot.name, "comm_failure");
                     return Ok(DeliverOutcome::CommFailure);
                 }
                 Err(e) => return Err(ProxyError::Transport(e)),
@@ -541,11 +546,15 @@ impl AppVisorProxy {
                     obs.counter("appvisor", "bytes_sent", &slot.name)
                         .add(frame.len() as u64);
                     match slot.transport.send(&frame) {
-                        Ok(()) => seqs.push(Some(seq)),
+                        Ok(()) => {
+                            obs.trace_event("send", &slot.name, "fanout");
+                            seqs.push(Some(seq));
+                        }
                         Err(_) => {
                             slot.alive = false;
                             slot.stats.comm_failures += 1;
                             obs.counter("appvisor", "comm_failures", &slot.name).inc();
+                            obs.trace_event("send", &slot.name, "send_failed");
                             seqs.push(None);
                         }
                     }
@@ -601,6 +610,7 @@ impl AppVisorProxy {
             return Err(ProxyError::UnknownApp);
         };
         let Some(seq) = seq else {
+            obs.trace_event("collect", &slot.name, "comm_failure");
             return Ok(DeliverOutcome::CommFailure);
         };
         loop {
@@ -608,6 +618,7 @@ impl AppVisorProxy {
                 slot.stats.comm_failures += 1;
                 slot.alive = false;
                 obs.counter("appvisor", "comm_failures", &slot.name).inc();
+                obs.trace_event("collect", &slot.name, "comm_failure");
                 return Ok(DeliverOutcome::CommFailure);
             };
             match slot.transport.recv_timeout(remaining) {
@@ -621,6 +632,7 @@ impl AppVisorProxy {
                             slot.last_heartbeat = Instant::now();
                             obs.counter("appvisor", "events_delivered", &slot.name)
                                 .inc();
+                            obs.trace_event("collect", &slot.name, "ok");
                             return Ok(DeliverOutcome::Commands(commands));
                         }
                         Ok(RpcMessage::Crashed {
@@ -631,6 +643,7 @@ impl AppVisorProxy {
                             slot.alive = false;
                             obs.counter("appvisor", "crashes_detected", &slot.name)
                                 .inc();
+                            obs.trace_event("collect", &slot.name, "crashed");
                             return Ok(DeliverOutcome::Crashed { panic_message });
                         }
                         Ok(RpcMessage::Heartbeat { .. }) => {
@@ -644,6 +657,7 @@ impl AppVisorProxy {
                     slot.stats.comm_failures += 1;
                     slot.alive = false;
                     obs.counter("appvisor", "comm_failures", &slot.name).inc();
+                    obs.trace_event("collect", &slot.name, "comm_failure");
                     return Ok(DeliverOutcome::CommFailure);
                 }
                 Err(e) => return Err(ProxyError::Transport(e)),
@@ -684,7 +698,14 @@ impl AppVisorProxy {
             devices: devices.clone(),
             now,
         });
-        Ok(send_queued(slot, &frame, seq, &obs))
+        let tag = send_queued(slot, &frame, seq, &obs);
+        let outcome = if tag.is_some() {
+            "queued"
+        } else {
+            "send_failed"
+        };
+        obs.trace_event("send", &slot.name, outcome);
+        Ok(tag)
     }
 
     /// Queue a snapshot request without awaiting the reply. Interleaved
@@ -698,7 +719,14 @@ impl AppVisorProxy {
         slot.next_seq += 1;
         let seq = slot.next_seq;
         let frame = encode_frame(&RpcMessage::SnapshotRequest { seq });
-        Ok(send_queued(slot, &frame, seq, &obs))
+        let tag = send_queued(slot, &frame, seq, &obs);
+        let outcome = if tag.is_some() {
+            "queued"
+        } else {
+            "send_failed"
+        };
+        obs.trace_event("snap_send", &slot.name, outcome);
+        Ok(tag)
     }
 
     /// Collect the outcome of a queued delivery. The timeout window opens
@@ -718,6 +746,7 @@ impl AppVisorProxy {
                 slot.last_heartbeat = Instant::now();
                 obs.counter("appvisor", "events_delivered", &slot.name)
                     .inc();
+                obs.trace_event("collect", &slot.name, "ok");
                 Ok(DeliverOutcome::Commands(commands))
             }
             Ok(Some(RpcMessage::Crashed { panic_message, .. })) => {
@@ -725,12 +754,14 @@ impl AppVisorProxy {
                 slot.alive = false;
                 obs.counter("appvisor", "crashes_detected", &slot.name)
                     .inc();
+                obs.trace_event("collect", &slot.name, "crashed");
                 Ok(DeliverOutcome::Crashed { panic_message })
             }
             Ok(Some(_)) | Ok(None) | Err(TransportError::Disconnected) => {
                 slot.stats.comm_failures += 1;
                 slot.alive = false;
                 obs.counter("appvisor", "comm_failures", &slot.name).inc();
+                obs.trace_event("collect", &slot.name, "comm_failure");
                 Ok(DeliverOutcome::CommFailure)
             }
             Err(e) => Err(ProxyError::Transport(e)),
@@ -743,8 +774,14 @@ impl AppVisorProxy {
         let deadline = Instant::now() + self.config.rpc_timeout;
         let slot = self.apps.get_mut(h.0).ok_or(ProxyError::UnknownApp)?;
         match await_tag(slot, seq, deadline, &obs) {
-            Ok(Some(RpcMessage::SnapshotReply { bytes, .. })) => Ok(bytes),
-            Ok(Some(_) | None) => Err(ProxyError::Timeout),
+            Ok(Some(RpcMessage::SnapshotReply { bytes, .. })) => {
+                obs.trace_event("snap_collect", &slot.name, "ok");
+                Ok(bytes)
+            }
+            Ok(Some(_) | None) => {
+                obs.trace_event("snap_collect", &slot.name, "timeout");
+                Err(ProxyError::Timeout)
+            }
             Err(e) => Err(ProxyError::Transport(e)),
         }
     }

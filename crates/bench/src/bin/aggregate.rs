@@ -23,24 +23,34 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use legosdn::obs::{AggregateConfig, Aggregator, ObsServer, DEFAULT_JOURNAL_CAPACITY};
+use legosdn::obs::{
+    AggregateConfig, Aggregator, ObsServer, RollupConfig, DEFAULT_JOURNAL_CAPACITY,
+    DEFAULT_TRACE_CAPACITY,
+};
 
 struct AggregateArgs {
     addr: SocketAddr,
     addr_file: Option<String>,
     liveness: Duration,
     journal_capacity: usize,
+    trace_capacity: usize,
+    rollup_secs: u64,
+    rollup_retain: usize,
     max_seconds: u64,
     status_every: Duration,
 }
 
 impl Default for AggregateArgs {
     fn default() -> Self {
+        let rollup = RollupConfig::default();
         AggregateArgs {
             addr: SocketAddr::from(([127, 0, 0, 1], 9200)),
             addr_file: None,
             liveness: Duration::from_secs(5),
             journal_capacity: DEFAULT_JOURNAL_CAPACITY,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            rollup_secs: rollup.width.as_secs(),
+            rollup_retain: rollup.retain,
             max_seconds: 0,
             status_every: Duration::from_secs(10),
         }
@@ -48,9 +58,13 @@ impl Default for AggregateArgs {
 }
 
 const USAGE: &str = "usage: aggregate [--addr HOST:PORT] [--addr-file PATH] \
-[--liveness-ms MS] [--journal-capacity N] [--max-seconds N]\n\
+[--liveness-ms MS] [--journal-capacity N] [--trace-capacity N] \
+[--rollup-secs N] [--rollup-retain N] [--max-seconds N]\n\
 --addr 127.0.0.1:0 picks an ephemeral port (written to --addr-file for \
-scripts). --max-seconds 0 (default) serves forever.";
+scripts). --trace-capacity bounds retained flight-recorder traces per \
+campaign; --rollup-secs / --rollup-retain set the time-windowed rollup \
+width and retention (GET /rollups). --max-seconds 0 (default) serves \
+forever.";
 
 fn parse_args(args: &[String]) -> Result<AggregateArgs, String> {
     let mut cfg = AggregateArgs::default();
@@ -75,6 +89,21 @@ fn parse_args(args: &[String]) -> Result<AggregateArgs, String> {
                 cfg.journal_capacity = value()?
                     .parse()
                     .map_err(|e| format!("--journal-capacity: {e}"))?
+            }
+            "--trace-capacity" => {
+                cfg.trace_capacity = value()?
+                    .parse()
+                    .map_err(|e| format!("--trace-capacity: {e}"))?
+            }
+            "--rollup-secs" => {
+                cfg.rollup_secs = value()?
+                    .parse()
+                    .map_err(|e| format!("--rollup-secs: {e}"))?
+            }
+            "--rollup-retain" => {
+                cfg.rollup_retain = value()?
+                    .parse()
+                    .map_err(|e| format!("--rollup-retain: {e}"))?
             }
             "--max-seconds" => {
                 cfg.max_seconds = value()?
@@ -104,6 +133,11 @@ fn main() {
     let aggregator = Arc::new(Aggregator::new(AggregateConfig {
         liveness_window: cfg.liveness,
         journal_capacity: cfg.journal_capacity,
+        trace_capacity: cfg.trace_capacity,
+        rollup: RollupConfig {
+            width: Duration::from_secs(cfg.rollup_secs.max(1)),
+            retain: cfg.rollup_retain.max(1),
+        },
     }));
     let server = ObsServer::builder()
         .addr(cfg.addr)
@@ -122,7 +156,7 @@ fn main() {
     }
     eprintln!(
         "aggregate: accepting pushes on http://{addr}/push, serving merged \
-         /metrics /metrics.json /incidents /healthz ({})",
+         /metrics /metrics.json /incidents /traces /rollups /healthz ({})",
         if cfg.max_seconds == 0 {
             "until killed".to_string()
         } else {

@@ -29,6 +29,7 @@ use legosdn::prelude::*;
 
 struct CampaignConfig {
     addr: SocketAddr,
+    addr_file: Option<String>,
     rounds: u64,
     switches: usize,
     hosts_per_switch: usize,
@@ -40,12 +41,14 @@ struct CampaignConfig {
     dispatch: DispatchMode,
     window: usize,
     isolation: IsolationMode,
+    trace_sample: u64,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
             addr: SocketAddr::from(([127, 0, 0, 1], 9184)),
+            addr_file: None,
             rounds: 0,
             switches: 3,
             hosts_per_switch: 1,
@@ -57,21 +60,27 @@ impl Default for CampaignConfig {
             dispatch: DispatchMode::default(),
             window: 1,
             isolation: IsolationMode::Local,
+            trace_sample: 1,
         }
     }
 }
 
-const USAGE: &str = "usage: campaign [--addr HOST:PORT] [--rounds N] \
+const USAGE: &str = "usage: campaign [--addr HOST:PORT] [--addr-file PATH] \
+[--rounds N] \
 [--switches N] [--hosts N] [--policy absolute|no-compromise|equivalence] \
 [--faults crash,blackhole,loop,flush] [--period-ms MS] \
 [--push-to HOST:PORT] [--campaign NAME] \
 [--dispatch sequential|pipelined] [--window DEPTH] \
-[--isolation local|channel|udp|tcp]\n\
---rounds 0 (default) serves forever. --push-to exports to a fleet \
-aggregator under the --campaign name. --dispatch pipelined (the default) \
-fans events out to isolated apps concurrently; --window DEPTH keeps up \
-to DEPTH events of a cycle in flight on each stub's stream (default 1; \
-same network state either way, see DESIGN.md).";
+[--isolation local|channel|udp|tcp] [--trace-sample N]\n\
+--rounds 0 (default) serves forever. --addr 127.0.0.1:0 picks an \
+ephemeral port (written to --addr-file for scripts). --push-to exports \
+to a fleet aggregator under the --campaign name. --dispatch pipelined \
+(the default) fans events out to isolated apps concurrently; --window \
+DEPTH keeps up to DEPTH events of a cycle in flight on each stub's \
+stream (default 1; same network state either way, see DESIGN.md). \
+--trace-sample N records a causal flight-recorder trace for every Nth \
+event (default 1: every event; 0 disables tracing), served at /traces \
+and /traces/<cycle>-<seq>.";
 
 fn parse_fault(s: &str) -> Result<BugEffect, String> {
     match s {
@@ -94,6 +103,7 @@ fn parse_args(args: &[String]) -> Result<CampaignConfig, String> {
         };
         match flag.as_str() {
             "--addr" => cfg.addr = value()?.parse().map_err(|e| format!("--addr: {e}"))?,
+            "--addr-file" => cfg.addr_file = Some(value()?),
             "--rounds" => cfg.rounds = value()?.parse().map_err(|e| format!("--rounds: {e}"))?,
             "--switches" => {
                 cfg.switches = value()?.parse().map_err(|e| format!("--switches: {e}"))?;
@@ -157,6 +167,11 @@ fn parse_args(args: &[String]) -> Result<CampaignConfig, String> {
                     "tcp" => IsolationMode::Tcp,
                     other => return Err(format!("unknown isolation mode: {other}")),
                 }
+            }
+            "--trace-sample" => {
+                cfg.trace_sample = value()?
+                    .parse()
+                    .map_err(|e| format!("--trace-sample: {e}"))?
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag: {other}")),
@@ -230,6 +245,7 @@ fn main() {
             ..LegoSdnConfig::default()
         }
         .with_window(cfg.window)
+        .with_trace_sample(cfg.trace_sample)
         .with_obs(Obs::new()),
     );
     let obs = rt.obs();
@@ -249,8 +265,14 @@ fn main() {
         eprintln!("error: cannot bind ops endpoint on {}: {e}", cfg.addr);
         std::process::exit(1);
     });
+    if let Some(path) = &cfg.addr_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", server.local_addr())) {
+            eprintln!("error: cannot write --addr-file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
     eprintln!(
-        "campaign: serving /metrics /metrics.json /incidents /healthz on http://{} \
+        "campaign: serving /metrics /metrics.json /incidents /traces /rollups /healthz on http://{} \
          ({} switches, policy {}, {} fault app(s), {:?}/{:?} dispatch, \
          window {}, {})",
         server.local_addr(),

@@ -127,6 +127,11 @@ pub struct LegoSdnConfig {
     /// [`LegoSdnConfig::with_obs`] or
     /// [`LegoSdnConfig::with_journal_capacity`].
     pub obs: Option<Obs>,
+    /// Causal-trace sampling: begin a flight-recorder trace for every
+    /// Nth translated event. `1` (the default) traces every event, `0`
+    /// disables tracing entirely; untraced events pay a single relaxed
+    /// atomic load per layer hook.
+    pub trace_sample: u64,
 }
 
 impl Default for LegoSdnConfig {
@@ -142,6 +147,7 @@ impl Default for LegoSdnConfig {
             resource_limits: ResourceLimits::default(),
             proxy: ProxyConfig::default(),
             obs: None,
+            trace_sample: 1,
         }
     }
 }
@@ -177,6 +183,13 @@ impl LegoSdnConfig {
         self.window = DispatchWindow::new(depth);
         self
     }
+
+    /// Trace every `sample`th translated event (`0` disables tracing).
+    #[must_use]
+    pub fn with_trace_sample(mut self, sample: u64) -> Self {
+        self.trace_sample = sample;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +209,7 @@ mod tests {
         assert!(c.checker.is_some());
         assert_eq!(c.resource_limits, ResourceLimits::default());
         assert!(c.obs.is_none(), "default means Obs::global at build time");
+        assert_eq!(c.trace_sample, 1, "every event is traced by default");
     }
 
     #[test]
@@ -221,6 +235,18 @@ mod tests {
                 .with_dispatch(DispatchMode::Pipelined)
                 .dispatch,
             DispatchMode::Pipelined
+        );
+    }
+
+    #[test]
+    fn trace_sample_builder_sets_the_rate() {
+        assert_eq!(
+            LegoSdnConfig::default().with_trace_sample(0).trace_sample,
+            0
+        );
+        assert_eq!(
+            LegoSdnConfig::default().with_trace_sample(4).trace_sample,
+            4
         );
     }
 

@@ -35,7 +35,7 @@ use legosdn_crashpad::{
 use legosdn_invariants::{shutdown_network, Checker};
 use legosdn_netlog::{NetLog, TxMode};
 use legosdn_netsim::{Network, SimTime};
-use legosdn_obs::Obs;
+use legosdn_obs::{Obs, TraceId};
 use legosdn_openflow::prelude::Message;
 use std::fmt;
 use std::time::Instant;
@@ -118,6 +118,11 @@ struct WindowSlot {
     topology: TopologyView,
     devices: DeviceView,
     now: SimTime,
+    /// Flight-recorder trace for this event, if it was sampled. Window
+    /// operations switch the obs trace scope to this id so every layer
+    /// hook (proxy queue/collect, Crash-Pad recovery, NetLog commit)
+    /// lands in the right causal timeline.
+    trace: Option<TraceId>,
 }
 
 /// One speculative in-flight (event, app) delivery to an isolated stub.
@@ -149,6 +154,15 @@ impl fmt::Display for AttachError {
 
 impl std::error::Error for AttachError {}
 
+/// Stable trace-event outcome label for a raw delivery.
+fn delivery_label(d: &DeliveryResult) -> &'static str {
+    match d {
+        DeliveryResult::Ok(_) => "ok",
+        DeliveryResult::Crashed { .. } => "crashed",
+        DeliveryResult::CommFailure => "comm_failure",
+    }
+}
+
 /// The LegoSDN runtime.
 pub struct LegoSdnRuntime {
     config: LegoSdnConfig,
@@ -160,6 +174,9 @@ pub struct LegoSdnRuntime {
     apps: Vec<AppRecord>,
     stats: RuntimeStats,
     obs: Obs,
+    /// Translated events seen by the trace sampler (monotonic; doubles as
+    /// the `seq` half of [`TraceId`], so ids stay unique across cycles).
+    trace_seen: u64,
 }
 
 impl LegoSdnRuntime {
@@ -185,8 +202,29 @@ impl LegoSdnRuntime {
             apps: Vec::new(),
             stats: RuntimeStats::default(),
             obs,
+            trace_seen: 0,
             config,
         }
+    }
+
+    /// Sampling gate for the flight recorder: begin a trace for this
+    /// event if it is the `trace_sample`th since the last traced one.
+    /// Returns the id for scope switching (`None`: not sampled).
+    fn trace_for_event(&mut self, event: &Event) -> Option<TraceId> {
+        let sample = self.config.trace_sample;
+        if sample == 0 {
+            return None;
+        }
+        self.trace_seen += 1;
+        if !(self.trace_seen - 1).is_multiple_of(sample) {
+            return None;
+        }
+        let id = TraceId {
+            cycle: self.stats.cycles,
+            seq: self.trace_seen,
+        };
+        self.obs.trace_begin(id, &format!("{:?}", event.kind()));
+        Some(id)
     }
 
     /// Build a push frame of this runtime's observability state for
@@ -339,7 +377,10 @@ impl LegoSdnRuntime {
                     .add(events.len() as u64);
                 for ev in events {
                     report.events += 1;
+                    let trace = self.trace_for_event(&ev);
+                    self.obs.trace_scope(trace);
                     self.dispatch_event(net, &ev, &mut report);
+                    self.obs.trace_scope(None);
                 }
             }
         }
@@ -366,11 +407,13 @@ impl LegoSdnRuntime {
                 .add(events.len() as u64);
             for ev in events {
                 report.events += 1;
+                let trace = self.trace_for_event(&ev);
                 slots.push(WindowSlot {
                     event: ev,
                     topology: self.translator.topology.clone(),
                     devices: self.translator.devices.clone(),
                     now: net.now(),
+                    trace,
                 });
             }
         }
@@ -385,7 +428,10 @@ impl LegoSdnRuntime {
         let mut report = LegoCycleReport::default();
         let ev = Event::Tick(net.now());
         report.events += 1;
+        let trace = self.trace_for_event(&ev);
+        self.obs.trace_scope(trace);
         self.dispatch_event(net, &ev, &mut report);
+        self.obs.trace_scope(None);
         report.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         report
     }
@@ -420,6 +466,8 @@ impl LegoSdnRuntime {
         self.stats.dispatches += 1;
         self.obs.counter("core", "dispatches", "").inc();
         self.apps[idx].usage.events_consumed += 1;
+        self.obs
+            .trace_event("fill", &self.apps[idx].name, "selected");
         true
     }
 
@@ -516,13 +564,18 @@ impl LegoSdnRuntime {
                 )
             });
             for (pos, &idx) in selected.iter().enumerate() {
+                let name = self.apps[idx].name.clone();
                 if let Host::Local(sandbox) = &mut self.apps[idx].host {
-                    deliveries[pos] = Some(sandbox.deliver(
+                    self.obs.trace_event("send", &name, "local");
+                    let delivery = sandbox.deliver(
                         event,
                         &self.translator.topology,
                         &self.translator.devices,
                         now,
-                    ));
+                    );
+                    self.obs
+                        .trace_event("collect", &name, delivery_label(&delivery));
+                    deliveries[pos] = Some(delivery);
                 }
             }
             if let Some(ticket) = ticket {
@@ -624,6 +677,7 @@ impl LegoSdnRuntime {
                 let _span = self.obs.span("core.window_commit");
                 let entries = std::mem::take(&mut pending[commit_pos]);
                 let slot = &slots[commit_pos];
+                self.obs.trace_scope(slot.trace);
                 let kind = slot.event.kind();
                 let mut entries = entries.into_iter().peekable();
                 for idx in 0..self.apps.len() {
@@ -652,12 +706,15 @@ impl LegoSdnRuntime {
                                 unreachable!("checked above");
                             };
                             self.crashpad.prepare(sandbox, &name);
+                            self.obs.trace_event("send", &name, "local");
                             let delivery = sandbox.deliver(
                                 &slot.event,
                                 &slot.topology,
                                 &slot.devices,
                                 slot.now,
                             );
+                            self.obs
+                                .trace_event("collect", &name, delivery_label(&delivery));
                             self.crashpad.complete(
                                 sandbox,
                                 &name,
@@ -681,6 +738,7 @@ impl LegoSdnRuntime {
             }
             commit_pos += 1;
         }
+        self.obs.trace_scope(None);
     }
 
     /// Speculatively select and queue one slot's deliveries to the
@@ -689,6 +747,7 @@ impl LegoSdnRuntime {
     /// send time and are rolled back entry-by-entry if a failure on an
     /// earlier slot cancels the entry.
     fn window_send_slot(&mut self, slot: &WindowSlot, inflight: &mut [u64]) -> Vec<WindowEntry> {
+        self.obs.trace_scope(slot.trace);
         let kind = slot.event.kind();
         let mut entries = Vec::new();
         for idx in 0..self.apps.len() {
@@ -787,7 +846,7 @@ impl LegoSdnRuntime {
         if failed {
             // Cancel this app's queued later deliveries BEFORE recovery
             // restores it, so the RPC stream is clean when replay begins.
-            self.window_cancel_app(idx, commit_pos, pending, inflight);
+            self.window_cancel_app(idx, commit_pos, slots, pending, inflight);
         }
         let byz_before = self.stats.byzantine_blocked;
         let result = {
@@ -817,10 +876,13 @@ impl LegoSdnRuntime {
         if byz_recovered && !failed {
             // Byzantine caught at commit: the app was restored mid-stream,
             // so its queued later deliveries ran from the wrong state.
-            self.window_cancel_app(idx, commit_pos, pending, inflight);
+            self.window_cancel_app(idx, commit_pos, slots, pending, inflight);
         }
         if failed || byz_recovered {
             self.window_resend_app(idx, commit_pos, next_send, slots, pending, inflight);
+            // The resend loop re-scoped the recorder to the refilled
+            // slots; later entries of this commit still belong here.
+            self.obs.trace_scope(slot.trace);
         }
     }
 
@@ -831,12 +893,14 @@ impl LegoSdnRuntime {
         &mut self,
         idx: usize,
         commit_pos: usize,
+        slots: &[WindowSlot],
         pending: &mut [Vec<WindowEntry>],
         inflight: &mut [u64],
     ) {
+        let name = self.apps[idx].name.clone();
         let mut tags = Vec::new();
         let mut handle = None;
-        for slot_entries in pending.iter_mut().skip(commit_pos + 1) {
+        for (s, slot_entries) in pending.iter_mut().enumerate().skip(commit_pos + 1) {
             if let Some(pos) = slot_entries.iter().position(|e| e.app_idx == idx) {
                 let e = slot_entries.remove(pos);
                 tags.extend(e.snap);
@@ -848,6 +912,12 @@ impl LegoSdnRuntime {
                 self.stats.dispatches -= 1;
                 self.apps[idx].usage.events_consumed -= 1;
                 inflight[idx] -= 1;
+                // The cancellation belongs to the *cancelled* event's
+                // timeline, not the failed one currently in scope.
+                if let Some(tid) = slots[s].trace {
+                    self.obs
+                        .trace_event_for(tid, "cancel", &name, "crash_upstream");
+                }
             }
         }
         if let Some(h) = handle {
@@ -869,9 +939,13 @@ impl LegoSdnRuntime {
         inflight: &mut [u64],
     ) {
         for s in (commit_pos + 1)..next_send {
+            // Re-queued work records into the re-sent event's trace.
+            self.obs.trace_scope(slots[s].trace);
             if !self.select_app(idx, slots[s].event.kind()) {
                 continue;
             }
+            self.obs
+                .trace_event("resend", &self.apps[idx].name, "requeued");
             let entry = self.window_queue_one(idx, &slots[s], inflight);
             let pos = pending[s]
                 .iter()
@@ -948,6 +1022,13 @@ impl LegoSdnRuntime {
         report: &mut LegoCycleReport,
         views: Option<(&TopologyView, &DeviceView)>,
     ) {
+        let verdict = match &result {
+            DispatchResult::Delivered(_) => "delivered",
+            DispatchResult::Recovered { .. } => "recovered",
+            DispatchResult::AppDead { .. } => "app_dead",
+        };
+        self.obs
+            .trace_event("commit", &self.apps[idx].name, verdict);
         match result {
             DispatchResult::Delivered(commands) => {
                 self.execute_guarded(net, idx, event, commands, report, true, views);

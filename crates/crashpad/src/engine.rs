@@ -239,6 +239,7 @@ impl CrashPad {
             }
             DeliveryResult::Crashed { panic_message } => {
                 self.stats.failures += 1;
+                self.obs.trace_event("deliver_fail", name, "crash");
                 self.obs.record(RecordKind::AppCrash {
                     app: name.to_string(),
                     detail: panic_message.clone(),
@@ -255,6 +256,7 @@ impl CrashPad {
             }
             DeliveryResult::CommFailure => {
                 self.stats.failures += 1;
+                self.obs.trace_event("deliver_fail", name, "comm_failure");
                 self.obs.record(RecordKind::CommFailure {
                     app: name.to_string(),
                 });
@@ -288,6 +290,7 @@ impl CrashPad {
         now: SimTime,
     ) -> DispatchResult {
         self.stats.byzantine_failures += 1;
+        self.obs.trace_event("deliver_fail", name, "byzantine");
         self.obs.record(RecordKind::ByzantineBlocked {
             app: name.to_string(),
             violations: violations as u64,
@@ -322,6 +325,7 @@ impl CrashPad {
 
         if policy == CompromisePolicy::NoCompromise {
             self.stats.apps_let_die += 1;
+            self.obs.trace_event("app_dead", name, "let_die");
             self.record_verdict(name, policy, "let_die");
             let ticket = self.tickets.file(
                 now,
@@ -341,6 +345,7 @@ impl CrashPad {
         if !self.restore_and_replay(app, name, topology, devices, now) {
             // No checkpoint to restore (snapshot never succeeded): dead.
             self.stats.apps_let_die += 1;
+            self.obs.trace_event("app_dead", name, "no_checkpoint");
             self.record_verdict(name, policy, "no_checkpoint_let_die");
             let ticket = self.tickets.file(
                 now,
@@ -375,6 +380,7 @@ impl CrashPad {
                 }
                 if all_ok {
                     self.stats.events_transformed += 1;
+                    self.obs.trace_event("transform", name, "equivalents_ok");
                     self.record_verdict(name, policy, "transformed");
                     self.obs.record(RecordKind::EventTransformed {
                         app: name.to_string(),
@@ -435,6 +441,7 @@ impl CrashPad {
 
     /// Journal the compromise-policy engine's verdict for an incident.
     fn record_verdict(&self, name: &str, policy: CompromisePolicy, verdict: &str) {
+        self.obs.trace_event("policy", name, verdict);
         self.obs.record(RecordKind::PolicyDecision {
             app: name.to_string(),
             policy: policy.to_string(),
@@ -463,8 +470,10 @@ impl CrashPad {
         };
         let restore_started = Instant::now();
         if app.restore(&plan.snapshot.bytes).is_err() {
+            self.obs.trace_event("restore", name, "err");
             return false;
         }
+        self.obs.trace_event("restore", name, "ok");
         let restore_ns = u64::try_from(restore_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.obs.record(RecordKind::CheckpointRestored {
             app: name.to_string(),
@@ -495,6 +504,8 @@ impl CrashPad {
                 }
             }
         }
+        self.obs
+            .trace_event("replay", name, &format!("replayed={replayed}"));
         self.obs.record(RecordKind::ReplayDone {
             app: name.to_string(),
             events_replayed: replayed,

@@ -38,9 +38,11 @@ use crate::export::{escape_label, json_escape, metric_name};
 use crate::journal::Record;
 use crate::metrics::Key;
 use crate::push::PushFrame;
+use crate::rollup::{merge_buckets, RollupConfig, RollupSample, RollupState, RollupWindow};
 use crate::serve::{Request, Response, RouteHandler};
 use crate::timeline::{reconstruct, IncidentReport, Resolution};
-use crate::{Obs, DEFAULT_JOURNAL_CAPACITY};
+use crate::trace::{Trace, TraceId};
+use crate::{Obs, DEFAULT_JOURNAL_CAPACITY, DEFAULT_TRACE_CAPACITY};
 
 /// Reserved campaign label for fleet roll-up series. Pushing under this
 /// name (or an empty name) is a protocol error.
@@ -54,6 +56,11 @@ pub struct AggregateConfig {
     pub liveness_window: Duration,
     /// Records retained per campaign; oldest drop first.
     pub journal_capacity: usize,
+    /// Causal traces retained per campaign; oldest drop first.
+    pub trace_capacity: usize,
+    /// Width and retention of the time-windowed rollups served on
+    /// `GET /rollups`.
+    pub rollup: RollupConfig,
 }
 
 impl Default for AggregateConfig {
@@ -61,6 +68,8 @@ impl Default for AggregateConfig {
         AggregateConfig {
             liveness_window: Duration::from_secs(5),
             journal_capacity: DEFAULT_JOURNAL_CAPACITY,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            rollup: RollupConfig::default(),
         }
     }
 }
@@ -86,6 +95,13 @@ struct CampaignState {
     max_seq: Option<u64>,
     journal_total: u64,
     journal_evicted: u64,
+    /// Causal traces, oldest first, upserted by `trace_seq` (a resent
+    /// trace that gained events replaces its earlier copy whole).
+    traces: VecDeque<Trace>,
+    traces_dropped: u64,
+    /// Time-windowed rollups, sampled at every ingest on the
+    /// aggregator's clock so windows align across campaigns.
+    rollup: RollupState,
     pushes: u64,
     last_push: Instant,
 }
@@ -100,9 +116,44 @@ impl CampaignState {
             max_seq: None,
             journal_total: 0,
             journal_evicted: 0,
+            traces: VecDeque::new(),
+            traces_dropped: 0,
+            rollup: RollupState::default(),
             pushes: 0,
             last_push: Instant::now(),
         }
+    }
+
+    /// The rollup series reading for this campaign's current cumulative
+    /// snapshot, stamped with the aggregator's clock.
+    fn rollup_sample(&self, at_ns: u64) -> RollupSample {
+        let mut s = RollupSample {
+            at_ns,
+            ..RollupSample::default()
+        };
+        for (k, v) in &self.counters {
+            match (k.0.as_str(), k.1.as_str()) {
+                ("core", "events_translated") => s.events += v,
+                ("core", "failstop_recoveries") => s.recoveries += v,
+                _ => {}
+            }
+        }
+        for (k, h) in &self.histograms {
+            match (k.0.as_str(), k.1.as_str()) {
+                ("core", "run_cycle") => {
+                    s.cycles += h.count;
+                    let buckets: Vec<(u64, u64)> =
+                        h.buckets.iter().map(|(ub, c)| (*ub, *c)).collect();
+                    merge_buckets(&mut s.cycle_buckets, &buckets);
+                }
+                ("crashpad", "restore_ns") => {
+                    s.recovery_count += h.count;
+                    s.recovery_ns = s.recovery_ns.saturating_add(h.sum);
+                }
+                _ => {}
+            }
+        }
+        s
     }
 }
 
@@ -249,8 +300,31 @@ impl Aggregator {
         }
         campaign.journal_total = frame.journal_total;
         campaign.journal_evicted = frame.journal_evicted;
+
+        // Traces upsert on trace_seq: frames ship the sender's recent
+        // ring cumulatively, so a trace can arrive repeatedly, each time
+        // with more events — the newest copy wins whole.
+        for t in &frame.traces {
+            if let Some(existing) = campaign
+                .traces
+                .iter_mut()
+                .find(|e| e.trace_seq == t.trace_seq)
+            {
+                *existing = t.clone();
+            } else {
+                campaign.traces.push_back(t.clone());
+            }
+        }
+        while campaign.traces.len() > self.cfg.trace_capacity.max(1) {
+            campaign.traces.pop_front();
+            campaign.traces_dropped += 1;
+        }
+        campaign.traces_dropped = campaign.traces_dropped.max(frame.traces_dropped);
+
         campaign.pushes += 1;
         campaign.last_push = Instant::now();
+        let sample = campaign.rollup_sample(self.obs.now_ns());
+        campaign.rollup.observe(&self.cfg.rollup, sample);
         let ack = campaign.max_seq;
         drop(shard);
 
@@ -501,6 +575,127 @@ impl Aggregator {
         }
         out
     }
+
+    /// All retained traces across the fleet, one summary row each —
+    /// `GET /traces`.
+    #[must_use]
+    pub fn traces_json(&self) -> String {
+        let campaigns = self.collect();
+        let mut out = String::from("{\n  \"traces\": [");
+        let mut first = true;
+        for (name, c) in &campaigns {
+            for t in &c.traces {
+                let sep = if first { "" } else { "," };
+                first = false;
+                let _ = write!(
+                    out,
+                    "{sep}\n    {{\"campaign\":\"{}\",\"id\":\"{}\",\"kind\":\"{}\",\
+                     \"events\":{},\"started_ns\":{}}}",
+                    json_escape(name),
+                    t.id,
+                    json_escape(&t.kind),
+                    t.events.len(),
+                    t.started_ns
+                );
+            }
+        }
+        out.push_str("\n  ],\n  \"traces_dropped\": {");
+        let mut first = true;
+        for (name, c) in &campaigns {
+            let sep = if first { "" } else { "," };
+            first = false;
+            let _ = write!(out, "{sep}\"{}\":{}", json_escape(name), c.traces_dropped);
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// One campaign's trace with its overlapping incidents —
+    /// `GET /traces/<campaign>/<cycle>-<seq>`.
+    #[must_use]
+    pub fn trace_json(&self, campaign: &str, id: TraceId) -> Option<String> {
+        let campaigns = self.collect();
+        let c = campaigns.get(campaign)?;
+        let trace = c.traces.iter().rev().find(|t| t.id == id)?.clone();
+        let records: Vec<Record> = c.records.iter().map(|(_, r)| r.clone()).collect();
+        Some(trace.to_json(&reconstruct(&records)))
+    }
+
+    /// Look a trace up directly (tests, the status loop).
+    #[must_use]
+    pub fn trace(&self, campaign: &str, id: TraceId) -> Option<Trace> {
+        self.collect()
+            .get(campaign)?
+            .traces
+            .iter()
+            .rev()
+            .find(|t| t.id == id)
+            .cloned()
+    }
+
+    /// Time-windowed rollups for every campaign plus the [`FLEET`]
+    /// merge — `GET /rollups`. Fleet windows merge per-campaign windows
+    /// of the same index (aggregator-clock aligned): counts sum, latency
+    /// buckets merge bucket-wise before quantiles are recomputed.
+    #[must_use]
+    pub fn rollups_json(&self) -> String {
+        let campaigns = self.collect();
+        let cfg = &self.cfg.rollup;
+        let mut fleet_closed: BTreeMap<u64, RollupWindow> = BTreeMap::new();
+        let mut fleet_current: Option<RollupWindow> = None;
+        let mut out = format!(
+            "{{\n  \"width_ns\": {},\n  \"retain\": {},\n  \"campaigns\": {{",
+            u64::try_from(cfg.width.as_nanos()).unwrap_or(u64::MAX),
+            cfg.retain
+        );
+        let mut first = true;
+        for (name, c) in &campaigns {
+            let windows = c.rollup.windows();
+            let current = c.rollup.current(cfg);
+            for w in &windows {
+                merge_window(fleet_closed.entry(w.index).or_default(), w);
+            }
+            if let Some(cur) = &current {
+                merge_window(fleet_current.get_or_insert_with(RollupWindow::default), cur);
+            }
+            let sep = if first { "" } else { "," };
+            first = false;
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {}",
+                json_escape(name),
+                crate::rollup::render_json(cfg, &windows, current.as_ref(), c.rollup.evicted())
+            );
+        }
+        let fleet: Vec<RollupWindow> = fleet_closed.into_values().collect();
+        let sep = if first { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{FLEET}\": {}",
+            crate::rollup::render_json(cfg, &fleet, fleet_current.as_ref(), 0)
+        );
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Fold window `w` into the fleet accumulator `into`: raw deltas sum,
+/// bounds widen, derived rate/quantiles are recomputed from the merge.
+fn merge_window(into: &mut RollupWindow, w: &RollupWindow) {
+    if into.end_ns == 0 {
+        into.index = w.index;
+        into.start_ns = w.start_ns;
+        into.end_ns = w.end_ns;
+    }
+    into.start_ns = into.start_ns.min(w.start_ns);
+    into.end_ns = into.end_ns.max(w.end_ns);
+    into.events += w.events;
+    into.cycles += w.cycles;
+    into.recoveries += w.recoveries;
+    into.recovery_count += w.recovery_count;
+    into.recovery_ns = into.recovery_ns.saturating_add(w.recovery_ns);
+    merge_buckets(&mut into.cycle_buckets, &w.cycle_buckets);
+    into.finish(into.end_ns.saturating_sub(into.start_ns));
 }
 
 impl RouteHandler for Aggregator {
@@ -532,8 +727,37 @@ impl RouteHandler for Aggregator {
                 content_type: "text/plain; charset=utf-8",
                 body: self.incidents_text(),
             },
+            ("GET", "/traces") => Response {
+                status: 200,
+                content_type: "application/json",
+                body: self.traces_json(),
+            },
+            ("GET", "/rollups") => Response {
+                status: 200,
+                content_type: "application/json",
+                body: self.rollups_json(),
+            },
             ("GET", "/healthz") => Response::text(200, self.healthz()),
-            ("GET", _) => Response::text(404, "not found\n"),
+            ("GET", path) => {
+                // `/traces/<campaign>/<cycle>-<seq>`: one campaign's
+                // trace with its reconstructed incident overlap.
+                if let Some(rest) = path.strip_prefix("/traces/") {
+                    if let Some((campaign, id_str)) = rest.split_once('/') {
+                        if let Some(id) = TraceId::parse(id_str) {
+                            return match self.trace_json(campaign, id) {
+                                Some(body) => Response {
+                                    status: 200,
+                                    content_type: "application/json",
+                                    body,
+                                },
+                                None => Response::text(404, "no such trace\n"),
+                            };
+                        }
+                    }
+                    return Response::text(404, "expected /traces/<campaign>/<cycle>-<seq>\n");
+                }
+                Response::text(404, "not found\n")
+            }
             _ => Response::text(405, "method not allowed\n"),
         }
     }

@@ -275,6 +275,72 @@ mod tests {
         assert!(text.contains("le=\"+Inf\",label=\"x\\\"y\\\\z\\nw\"}"));
     }
 
+    /// Invert `escape_label` — the escaping must be lossless.
+    fn unescape_label(s: &str) -> String {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn label_escaping_roundtrips_tabs_backslash_runs_and_utf8() {
+        // Adversarial fixed cases: tab (passes through raw — legal and
+        // still single-line), backslash runs, multi-byte UTF-8 next to
+        // the escaped bytes, and trailing backslash.
+        for raw in [
+            "a\tb",
+            "run\\\\\\of\\backslashes\\",
+            "π→∞ \"quoted\" \n tab\there λ",
+            "\\n is literal backslash-n, not a newline",
+            "mixed\n\t\"\\\u{1F500}",
+        ] {
+            let esc = escape_label(raw);
+            assert!(!esc.contains('\n'), "raw newline survived in {esc:?}");
+            assert_eq!(unescape_label(&esc), raw, "lossy escape of {raw:?}");
+        }
+
+        // Seeded property sweep over strings mixing ASCII, the three
+        // escaped characters, tabs, and multi-byte code points.
+        let alphabet: Vec<char> = "ab\"\\\n\tπλ✓\u{1F500}z".chars().collect();
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..200 {
+            let len = (next() % 24) as usize;
+            let raw: String = (0..len)
+                .map(|_| alphabet[(next() as usize) % alphabet.len()])
+                .collect();
+            let esc = escape_label(&raw);
+            // Single-line: the exposition writer relies on it.
+            assert!(!esc.contains('\n'), "raw newline survived in {esc:?}");
+            // Every '"' is preceded by a backslash, so the label value
+            // never terminates the quoted suffix early.
+            let bytes = esc.as_bytes();
+            for (i, b) in bytes.iter().enumerate() {
+                if *b == b'"' {
+                    assert!(i > 0 && bytes[i - 1] == b'\\', "unescaped quote in {esc:?}");
+                }
+            }
+            // Lossless.
+            assert_eq!(unescape_label(&esc), raw, "lossy escape of {raw:?}");
+        }
+    }
+
     #[test]
     fn json_escaping() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");

@@ -160,15 +160,25 @@ impl Journal {
 
     /// Append a record stamped `at_ns`; returns its sequence number.
     pub fn record_at(&self, at_ns: u64, kind: RecordKind) -> u64 {
+        self.record_at_evicting(at_ns, kind).0
+    }
+
+    /// Append a record and report whether the ring dropped its oldest
+    /// record to make room — [`crate::Obs::record`] mirrors that bit into
+    /// the `journal_dropped` counter so silent eviction shows up in
+    /// `/metrics` and push frames, not just in [`Journal::evicted`].
+    pub fn record_at_evicting(&self, at_ns: u64, kind: RecordKind) -> (u64, bool) {
         let mut ring = self.inner.lock().unwrap();
         let seq = ring.next_seq;
         ring.next_seq += 1;
+        let mut dropped = false;
         if ring.records.len() == self.capacity {
             ring.records.pop_front();
             ring.evicted += 1;
+            dropped = true;
         }
         ring.records.push_back(Record { seq, at_ns, kind });
-        seq
+        (seq, dropped)
     }
 
     /// Snapshot of the retained records, oldest first.
@@ -262,6 +272,15 @@ mod tests {
         for w in snap.windows(2) {
             assert_eq!(w[1].seq, w[0].seq + 1);
         }
+    }
+
+    #[test]
+    fn record_at_evicting_reports_the_drop() {
+        let j = Journal::new(2);
+        assert_eq!(j.record_at_evicting(0, crash("a")), (0, false));
+        assert_eq!(j.record_at_evicting(1, crash("a")), (1, false));
+        assert_eq!(j.record_at_evicting(2, crash("a")), (2, true));
+        assert_eq!(j.evicted(), 1);
     }
 
     #[test]

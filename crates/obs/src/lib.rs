@@ -30,8 +30,10 @@ pub mod export;
 pub mod journal;
 pub mod metrics;
 pub mod push;
+pub mod rollup;
 pub mod serve;
 pub mod timeline;
+pub mod trace;
 
 pub use aggregate::{AggregateConfig, Aggregator, FleetIncident, FLEET};
 pub use error::ObsError;
@@ -41,8 +43,10 @@ pub use metrics::{
     SpanGuard,
 };
 pub use push::{PushAck, PushConfig, PushExporter, PushFrame, WireHistogram};
+pub use rollup::{RollupConfig, RollupSample, RollupState, RollupTracker, RollupWindow};
 pub use serve::{ObsServer, ObsServerBuilder, Request, Response, RouteHandler, ServeConfig};
 pub use timeline::{reconstruct, IncidentReport, ReplayInfo, Resolution, RestoreInfo};
+pub use trace::{FlightRecorder, Trace, TraceEvent, TraceId, DEFAULT_TRACE_CAPACITY};
 
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -64,6 +68,7 @@ pub struct Obs {
 struct Inner {
     registry: Registry,
     journal: Journal,
+    tracer: FlightRecorder,
     start: Instant,
 }
 
@@ -87,6 +92,7 @@ impl Obs {
             inner: Arc::new(Inner {
                 registry: Registry::default(),
                 journal: Journal::new(capacity),
+                tracer: FlightRecorder::new(DEFAULT_TRACE_CAPACITY),
                 start: Instant::now(),
             }),
         }
@@ -135,15 +141,80 @@ impl Obs {
     }
 
     /// Append a journal record stamped with [`Obs::now_ns`]; returns its
-    /// sequence number.
+    /// sequence number. A record evicted to make room bumps the
+    /// `journal_dropped` counter so bounded-ring data loss is visible in
+    /// `/metrics` and push frames.
     pub fn record(&self, kind: RecordKind) -> u64 {
-        self.inner.journal.record_at(self.now_ns(), kind)
+        let (seq, dropped) = self.inner.journal.record_at_evicting(self.now_ns(), kind);
+        if dropped {
+            self.counter("journal", "dropped", "").inc();
+        }
+        seq
     }
 
     /// The underlying journal (for tests and exporters).
     #[must_use]
     pub fn journal(&self) -> &Journal {
         &self.inner.journal
+    }
+
+    /// Open a causal trace for one dispatched event. An evicted trace
+    /// (ring at capacity) bumps the `traces_dropped` counter.
+    pub fn trace_begin(&self, id: TraceId, kind: &str) {
+        if self.inner.tracer.begin(id, kind, self.now_ns()) {
+            self.counter("trace", "traces_dropped", "").inc();
+        }
+    }
+
+    /// Point subsequent [`Obs::trace_event`] calls at `id` (or nowhere).
+    /// The runtime scopes the recorder to whichever event it is working
+    /// on; layers below record phases without knowing the id.
+    pub fn trace_scope(&self, id: Option<TraceId>) {
+        self.inner.tracer.set_scope(id);
+    }
+
+    /// The trace currently in scope.
+    #[must_use]
+    pub fn trace_scope_id(&self) -> Option<TraceId> {
+        self.inner.tracer.scope()
+    }
+
+    /// Append a `(phase, app, outcome)` step to the trace in scope.
+    /// Single relaxed atomic load when tracing is off or out of scope.
+    pub fn trace_event(&self, phase: &str, app: &str, outcome: &str) {
+        self.inner.tracer.event(self.now_ns(), phase, app, outcome);
+    }
+
+    /// Append a step to a specific trace regardless of scope (cross-trace
+    /// effects such as window cancellation).
+    pub fn trace_event_for(&self, id: TraceId, phase: &str, app: &str, outcome: &str) {
+        self.inner
+            .tracer
+            .event_for(id, self.now_ns(), phase, app, outcome);
+    }
+
+    /// All retained traces, oldest first.
+    #[must_use]
+    pub fn traces(&self) -> Vec<Trace> {
+        self.inner.tracer.snapshot()
+    }
+
+    /// One trace by id.
+    #[must_use]
+    pub fn trace(&self, id: TraceId) -> Option<Trace> {
+        self.inner.tracer.get(id)
+    }
+
+    /// The `n` most recent traces, oldest first.
+    #[must_use]
+    pub fn recent_traces(&self, n: usize) -> Vec<Trace> {
+        self.inner.tracer.recent(n)
+    }
+
+    /// Traces evicted from the flight recorder.
+    #[must_use]
+    pub fn traces_dropped(&self) -> u64 {
+        self.inner.tracer.dropped()
     }
 
     /// The metrics registry — push/aggregate internals snapshot it whole.
@@ -228,6 +299,33 @@ mod tests {
         assert!(s2 > s1);
         let snap = obs.journal().snapshot();
         assert!(snap[1].at_ns >= snap[0].at_ns);
+    }
+
+    #[test]
+    fn journal_eviction_bumps_the_dropped_counter() {
+        let obs = Obs::with_journal_capacity(2);
+        for _ in 0..5 {
+            obs.record(RecordKind::HeartbeatMiss { app: "a".into() });
+        }
+        assert_eq!(obs.counter("journal", "dropped", "").get(), 3);
+        assert!(obs.prometheus().contains("legosdn_journal_dropped 3"));
+    }
+
+    #[test]
+    fn trace_facade_records_scoped_phases() {
+        let obs = Obs::new();
+        let id = TraceId { cycle: 1, seq: 0 };
+        obs.trace_begin(id, "PacketIn");
+        obs.trace_scope(Some(id));
+        obs.trace_event("fill", "lsw", "selected");
+        obs.trace_event("send", "lsw", "queued");
+        obs.trace_scope(None);
+        obs.trace_event("send", "lsw", "ignored");
+        let t = obs.trace(id).unwrap();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.events[0].phase, "fill");
+        assert_eq!(obs.traces().len(), 1);
+        assert_eq!(obs.traces_dropped(), 0);
     }
 
     #[test]

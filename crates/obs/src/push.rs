@@ -33,7 +33,12 @@ use legosdn_codec::Codec;
 use crate::error::ObsError;
 use crate::journal::Record;
 use crate::metrics::Key;
+use crate::trace::Trace;
 use crate::Obs;
+
+/// Cap on traces shipped per frame: the most recent ones win, matching
+/// the flight recorder's drop-oldest semantics.
+pub const MAX_TRACES_PER_FRAME: usize = 64;
 
 /// One histogram as it travels on the wire: the summary scalars plus the
 /// per-bucket `(upper_bound_ns, count)` rows the aggregator needs for
@@ -69,6 +74,13 @@ pub struct PushFrame {
     pub journal_evicted: u64,
     /// Records with `seq` greater than the last ack, oldest first.
     pub records: Vec<Record>,
+    /// Most recent causal traces from the sender's flight recorder,
+    /// oldest first. Shipped cumulatively; the aggregator deduplicates
+    /// by [`Trace::trace_seq`] (last write wins, so a trace that gained
+    /// events since the previous push is upserted whole).
+    pub traces: Vec<Trace>,
+    /// Traces evicted from the sender's flight recorder.
+    pub traces_dropped: u64,
 }
 
 /// The aggregator's reply to a push: its high-water journal sequence for
@@ -109,6 +121,8 @@ impl Obs {
             journal_total: self.journal().total_recorded(),
             journal_evicted: self.journal().evicted(),
             records,
+            traces: self.recent_traces(MAX_TRACES_PER_FRAME),
+            traces_dropped: self.traces_dropped(),
         }
     }
 }

@@ -134,12 +134,42 @@ pub trait RouteHandler: Send + Sync + 'static {
 /// The single-campaign pull routes: the original `ObsServer` behaviour.
 struct PullRoutes {
     obs: Obs,
+    /// Local time-windowed rollups, sampled lazily on `/rollups` GETs.
+    rollups: crate::rollup::RollupTracker,
+}
+
+impl PullRoutes {
+    fn new(obs: Obs) -> Self {
+        PullRoutes {
+            obs,
+            rollups: crate::rollup::RollupTracker::new(crate::rollup::RollupConfig::default()),
+        }
+    }
+
+    /// `GET /traces/<cycle>-<seq>`: the trace's causal story plus any
+    /// journal-reconstructed incidents that overlap it.
+    fn trace_detail(&self, id_str: &str) -> Response {
+        let Some(id) = crate::trace::TraceId::parse(id_str) else {
+            return Response::text(404, "bad trace id; expected <cycle>-<seq>\n");
+        };
+        let Some(trace) = self.obs.trace(id) else {
+            return Response::text(404, "no such trace (evicted or never recorded)\n");
+        };
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: trace.to_json(&self.obs.incidents()),
+        }
+    }
 }
 
 impl RouteHandler for PullRoutes {
     fn route(&self, req: &Request) -> Response {
         if req.method != "GET" {
             return Response::text(405, "method not allowed; use GET\n");
+        }
+        if let Some(id) = req.path.strip_prefix("/traces/") {
+            return self.trace_detail(id);
         }
         match req.path.as_str() {
             "/metrics" => Response {
@@ -156,6 +186,16 @@ impl RouteHandler for PullRoutes {
                 status: 200,
                 content_type: "text/plain; charset=utf-8",
                 body: incidents_report(&self.obs),
+            },
+            "/traces" => Response {
+                status: 200,
+                content_type: "application/json",
+                body: crate::trace::list_json(&self.obs.traces(), self.obs.traces_dropped()),
+            },
+            "/rollups" => Response {
+                status: 200,
+                content_type: "application/json",
+                body: self.rollups.json_for(&self.obs),
             },
             "/healthz" => Response::text(200, "ok\n"),
             _ => Response::text(404, "not found\n"),
@@ -228,7 +268,7 @@ impl ObsServerBuilder {
     /// Start serving the pull routes over `obs`.
     pub fn start(mut self, obs: Obs) -> Result<ObsServer, ObsError> {
         let cfg = self.cfg().clone();
-        ObsServer::start_inner(Arc::new(PullRoutes { obs: obs.clone() }), obs, cfg)
+        ObsServer::start_inner(Arc::new(PullRoutes::new(obs.clone())), obs, cfg)
     }
 
     /// Start serving a custom handler; `obs` receives the endpoint's own
@@ -267,12 +307,12 @@ impl ObsServer {
     /// Positional-construction shim kept for existing callers; prefer
     /// [`ObsServer::builder`].
     pub fn start(obs: Obs, config: ServeConfig) -> std::io::Result<ObsServer> {
-        Self::start_inner(Arc::new(PullRoutes { obs: obs.clone() }), obs, config).map_err(|e| {
-            match e {
+        Self::start_inner(Arc::new(PullRoutes::new(obs.clone())), obs, config).map_err(
+            |e| match e {
                 ObsError::Io(io) => io,
                 other => std::io::Error::other(other.to_string()),
-            }
-        })
+            },
+        )
     }
 
     fn start_inner(

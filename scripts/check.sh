@@ -24,17 +24,53 @@ timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1
   --dispatch pipelined --isolation channel \
   || { echo "pipelined campaign smoke run failed or hung" >&2; exit 1; }
 
-# And with a cross-event window: multiple events in flight per stub, with
-# crash/cancel/re-send riding the same failure/recovery story.
-echo "==> campaign smoke under windowed dispatch (--window 8)"
-timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1 \
-  --dispatch pipelined --isolation channel --window 8 \
-  || { echo "windowed campaign smoke run failed or hung" >&2; exit 1; }
+# Scrape one path from a live endpoint over bash's /dev/tcp (curl may be
+# absent), under a hard timeout so a wedged responder fails fast.
+scrape() { # scrape HOST:PORT PATH
+  exec 3<>"/dev/tcp/${1%:*}/${1#*:}" \
+    && printf 'GET %s HTTP/1.1\r\nHost: check\r\n\r\n' "$2" >&3 \
+    && timeout 10 cat <&3
+  local rc=$?
+  exec 3<&- 3>&- || true
+  return $rc
+}
 
-echo "==> fleet smoke: aggregator + two pushing campaigns"
+# And with a cross-event window: multiple events in flight per stub, with
+# crash/cancel/re-send riding the same failure/recovery story — run in the
+# background so the flight recorder and local rollups can be scraped live.
+echo "==> campaign smoke under windowed dispatch (--window 8) + /traces /rollups"
+CMP_ADDR_FILE="$(mktemp)"
+CMP_OUT="$(mktemp)"
+AGG_ADDR_FILE=""
+AGG_OUT=""
+AGG_PID=""
+CMP_PID=""
+trap 'kill "$AGG_PID" "$CMP_PID" 2>/dev/null || true; \
+  rm -f "$AGG_ADDR_FILE" "$AGG_OUT" "$CMP_ADDR_FILE" "$CMP_OUT"' EXIT
+./target/release/campaign --addr 127.0.0.1:0 --addr-file "$CMP_ADDR_FILE" \
+  --period-ms 1 --dispatch pipelined --isolation channel --window 8 \
+  --trace-sample 1 2>"$CMP_OUT" &
+CMP_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$CMP_ADDR_FILE" ] && break
+  kill -0 "$CMP_PID" 2>/dev/null || { cat "$CMP_OUT" >&2; exit 1; }
+  sleep 0.1
+done
+CMP_ADDR="$(cat "$CMP_ADDR_FILE")"
+[ -n "$CMP_ADDR" ] || { echo "windowed campaign never published its address" >&2; exit 1; }
+sleep 1   # let a few windowed rounds record traces
+TRACES="$(scrape "$CMP_ADDR" /traces || true)"
+echo "$TRACES" | grep -q '"traces"' \
+  || { echo "windowed campaign /traces is missing its trace list" >&2; exit 1; }
+ROLLUPS="$(scrape "$CMP_ADDR" /rollups || true)"
+echo "$ROLLUPS" | grep -q '"width_ns"' \
+  || { echo "windowed campaign /rollups is missing the window config" >&2; exit 1; }
+kill "$CMP_PID" 2>/dev/null || true
+wait "$CMP_PID" 2>/dev/null || true
+
+echo "==> fleet smoke: aggregator + two pushing traced campaigns"
 AGG_ADDR_FILE="$(mktemp)"
 AGG_OUT="$(mktemp)"
-trap 'kill "$AGG_PID" 2>/dev/null || true; rm -f "$AGG_ADDR_FILE" "$AGG_OUT"' EXIT
 ./target/release/aggregate --addr 127.0.0.1:0 --addr-file "$AGG_ADDR_FILE" \
   --max-seconds 60 2>"$AGG_OUT" &
 AGG_PID=$!
@@ -46,22 +82,28 @@ done
 AGG_ADDR="$(cat "$AGG_ADDR_FILE")"
 [ -n "$AGG_ADDR" ] || { echo "aggregator never published its address" >&2; exit 1; }
 timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 3 --period-ms 1 \
-  --campaign alpha --push-to "$AGG_ADDR" \
+  --campaign alpha --push-to "$AGG_ADDR" --trace-sample 1 \
   || { echo "campaign alpha smoke run failed or hung" >&2; exit 1; }
 timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 3 --period-ms 1 \
-  --campaign beta --push-to "$AGG_ADDR" \
+  --campaign beta --push-to "$AGG_ADDR" --trace-sample 1 \
   || { echo "campaign beta smoke run failed or hung" >&2; exit 1; }
-# Scrape the merged exposition over bash's /dev/tcp (curl may be absent):
-# both campaign labels and a TYPE comment must appear.
-MERGED="$(exec 3<>"/dev/tcp/${AGG_ADDR%:*}/${AGG_ADDR#*:}" \
-  && printf 'GET /metrics HTTP/1.1\r\nHost: check\r\n\r\n' >&3 \
-  && timeout 10 cat <&3; exec 3<&- 3>&- || true)"
+# Scrape the merged exposition: both campaign labels and a TYPE comment
+# must appear.
+MERGED="$(scrape "$AGG_ADDR" /metrics || true)"
 echo "$MERGED" | grep -q 'campaign="alpha"' \
   || { echo "merged /metrics is missing campaign=\"alpha\"" >&2; exit 1; }
 echo "$MERGED" | grep -q 'campaign="beta"' \
   || { echo "merged /metrics is missing campaign=\"beta\"" >&2; exit 1; }
 echo "$MERGED" | grep -q '^# TYPE legosdn_' \
   || { echo "merged /metrics is missing TYPE comments" >&2; exit 1; }
+# The pushed flight-recorder traces and the fleet rollups must be served
+# back by the aggregator, attributed per campaign.
+AGG_TRACES="$(scrape "$AGG_ADDR" /traces || true)"
+echo "$AGG_TRACES" | grep -q '"campaign":"alpha"' \
+  || { echo "aggregator /traces has no traces for campaign alpha" >&2; exit 1; }
+AGG_ROLLUPS="$(scrape "$AGG_ADDR" /rollups || true)"
+echo "$AGG_ROLLUPS" | grep -q '"_fleet"' \
+  || { echo "aggregator /rollups is missing the _fleet merge" >&2; exit 1; }
 kill "$AGG_PID" 2>/dev/null || true
 wait "$AGG_PID" 2>/dev/null || true
 

@@ -16,17 +16,22 @@
 //! sandboxed threads with panic containment — the process-isolation
 //! substitution documented in DESIGN.md §2.
 
+pub mod poll;
 pub mod proxy;
 pub mod rpc;
 pub mod stub;
 pub mod transport;
 
+pub use poll::{
+    queue_duplex_pair, tcp_duplex_pair, udp_duplex_pair, Duplex, FrameSink, FrameSource,
+    PolledTransport, Poller, SlotQueue,
+};
 pub use proxy::{
-    AppHandle, AppVisorProxy, AppWireStats, DeliverOutcome, FanoutDelivery, FanoutTicket,
+    AppHandle, AppVisorProxy, AppWireStats, DeliverOutcome, FanoutDelivery, FanoutTicket, IoMode,
     ProxyConfig, ProxyError, TransportKind,
 };
 pub use rpc::{decode_frame, encode_frame, RpcMessage};
-pub use stub::{run_stub, spawn_stub, StubConfig, StubReport};
+pub use stub::{run_stub, spawn_stub, StubConfig, StubHost, StubReport};
 pub use transport::{
     ChannelTransport, FlakyTransport, TcpTransport, Transport, TransportError, UdpTransport,
     MAX_DATAGRAM,

@@ -1,0 +1,804 @@
+//! Readiness-polled multiplexed transport (DESIGN.md §12).
+//!
+//! The blocking [`crate::transport`] implementations cost one parked OS
+//! thread per stub channel: every proxy recv loop sits in
+//! `recv_timeout`, and every stub burns its own thread. That caps the
+//! fleet at hundreds of apps. This module multiplexes *all* stub
+//! channels onto a small fixed pool of I/O threads:
+//!
+//! - a transport is split into a non-blocking [`FrameSink`] /
+//!   [`FrameSource`] pair ([`Duplex`]);
+//! - a [`Poller`] owns the proxy-side sources: each worker level-scans
+//!   its sources with `try_recv` and demultiplexes complete frames into
+//!   per-slot [`SlotQueue`]s;
+//! - a [`PolledTransport`] wraps one sink + one slot queue and
+//!   implements the blocking [`Transport`] trait, so everything above
+//!   the proxy seam — the tagged `inbox`/`cancelled` machinery, windowed
+//!   dispatch in `core/runtime.rs`, the determinism oracle — is
+//!   unchanged;
+//! - stub-side, [`crate::stub::StubHost`] runs the same scan loop over
+//!   hosted stubs, so 1000 apps need a handful of threads, not 1000.
+//!
+//! There is no epoll in `std`, so readiness is a level-triggered scan:
+//! in-memory queue duplexes carry a [`PollWaker`] (a generation-counted
+//! condvar) and wake their worker on every send — the latency of that
+//! path is a condvar signal, not a poll interval. Socket duplexes have
+//! no waker, so their workers park briefly between empty scans; the park
+//! is bounded and amortized across every source on the worker.
+
+use crate::transport::{Transport, TransportError};
+use legosdn_obs::Obs;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a non-blocking sink retries a `WouldBlock` send before
+/// declaring the transport wedged. Loopback buffers drain in microseconds;
+/// a full second means the far end is gone or livelocked.
+const SINK_RETRY: Duration = Duration::from_secs(1);
+
+/// Park interval for workers whose sources all carry wakers (in-memory
+/// queues): the waker ends the park early on traffic, so this only bounds
+/// how often an idle worker rescans.
+const PARK_WAKERED: Duration = Duration::from_millis(5);
+
+/// Park interval when any source is a socket (no readiness signal
+/// available without epoll): bounds the added latency of the polled
+/// socket path.
+const PARK_SCANNED: Duration = Duration::from_micros(100);
+
+/// A generation-counted condvar: the readiness signal for sources that
+/// can produce one (in-memory queues). `wake` is cheap and never blocks
+/// behind the worker; a worker that reads the generation *before*
+/// scanning and waits for it to move afterwards cannot miss a wakeup
+/// that raced its scan.
+pub struct PollWaker {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl PollWaker {
+    pub(crate) fn new() -> Arc<PollWaker> {
+        Arc::new(PollWaker {
+            generation: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Signal that a source may have become ready.
+    pub fn wake(&self) {
+        *self.generation.lock().unwrap() += 1;
+        self.cv.notify_all();
+    }
+
+    /// The generation to pass to [`PollWaker::wait_past`]. Read this
+    /// *before* scanning sources.
+    pub(crate) fn current(&self) -> u64 {
+        *self.generation.lock().unwrap()
+    }
+
+    /// Park until the generation moves past `seen` or `timeout` elapses.
+    pub(crate) fn wait_past(&self, seen: u64, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut generation = self.generation.lock().unwrap();
+        while *generation == seen {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return;
+            };
+            let (guard, wait) = self.cv.wait_timeout(generation, left).unwrap();
+            generation = guard;
+            if wait.timed_out() {
+                return;
+            }
+        }
+    }
+}
+
+/// The write half of a split transport. Must not block indefinitely:
+/// implementations bound `WouldBlock` retries by [`SINK_RETRY`].
+pub trait FrameSink: Send {
+    /// Send one frame.
+    fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError>;
+}
+
+/// The read half of a split transport, drained by a poll worker.
+pub trait FrameSource: Send {
+    /// Pop one complete frame if available, never blocking.
+    /// `Err(Disconnected)` is terminal: the worker drops the source.
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError>;
+
+    /// Install the owning worker's waker, if this source can signal
+    /// readiness (in-memory queues can; sockets cannot without epoll).
+    fn set_waker(&mut self, _waker: Arc<PollWaker>) {}
+
+    /// Does this source signal readiness via a waker? Workers whose
+    /// sources all say yes park long between scans; any `false` forces
+    /// the short scan interval.
+    fn has_waker(&self) -> bool {
+        false
+    }
+}
+
+/// One direction's sink + the other direction's source: half of a split
+/// bidirectional transport.
+pub struct Duplex {
+    pub sink: Box<dyn FrameSink>,
+    pub source: Box<dyn FrameSource>,
+}
+
+// ---------------------------------------------------------------------
+// In-memory queue duplex (the polled analogue of ChannelTransport).
+// ---------------------------------------------------------------------
+
+struct QueueState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+    waker: Option<Arc<PollWaker>>,
+}
+
+struct QueueShared {
+    state: Mutex<QueueState>,
+}
+
+impl QueueShared {
+    fn new() -> Arc<QueueShared> {
+        Arc::new(QueueShared {
+            state: Mutex::new(QueueState {
+                frames: VecDeque::new(),
+                closed: false,
+                waker: None,
+            }),
+        })
+    }
+
+    fn close(&self) {
+        let waker = {
+            let mut state = self.state.lock().unwrap();
+            state.closed = true;
+            state.waker.clone()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+struct QueueSink {
+    shared: Arc<QueueShared>,
+}
+
+impl FrameSink for QueueSink {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        let waker = {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.closed {
+                return Err(TransportError::Disconnected);
+            }
+            state.frames.push_back(bytes.to_vec());
+            state.waker.clone()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for QueueSink {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+struct QueueSource {
+    shared: Arc<QueueShared>,
+}
+
+impl FrameSource for QueueSource {
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if let Some(frame) = state.frames.pop_front() {
+            return Ok(Some(frame));
+        }
+        if state.closed {
+            return Err(TransportError::Disconnected);
+        }
+        Ok(None)
+    }
+
+    fn set_waker(&mut self, waker: Arc<PollWaker>) {
+        self.shared.state.lock().unwrap().waker = Some(waker);
+    }
+
+    fn has_waker(&self) -> bool {
+        true
+    }
+}
+
+impl Drop for QueueSource {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+/// A connected pair of in-memory duplexes: frames written to one side's
+/// sink pop out of the other side's source, waking its worker.
+#[must_use]
+pub fn queue_duplex_pair() -> (Duplex, Duplex) {
+    let ab = QueueShared::new(); // a → b
+    let ba = QueueShared::new(); // b → a
+    (
+        Duplex {
+            sink: Box::new(QueueSink { shared: ab.clone() }),
+            source: Box::new(QueueSource { shared: ba.clone() }),
+        },
+        Duplex {
+            sink: Box::new(QueueSink { shared: ba }),
+            source: Box::new(QueueSource { shared: ab }),
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Socket duplexes. `try_clone` shares the underlying file description,
+// so O_NONBLOCK set for the source applies to the sink clone as well —
+// sinks therefore handle WouldBlock with a bounded retry loop.
+// ---------------------------------------------------------------------
+
+fn retry_park(deadline: Instant) -> Result<(), TransportError> {
+    if Instant::now() >= deadline {
+        return Err(TransportError::Io("non-blocking send stalled".into()));
+    }
+    std::thread::sleep(Duration::from_micros(50));
+    Ok(())
+}
+
+struct UdpSink {
+    socket: UdpSocket,
+}
+
+impl FrameSink for UdpSink {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        if bytes.len() > crate::transport::MAX_DATAGRAM {
+            return Err(TransportError::Io(format!(
+                "frame of {} bytes exceeds datagram limit {}",
+                bytes.len(),
+                crate::transport::MAX_DATAGRAM
+            )));
+        }
+        let deadline = Instant::now() + SINK_RETRY;
+        loop {
+            match self.socket.send(bytes) {
+                Ok(_) => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => retry_park(deadline)?,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(TransportError::Io(e.to_string())),
+            }
+        }
+    }
+}
+
+struct UdpSource {
+    socket: UdpSocket,
+    buf: Vec<u8>,
+}
+
+impl FrameSource for UdpSource {
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        match self.socket.recv(&mut self.buf) {
+            Ok(n) => Ok(Some(self.buf[..n].to_vec())),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                Ok(None)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(None),
+            Err(e) => Err(TransportError::Io(e.to_string())),
+        }
+    }
+}
+
+/// A connected pair of non-blocking UDP loopback duplexes.
+pub fn udp_duplex_pair() -> std::io::Result<(Duplex, Duplex)> {
+    let a = UdpSocket::bind("127.0.0.1:0")?;
+    let b = UdpSocket::bind("127.0.0.1:0")?;
+    a.connect(b.local_addr()?)?;
+    b.connect(a.local_addr()?)?;
+    a.set_nonblocking(true)?;
+    b.set_nonblocking(true)?;
+    let duplex = |socket: UdpSocket| -> std::io::Result<Duplex> {
+        Ok(Duplex {
+            sink: Box::new(UdpSink {
+                socket: socket.try_clone()?,
+            }),
+            source: Box::new(UdpSource {
+                socket,
+                buf: vec![0u8; crate::transport::MAX_DATAGRAM],
+            }),
+        })
+    };
+    Ok((duplex(a)?, duplex(b)?))
+}
+
+struct TcpSink {
+    stream: TcpStream,
+    /// Staging buffer so header + payload go down the nonblocking stream
+    /// as one resumable write.
+    staged: Vec<u8>,
+}
+
+impl FrameSink for TcpSink {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        self.staged.clear();
+        self.staged
+            .extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        self.staged.extend_from_slice(bytes);
+        let deadline = Instant::now() + SINK_RETRY;
+        let mut written = 0usize;
+        while written < self.staged.len() {
+            match self.stream.write(&self.staged[written..]) {
+                Ok(0) => return Err(TransportError::Disconnected),
+                Ok(n) => written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => retry_park(deadline)?,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == ErrorKind::BrokenPipe
+                        || e.kind() == ErrorKind::ConnectionReset =>
+                {
+                    return Err(TransportError::Disconnected)
+                }
+                Err(e) => return Err(TransportError::Io(e.to_string())),
+            }
+        }
+        Ok(())
+    }
+}
+
+struct TcpSource {
+    stream: TcpStream,
+    framer: crate::transport::TcpFramer,
+}
+
+impl FrameSource for TcpSource {
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        if let Some(frame) = self.framer.take() {
+            return Ok(Some(frame));
+        }
+        self.framer.compact();
+        let mut chunk = [0u8; 16 * 1024];
+        let mut res = Ok(());
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    res = Err(TransportError::Disconnected);
+                    break;
+                }
+                Ok(n) => self.framer.extend(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    break
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::ConnectionReset => {
+                    res = Err(TransportError::Disconnected);
+                    break;
+                }
+                Err(e) => {
+                    res = Err(TransportError::Io(e.to_string()));
+                    break;
+                }
+            }
+        }
+        // Deliver buffered frames before surfacing a terminal error.
+        if let Some(frame) = self.framer.take() {
+            return Ok(Some(frame));
+        }
+        res.map(|()| None)
+    }
+}
+
+/// A connected pair of non-blocking TCP loopback duplexes with `u32 LE`
+/// length framing.
+pub fn tcp_duplex_pair() -> std::io::Result<(Duplex, Duplex)> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let client = TcpStream::connect(addr)?;
+    let (server, _) = listener.accept()?;
+    let duplex = |stream: TcpStream| -> std::io::Result<Duplex> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(Duplex {
+            sink: Box::new(TcpSink {
+                stream: stream.try_clone()?,
+                staged: Vec::new(),
+            }),
+            source: Box::new(TcpSource {
+                stream,
+                framer: crate::transport::TcpFramer::default(),
+            }),
+        })
+    };
+    Ok((duplex(client)?, duplex(server)?))
+}
+
+// ---------------------------------------------------------------------
+// Demux target + blocking facade.
+// ---------------------------------------------------------------------
+
+struct SlotState {
+    frames: VecDeque<Vec<u8>>,
+    disconnected: bool,
+}
+
+/// Per-slot frame queue a poll worker demultiplexes into. The consumer
+/// side is the blocking [`Transport`] facade ([`PolledTransport`]):
+/// `recv_timeout` parks on the queue's condvar, not on a socket, so the
+/// proxy's recv loops work unchanged. Queued frames drain before a
+/// disconnect is reported.
+pub struct SlotQueue {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl SlotQueue {
+    fn new() -> Arc<SlotQueue> {
+        Arc::new(SlotQueue {
+            state: Mutex::new(SlotState {
+                frames: VecDeque::new(),
+                disconnected: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn push(&self, frame: Vec<u8>) {
+        self.state.lock().unwrap().frames.push_back(frame);
+        self.cv.notify_all();
+    }
+
+    fn disconnect(&self) {
+        self.state.lock().unwrap().disconnected = true;
+        self.cv.notify_all();
+    }
+
+    fn try_pop(&self) -> Result<Option<Vec<u8>>, TransportError> {
+        let mut state = self.state.lock().unwrap();
+        if let Some(frame) = state.frames.pop_front() {
+            return Ok(Some(frame));
+        }
+        if state.disconnected {
+            return Err(TransportError::Disconnected);
+        }
+        Ok(None)
+    }
+
+    fn pop_wait(&self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(frame) = state.frames.pop_front() {
+                return Ok(Some(frame));
+            }
+            if state.disconnected {
+                return Err(TransportError::Disconnected);
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return Ok(None);
+            };
+            state = self.cv.wait_timeout(state, left).unwrap().0;
+        }
+    }
+}
+
+/// Blocking [`Transport`] facade over a split transport whose source is
+/// owned by a [`Poller`]: sends go straight down the sink; receives park
+/// on the [`SlotQueue`] the poll worker fills.
+pub struct PolledTransport {
+    sink: Box<dyn FrameSink>,
+    queue: Arc<SlotQueue>,
+}
+
+impl PolledTransport {
+    #[must_use]
+    pub fn new(sink: Box<dyn FrameSink>, queue: Arc<SlotQueue>) -> Self {
+        PolledTransport { sink, queue }
+    }
+}
+
+impl Transport for PolledTransport {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        self.sink.send(bytes)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+        self.queue.pop_wait(timeout)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        self.queue.try_pop()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The poller.
+// ---------------------------------------------------------------------
+
+struct Registration {
+    source: Box<dyn FrameSource>,
+    queue: Arc<SlotQueue>,
+}
+
+struct Worker {
+    waker: Arc<PollWaker>,
+    inject: Arc<Mutex<Vec<Registration>>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A fixed pool of I/O threads level-scanning registered sources and
+/// demultiplexing their frames into per-slot queues. Registrations are
+/// spread round-robin; a worker's scan cost is amortized across all its
+/// sources, so the thread count is a deployment constant, not a function
+/// of fleet size.
+pub struct Poller {
+    workers: Vec<Worker>,
+    next: AtomicUsize,
+    stop: Arc<AtomicBool>,
+}
+
+impl Poller {
+    /// Start `io_threads` poll workers (clamped to at least 1) reporting
+    /// wakeup/ready-set metrics to `obs`.
+    #[must_use]
+    pub fn new(io_threads: usize, obs: Obs) -> Poller {
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..io_threads.max(1))
+            .map(|i| {
+                let waker = PollWaker::new();
+                let inject: Arc<Mutex<Vec<Registration>>> = Arc::new(Mutex::new(Vec::new()));
+                let thread = {
+                    let waker = waker.clone();
+                    let inject = inject.clone();
+                    let stop = stop.clone();
+                    let obs = obs.clone();
+                    std::thread::Builder::new()
+                        .name(format!("appvisor-poll-{i}"))
+                        .spawn(move || worker_loop(&waker, &inject, &stop, &obs, i))
+                        .expect("spawn poll worker")
+                };
+                Worker {
+                    waker,
+                    inject,
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        Poller {
+            workers,
+            next: AtomicUsize::new(0),
+            stop,
+        }
+    }
+
+    /// Hand a source to a poll worker (round-robin) and get back the slot
+    /// queue its frames will land in.
+    pub fn register(&self, mut source: Box<dyn FrameSource>) -> Arc<SlotQueue> {
+        let queue = SlotQueue::new();
+        let worker = &self.workers[self.next.fetch_add(1, Ordering::Relaxed) % self.workers.len()];
+        source.set_waker(worker.waker.clone());
+        worker.inject.lock().unwrap().push(Registration {
+            source,
+            queue: queue.clone(),
+        });
+        worker.waker.wake();
+        queue
+    }
+
+    /// Stop and join all workers. Undelivered frames still queued in
+    /// slot queues remain poppable; sources are dropped.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for w in &self.workers {
+            w.waker.wake();
+        }
+        for w in &mut self.workers {
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    waker: &Arc<PollWaker>,
+    inject: &Arc<Mutex<Vec<Registration>>>,
+    stop: &Arc<AtomicBool>,
+    obs: &Obs,
+    index: usize,
+) {
+    let label = format!("w{index}");
+    let wakeups = obs.counter("appvisor", "poller_wakeups", &label);
+    let ready_hist = obs.histogram("appvisor", "poller_ready_set", &label);
+    let mut sources: Vec<Registration> = Vec::new();
+    loop {
+        // Read the generation BEFORE scanning: a send racing the scan
+        // bumps it, so the post-scan park returns immediately instead of
+        // sleeping on a frame that already arrived.
+        let seen = waker.current();
+        {
+            let mut pending = inject.lock().unwrap();
+            sources.append(&mut pending);
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut ready = 0u64;
+        sources.retain_mut(|reg| loop {
+            match reg.source.try_recv() {
+                Ok(Some(frame)) => {
+                    ready += 1;
+                    reg.queue.push(frame);
+                }
+                Ok(None) => return true,
+                Err(_) => {
+                    reg.queue.disconnect();
+                    return false;
+                }
+            }
+        });
+        wakeups.inc();
+        ready_hist.observe(ready);
+        if ready == 0 {
+            let park = if sources.iter().all(|r| r.source.has_waker()) {
+                PARK_WAKERED
+            } else {
+                PARK_SCANNED
+            };
+            waker.wait_past(seen, park);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Wrap a duplex pair into blocking transports backed by a poller on
+    /// each side, so the transport conformance suite runs unchanged over
+    /// the polled path.
+    fn polled_pair(
+        poller_a: &Poller,
+        poller_b: &Poller,
+        (a, b): (Duplex, Duplex),
+    ) -> (PolledTransport, PolledTransport) {
+        let qa = poller_a.register(a.source);
+        let qb = poller_b.register(b.source);
+        (
+            PolledTransport::new(a.sink, qa),
+            PolledTransport::new(b.sink, qb),
+        )
+    }
+
+    fn conformance(pair: (Duplex, Duplex)) {
+        let pa = Poller::new(1, Obs::new());
+        let pb = Poller::new(1, Obs::new());
+        let (a, b) = polled_pair(&pa, &pb, pair);
+        crate::transport::tests::exercise(a, b);
+    }
+
+    #[test]
+    fn polled_queue_transport_conforms() {
+        conformance(queue_duplex_pair());
+    }
+
+    #[test]
+    fn polled_udp_transport_conforms() {
+        conformance(udp_duplex_pair().expect("loopback sockets"));
+    }
+
+    #[test]
+    fn polled_tcp_transport_conforms() {
+        conformance(tcp_duplex_pair().expect("loopback sockets"));
+    }
+
+    #[test]
+    fn polled_tcp_carries_large_frames() {
+        let pa = Poller::new(1, Obs::new());
+        let pb = Poller::new(1, Obs::new());
+        let (mut a, mut b) = polled_pair(&pa, &pb, tcp_duplex_pair().unwrap());
+        let big = vec![0xcdu8; 1_000_000];
+        a.send(&big).unwrap();
+        let got = b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(got, big);
+    }
+
+    #[test]
+    fn polled_disconnect_reaches_the_slot_queue() {
+        let p = Poller::new(1, Obs::new());
+        let (a, b) = queue_duplex_pair();
+        let qa = p.register(a.source);
+        let mut ta = PolledTransport::new(a.sink, qa);
+        // Far end sends one frame then hangs up: the frame must drain
+        // before the disconnect is reported.
+        let mut sink_b = b.sink;
+        sink_b.send(b"last words").unwrap();
+        drop(sink_b);
+        drop(b.source);
+        assert_eq!(
+            ta.recv_timeout(Duration::from_secs(1)).unwrap().unwrap(),
+            b"last words"
+        );
+        let deadline = Instant::now() + Duration::from_secs(1);
+        loop {
+            match ta.recv_timeout(Duration::from_millis(10)) {
+                Err(TransportError::Disconnected) => break,
+                Ok(None) => assert!(Instant::now() < deadline, "disconnect never surfaced"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn polled_ordering_across_many_sources_on_one_worker() {
+        // One worker multiplexes many sources; per-source FIFO order must
+        // survive the demux.
+        let p = Poller::new(1, Obs::new());
+        let n_sources = 32;
+        let per_source = 50u32;
+        let mut far_sinks = Vec::new();
+        let mut transports = Vec::new();
+        for _ in 0..n_sources {
+            let (a, b) = queue_duplex_pair();
+            let q = p.register(a.source);
+            transports.push(PolledTransport::new(a.sink, q));
+            far_sinks.push(b.sink);
+            // b.source intentionally dropped: we only push toward the poller.
+        }
+        for i in 0..per_source {
+            for sink in &mut far_sinks {
+                sink.send(&i.to_le_bytes()).unwrap();
+            }
+        }
+        for t in &mut transports {
+            for i in 0..per_source {
+                let got = t.recv_timeout(Duration::from_secs(1)).unwrap().unwrap();
+                assert_eq!(got, i.to_le_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn poller_reports_wakeup_metrics() {
+        let obs = Obs::new();
+        let p = Poller::new(1, obs.clone());
+        let (a, b) = queue_duplex_pair();
+        let q = p.register(a.source);
+        let mut t = PolledTransport::new(a.sink, q);
+        let mut sink_b = b.sink;
+        sink_b.send(b"ping").unwrap();
+        assert!(t.recv_timeout(Duration::from_secs(1)).unwrap().is_some());
+        assert!(
+            obs.counter("appvisor", "poller_wakeups", "w0").get() > 0,
+            "worker scans are counted"
+        );
+    }
+
+    #[test]
+    fn waker_wait_past_does_not_miss_a_racing_wake() {
+        let w = PollWaker::new();
+        let seen = w.current();
+        w.wake(); // races "between scan and park"
+        let start = Instant::now();
+        w.wait_past(seen, Duration::from_secs(5));
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "pre-park wake must end the park immediately"
+        );
+    }
+}

@@ -11,8 +11,11 @@
 //! the LegoSDN runtime (crate `legosdn`) supplies the dispatch policy and
 //! Crash-Pad supplies recovery.
 
+use crate::poll::{
+    queue_duplex_pair, tcp_duplex_pair, udp_duplex_pair, Duplex, PolledTransport, Poller,
+};
 use crate::rpc::{decode_frame, encode_frame, RpcMessage};
-use crate::stub::{spawn_stub, StubConfig, StubReport};
+use crate::stub::{spawn_stub, StubConfig, StubHost, StubReport};
 use crate::transport::{ChannelTransport, TcpTransport, Transport, TransportError, UdpTransport};
 use legosdn_controller::app::{Command, SdnApp};
 use legosdn_controller::event::{Event, EventKind};
@@ -35,6 +38,36 @@ pub enum TransportKind {
     Tcp,
 }
 
+/// How stub channels are serviced on the proxy side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// One blocking transport (and one stub thread) per app — simple,
+    /// and the reference the determinism suite anchors on.
+    #[default]
+    Blocking,
+    /// All stub channels multiplexed onto a fixed pool of poll workers
+    /// ([`crate::poll::Poller`]), with stubs hosted on a matching
+    /// [`StubHost`] pool: thread count is a deployment constant, not a
+    /// function of fleet size.
+    Polled {
+        /// Poll workers on each side (proxy poller + stub host), clamped
+        /// to at least 1. Total I/O threads = `2 × io_threads`.
+        io_threads: usize,
+    },
+}
+
+impl IoMode {
+    /// Parse a CLI-style name (`blocking` | `polled`). `polled` uses 4
+    /// I/O threads per side; pair with a `--io-threads` flag to override.
+    pub fn parse(s: &str) -> Option<IoMode> {
+        match s {
+            "blocking" => Some(IoMode::Blocking),
+            "polled" => Some(IoMode::Polled { io_threads: 4 }),
+            _ => None,
+        }
+    }
+}
+
 /// Proxy behaviour knobs.
 #[derive(Clone, Debug)]
 pub struct ProxyConfig {
@@ -46,6 +79,9 @@ pub struct ProxyConfig {
     pub heartbeat_timeout: Duration,
     /// Stub-side settings used when the proxy spawns the stub itself.
     pub stub: StubConfig,
+    /// Blocking thread-per-stub I/O or the readiness-polled multiplexed
+    /// path; see [`IoMode`].
+    pub io: IoMode,
 }
 
 impl Default for ProxyConfig {
@@ -55,6 +91,7 @@ impl Default for ProxyConfig {
             rpc_timeout: Duration::from_millis(500),
             heartbeat_timeout: Duration::from_millis(100),
             stub: StubConfig::default(),
+            io: IoMode::default(),
         }
     }
 }
@@ -190,6 +227,11 @@ pub struct AppVisorProxy {
     config: ProxyConfig,
     apps: Vec<AppSlot>,
     obs: Obs,
+    /// Proxy-side poll workers, created lazily on the first polled
+    /// launch so `set_obs` has already run.
+    poller: Option<Poller>,
+    /// Stub-side worker pool for polled launches.
+    stub_host: Option<StubHost>,
 }
 
 impl AppVisorProxy {
@@ -200,6 +242,8 @@ impl AppVisorProxy {
             config,
             apps: Vec::new(),
             obs: Obs::global(),
+            poller: None,
+            stub_host: None,
         }
     }
 
@@ -210,11 +254,17 @@ impl AppVisorProxy {
     }
 
     /// Spawn a stub hosting `app` over the chosen transport and register it.
+    /// Under [`IoMode::Blocking`] the stub gets its own thread and the
+    /// proxy a blocking transport; under [`IoMode::Polled`] the channel is
+    /// split and multiplexed onto the shared poller / stub-host pools.
     pub fn launch_app(
         &mut self,
         app: Box<dyn SdnApp>,
         transport: TransportKind,
     ) -> Result<AppHandle, ProxyError> {
+        if let IoMode::Polled { .. } = self.config.io {
+            return self.launch_app_polled(app, transport);
+        }
         let (proxy_side, handle): (Box<dyn Transport>, JoinHandle<StubReport>) = match transport {
             TransportKind::Channel => {
                 let (a, b) = ChannelTransport::pair();
@@ -232,6 +282,39 @@ impl AppVisorProxy {
             }
         };
         self.register_transport(proxy_side, Some(handle))
+    }
+
+    /// The polled launch path: split the channel, host the stub on the
+    /// shared worker pool, register the proxy-side source with the
+    /// poller, and present the slot a blocking [`PolledTransport`] facade
+    /// so everything above this seam is unchanged.
+    fn launch_app_polled(
+        &mut self,
+        app: Box<dyn SdnApp>,
+        transport: TransportKind,
+    ) -> Result<AppHandle, ProxyError> {
+        let io_err = |e: std::io::Error| ProxyError::Transport(TransportError::Io(e.to_string()));
+        let (proxy_dx, stub_dx): (Duplex, Duplex) = match transport {
+            TransportKind::Channel => queue_duplex_pair(),
+            TransportKind::Udp => udp_duplex_pair().map_err(io_err)?,
+            TransportKind::Tcp => tcp_duplex_pair().map_err(io_err)?,
+        };
+        let io_threads = match self.config.io {
+            IoMode::Polled { io_threads } => io_threads,
+            IoMode::Blocking => unreachable!("polled launch under blocking io"),
+        };
+        let host = self
+            .stub_host
+            .get_or_insert_with(|| StubHost::new(io_threads));
+        host.spawn(app, stub_dx, self.config.stub.clone())
+            .map_err(ProxyError::Transport)?;
+        let obs = self.obs.clone();
+        let poller = self
+            .poller
+            .get_or_insert_with(|| Poller::new(io_threads, obs));
+        let queue = poller.register(proxy_dx.source);
+        let polled = PolledTransport::new(proxy_dx.sink, queue);
+        self.register_transport(Box::new(polled), None)
     }
 
     /// Register an app over an already-connected transport (the far end
@@ -809,8 +892,12 @@ impl AppVisorProxy {
         let threshold = self.config.heartbeat_timeout;
         let mut stale = Vec::new();
         for (i, slot) in self.apps.iter_mut().enumerate() {
-            // Drain whatever is queued.
-            while let Ok(Some(frame)) = slot.transport.recv_timeout(Duration::from_micros(1)) {
+            // Drain whatever is already queued, without blocking: the old
+            // sub-tick `recv_timeout(1µs)` violated the `time_left`
+            // contract — the socket transports round it up to a full
+            // millisecond of blocking plus a wasted syscall per app, so a
+            // 1000-app sweep could stall the control loop for a second.
+            while let Ok(Some(frame)) = slot.transport.try_recv() {
                 slot.stats.bytes_received += frame.len() as u64;
                 obs.counter("appvisor", "bytes_received", &slot.name)
                     .add(frame.len() as u64);
@@ -831,7 +918,9 @@ impl AppVisorProxy {
         stale
     }
 
-    /// Shut all stubs down and collect their reports.
+    /// Shut all stubs down and collect their reports. Blocking stubs are
+    /// joined; hosted (polled) stubs get a grace period to serve their
+    /// `Shutdown` frames before the host and poller pools stop.
     pub fn shutdown(mut self) -> Vec<StubReport> {
         let mut reports = Vec::new();
         for slot in &mut self.apps {
@@ -843,6 +932,12 @@ impl AppVisorProxy {
                     reports.push(report);
                 }
             }
+        }
+        if let Some(host) = self.stub_host.take() {
+            reports.extend(host.shutdown(Duration::from_secs(2)));
+        }
+        if let Some(mut poller) = self.poller.take() {
+            poller.shutdown();
         }
         reports
     }
@@ -962,6 +1057,7 @@ mod tests {
                 heartbeat_period: Duration::from_millis(10),
                 report_crashes: true,
             },
+            ..Default::default()
         })
     }
 
@@ -1070,6 +1166,7 @@ mod tests {
                 heartbeat_period: Duration::from_millis(10),
                 report_crashes: false, // dead process mode
             },
+            ..Default::default()
         });
         let h = p
             .launch_app(
@@ -1096,6 +1193,7 @@ mod tests {
                 heartbeat_period: Duration::from_millis(10),
                 report_crashes: false,
             },
+            ..Default::default()
         });
         let h = p
             .launch_app(
@@ -1132,6 +1230,7 @@ mod tests {
                 heartbeat_period: Duration::from_millis(500), // slower than threshold
                 report_crashes: true,
             },
+            ..Default::default()
         });
         let h = p
             .launch_app(
@@ -1266,6 +1365,7 @@ mod tests {
                 heartbeat_period: Duration::from_millis(10),
                 report_crashes: true,
             },
+            ..Default::default()
         });
         let obs = legosdn_obs::Obs::new();
         p.set_obs(obs.clone());
@@ -1306,6 +1406,7 @@ mod tests {
                 heartbeat_period: Duration::from_millis(10),
                 report_crashes: true,
             },
+            ..Default::default()
         });
         // Registration also runs on rpc_timeout; hand-register over a raw
         // transport pair so launch itself is not subject to the zero
@@ -1481,5 +1582,189 @@ mod tests {
             ProxyError::UnknownApp
         );
         assert!(p.snapshot(AppHandle(9)).is_err());
+    }
+
+    fn polled_proxy(io_threads: usize) -> AppVisorProxy {
+        AppVisorProxy::new(ProxyConfig {
+            deliver_timeout: Duration::from_millis(500),
+            rpc_timeout: Duration::from_secs(1),
+            heartbeat_timeout: Duration::from_millis(100),
+            stub: StubConfig {
+                heartbeat_period: Duration::from_millis(10),
+                report_crashes: true,
+            },
+            io: IoMode::Polled { io_threads },
+        })
+    }
+
+    #[test]
+    fn polled_launch_deliver_crash_restore_roundtrip() {
+        // The full proxy protocol — deliver, snapshot, crash detection,
+        // restore, replay — over the multiplexed path.
+        let mut p = polled_proxy(2);
+        let h = p
+            .launch_app(
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: Some(2),
+                }),
+                TransportKind::Channel,
+            )
+            .unwrap();
+        assert_eq!(p.app_name(h).unwrap(), "proxy-test-app");
+        let checkpoint = p.snapshot(h).unwrap();
+        assert!(matches!(deliver(&mut p, h), DeliverOutcome::Commands(_)));
+        assert!(matches!(deliver(&mut p, h), DeliverOutcome::Crashed { .. }));
+        assert!(!p.is_alive(h).unwrap());
+        assert!(p.restore(h, &checkpoint).unwrap());
+        assert!(matches!(deliver(&mut p, h), DeliverOutcome::Commands(_)));
+        let reports = p.shutdown();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].crashes_contained, 1);
+        assert_eq!(reports[0].restores, 1);
+    }
+
+    #[test]
+    fn polled_launch_works_over_sockets() {
+        for kind in [TransportKind::Udp, TransportKind::Tcp] {
+            let mut p = polled_proxy(1);
+            let h = p
+                .launch_app(
+                    Box::new(TestApp {
+                        count: 0,
+                        crash_on_count: None,
+                    }),
+                    kind,
+                )
+                .unwrap();
+            match deliver(&mut p, h) {
+                DeliverOutcome::Commands(cmds) => assert_eq!(cmds.len(), 1),
+                other => panic!("unexpected {other:?} over {kind:?}"),
+            }
+            let reports = p.shutdown();
+            assert_eq!(reports.len(), 1, "over {kind:?}");
+        }
+    }
+
+    #[test]
+    fn polled_tagged_queue_interleaves_like_blocking() {
+        // The windowed-dispatch machinery (queue/collect with tags,
+        // inbox stashing) must behave identically over the polled path.
+        let mut p = polled_proxy(2);
+        let h = p
+            .launch_app(
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: None,
+                }),
+                TransportKind::Channel,
+            )
+            .unwrap();
+        let topo = TopologyView::default();
+        let dev = DeviceView::default();
+        let ev = Event::SwitchUp(DatapathId(1));
+        let d1 = p
+            .queue_deliver(h, &ev, &topo, &dev, SimTime::ZERO)
+            .unwrap()
+            .unwrap();
+        let s1 = p.queue_snapshot(h).unwrap().unwrap();
+        let d2 = p
+            .queue_deliver(h, &ev, &topo, &dev, SimTime::ZERO)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            p.collect_deliver(h, d1).unwrap(),
+            DeliverOutcome::Commands(_)
+        ));
+        assert_eq!(
+            p.collect_snapshot(h, s1).unwrap(),
+            1u32.to_be_bytes().to_vec()
+        );
+        assert!(matches!(
+            p.collect_deliver(h, d2).unwrap(),
+            DeliverOutcome::Commands(_)
+        ));
+        let _ = p.shutdown();
+    }
+
+    #[test]
+    fn polled_fleet_shares_the_io_pool() {
+        // Many apps, one small pool: a fan-out still reaches everyone and
+        // shutdown retires every hosted stub.
+        let mut p = polled_proxy(2);
+        let handles: Vec<AppHandle> = (0..24)
+            .map(|_| {
+                p.launch_app(
+                    Box::new(TestApp {
+                        count: 0,
+                        crash_on_count: None,
+                    }),
+                    TransportKind::Channel,
+                )
+                .unwrap()
+            })
+            .collect();
+        let topo = TopologyView::default();
+        let dev = DeviceView::default();
+        let results = p.deliver_fanout(
+            &handles,
+            &Event::SwitchUp(DatapathId(1)),
+            &topo,
+            &dev,
+            SimTime::ZERO,
+        );
+        for r in &results {
+            assert!(
+                matches!(&r.outcome, Ok(DeliverOutcome::Commands(_))),
+                "{r:?}"
+            );
+        }
+        let reports = p.shutdown();
+        assert_eq!(reports.len(), 24);
+        assert!(reports.iter().all(|r| r.events_processed == 1));
+    }
+
+    #[test]
+    fn liveness_sweep_is_sub_millisecond_across_many_socket_apps() {
+        // Regression for the 1µs recv_timeout in check_liveness: the UDP
+        // transport rounded it up to a blocking millisecond per app, so a
+        // 16-app sweep cost ≥16ms. The try_recv drain must keep a sweep
+        // under a millisecond regardless of app count.
+        let mut p = AppVisorProxy::new(ProxyConfig {
+            deliver_timeout: Duration::from_millis(300),
+            rpc_timeout: Duration::from_secs(2),
+            heartbeat_timeout: Duration::from_secs(10),
+            stub: StubConfig {
+                heartbeat_period: Duration::from_millis(50),
+                report_crashes: true,
+            },
+            ..Default::default()
+        });
+        for _ in 0..16 {
+            p.launch_app(
+                Box::new(TestApp {
+                    count: 0,
+                    crash_on_count: None,
+                }),
+                TransportKind::Udp,
+            )
+            .unwrap();
+        }
+        // Best of several sweeps, so scheduler noise cannot fail the
+        // assertion: the old code floor was 16ms on *every* sweep.
+        let best = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                let stale = p.check_liveness();
+                assert!(stale.is_empty());
+                start.elapsed()
+            })
+            .min()
+            .unwrap();
+        assert!(
+            best < Duration::from_millis(1),
+            "liveness sweep took {best:?}; the non-blocking drain is broken"
+        );
+        let _ = p.shutdown();
     }
 }

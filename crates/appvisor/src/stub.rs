@@ -13,11 +13,14 @@
 //! process would present to the proxy. A `RestoreRequest` revives it — the
 //! CRIU-restore analogue.
 
+use crate::poll::{Duplex, FrameSink, FrameSource, PollWaker};
 use crate::rpc::{decode_frame, encode_frame, RpcMessage};
 use crate::transport::{Transport, TransportError};
 use legosdn_controller::app::{Ctx, SdnApp};
 use legosdn_controller::monolithic::panic_text;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -51,49 +54,77 @@ pub struct StubReport {
     pub heartbeats_sent: u64,
 }
 
-/// Run the stub loop until `Shutdown` or transport disconnect. This is the
-/// body of the stub thread; it is also callable directly for deterministic
-/// single-threaded tests.
-pub fn run_stub<T: Transport>(
-    mut transport: T,
-    mut app: Box<dyn SdnApp>,
-    config: &StubConfig,
-) -> StubReport {
-    let mut report = StubReport::default();
-    let mut dead = false;
-    let mut hb_seq = 0u64;
-    let mut last_heartbeat = Instant::now();
+/// What [`StubCore::handle_frame`] asks its I/O driver to do next.
+enum StubStep {
+    /// Nothing to send; keep serving.
+    Continue,
+    /// Send this frame, then keep serving.
+    Reply(Vec<u8>),
+    /// `Shutdown` received: stop serving and surface the report.
+    Shutdown,
+}
 
-    // Register first.
-    let reg = RpcMessage::Register {
-        app_name: app.name().to_string(),
-        subscriptions: app.subscriptions(),
-    };
-    if transport.send(&encode_frame(&reg)).is_err() {
-        return report;
+/// The sans-io stub state machine: app + liveness state + report, with
+/// all I/O hoisted out. [`run_stub`] drives it from a blocking loop (one
+/// thread per stub); [`StubHost`] drives many cores from a fixed worker
+/// pool — same protocol, same containment, two thread models.
+struct StubCore {
+    app: Box<dyn SdnApp>,
+    config: StubConfig,
+    dead: bool,
+    hb_seq: u64,
+    last_heartbeat: Instant,
+    report: StubReport,
+}
+
+impl StubCore {
+    fn new(app: Box<dyn SdnApp>, config: StubConfig) -> StubCore {
+        StubCore {
+            app,
+            config,
+            dead: false,
+            hb_seq: 0,
+            last_heartbeat: Instant::now(),
+            report: StubReport::default(),
+        }
     }
 
-    loop {
-        // Heartbeat when due (and alive — a dead process doesn't beat).
-        if !dead && last_heartbeat.elapsed() >= config.heartbeat_period {
-            hb_seq += 1;
-            report.heartbeats_sent += 1;
-            last_heartbeat = Instant::now();
-            if transport
-                .send(&encode_frame(&RpcMessage::Heartbeat { seq: hb_seq }))
-                .is_err()
-            {
-                return report;
-            }
+    /// The `Register` frame that must open the conversation.
+    fn register_frame(&self) -> Vec<u8> {
+        encode_frame(&RpcMessage::Register {
+            app_name: self.app.name().to_string(),
+            subscriptions: self.app.subscriptions(),
+        })
+    }
+
+    /// A heartbeat frame when one is due (and the app is alive — a dead
+    /// process doesn't beat).
+    fn heartbeat_if_due(&mut self) -> Option<Vec<u8>> {
+        if self.dead || self.last_heartbeat.elapsed() < self.config.heartbeat_period {
+            return None;
         }
-        let frame = match transport.recv_timeout(config.heartbeat_period / 2) {
-            Ok(Some(f)) => f,
-            Ok(None) => continue,
-            Err(TransportError::Disconnected) => return report,
-            Err(_) => continue,
-        };
-        let Ok(msg) = decode_frame(&frame) else {
-            continue;
+        self.hb_seq += 1;
+        self.report.heartbeats_sent += 1;
+        self.last_heartbeat = Instant::now();
+        Some(encode_frame(&RpcMessage::Heartbeat { seq: self.hb_seq }))
+    }
+
+    /// Time until the next heartbeat is due (zero if overdue or dead —
+    /// a dead stub has nothing to schedule).
+    fn heartbeat_due_in(&self) -> Duration {
+        if self.dead {
+            return self.config.heartbeat_period;
+        }
+        self.config
+            .heartbeat_period
+            .saturating_sub(self.last_heartbeat.elapsed())
+    }
+
+    /// Serve one proxy frame: deliver/snapshot/restore/shutdown, with
+    /// panic containment around the app exactly as before.
+    fn handle_frame(&mut self, frame: &[u8]) -> StubStep {
+        let Ok(msg) = decode_frame(frame) else {
+            return StubStep::Continue;
         };
         match msg {
             RpcMessage::EventDeliver {
@@ -103,67 +134,98 @@ pub fn run_stub<T: Transport>(
                 devices,
                 now,
             } => {
-                if dead {
+                if self.dead {
                     // A dead process can't answer. (The proxy's delivery
                     // timeout is its comm-failure crash signal.)
-                    continue;
+                    return StubStep::Continue;
                 }
                 let mut ctx = Ctx::new(now, &topology, &devices);
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    app.on_event(&event, &mut ctx);
+                    self.app.on_event(&event, &mut ctx);
                 }));
                 match result {
                     Ok(()) => {
-                        report.events_processed += 1;
-                        let ack = RpcMessage::EventAck {
+                        self.report.events_processed += 1;
+                        StubStep::Reply(encode_frame(&RpcMessage::EventAck {
                             seq,
                             commands: ctx.into_commands(),
-                        };
-                        if transport.send(&encode_frame(&ack)).is_err() {
-                            return report;
-                        }
+                        }))
                     }
                     Err(payload) => {
-                        report.crashes_contained += 1;
-                        dead = true;
-                        if config.report_crashes {
-                            let crashed = RpcMessage::Crashed {
+                        self.report.crashes_contained += 1;
+                        self.dead = true;
+                        if self.config.report_crashes {
+                            StubStep::Reply(encode_frame(&RpcMessage::Crashed {
                                 seq,
                                 panic_message: panic_text(&*payload),
-                            };
-                            let _ = transport.send(&encode_frame(&crashed));
+                            }))
+                        } else {
+                            StubStep::Continue
                         }
                     }
                 }
             }
             RpcMessage::SnapshotRequest { seq } => {
-                if dead {
-                    continue;
+                if self.dead {
+                    return StubStep::Continue;
                 }
-                let reply = RpcMessage::SnapshotReply {
+                StubStep::Reply(encode_frame(&RpcMessage::SnapshotReply {
                     seq,
-                    bytes: app.snapshot(),
-                };
-                if transport.send(&encode_frame(&reply)).is_err() {
-                    return report;
-                }
+                    bytes: self.app.snapshot(),
+                }))
             }
             RpcMessage::RestoreRequest { seq, bytes } => {
                 // Restore revives a dead app (the CRIU restart+restore).
-                let ok = app.restore(&bytes).is_ok();
+                let ok = self.app.restore(&bytes).is_ok();
                 if ok {
-                    dead = false;
-                    report.restores += 1;
-                    last_heartbeat = Instant::now();
+                    self.dead = false;
+                    self.report.restores += 1;
+                    self.last_heartbeat = Instant::now();
                 }
-                let ack = RpcMessage::RestoreAck { seq, ok };
-                if transport.send(&encode_frame(&ack)).is_err() {
-                    return report;
+                StubStep::Reply(encode_frame(&RpcMessage::RestoreAck { seq, ok }))
+            }
+            RpcMessage::Shutdown => StubStep::Shutdown,
+            // Proxy-bound frames are ignored if echoed back.
+            _ => StubStep::Continue,
+        }
+    }
+}
+
+/// Run the stub loop until `Shutdown` or transport disconnect. This is the
+/// body of the stub thread; it is also callable directly for deterministic
+/// single-threaded tests.
+pub fn run_stub<T: Transport>(
+    mut transport: T,
+    app: Box<dyn SdnApp>,
+    config: &StubConfig,
+) -> StubReport {
+    let mut core = StubCore::new(app, config.clone());
+
+    // Register first.
+    if transport.send(&core.register_frame()).is_err() {
+        return core.report;
+    }
+
+    loop {
+        if let Some(hb) = core.heartbeat_if_due() {
+            if transport.send(&hb).is_err() {
+                return core.report;
+            }
+        }
+        let frame = match transport.recv_timeout(config.heartbeat_period / 2) {
+            Ok(Some(f)) => f,
+            Ok(None) => continue,
+            Err(TransportError::Disconnected) => return core.report,
+            Err(_) => continue,
+        };
+        match core.handle_frame(&frame) {
+            StubStep::Continue => {}
+            StubStep::Reply(reply) => {
+                if transport.send(&reply).is_err() {
+                    return core.report;
                 }
             }
-            RpcMessage::Shutdown => return report,
-            // Proxy-bound frames are ignored if echoed back.
-            _ => {}
+            StubStep::Shutdown => return core.report,
         }
     }
 }
@@ -178,6 +240,217 @@ pub fn spawn_stub<T: Transport + 'static>(
         .name("appvisor-stub".into())
         .spawn(move || run_stub(transport, app, &config))
         .expect("spawn stub thread")
+}
+
+// ---------------------------------------------------------------------
+// Multiplexed stub hosting (the fleet-scale thread model).
+// ---------------------------------------------------------------------
+
+struct HostedStub {
+    core: StubCore,
+    sink: Box<dyn FrameSink>,
+    source: Box<dyn FrameSource>,
+}
+
+struct HostWorker {
+    waker: Arc<PollWaker>,
+    inject: Arc<Mutex<Vec<HostedStub>>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Hosts many [`StubCore`]s on a fixed pool of worker threads, each
+/// driving its stubs' frames and heartbeats through split non-blocking
+/// transports ([`crate::poll`]). Same containment guarantees as
+/// [`spawn_stub`] — `catch_unwind` still walls off app panics, a crashed
+/// app goes `dead` on its worker without disturbing neighbors — but a
+/// 1000-app fleet costs `workers` threads instead of 1000.
+pub struct StubHost {
+    workers: Vec<HostWorker>,
+    next: AtomicUsize,
+    spawned: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+    reports: Arc<Mutex<Vec<StubReport>>>,
+}
+
+impl StubHost {
+    /// Start `workers` stub-hosting threads (clamped to at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> StubHost {
+        let stop = Arc::new(AtomicBool::new(false));
+        let reports: Arc<Mutex<Vec<StubReport>>> = Arc::new(Mutex::new(Vec::new()));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let waker = PollWaker::new();
+                let inject: Arc<Mutex<Vec<HostedStub>>> = Arc::new(Mutex::new(Vec::new()));
+                let thread = {
+                    let waker = waker.clone();
+                    let inject = inject.clone();
+                    let stop = stop.clone();
+                    let reports = reports.clone();
+                    std::thread::Builder::new()
+                        .name(format!("appvisor-stubhost-{i}"))
+                        .spawn(move || host_loop(&waker, &inject, &stop, &reports))
+                        .expect("spawn stub host worker")
+                };
+                HostWorker {
+                    waker,
+                    inject,
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        StubHost {
+            workers,
+            next: AtomicUsize::new(0),
+            spawned: Arc::new(AtomicUsize::new(0)),
+            stop,
+            reports,
+        }
+    }
+
+    /// Host `app` over the stub side of a split transport. Sends the
+    /// `Register` frame synchronously (so the proxy can await it
+    /// immediately after this returns), then hands the stub to a worker.
+    pub fn spawn(
+        &self,
+        app: Box<dyn SdnApp>,
+        transport: Duplex,
+        config: StubConfig,
+    ) -> Result<(), TransportError> {
+        let core = StubCore::new(app, config);
+        let Duplex {
+            mut sink,
+            mut source,
+        } = transport;
+        sink.send(&core.register_frame())?;
+        let worker = &self.workers[self.next.fetch_add(1, Ordering::Relaxed) % self.workers.len()];
+        source.set_waker(worker.waker.clone());
+        self.spawned.fetch_add(1, Ordering::SeqCst);
+        worker
+            .inject
+            .lock()
+            .unwrap()
+            .push(HostedStub { core, sink, source });
+        worker.waker.wake();
+        Ok(())
+    }
+
+    /// Wait up to `grace` for all hosted stubs to retire (a stub retires
+    /// when it serves `Shutdown` or its transport disconnects), then stop
+    /// the workers and return every stub's report. Stubs still live at
+    /// the deadline are cut off and report whatever they had.
+    pub fn shutdown(mut self, grace: Duration) -> Vec<StubReport> {
+        let deadline = Instant::now() + grace;
+        while Instant::now() < deadline {
+            if self.reports.lock().unwrap().len() >= self.spawned.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        for w in &self.workers {
+            w.waker.wake();
+        }
+        for w in &mut self.workers {
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+        }
+        std::mem::take(&mut *self.reports.lock().unwrap())
+    }
+}
+
+impl Drop for StubHost {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for w in &self.workers {
+            w.waker.wake();
+        }
+        for w in &mut self.workers {
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+/// Floor for the host park interval so an overdue heartbeat cannot spin
+/// the scan loop.
+const HOST_PARK_MIN: Duration = Duration::from_micros(50);
+/// Park ceiling when every source has a waker (sends end the park early).
+const HOST_PARK_MAX: Duration = Duration::from_millis(5);
+/// Park ceiling when any source is a waker-less socket.
+const HOST_PARK_SCAN: Duration = Duration::from_micros(100);
+
+fn host_loop(
+    waker: &Arc<PollWaker>,
+    inject: &Arc<Mutex<Vec<HostedStub>>>,
+    stop: &Arc<AtomicBool>,
+    reports: &Arc<Mutex<Vec<StubReport>>>,
+) {
+    let mut stubs: Vec<HostedStub> = Vec::new();
+    loop {
+        let seen = waker.current();
+        {
+            let mut pending = inject.lock().unwrap();
+            stubs.append(&mut pending);
+        }
+        if stop.load(Ordering::SeqCst) {
+            let mut out = reports.lock().unwrap();
+            for s in stubs.drain(..) {
+                out.push(s.core.report);
+            }
+            return;
+        }
+        let mut activity = 0u64;
+        stubs.retain_mut(|s| {
+            let retired = drive_stub(s, &mut activity);
+            if retired {
+                reports.lock().unwrap().push(s.core.report);
+            }
+            !retired
+        });
+        if activity == 0 {
+            let mut park = if stubs.iter().all(|s| s.source.has_waker()) {
+                HOST_PARK_MAX
+            } else {
+                HOST_PARK_SCAN
+            };
+            for s in &stubs {
+                park = park.min(s.core.heartbeat_due_in());
+            }
+            waker.wait_past(seen, park.max(HOST_PARK_MIN));
+        }
+    }
+}
+
+/// One scan of one hosted stub: heartbeat if due, then drain and serve
+/// its queued frames. Returns true when the stub retires (shutdown or
+/// transport loss).
+fn drive_stub(s: &mut HostedStub, activity: &mut u64) -> bool {
+    if let Some(hb) = s.core.heartbeat_if_due() {
+        if s.sink.send(&hb).is_err() {
+            return true;
+        }
+    }
+    loop {
+        match s.source.try_recv() {
+            Ok(Some(frame)) => {
+                *activity += 1;
+                match s.core.handle_frame(&frame) {
+                    StubStep::Continue => {}
+                    StubStep::Reply(reply) => {
+                        if s.sink.send(&reply).is_err() {
+                            return true;
+                        }
+                    }
+                    StubStep::Shutdown => return true,
+                }
+            }
+            Ok(None) => return false,
+            Err(_) => return true,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -424,5 +697,144 @@ mod stub_tests {
         proxy_side
             .send(&encode_frame(&RpcMessage::Shutdown))
             .unwrap();
+    }
+
+    /// Proxy-side view of a hosted stub: a raw duplex driven by hand.
+    fn hosted(
+        host: &StubHost,
+        crash_on: Option<u32>,
+    ) -> (
+        Box<dyn crate::poll::FrameSink>,
+        Box<dyn crate::poll::FrameSource>,
+    ) {
+        let (proxy_dx, stub_dx) = crate::poll::queue_duplex_pair();
+        host.spawn(
+            Box::new(TestApp { count: 0, crash_on }),
+            stub_dx,
+            StubConfig::default(),
+        )
+        .unwrap();
+        (proxy_dx.sink, proxy_dx.source)
+    }
+
+    fn await_frame(source: &mut Box<dyn crate::poll::FrameSource>) -> RpcMessage {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            if let Some(frame) = source.try_recv().unwrap() {
+                let msg = decode_frame(&frame).unwrap();
+                if !matches!(msg, RpcMessage::Heartbeat { .. }) {
+                    return msg;
+                }
+            }
+            assert!(Instant::now() < deadline, "no frame within deadline");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn stub_host_serves_many_stubs_on_bounded_workers() {
+        let host = StubHost::new(2);
+        let n = 16;
+        let mut channels: Vec<_> = (0..n).map(|_| hosted(&host, None)).collect();
+        for (sink, source) in &mut channels {
+            assert!(matches!(await_frame(source), RpcMessage::Register { .. }));
+            sink.send(&deliver_frame(1)).unwrap();
+        }
+        for (_, source) in &mut channels {
+            match await_frame(source) {
+                RpcMessage::EventAck { seq, commands } => {
+                    assert_eq!(seq, 1);
+                    assert_eq!(commands.len(), 1);
+                }
+                other => panic!("expected ack, got {other:?}"),
+            }
+        }
+        for (sink, _) in &mut channels {
+            sink.send(&encode_frame(&RpcMessage::Shutdown)).unwrap();
+        }
+        let reports = host.shutdown(Duration::from_secs(2));
+        assert_eq!(reports.len(), n);
+        assert!(reports.iter().all(|r| r.events_processed == 1));
+    }
+
+    #[test]
+    fn hosted_crash_is_contained_per_stub() {
+        let host = StubHost::new(1);
+        let (mut crashy_sink, mut crashy_source) = hosted(&host, Some(1));
+        let (mut ok_sink, mut ok_source) = hosted(&host, None);
+        assert!(matches!(
+            await_frame(&mut crashy_source),
+            RpcMessage::Register { .. }
+        ));
+        assert!(matches!(
+            await_frame(&mut ok_source),
+            RpcMessage::Register { .. }
+        ));
+        crashy_sink.send(&deliver_frame(1)).unwrap();
+        match await_frame(&mut crashy_source) {
+            RpcMessage::Crashed { seq, panic_message } => {
+                assert_eq!(seq, 1);
+                assert!(panic_message.contains("test app crash"));
+            }
+            other => panic!("expected crashed, got {other:?}"),
+        }
+        // The neighbor on the same worker is untouched.
+        ok_sink.send(&deliver_frame(1)).unwrap();
+        assert!(matches!(
+            await_frame(&mut ok_source),
+            RpcMessage::EventAck { .. }
+        ));
+        // Restore revives the crashed one.
+        crashy_sink
+            .send(&encode_frame(&RpcMessage::RestoreRequest {
+                seq: 2,
+                bytes: 0u32.to_be_bytes().to_vec(),
+            }))
+            .unwrap();
+        assert!(matches!(
+            await_frame(&mut crashy_source),
+            RpcMessage::RestoreAck { seq: 2, ok: true }
+        ));
+        for sink in [&mut crashy_sink, &mut ok_sink] {
+            sink.send(&encode_frame(&RpcMessage::Shutdown)).unwrap();
+        }
+        let reports = host.shutdown(Duration::from_secs(2));
+        assert_eq!(reports.len(), 2);
+        let crashes: u64 = reports.iter().map(|r| r.crashes_contained).sum();
+        let restores: u64 = reports.iter().map(|r| r.restores).sum();
+        assert_eq!(crashes, 1);
+        assert_eq!(restores, 1);
+    }
+
+    #[test]
+    fn hosted_stubs_heartbeat() {
+        let host = StubHost::new(1);
+        let (proxy_dx, stub_dx) = crate::poll::queue_duplex_pair();
+        host.spawn(
+            Box::new(TestApp {
+                count: 0,
+                crash_on: None,
+            }),
+            stub_dx,
+            StubConfig {
+                heartbeat_period: Duration::from_millis(5),
+                report_crashes: true,
+            },
+        )
+        .unwrap();
+        let mut source = proxy_dx.source;
+        let mut beats = 0;
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < deadline && beats < 3 {
+            if let Ok(Some(frame)) = source.try_recv() {
+                if matches!(decode_frame(&frame), Ok(RpcMessage::Heartbeat { .. })) {
+                    beats += 1;
+                }
+            } else {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert!(beats >= 3, "expected hosted heartbeats, got {beats}");
+        let _ = host.shutdown(Duration::from_millis(50));
     }
 }

@@ -1,6 +1,7 @@
 //! Transports carrying RPC frames between proxy and stub.
 //!
-//! Two implementations:
+//! Blocking implementations (one transport per stub, `recv_timeout`
+//! parks the calling thread):
 //!
 //! - [`ChannelTransport`] — in-memory std mpsc channels. Fast, always
 //!   available; models stubs hosted in sandboxed threads.
@@ -8,11 +9,17 @@
 //!   prototype ("the proxy and stub communicate with each other using
 //!   UDP"). Includes the full serialization + kernel round-trip cost the
 //!   isolation-latency experiment (E2) measures.
+//! - [`TcpTransport`] — TCP loopback with length framing, the
+//!   reliable-stream alternative.
+//!
+//! The readiness-polled path that multiplexes *all* stubs onto a fixed
+//! I/O thread pool lives in [`crate::poll`]; it splits each of these
+//! transports into a non-blocking sink/source pair.
 
 use std::fmt;
 use std::io::ErrorKind;
 use std::net::UdpSocket;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::time::Duration;
 
 /// Transport failure.
@@ -42,6 +49,14 @@ pub trait Transport: Send {
 
     /// Receive one frame, waiting up to `timeout`. `Ok(None)` on timeout.
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError>;
+
+    /// Receive one frame if one is already available, without blocking
+    /// and without arming any socket timeout. `Ok(None)` means "nothing
+    /// queued right now" — the liveness sweep and other opportunistic
+    /// drains use this instead of a sub-tick `recv_timeout`, which the
+    /// socket transports would round up to a full millisecond of
+    /// blocking.
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError>;
 }
 
 /// In-memory transport over std mpsc channels.
@@ -77,14 +92,42 @@ impl Transport for ChannelTransport {
             Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
         }
     }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
 }
 
 /// Maximum UDP datagram we send (the paper's prototype shares the limit).
 pub const MAX_DATAGRAM: usize = 60_000;
 
+/// Round a deadline-derived timeout up to whole milliseconds (minimum
+/// 1ms, the same floor the transports always applied). Arming
+/// `SO_RCVTIMEO` is a syscall; rounding to a coarse grid means
+/// consecutive waits against the same deadline usually hit the
+/// [`UdpTransport`]/[`TcpTransport`] armed-timeout cache instead of
+/// re-issuing it. The ≤1ms overshoot this allows is the floor the
+/// un-cached code already had.
+fn ceil_ms(timeout: Duration) -> Duration {
+    let ms = u64::try_from(timeout.as_micros().div_ceil(1000))
+        .unwrap_or(u64::MAX)
+        .max(1);
+    Duration::from_millis(ms)
+}
+
 /// UDP loopback transport — the paper-prototype configuration.
 pub struct UdpTransport {
     socket: UdpSocket,
+    /// Scratch receive buffer, allocated once per transport instead of
+    /// 60 KB per `recv_timeout` call.
+    buf: Vec<u8>,
+    /// Last timeout armed via `set_read_timeout`; unchanged timeouts skip
+    /// the syscall.
+    armed: Option<Duration>,
 }
 
 impl UdpTransport {
@@ -94,7 +137,15 @@ impl UdpTransport {
         let b = UdpSocket::bind("127.0.0.1:0")?;
         a.connect(b.local_addr()?)?;
         b.connect(a.local_addr()?)?;
-        Ok((UdpTransport { socket: a }, UdpTransport { socket: b }))
+        Ok((Self::from_socket(a), Self::from_socket(b)))
+    }
+
+    pub(crate) fn from_socket(socket: UdpSocket) -> UdpTransport {
+        UdpTransport {
+            socket,
+            buf: vec![0u8; MAX_DATAGRAM],
+            armed: None,
+        }
     }
 }
 
@@ -113,19 +164,84 @@ impl Transport for UdpTransport {
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
-        self.socket
-            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
-            .map_err(|e| TransportError::Io(e.to_string()))?;
-        let mut buf = vec![0u8; MAX_DATAGRAM];
-        match self.socket.recv(&mut buf) {
-            Ok(n) => {
-                buf.truncate(n);
-                Ok(Some(buf))
-            }
+        let want = ceil_ms(timeout);
+        if self.armed != Some(want) {
+            self.socket
+                .set_read_timeout(Some(want))
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+            self.armed = Some(want);
+        }
+        match self.socket.recv(&mut self.buf) {
+            Ok(n) => Ok(Some(self.buf[..n].to_vec())),
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 Ok(None)
             }
             Err(e) => Err(TransportError::Io(e.to_string())),
+        }
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        // O_NONBLOCK overrides SO_RCVTIMEO while set, so the armed-timeout
+        // cache stays valid across the toggle.
+        self.socket
+            .set_nonblocking(true)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let res = self.socket.recv(&mut self.buf);
+        let restore = self.socket.set_nonblocking(false);
+        let out = match res {
+            Ok(n) => Ok(Some(self.buf[..n].to_vec())),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                Ok(None)
+            }
+            Err(e) => Err(TransportError::Io(e.to_string())),
+        };
+        restore.map_err(|e| TransportError::Io(e.to_string()))?;
+        out
+    }
+}
+
+/// Length-framed (u32 LE) reassembly buffer shared by the blocking
+/// [`TcpTransport`] and the polled TCP source. Tracks a consumed offset
+/// so popping a frame is O(frame) — the buffer is compacted once per
+/// read batch, not memmoved per frame, which kept a burst of small
+/// frames sharing one socket read from going quadratic.
+#[derive(Default)]
+pub(crate) struct TcpFramer {
+    pending: Vec<u8>,
+    consumed: usize,
+}
+
+impl TcpFramer {
+    /// Append raw stream bytes.
+    pub(crate) fn extend(&mut self, bytes: &[u8]) {
+        self.pending.extend_from_slice(bytes);
+    }
+
+    /// Pop one complete frame, advancing the consumed offset.
+    pub(crate) fn take(&mut self) -> Option<Vec<u8>> {
+        let avail = &self.pending[self.consumed..];
+        if avail.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if avail.len() < 4 + len {
+            return None;
+        }
+        let frame = avail[4..4 + len].to_vec();
+        self.consumed += 4 + len;
+        if self.consumed == self.pending.len() {
+            // Everything delivered: reset in O(1), keeping the allocation.
+            self.pending.clear();
+            self.consumed = 0;
+        }
+        Some(frame)
+    }
+
+    /// Reclaim consumed bytes — one memmove per batch of frames.
+    pub(crate) fn compact(&mut self) {
+        if self.consumed > 0 {
+            self.pending.drain(..self.consumed);
+            self.consumed = 0;
         }
     }
 }
@@ -136,8 +252,9 @@ impl Transport for UdpTransport {
 /// arrive intact.
 pub struct TcpTransport {
     stream: std::net::TcpStream,
-    /// Bytes received but not yet assembled into a frame.
-    pending: Vec<u8>,
+    framer: TcpFramer,
+    /// Last timeout armed via `set_read_timeout` (see [`UdpTransport`]).
+    armed: Option<Duration>,
 }
 
 impl TcpTransport {
@@ -150,30 +267,15 @@ impl TcpTransport {
         for s in [&client, &server] {
             s.set_nodelay(true)?;
         }
-        Ok((
-            TcpTransport {
-                stream: client,
-                pending: Vec::new(),
-            },
-            TcpTransport {
-                stream: server,
-                pending: Vec::new(),
-            },
-        ))
+        Ok((Self::from_stream(client), Self::from_stream(server)))
     }
 
-    /// Try to pop one complete frame from the pending buffer.
-    fn take_frame(&mut self) -> Option<Vec<u8>> {
-        if self.pending.len() < 4 {
-            return None;
+    fn from_stream(stream: std::net::TcpStream) -> TcpTransport {
+        TcpTransport {
+            stream,
+            framer: TcpFramer::default(),
+            armed: None,
         }
-        let len = u32::from_le_bytes(self.pending[..4].try_into().unwrap()) as usize;
-        if self.pending.len() < 4 + len {
-            return None;
-        }
-        let frame = self.pending[4..4 + len].to_vec();
-        self.pending.drain(..4 + len);
-        Some(frame)
     }
 }
 
@@ -192,9 +294,10 @@ impl Transport for TcpTransport {
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
         use std::io::Read;
-        if let Some(frame) = self.take_frame() {
+        if let Some(frame) = self.framer.take() {
             return Ok(Some(frame));
         }
+        self.framer.compact();
         let deadline = std::time::Instant::now() + timeout;
         let mut chunk = [0u8; 16 * 1024];
         loop {
@@ -202,14 +305,18 @@ impl Transport for TcpTransport {
             if remaining.is_zero() {
                 return Ok(None);
             }
-            self.stream
-                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
-                .map_err(|e| TransportError::Io(e.to_string()))?;
+            let want = ceil_ms(remaining);
+            if self.armed != Some(want) {
+                self.stream
+                    .set_read_timeout(Some(want))
+                    .map_err(|e| TransportError::Io(e.to_string()))?;
+                self.armed = Some(want);
+            }
             match self.stream.read(&mut chunk) {
                 Ok(0) => return Err(TransportError::Disconnected),
                 Ok(n) => {
-                    self.pending.extend_from_slice(&chunk[..n]);
-                    if let Some(frame) = self.take_frame() {
+                    self.framer.extend(&chunk[..n]);
+                    if let Some(frame) = self.framer.take() {
                         return Ok(Some(frame));
                     }
                 }
@@ -221,6 +328,56 @@ impl Transport for TcpTransport {
             }
         }
     }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        use std::io::Read;
+        if let Some(frame) = self.framer.take() {
+            return Ok(Some(frame));
+        }
+        self.framer.compact();
+        self.stream
+            .set_nonblocking(true)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let mut chunk = [0u8; 16 * 1024];
+        let mut res = Ok(());
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    res = Err(TransportError::Disconnected);
+                    break;
+                }
+                Ok(n) => self.framer.extend(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    break
+                }
+                Err(e) if e.kind() == ErrorKind::ConnectionReset => {
+                    res = Err(TransportError::Disconnected);
+                    break;
+                }
+                Err(e) => {
+                    res = Err(TransportError::Io(e.to_string()));
+                    break;
+                }
+            }
+        }
+        let restore = self.stream.set_nonblocking(false);
+        // Deliver buffered frames before surfacing any error.
+        if let Some(frame) = self.framer.take() {
+            return Ok(Some(frame));
+        }
+        res?;
+        restore.map_err(|e| TransportError::Io(e.to_string()))?;
+        Ok(None)
+    }
+}
+
+/// SplitMix64 — a full-avalanche mix, so adjacent seeds land in
+/// unrelated xorshift orbits.
+pub(crate) fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// A transport wrapper that drops frames with a seeded probability — UDP's
@@ -237,12 +394,22 @@ pub struct FlakyTransport<T: Transport> {
 
 impl<T: Transport> FlakyTransport<T> {
     /// Wrap `inner`, dropping ~`drop_per_mille`/1000 of sent frames.
+    /// The seed is mixed through SplitMix64 so adjacent seeds explore
+    /// distinct drop schedules (the old `seed | 1` state made seeds `2k`
+    /// and `2k+1` identical, silently halving campaign coverage).
     #[must_use]
     pub fn new(inner: T, drop_per_mille: u32, seed: u64) -> Self {
+        let mixed = splitmix64(seed);
         FlakyTransport {
             inner,
             drop_per_mille,
-            rng: seed | 1,
+            // xorshift has a fixed point at 0; SplitMix64 maps exactly one
+            // seed there, so nudge it off.
+            rng: if mixed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                mixed
+            },
             dropped: 0,
         }
     }
@@ -269,13 +436,18 @@ impl<T: Transport> Transport for FlakyTransport<T> {
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
         self.inner.recv_timeout(timeout)
     }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        self.inner.try_recv()
+    }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
+    use std::time::Instant;
 
-    fn exercise<T: Transport>(mut a: T, mut b: T) {
+    pub(crate) fn exercise<T: Transport>(mut a: T, mut b: T) {
         a.send(b"hello").unwrap();
         let got = b.recv_timeout(Duration::from_secs(1)).unwrap().unwrap();
         assert_eq!(got, b"hello");
@@ -295,6 +467,25 @@ mod tests {
         assert_eq!(
             b.recv_timeout(Duration::from_secs(1)).unwrap().unwrap(),
             b"2"
+        );
+        // Non-blocking path: a sent frame becomes try_recv-visible (the
+        // socket transports may need a beat for loopback delivery), and
+        // an idle transport yields None without blocking.
+        a.send(b"nb").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        let got = loop {
+            if let Some(frame) = b.try_recv().unwrap() {
+                break frame;
+            }
+            assert!(Instant::now() < deadline, "try_recv never saw the frame");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(got, b"nb");
+        let start = Instant::now();
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert!(
+            start.elapsed() < Duration::from_millis(50),
+            "try_recv must not block"
         );
     }
 
@@ -328,6 +519,48 @@ mod tests {
     }
 
     #[test]
+    fn tcp_small_frame_burst_arrives_in_order() {
+        // Many small frames share socket reads; the framer must pop them
+        // all from its offset without losing bytes across compactions.
+        let (mut a, mut b) = TcpTransport::pair().unwrap();
+        let n = 64u32;
+        for i in 0..n {
+            a.send(&i.to_le_bytes()).unwrap();
+        }
+        for i in 0..n {
+            let got = b.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
+            assert_eq!(got, i.to_le_bytes());
+        }
+        assert_eq!(b.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn framer_pops_frames_at_offset_and_compacts_once() {
+        let mut f = TcpFramer::default();
+        let mut wire = Vec::new();
+        for payload in [&b"aa"[..], b"b", b"cccc"] {
+            wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            wire.extend_from_slice(payload);
+        }
+        // Feed everything plus half of a fourth frame's header.
+        f.extend(&wire);
+        f.extend(&[9, 0]);
+        assert_eq!(f.take().unwrap(), b"aa");
+        assert_eq!(f.take().unwrap(), b"b");
+        assert_eq!(f.take().unwrap(), b"cccc");
+        assert!(f.take().is_none(), "partial header is not a frame");
+        f.compact();
+        assert_eq!(f.consumed, 0);
+        assert_eq!(f.pending, vec![9, 0]);
+        // Completing the partial frame delivers it.
+        f.extend(&[0, 0]);
+        f.extend(&[7; 9]);
+        assert_eq!(f.take().unwrap(), vec![7; 9]);
+        assert!(f.take().is_none());
+        assert_eq!(f.pending.len(), 0, "fully-drained buffer resets in O(1)");
+    }
+
+    #[test]
     fn tcp_disconnect_detected() {
         let (mut a, b) = TcpTransport::pair().unwrap();
         drop(b);
@@ -349,6 +582,7 @@ mod tests {
             a.recv_timeout(Duration::from_millis(5)),
             Err(TransportError::Disconnected)
         );
+        assert_eq!(a.try_recv(), Err(TransportError::Disconnected));
     }
 
     #[test]
@@ -356,6 +590,22 @@ mod tests {
         let (mut a, _b) = UdpTransport::pair().unwrap();
         let huge = vec![0u8; MAX_DATAGRAM + 1];
         assert!(matches!(a.send(&huge), Err(TransportError::Io(_))));
+    }
+
+    #[test]
+    fn read_timeout_is_armed_once_per_deadline() {
+        // The cache must avoid re-arming for an unchanged timeout and
+        // still time out correctly when the armed value is stale-but-equal.
+        let (mut a, _b) = UdpTransport::pair().unwrap();
+        assert!(a.recv_timeout(Duration::from_millis(5)).unwrap().is_none());
+        assert_eq!(a.armed, Some(Duration::from_millis(5)));
+        // Same timeout again: no re-arm needed (armed value unchanged),
+        // behavior identical.
+        assert!(a.recv_timeout(Duration::from_millis(5)).unwrap().is_none());
+        assert_eq!(a.armed, Some(Duration::from_millis(5)));
+        // Sub-millisecond timeouts keep the 1ms floor.
+        assert!(a.recv_timeout(Duration::from_micros(50)).unwrap().is_none());
+        assert_eq!(a.armed, Some(Duration::from_millis(1)));
     }
 
     #[test]
@@ -384,6 +634,33 @@ mod tests {
             flaky2.send(&[i as u8]).unwrap();
         }
         assert_eq!(flaky.dropped, flaky2.dropped);
+    }
+
+    #[test]
+    fn flaky_adjacent_seeds_explore_distinct_schedules() {
+        // The old `seed | 1` seeding collapsed seeds 2k and 2k+1 onto one
+        // drop pattern, so adjacent-seed campaign runs silently explored
+        // the same fault schedule.
+        fn drop_pattern(seed: u64) -> Vec<bool> {
+            let (a, _b) = ChannelTransport::pair();
+            let mut flaky = FlakyTransport::new(a, 500, seed);
+            (0..200u64)
+                .map(|i| {
+                    let before = flaky.dropped;
+                    flaky.send(&[i as u8]).unwrap();
+                    flaky.dropped > before
+                })
+                .collect()
+        }
+        for base in [0u64, 2, 42, 1000] {
+            assert_ne!(
+                drop_pattern(base),
+                drop_pattern(base + 1),
+                "seeds {base} and {} share a drop schedule",
+                base + 1
+            );
+        }
+        assert_eq!(drop_pattern(7), drop_pattern(7), "same seed stays stable");
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn proxy() -> AppVisorProxy {
             heartbeat_period: Duration::from_millis(500),
             report_crashes: true,
         },
+        ..Default::default()
     })
 }
 

@@ -41,6 +41,7 @@ struct CampaignConfig {
     dispatch: DispatchMode,
     window: usize,
     isolation: IsolationMode,
+    io: IoMode,
     trace_sample: u64,
 }
 
@@ -60,6 +61,7 @@ impl Default for CampaignConfig {
             dispatch: DispatchMode::default(),
             window: 1,
             isolation: IsolationMode::Local,
+            io: IoMode::default(),
             trace_sample: 1,
         }
     }
@@ -71,13 +73,17 @@ const USAGE: &str = "usage: campaign [--addr HOST:PORT] [--addr-file PATH] \
 [--faults crash,blackhole,loop,flush] [--period-ms MS] \
 [--push-to HOST:PORT] [--campaign NAME] \
 [--dispatch sequential|pipelined] [--window DEPTH] \
-[--isolation local|channel|udp|tcp] [--trace-sample N]\n\
+[--isolation local|channel|udp|tcp] \
+[--transport blocking|polled] [--io-threads N] [--trace-sample N]\n\
 --rounds 0 (default) serves forever. --addr 127.0.0.1:0 picks an \
 ephemeral port (written to --addr-file for scripts). --push-to exports \
 to a fleet aggregator under the --campaign name. --dispatch pipelined \
 (the default) fans events out to isolated apps concurrently; --window \
 DEPTH keeps up to DEPTH events of a cycle in flight on each stub's \
 stream (default 1; same network state either way, see DESIGN.md). \
+--transport polled services every stub channel from a fixed pool of \
+poll threads instead of one blocking thread per stub; --io-threads N \
+sizes that pool (default 4; only meaningful with isolated modes). \
 --trace-sample N records a causal flight-recorder trace for every Nth \
 event (default 1: every event; 0 disables tracing), served at /traces \
 and /traces/<cycle>-<seq>.";
@@ -168,6 +174,17 @@ fn parse_args(args: &[String]) -> Result<CampaignConfig, String> {
                     other => return Err(format!("unknown isolation mode: {other}")),
                 }
             }
+            "--transport" => {
+                let v = value()?;
+                cfg.io = IoMode::parse(&v).ok_or_else(|| format!("unknown transport mode: {v}"))?;
+            }
+            "--io-threads" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--io-threads: {e}"))?;
+                if n == 0 {
+                    return Err("--io-threads must be at least 1".into());
+                }
+                cfg.io = IoMode::Polled { io_threads: n };
+            }
             "--trace-sample" => {
                 cfg.trace_sample = value()?
                     .parse()
@@ -245,6 +262,7 @@ fn main() {
             ..LegoSdnConfig::default()
         }
         .with_window(cfg.window)
+        .with_io(cfg.io)
         .with_trace_sample(cfg.trace_sample)
         .with_obs(Obs::new()),
     );
@@ -274,7 +292,7 @@ fn main() {
     eprintln!(
         "campaign: serving /metrics /metrics.json /incidents /traces /rollups /healthz on http://{} \
          ({} switches, policy {}, {} fault app(s), {:?}/{:?} dispatch, \
-         window {}, {})",
+         window {}, {:?} io, {})",
         server.local_addr(),
         cfg.switches,
         cfg.policy,
@@ -282,6 +300,7 @@ fn main() {
         cfg.dispatch,
         cfg.isolation,
         cfg.window,
+        cfg.io,
         if cfg.rounds == 0 {
             "until killed".to_string()
         } else {

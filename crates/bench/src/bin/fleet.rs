@@ -1,0 +1,233 @@
+//! `fleet` — stub-fleet scale smoke: many isolated apps on a bounded
+//! thread budget.
+//!
+//! Launches `--apps N` AppVisor stubs directly against the proxy (no
+//! network simulation — this exercises the isolation layer alone), fans
+//! a few event rounds out to all of them, and reports throughput plus
+//! the process thread count from `/proc/self/status`.
+//!
+//! Under `--transport blocking` every stub owns a thread, so the process
+//! grows ~N threads. Under `--transport polled` (the default) the whole
+//! fleet is serviced by two fixed pools — `--io-threads N` poll workers
+//! on the proxy side and the same number of stub-host workers — so the
+//! thread count stays flat no matter how many apps attach. `scripts/
+//! check.sh` runs this with `--apps 1000 --max-threads 64`: the smoke
+//! fails (exit 1) if the fleet ever needs more threads than that, or if
+//! any app misses a delivery or its shutdown report.
+
+use std::time::{Duration, Instant};
+
+use legosdn::apps::Hub;
+use legosdn::appvisor::{
+    AppHandle, AppVisorProxy, DeliverOutcome, IoMode, ProxyConfig, StubConfig, TransportKind,
+};
+use legosdn::controller::event::Event;
+use legosdn::controller::services::{DeviceView, TopologyView};
+use legosdn::netsim::SimTime;
+use legosdn::openflow::DatapathId;
+use legosdn_bench::print_table;
+
+struct FleetConfig {
+    apps: usize,
+    rounds: u64,
+    io: IoMode,
+    max_threads: Option<usize>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            apps: 1000,
+            rounds: 3,
+            io: IoMode::Polled { io_threads: 4 },
+            max_threads: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: fleet [--apps N] [--rounds N] \
+[--transport blocking|polled] [--io-threads N] [--max-threads N]\n\
+Launches N isolated stub apps against one AppVisor proxy, fans --rounds \
+events out to all of them, and prints throughput plus the process thread \
+count. --transport polled (the default) services the whole fleet from \
+fixed poll/stub-host pools of --io-threads threads each; --max-threads N \
+makes the run fail (exit 1) if /proc/self/status ever reports more \
+threads than N.";
+
+fn parse_args(args: &[String]) -> Result<FleetConfig, String> {
+    let mut cfg = FleetConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--apps" => {
+                cfg.apps = value()?.parse().map_err(|e| format!("--apps: {e}"))?;
+                if cfg.apps == 0 {
+                    return Err("--apps must be at least 1".into());
+                }
+            }
+            "--rounds" => {
+                cfg.rounds = value()?.parse().map_err(|e| format!("--rounds: {e}"))?;
+                if cfg.rounds == 0 {
+                    return Err("--rounds must be at least 1".into());
+                }
+            }
+            "--transport" => {
+                let v = value()?;
+                cfg.io = IoMode::parse(&v).ok_or_else(|| format!("unknown transport mode: {v}"))?;
+            }
+            "--io-threads" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--io-threads: {e}"))?;
+                if n == 0 {
+                    return Err("--io-threads must be at least 1".into());
+                }
+                cfg.io = IoMode::Polled { io_threads: n };
+            }
+            "--max-threads" => {
+                cfg.max_threads = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--max-threads: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// The process thread count, from the `Threads:` line of
+/// `/proc/self/status`. Returns 0 on platforms without procfs (the
+/// `--max-threads` check is then skipped rather than failed).
+fn thread_count() -> usize {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    let baseline_threads = thread_count();
+    let mut proxy = AppVisorProxy::new(ProxyConfig {
+        // Generous RPC deadlines: at 1000 apps a fan-out's shared deadline
+        // covers the whole fleet, and the smoke must fail on *thread*
+        // exhaustion, not on a slow CI machine.
+        deliver_timeout: Duration::from_secs(30),
+        rpc_timeout: Duration::from_secs(30),
+        heartbeat_timeout: Duration::from_secs(60),
+        stub: StubConfig {
+            // A quiet heartbeat plane: the smoke measures event servicing,
+            // not 1000 stubs' idle chatter.
+            heartbeat_period: Duration::from_secs(5),
+            report_crashes: true,
+        },
+        io: cfg.io,
+    });
+
+    let launch_start = Instant::now();
+    let handles: Vec<AppHandle> = (0..cfg.apps)
+        .map(|_| {
+            proxy
+                .launch_app(Box::new(Hub::new()), TransportKind::Channel)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: launch failed: {e}");
+                    std::process::exit(1);
+                })
+        })
+        .collect();
+    let launch_s = launch_start.elapsed().as_secs_f64();
+    let launched_threads = thread_count();
+
+    let topo = TopologyView::default();
+    let dev = DeviceView::default();
+    let mut delivered = 0u64;
+    let mut failed = 0u64;
+    let fanout_start = Instant::now();
+    for _ in 0..cfg.rounds {
+        let results = proxy.deliver_fanout(
+            &handles,
+            &Event::SwitchUp(DatapathId(1)),
+            &topo,
+            &dev,
+            SimTime::ZERO,
+        );
+        for r in results {
+            match r.outcome {
+                Ok(DeliverOutcome::Commands(_)) => delivered += 1,
+                other => {
+                    failed += 1;
+                    eprintln!("fleet: delivery failed: {other:?}");
+                }
+            }
+        }
+    }
+    let fanout_s = fanout_start.elapsed().as_secs_f64();
+    let events_per_s = delivered as f64 / fanout_s;
+    let peak_threads = thread_count().max(launched_threads);
+
+    let reports = proxy.shutdown();
+
+    print_table(
+        &format!(
+            "fleet: {} apps x {} rounds, {:?} io",
+            cfg.apps, cfg.rounds, cfg.io
+        ),
+        &["metric", "value"],
+        &[
+            vec!["launch s".into(), format!("{launch_s:.2}")],
+            vec!["deliveries ok".into(), delivered.to_string()],
+            vec!["deliveries failed".into(), failed.to_string()],
+            vec!["events/s".into(), format!("{events_per_s:.0}")],
+            vec!["baseline threads".into(), baseline_threads.to_string()],
+            vec!["peak threads".into(), peak_threads.to_string()],
+            vec!["shutdown reports".into(), reports.len().to_string()],
+        ],
+    );
+
+    let mut ok = true;
+    if failed > 0 {
+        eprintln!("fleet: FAIL — {failed} deliveries did not complete");
+        ok = false;
+    }
+    if reports.len() != cfg.apps {
+        eprintln!(
+            "fleet: FAIL — {} of {} stubs reported at shutdown",
+            reports.len(),
+            cfg.apps
+        );
+        ok = false;
+    }
+    if let Some(max) = cfg.max_threads {
+        if peak_threads == 0 {
+            eprintln!("fleet: no procfs; skipping the --max-threads check");
+        } else if peak_threads > max {
+            eprintln!("fleet: FAIL — peak thread count {peak_threads} exceeds --max-threads {max}");
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    eprintln!("fleet: ok ({delivered} deliveries, peak {peak_threads} threads)");
+}

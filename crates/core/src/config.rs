@@ -1,6 +1,6 @@
 //! LegoSDN runtime configuration.
 
-use legosdn_appvisor::ProxyConfig;
+use legosdn_appvisor::{IoMode, ProxyConfig};
 use legosdn_crashpad::CrashPadConfig;
 use legosdn_invariants::Checker;
 use legosdn_netlog::TxMode;
@@ -190,6 +190,16 @@ impl LegoSdnConfig {
         self.trace_sample = sample;
         self
     }
+
+    /// Select how stub channels are serviced: blocking thread-per-stub
+    /// or the readiness-polled multiplexed pools (see
+    /// [`legosdn_appvisor::IoMode`]). Only isolated modes (`Channel`,
+    /// `Udp`, `Tcp`) have stub channels to service.
+    #[must_use]
+    pub fn with_io(mut self, io: IoMode) -> Self {
+        self.proxy.io = io;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +246,20 @@ mod tests {
                 .dispatch,
             DispatchMode::Pipelined
         );
+    }
+
+    #[test]
+    fn io_builder_selects_the_polled_path() {
+        let c = LegoSdnConfig::default();
+        assert_eq!(c.proxy.io, IoMode::Blocking, "blocking is the default");
+        let c = c.with_io(IoMode::Polled { io_threads: 4 });
+        assert_eq!(c.proxy.io, IoMode::Polled { io_threads: 4 });
+        assert_eq!(IoMode::parse("blocking"), Some(IoMode::Blocking));
+        assert_eq!(
+            IoMode::parse("polled"),
+            Some(IoMode::Polled { io_threads: 4 })
+        );
+        assert_eq!(IoMode::parse("epoll"), None);
     }
 
     #[test]

@@ -98,7 +98,7 @@ pub mod prelude {
         AclRule, Backend, BugEffect, BugTrigger, FaultyApp, Firewall, Flooder, Hub, LearningSwitch,
         LoadBalancer, ShortestPathRouter, SpanningTree, StatsMonitor,
     };
-    pub use legosdn_appvisor::{ProxyConfig, StubConfig};
+    pub use legosdn_appvisor::{IoMode, ProxyConfig, StubConfig};
     pub use legosdn_controller::app::{Command, Ctx, SdnApp};
     pub use legosdn_controller::event::{Event, EventKind};
     pub use legosdn_controller::monolithic::MonolithicController;

@@ -24,6 +24,13 @@ timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1
   --dispatch pipelined --isolation channel \
   || { echo "pipelined campaign smoke run failed or hung" >&2; exit 1; }
 
+# And with the stub channels multiplexed onto the polled I/O pools: the
+# same failure/recovery story must hold when no stub owns a thread.
+echo "==> campaign smoke under the polled transport"
+timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1 \
+  --dispatch pipelined --isolation channel --transport polled --io-threads 2 \
+  || { echo "polled campaign smoke run failed or hung" >&2; exit 1; }
+
 # Scrape one path from a live endpoint over bash's /dev/tcp (curl may be
 # absent), under a hard timeout so a wedged responder fails fast.
 scrape() { # scrape HOST:PORT PATH
@@ -106,6 +113,16 @@ echo "$AGG_ROLLUPS" | grep -q '"_fleet"' \
   || { echo "aggregator /rollups is missing the _fleet merge" >&2; exit 1; }
 kill "$AGG_PID" 2>/dev/null || true
 wait "$AGG_PID" 2>/dev/null || true
+
+# A 1000-stub fleet on the polled transport: the whole fleet must be
+# serviced by the fixed poll/stub-host pools (4 threads each), so the
+# process thread count stays far below one-per-app. The bin exits 1 on
+# a missed delivery, a missing shutdown report, or a thread-count blowup.
+echo "==> polled fleet smoke: 1000 stubs under a 64-thread bound"
+cargo build -q --offline --release -p legosdn-bench --bin fleet
+timeout 120 ./target/release/fleet --apps 1000 --io-threads 4 --rounds 3 \
+  --max-threads 64 \
+  || { echo "polled fleet smoke failed, hung, or leaked threads" >&2; exit 1; }
 
 # Re-run the endpoint integration test under a hard timeout: a hung accept
 # loop or leaked worker must fail fast here instead of wedging CI.

@@ -15,6 +15,7 @@ fn proxy(report_crashes: bool) -> AppVisorProxy {
             heartbeat_period: Duration::from_millis(10),
             report_crashes,
         },
+        ..Default::default()
     })
 }
 
@@ -203,6 +204,7 @@ fn lossy_transport_degrades_to_comm_failures_not_hangs() {
             heartbeat_period: Duration::from_millis(10),
             report_crashes: true,
         },
+        ..Default::default()
     });
     let (proxy_side, stub_side) = ChannelTransport::pair();
     let proxy_side = FlakyTransport::new(proxy_side, 400, 7);

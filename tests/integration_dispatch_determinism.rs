@@ -28,6 +28,17 @@ struct Residue {
 /// fail-stop crash with recovery, more traffic, a tick — executed under
 /// the given dispatch/isolation pair.
 fn run_campaign(dispatch: DispatchMode, isolation: IsolationMode, depth: usize) -> Residue {
+    run_campaign_io(dispatch, isolation, depth, IoMode::Blocking)
+}
+
+/// [`run_campaign`] with an explicit stub-I/O servicing mode (blocking
+/// thread-per-stub vs the readiness-polled pools).
+fn run_campaign_io(
+    dispatch: DispatchMode,
+    isolation: IsolationMode,
+    depth: usize,
+    io: IoMode,
+) -> Residue {
     let topo = Topology::linear(3, 2);
     let mut net = Network::new(&topo);
     let mut rt = LegoSdnRuntime::new(
@@ -50,7 +61,8 @@ fn run_campaign(dispatch: DispatchMode, isolation: IsolationMode, depth: usize) 
         }
         .with_obs(Obs::new())
         .with_dispatch(dispatch)
-        .with_window(depth),
+        .with_window(depth)
+        .with_io(io),
     );
 
     let poison = topo.hosts[topo.hosts.len() - 1].mac;
@@ -203,6 +215,42 @@ fn windowed_dispatch_is_deterministic_across_depths() {
                 ),
                 (win.recoveries, win.byzantine_blocked, win.commands),
                 "{isolation:?} depth {depth}: per-cycle reports diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn polled_transport_preserves_the_dispatch_residue() {
+    // The poller changes only *how* stub frames reach the proxy — a
+    // fixed pool of readiness-polled threads instead of one blocking
+    // thread per stub — never what they say. Every {io mode} × {window
+    // depth} combination must leave the exact residue of the sequential
+    // blocking reference.
+    let reference = run_campaign(DispatchMode::Sequential, IsolationMode::Channel, 1);
+    for io in [IoMode::Blocking, IoMode::Polled { io_threads: 2 }] {
+        for depth in [1usize, 8] {
+            let run = run_campaign_io(DispatchMode::Pipelined, IsolationMode::Channel, depth, io);
+            assert_eq!(
+                reference.flow_tables, run.flow_tables,
+                "{io:?} depth {depth}: flow tables diverge"
+            );
+            assert_eq!(
+                reference.txlog, run.txlog,
+                "{io:?} depth {depth}: NetLog transaction order diverges"
+            );
+            assert_eq!(
+                reference.stats, run.stats,
+                "{io:?} depth {depth}: runtime counters diverge"
+            );
+            assert_eq!(
+                (
+                    reference.recoveries,
+                    reference.byzantine_blocked,
+                    reference.commands
+                ),
+                (run.recoveries, run.byzantine_blocked, run.commands),
+                "{io:?} depth {depth}: per-cycle reports diverge"
             );
         }
     }

@@ -551,19 +551,36 @@ impl Poller {
     /// wakeup/ready-set metrics to `obs`.
     #[must_use]
     pub fn new(io_threads: usize, obs: Obs) -> Poller {
+        Poller::for_worker(io_threads, obs, 0)
+    }
+
+    /// [`Poller::new`] tagged with the runtime worker shard that owns it:
+    /// shard 0 keeps the historical `appvisor-poll-{i}` thread names and
+    /// `w{i}` metric labels; shard *s* > 0 gets `appvisor-poll-w{s}-{i}`
+    /// threads and `w{s}.{i}` labels so per-shard I/O is attributable.
+    #[must_use]
+    pub fn for_worker(io_threads: usize, obs: Obs, shard: usize) -> Poller {
         let stop = Arc::new(AtomicBool::new(false));
         let workers = (0..io_threads.max(1))
             .map(|i| {
                 let waker = PollWaker::new();
                 let inject: Arc<Mutex<Vec<Registration>>> = Arc::new(Mutex::new(Vec::new()));
+                let (thread_name, label) = if shard == 0 {
+                    (format!("appvisor-poll-{i}"), format!("w{i}"))
+                } else {
+                    (
+                        format!("appvisor-poll-w{shard}-{i}"),
+                        format!("w{shard}.{i}"),
+                    )
+                };
                 let thread = {
                     let waker = waker.clone();
                     let inject = inject.clone();
                     let stop = stop.clone();
                     let obs = obs.clone();
                     std::thread::Builder::new()
-                        .name(format!("appvisor-poll-{i}"))
-                        .spawn(move || worker_loop(&waker, &inject, &stop, &obs, i))
+                        .name(thread_name)
+                        .spawn(move || worker_loop(&waker, &inject, &stop, &obs, &label))
                         .expect("spawn poll worker")
                 };
                 Worker {
@@ -620,11 +637,10 @@ fn worker_loop(
     inject: &Arc<Mutex<Vec<Registration>>>,
     stop: &Arc<AtomicBool>,
     obs: &Obs,
-    index: usize,
+    label: &str,
 ) {
-    let label = format!("w{index}");
-    let wakeups = obs.counter("appvisor", "poller_wakeups", &label);
-    let ready_hist = obs.histogram("appvisor", "poller_ready_set", &label);
+    let wakeups = obs.counter("appvisor", "poller_wakeups", label);
+    let ready_hist = obs.histogram("appvisor", "poller_ready_set", label);
     let mut sources: Vec<Registration> = Vec::new();
     loop {
         // Read the generation BEFORE scanning: a send racing the scan

@@ -82,6 +82,11 @@ pub struct ProxyConfig {
     /// Blocking thread-per-stub I/O or the readiness-polled multiplexed
     /// path; see [`IoMode`].
     pub io: IoMode,
+    /// Which runtime worker shard owns this proxy (0 when the runtime is
+    /// unsharded). Tags the polled path's thread names and poller metric
+    /// labels so one shard's I/O is attributable; the proxy's behaviour
+    /// is otherwise identical.
+    pub worker: usize,
 }
 
 impl Default for ProxyConfig {
@@ -92,6 +97,7 @@ impl Default for ProxyConfig {
             heartbeat_timeout: Duration::from_millis(100),
             stub: StubConfig::default(),
             io: IoMode::default(),
+            worker: 0,
         }
     }
 }
@@ -309,9 +315,10 @@ impl AppVisorProxy {
         host.spawn(app, stub_dx, self.config.stub.clone())
             .map_err(ProxyError::Transport)?;
         let obs = self.obs.clone();
+        let worker = self.config.worker;
         let poller = self
             .poller
-            .get_or_insert_with(|| Poller::new(io_threads, obs));
+            .get_or_insert_with(|| Poller::for_worker(io_threads, obs, worker));
         let queue = poller.register(proxy_dx.source);
         let polled = PolledTransport::new(proxy_dx.sink, queue);
         self.register_transport(Box::new(polled), None)
@@ -1594,6 +1601,7 @@ mod tests {
                 report_crashes: true,
             },
             io: IoMode::Polled { io_threads },
+            ..Default::default()
         })
     }
 

@@ -86,23 +86,24 @@ const WAIT: Duration = Duration::from_micros(300); // per-event service wait
 fn make_runtime(dispatch: DispatchMode) -> (LegoSdnRuntime, Network) {
     let topo = Topology::linear(2, 1);
     let net = Network::new(&topo);
-    let mut rt = LegoSdnRuntime::new(
-        LegoSdnConfig {
-            isolation: IsolationMode::Channel,
-            crashpad: CrashPadConfig {
-                checkpoints: CheckpointPolicy {
-                    interval: 64, // keep checkpoint cost out of the timing
-                    history: 2,
-                    ..CheckpointPolicy::default()
-                },
-                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
-                transform_direction: TransformDirection::Decompose,
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+        isolation: IsolationMode::Channel,
+        dispatch: DispatchConfig {
+            mode: dispatch,
+            ..DispatchConfig::default()
+        },
+        obs: ObsConfig::instance(Obs::new()),
+        crashpad: CrashPadConfig {
+            checkpoints: CheckpointPolicy {
+                interval: 64, // keep checkpoint cost out of the timing
+                history: 2,
+                ..CheckpointPolicy::default()
             },
-            ..LegoSdnConfig::default()
-        }
-        .with_obs(Obs::new())
-        .with_dispatch(dispatch),
-    );
+            policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+            transform_direction: TransformDirection::Decompose,
+        },
+        ..LegoSdnConfig::default()
+    });
     for i in 0..N_APPS {
         rt.attach(Box::new(TickWorker::new(i, WAIT))).unwrap();
     }

@@ -90,24 +90,21 @@ const SNAPSHOT_WAIT: Duration = Duration::from_micros(450);
 fn make_runtime(depth: usize, obs: Obs) -> (LegoSdnRuntime, Network, Topology) {
     let topo = Topology::linear(2, 1);
     let net = Network::new(&topo);
-    let mut rt = LegoSdnRuntime::new(
-        LegoSdnConfig {
-            isolation: IsolationMode::Channel,
-            crashpad: CrashPadConfig {
-                checkpoints: CheckpointPolicy {
-                    interval: 1, // pre-event snapshot on every delivery
-                    history: 2,
-                    ..CheckpointPolicy::default()
-                },
-                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
-                transform_direction: TransformDirection::Decompose,
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+        isolation: IsolationMode::Channel,
+        dispatch: DispatchConfig::pipelined().window(depth),
+        obs: ObsConfig::instance(obs),
+        crashpad: CrashPadConfig {
+            checkpoints: CheckpointPolicy {
+                interval: 1, // pre-event snapshot on every delivery
+                history: 2,
+                ..CheckpointPolicy::default()
             },
-            ..LegoSdnConfig::default()
-        }
-        .with_obs(obs)
-        .with_dispatch(DispatchMode::Pipelined)
-        .with_window(depth),
-    );
+            policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+            transform_direction: TransformDirection::Decompose,
+        },
+        ..LegoSdnConfig::default()
+    });
     for i in 0..N_APPS {
         rt.attach(Box::new(PacketWorker::new(i, EVENT_WAIT, SNAPSHOT_WAIT)))
             .unwrap();

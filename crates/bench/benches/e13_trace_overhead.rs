@@ -85,25 +85,21 @@ const OVERHEAD_BUDGET_PCT: f64 = 3.0;
 fn make_runtime(trace_sample: u64, obs: Obs) -> (LegoSdnRuntime, Network, Topology) {
     let topo = Topology::linear(2, 1);
     let net = Network::new(&topo);
-    let mut rt = LegoSdnRuntime::new(
-        LegoSdnConfig {
-            isolation: IsolationMode::Channel,
-            crashpad: CrashPadConfig {
-                checkpoints: CheckpointPolicy {
-                    interval: 1,
-                    history: 2,
-                    ..CheckpointPolicy::default()
-                },
-                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
-                transform_direction: TransformDirection::Decompose,
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+        isolation: IsolationMode::Channel,
+        dispatch: DispatchConfig::pipelined().window(DEPTH),
+        obs: ObsConfig::instance(obs).trace_sample(trace_sample),
+        crashpad: CrashPadConfig {
+            checkpoints: CheckpointPolicy {
+                interval: 1,
+                history: 2,
+                ..CheckpointPolicy::default()
             },
-            ..LegoSdnConfig::default()
-        }
-        .with_obs(obs)
-        .with_dispatch(DispatchMode::Pipelined)
-        .with_window(DEPTH)
-        .with_trace_sample(trace_sample),
-    );
+            policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+            transform_direction: TransformDirection::Decompose,
+        },
+        ..LegoSdnConfig::default()
+    });
     for i in 0..N_APPS {
         rt.attach(Box::new(PacketWorker::new(i, EVENT_WAIT, SNAPSHOT_WAIT)))
             .unwrap();

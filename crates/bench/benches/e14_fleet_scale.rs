@@ -63,6 +63,7 @@ fn fleet_proxy(io: IoMode, obs: Obs) -> AppVisorProxy {
             report_crashes: true,
         },
         io,
+        ..ProxyConfig::default()
     });
     proxy.set_obs(obs);
     proxy
@@ -177,25 +178,25 @@ impl SdnApp for PacketWorker {
 fn make_runtime(io: IoMode) -> (LegoSdnRuntime, Network, Topology) {
     let topo = Topology::linear(2, 1);
     let net = Network::new(&topo);
-    let mut rt = LegoSdnRuntime::new(
-        LegoSdnConfig {
-            isolation: IsolationMode::Channel,
-            crashpad: CrashPadConfig {
-                checkpoints: CheckpointPolicy {
-                    interval: 1,
-                    history: 2,
-                    ..CheckpointPolicy::default()
-                },
-                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
-                transform_direction: TransformDirection::Decompose,
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+        isolation: IsolationMode::Channel,
+        dispatch: DispatchConfig::pipelined().window(BURST),
+        io: IoConfig {
+            mode: io,
+            ..IoConfig::default()
+        },
+        obs: ObsConfig::instance(Obs::new()),
+        crashpad: CrashPadConfig {
+            checkpoints: CheckpointPolicy {
+                interval: 1,
+                history: 2,
+                ..CheckpointPolicy::default()
             },
-            ..LegoSdnConfig::default()
-        }
-        .with_obs(Obs::new())
-        .with_dispatch(DispatchMode::Pipelined)
-        .with_window(BURST)
-        .with_io(io),
-    );
+            policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+            transform_direction: TransformDirection::Decompose,
+        },
+        ..LegoSdnConfig::default()
+    });
     for i in 0..N_APPS {
         rt.attach(Box::new(PacketWorker::new(i))).unwrap();
     }

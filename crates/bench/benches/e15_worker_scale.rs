@@ -1,0 +1,356 @@
+//! E15 — multi-worker sharded dispatch vs the single-worker window (PR 8
+//! tentpole).
+//!
+//! Sixteen local-sandbox apps each pay a fixed service wait per event
+//! (an external lookup) and per snapshot (a table serialized behind a
+//! lock). Local sandboxes execute *inline on the worker thread*, so with
+//! one worker a 12-event burst pays all 16 × 12 waits serially — the
+//! window overlaps only isolated stubs' processing, not local apps'.
+//! Sharding the roster across N workers runs N of those inline chains
+//! concurrently; each app writes its own switch, so every commit takes
+//! the barrier's provably-disjoint fastpath and no worker ever waits for
+//! commit order. Results land in `BENCH_8.json`, together with a re-run
+//! of the E12 workload at one worker, which must reproduce the PR 5
+//! depth8/depth1 ratio (the single-worker regression guard).
+//!
+//! Costs are fixed service waits rather than CPU burn, for the same
+//! reason as E11/E12: waits overlap regardless of host core count, so
+//! the bench measures the dispatch design, not the machine.
+
+use legosdn::controller::app::RestoreError;
+use legosdn::crashpad::{CheckpointPolicy, CrashPadConfig, PolicyTable, TransformDirection};
+use legosdn::prelude::*;
+use legosdn_bench::harness::{criterion_group, Criterion};
+use legosdn_bench::print_table;
+use std::time::{Duration, Instant};
+
+/// A PacketIn-subscribed local app with fixed event/snapshot service
+/// waits that installs one uniquely-tagged flow on ITS OWN switch per
+/// event — disjoint write sets across the roster, so sharded commits
+/// stay on the barrier fastpath.
+struct ShardWorker {
+    name: String,
+    dpid: DatapathId,
+    tag: u64,
+    count: u64,
+    event_wait: Duration,
+    snapshot_wait: Duration,
+}
+
+impl ShardWorker {
+    fn new(id: usize, switches: usize, event_wait: Duration, snapshot_wait: Duration) -> Self {
+        ShardWorker {
+            name: format!("shard-worker-{id}"),
+            dpid: DatapathId((id % switches) as u64 + 1),
+            tag: id as u64,
+            count: 0,
+            event_wait,
+            snapshot_wait,
+        }
+    }
+}
+
+impl SdnApp for ShardWorker {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn subscriptions(&self) -> Vec<EventKind> {
+        vec![EventKind::PacketIn]
+    }
+
+    fn on_event(&mut self, event: &Event, ctx: &mut Ctx<'_>) {
+        std::thread::sleep(self.event_wait);
+        if let Event::PacketIn(_, pi) = event {
+            let mut mat = Match::from_packet(&pi.packet, pi.in_port);
+            // Unique per (app, delivery): no install ever shadows another.
+            mat.eth_src = Some(MacAddr::from_index(
+                50_000 + self.tag * 100_000 + self.count,
+            ));
+            self.count += 1;
+            ctx.send(self.dpid, Message::FlowMod(FlowMod::add(mat)));
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        std::thread::sleep(self.snapshot_wait);
+        self.count.to_le_bytes().to_vec()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
+        let arr: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| RestoreError("bad snapshot".into()))?;
+        self.count = u64::from_le_bytes(arr);
+        Ok(())
+    }
+}
+
+const N_APPS: usize = 16;
+const SWITCHES: usize = 16; // one contention-free switch per app
+const BURST: usize = 12; // packet-ins injected per cycle
+const EVENT_WAIT: Duration = Duration::from_micros(400);
+const SNAPSHOT_WAIT: Duration = Duration::from_micros(300);
+
+fn make_runtime(workers: usize, obs: Obs) -> (LegoSdnRuntime, Network, Topology) {
+    let topo = Topology::linear(SWITCHES, 1);
+    let net = Network::new(&topo);
+    let mut rt = LegoSdnRuntime::new(
+        LegoSdnConfig {
+            isolation: IsolationMode::Local,
+            dispatch: DispatchConfig::pipelined().window(BURST).workers(workers),
+            obs: ObsConfig::instance(obs).trace_sample(0),
+            crashpad: CrashPadConfig {
+                checkpoints: CheckpointPolicy {
+                    interval: 1, // pre-event snapshot on every delivery
+                    history: 2,
+                    ..CheckpointPolicy::default()
+                },
+                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+                transform_direction: TransformDirection::Decompose,
+            },
+            // No invariant checker: commit-time effects equal the declared
+            // write set, so the disjoint fastpath stays available.
+            checker: None,
+            ..LegoSdnConfig::default()
+        }
+        .build()
+        .expect("valid bench config"),
+    );
+    for i in 0..N_APPS {
+        rt.attach(Box::new(ShardWorker::new(
+            i,
+            SWITCHES,
+            EVENT_WAIT,
+            SNAPSHOT_WAIT,
+        )))
+        .unwrap();
+    }
+    (rt, net, topo)
+}
+
+fn inject_burst(net: &mut Network, topo: &Topology) {
+    let a = topo.hosts[0].mac;
+    for i in 0..BURST as u64 {
+        let dst = MacAddr::from_index(900 + i);
+        net.inject(a, Packet::ethernet(a, dst)).unwrap();
+    }
+}
+
+/// Mean microseconds per burst cycle over `n` cycles.
+fn time_bursts(rt: &mut LegoSdnRuntime, net: &mut Network, topo: &Topology, n: u32) -> f64 {
+    for _ in 0..3 {
+        inject_burst(net, topo);
+        rt.run_cycle(net); // warm up caches and checkpoint stores
+    }
+    let start = Instant::now();
+    for _ in 0..n {
+        inject_burst(net, topo);
+        rt.run_cycle(net);
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(n)
+}
+
+/// The E12 workload (4 isolated stub apps, 8-event bursts, interval-1
+/// checkpoints, 300/450 µs waits) at one worker: the sharded runtime
+/// must not tax the single-worker window it replaced. Returns the
+/// depth8/depth1 speedup for comparison against PR 5's recorded ratio.
+mod e12_guard {
+    use super::*;
+
+    struct PacketWorker {
+        name: String,
+        acc: u64,
+    }
+
+    impl SdnApp for PacketWorker {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn subscriptions(&self) -> Vec<EventKind> {
+            vec![EventKind::PacketIn]
+        }
+
+        fn on_event(&mut self, _event: &Event, _ctx: &mut Ctx<'_>) {
+            std::thread::sleep(Duration::from_micros(300));
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.acc.wrapping_add(1);
+            for i in 0..256u32 {
+                h ^= u64::from(i);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            self.acc = h;
+        }
+
+        fn snapshot(&self) -> Vec<u8> {
+            std::thread::sleep(Duration::from_micros(450));
+            self.acc.to_le_bytes().to_vec()
+        }
+
+        fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
+            let arr: [u8; 8] = bytes
+                .try_into()
+                .map_err(|_| RestoreError("bad snapshot".into()))?;
+            self.acc = u64::from_le_bytes(arr);
+            Ok(())
+        }
+    }
+
+    fn runtime(depth: usize) -> (LegoSdnRuntime, Network, Topology) {
+        let topo = Topology::linear(2, 1);
+        let net = Network::new(&topo);
+        let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+            isolation: IsolationMode::Channel,
+            dispatch: DispatchConfig::pipelined().window(depth).workers(1),
+            obs: ObsConfig::instance(Obs::new()),
+            crashpad: CrashPadConfig {
+                checkpoints: CheckpointPolicy {
+                    interval: 1,
+                    history: 2,
+                    ..CheckpointPolicy::default()
+                },
+                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+                transform_direction: TransformDirection::Decompose,
+            },
+            ..LegoSdnConfig::default()
+        });
+        for i in 0..4 {
+            rt.attach(Box::new(PacketWorker {
+                name: format!("packet-worker-{i}"),
+                acc: 0,
+            }))
+            .unwrap();
+        }
+        (rt, net, topo)
+    }
+
+    fn inject(net: &mut Network, topo: &Topology) {
+        let a = topo.hosts[0].mac;
+        for i in 0..8u64 {
+            net.inject(a, Packet::ethernet(a, MacAddr::from_index(40 + i)))
+                .unwrap();
+        }
+    }
+
+    fn time(depth: usize, n: u32) -> f64 {
+        let (mut rt, mut net, topo) = runtime(depth);
+        for _ in 0..3 {
+            inject(&mut net, &topo);
+            rt.run_cycle(&mut net);
+        }
+        let start = Instant::now();
+        for _ in 0..n {
+            inject(&mut net, &topo);
+            rt.run_cycle(&mut net);
+        }
+        let us = start.elapsed().as_secs_f64() * 1e6 / f64::from(n);
+        rt.shutdown();
+        us
+    }
+
+    pub fn depth_ratio() -> (f64, f64, f64) {
+        let n = 40u32;
+        let d1 = time(1, n);
+        let d8 = time(8, n);
+        (d1, d8, d1 / d8)
+    }
+}
+
+fn summary() {
+    let n = 20u32;
+    let dispatches_per_cycle = (N_APPS * BURST) as f64;
+    let mut rows = Vec::new();
+    let mut us = Vec::new();
+    let mut obs4 = Obs::new();
+    for &workers in &[1usize, 2, 4] {
+        let obs = Obs::new();
+        let (mut rt, mut net, topo) = make_runtime(workers, obs.clone());
+        let cycle_us = time_bursts(&mut rt, &mut net, &topo, n);
+        rt.shutdown();
+        if workers == 4 {
+            obs4 = obs;
+        }
+        us.push((workers, cycle_us));
+        rows.push(vec![
+            workers.to_string(),
+            format!("{cycle_us:.1}"),
+            format!("{:.0}", dispatches_per_cycle * 1e6 / cycle_us),
+            format!("{:.2}", us[0].1 / cycle_us),
+        ]);
+    }
+    let speedup4 = us[0].1 / us[2].1;
+    print_table(
+        &format!(
+            "E15: {N_APPS} local apps x {BURST}-event bursts, interval-1 \
+             checkpoints, disjoint switches"
+        ),
+        &["workers", "mean us/cycle", "dispatches/s", "speedup"],
+        &rows,
+    );
+
+    let (e12_d1, e12_d8, e12_ratio) = e12_guard::depth_ratio();
+    print_table(
+        "E15 regression guard: E12 workload at one worker",
+        &["window depth", "mean us/cycle", "speedup"],
+        &[
+            vec!["1".into(), format!("{e12_d1:.1}"), "1.00".into()],
+            vec![
+                "8".into(),
+                format!("{e12_d8:.1}"),
+                format!("{e12_ratio:.2}"),
+            ],
+        ],
+    );
+
+    // The exhibit record: per-worker-count numbers with the 4-worker obs
+    // snapshot (worker gauges, per-worker window spans, barrier fastpath/
+    // ordered/elided counters) embedded verbatim, plus the E12 guard.
+    let obs_json = obs4.json_snapshot();
+    let json = format!(
+        "{{\n  \"exhibit\": \"worker_scale\",\n  \"apps\": {N_APPS},\n  \
+         \"burst\": {BURST},\n  \"switches\": {SWITCHES},\n  \
+         \"isolation\": \"local\",\n  \"checkpoint_interval\": 1,\n  \
+         \"cycles\": {n},\n  \
+         \"workers1_us_per_cycle\": {:.1},\n  \
+         \"workers2_us_per_cycle\": {:.1},\n  \
+         \"workers4_us_per_cycle\": {:.1},\n  \
+         \"speedup_4_workers\": {speedup4:.2},\n  \
+         \"e12_depth1_us_per_cycle\": {e12_d1:.1},\n  \
+         \"e12_depth8_us_per_cycle\": {e12_d8:.1},\n  \
+         \"e12_speedup_workers1\": {e12_ratio:.2},\n  \
+         \"obs\": {obs_json}\n}}\n",
+        us[0].1, us[1].1, us[2].1,
+    );
+    match std::fs::write("BENCH_8.json", &json) {
+        Ok(()) => eprintln!(
+            "wrote BENCH_8.json (4-worker speedup {speedup4:.2}x, e12 guard {e12_ratio:.2}x)"
+        ),
+        Err(e) => eprintln!("could not write BENCH_8.json: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_worker_scale");
+    g.sample_size(10);
+    for &workers in &[1usize, 4] {
+        let (mut rt, mut net, topo) = make_runtime(workers, Obs::new());
+        g.bench_function(format!("workers{workers}_burst"), |b| {
+            b.iter(|| {
+                inject_burst(&mut net, &topo);
+                rt.run_cycle(&mut net)
+            })
+        });
+        rt.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    summary();
+    benches();
+    legosdn_bench::harness::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

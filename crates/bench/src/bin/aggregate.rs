@@ -19,7 +19,6 @@
 //! rewind on the restarted aggregator's low ack, so no campaign data that
 //! their journal rings still hold is lost.
 
-use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,10 +26,10 @@ use legosdn::obs::{
     AggregateConfig, Aggregator, ObsServer, RollupConfig, DEFAULT_JOURNAL_CAPACITY,
     DEFAULT_TRACE_CAPACITY,
 };
+use legosdn_bench::args::{parse_or_exit, ArgWalker, EndpointArgs};
 
 struct AggregateArgs {
-    addr: SocketAddr,
-    addr_file: Option<String>,
+    endpoint: EndpointArgs,
     liveness: Duration,
     journal_capacity: usize,
     trace_capacity: usize,
@@ -44,8 +43,7 @@ impl Default for AggregateArgs {
     fn default() -> Self {
         let rollup = RollupConfig::default();
         AggregateArgs {
-            addr: SocketAddr::from(([127, 0, 0, 1], 9200)),
-            addr_file: None,
+            endpoint: EndpointArgs::on_port(9200),
             liveness: Duration::from_secs(5),
             journal_capacity: DEFAULT_JOURNAL_CAPACITY,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
@@ -68,48 +66,18 @@ forever.";
 
 fn parse_args(args: &[String]) -> Result<AggregateArgs, String> {
     let mut cfg = AggregateArgs::default();
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
+    let mut it = ArgWalker::new(args);
+    while let Some(flag) = it.next_flag() {
+        if cfg.endpoint.try_flag(&flag, &mut it)? {
+            continue;
+        }
         match flag.as_str() {
-            "--addr" => cfg.addr = value()?.parse().map_err(|e| format!("--addr: {e}"))?,
-            "--addr-file" => cfg.addr_file = Some(value()?),
-            "--liveness-ms" => {
-                cfg.liveness = Duration::from_millis(
-                    value()?
-                        .parse()
-                        .map_err(|e| format!("--liveness-ms: {e}"))?,
-                )
-            }
-            "--journal-capacity" => {
-                cfg.journal_capacity = value()?
-                    .parse()
-                    .map_err(|e| format!("--journal-capacity: {e}"))?
-            }
-            "--trace-capacity" => {
-                cfg.trace_capacity = value()?
-                    .parse()
-                    .map_err(|e| format!("--trace-capacity: {e}"))?
-            }
-            "--rollup-secs" => {
-                cfg.rollup_secs = value()?
-                    .parse()
-                    .map_err(|e| format!("--rollup-secs: {e}"))?
-            }
-            "--rollup-retain" => {
-                cfg.rollup_retain = value()?
-                    .parse()
-                    .map_err(|e| format!("--rollup-retain: {e}"))?
-            }
-            "--max-seconds" => {
-                cfg.max_seconds = value()?
-                    .parse()
-                    .map_err(|e| format!("--max-seconds: {e}"))?
-            }
+            "--liveness-ms" => cfg.liveness = Duration::from_millis(it.parsed()?),
+            "--journal-capacity" => cfg.journal_capacity = it.parsed()?,
+            "--trace-capacity" => cfg.trace_capacity = it.parsed()?,
+            "--rollup-secs" => cfg.rollup_secs = it.parsed()?,
+            "--rollup-retain" => cfg.rollup_retain = it.parsed()?,
+            "--max-seconds" => cfg.max_seconds = it.parsed()?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -118,17 +86,7 @@ fn parse_args(args: &[String]) -> Result<AggregateArgs, String> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg = match parse_args(&args) {
-        Ok(cfg) => cfg,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}\n");
-            }
-            eprintln!("{USAGE}");
-            std::process::exit(if msg.is_empty() { 0 } else { 2 });
-        }
-    };
+    let cfg = parse_or_exit(USAGE, parse_args);
 
     let aggregator = Arc::new(Aggregator::new(AggregateConfig {
         liveness_window: cfg.liveness,
@@ -140,15 +98,18 @@ fn main() {
         },
     }));
     let server = ObsServer::builder()
-        .addr(cfg.addr)
+        .addr(cfg.endpoint.addr)
         .close_grace(Duration::from_secs(1))
         .start_with(aggregator.clone(), aggregator.obs())
         .unwrap_or_else(|e| {
-            eprintln!("error: cannot bind aggregator on {}: {e}", cfg.addr);
+            eprintln!(
+                "error: cannot bind aggregator on {}: {e}",
+                cfg.endpoint.addr
+            );
             std::process::exit(1);
         });
     let addr = server.local_addr();
-    if let Some(path) = &cfg.addr_file {
+    if let Some(path) = &cfg.endpoint.addr_file {
         if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
             eprintln!("error: cannot write --addr-file {path}: {e}");
             std::process::exit(1);

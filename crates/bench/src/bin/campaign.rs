@@ -26,10 +26,10 @@ use std::time::Duration;
 
 use legosdn::crashpad::{CheckpointPolicy, CrashPadConfig, PolicyTable, TransformDirection};
 use legosdn::prelude::*;
+use legosdn_bench::args::{parse_or_exit, ArgWalker, DispatchArgs, EndpointArgs, IoArgs};
 
 struct CampaignConfig {
-    addr: SocketAddr,
-    addr_file: Option<String>,
+    endpoint: EndpointArgs,
     rounds: u64,
     switches: usize,
     hosts_per_switch: usize,
@@ -38,18 +38,16 @@ struct CampaignConfig {
     period: Duration,
     push_to: Option<SocketAddr>,
     campaign: String,
-    dispatch: DispatchMode,
-    window: usize,
+    dispatch: DispatchArgs,
     isolation: IsolationMode,
-    io: IoMode,
+    io: IoArgs,
     trace_sample: u64,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
-            addr: SocketAddr::from(([127, 0, 0, 1], 9184)),
-            addr_file: None,
+            endpoint: EndpointArgs::on_port(9184),
             rounds: 0,
             switches: 3,
             hosts_per_switch: 1,
@@ -58,10 +56,9 @@ impl Default for CampaignConfig {
             period: Duration::from_millis(20),
             push_to: None,
             campaign: "campaign".to_string(),
-            dispatch: DispatchMode::default(),
-            window: 1,
+            dispatch: DispatchArgs::default(),
             isolation: IsolationMode::Local,
-            io: IoMode::default(),
+            io: IoArgs::default(),
             trace_sample: 1,
         }
     }
@@ -72,7 +69,7 @@ const USAGE: &str = "usage: campaign [--addr HOST:PORT] [--addr-file PATH] \
 [--switches N] [--hosts N] [--policy absolute|no-compromise|equivalence] \
 [--faults crash,blackhole,loop,flush] [--period-ms MS] \
 [--push-to HOST:PORT] [--campaign NAME] \
-[--dispatch sequential|pipelined] [--window DEPTH] \
+[--dispatch sequential|pipelined] [--window DEPTH] [--workers N] \
 [--isolation local|channel|udp|tcp] \
 [--transport blocking|polled] [--io-threads N] [--trace-sample N]\n\
 --rounds 0 (default) serves forever. --addr 127.0.0.1:0 picks an \
@@ -81,6 +78,9 @@ to a fleet aggregator under the --campaign name. --dispatch pipelined \
 (the default) fans events out to isolated apps concurrently; --window \
 DEPTH keeps up to DEPTH events of a cycle in flight on each stub's \
 stream (default 1; same network state either way, see DESIGN.md). \
+--workers N shards the apps across N worker threads, each running its \
+own window machinery; commits stay in the sequential order through the \
+shared commit barrier (default 1; sharded runs disable event tracing). \
 --transport polled services every stub channel from a fixed pool of \
 poll threads instead of one blocking thread per stub; --io-threads N \
 sizes that pool (default 4; only meaningful with isolated modes). \
@@ -100,31 +100,30 @@ fn parse_fault(s: &str) -> Result<BugEffect, String> {
 
 fn parse_args(args: &[String]) -> Result<CampaignConfig, String> {
     let mut cfg = CampaignConfig::default();
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
+    let mut it = ArgWalker::new(args);
+    while let Some(flag) = it.next_flag() {
+        if cfg.endpoint.try_flag(&flag, &mut it)?
+            || cfg.dispatch.try_flag(&flag, &mut it)?
+            || cfg.io.try_flag(&flag, &mut it)?
+        {
+            continue;
+        }
         match flag.as_str() {
-            "--addr" => cfg.addr = value()?.parse().map_err(|e| format!("--addr: {e}"))?,
-            "--addr-file" => cfg.addr_file = Some(value()?),
-            "--rounds" => cfg.rounds = value()?.parse().map_err(|e| format!("--rounds: {e}"))?,
+            "--rounds" => cfg.rounds = it.parsed()?,
             "--switches" => {
-                cfg.switches = value()?.parse().map_err(|e| format!("--switches: {e}"))?;
+                cfg.switches = it.parsed()?;
                 if cfg.switches < 2 {
                     return Err("--switches must be at least 2".into());
                 }
             }
             "--hosts" => {
-                cfg.hosts_per_switch = value()?.parse().map_err(|e| format!("--hosts: {e}"))?;
+                cfg.hosts_per_switch = it.parsed()?;
                 if cfg.hosts_per_switch == 0 {
                     return Err("--hosts must be at least 1".into());
                 }
             }
             "--policy" => {
-                cfg.policy = match value()?.as_str() {
+                cfg.policy = match it.value()?.as_str() {
                     "absolute" => CompromisePolicy::Absolute,
                     "no-compromise" => CompromisePolicy::NoCompromise,
                     "equivalence" => CompromisePolicy::Equivalence,
@@ -132,7 +131,8 @@ fn parse_args(args: &[String]) -> Result<CampaignConfig, String> {
                 }
             }
             "--faults" => {
-                cfg.faults = value()?
+                cfg.faults = it
+                    .value()?
                     .split(',')
                     .map(parse_fault)
                     .collect::<Result<_, _>>()?;
@@ -140,56 +140,20 @@ fn parse_args(args: &[String]) -> Result<CampaignConfig, String> {
                     return Err("--faults needs at least one kind".into());
                 }
             }
-            "--period-ms" => {
-                cfg.period = Duration::from_millis(
-                    value()?.parse().map_err(|e| format!("--period-ms: {e}"))?,
-                )
-            }
-            "--push-to" => {
-                cfg.push_to = Some(value()?.parse().map_err(|e| format!("--push-to: {e}"))?)
-            }
+            "--period-ms" => cfg.period = Duration::from_millis(it.parsed()?),
+            "--push-to" => cfg.push_to = Some(it.parsed()?),
             "--campaign" => {
-                cfg.campaign = value()?;
+                cfg.campaign = it.value()?;
                 if cfg.campaign.is_empty() || cfg.campaign == legosdn::obs::FLEET {
                     return Err("--campaign must be a non-reserved, non-empty name".into());
                 }
             }
-            "--dispatch" => {
-                let v = value()?;
-                cfg.dispatch =
-                    DispatchMode::parse(&v).ok_or_else(|| format!("unknown dispatch mode: {v}"))?;
-            }
-            "--window" => {
-                cfg.window = value()?.parse().map_err(|e| format!("--window: {e}"))?;
-                if cfg.window == 0 {
-                    return Err("--window must be at least 1".into());
-                }
-            }
             "--isolation" => {
-                cfg.isolation = match value()?.as_str() {
-                    "local" => IsolationMode::Local,
-                    "channel" => IsolationMode::Channel,
-                    "udp" => IsolationMode::Udp,
-                    "tcp" => IsolationMode::Tcp,
-                    other => return Err(format!("unknown isolation mode: {other}")),
-                }
+                let v = it.value()?;
+                cfg.isolation = IsolationMode::parse(&v)
+                    .ok_or_else(|| format!("unknown isolation mode: {v}"))?;
             }
-            "--transport" => {
-                let v = value()?;
-                cfg.io = IoMode::parse(&v).ok_or_else(|| format!("unknown transport mode: {v}"))?;
-            }
-            "--io-threads" => {
-                let n: usize = value()?.parse().map_err(|e| format!("--io-threads: {e}"))?;
-                if n == 0 {
-                    return Err("--io-threads must be at least 1".into());
-                }
-                cfg.io = IoMode::Polled { io_threads: n };
-            }
-            "--trace-sample" => {
-                cfg.trace_sample = value()?
-                    .parse()
-                    .map_err(|e| format!("--trace-sample: {e}"))?
-            }
+            "--trace-sample" => cfg.trace_sample = it.parsed()?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -221,17 +185,7 @@ fn attach_roster(rt: &mut LegoSdnRuntime, faults: &[BugEffect], poison: MacAddr)
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg = match parse_args(&args) {
-        Ok(cfg) => cfg,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}\n");
-            }
-            eprintln!("{USAGE}");
-            std::process::exit(if msg.is_empty() { 0 } else { 2 });
-        }
-    };
+    let cfg = parse_or_exit(USAGE, parse_args);
 
     // Injected crashes are contained by design; silence their backtraces so
     // the daemon's stderr stays a readable status stream.
@@ -242,30 +196,32 @@ fn main() {
     // A private obs instance, wired at construction: the endpoint serves
     // exactly this campaign, not whatever else the process global may
     // have accumulated.
-    let mut rt = LegoSdnRuntime::new(
-        LegoSdnConfig {
-            isolation: cfg.isolation,
-            dispatch: cfg.dispatch,
-            crashpad: CrashPadConfig {
-                checkpoints: CheckpointPolicy {
-                    interval: 2,
-                    history: 8,
-                    ..CheckpointPolicy::default()
-                },
-                policies: PolicyTable::with_default(cfg.policy),
-                transform_direction: TransformDirection::Decompose,
+    let config = LegoSdnConfig {
+        isolation: cfg.isolation,
+        dispatch: cfg.dispatch.config(),
+        io: cfg.io.config(),
+        obs: ObsConfig::instance(Obs::new()).trace_sample(cfg.trace_sample),
+        crashpad: CrashPadConfig {
+            checkpoints: CheckpointPolicy {
+                interval: 2,
+                history: 8,
+                ..CheckpointPolicy::default()
             },
-            checker: Some(Checker::new(vec![
-                Invariant::NoBlackHoles,
-                Invariant::NoLoops,
-            ])),
-            ..LegoSdnConfig::default()
-        }
-        .with_window(cfg.window)
-        .with_io(cfg.io)
-        .with_trace_sample(cfg.trace_sample)
-        .with_obs(Obs::new()),
-    );
+            policies: PolicyTable::with_default(cfg.policy),
+            transform_direction: TransformDirection::Decompose,
+        },
+        checker: Some(Checker::new(vec![
+            Invariant::NoBlackHoles,
+            Invariant::NoLoops,
+        ])),
+        ..LegoSdnConfig::default()
+    }
+    .build()
+    .unwrap_or_else(|e| {
+        eprintln!("error: invalid config: {e}");
+        std::process::exit(2);
+    });
+    let mut rt = LegoSdnRuntime::new(config);
     let obs = rt.obs();
 
     let poison = topo.hosts[topo.hosts.len() - 1].mac;
@@ -275,15 +231,18 @@ fn main() {
     let server = ObsServer::start(
         obs.clone(),
         ServeConfig {
-            addr: cfg.addr,
+            addr: cfg.endpoint.addr,
             ..ServeConfig::default()
         },
     )
     .unwrap_or_else(|e| {
-        eprintln!("error: cannot bind ops endpoint on {}: {e}", cfg.addr);
+        eprintln!(
+            "error: cannot bind ops endpoint on {}: {e}",
+            cfg.endpoint.addr
+        );
         std::process::exit(1);
     });
-    if let Some(path) = &cfg.addr_file {
+    if let Some(path) = &cfg.endpoint.addr_file {
         if let Err(e) = std::fs::write(path, format!("{}\n", server.local_addr())) {
             eprintln!("error: cannot write --addr-file {path}: {e}");
             std::process::exit(1);
@@ -292,15 +251,16 @@ fn main() {
     eprintln!(
         "campaign: serving /metrics /metrics.json /incidents /traces /rollups /healthz on http://{} \
          ({} switches, policy {}, {} fault app(s), {:?}/{:?} dispatch, \
-         window {}, {:?} io, {})",
+         window {}, {} worker(s), {:?} io, {})",
         server.local_addr(),
         cfg.switches,
         cfg.policy,
         cfg.faults.len(),
-        cfg.dispatch,
+        cfg.dispatch.mode,
         cfg.isolation,
-        cfg.window,
-        cfg.io,
+        cfg.dispatch.window,
+        cfg.dispatch.workers,
+        cfg.io.mode,
         if cfg.rounds == 0 {
             "until killed".to_string()
         } else {

@@ -25,12 +25,13 @@ use legosdn::controller::event::Event;
 use legosdn::controller::services::{DeviceView, TopologyView};
 use legosdn::netsim::SimTime;
 use legosdn::openflow::DatapathId;
+use legosdn_bench::args::{parse_or_exit, ArgWalker, IoArgs};
 use legosdn_bench::print_table;
 
 struct FleetConfig {
     apps: usize,
     rounds: u64,
-    io: IoMode,
+    io: IoArgs,
     max_threads: Option<usize>,
 }
 
@@ -39,7 +40,9 @@ impl Default for FleetConfig {
         FleetConfig {
             apps: 1000,
             rounds: 3,
-            io: IoMode::Polled { io_threads: 4 },
+            io: IoArgs {
+                mode: IoMode::Polled { io_threads: 4 },
+            },
             max_threads: None,
         }
     }
@@ -56,44 +59,25 @@ threads than N.";
 
 fn parse_args(args: &[String]) -> Result<FleetConfig, String> {
     let mut cfg = FleetConfig::default();
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
+    let mut it = ArgWalker::new(args);
+    while let Some(flag) = it.next_flag() {
+        if cfg.io.try_flag(&flag, &mut it)? {
+            continue;
+        }
         match flag.as_str() {
             "--apps" => {
-                cfg.apps = value()?.parse().map_err(|e| format!("--apps: {e}"))?;
+                cfg.apps = it.parsed()?;
                 if cfg.apps == 0 {
                     return Err("--apps must be at least 1".into());
                 }
             }
             "--rounds" => {
-                cfg.rounds = value()?.parse().map_err(|e| format!("--rounds: {e}"))?;
+                cfg.rounds = it.parsed()?;
                 if cfg.rounds == 0 {
                     return Err("--rounds must be at least 1".into());
                 }
             }
-            "--transport" => {
-                let v = value()?;
-                cfg.io = IoMode::parse(&v).ok_or_else(|| format!("unknown transport mode: {v}"))?;
-            }
-            "--io-threads" => {
-                let n: usize = value()?.parse().map_err(|e| format!("--io-threads: {e}"))?;
-                if n == 0 {
-                    return Err("--io-threads must be at least 1".into());
-                }
-                cfg.io = IoMode::Polled { io_threads: n };
-            }
-            "--max-threads" => {
-                cfg.max_threads = Some(
-                    value()?
-                        .parse()
-                        .map_err(|e| format!("--max-threads: {e}"))?,
-                )
-            }
+            "--max-threads" => cfg.max_threads = Some(it.parsed()?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -116,17 +100,7 @@ fn thread_count() -> usize {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg = match parse_args(&args) {
-        Ok(cfg) => cfg,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}\n");
-            }
-            eprintln!("{USAGE}");
-            std::process::exit(if msg.is_empty() { 0 } else { 2 });
-        }
-    };
+    let cfg = parse_or_exit(USAGE, parse_args);
 
     let baseline_threads = thread_count();
     let mut proxy = AppVisorProxy::new(ProxyConfig {
@@ -142,7 +116,8 @@ fn main() {
             heartbeat_period: Duration::from_secs(5),
             report_crashes: true,
         },
-        io: cfg.io,
+        io: cfg.io.mode,
+        ..Default::default()
     });
 
     let launch_start = Instant::now();
@@ -191,7 +166,7 @@ fn main() {
     print_table(
         &format!(
             "fleet: {} apps x {} rounds, {:?} io",
-            cfg.apps, cfg.rounds, cfg.io
+            cfg.apps, cfg.rounds, cfg.io.mode
         ),
         &["metric", "value"],
         &[

@@ -2,6 +2,7 @@
 //! benches (DESIGN.md §4). Each `benches/eN_*.rs` target regenerates one
 //! paper exhibit/claim; this crate keeps their scenarios identical.
 
+pub mod args;
 pub mod harness;
 pub mod workloads;
 

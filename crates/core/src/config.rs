@@ -1,10 +1,35 @@
 //! LegoSDN runtime configuration.
+//!
+//! The configuration is sectioned: [`DispatchConfig`] (strategy, window,
+//! worker shards), [`IoConfig`] (stub transport servicing + proxy
+//! tuning), and [`ObsConfig`] (observability instance + trace sampling).
+//! Build one with struct update syntax plus the section constructors,
+//! then validate it with [`LegoSdnConfig::build`]:
+//!
+//! ```
+//! use legosdn::config::{DispatchConfig, IoConfig, LegoSdnConfig};
+//!
+//! let cfg = LegoSdnConfig {
+//!     dispatch: DispatchConfig::pipelined().window(8).workers(4),
+//!     io: IoConfig::polled(2),
+//!     ..LegoSdnConfig::default()
+//! }
+//! .build()
+//! .expect("valid config");
+//! assert_eq!(cfg.dispatch.workers, 4);
+//! ```
+//!
+//! `build()` rejects nonsense up front — window depth 0, zero I/O
+//! threads, zero workers, a trace sample with observability disabled —
+//! instead of panicking or silently clamping at use sites. The old flat
+//! `with_*` builders survive as `#[deprecated]` shims for one release.
 
 use legosdn_appvisor::{IoMode, ProxyConfig};
 use legosdn_crashpad::CrashPadConfig;
 use legosdn_invariants::Checker;
 use legosdn_netlog::TxMode;
 use legosdn_obs::Obs;
+use std::fmt;
 
 /// Where each application's fault domain lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,6 +45,19 @@ pub enum IsolationMode {
     /// AppVisor stub on its own thread, RPC over TCP loopback with length
     /// framing (the reliable-stream alternative).
     Tcp,
+}
+
+impl IsolationMode {
+    /// Parse a CLI-style name (`local` | `channel` | `udp` | `tcp`).
+    pub fn parse(s: &str) -> Option<IsolationMode> {
+        match s {
+            "local" => Some(IsolationMode::Local),
+            "channel" => Some(IsolationMode::Channel),
+            "udp" => Some(IsolationMode::Udp),
+            "tcp" => Some(IsolationMode::Tcp),
+            _ => None,
+        }
+    }
 }
 
 /// How `dispatch_event` moves one event through the app roster.
@@ -74,7 +112,9 @@ impl Default for DispatchWindow {
 }
 
 impl DispatchWindow {
-    /// A window of the given depth (clamped to at least 1).
+    /// A window of the given depth (clamped to at least 1; the sectioned
+    /// [`DispatchConfig::window`] setter instead leaves invalid depths
+    /// for [`LegoSdnConfig::build`] to reject).
     #[must_use]
     pub fn new(depth: usize) -> Self {
         DispatchWindow {
@@ -82,6 +122,212 @@ impl DispatchWindow {
         }
     }
 }
+
+/// Event-dispatch section: strategy, cross-event window, worker shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchConfig {
+    /// Strategy; see [`DispatchMode`].
+    pub mode: DispatchMode,
+    /// Cross-event window for pipelined dispatch; ignored under
+    /// [`DispatchMode::Sequential`].
+    pub window: DispatchWindow,
+    /// Worker shards: apps are partitioned across `workers` shards by a
+    /// stable hash, each with its own AppVisor proxy, Crash-Pad, and
+    /// window machinery (DESIGN.md §13). `1` (the default) runs the
+    /// single-threaded engine; values above 1 take effect under
+    /// [`DispatchMode::Pipelined`] and commit through the cross-shard
+    /// barrier, bit-identical to the sequential reference.
+    pub workers: usize,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        DispatchConfig {
+            mode: DispatchMode::default(),
+            window: DispatchWindow::default(),
+            workers: 1,
+        }
+    }
+}
+
+impl DispatchConfig {
+    /// The sequential reference strategy.
+    #[must_use]
+    pub fn sequential() -> Self {
+        DispatchConfig {
+            mode: DispatchMode::Sequential,
+            ..DispatchConfig::default()
+        }
+    }
+
+    /// The pipelined strategy (the default).
+    #[must_use]
+    pub fn pipelined() -> Self {
+        DispatchConfig {
+            mode: DispatchMode::Pipelined,
+            ..DispatchConfig::default()
+        }
+    }
+
+    /// Set the cross-event window depth. Not clamped: depth 0 is rejected
+    /// by [`LegoSdnConfig::build`].
+    #[must_use]
+    pub fn window(mut self, depth: usize) -> Self {
+        self.window = DispatchWindow { depth };
+        self
+    }
+
+    /// Set the worker-shard count. Not clamped: 0 workers is rejected by
+    /// [`LegoSdnConfig::build`].
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+/// Stub I/O section: how stub channels are serviced, plus AppVisor proxy
+/// tuning. Only isolated modes (`Channel`, `Udp`, `Tcp`) have stub
+/// channels to service.
+#[derive(Clone, Debug, Default)]
+pub struct IoConfig {
+    /// Blocking thread-per-stub or the readiness-polled multiplexed
+    /// pools; see [`IoMode`].
+    pub mode: IoMode,
+    /// AppVisor proxy tuning (timeouts, heartbeats). The proxy's own
+    /// `io` field is overwritten with [`IoConfig::mode`] at build /
+    /// runtime construction, so `mode` is the single source of truth.
+    pub proxy: ProxyConfig,
+}
+
+impl IoConfig {
+    /// Blocking thread-per-stub servicing (the default).
+    #[must_use]
+    pub fn blocking() -> Self {
+        IoConfig {
+            mode: IoMode::Blocking,
+            ..IoConfig::default()
+        }
+    }
+
+    /// Readiness-polled multiplexed servicing with `io_threads` poll
+    /// workers per shard. Not clamped: 0 threads is rejected by
+    /// [`LegoSdnConfig::build`].
+    #[must_use]
+    pub fn polled(io_threads: usize) -> Self {
+        IoConfig {
+            mode: IoMode::Polled { io_threads },
+            ..IoConfig::default()
+        }
+    }
+
+    /// Replace the proxy tuning (its `io` field is still overwritten by
+    /// [`IoConfig::mode`]).
+    #[must_use]
+    pub fn proxy(mut self, proxy: ProxyConfig) -> Self {
+        self.proxy = proxy;
+        self
+    }
+}
+
+/// Observability section: which instance the runtime (and every
+/// sub-layer) reports into, and how often the flight recorder samples.
+#[derive(Clone, Debug)]
+pub struct ObsConfig {
+    /// Instance for the runtime and every sub-layer (Crash-Pad, NetLog,
+    /// AppVisor) — wired once at construction, so there is no window
+    /// where layers report to different instances. `None` means
+    /// [`Obs::global`].
+    pub instance: Option<Obs>,
+    /// Causal-trace sampling: begin a flight-recorder trace for every
+    /// Nth translated event. `1` (the default) traces every event, `0`
+    /// disables tracing entirely; untraced events pay a single relaxed
+    /// atomic load per layer hook. Ignored (tracing off) when
+    /// `dispatch.workers > 1`: worker shards share one recorder and
+    /// ambient scoping is not meaningful across threads.
+    pub trace_sample: u64,
+    /// `false` routes the runtime to a throwaway private instance and
+    /// requires `trace_sample == 0` (enforced by
+    /// [`LegoSdnConfig::build`]).
+    pub enabled: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            instance: None,
+            trace_sample: 1,
+            enabled: true,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Report to `obs` instead of the process-global instance. Tests and
+    /// multi-runtime processes use this to keep observability private
+    /// per runtime.
+    #[must_use]
+    pub fn instance(obs: Obs) -> Self {
+        ObsConfig {
+            instance: Some(obs),
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Shorthand for [`ObsConfig::instance`] with a fresh instance
+    /// retaining at most `capacity` journal records.
+    #[must_use]
+    pub fn journal_capacity(capacity: usize) -> Self {
+        ObsConfig::instance(Obs::with_journal_capacity(capacity))
+    }
+
+    /// Observability off: metrics land in a throwaway instance and the
+    /// flight recorder never samples.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ObsConfig {
+            instance: None,
+            trace_sample: 0,
+            enabled: false,
+        }
+    }
+
+    /// Set the flight-recorder sampling rate (`0` disables tracing).
+    #[must_use]
+    pub fn trace_sample(mut self, sample: u64) -> Self {
+        self.trace_sample = sample;
+        self
+    }
+}
+
+/// What [`LegoSdnConfig::build`] rejects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `dispatch.window.depth == 0`: a window must hold at least one event.
+    ZeroWindowDepth,
+    /// `io.mode == Polled { io_threads: 0 }`: the poll pool needs a thread.
+    ZeroIoThreads,
+    /// `dispatch.workers == 0`: at least one worker shard must exist.
+    ZeroWorkers,
+    /// `obs.trace_sample > 0` with `obs.enabled == false`: traces would
+    /// record into a throwaway instance nobody can read.
+    TraceWithObsDisabled,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWindowDepth => write!(f, "dispatch.window.depth must be at least 1"),
+            ConfigError::ZeroIoThreads => write!(f, "io polled mode needs at least 1 io thread"),
+            ConfigError::ZeroWorkers => write!(f, "dispatch.workers must be at least 1"),
+            ConfigError::TraceWithObsDisabled => {
+                write!(f, "trace_sample > 0 requires observability enabled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Per-application resource limits (paper §3.4: "an operator can define
 /// resource limits for each SDN-App, thus limiting the impact of
@@ -101,11 +347,12 @@ pub struct ResourceLimits {
 #[derive(Clone, Debug)]
 pub struct LegoSdnConfig {
     pub isolation: IsolationMode,
-    /// Event-dispatch strategy; see [`DispatchMode`].
-    pub dispatch: DispatchMode,
-    /// Cross-event dispatch window for pipelined dispatch; see
-    /// [`DispatchWindow`]. Ignored under [`DispatchMode::Sequential`].
-    pub window: DispatchWindow,
+    /// Event-dispatch section; see [`DispatchConfig`].
+    pub dispatch: DispatchConfig,
+    /// Stub I/O section; see [`IoConfig`].
+    pub io: IoConfig,
+    /// Observability section; see [`ObsConfig`].
+    pub obs: ObsConfig,
     /// NetLog transaction mode: `Immediate` (full NetLog: apply + undo log)
     /// or `Buffered` (the paper-prototype ablation).
     pub netlog_mode: TxMode,
@@ -118,86 +365,111 @@ pub struct LegoSdnConfig {
     pub shutdown_network_on_no_compromise: bool,
     /// Default per-app resource limits.
     pub resource_limits: ResourceLimits,
-    /// AppVisor proxy tuning (timeouts, heartbeats) for isolated modes.
-    pub proxy: ProxyConfig,
-    /// Observability instance for the runtime and every sub-layer
-    /// (Crash-Pad, NetLog, AppVisor). `None` means [`Obs::global`] —
-    /// wired once at construction, so there is no window where layers
-    /// report to different instances. Set via
-    /// [`LegoSdnConfig::with_obs`] or
-    /// [`LegoSdnConfig::with_journal_capacity`].
-    pub obs: Option<Obs>,
-    /// Causal-trace sampling: begin a flight-recorder trace for every
-    /// Nth translated event. `1` (the default) traces every event, `0`
-    /// disables tracing entirely; untraced events pay a single relaxed
-    /// atomic load per layer hook.
-    pub trace_sample: u64,
 }
 
 impl Default for LegoSdnConfig {
     fn default() -> Self {
         LegoSdnConfig {
             isolation: IsolationMode::Local,
-            dispatch: DispatchMode::default(),
-            window: DispatchWindow::default(),
+            dispatch: DispatchConfig::default(),
+            io: IoConfig::default(),
+            obs: ObsConfig::default(),
             netlog_mode: TxMode::Immediate,
             crashpad: CrashPadConfig::default(),
             checker: Some(Checker::default()),
             shutdown_network_on_no_compromise: false,
             resource_limits: ResourceLimits::default(),
-            proxy: ProxyConfig::default(),
-            obs: None,
-            trace_sample: 1,
         }
     }
 }
 
 impl LegoSdnConfig {
+    /// Validate the configuration, rejecting nonsense up front instead of
+    /// panicking or silently clamping at use sites. Also stamps
+    /// `io.proxy.io` from `io.mode`, so the two can never disagree.
+    pub fn build(mut self) -> Result<Self, ConfigError> {
+        if self.dispatch.window.depth == 0 {
+            return Err(ConfigError::ZeroWindowDepth);
+        }
+        if self.dispatch.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if let IoMode::Polled { io_threads } = self.io.mode {
+            if io_threads == 0 {
+                return Err(ConfigError::ZeroIoThreads);
+            }
+        }
+        if !self.obs.enabled && self.obs.trace_sample > 0 {
+            return Err(ConfigError::TraceWithObsDisabled);
+        }
+        self.io.proxy.io = self.io.mode;
+        Ok(self)
+    }
+
     /// Route the runtime (and all sub-layers) to `obs` instead of the
-    /// process-global instance. Tests and multi-runtime processes use
-    /// this to keep observability private per runtime.
+    /// process-global instance.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the sectioned `obs: ObsConfig::instance(..)`"
+    )]
     #[must_use]
     pub fn with_obs(mut self, obs: Obs) -> Self {
-        self.obs = Some(obs);
+        self.obs.instance = Some(obs);
+        self.obs.enabled = true;
         self
     }
 
-    /// Shorthand for [`LegoSdnConfig::with_obs`] with a fresh instance
-    /// retaining at most `capacity` journal records. The last
-    /// `with_obs`/`with_journal_capacity` call wins.
+    /// Fresh private instance retaining at most `capacity` journal
+    /// records. The last `with_obs`/`with_journal_capacity` call wins.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the sectioned `obs: ObsConfig::journal_capacity(..)`"
+    )]
     #[must_use]
-    pub fn with_journal_capacity(self, capacity: usize) -> Self {
-        self.with_obs(Obs::with_journal_capacity(capacity))
+    pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
+        self.obs.instance = Some(Obs::with_journal_capacity(capacity));
+        self.obs.enabled = true;
+        self
     }
 
     /// Select the event-dispatch strategy.
+    #[deprecated(since = "0.8.0", note = "use the sectioned `dispatch: DispatchConfig`")]
     #[must_use]
     pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
-        self.dispatch = dispatch;
+        self.dispatch.mode = dispatch;
         self
     }
 
-    /// Set the cross-event dispatch window depth (clamped to at least 1).
+    /// Set the cross-event dispatch window depth (clamped to at least 1 —
+    /// the sectioned path validates instead).
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the sectioned `dispatch: DispatchConfig::pipelined().window(..)`"
+    )]
     #[must_use]
     pub fn with_window(mut self, depth: usize) -> Self {
-        self.window = DispatchWindow::new(depth);
+        self.dispatch.window = DispatchWindow::new(depth);
         self
     }
 
     /// Trace every `sample`th translated event (`0` disables tracing).
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the sectioned `obs: ObsConfig { trace_sample, .. }`"
+    )]
     #[must_use]
     pub fn with_trace_sample(mut self, sample: u64) -> Self {
-        self.trace_sample = sample;
+        self.obs.trace_sample = sample;
         self
     }
 
     /// Select how stub channels are serviced: blocking thread-per-stub
-    /// or the readiness-polled multiplexed pools (see
-    /// [`legosdn_appvisor::IoMode`]). Only isolated modes (`Channel`,
-    /// `Udp`, `Tcp`) have stub channels to service.
+    /// or the readiness-polled multiplexed pools.
+    #[deprecated(since = "0.8.0", note = "use the sectioned `io: IoConfig`")]
     #[must_use]
     pub fn with_io(mut self, io: IoMode) -> Self {
-        self.proxy.io = io;
+        self.io.mode = io;
+        self.io.proxy.io = io;
         self
     }
 }
@@ -212,25 +484,93 @@ mod tests {
         assert_eq!(c.isolation, IsolationMode::Local);
         // Pipelined has soaked (determinism sweep holds it bit-identical
         // to Sequential) and is now the default; the window stays at 1
-        // until the operator widens it.
-        assert_eq!(c.dispatch, DispatchMode::Pipelined);
-        assert_eq!(c.window, DispatchWindow { depth: 1 });
+        // and the runtime stays single-worker until the operator widens
+        // them.
+        assert_eq!(c.dispatch.mode, DispatchMode::Pipelined);
+        assert_eq!(c.dispatch.window, DispatchWindow { depth: 1 });
+        assert_eq!(c.dispatch.workers, 1);
+        assert_eq!(c.io.mode, IoMode::Blocking);
         assert_eq!(c.netlog_mode, TxMode::Immediate);
         assert!(c.checker.is_some());
         assert_eq!(c.resource_limits, ResourceLimits::default());
-        assert!(c.obs.is_none(), "default means Obs::global at build time");
-        assert_eq!(c.trace_sample, 1, "every event is traced by default");
+        assert!(
+            c.obs.instance.is_none(),
+            "default means Obs::global at build time"
+        );
+        assert!(c.obs.enabled);
+        assert_eq!(c.obs.trace_sample, 1, "every event is traced by default");
     }
 
     #[test]
-    fn window_builder_clamps_to_one() {
-        assert_eq!(LegoSdnConfig::default().with_window(8).window.depth, 8);
-        assert_eq!(LegoSdnConfig::default().with_window(0).window.depth, 1);
-        assert_eq!(DispatchWindow::new(0).depth, 1);
+    fn build_accepts_the_default_and_sectioned_configs() {
+        assert!(LegoSdnConfig::default().build().is_ok());
+        let c = LegoSdnConfig {
+            dispatch: DispatchConfig::pipelined().window(8).workers(4),
+            io: IoConfig::polled(2),
+            ..LegoSdnConfig::default()
+        }
+        .build()
+        .unwrap();
+        assert_eq!(c.dispatch.window.depth, 8);
+        assert_eq!(c.dispatch.workers, 4);
+        assert_eq!(c.io.mode, IoMode::Polled { io_threads: 2 });
+        // build() stamps the proxy's io field from the section mode.
+        assert_eq!(c.io.proxy.io, IoMode::Polled { io_threads: 2 });
     }
 
     #[test]
-    fn dispatch_mode_parses_cli_names() {
+    fn build_rejects_nonsense_up_front() {
+        let zero_window = LegoSdnConfig {
+            dispatch: DispatchConfig::pipelined().window(0),
+            ..LegoSdnConfig::default()
+        };
+        assert_eq!(
+            zero_window.build().unwrap_err(),
+            ConfigError::ZeroWindowDepth
+        );
+
+        let zero_workers = LegoSdnConfig {
+            dispatch: DispatchConfig::pipelined().workers(0),
+            ..LegoSdnConfig::default()
+        };
+        assert_eq!(zero_workers.build().unwrap_err(), ConfigError::ZeroWorkers);
+
+        let zero_io = LegoSdnConfig {
+            io: IoConfig::polled(0),
+            ..LegoSdnConfig::default()
+        };
+        assert_eq!(zero_io.build().unwrap_err(), ConfigError::ZeroIoThreads);
+
+        let trace_without_obs = LegoSdnConfig {
+            obs: ObsConfig::disabled().trace_sample(1),
+            ..LegoSdnConfig::default()
+        };
+        assert_eq!(
+            trace_without_obs.build().unwrap_err(),
+            ConfigError::TraceWithObsDisabled
+        );
+        assert!(LegoSdnConfig {
+            obs: ObsConfig::disabled(),
+            ..LegoSdnConfig::default()
+        }
+        .build()
+        .is_ok());
+    }
+
+    #[test]
+    fn config_errors_render_for_cli_use() {
+        for e in [
+            ConfigError::ZeroWindowDepth,
+            ConfigError::ZeroIoThreads,
+            ConfigError::ZeroWorkers,
+            ConfigError::TraceWithObsDisabled,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn mode_parsers_cover_cli_names() {
         assert_eq!(
             DispatchMode::parse("sequential"),
             Some(DispatchMode::Sequential)
@@ -240,20 +580,14 @@ mod tests {
             Some(DispatchMode::Pipelined)
         );
         assert_eq!(DispatchMode::parse("warp"), None);
+        assert_eq!(IsolationMode::parse("local"), Some(IsolationMode::Local));
         assert_eq!(
-            LegoSdnConfig::default()
-                .with_dispatch(DispatchMode::Pipelined)
-                .dispatch,
-            DispatchMode::Pipelined
+            IsolationMode::parse("channel"),
+            Some(IsolationMode::Channel)
         );
-    }
-
-    #[test]
-    fn io_builder_selects_the_polled_path() {
-        let c = LegoSdnConfig::default();
-        assert_eq!(c.proxy.io, IoMode::Blocking, "blocking is the default");
-        let c = c.with_io(IoMode::Polled { io_threads: 4 });
-        assert_eq!(c.proxy.io, IoMode::Polled { io_threads: 4 });
+        assert_eq!(IsolationMode::parse("udp"), Some(IsolationMode::Udp));
+        assert_eq!(IsolationMode::parse("tcp"), Some(IsolationMode::Tcp));
+        assert_eq!(IsolationMode::parse("vm"), None);
         assert_eq!(IoMode::parse("blocking"), Some(IoMode::Blocking));
         assert_eq!(
             IoMode::parse("polled"),
@@ -263,29 +597,73 @@ mod tests {
     }
 
     #[test]
-    fn trace_sample_builder_sets_the_rate() {
+    fn obs_section_constructors_set_the_instance() {
+        let mine = Obs::new();
+        let c = LegoSdnConfig {
+            obs: ObsConfig::instance(mine.clone()),
+            ..LegoSdnConfig::default()
+        };
+        mine.counter("t", "probe", "").inc();
         assert_eq!(
-            LegoSdnConfig::default().with_trace_sample(0).trace_sample,
-            0
+            c.obs
+                .instance
+                .as_ref()
+                .unwrap()
+                .counter("t", "probe", "")
+                .get(),
+            1
         );
-        assert_eq!(
-            LegoSdnConfig::default().with_trace_sample(4).trace_sample,
-            4
-        );
+        let c = LegoSdnConfig {
+            obs: ObsConfig::journal_capacity(16),
+            ..LegoSdnConfig::default()
+        };
+        assert_eq!(c.obs.instance.unwrap().journal().capacity(), 16);
     }
 
     #[test]
-    fn obs_builders_set_the_instance_and_last_call_wins() {
+    #[allow(deprecated)]
+    fn deprecated_shims_still_map_onto_the_sections() {
+        // One release of grace: the old flat builders keep working and
+        // land in the sectioned fields.
+        let c = LegoSdnConfig::default()
+            .with_dispatch(DispatchMode::Sequential)
+            .with_window(8)
+            .with_trace_sample(4)
+            .with_io(IoMode::Polled { io_threads: 2 });
+        assert_eq!(c.dispatch.mode, DispatchMode::Sequential);
+        assert_eq!(c.dispatch.window.depth, 8);
+        assert_eq!(c.obs.trace_sample, 4);
+        assert_eq!(c.io.mode, IoMode::Polled { io_threads: 2 });
+        assert_eq!(c.io.proxy.io, IoMode::Polled { io_threads: 2 });
+        // with_window keeps its historical clamp; the sectioned setter
+        // leaves 0 for build() to reject instead.
+        assert_eq!(
+            LegoSdnConfig::default()
+                .with_window(0)
+                .dispatch
+                .window
+                .depth,
+            1
+        );
+        assert_eq!(DispatchWindow::new(0).depth, 1);
+
         let mine = Obs::new();
         let c = LegoSdnConfig::default()
             .with_journal_capacity(16)
             .with_obs(mine.clone());
         mine.counter("t", "probe", "").inc();
-        assert_eq!(c.obs.as_ref().unwrap().counter("t", "probe", "").get(), 1);
-
+        assert_eq!(
+            c.obs
+                .instance
+                .as_ref()
+                .unwrap()
+                .counter("t", "probe", "")
+                .get(),
+            1
+        );
         let c = LegoSdnConfig::default()
             .with_obs(mine)
             .with_journal_capacity(16);
-        assert_eq!(c.obs.unwrap().journal().capacity(), 16);
+        assert_eq!(c.obs.instance.unwrap().journal().capacity(), 16);
     }
 }

@@ -65,9 +65,13 @@ pub mod config;
 pub mod host;
 pub mod nversion;
 pub mod runtime;
+pub mod workers;
 
 pub use clone_runner::{ClonePair, CloneStats};
-pub use config::{DispatchMode, DispatchWindow, IsolationMode, LegoSdnConfig, ResourceLimits};
+pub use config::{
+    ConfigError, DispatchConfig, DispatchMode, DispatchWindow, IoConfig, IsolationMode,
+    LegoSdnConfig, ObsConfig, ResourceLimits,
+};
 pub use host::{Host, ProxyAdapter};
 pub use nversion::{NVersionApp, VoteStats};
 pub use runtime::{
@@ -90,7 +94,8 @@ pub mod prelude {
     //! Everything a typical consumer needs.
     pub use crate::clone_runner::ClonePair;
     pub use crate::config::{
-        DispatchMode, DispatchWindow, IsolationMode, LegoSdnConfig, ResourceLimits,
+        ConfigError, DispatchConfig, DispatchMode, DispatchWindow, IoConfig, IsolationMode,
+        LegoSdnConfig, ObsConfig, ResourceLimits,
     };
     pub use crate::nversion::NVersionApp;
     pub use crate::runtime::{AppId, AppStatus, LegoCycleReport, LegoSdnRuntime, RuntimeStats};

@@ -20,24 +20,30 @@
 //!
 //! Crashes never propagate: the controller core and every other app keep
 //! running — the paper's two fate-sharing relationships are gone.
+//!
+//! Apps are partitioned across `dispatch.workers` shards (DESIGN.md §13):
+//! each [`crate::workers::WorkerShard`] owns its own AppVisor proxy and
+//! Crash-Pad, and under pipelined dispatch each worker runs the window
+//! machinery on its own thread, committing through the shared
+//! [`legosdn_netlog::CommitBarrier`] so the output stays bit-identical to
+//! the single-threaded reference.
 
 use crate::config::{DispatchMode, IsolationMode, LegoSdnConfig, ResourceLimits};
-use crate::host::{outcome_to_delivery, Host, ProxyAdapter};
-use legosdn_appvisor::{AppHandle, AppVisorProxy, TransportKind};
-use legosdn_controller::app::{Command, SdnApp};
-use legosdn_controller::event::{Event, EventKind};
-use legosdn_controller::services::{DeviceView, TopologyView};
-use legosdn_controller::translate::EventTranslator;
-use legosdn_crashpad::{
-    CompromisePolicy, CrashPad, DeliveryResult, DispatchResult, LocalSandbox, RecoverableApp,
-    RecoveryTaken,
+use crate::host::{Host, ProxyAdapter};
+use crate::workers::{
+    commit_outcome, delivery_label, select_app, stable_shard, AppRecord, CommitLane, ShardApp,
+    ShardCtx, ShardRouter, WindowSlot, WorkerRun, WorkerShard, TXS_PER_POS,
 };
-use legosdn_invariants::{shutdown_network, Checker};
-use legosdn_netlog::{NetLog, TxMode};
-use legosdn_netsim::{Network, SimTime};
+use legosdn_appvisor::{AppHandle, AppVisorProxy, TransportKind};
+use legosdn_controller::app::SdnApp;
+use legosdn_controller::event::Event;
+use legosdn_controller::translate::EventTranslator;
+use legosdn_crashpad::{CrashPad, DeliveryResult, DispatchResult, LocalSandbox, RecoverableApp};
+use legosdn_invariants::Checker;
+use legosdn_netlog::{CommitBarrier, NetLog};
 use legosdn_obs::{Obs, TraceId};
-use legosdn_openflow::prelude::Message;
 use std::fmt;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Identifier of an attached app.
@@ -100,48 +106,6 @@ pub enum AppStatus {
     Suspended(&'static str),
 }
 
-struct AppRecord {
-    name: String,
-    subscriptions: Vec<EventKind>,
-    host: Host,
-    status: AppStatus,
-    limits: ResourceLimits,
-    usage: ResourceUsage,
-}
-
-/// One translated event awaiting windowed dispatch, with the views it
-/// must be delivered against — the translator's views *as of its
-/// translation*, which is exactly what sequential dispatch would have
-/// handed the apps before translating the next raw event.
-struct WindowSlot {
-    event: Event,
-    topology: TopologyView,
-    devices: DeviceView,
-    now: SimTime,
-    /// Flight-recorder trace for this event, if it was sampled. Window
-    /// operations switch the obs trace scope to this id so every layer
-    /// hook (proxy queue/collect, Crash-Pad recovery, NetLog commit)
-    /// lands in the right causal timeline.
-    trace: Option<TraceId>,
-}
-
-/// One speculative in-flight (event, app) delivery to an isolated stub.
-struct WindowEntry {
-    /// Index into `LegoSdnRuntime::apps`.
-    app_idx: usize,
-    handle: AppHandle,
-    /// Tag of the snapshot queued just before the delivery, if one was
-    /// due (`None`: not due, or its send failed along with the
-    /// delivery's).
-    snap: Option<u64>,
-    /// Tag of the queued delivery; `None` means the send itself failed
-    /// and the collect classifies it as a comm failure.
-    seq: Option<u64>,
-    /// When the delivery was queued (feeds the per-event queue-latency
-    /// histogram at collect time).
-    queued_at: Instant,
-}
-
 /// Attach failure.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AttachError(pub String);
@@ -154,65 +118,110 @@ impl fmt::Display for AttachError {
 
 impl std::error::Error for AttachError {}
 
-/// Stable trace-event outcome label for a raw delivery.
-fn delivery_label(d: &DeliveryResult) -> &'static str {
-    match d {
-        DeliveryResult::Ok(_) => "ok",
-        DeliveryResult::Crashed { .. } => "crashed",
-        DeliveryResult::CommFailure => "comm_failure",
-    }
+/// A [`ShardCtx`] over one of `self`'s shards, splitting the borrow so
+/// sibling fields (`report`, `netlog`, `translator`) stay usable in the
+/// same expression.
+macro_rules! shard_cx {
+    ($self:ident, $w:expr) => {
+        ShardCtx {
+            shard: &mut $self.shards[$w],
+            stats: &mut $self.stats,
+            obs: &$self.obs,
+            checker: $self.checker.as_ref(),
+            shutdown_on_no_compromise: $self.config.shutdown_network_on_no_compromise,
+        }
+    };
 }
 
 /// The LegoSDN runtime.
 pub struct LegoSdnRuntime {
     config: LegoSdnConfig,
     translator: EventTranslator,
-    crashpad: CrashPad,
     netlog: NetLog,
     checker: Option<Checker>,
-    proxy: AppVisorProxy,
-    apps: Vec<AppRecord>,
+    /// Worker shards in id order; apps are hashed onto them at attach.
+    shards: Vec<WorkerShard>,
+    /// Global attach index → (shard, local index).
+    router: ShardRouter,
     stats: RuntimeStats,
     obs: Obs,
     /// Translated events seen by the trace sampler (monotonic; doubles as
     /// the `seq` half of [`TraceId`], so ids stay unique across cycles).
     trace_seen: u64,
+    /// First transaction id of the next cycle. Every dispatch mode
+    /// advances it identically (`events × apps × TXS_PER_POS` per cycle),
+    /// so transaction ids are a pure function of the event/app position —
+    /// the invariant that lets sharded fastpath commits land out of order
+    /// with a txlog that still reads in sequential order.
+    txid_cursor: u64,
+    /// Some committed batch carried a `send_flow_removed` FlowMod; table
+    /// entries persist, so the commit fastpath stays off for all later
+    /// cycles (an Add displacing a notify-flagged entry would enqueue a
+    /// `FlowRemoved` out of order).
+    notify_flows_seen: bool,
 }
 
 impl LegoSdnRuntime {
-    /// A runtime with the given configuration. Observability is wired here,
-    /// once, for every layer: [`LegoSdnConfig::obs`] if set (see
-    /// [`LegoSdnConfig::with_obs`] / [`LegoSdnConfig::with_journal_capacity`]),
-    /// otherwise [`Obs::global`].
+    /// A runtime with the given configuration. Observability is wired
+    /// here, once, for every layer, from the `obs` section:
+    /// [`crate::config::ObsConfig::instance`] if set, [`Obs::global`] if
+    /// merely enabled, a throwaway private instance when disabled.
+    ///
+    /// Call [`LegoSdnConfig::build`] first to validate; this constructor
+    /// tolerates unvalidated configs by clamping (workers/depth floor 1)
+    /// rather than panicking.
     #[must_use]
     pub fn new(config: LegoSdnConfig) -> Self {
-        let obs = config.obs.clone().unwrap_or_else(Obs::global);
-        let mut crashpad = CrashPad::new(config.crashpad.clone());
-        crashpad.set_obs(obs.clone());
+        let obs = match (&config.obs.instance, config.obs.enabled) {
+            (Some(obs), _) => obs.clone(),
+            (None, true) => Obs::global(),
+            (None, false) => Obs::new(),
+        };
         let mut netlog = NetLog::new(config.netlog_mode);
         netlog.set_obs(obs.clone());
-        let mut proxy = AppVisorProxy::new(config.proxy.clone());
-        proxy.set_obs(obs.clone());
+        let workers = config.dispatch.workers.max(1);
+        let shards = (0..workers)
+            .map(|id| {
+                let mut crashpad = CrashPad::new(config.crashpad.clone());
+                crashpad.set_obs(obs.clone());
+                let mut proxy_config = config.io.proxy.clone();
+                proxy_config.io = config.io.mode;
+                proxy_config.worker = id;
+                let mut proxy = AppVisorProxy::new(proxy_config);
+                proxy.set_obs(obs.clone());
+                WorkerShard {
+                    id,
+                    proxy,
+                    crashpad,
+                    apps: Vec::new(),
+                }
+            })
+            .collect();
+        obs.gauge("core", "workers", "")
+            .set(i64::try_from(workers).unwrap_or(i64::MAX));
         LegoSdnRuntime {
             translator: EventTranslator::new(),
-            crashpad,
             netlog,
             checker: config.checker.clone(),
-            proxy,
-            apps: Vec::new(),
+            shards,
+            router: ShardRouter::default(),
             stats: RuntimeStats::default(),
             obs,
             trace_seen: 0,
+            txid_cursor: 1,
+            notify_flows_seen: false,
             config,
         }
     }
 
     /// Sampling gate for the flight recorder: begin a trace for this
     /// event if it is the `trace_sample`th since the last traced one.
-    /// Returns the id for scope switching (`None`: not sampled).
+    /// Returns the id for scope switching (`None`: not sampled). Sharded
+    /// runs never sample — the recorder's ambient scope is per-process,
+    /// not per-worker.
     fn trace_for_event(&mut self, event: &Event) -> Option<TraceId> {
-        let sample = self.config.trace_sample;
-        if sample == 0 {
+        let sample = self.config.obs.trace_sample;
+        if sample == 0 || self.shards.len() > 1 {
             return None;
         }
         self.trace_seen += 1;
@@ -255,7 +264,10 @@ impl LegoSdnRuntime {
         self.attach_with_limits(app, self.config.resource_limits)
     }
 
-    /// Attach an app with specific resource limits (paper §3.4).
+    /// Attach an app with specific resource limits (paper §3.4). The app
+    /// lands on the shard [`stable_shard`] maps its (name, attach
+    /// ordinal) to — a pure function, so the same roster shards the same
+    /// way on every run.
     pub fn attach_with_limits(
         &mut self,
         app: Box<dyn SdnApp>,
@@ -263,49 +275,81 @@ impl LegoSdnRuntime {
     ) -> Result<AppId, AttachError> {
         let name = app.name().to_string();
         let subscriptions = app.subscriptions();
+        let global = self.router.len();
+        let worker = stable_shard(&name, global, self.shards.len());
+        let shard = &mut self.shards[worker];
         let host = match self.config.isolation {
             IsolationMode::Local => Host::Local(LocalSandbox::new(app)),
             IsolationMode::Channel => Host::Isolated(
-                self.proxy
+                shard
+                    .proxy
                     .launch_app(app, TransportKind::Channel)
                     .map_err(|e| AttachError(e.to_string()))?,
             ),
             IsolationMode::Udp => Host::Isolated(
-                self.proxy
+                shard
+                    .proxy
                     .launch_app(app, TransportKind::Udp)
                     .map_err(|e| AttachError(e.to_string()))?,
             ),
             IsolationMode::Tcp => Host::Isolated(
-                self.proxy
+                shard
+                    .proxy
                     .launch_app(app, TransportKind::Tcp)
                     .map_err(|e| AttachError(e.to_string()))?,
             ),
         };
-        self.apps.push(AppRecord {
-            name,
-            subscriptions,
-            host,
-            status: AppStatus::Running,
-            limits,
-            usage: ResourceUsage::default(),
+        shard.apps.push(ShardApp {
+            global,
+            rec: AppRecord {
+                name,
+                subscriptions,
+                host,
+                status: AppStatus::Running,
+                limits,
+                usage: ResourceUsage::default(),
+            },
         });
-        Ok(AppId(self.apps.len() - 1))
+        let local = shard.apps.len() - 1;
+        self.obs
+            .gauge("core", "worker_apps", &format!("w{worker}"))
+            .set(i64::try_from(shard.apps.len()).unwrap_or(i64::MAX));
+        self.router.push(worker, local);
+        Ok(AppId(global))
     }
 
-    /// Names of attached apps.
+    fn rec(&self, global: usize) -> Option<&AppRecord> {
+        let (w, l) = self.router.get(global)?;
+        Some(&self.shards[w].apps[l].rec)
+    }
+
+    /// Names of attached apps, in attach order.
     #[must_use]
     pub fn app_names(&self) -> Vec<String> {
-        self.apps.iter().map(|a| a.name.clone()).collect()
+        (0..self.router.len())
+            .map(|g| self.rec(g).expect("router indexes every app").name.clone())
+            .collect()
     }
 
     /// An app's scheduling status.
     pub fn app_status(&self, id: AppId) -> Option<&AppStatus> {
-        self.apps.get(id.0).map(|a| &a.status)
+        self.rec(id.0).map(|a| &a.status)
     }
 
     /// An app's resource usage.
     pub fn app_usage(&self, id: AppId) -> Option<ResourceUsage> {
-        self.apps.get(id.0).map(|a| a.usage)
+        self.rec(id.0).map(|a| a.usage)
+    }
+
+    /// The worker shard an app was hashed onto.
+    pub fn worker_of(&self, id: AppId) -> Option<usize> {
+        self.router.get(id.0).map(|(w, _)| w)
+    }
+
+    /// The worker-shard count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shards.len()
     }
 
     /// Runtime counters.
@@ -323,15 +367,25 @@ impl LegoSdnRuntime {
         self.obs.clone()
     }
 
-    /// The Crash-Pad engine (tickets, checkpoints, policies).
+    /// Shard 0's Crash-Pad engine (tickets, checkpoints, policies).
+    /// Single-worker runtimes — the default — have exactly one shard, so
+    /// this is *the* Crash-Pad; sharded runtimes keep one per worker, and
+    /// per-app engines are reached through the app's shard.
     #[must_use]
     pub fn crashpad(&self) -> &CrashPad {
-        &self.crashpad
+        &self.shards[0].crashpad
     }
 
     /// Mutable Crash-Pad access (operator policy updates at runtime).
+    /// Shard 0's engine; see [`LegoSdnRuntime::crashpad`].
     pub fn crashpad_mut(&mut self) -> &mut CrashPad {
-        &mut self.crashpad
+        &mut self.shards[0].crashpad
+    }
+
+    /// The Crash-Pad engine owning a specific app.
+    pub fn crashpad_for(&self, id: AppId) -> Option<&CrashPad> {
+        let (w, _) = self.router.get(id.0)?;
+        Some(&self.shards[w].crashpad)
     }
 
     /// The NetLog engine (transaction log, counter cache).
@@ -355,20 +409,26 @@ impl LegoSdnRuntime {
 
     /// Drain network events, translate, and dispatch under full protection.
     ///
-    /// Under [`DispatchMode::Pipelined`] with a window depth above 1 the
-    /// whole burst is translated up front and dispatched through the
-    /// cross-event window scheduler; otherwise each raw event's
-    /// translations dispatch before the next raw is translated (the
-    /// original loop).
+    /// Under [`DispatchMode::Pipelined`] with a window depth above 1 — or
+    /// more than one worker shard — the whole burst is translated up
+    /// front and dispatched through the cross-event window scheduler
+    /// (per-worker under shards); otherwise each raw event's translations
+    /// dispatch before the next raw is translated (the original loop).
+    /// [`DispatchMode::Sequential`] always runs the single-threaded
+    /// reference, whatever the worker count.
     pub fn run_cycle(&mut self, net: &mut Network) -> LegoCycleReport {
         let _span = self.obs.span("core.run_cycle");
         let started = Instant::now();
         self.stats.cycles += 1;
         let mut report = LegoCycleReport::default();
-        if self.config.dispatch == DispatchMode::Pipelined && self.config.window.depth > 1 {
+        let windowed = self.config.dispatch.mode == DispatchMode::Pipelined
+            && (self.config.dispatch.window.depth > 1 || self.shards.len() > 1);
+        if windowed {
             let slots = self.translate_burst(net, &mut report);
             self.dispatch_windowed(net, &slots, &mut report);
         } else {
+            let tx_cycle_base = self.txid_cursor;
+            let n_apps = self.router.len() as u64;
             for raw in net.poll_events() {
                 let events = self.translator.process(net, raw);
                 self.stats.events_translated += events.len() as u64;
@@ -376,14 +436,17 @@ impl LegoSdnRuntime {
                     .counter("core", "events_translated", "")
                     .add(events.len() as u64);
                 for ev in events {
+                    let ordinal = report.events as u64;
                     report.events += 1;
                     let trace = self.trace_for_event(&ev);
                     self.obs.trace_scope(trace);
-                    self.dispatch_event(net, &ev, &mut report);
+                    let tx_event_base = tx_cycle_base + ordinal * n_apps * TXS_PER_POS;
+                    self.dispatch_event(net, &ev, &mut report, tx_event_base);
                     self.obs.trace_scope(None);
                 }
             }
         }
+        self.txid_cursor += report.events as u64 * self.router.len() as u64 * TXS_PER_POS;
         report.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         report
     }
@@ -430,45 +493,58 @@ impl LegoSdnRuntime {
         report.events += 1;
         let trace = self.trace_for_event(&ev);
         self.obs.trace_scope(trace);
-        self.dispatch_event(net, &ev, &mut report);
+        let tx_event_base = self.txid_cursor;
+        self.dispatch_event(net, &ev, &mut report, tx_event_base);
         self.obs.trace_scope(None);
+        self.txid_cursor += self.router.len() as u64 * TXS_PER_POS;
         report.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         report
     }
 
-    fn dispatch_event(&mut self, net: &mut Network, event: &Event, report: &mut LegoCycleReport) {
-        match self.config.dispatch {
-            DispatchMode::Sequential => self.dispatch_sequential(net, event, report),
-            DispatchMode::Pipelined => self.dispatch_pipelined(net, event, report),
+    fn dispatch_event(
+        &mut self,
+        net: &mut Network,
+        event: &Event,
+        report: &mut LegoCycleReport,
+        tx_event_base: u64,
+    ) {
+        match self.config.dispatch.mode {
+            DispatchMode::Sequential => self.dispatch_sequential(net, event, report, tx_event_base),
+            DispatchMode::Pipelined => self.dispatch_pipelined(net, event, report, tx_event_base),
         }
     }
 
-    /// Subscription / status / event-budget gate for one app. Returns
-    /// `true` when the app should receive the event, charging the event
-    /// to its budget. Both dispatch modes use this, so selection (and
-    /// its suspension side effects) is identical across them.
-    fn select_app(&mut self, idx: usize, kind: EventKind) -> bool {
-        if !self.apps[idx].subscriptions.contains(&kind) {
-            return false;
-        }
-        if self.apps[idx].status != AppStatus::Running {
-            self.stats.events_skipped += 1;
-            return false;
-        }
-        if let Some(max) = self.apps[idx].limits.max_events {
-            if self.apps[idx].usage.events_consumed >= max {
-                self.apps[idx].status = AppStatus::Suspended("event budget exhausted");
-                self.stats.apps_suspended += 1;
-                self.stats.events_skipped += 1;
-                return false;
-            }
-        }
-        self.stats.dispatches += 1;
-        self.obs.counter("core", "dispatches", "").inc();
-        self.apps[idx].usage.events_consumed += 1;
-        self.obs
-            .trace_event("fill", &self.apps[idx].name, "selected");
-        true
+    /// Commit one app's outcome on the per-event (non-windowed) path:
+    /// live translator views, position-derived transaction ids, sticky
+    /// notify-flag bookkeeping.
+    fn commit_on_lane(
+        &mut self,
+        net: &mut Network,
+        global: usize,
+        event: &Event,
+        result: DispatchResult,
+        report: &mut LegoCycleReport,
+        tx_event_base: u64,
+    ) {
+        let (w, l) = self.router.loc(global);
+        let mut lane = CommitLane {
+            net,
+            netlog: &mut self.netlog,
+            notify_seen: false,
+        };
+        let mut cx = shard_cx!(self, w);
+        commit_outcome(
+            &mut cx,
+            &mut lane,
+            l,
+            event,
+            result,
+            report,
+            (&self.translator.topology, &self.translator.devices),
+            tx_event_base + global as u64 * TXS_PER_POS,
+        );
+        let notify = lane.notify_seen;
+        self.notify_flows_seen |= notify;
     }
 
     /// The original monolithic loop: one blocking Crash-Pad round-trip
@@ -478,21 +554,24 @@ impl LegoSdnRuntime {
         net: &mut Network,
         event: &Event,
         report: &mut LegoCycleReport,
+        tx_event_base: u64,
     ) {
         let kind = event.kind();
-        for idx in 0..self.apps.len() {
-            if !self.select_app(idx, kind) {
+        for global in 0..self.router.len() {
+            let (w, l) = self.router.loc(global);
+            if !select_app(&mut shard_cx!(self, w), l, kind) {
                 continue;
             }
-            self.dispatch_to_app(net, idx, event, report);
+            self.dispatch_to_app(net, global, event, report, tx_event_base);
         }
     }
 
     /// Phased pipeline over the same roster (see [`DispatchMode`]):
     ///
     /// - **prepare**: select apps, checkpoint each if due;
-    /// - **deliver**: fan the event out to isolated stubs (they process
-    ///   on their own threads), run local sandboxes inline meanwhile;
+    /// - **deliver**: fan the event out to isolated stubs per shard (they
+    ///   process on their own threads), run local sandboxes inline
+    ///   meanwhile;
     /// - **gather**: classify each outcome through Crash-Pad in attach
     ///   order — restore/replay/transform runs only for failed apps;
     /// - **commit**: NetLog transactions + byzantine gate per app, in
@@ -510,6 +589,7 @@ impl LegoSdnRuntime {
         net: &mut Network,
         event: &Event,
         report: &mut LegoCycleReport,
+        tx_event_base: u64,
     ) {
         let kind = event.kind();
         let now = net.now();
@@ -520,52 +600,63 @@ impl LegoSdnRuntime {
         // Phase A — prepare: selection, then up-front checkpoints.
         let selected: Vec<usize> = {
             let _span = self.obs.span("core.dispatch_prepare");
-            let selected: Vec<usize> = (0..self.apps.len())
-                .filter(|&i| self.select_app(i, kind))
+            let selected: Vec<usize> = (0..self.router.len())
+                .filter(|&g| {
+                    let (w, l) = self.router.loc(g);
+                    select_app(&mut shard_cx!(self, w), l, kind)
+                })
                 .collect();
-            for &idx in &selected {
-                let name = self.apps[idx].name.clone();
-                match &mut self.apps[idx].host {
-                    Host::Local(sandbox) => self.crashpad.prepare(sandbox, &name),
+            for &g in &selected {
+                let (w, l) = self.router.loc(g);
+                let shard = &mut self.shards[w];
+                let name = shard.apps[l].rec.name.clone();
+                match &mut shard.apps[l].rec.host {
+                    Host::Local(sandbox) => shard.crashpad.prepare(sandbox, &name),
                     Host::Isolated(handle) => {
                         let mut adapter = ProxyAdapter {
-                            proxy: &mut self.proxy,
+                            proxy: &mut shard.proxy,
                             handle: *handle,
                         };
-                        self.crashpad.prepare(&mut adapter, &name);
+                        shard.crashpad.prepare(&mut adapter, &name);
                     }
                 }
             }
             selected
         };
 
-        // Phase B — deliver: stubs get their frames first so they start
-        // processing; local sandboxes run inline while the stubs work;
-        // then collect the stub outcomes.
+        // Phase B — deliver: each shard's stubs get their frames first so
+        // they start processing; local sandboxes run inline while the
+        // stubs work; then collect the stub outcomes.
         let mut deliveries: Vec<Option<DeliveryResult>> =
             (0..selected.len()).map(|_| None).collect();
         {
             let _span = self.obs.span("core.dispatch_deliver");
-            let mut stub_slots: Vec<usize> = Vec::new();
-            let mut stub_handles: Vec<AppHandle> = Vec::new();
-            for (pos, &idx) in selected.iter().enumerate() {
-                if let Host::Isolated(h) = &self.apps[idx].host {
-                    stub_slots.push(pos);
-                    stub_handles.push(*h);
+            let mut stub_slots: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+            let mut stub_handles: Vec<Vec<AppHandle>> = vec![Vec::new(); self.shards.len()];
+            for (pos, &g) in selected.iter().enumerate() {
+                let (w, l) = self.router.loc(g);
+                if let Host::Isolated(h) = &self.shards[w].apps[l].rec.host {
+                    stub_slots[w].push(pos);
+                    stub_handles[w].push(*h);
                 }
             }
-            let ticket = (!stub_handles.is_empty()).then(|| {
-                self.proxy.fanout_send(
-                    &stub_handles,
-                    event,
-                    &self.translator.topology,
-                    &self.translator.devices,
-                    now,
-                )
-            });
-            for (pos, &idx) in selected.iter().enumerate() {
-                let name = self.apps[idx].name.clone();
-                if let Host::Local(sandbox) = &mut self.apps[idx].host {
+            let tickets: Vec<_> = (0..self.shards.len())
+                .map(|w| {
+                    (!stub_handles[w].is_empty()).then(|| {
+                        self.shards[w].proxy.fanout_send(
+                            &stub_handles[w],
+                            event,
+                            &self.translator.topology,
+                            &self.translator.devices,
+                            now,
+                        )
+                    })
+                })
+                .collect();
+            for (pos, &g) in selected.iter().enumerate() {
+                let (w, l) = self.router.loc(g);
+                let name = self.shards[w].apps[l].rec.name.clone();
+                if let Host::Local(sandbox) = &mut self.shards[w].apps[l].rec.host {
                     self.obs.trace_event("send", &name, "local");
                     let delivery = sandbox.deliver(
                         event,
@@ -578,9 +669,14 @@ impl LegoSdnRuntime {
                     deliveries[pos] = Some(delivery);
                 }
             }
-            if let Some(ticket) = ticket {
-                for (&pos, d) in stub_slots.iter().zip(self.proxy.fanout_collect(ticket)) {
-                    deliveries[pos] = Some(outcome_to_delivery(d.outcome));
+            for (w, ticket) in tickets.into_iter().enumerate() {
+                if let Some(ticket) = ticket {
+                    for (&pos, d) in stub_slots[w]
+                        .iter()
+                        .zip(self.shards[w].proxy.fanout_collect(ticket))
+                    {
+                        deliveries[pos] = Some(outcome_to_delivery_outcome(d));
+                    }
                 }
             }
         }
@@ -592,11 +688,13 @@ impl LegoSdnRuntime {
             selected
                 .iter()
                 .zip(deliveries)
-                .map(|(&idx, delivery)| {
+                .map(|(&g, delivery)| {
                     let delivery = delivery.expect("every selected app was delivered");
-                    let name = self.apps[idx].name.clone();
-                    match &mut self.apps[idx].host {
-                        Host::Local(sandbox) => self.crashpad.complete(
+                    let (w, l) = self.router.loc(g);
+                    let shard = &mut self.shards[w];
+                    let name = shard.apps[l].rec.name.clone();
+                    match &mut shard.apps[l].rec.host {
+                        Host::Local(sandbox) => shard.crashpad.complete(
                             sandbox,
                             &name,
                             event,
@@ -607,10 +705,10 @@ impl LegoSdnRuntime {
                         ),
                         Host::Isolated(handle) => {
                             let mut adapter = ProxyAdapter {
-                                proxy: &mut self.proxy,
+                                proxy: &mut shard.proxy,
                                 handle: *handle,
                             };
-                            self.crashpad.complete(
+                            shard.crashpad.complete(
                                 &mut adapter,
                                 &name,
                                 event,
@@ -628,26 +726,18 @@ impl LegoSdnRuntime {
         // Phase D — commit: network effects in attach order, exactly as
         // sequential dispatch would issue them.
         let _span = self.obs.span("core.dispatch_commit");
-        for (&idx, result) in selected.iter().zip(outcomes) {
-            self.commit_outcome(net, idx, event, result, report);
+        for (&g, result) in selected.iter().zip(outcomes) {
+            self.commit_on_lane(net, g, event, result, report, tx_event_base);
         }
     }
 
-    /// Cross-event window scheduler (DESIGN.md §10): up to
-    /// `config.window.depth` slots are in flight to the isolated stubs at
-    /// once. Two cursors walk the slot list — `next_send` speculatively
-    /// selects apps and queues (snapshot-if-due, delivery) pairs on each
-    /// stub's FIFO RPC stream; `commit_pos` collects, gathers, and
-    /// commits strictly in (event, attach) order. A stub therefore
-    /// processes event *k+1* while the proxy is still gathering *k*, but
-    /// per-app delivery order equals translation order and every network
-    /// effect lands exactly as sequential dispatch would issue it.
-    ///
-    /// Failure on slot *k* cancels that app's queued *k+1..* deliveries
-    /// (their speculative selection is rolled back), recovery runs per
-    /// the existing Crash-Pad plan, and the cancelled slots are
-    /// re-selected and re-sent from the recovered state before the window
-    /// refills.
+    /// Cross-event window scheduler (DESIGN.md §10, sharded per §13): up
+    /// to `dispatch.window.depth` slots are in flight per worker at once.
+    /// Each worker runs the two-cursor fill/commit machinery over its own
+    /// shard's apps; commits synchronize through the [`CommitBarrier`] in
+    /// global (event, attach) position order — or overtake it on the
+    /// provably-disjoint fastpath — so network state, the txlog, and
+    /// runtime counters stay bit-identical to the sequential reference.
     fn dispatch_windowed(
         &mut self,
         net: &mut Network,
@@ -657,575 +747,152 @@ impl LegoSdnRuntime {
         if slots.is_empty() {
             return;
         }
-        let depth = self.config.window.depth;
+        let depth = self.config.dispatch.window.depth.max(1);
         self.obs
             .gauge("core", "window_depth", "")
             .set(i64::try_from(depth).unwrap_or(i64::MAX));
-        let mut pending: Vec<Vec<WindowEntry>> = (0..slots.len()).map(|_| Vec::new()).collect();
-        let mut inflight: Vec<u64> = vec![0; self.apps.len()];
-        let mut next_send = 0usize;
-        let mut commit_pos = 0usize;
-        while commit_pos < slots.len() {
-            {
-                let _span = self.obs.span("core.window_fill");
-                while next_send < slots.len() && next_send < commit_pos + depth {
-                    pending[next_send] = self.window_send_slot(&slots[next_send], &mut inflight);
-                    next_send += 1;
-                }
-            }
-            {
-                let _span = self.obs.span("core.window_commit");
-                let entries = std::mem::take(&mut pending[commit_pos]);
-                let slot = &slots[commit_pos];
-                self.obs.trace_scope(slot.trace);
-                let kind = slot.event.kind();
-                let mut entries = entries.into_iter().peekable();
-                for idx in 0..self.apps.len() {
-                    if entries.peek().is_some_and(|e| e.app_idx == idx) {
-                        let entry = entries.next().expect("peeked");
-                        inflight[idx] -= 1;
-                        self.window_commit_entry(
-                            net,
-                            entry,
-                            slots,
-                            commit_pos,
-                            next_send,
-                            &mut pending,
-                            &mut inflight,
-                            report,
-                        );
-                    } else if matches!(self.apps[idx].host, Host::Local(_))
-                        && self.select_app(idx, kind)
-                    {
-                        // Local sandboxes have no stub to overlap with:
-                        // they run inline at commit, against the slot's
-                        // captured views.
-                        let name = self.apps[idx].name.clone();
-                        let result = {
-                            let Host::Local(sandbox) = &mut self.apps[idx].host else {
-                                unreachable!("checked above");
-                            };
-                            self.crashpad.prepare(sandbox, &name);
-                            self.obs.trace_event("send", &name, "local");
-                            let delivery = sandbox.deliver(
-                                &slot.event,
-                                &slot.topology,
-                                &slot.devices,
-                                slot.now,
-                            );
-                            self.obs
-                                .trace_event("collect", &name, delivery_label(&delivery));
-                            self.crashpad.complete(
-                                sandbox,
-                                &name,
-                                &slot.event,
-                                delivery,
-                                &slot.topology,
-                                &slot.devices,
-                                slot.now,
-                            )
-                        };
-                        self.commit_outcome_with(
-                            net,
-                            idx,
-                            &slot.event,
-                            result,
-                            report,
-                            Some((&slot.topology, &slot.devices)),
-                        );
-                    }
-                }
-            }
-            commit_pos += 1;
-        }
-        self.obs.trace_scope(None);
-    }
-
-    /// Speculatively select and queue one slot's deliveries to the
-    /// isolated stubs (locals run inline at commit). Selection side
-    /// effects (dispatch counters, event budgets, suspension) apply at
-    /// send time and are rolled back entry-by-entry if a failure on an
-    /// earlier slot cancels the entry.
-    fn window_send_slot(&mut self, slot: &WindowSlot, inflight: &mut [u64]) -> Vec<WindowEntry> {
-        self.obs.trace_scope(slot.trace);
-        let kind = slot.event.kind();
-        let mut entries = Vec::new();
-        for idx in 0..self.apps.len() {
-            if !matches!(self.apps[idx].host, Host::Isolated(_)) {
-                continue;
-            }
-            if !self.select_app(idx, kind) {
-                continue;
-            }
-            entries.push(self.window_queue_one(idx, slot, inflight));
-        }
-        entries
-    }
-
-    /// Queue (snapshot-if-due, delivery) for one selected stub app.
-    /// Snapshot due-ness is projected over the app's uncollected
-    /// in-flight deliveries: a snapshot queued on the FIFO stream between
-    /// deliveries *k* and *k+1* captures the state after *k* — exactly
-    /// the pre-event checkpoint the sequential protocol takes.
-    fn window_queue_one(
-        &mut self,
-        idx: usize,
-        slot: &WindowSlot,
-        inflight: &mut [u64],
-    ) -> WindowEntry {
-        let Host::Isolated(handle) = &self.apps[idx].host else {
-            unreachable!("windowed entries are stub-only");
-        };
-        let handle = *handle;
-        let name = self.apps[idx].name.clone();
-        let snap = if self
-            .crashpad
-            .checkpoints
-            .checkpoint_due_ahead(&name, inflight[idx])
-        {
-            self.proxy.queue_snapshot(handle).ok().flatten()
-        } else {
-            None
-        };
-        let seq = self
-            .proxy
-            .queue_deliver(handle, &slot.event, &slot.topology, &slot.devices, slot.now)
-            .ok()
-            .flatten();
-        inflight[idx] += 1;
-        WindowEntry {
-            app_idx: idx,
-            handle,
-            snap,
-            seq,
-            queued_at: Instant::now(),
-        }
-    }
-
-    /// Collect, gather, and commit one in-flight (event, app) entry, then
-    /// handle window cancellation/refill if the app failed or was
-    /// restored mid-stream.
-    #[allow(clippy::too_many_arguments)]
-    fn window_commit_entry(
-        &mut self,
-        net: &mut Network,
-        entry: WindowEntry,
-        slots: &[WindowSlot],
-        commit_pos: usize,
-        next_send: usize,
-        pending: &mut [Vec<WindowEntry>],
-        inflight: &mut [u64],
-        report: &mut LegoCycleReport,
-    ) {
-        let idx = entry.app_idx;
-        let slot = &slots[commit_pos];
-        let name = self.apps[idx].name.clone();
-
-        // The snapshot queued before this delivery: collect and book it.
-        // The recorded duration is the wait the proxy actually paid here —
-        // near zero when the stub answered while the window was busy,
-        // which is the cost this scheduler exists to hide.
-        if let Some(tag) = entry.snap {
-            let waited = Instant::now();
-            if let Ok(bytes) = self.proxy.collect_snapshot(entry.handle, tag) {
-                let dur_ns = u64::try_from(waited.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                self.crashpad.record_prepared(&name, bytes, dur_ns);
-            }
-        }
-
-        self.crashpad.note_dispatch();
-        let delivery = match entry.seq {
-            Some(seq) => outcome_to_delivery(self.proxy.collect_deliver(entry.handle, seq)),
-            None => DeliveryResult::CommFailure,
-        };
-        self.obs
-            .histogram("core", "window_queue_ns", "")
-            .observe(u64::try_from(entry.queued_at.elapsed().as_nanos()).unwrap_or(u64::MAX));
-
-        let failed = !matches!(delivery, DeliveryResult::Ok(_));
-        if failed {
-            // Cancel this app's queued later deliveries BEFORE recovery
-            // restores it, so the RPC stream is clean when replay begins.
-            self.window_cancel_app(idx, commit_pos, slots, pending, inflight);
-        }
-        let byz_before = self.stats.byzantine_blocked;
-        let result = {
-            let mut adapter = ProxyAdapter {
-                proxy: &mut self.proxy,
-                handle: entry.handle,
-            };
-            self.crashpad.complete(
-                &mut adapter,
-                &name,
-                &slot.event,
-                delivery,
-                &slot.topology,
-                &slot.devices,
-                slot.now,
-            )
-        };
-        self.commit_outcome_with(
+        let n_apps = self.router.len();
+        let sharded = self.shards.len() > 1;
+        // The fastpath needs commit-time effects to be exactly the
+        // declared touch: a checker observes (and byz-recovery rewrites)
+        // live state at commit, and a surviving notify-flagged table
+        // entry could emit a FlowRemoved on displacement — either one
+        // forces full ordering.
+        let fastpath = sharded && self.checker.is_none() && !self.notify_flows_seen;
+        let barrier = CommitBarrier::new(fastpath);
+        let tx_cycle_base = self.txid_cursor;
+        let checker = self.checker.as_ref();
+        let shutdown_on_no_compromise = self.config.shutdown_network_on_no_compromise;
+        let obs = self.obs.clone();
+        let lane = Mutex::new(CommitLane {
             net,
-            idx,
-            &slot.event,
-            result,
-            report,
-            Some((&slot.topology, &slot.devices)),
-        );
-        let byz_recovered = self.stats.byzantine_blocked > byz_before;
-        if byz_recovered && !failed {
-            // Byzantine caught at commit: the app was restored mid-stream,
-            // so its queued later deliveries ran from the wrong state.
-            self.window_cancel_app(idx, commit_pos, slots, pending, inflight);
-        }
-        if failed || byz_recovered {
-            self.window_resend_app(idx, commit_pos, next_send, slots, pending, inflight);
-            // The resend loop re-scoped the recorder to the refilled
-            // slots; later entries of this commit still belong here.
-            self.obs.trace_scope(slot.trace);
-        }
-    }
-
-    /// Drop an app's in-flight entries beyond `commit_pos` and roll back
-    /// their speculative selection, so re-selection sees exactly the
-    /// post-recovery state sequential dispatch would.
-    fn window_cancel_app(
-        &mut self,
-        idx: usize,
-        commit_pos: usize,
-        slots: &[WindowSlot],
-        pending: &mut [Vec<WindowEntry>],
-        inflight: &mut [u64],
-    ) {
-        let name = self.apps[idx].name.clone();
-        let mut tags = Vec::new();
-        let mut handle = None;
-        for (s, slot_entries) in pending.iter_mut().enumerate().skip(commit_pos + 1) {
-            if let Some(pos) = slot_entries.iter().position(|e| e.app_idx == idx) {
-                let e = slot_entries.remove(pos);
-                tags.extend(e.snap);
-                tags.extend(e.seq);
-                handle = Some(e.handle);
-                // Roll the speculative selection back. (The monotonic obs
-                // dispatch counter keeps the cancelled send; RuntimeStats
-                // is the determinism-bearing surface.)
-                self.stats.dispatches -= 1;
-                self.apps[idx].usage.events_consumed -= 1;
-                inflight[idx] -= 1;
-                // The cancellation belongs to the *cancelled* event's
-                // timeline, not the failed one currently in scope.
-                if let Some(tid) = slots[s].trace {
-                    self.obs
-                        .trace_event_for(tid, "cancel", &name, "crash_upstream");
+            netlog: &mut self.netlog,
+            notify_seen: false,
+        });
+        let mut deltas: Vec<(RuntimeStats, LegoCycleReport)> =
+            Vec::with_capacity(self.shards.len());
+        if !sharded {
+            let mut run = WorkerRun {
+                shard: &mut self.shards[0],
+                slots,
+                barrier: &barrier,
+                lane: &lane,
+                obs: obs.clone(),
+                checker,
+                shutdown_on_no_compromise,
+                depth,
+                n_apps,
+                tx_cycle_base,
+                sharded: false,
+                wl: String::new(),
+                stats: RuntimeStats::default(),
+                report: LegoCycleReport::default(),
+            };
+            run.run();
+            deltas.push((run.stats, run.report));
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| {
+                        let worker = shard.id;
+                        let obs = obs.clone();
+                        let barrier = &barrier;
+                        let lane = &lane;
+                        std::thread::Builder::new()
+                            .name(format!("lego-worker-{worker}"))
+                            .spawn_scoped(scope, move || {
+                                let mut run = WorkerRun {
+                                    shard,
+                                    slots,
+                                    barrier,
+                                    lane,
+                                    obs,
+                                    checker,
+                                    shutdown_on_no_compromise,
+                                    depth,
+                                    n_apps,
+                                    tx_cycle_base,
+                                    sharded: true,
+                                    wl: format!("w{worker}"),
+                                    stats: RuntimeStats::default(),
+                                    report: LegoCycleReport::default(),
+                                };
+                                run.run();
+                                (run.stats, run.report)
+                            })
+                            .expect("spawn worker thread")
+                    })
+                    .collect();
+                for handle in handles {
+                    deltas.push(handle.join().expect("worker thread panicked"));
                 }
-            }
+            });
         }
-        if let Some(h) = handle {
-            let _ = self.proxy.cancel_pending(h, &tags);
+        let lane = lane.into_inner().expect("commit lane poisoned");
+        self.notify_flows_seen |= lane.notify_seen;
+        for (stats, delta) in deltas {
+            self.stats.absorb(&stats);
+            report.commands += delta.commands;
+            report.recoveries += delta.recoveries;
+            report.byzantine_blocked += delta.byzantine_blocked;
         }
-    }
-
-    /// Re-run selection for an app's cancelled slots (post-recovery
-    /// state: a revived app is usually re-selected, a dead or suspended
-    /// one is skipped and counted, just as sequential dispatch would) and
-    /// queue fresh deliveries for the survivors.
-    fn window_resend_app(
-        &mut self,
-        idx: usize,
-        commit_pos: usize,
-        next_send: usize,
-        slots: &[WindowSlot],
-        pending: &mut [Vec<WindowEntry>],
-        inflight: &mut [u64],
-    ) {
-        for s in (commit_pos + 1)..next_send {
-            // Re-queued work records into the re-sent event's trace.
-            self.obs.trace_scope(slots[s].trace);
-            if !self.select_app(idx, slots[s].event.kind()) {
-                continue;
-            }
-            self.obs
-                .trace_event("resend", &self.apps[idx].name, "requeued");
-            let entry = self.window_queue_one(idx, &slots[s], inflight);
-            let pos = pending[s]
-                .iter()
-                .position(|e| e.app_idx > idx)
-                .unwrap_or(pending[s].len());
-            pending[s].insert(pos, entry);
-        }
+        let bs = barrier.stats();
+        self.obs
+            .counter("netlog", "barrier_fastpath_commits", "")
+            .add(bs.fastpath_commits);
+        self.obs
+            .counter("netlog", "barrier_ordered_commits", "")
+            .add(bs.ordered_commits);
+        self.obs
+            .counter("netlog", "barrier_elided_positions", "")
+            .add(bs.elided_positions);
+        self.obs
+            .counter("netlog", "barrier_shared_switch_conflicts", "")
+            .add(bs.shared_switch_conflicts);
     }
 
     fn dispatch_to_app(
         &mut self,
         net: &mut Network,
-        idx: usize,
+        global: usize,
         event: &Event,
         report: &mut LegoCycleReport,
+        tx_event_base: u64,
     ) {
         let now = net.now();
-        let name = self.apps[idx].name.clone();
+        let (w, l) = self.router.loc(global);
         // Crash-Pad protected delivery.
-        let result = match &mut self.apps[idx].host {
-            Host::Local(sandbox) => self.crashpad.dispatch(
-                sandbox,
-                &name,
-                event,
-                &self.translator.topology,
-                &self.translator.devices,
-                now,
-            ),
-            Host::Isolated(handle) => {
-                let mut adapter = ProxyAdapter {
-                    proxy: &mut self.proxy,
-                    handle: *handle,
-                };
-                self.crashpad.dispatch(
-                    &mut adapter,
+        let result = {
+            let shard = &mut self.shards[w];
+            let name = shard.apps[l].rec.name.clone();
+            match &mut shard.apps[l].rec.host {
+                Host::Local(sandbox) => shard.crashpad.dispatch(
+                    sandbox,
                     &name,
                     event,
                     &self.translator.topology,
                     &self.translator.devices,
                     now,
-                )
-            }
-        };
-        self.commit_outcome(net, idx, event, result, report);
-    }
-
-    /// Act on one app's dispatch outcome: execute its commands under the
-    /// NetLog/byzantine guard, or mark it dead. Shared tail of both
-    /// dispatch modes.
-    fn commit_outcome(
-        &mut self,
-        net: &mut Network,
-        idx: usize,
-        event: &Event,
-        result: DispatchResult,
-        report: &mut LegoCycleReport,
-    ) {
-        self.commit_outcome_with(net, idx, event, result, report, None);
-    }
-
-    /// `commit_outcome` with an explicit view pair for byzantine recovery.
-    /// The windowed scheduler translates a whole burst before committing,
-    /// so at commit time the live translator views have advanced past the
-    /// event being committed — recovery must replay against the views the
-    /// event was dispatched with (`views`), or router-style apps rebuild
-    /// different state than sequential dispatch would. `None` means the
-    /// live views are the event's views (sequential / per-event pipeline).
-    fn commit_outcome_with(
-        &mut self,
-        net: &mut Network,
-        idx: usize,
-        event: &Event,
-        result: DispatchResult,
-        report: &mut LegoCycleReport,
-        views: Option<(&TopologyView, &DeviceView)>,
-    ) {
-        let verdict = match &result {
-            DispatchResult::Delivered(_) => "delivered",
-            DispatchResult::Recovered { .. } => "recovered",
-            DispatchResult::AppDead { .. } => "app_dead",
-        };
-        self.obs
-            .trace_event("commit", &self.apps[idx].name, verdict);
-        match result {
-            DispatchResult::Delivered(commands) => {
-                self.execute_guarded(net, idx, event, commands, report, true, views);
-            }
-            DispatchResult::Recovered {
-                commands, recovery, ..
-            } => {
-                report.recoveries += 1;
-                self.stats.failstop_recoveries += 1;
-                self.obs
-                    .counter("core", "failstop_recoveries", &self.apps[idx].name)
-                    .inc();
-                // Commands from transformed events are real output; execute
-                // them under the same guard (no further byzantine recursion
-                // on already-recovered output — drop instead).
-                let _ = recovery;
-                self.execute_guarded(net, idx, event, commands, report, false, views);
-            }
-            DispatchResult::AppDead { .. } => {
-                self.mark_dead(net, idx, event);
-            }
-        }
-    }
-
-    /// Execute an app's commands inside a NetLog transaction with the
-    /// byzantine gate. `allow_recovery` bounds the recursion: output from a
-    /// recovery path that is still byzantine is dropped, not re-recovered.
-    #[allow(clippy::too_many_arguments)]
-    fn execute_guarded(
-        &mut self,
-        net: &mut Network,
-        idx: usize,
-        event: &Event,
-        commands: Vec<Command>,
-        report: &mut LegoCycleReport,
-        allow_recovery: bool,
-        views: Option<(&TopologyView, &DeviceView)>,
-    ) {
-        if commands.is_empty() {
-            return;
-        }
-        // Resource limit on emitted commands.
-        if let Some(max) = self.apps[idx].limits.max_commands {
-            let used = self.apps[idx].usage.commands_emitted;
-            if used + commands.len() as u64 > max {
-                self.apps[idx].status = AppStatus::Suspended("command budget exhausted");
-                self.stats.apps_suspended += 1;
-                self.stats.commands_suppressed += commands.len() as u64;
-                return;
-            }
-        }
-
-        let mut tx = self.netlog.begin_for(&self.apps[idx].name);
-        for c in &commands {
-            // Reads return synchronously in immediate mode; pass stats
-            // replies through the counter cache.
-            match self.netlog.execute(&mut tx, net, c.dpid, &c.msg) {
-                Ok(replies) => {
-                    for mut reply in replies {
-                        if let Message::StatsReply(ref mut sr) = reply {
-                            self.netlog.adjust_stats(c.dpid, sr);
-                        }
-                        // Replies would flow back to the app as events in a
-                        // fully async design; translation handles the async
-                        // ones, so synchronous replies are dropped here.
-                    }
-                }
-                Err(_) => { /* unknown/down switch: the op is a no-op */ }
-            }
-        }
-
-        // Byzantine gate. Only state-altering output can violate network
-        // invariants; pure packet-outs/reads skip the (expensive) check.
-        let alters_state = commands.iter().any(|c| c.msg.alters_network_state());
-        let violations = match (
-            alters_state.then_some(()).and(self.checker.as_ref()),
-            self.netlog.mode(),
-        ) {
-            (Some(checker), TxMode::Buffered) => {
-                let r = checker.gate(net, tx.buffered_commands());
-                (!r.is_clean()).then_some(r.violations.len())
-            }
-            (Some(checker), TxMode::Immediate) => {
-                let r = checker.check(net);
-                (!r.is_clean()).then_some(r.violations.len())
-            }
-            (None, _) => None,
-        };
-
-        match violations {
-            Some(nviol) => {
-                // Abort: buffered mode drops the buffer; immediate mode
-                // rolls the network back via the undo log.
-                let _ = self.netlog.abort(tx, net);
-                report.byzantine_blocked += 1;
-                self.stats.byzantine_blocked += 1;
-                self.obs
-                    .counter("core", "byzantine_blocked", &self.apps[idx].name)
-                    .inc();
-                let policy = self
-                    .crashpad
-                    .policies
-                    .lookup(&self.apps[idx].name, event.kind());
-                if allow_recovery {
-                    let recovered = self.recover_byzantine(net, idx, event, nviol, views);
-                    // Recovered output (from transformed events) executes
-                    // with recovery disabled.
-                    self.execute_guarded(net, idx, event, recovered, report, false, views);
-                } else {
-                    self.stats.commands_suppressed += commands.len() as u64;
-                }
-                if policy == CompromisePolicy::NoCompromise
-                    && self.config.shutdown_network_on_no_compromise
-                {
-                    shutdown_network(net);
+                ),
+                Host::Isolated(handle) => {
+                    let mut adapter = ProxyAdapter {
+                        proxy: &mut shard.proxy,
+                        handle: *handle,
+                    };
+                    shard.crashpad.dispatch(
+                        &mut adapter,
+                        &name,
+                        event,
+                        &self.translator.topology,
+                        &self.translator.devices,
+                        now,
+                    )
                 }
             }
-            None => {
-                let applied = match self.netlog.commit(tx, net) {
-                    Ok(r) => r.ops_applied,
-                    Err(_) => 0,
-                };
-                report.commands += applied;
-                self.stats.commands_executed += applied as u64;
-                self.obs
-                    .counter("core", "commands_executed", "")
-                    .add(applied as u64);
-                self.apps[idx].usage.commands_emitted += applied as u64;
-            }
-        }
-    }
-
-    fn recover_byzantine(
-        &mut self,
-        net: &mut Network,
-        idx: usize,
-        event: &Event,
-        violations: usize,
-        views: Option<(&TopologyView, &DeviceView)>,
-    ) -> Vec<Command> {
-        let now = net.now();
-        let name = self.apps[idx].name.clone();
-        // Replay must see the views the event was dispatched with, which
-        // the windowed scheduler supplies (its translator has already
-        // advanced past this event by commit time).
-        let (topo, dev) = views.unwrap_or((&self.translator.topology, &self.translator.devices));
-        let result = match &mut self.apps[idx].host {
-            Host::Local(sandbox) => self
-                .crashpad
-                .recover_byzantine(sandbox, &name, event, violations, topo, dev, now),
-            Host::Isolated(handle) => {
-                let mut adapter = ProxyAdapter {
-                    proxy: &mut self.proxy,
-                    handle: *handle,
-                };
-                self.crashpad.recover_byzantine(
-                    &mut adapter,
-                    &name,
-                    event,
-                    violations,
-                    topo,
-                    dev,
-                    now,
-                )
-            }
         };
-        match result {
-            DispatchResult::Recovered {
-                commands, recovery, ..
-            } => {
-                if recovery == RecoveryTaken::Transformed {
-                    commands
-                } else {
-                    Vec::new()
-                }
-            }
-            DispatchResult::AppDead { .. } => {
-                self.mark_dead(net, idx, event);
-                Vec::new()
-            }
-            DispatchResult::Delivered(c) => c,
-        }
-    }
-
-    fn mark_dead(&mut self, net: &mut Network, idx: usize, event: &Event) {
-        if self.apps[idx].status != AppStatus::Dead {
-            self.apps[idx].status = AppStatus::Dead;
-            self.stats.apps_dead += 1;
-        }
-        let policy = self
-            .crashpad
-            .policies
-            .lookup(&self.apps[idx].name, event.kind());
-        if policy == CompromisePolicy::NoCompromise && self.config.shutdown_network_on_no_compromise
-        {
-            shutdown_network(net);
-        }
+        self.commit_on_lane(net, global, event, result, report, tx_event_base);
     }
 
     /// §5 STS-guided diagnosis: find the checkpoint and minimal causal
@@ -1239,12 +906,13 @@ impl LegoSdnRuntime {
         offending: &Event,
         now: legosdn_netsim::SimTime,
     ) -> Result<legosdn_crashpad::Diagnosis, legosdn_crashpad::DiagnoseError> {
-        let Some(record) = self.apps.get_mut(id.0) else {
+        let Some((w, l)) = self.router.get(id.0) else {
             return Err(legosdn_crashpad::DiagnoseError::NoHistory);
         };
-        let name = record.name.clone();
-        match &mut record.host {
-            Host::Local(sandbox) => self.crashpad.diagnose(
+        let shard = &mut self.shards[w];
+        let name = shard.apps[l].rec.name.clone();
+        match &mut shard.apps[l].rec.host {
+            Host::Local(sandbox) => shard.crashpad.diagnose(
                 sandbox,
                 &name,
                 offending,
@@ -1254,10 +922,10 @@ impl LegoSdnRuntime {
             ),
             Host::Isolated(handle) => {
                 let mut adapter = ProxyAdapter {
-                    proxy: &mut self.proxy,
+                    proxy: &mut shard.proxy,
                     handle: *handle,
                 };
-                self.crashpad.diagnose(
+                shard.crashpad.diagnose(
                     &mut adapter,
                     &name,
                     offending,
@@ -1288,28 +956,45 @@ impl LegoSdnRuntime {
 
     /// Resume a suspended app (operator action after a resource review).
     pub fn resume(&mut self, id: AppId, extra_budget: ResourceLimits) -> bool {
-        let Some(app) = self.apps.get_mut(id.0) else {
+        let Some((w, l)) = self.router.get(id.0) else {
             return false;
         };
-        if matches!(app.status, AppStatus::Suspended(_)) {
-            app.status = AppStatus::Running;
-            app.limits = extra_budget;
+        let rec = &mut self.shards[w].apps[l].rec;
+        if matches!(rec.status, AppStatus::Suspended(_)) {
+            rec.status = AppStatus::Running;
+            rec.limits = extra_budget;
             return true;
         }
         false
     }
 
-    /// Shut down all isolated stubs.
+    /// Shut down all isolated stubs on every shard.
     pub fn shutdown(self) {
-        let _ = self.proxy.shutdown();
+        for shard in self.shards {
+            let _ = shard.proxy.shutdown();
+        }
     }
+}
+
+use legosdn_netsim::Network;
+
+/// Adapter shim: the pipelined path collects
+/// [`legosdn_appvisor::FanoutDelivery`] values whose `outcome` field is
+/// what [`crate::host::outcome_to_delivery`] converts.
+fn outcome_to_delivery_outcome(d: legosdn_appvisor::FanoutDelivery) -> DeliveryResult {
+    crate::host::outcome_to_delivery(d.outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{DispatchConfig, ObsConfig};
     use legosdn_apps::{BugEffect, BugTrigger, FaultyApp, Hub, LearningSwitch};
-    use legosdn_crashpad::{CheckpointPolicy, CrashPadConfig, PolicyTable, TransformDirection};
+    use legosdn_controller::event::EventKind;
+    use legosdn_crashpad::{
+        CheckpointPolicy, CompromisePolicy, CrashPadConfig, PolicyTable, TransformDirection,
+    };
+    use legosdn_netlog::TxMode;
     use legosdn_netsim::Topology;
     use legosdn_openflow::prelude::*;
 
@@ -1329,7 +1014,10 @@ mod tests {
     fn construction_time_obs_wiring_reaches_every_layer() {
         let obs = Obs::new();
         let (mut net, topo) = net2();
-        let mut rt = LegoSdnRuntime::new(LegoSdnConfig::default().with_obs(obs.clone()));
+        let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+            obs: ObsConfig::instance(obs.clone()),
+            ..LegoSdnConfig::default()
+        });
         rt.attach(Box::new(FaultyApp::new(
             Box::new(Hub::new()),
             BugTrigger::OnEventKind(EventKind::PacketIn),
@@ -1348,18 +1036,26 @@ mod tests {
             .snapshot()
             .iter()
             .any(|r| r.kind.is_detection()));
+        // The construction-time worker gauge landed too.
+        assert_eq!(obs.gauge("core", "workers", "").get(), 1);
     }
 
     #[test]
-    fn with_journal_capacity_bounds_the_private_journal() {
-        let rt = LegoSdnRuntime::new(LegoSdnConfig::default().with_journal_capacity(4));
+    fn journal_capacity_section_bounds_the_private_journal() {
+        let rt = LegoSdnRuntime::new(LegoSdnConfig {
+            obs: ObsConfig::journal_capacity(4),
+            ..LegoSdnConfig::default()
+        });
         assert_eq!(rt.obs().journal().capacity(), 4);
     }
 
     #[test]
     fn obs_frame_and_delta_expose_the_snapshot() {
         let obs = Obs::new();
-        let rt = LegoSdnRuntime::new(LegoSdnConfig::default().with_obs(obs.clone()));
+        let rt = LegoSdnRuntime::new(LegoSdnConfig {
+            obs: ObsConfig::instance(obs.clone()),
+            ..LegoSdnConfig::default()
+        });
         obs.record(legosdn_obs::RecordKind::HeartbeatMiss { app: "a".into() });
         obs.record(legosdn_obs::RecordKind::HeartbeatMiss { app: "b".into() });
         let frame = rt.obs_frame("alpha", None, 4096);
@@ -1372,14 +1068,12 @@ mod tests {
     fn pipelined_dispatch_contains_crashes_and_counts_phases() {
         let (mut net, topo) = net2();
         let obs = Obs::new();
-        let mut rt = LegoSdnRuntime::new(
-            LegoSdnConfig {
-                isolation: IsolationMode::Channel,
-                ..LegoSdnConfig::default()
-            }
-            .with_obs(obs.clone())
-            .with_dispatch(DispatchMode::Pipelined),
-        );
+        let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+            isolation: IsolationMode::Channel,
+            dispatch: DispatchConfig::pipelined(),
+            obs: ObsConfig::instance(obs.clone()),
+            ..LegoSdnConfig::default()
+        });
         let poison = topo.hosts[1].mac;
         rt.attach(Box::new(FaultyApp::new(
             Box::new(Hub::new()),
@@ -1416,15 +1110,12 @@ mod tests {
     fn windowed_dispatch_contains_crashes_and_records_window_metrics() {
         let (mut net, topo) = net2();
         let obs = Obs::new();
-        let mut rt = LegoSdnRuntime::new(
-            LegoSdnConfig {
-                isolation: IsolationMode::Channel,
-                ..LegoSdnConfig::default()
-            }
-            .with_obs(obs.clone())
-            .with_dispatch(DispatchMode::Pipelined)
-            .with_window(4),
-        );
+        let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+            isolation: IsolationMode::Channel,
+            dispatch: DispatchConfig::pipelined().window(4),
+            obs: ObsConfig::instance(obs.clone()),
+            ..LegoSdnConfig::default()
+        });
         let poison = topo.hosts[1].mac;
         rt.attach(Box::new(FaultyApp::new(
             Box::new(Hub::new()),
@@ -1469,6 +1160,52 @@ mod tests {
             .unwrap();
         let report = rt.run_cycle(&mut net);
         assert!(report.events > 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn sharded_dispatch_spreads_apps_and_matches_per_worker_metrics() {
+        let (mut net, topo) = net2();
+        let obs = Obs::new();
+        let mut rt = LegoSdnRuntime::new(
+            LegoSdnConfig {
+                isolation: IsolationMode::Channel,
+                dispatch: DispatchConfig::pipelined().window(2).workers(4),
+                obs: ObsConfig::instance(obs.clone()),
+                ..LegoSdnConfig::default()
+            }
+            .build()
+            .unwrap(),
+        );
+        assert_eq!(rt.workers(), 4);
+        let mut ids = Vec::new();
+        for _ in 0..6 {
+            ids.push(rt.attach(Box::new(Hub::new())).unwrap());
+        }
+        // Six identically-named apps spread over more than one shard (the
+        // ordinal is hashed in), and the router reports their homes.
+        let spread: std::collections::BTreeSet<usize> =
+            ids.iter().map(|&id| rt.worker_of(id).unwrap()).collect();
+        assert!(spread.len() > 1, "apps never spread across workers");
+        assert_eq!(obs.gauge("core", "workers", "").get(), 4);
+
+        rt.run_cycle(&mut net);
+        let (a, b) = (topo.hosts[0].mac, topo.hosts[1].mac);
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        net.inject(a, Packet::ethernet(a, b)).unwrap();
+        let report = rt.run_cycle(&mut net);
+        assert!(report.events >= 2, "{report:?}");
+        // Every (packet-in, app) pair dispatched exactly once across
+        // shards (the handshake cycle's events have no subscribers here).
+        assert_eq!(rt.stats().dispatches, 6 * report.events as u64);
+        // Per-worker span labels landed for at least one busy worker.
+        let fills: u64 = (0..4)
+            .map(|w| {
+                obs.histogram("core", "window_fill", &format!("w{w}"))
+                    .count()
+            })
+            .sum();
+        assert!(fills > 0, "no per-worker window_fill spans recorded");
         rt.shutdown();
     }
 

@@ -12,9 +12,11 @@
 //! timeout, and a [`counter_cache::CounterCache`] rewrites statistics
 //! replies so restored flows report continuous counters.
 
+pub mod barrier;
 pub mod counter_cache;
 pub mod engine;
 
+pub use barrier::{Admission, BarrierStats, CommitBarrier, TxTouch};
 pub use counter_cache::CounterCache;
 pub use engine::{
     CommitReport, NetLog, NetLogStats, RollbackReport, Transaction, TxError, TxId, TxMode,

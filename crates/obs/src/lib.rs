@@ -136,8 +136,17 @@ impl Obs {
     /// dot). The guard records elapsed nanoseconds on drop.
     #[must_use]
     pub fn span(&self, path: &str) -> SpanGuard {
+        self.span_labeled(path, "")
+    }
+
+    /// [`Obs::span`] with an explicit label — the worker-sharded runtime
+    /// tags per-worker spans `w0`, `w1`, … so one shard's fill/commit
+    /// timing doesn't blur into another's. An empty label lands in the
+    /// same series `span` uses.
+    #[must_use]
+    pub fn span_labeled(&self, path: &str, label: &str) -> SpanGuard {
         let (component, name) = path.split_once('.').unwrap_or(("obs", path));
-        self.histogram(component, name, "").start()
+        self.histogram(component, name, label).start()
     }
 
     /// Append a journal record stamped with [`Obs::now_ns`]; returns its

@@ -36,28 +36,26 @@ fn main() {
 
     let topo = Topology::linear(3, 1);
     let mut net = Network::new(&topo);
-    // Observability is wired at construction: `with_journal_capacity`
-    // gives this runtime a private obs instance whose journal retains the
-    // last 1024 records.
-    let mut rt = LegoSdnRuntime::new(
-        LegoSdnConfig {
-            crashpad: CrashPadConfig {
-                checkpoints: CheckpointPolicy {
-                    interval: 2,
-                    history: 8,
-                    ..CheckpointPolicy::default()
-                },
-                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
-                transform_direction: TransformDirection::Decompose,
+    // Observability is wired at construction: the `obs` section's
+    // `journal_capacity` gives this runtime a private obs instance whose
+    // journal retains the last 1024 records.
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+        obs: ObsConfig::journal_capacity(1024),
+        crashpad: CrashPadConfig {
+            checkpoints: CheckpointPolicy {
+                interval: 2,
+                history: 8,
+                ..CheckpointPolicy::default()
             },
-            checker: Some(Checker::new(vec![
-                Invariant::NoBlackHoles,
-                Invariant::NoLoops,
-            ])),
-            ..LegoSdnConfig::default()
-        }
-        .with_journal_capacity(1024),
-    );
+            policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+            transform_direction: TransformDirection::Decompose,
+        },
+        checker: Some(Checker::new(vec![
+            Invariant::NoBlackHoles,
+            Invariant::NoLoops,
+        ])),
+        ..LegoSdnConfig::default()
+    });
 
     // Serve this runtime's obs state on an ephemeral loopback port. A real
     // deployment would pass `.addr(..)` with a fixed port for its scraper

@@ -9,6 +9,15 @@ cargo fmt --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# The flat `with_*` config setters are deprecated shims for external
+# callers; no internal call site may use them. The shims' own unit
+# tests opt back in with `#[allow(deprecated)]`, so this stays green
+# while the shims exist and fails the moment a call site regresses.
+echo "==> no internal use of deprecated config shims (-D deprecated)"
+RUSTFLAGS="${RUSTFLAGS:-} -D deprecated" \
+  cargo check -q --offline --workspace --all-targets \
+  || { echo "an internal call site uses a deprecated config shim" >&2; exit 1; }
+
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
@@ -30,6 +39,16 @@ echo "==> campaign smoke under the polled transport"
 timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1 \
   --dispatch pipelined --isolation channel --transport polled --io-threads 2 \
   || { echo "polled campaign smoke run failed or hung" >&2; exit 1; }
+
+# The full failure/recovery campaign again, sharded across 4 worker
+# threads: stable-hash partitioning, the cross-shard commit barrier,
+# and scoped worker threads must survive crash/replay under the same
+# hard timeout (the determinism suite proves the output identical;
+# this proves the daemon path wires it up).
+echo "==> campaign smoke under sharded dispatch (--workers 4)"
+timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1 \
+  --dispatch pipelined --isolation channel --window 4 --workers 4 \
+  || { echo "sharded campaign smoke run failed or hung" >&2; exit 1; }
 
 # Scrape one path from a live endpoint over bash's /dev/tcp (curl may be
 # absent), under a hard timeout so a wedged responder fails fast.

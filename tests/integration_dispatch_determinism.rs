@@ -39,11 +39,33 @@ fn run_campaign_io(
     depth: usize,
     io: IoMode,
 ) -> Residue {
+    run_campaign_sharded(dispatch, isolation, depth, io, 1)
+}
+
+/// [`run_campaign_io`] with an explicit worker-shard count.
+fn run_campaign_sharded(
+    dispatch: DispatchMode,
+    isolation: IsolationMode,
+    depth: usize,
+    io: IoMode,
+    workers: usize,
+) -> Residue {
     let topo = Topology::linear(3, 2);
     let mut net = Network::new(&topo);
     let mut rt = LegoSdnRuntime::new(
         LegoSdnConfig {
             isolation,
+            dispatch: DispatchConfig {
+                mode: dispatch,
+                ..DispatchConfig::default()
+            }
+            .window(depth)
+            .workers(workers),
+            io: IoConfig {
+                mode: io,
+                ..IoConfig::default()
+            },
+            obs: ObsConfig::instance(Obs::new()),
             crashpad: CrashPadConfig {
                 checkpoints: CheckpointPolicy {
                     interval: 2,
@@ -59,10 +81,8 @@ fn run_campaign_io(
             ])),
             ..LegoSdnConfig::default()
         }
-        .with_obs(Obs::new())
-        .with_dispatch(dispatch)
-        .with_window(depth)
-        .with_io(io),
+        .build()
+        .expect("valid campaign config"),
     );
 
     let poison = topo.hosts[topo.hosts.len() - 1].mac;
@@ -256,6 +276,70 @@ fn polled_transport_preserves_the_dispatch_residue() {
     }
 }
 
+#[test]
+fn sharded_dispatch_preserves_the_residue_across_worker_counts() {
+    // The tentpole determinism oracle (DESIGN.md §13): sharding the apps
+    // across worker threads changes only *where* they run. For every
+    // {worker count} × {io mode} × {window depth} combination the residue
+    // — flow tables, NetLog transaction order, runtime counters, per-
+    // cycle reports — must be bit-identical to the single-threaded
+    // sequential reference.
+    let reference = run_campaign(DispatchMode::Sequential, IsolationMode::Channel, 1);
+    for workers in [1usize, 2, 4] {
+        for io in [IoMode::Blocking, IoMode::Polled { io_threads: 2 }] {
+            for depth in [1usize, 8] {
+                let run = run_campaign_sharded(
+                    DispatchMode::Pipelined,
+                    IsolationMode::Channel,
+                    depth,
+                    io,
+                    workers,
+                );
+                assert_eq!(
+                    reference.flow_tables, run.flow_tables,
+                    "workers {workers} {io:?} depth {depth}: flow tables diverge"
+                );
+                assert_eq!(
+                    reference.txlog, run.txlog,
+                    "workers {workers} {io:?} depth {depth}: NetLog transaction order diverges"
+                );
+                assert_eq!(
+                    reference.stats, run.stats,
+                    "workers {workers} {io:?} depth {depth}: runtime counters diverge"
+                );
+                assert_eq!(
+                    (
+                        reference.recoveries,
+                        reference.byzantine_blocked,
+                        reference.commands
+                    ),
+                    (run.recoveries, run.byzantine_blocked, run.commands),
+                    "workers {workers} {io:?} depth {depth}: per-cycle reports diverge"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_dispatch_is_stable_across_repeated_runs() {
+    // Thread scheduling varies run to run; sharded determinism must not
+    // depend on a lucky interleaving.
+    let reference = run_campaign(DispatchMode::Sequential, IsolationMode::Local, 1);
+    for _ in 0..3 {
+        let run = run_campaign_sharded(
+            DispatchMode::Pipelined,
+            IsolationMode::Local,
+            4,
+            IoMode::Blocking,
+            4,
+        );
+        assert_eq!(reference.flow_tables, run.flow_tables);
+        assert_eq!(reference.txlog, run.txlog);
+        assert_eq!(reference.stats, run.stats);
+    }
+}
+
 /// Installs one uniquely-matched drop flow per packet-in, tagging the
 /// match's `eth_src` with a synthetic per-delivery serial. No real packet
 /// carries a synthetic source, so installs never suppress later
@@ -322,24 +406,21 @@ fn per_app_delivery_order_equals_translation_order_under_random_crashes() {
         let topo = Topology::linear(2, 2);
         let mut net = Network::new(&topo);
         let poison = topo.hosts[topo.hosts.len() - 1].mac;
-        let mut rt = LegoSdnRuntime::new(
-            LegoSdnConfig {
-                isolation: IsolationMode::Channel,
-                crashpad: CrashPadConfig {
-                    checkpoints: CheckpointPolicy {
-                        interval: 2,
-                        history: 8,
-                        ..CheckpointPolicy::default()
-                    },
-                    policies: PolicyTable::with_default(CompromisePolicy::Absolute),
-                    transform_direction: TransformDirection::Decompose,
+        let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+            isolation: IsolationMode::Channel,
+            dispatch: DispatchConfig::pipelined().window(8),
+            obs: ObsConfig::instance(Obs::new()),
+            crashpad: CrashPadConfig {
+                checkpoints: CheckpointPolicy {
+                    interval: 2,
+                    history: 8,
+                    ..CheckpointPolicy::default()
                 },
-                ..LegoSdnConfig::default()
-            }
-            .with_obs(Obs::new())
-            .with_dispatch(DispatchMode::Pipelined)
-            .with_window(8),
-        );
+                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+                transform_direction: TransformDirection::Decompose,
+            },
+            ..LegoSdnConfig::default()
+        });
         rt.attach(Box::new(OrderProbe { count: 0 })).unwrap();
         rt.attach(Box::new(FaultyApp::new(
             Box::new(Hub::new()),

@@ -156,25 +156,23 @@ impl Campaign {
         // Private obs instance (construction-time wiring): the endpoint
         // must serve exactly this campaign, isolated from other tests in
         // the process.
-        let mut rt = LegoSdnRuntime::new(
-            LegoSdnConfig {
-                crashpad: CrashPadConfig {
-                    checkpoints: CheckpointPolicy {
-                        interval: 2,
-                        history: 8,
-                        ..CheckpointPolicy::default()
-                    },
-                    policies: PolicyTable::with_default(CompromisePolicy::Absolute),
-                    transform_direction: TransformDirection::Decompose,
+        let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+            crashpad: CrashPadConfig {
+                checkpoints: CheckpointPolicy {
+                    interval: 2,
+                    history: 8,
+                    ..CheckpointPolicy::default()
                 },
-                checker: Some(Checker::new(vec![
-                    Invariant::NoBlackHoles,
-                    Invariant::NoLoops,
-                ])),
-                ..LegoSdnConfig::default()
-            }
-            .with_obs(legosdn::obs::Obs::new()),
-        );
+                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+                transform_direction: TransformDirection::Decompose,
+            },
+            checker: Some(Checker::new(vec![
+                Invariant::NoBlackHoles,
+                Invariant::NoLoops,
+            ])),
+            obs: legosdn::ObsConfig::instance(legosdn::obs::Obs::new()),
+            ..LegoSdnConfig::default()
+        });
         let poison = topo.hosts[2].mac;
         rt.attach(Box::new(LearningSwitch::new())).unwrap();
         rt.attach(Box::new(FaultyApp::new(

@@ -134,25 +134,23 @@ fn run_campaign(
 ) {
     let topo = Topology::linear(3, 1);
     let mut net = Network::new(&topo);
-    let mut rt = LegoSdnRuntime::new(
-        LegoSdnConfig {
-            crashpad: CrashPadConfig {
-                checkpoints: CheckpointPolicy {
-                    interval: 2,
-                    history: 8,
-                    ..CheckpointPolicy::default()
-                },
-                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
-                transform_direction: TransformDirection::Decompose,
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+        crashpad: CrashPadConfig {
+            checkpoints: CheckpointPolicy {
+                interval: 2,
+                history: 8,
+                ..CheckpointPolicy::default()
             },
-            checker: Some(Checker::new(vec![
-                Invariant::NoBlackHoles,
-                Invariant::NoLoops,
-            ])),
-            ..LegoSdnConfig::default()
-        }
-        .with_obs(Obs::new()),
-    );
+            policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+            transform_direction: TransformDirection::Decompose,
+        },
+        checker: Some(Checker::new(vec![
+            Invariant::NoBlackHoles,
+            Invariant::NoLoops,
+        ])),
+        obs: ObsConfig::instance(Obs::new()),
+        ..LegoSdnConfig::default()
+    });
     let poison = topo.hosts[2].mac;
     rt.attach(Box::new(LearningSwitch::new())).unwrap();
     rt.attach(Box::new(FaultyApp::new(

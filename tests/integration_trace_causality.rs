@@ -35,28 +35,25 @@ impl Lcg {
 fn run_traced_campaign(depth: usize, seed: u64) -> (Obs, Vec<Trace>) {
     let topo = Topology::linear(3, 2);
     let mut net = Network::new(&topo);
-    let mut rt = LegoSdnRuntime::new(
-        LegoSdnConfig {
-            isolation: IsolationMode::Channel,
-            crashpad: CrashPadConfig {
-                checkpoints: CheckpointPolicy {
-                    interval: 2,
-                    history: 8,
-                    ..CheckpointPolicy::default()
-                },
-                policies: PolicyTable::with_default(CompromisePolicy::Absolute),
-                transform_direction: TransformDirection::Decompose,
+    let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+        isolation: IsolationMode::Channel,
+        dispatch: DispatchConfig::pipelined().window(depth),
+        obs: ObsConfig::instance(Obs::new()),
+        crashpad: CrashPadConfig {
+            checkpoints: CheckpointPolicy {
+                interval: 2,
+                history: 8,
+                ..CheckpointPolicy::default()
             },
-            checker: Some(Checker::new(vec![
-                Invariant::NoBlackHoles,
-                Invariant::NoLoops,
-            ])),
-            ..LegoSdnConfig::default()
-        }
-        .with_obs(Obs::new())
-        .with_dispatch(DispatchMode::Pipelined)
-        .with_window(depth),
-    );
+            policies: PolicyTable::with_default(CompromisePolicy::Absolute),
+            transform_direction: TransformDirection::Decompose,
+        },
+        checker: Some(Checker::new(vec![
+            Invariant::NoBlackHoles,
+            Invariant::NoLoops,
+        ])),
+        ..LegoSdnConfig::default()
+    });
     let obs = rt.obs();
 
     let poison = topo.hosts[topo.hosts.len() - 1].mac;
@@ -257,11 +254,10 @@ fn sampling_thins_the_recorder_and_zero_disables_it() {
     let topo = Topology::linear(2, 1);
     let mut net = Network::new(&topo);
     for (sample, expect_any) in [(0u64, false), (4, true)] {
-        let mut rt = LegoSdnRuntime::new(
-            LegoSdnConfig::default()
-                .with_obs(Obs::new())
-                .with_trace_sample(sample),
-        );
+        let mut rt = LegoSdnRuntime::new(LegoSdnConfig {
+            obs: ObsConfig::instance(Obs::new()).trace_sample(sample),
+            ..LegoSdnConfig::default()
+        });
         let obs = rt.obs();
         rt.attach(Box::new(Hub::new())).unwrap();
         rt.run_cycle(&mut net);

@@ -1,0 +1,117 @@
+//! Trace-driven workload smoke: replay the seeded datacenter streams
+//! (flash crowd, elephant/mice, link-flap storm) over a fat-tree against a
+//! minimal reactive controller and report replay stats. Used by `check.sh`
+//! as the 1k-switch scale gate: it must finish under the script's timeout
+//! and actually move traffic.
+
+use legosdn::prelude::*;
+use legosdn_bench::args::{parse_or_exit, ArgWalker};
+use legosdn_bench::print_table;
+use legosdn_bench::workloads::{
+    elephant_mice, flash_crowd, link_flap_storm, replay_reactive, ReplayStats, TraceWorkload,
+};
+use std::time::Instant;
+
+const USAGE: &str = "\
+workload — replay trace-driven datacenter streams over a fat-tree
+
+usage: workload [options]
+  --k K            fat-tree arity (even, >= 2; switches = (k/2)^2 + k^2) [default 30]
+  --events N       events per workload stream                            [default 20000]
+  --seed S         base RNG seed (stream i uses S + i)                   [default 7]
+  --idle SECONDS   reactive rules' idle timeout                          [default 10]
+  --help           print this help
+";
+
+struct Config {
+    k: usize,
+    events: usize,
+    seed: u64,
+    idle: u16,
+}
+
+fn parse(args: &[String]) -> Result<Config, String> {
+    let mut cfg = Config {
+        k: 30,
+        events: 20_000,
+        seed: 7,
+        idle: 10,
+    };
+    let mut w = ArgWalker::new(args);
+    while let Some(flag) = w.next_flag() {
+        match flag.as_str() {
+            "--k" => {
+                cfg.k = w.parsed()?;
+                if cfg.k < 2 || !cfg.k.is_multiple_of(2) {
+                    return Err("--k must be even and at least 2".into());
+                }
+            }
+            "--events" => cfg.events = w.parsed()?,
+            "--seed" => cfg.seed = w.parsed()?,
+            "--idle" => cfg.idle = w.parsed()?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = parse_or_exit(USAGE, parse);
+    let topo = Topology::fat_tree(cfg.k);
+    let n_switches = topo.switches.len();
+    eprintln!(
+        "fat_tree({}): {} switches, {} links, {} hosts; {} events per stream",
+        cfg.k,
+        n_switches,
+        topo.links.len(),
+        topo.hosts.len(),
+        cfg.events
+    );
+
+    let streams: Vec<TraceWorkload> = vec![
+        flash_crowd(&topo, cfg.seed, cfg.events),
+        elephant_mice(&topo, cfg.seed + 1, cfg.events),
+        link_flap_storm(&topo, cfg.seed + 2, cfg.events),
+    ];
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for w in &streams {
+        let mut net = Network::new(&topo);
+        let t0 = Instant::now();
+        let stats: ReplayStats = replay_reactive(&mut net, w, cfg.idle, cfg.events / 20);
+        let secs = t0.elapsed().as_secs_f64();
+        let rules: usize = net.switches().map(|s| s.table().len()).sum();
+        if stats.packet_ins == 0 || stats.delivered == 0 {
+            eprintln!("FAIL: {} moved no traffic: {stats:?}", w.name);
+            failed = true;
+        }
+        rows.push(vec![
+            w.name.to_string(),
+            stats.events.to_string(),
+            stats.packet_ins.to_string(),
+            stats.flow_mods.to_string(),
+            stats.delivered.to_string(),
+            stats.dropped.to_string(),
+            rules.to_string(),
+            format!("{:.0}", stats.events as f64 / secs),
+        ]);
+    }
+    print_table(
+        &format!("workload replay over {n_switches} switches"),
+        &[
+            "stream",
+            "events",
+            "packet-ins",
+            "flow-mods",
+            "delivered",
+            "dropped",
+            "rules",
+            "events/s",
+        ],
+        &rows,
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

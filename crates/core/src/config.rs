@@ -22,7 +22,8 @@
 //! `build()` rejects nonsense up front — window depth 0, zero I/O
 //! threads, zero workers, a trace sample with observability disabled —
 //! instead of panicking or silently clamping at use sites. The old flat
-//! `with_*` builders survive as `#[deprecated]` shims for one release.
+//! `with_*` builders have completed their deprecation cycle and are gone;
+//! struct-literal section updates are the only way to configure.
 
 use legosdn_appvisor::{IoMode, ProxyConfig};
 use legosdn_crashpad::CrashPadConfig;
@@ -405,73 +406,6 @@ impl LegoSdnConfig {
         self.io.proxy.io = self.io.mode;
         Ok(self)
     }
-
-    /// Route the runtime (and all sub-layers) to `obs` instead of the
-    /// process-global instance.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use the sectioned `obs: ObsConfig::instance(..)`"
-    )]
-    #[must_use]
-    pub fn with_obs(mut self, obs: Obs) -> Self {
-        self.obs.instance = Some(obs);
-        self.obs.enabled = true;
-        self
-    }
-
-    /// Fresh private instance retaining at most `capacity` journal
-    /// records. The last `with_obs`/`with_journal_capacity` call wins.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use the sectioned `obs: ObsConfig::journal_capacity(..)`"
-    )]
-    #[must_use]
-    pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
-        self.obs.instance = Some(Obs::with_journal_capacity(capacity));
-        self.obs.enabled = true;
-        self
-    }
-
-    /// Select the event-dispatch strategy.
-    #[deprecated(since = "0.8.0", note = "use the sectioned `dispatch: DispatchConfig`")]
-    #[must_use]
-    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
-        self.dispatch.mode = dispatch;
-        self
-    }
-
-    /// Set the cross-event dispatch window depth (clamped to at least 1 —
-    /// the sectioned path validates instead).
-    #[deprecated(
-        since = "0.8.0",
-        note = "use the sectioned `dispatch: DispatchConfig::pipelined().window(..)`"
-    )]
-    #[must_use]
-    pub fn with_window(mut self, depth: usize) -> Self {
-        self.dispatch.window = DispatchWindow::new(depth);
-        self
-    }
-
-    /// Trace every `sample`th translated event (`0` disables tracing).
-    #[deprecated(
-        since = "0.8.0",
-        note = "use the sectioned `obs: ObsConfig { trace_sample, .. }`"
-    )]
-    #[must_use]
-    pub fn with_trace_sample(mut self, sample: u64) -> Self {
-        self.obs.trace_sample = sample;
-        self
-    }
-
-    /// Select how stub channels are serviced: blocking thread-per-stub
-    /// or the readiness-polled multiplexed pools.
-    #[deprecated(since = "0.8.0", note = "use the sectioned `io: IoConfig`")]
-    #[must_use]
-    pub fn with_io(mut self, io: IoMode) -> Self {
-        self.io.mode = io;
-        self.io.proxy.io = io;
-        self
-    }
 }
 
 #[cfg(test)]
@@ -617,53 +551,6 @@ mod tests {
             obs: ObsConfig::journal_capacity(16),
             ..LegoSdnConfig::default()
         };
-        assert_eq!(c.obs.instance.unwrap().journal().capacity(), 16);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_map_onto_the_sections() {
-        // One release of grace: the old flat builders keep working and
-        // land in the sectioned fields.
-        let c = LegoSdnConfig::default()
-            .with_dispatch(DispatchMode::Sequential)
-            .with_window(8)
-            .with_trace_sample(4)
-            .with_io(IoMode::Polled { io_threads: 2 });
-        assert_eq!(c.dispatch.mode, DispatchMode::Sequential);
-        assert_eq!(c.dispatch.window.depth, 8);
-        assert_eq!(c.obs.trace_sample, 4);
-        assert_eq!(c.io.mode, IoMode::Polled { io_threads: 2 });
-        assert_eq!(c.io.proxy.io, IoMode::Polled { io_threads: 2 });
-        // with_window keeps its historical clamp; the sectioned setter
-        // leaves 0 for build() to reject instead.
-        assert_eq!(
-            LegoSdnConfig::default()
-                .with_window(0)
-                .dispatch
-                .window
-                .depth,
-            1
-        );
-        assert_eq!(DispatchWindow::new(0).depth, 1);
-
-        let mine = Obs::new();
-        let c = LegoSdnConfig::default()
-            .with_journal_capacity(16)
-            .with_obs(mine.clone());
-        mine.counter("t", "probe", "").inc();
-        assert_eq!(
-            c.obs
-                .instance
-                .as_ref()
-                .unwrap()
-                .counter("t", "probe", "")
-                .get(),
-            1
-        );
-        let c = LegoSdnConfig::default()
-            .with_obs(mine)
-            .with_journal_capacity(16);
         assert_eq!(c.obs.instance.unwrap().journal().capacity(), 16);
     }
 }

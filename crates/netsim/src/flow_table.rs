@@ -3,14 +3,42 @@
 //!
 //! The table is the unit of state NetLog must be able to roll back, so every
 //! mutation reports exactly what it displaced (as [`FlowEntrySnapshot`]s).
+//!
+//! # Index structure (DESIGN.md §14)
+//!
+//! Entries live in `entries`, always sorted by `(priority desc, seq asc)` —
+//! the canonical table order that iteration, displaced-snapshot ordering, and
+//! the codec all observe. On top sit two derived tiers:
+//!
+//! - `exact`: a hash index from [`ExactKey`] (the fully-concrete 12-tuple
+//!   fingerprint) to the candidates carrying that exact match. Keyed with a
+//!   deterministic FNV-1a + splitmix64-avalanche hasher (the `stable_shard`
+//!   recipe) so behaviour never depends on std's per-process SipHash seeds.
+//! - `wild`: the candidates whose match wildcards at least one field, in
+//!   table order.
+//!
+//! A lookup probes the exact tier once with the packet's own key, then scans
+//! only the wildcard tier, stopping as soon as the remaining wildcard
+//! candidates rank below the exact hit. Candidates are `(priority, seq)`
+//! pairs — unique, and locating one in `entries` is a binary search — so the
+//! index never stores positions that an insert or remove would invalidate.
+//!
+//! The tiers and the expiry watermark are *derived* state: they are rebuilt
+//! from `entries` on decode and never encoded, keeping the wire format
+//! byte-identical to the historical flat `Vec<FlowEntry>` representation
+//! (see [`reference::LinearFlowTable`](crate::reference::LinearFlowTable),
+//! the retained linear implementation the equivalence suite checks against).
 
-use crate::clock::SimTime;
-use legosdn_codec::Codec;
+use crate::clock::{SimDuration, SimTime};
+use legosdn_codec::{Codec, CodecError, Reader};
 use legosdn_openflow::error::{ErrorCode, ErrorType};
 use legosdn_openflow::messages::{
     ErrorMsg, FlowEntrySnapshot, FlowMod, FlowModCommand, FlowRemovedReason, TableStats,
 };
-use legosdn_openflow::prelude::{Action, Match, Packet, PortNo};
+use legosdn_openflow::prelude::{Action, ExactKey, Match, Packet, PortNo};
+use std::cmp::Reverse;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// An installed flow entry.
 #[derive(Clone, Debug, PartialEq, Eq, Codec)]
@@ -27,7 +55,7 @@ pub struct FlowEntry {
     pub packet_count: u64,
     pub byte_count: u64,
     /// Monotone insertion sequence; breaks priority ties deterministically.
-    seq: u64,
+    pub(crate) seq: u64,
 }
 
 impl FlowEntry {
@@ -35,8 +63,11 @@ impl FlowEntry {
     #[must_use]
     pub fn snapshot(&self, now: SimTime) -> FlowEntrySnapshot {
         let elapsed = now.since(self.installed_at).as_secs();
+        // Durations saturate into the 32-bit OpenFlow counters rather than
+        // silently truncating once the clock passes u32::MAX seconds.
+        let elapsed_sec = u32::try_from(elapsed).unwrap_or(u32::MAX);
         let remaining_hard = if self.hard_timeout > 0 {
-            Some(u32::from(self.hard_timeout).saturating_sub(elapsed as u32))
+            Some(u32::from(self.hard_timeout).saturating_sub(elapsed_sec))
         } else {
             None
         };
@@ -47,7 +78,7 @@ impl FlowEntry {
             idle_timeout: self.idle_timeout,
             hard_timeout: self.hard_timeout,
             remaining_hard,
-            duration_sec: elapsed as u32,
+            duration_sec: elapsed_sec,
             packet_count: self.packet_count,
             byte_count: self.byte_count,
             send_flow_removed: self.send_flow_removed,
@@ -62,6 +93,21 @@ impl FlowEntry {
         self.actions
             .iter()
             .any(|a| matches!(a, Action::Output(p) if *p == port))
+    }
+
+    /// The earliest instant at which this entry could expire, if it has any
+    /// timeout at all. Idle deadlines move later on every match, so a cached
+    /// minimum over these is a conservative (never-late) watermark.
+    fn deadline(&self) -> Option<SimTime> {
+        let hard = (self.hard_timeout > 0)
+            .then(|| self.installed_at + SimDuration::from_secs(u64::from(self.hard_timeout)));
+        let idle = (self.idle_timeout > 0)
+            .then(|| self.last_matched + SimDuration::from_secs(u64::from(self.idle_timeout)));
+        match (hard, idle) {
+            (Some(h), Some(i)) => Some(h.min(i)),
+            (h, None) => h,
+            (None, i) => i,
+        }
     }
 }
 
@@ -85,14 +131,68 @@ pub struct ExpiredFlow {
     pub notify: bool,
 }
 
+/// FNV-1a accumulation with a splitmix64 avalanche finisher — the same
+/// recipe as `stable_shard` in `legosdn-core`. Deterministic across runs
+/// and platforms, unlike std's randomly-seeded SipHash.
+#[derive(Clone)]
+pub(crate) struct FnvSplitHasher(u64);
+
+impl Default for FnvSplitHasher {
+    fn default() -> Self {
+        FnvSplitHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvSplitHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+}
+
+type BuildFnvSplit = BuildHasherDefault<FnvSplitHasher>;
+
+/// A reference to an installed entry that survives inserts and removals:
+/// `(priority, seq)` is unique and binary-searchable in the sorted store.
+type Cand = (u16, u64);
+
+/// Sort key implementing the table order: priority desc, insertion seq asc.
+fn rank(c: Cand) -> (Reverse<u16>, u64) {
+    (Reverse(c.0), c.1)
+}
+
 /// A single-table OpenFlow 1.0 flow table.
-#[derive(Clone, Debug, Default, Codec)]
+#[derive(Clone, Debug, Default)]
 pub struct FlowTable {
+    /// Canonical store, sorted by `(priority desc, seq asc)`.
     entries: Vec<FlowEntry>,
     next_seq: u64,
     max_entries: usize,
     lookup_count: u64,
     matched_count: u64,
+    /// Exact-match tier: candidates per fully-concrete 12-tuple, each bucket
+    /// in table order. Derived from `entries`; never encoded.
+    exact: HashMap<ExactKey, Vec<Cand>, BuildFnvSplit>,
+    /// Wildcard tier: candidates without an exact key, in table order, each
+    /// carrying a copy of its match so the lookup/filter fast paths never
+    /// chase back into `entries` for losers. Safe to copy because an
+    /// entry's match is immutable from install to removal (modify rewrites
+    /// only actions and cookie). Derived from `entries`; never encoded.
+    wild: Vec<(Cand, Match)>,
+    /// Conservative minimum over entry deadlines: `expire(now)` is a no-op
+    /// whenever `now` precedes it. `None` means nothing can ever expire.
+    earliest_deadline: Option<SimTime>,
 }
 
 impl FlowTable {
@@ -137,6 +237,152 @@ impl FlowTable {
         }
     }
 
+    /// Position of an indexed candidate in the sorted store.
+    fn position_of(&self, c: Cand) -> usize {
+        self.entries
+            .binary_search_by_key(&rank(c), |e| rank((e.priority, e.seq)))
+            .expect("indexed candidate present in entries")
+    }
+
+    /// Rebuild both tiers from `entries` (which must already be sorted).
+    fn rebuild_tiers(&mut self) {
+        self.exact.clear();
+        self.wild.clear();
+        for e in &self.entries {
+            let cand = (e.priority, e.seq);
+            match e.mat.exact_key() {
+                Some(k) => self.exact.entry(k).or_default().push(cand),
+                None => self.wild.push((cand, e.mat.clone())),
+            }
+        }
+    }
+
+    /// Recompute the expiry watermark from the live entries.
+    fn recompute_deadline(&mut self) {
+        self.earliest_deadline = self.entries.iter().filter_map(FlowEntry::deadline).min();
+    }
+
+    /// Insert a fresh entry into the store and its tier, maintaining order
+    /// and the watermark.
+    fn insert_entry(&mut self, entry: FlowEntry) {
+        let cand = (entry.priority, entry.seq);
+        if let Some(d) = entry.deadline() {
+            self.earliest_deadline = Some(match self.earliest_deadline {
+                Some(w) => w.min(d),
+                None => d,
+            });
+        }
+        let key = entry.mat.exact_key();
+        let mat = entry.mat.clone();
+        let pos = self
+            .entries
+            .partition_point(|e| rank((e.priority, e.seq)) < rank(cand));
+        self.entries.insert(pos, entry);
+        match key {
+            Some(k) => {
+                let bucket = self.exact.entry(k).or_default();
+                let p = bucket.partition_point(|&c| rank(c) < rank(cand));
+                bucket.insert(p, cand);
+            }
+            None => {
+                let p = self.wild.partition_point(|(c, _)| rank(*c) < rank(cand));
+                self.wild.insert(p, (cand, mat));
+            }
+        }
+    }
+
+    /// Remove one indexed candidate from the store and its tier. The
+    /// watermark is left untouched: removal can only raise the true minimum,
+    /// so the cached value stays conservative.
+    fn remove_entry(&mut self, cand: Cand) -> FlowEntry {
+        let pos = self.position_of(cand);
+        let e = self.entries.remove(pos);
+        match e.mat.exact_key() {
+            Some(k) => {
+                let bucket = self.exact.get_mut(&k).expect("tier bucket for entry");
+                let i = bucket
+                    .iter()
+                    .position(|&c| c == cand)
+                    .expect("candidate in bucket");
+                bucket.remove(i);
+                if bucket.is_empty() {
+                    self.exact.remove(&k);
+                }
+            }
+            None => {
+                let i = self
+                    .wild
+                    .iter()
+                    .position(|(c, _)| *c == cand)
+                    .expect("candidate in wild tier");
+                self.wild.remove(i);
+            }
+        }
+        e
+    }
+
+    /// The unique entry with exactly this `(mat, priority)`, if installed —
+    /// the add-replace / strict-modify / strict-delete target.
+    fn strict_target(&self, mat: &Match, priority: u16) -> Option<Cand> {
+        match mat.exact_key() {
+            // Bucket members carry this identical match (the key is
+            // injective), so only the priority needs checking.
+            Some(k) => self
+                .exact
+                .get(&k)
+                .and_then(|b| b.iter().find(|c| c.0 == priority).copied()),
+            // A match without a key can only equal wildcard-tier entries.
+            None => self
+                .wild
+                .iter()
+                .find(|(c, m)| c.0 == priority && m == mat)
+                .map(|(c, _)| *c),
+        }
+    }
+
+    /// All candidates whose match `mat` subsumes, in table order — the
+    /// non-strict modify/delete and flow-stats filter set.
+    fn subsumed_candidates(&self, mat: &Match) -> Vec<Cand> {
+        match mat.exact_key() {
+            Some(k) => {
+                // The exact bucket holds the identical matches. An exact
+                // outer can additionally subsume a handful of wildcard-tier
+                // entries (non-/32 prefixes masking the same network, PCP
+                // presence quirks), so the small wild tier is still scanned;
+                // the two sorted runs merge back into table order.
+                let bucket: &[Cand] = self.exact.get(&k).map_or(&[], Vec::as_slice);
+                let wilds: Vec<Cand> = self
+                    .wild
+                    .iter()
+                    .filter(|(_, m)| mat.subsumes(m))
+                    .map(|(c, _)| *c)
+                    .collect();
+                let mut out = Vec::with_capacity(bucket.len() + wilds.len());
+                let (mut i, mut j) = (0, 0);
+                while i < bucket.len() && j < wilds.len() {
+                    if rank(bucket[i]) < rank(wilds[j]) {
+                        out.push(bucket[i]);
+                        i += 1;
+                    } else {
+                        out.push(wilds[j]);
+                        j += 1;
+                    }
+                }
+                out.extend_from_slice(&bucket[i..]);
+                out.extend_from_slice(&wilds[j..]);
+                out
+            }
+            None => {
+                let class = mat.wildcard_class();
+                self.entries
+                    .iter()
+                    .filter(|e| class.could_subsume(e.mat.wildcard_class()) && mat.subsumes(&e.mat))
+                    .map(|e| (e.priority, e.seq))
+                    .collect()
+            }
+        }
+    }
+
     /// Apply a flow-mod. Returns what was displaced, or the OpenFlow error
     /// the switch would send (table full, overlap).
     pub fn apply(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, ErrorMsg> {
@@ -166,12 +412,8 @@ impl FlowTable {
         let mut outcome = FlowModOutcome::default();
         // An add replaces an identical match+priority entry without
         // generating a flow-removed (OF 1.0 §4.6).
-        if let Some(pos) = self
-            .entries
-            .iter()
-            .position(|e| e.priority == fm.priority && e.mat == fm.mat)
-        {
-            let old = self.entries.remove(pos);
+        if let Some(cand) = self.strict_target(&fm.mat, fm.priority) {
+            let old = self.remove_entry(cand);
             outcome.displaced.push(old.snapshot(now));
         } else if self.max_entries > 0 && self.entries.len() >= self.max_entries {
             return Err(ErrorMsg {
@@ -182,7 +424,7 @@ impl FlowTable {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        let entry = FlowEntry {
+        self.insert_entry(FlowEntry {
             mat: fm.mat.clone(),
             priority: fm.priority,
             cookie: fm.cookie,
@@ -195,14 +437,7 @@ impl FlowTable {
             packet_count: 0,
             byte_count: 0,
             seq,
-        };
-        // Keep sorted: priority desc, then insertion order.
-        let pos = self
-            .entries
-            .iter()
-            .position(|e| e.priority < entry.priority)
-            .unwrap_or(self.entries.len());
-        self.entries.insert(pos, entry);
+        });
         Ok(outcome)
     }
 
@@ -213,21 +448,21 @@ impl FlowTable {
         strict: bool,
     ) -> Result<FlowModOutcome, ErrorMsg> {
         let mut outcome = FlowModOutcome::default();
-        let mut touched = false;
-        for e in &mut self.entries {
-            let hit = if strict {
-                e.priority == fm.priority && e.mat == fm.mat
-            } else {
-                fm.mat.subsumes(&e.mat)
-            };
-            if hit {
-                outcome.displaced.push(e.snapshot(now));
-                e.actions = fm.actions.clone();
-                e.cookie = fm.cookie;
-                touched = true;
-            }
+        let targets: Vec<Cand> = if strict {
+            self.strict_target(&fm.mat, fm.priority)
+                .into_iter()
+                .collect()
+        } else {
+            self.subsumed_candidates(&fm.mat)
+        };
+        for cand in &targets {
+            let pos = self.position_of(*cand);
+            let e = &mut self.entries[pos];
+            outcome.displaced.push(e.snapshot(now));
+            e.actions = fm.actions.clone();
+            e.cookie = fm.cookie;
         }
-        if !touched {
+        if targets.is_empty() {
             // OF 1.0: a modify that matches nothing behaves like an add.
             return self.add(fm, now);
         }
@@ -237,23 +472,48 @@ impl FlowTable {
     fn delete(&mut self, fm: &FlowMod, now: SimTime, strict: bool) -> FlowModOutcome {
         let mut outcome = FlowModOutcome::default();
         let out_port = fm.out_port;
-        self.entries.retain(|e| {
-            let hit = if strict {
-                e.priority == fm.priority && e.mat == fm.mat
-            } else {
-                fm.mat.subsumes(&e.mat)
-            };
-            let hit = hit && (out_port == PortNo::None || e.outputs_to(out_port));
-            if hit {
-                let snap = e.snapshot(now);
-                if e.send_flow_removed {
-                    outcome.notify_removed.push(snap.clone());
-                }
-                outcome.displaced.push(snap);
+        let targets: Vec<Cand> = if strict {
+            self.strict_target(&fm.mat, fm.priority)
+                .into_iter()
+                .collect()
+        } else {
+            self.subsumed_candidates(&fm.mat)
+        };
+        for cand in targets {
+            if out_port != PortNo::None
+                && !self.entries[self.position_of(cand)].outputs_to(out_port)
+            {
+                continue;
             }
-            !hit
-        });
+            let e = self.remove_entry(cand);
+            let snap = e.snapshot(now);
+            if e.send_flow_removed {
+                outcome.notify_removed.push(snap.clone());
+            }
+            outcome.displaced.push(snap);
+        }
         outcome
+    }
+
+    /// The winning candidate for `pkt` on `in_port`: the highest-priority
+    /// (earliest-seq on ties) matching entry, found by one exact-tier probe
+    /// plus a wildcard-tier scan that stops as soon as the remaining
+    /// wildcard candidates rank below the exact hit.
+    fn find_best(&self, pkt: &Packet, in_port: PortNo) -> Option<Cand> {
+        let exact_best = ExactKey::of_packet(pkt, in_port)
+            .and_then(|k| self.exact.get(&k))
+            .and_then(|b| b.first().copied());
+        for (cand, m) in &self.wild {
+            if let Some(best) = exact_best {
+                if rank(*cand) >= rank(best) {
+                    break;
+                }
+            }
+            if m.matches(pkt, in_port) {
+                return Some(*cand);
+            }
+        }
+        exact_best
     }
 
     /// Match `pkt` arriving on `in_port`, updating counters on hit.
@@ -262,27 +522,36 @@ impl FlowTable {
     /// deterministic behaviour of software switches.
     pub fn lookup(&mut self, pkt: &Packet, in_port: PortNo, now: SimTime) -> Option<&FlowEntry> {
         self.lookup_count += 1;
+        let winner = self.find_best(pkt, in_port)?;
         let wire_len = u64::from(pkt.wire_len());
-        for e in &mut self.entries {
-            if e.mat.matches(pkt, in_port) {
-                e.packet_count += 1;
-                e.byte_count += wire_len;
-                e.last_matched = now;
-                self.matched_count += 1;
-                return Some(e);
-            }
+        let pos = self.position_of(winner);
+        {
+            // The idle deadline only moves later here, so the cached expiry
+            // watermark stays conservative without an update.
+            let e = &mut self.entries[pos];
+            e.packet_count += 1;
+            e.byte_count += wire_len;
+            e.last_matched = now;
         }
-        None
+        self.matched_count += 1;
+        Some(&self.entries[pos])
     }
 
     /// Match without mutating counters (used by invariant checkers).
     #[must_use]
     pub fn peek(&self, pkt: &Packet, in_port: PortNo) -> Option<&FlowEntry> {
-        self.entries.iter().find(|e| e.mat.matches(pkt, in_port))
+        self.find_best(pkt, in_port)
+            .map(|c| &self.entries[self.position_of(c)])
     }
 
-    /// Expire idle and hard timeouts as of `now`.
+    /// Expire idle and hard timeouts as of `now`. Returns immediately —
+    /// without scanning — while `now` precedes the earliest possible
+    /// deadline.
     pub fn expire(&mut self, now: SimTime) -> Vec<ExpiredFlow> {
+        match self.earliest_deadline {
+            Some(watermark) if now >= watermark => {}
+            _ => return Vec::new(),
+        }
         let mut expired = Vec::new();
         self.entries.retain(|e| {
             let hard_hit = e.hard_timeout > 0
@@ -304,6 +573,12 @@ impl FlowTable {
                 true
             }
         });
+        if !expired.is_empty() {
+            self.rebuild_tiers();
+        }
+        // The watermark may have been stale-early (idle deadlines moved by
+        // traffic); recompute from the survivors either way.
+        self.recompute_deadline();
         expired
     }
 
@@ -316,9 +591,9 @@ impl FlowTable {
         out_port: PortNo,
         now: SimTime,
     ) -> Vec<FlowEntrySnapshot> {
-        self.entries
-            .iter()
-            .filter(|e| mat.subsumes(&e.mat))
+        self.subsumed_candidates(mat)
+            .into_iter()
+            .map(|c| &self.entries[self.position_of(c)])
             .filter(|e| out_port == PortNo::None || e.outputs_to(out_port))
             .map(|e| e.snapshot(now))
             .collect()
@@ -333,21 +608,59 @@ impl FlowTable {
         packets: u64,
         bytes: u64,
     ) -> bool {
-        for e in &mut self.entries {
-            if e.priority == priority && e.mat == *mat {
+        match self.strict_target(mat, priority) {
+            Some(cand) => {
+                let pos = self.position_of(cand);
+                let e = &mut self.entries[pos];
                 e.packet_count = packets;
                 e.byte_count = bytes;
-                return true;
+                true
             }
+            None => false,
         }
-        false
+    }
+}
+
+// Manual impl: only the five logical fields travel, in the same order the
+// historical `#[derive(Codec)]` on the flat representation emitted them, so
+// snapshots and NetLog undo records stay byte-identical across the index
+// refactor. The tiers and watermark are rebuilt from the entries on decode.
+impl Codec for FlowTable {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.entries.encode(out);
+        self.next_seq.encode(out);
+        self.max_entries.encode(out);
+        self.lookup_count.encode(out);
+        self.matched_count.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let mut t = FlowTable {
+            entries: Vec::<FlowEntry>::decode(r)?,
+            next_seq: u64::decode(r)?,
+            max_entries: usize::decode(r)?,
+            lookup_count: u64::decode(r)?,
+            matched_count: u64::decode(r)?,
+            ..FlowTable::default()
+        };
+        // Defensive against hand-built input: canonical order is part of the
+        // determinism contract, and `next_seq` must stay ahead of every
+        // installed entry. A well-formed encoding is already sorted (the
+        // stable sort is then a no-op pass).
+        t.entries.sort_by_key(|e| (Reverse(e.priority), e.seq));
+        if let Some(max_seq) = t.entries.iter().map(|e| e.seq).max() {
+            t.next_seq = t.next_seq.max(max_seq + 1);
+        }
+        t.rebuild_tiers();
+        t.recompute_deadline();
+        Ok(t)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use legosdn_openflow::prelude::MacAddr;
+    use legosdn_openflow::prelude::{Ipv4Addr, MacAddr};
 
     fn pkt_to(dst: u64) -> Packet {
         Packet::ethernet(MacAddr::from_index(1), MacAddr::from_index(dst))
@@ -659,5 +972,146 @@ mod tests {
         assert!(t.peek(&pkt_to(2), PortNo::Phys(1)).is_some());
         assert_eq!(t.stats().lookup_count, 0);
         assert_eq!(t.iter().next().unwrap().packet_count, 0);
+    }
+
+    fn tcp_pkt(src: u64, dst: u64, sport: u16, dport: u16) -> Packet {
+        Packet::tcp(
+            MacAddr::from_index(src),
+            MacAddr::from_index(dst),
+            Ipv4Addr::from_index(src as u32),
+            Ipv4Addr::from_index(dst as u32),
+            sport,
+            dport,
+        )
+    }
+
+    #[test]
+    fn exact_tier_and_wildcard_tier_agree_on_priority() {
+        let mut t = FlowTable::default();
+        let p = tcp_pkt(1, 2, 4000, 80);
+        // Exact entry at priority 10, overlapping wildcard at 50: wildcard
+        // must win even though the exact tier probes first.
+        t.apply(
+            &add(Match::from_packet(&p, PortNo::Phys(1)), 10, 3),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(2)), 50, 4),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let hit = t.lookup(&p, PortNo::Phys(1), SimTime::ZERO).unwrap();
+        assert_eq!(hit.priority, 50);
+        // Drop the wildcard: the exact entry takes over.
+        t.apply(
+            &FlowMod::delete_strict(Match::eth_dst(MacAddr::from_index(2)), 50),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let hit = t.lookup(&p, PortNo::Phys(1), SimTime::ZERO).unwrap();
+        assert_eq!(hit.priority, 10);
+        // A same-priority wildcard inserted later loses the seq tiebreak.
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(2)), 10, 5),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let hit = t.lookup(&p, PortNo::Phys(1), SimTime::ZERO).unwrap();
+        assert_eq!(hit.actions, vec![Action::Output(PortNo::Phys(3))]);
+    }
+
+    #[test]
+    fn snapshot_saturates_past_u32_max_seconds() {
+        // Regression: `duration_sec` and the `remaining_hard` subtrahend
+        // used to truncate with `as u32` once the sim clock passed
+        // u32::MAX seconds, wrapping durations back toward zero.
+        let mut t = FlowTable::default();
+        t.apply(&add(Match::any(), 5, 1).hard_timeout(60), SimTime::ZERO)
+            .unwrap();
+        let far = SimTime::from_secs(u64::from(u32::MAX) + 100);
+        let snaps = t.snapshot_matching(&Match::any(), PortNo::None, far);
+        assert_eq!(snaps[0].duration_sec, u32::MAX, "saturates, not wraps");
+        assert_eq!(snaps[0].remaining_hard, Some(0));
+    }
+
+    #[test]
+    fn expire_early_returns_before_watermark() {
+        let mut t = FlowTable::default();
+        // No timeouts anywhere: no deadline, expire never scans.
+        t.apply(&add(Match::any(), 5, 1), SimTime::ZERO).unwrap();
+        assert!(t.expire(SimTime::from_secs(1_000_000)).is_empty());
+        assert_eq!(t.len(), 1);
+        // A timeout sets the watermark; traffic moves the true idle deadline
+        // later than the stale watermark, which must still never expire the
+        // entry early.
+        t.apply(&add(Match::any(), 9, 1).idle_timeout(10), SimTime::ZERO)
+            .unwrap();
+        t.lookup(&pkt_to(2), PortNo::Phys(1), SimTime::from_secs(8));
+        assert!(t.expire(SimTime::from_secs(12)).is_empty());
+        assert_eq!(t.len(), 2);
+        let exp = t.expire(SimTime::from_secs(18));
+        assert_eq!(exp.len(), 1);
+        assert_eq!(exp[0].reason, FlowRemovedReason::IdleTimeout);
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_behaviour_and_bytes() {
+        let mut t = FlowTable::with_capacity(100);
+        let p = tcp_pkt(1, 2, 4000, 80);
+        t.apply(
+            &add(Match::from_packet(&p, PortNo::Phys(1)), 10, 3).idle_timeout(30),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        t.apply(
+            &add(Match::eth_dst(MacAddr::from_index(7)), 5, 2),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        t.lookup(&p, PortNo::Phys(1), SimTime::from_secs(1));
+        let bytes = legosdn_codec::to_bytes(&t).unwrap();
+        let mut back: FlowTable = legosdn_codec::from_bytes(&bytes).unwrap();
+        // The rebuilt index must encode identically and behave identically.
+        assert_eq!(legosdn_codec::to_bytes(&back).unwrap(), bytes);
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.stats(), t.stats());
+        let (a, b) = (
+            t.lookup(&p, PortNo::Phys(1), SimTime::from_secs(2))
+                .cloned(),
+            back.lookup(&p, PortNo::Phys(1), SimTime::from_secs(2))
+                .cloned(),
+        );
+        assert_eq!(a, b);
+        // Adds after decode continue the seq stream, not restart it.
+        t.apply(&add(Match::any(), 5, 9), SimTime::ZERO).unwrap();
+        back.apply(&add(Match::any(), 5, 9), SimTime::ZERO).unwrap();
+        assert_eq!(
+            legosdn_codec::to_bytes(&t).unwrap(),
+            legosdn_codec::to_bytes(&back).unwrap()
+        );
+    }
+
+    #[test]
+    fn exact_delete_still_catches_subsumed_wildcard_oddities() {
+        // An exact match subsumes a same-network non-/32-prefix entry; the
+        // indexed fast path must not lose it to the wildcard tier.
+        let mut t = FlowTable::default();
+        let p = tcp_pkt(1, 2, 4000, 80);
+        let exact = Match::from_packet(&p, PortNo::Phys(1));
+        let mut odd = exact.clone();
+        odd.ip_dst = odd.ip_dst.map(|(net, _)| (net, 40)); // masks like /32
+        assert!(odd.exact_key().is_none());
+        assert!(exact.subsumes(&odd));
+        t.apply(&add(exact.clone(), 5, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(odd, 7, 2), SimTime::ZERO).unwrap();
+        let out = t
+            .apply(&FlowMod::delete(exact.clone()), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(out.displaced.len(), 2, "both tiers displaced");
+        // Displaced snapshots arrive in table order: priority 7 first.
+        assert_eq!(out.displaced[0].priority, 7);
+        assert_eq!(out.displaced[1].priority, 5);
+        assert!(t.is_empty());
     }
 }

@@ -50,7 +50,7 @@ pub mod prelude {
     pub use crate::actions::{apply_actions, Action};
     pub use crate::error::{CodecError, ErrorCode, ErrorType};
     pub use crate::inverse::{inverse_of, Inverse};
-    pub use crate::matching::Match;
+    pub use crate::matching::{ExactKey, Match, WildcardClass};
     pub use crate::messages::{
         ErrorMsg, FlowEntrySnapshot, FlowMod, FlowModCommand, FlowRemoved, FlowRemovedReason,
         Message, MessageKind, PacketIn, PacketInReason, PacketOut, PortDesc, PortMod, PortStats,

@@ -10,6 +10,80 @@ use crate::packet::{EtherType, IpProto, Packet};
 use crate::types::{prefix_mask, Ipv4Addr, MacAddr, PortNo, VlanId};
 use legosdn_codec::Codec;
 
+/// A fully-concrete 12-tuple: the canonical fingerprint of an exact match.
+///
+/// A [`Match`] has an `ExactKey` iff every field is concrete — no wildcards,
+/// `/32` network prefixes, and `vlan_pcp` present exactly when the VLAN is
+/// tagged (`vlan_pcp` is canonicalized to `0` for untagged traffic, mirroring
+/// [`Match::matches`], which ignores PCP on untagged frames). Two matches
+/// with the same key are the *same* match, and an exact match hits a packet
+/// iff the packet's own key (see [`ExactKey::of_packet`]) is equal — which is
+/// what lets a flow table index exact entries in a hash map instead of
+/// scanning.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ExactKey {
+    pub in_port: PortNo,
+    pub eth_src: MacAddr,
+    pub eth_dst: MacAddr,
+    pub vlan: VlanId,
+    /// Canonically `0` when `vlan` is untagged.
+    pub vlan_pcp: u8,
+    pub eth_type: EtherType,
+    pub ip_tos: u8,
+    pub ip_proto: IpProto,
+    pub ip_src: Ipv4Addr,
+    pub ip_dst: Ipv4Addr,
+    pub tp_src: u16,
+    pub tp_dst: u16,
+}
+
+impl ExactKey {
+    /// The key of a packet arriving on `in_port`, if the packet is concrete
+    /// enough to ever hit an exact-match entry (L3 + L4 headers present).
+    /// Packets without a key — ARP, ICMP, bare L2 — can only hit wildcard
+    /// entries, so an indexed table skips the exact probe for them entirely.
+    #[must_use]
+    pub fn of_packet(pkt: &Packet, in_port: PortNo) -> Option<ExactKey> {
+        Some(ExactKey {
+            in_port,
+            eth_src: pkt.eth_src,
+            eth_dst: pkt.eth_dst,
+            vlan: pkt.vlan,
+            vlan_pcp: if pkt.vlan.is_tagged() {
+                pkt.vlan_pcp
+            } else {
+                0
+            },
+            eth_type: pkt.eth_type,
+            ip_tos: pkt.ip_tos,
+            ip_proto: pkt.ip_proto?,
+            ip_src: pkt.ip_src?,
+            ip_dst: pkt.ip_dst?,
+            tp_src: pkt.tp_src?,
+            tp_dst: pkt.tp_dst?,
+        })
+    }
+}
+
+/// Which of the 12 tuple fields a [`Match`] concretizes, as a bitmask.
+///
+/// The class is a cheap necessary condition for subsumption: `outer` can only
+/// subsume `inner` if every field `outer` constrains is also constrained by
+/// `inner` (`outer ⊆ inner` as bit sets). Scans that filter by
+/// [`Match::subsumes`] use [`WildcardClass::could_subsume`] as a prefilter to
+/// skip the per-field comparison for most entries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct WildcardClass(pub u16);
+
+impl WildcardClass {
+    /// Fast necessary condition for `outer.subsumes(inner)`: every concrete
+    /// field of `outer` must be concrete in `inner`.
+    #[must_use]
+    pub fn could_subsume(self, inner: WildcardClass) -> bool {
+        self.0 & !inner.0 == 0
+    }
+}
+
 /// An OpenFlow 1.0 12-tuple match. `None` fields are wildcards.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Codec)]
 pub struct Match {
@@ -105,6 +179,63 @@ impl Match {
     pub fn with_tp_dst(mut self, port: u16) -> Self {
         self.tp_dst = Some(port);
         self
+    }
+
+    /// The canonical exact-match fingerprint, if this match concretizes all
+    /// 12 tuple fields (see [`ExactKey`]).
+    ///
+    /// Requirements beyond plain `is_some()`: the IP prefixes must be exactly
+    /// `/32` (a longer stored length is not the same match even though it
+    /// masks identically), and `vlan_pcp` must be present iff the matched
+    /// VLAN is tagged (PCP on an untagged match can never match a frame; a
+    /// tagged match without PCP still spans 8 PCP values). The key is
+    /// injective over matches that have one.
+    #[must_use]
+    pub fn exact_key(&self) -> Option<ExactKey> {
+        let vlan = self.vlan?;
+        let vlan_pcp = match (vlan.is_tagged(), self.vlan_pcp) {
+            (true, Some(p)) => p,
+            (false, None) => 0,
+            _ => return None,
+        };
+        let (ip_src, src_len) = self.ip_src?;
+        let (ip_dst, dst_len) = self.ip_dst?;
+        if src_len != 32 || dst_len != 32 {
+            return None;
+        }
+        Some(ExactKey {
+            in_port: self.in_port?,
+            eth_src: self.eth_src?,
+            eth_dst: self.eth_dst?,
+            vlan,
+            vlan_pcp,
+            eth_type: self.eth_type?,
+            ip_tos: self.ip_tos?,
+            ip_proto: self.ip_proto?,
+            ip_src,
+            ip_dst,
+            tp_src: self.tp_src?,
+            tp_dst: self.tp_dst?,
+        })
+    }
+
+    /// The set of fields this match concretizes, for subsumption prefilters.
+    #[must_use]
+    pub fn wildcard_class(&self) -> WildcardClass {
+        let mut bits = 0u16;
+        bits |= u16::from(self.in_port.is_some());
+        bits |= u16::from(self.eth_src.is_some()) << 1;
+        bits |= u16::from(self.eth_dst.is_some()) << 2;
+        bits |= u16::from(self.vlan.is_some()) << 3;
+        bits |= u16::from(self.vlan_pcp.is_some()) << 4;
+        bits |= u16::from(self.eth_type.is_some()) << 5;
+        bits |= u16::from(self.ip_tos.is_some()) << 6;
+        bits |= u16::from(self.ip_proto.is_some()) << 7;
+        bits |= u16::from(self.ip_src.is_some()) << 8;
+        bits |= u16::from(self.ip_dst.is_some()) << 9;
+        bits |= u16::from(self.tp_src.is_some()) << 10;
+        bits |= u16::from(self.tp_dst.is_some()) << 11;
+        WildcardClass(bits)
     }
 
     /// Does `pkt`, having arrived on `in_port`, satisfy this match?
@@ -337,6 +468,88 @@ mod tests {
         assert!(!narrow.subsumes(&wide));
         let disjoint = Match::ip_dst_prefix(Ipv4Addr::new(11, 0, 0, 0), 8);
         assert!(!disjoint.subsumes(&narrow));
+    }
+
+    #[test]
+    fn exact_key_exists_iff_fully_concrete() {
+        let p = pkt();
+        let full = Match::from_packet(&p, PortNo::Phys(1));
+        assert!(full.exact_key().is_some());
+        // Any wildcarded field kills the key.
+        let mut m = full.clone();
+        m.tp_dst = None;
+        assert!(m.exact_key().is_none());
+        assert!(Match::any().exact_key().is_none());
+        assert!(Match::eth_dst(p.eth_dst).exact_key().is_none());
+        // Non-/32 prefixes are not exact, even when they mask identically.
+        let mut m = full.clone();
+        m.ip_dst = m.ip_dst.map(|(net, _)| (net, 24));
+        assert!(m.exact_key().is_none());
+        let mut m = full.clone();
+        m.ip_dst = m.ip_dst.map(|(net, _)| (net, 40));
+        assert!(m.exact_key().is_none());
+    }
+
+    #[test]
+    fn exact_key_vlan_pcp_mirrors_tagging() {
+        let mut p = pkt();
+        // Untagged: pcp must stay wildcarded, and the key canonicalizes to 0.
+        let untagged = Match::from_packet(&p, PortNo::Phys(1));
+        assert_eq!(untagged.exact_key().unwrap().vlan_pcp, 0);
+        let mut bad = untagged.clone();
+        bad.vlan_pcp = Some(3);
+        assert!(bad.exact_key().is_none(), "pcp on untagged match");
+        // Tagged: pcp must be concrete.
+        p.vlan = VlanId(7);
+        p.vlan_pcp = 5;
+        let tagged = Match::from_packet(&p, PortNo::Phys(1));
+        assert_eq!(tagged.exact_key().unwrap().vlan_pcp, 5);
+        let mut bare = tagged.clone();
+        bare.vlan_pcp = None;
+        assert!(bare.exact_key().is_none(), "tagged match without pcp");
+    }
+
+    #[test]
+    fn packet_key_equality_is_exact_match_semantics() {
+        // The load-bearing lemma for indexed tables: an exact entry matches
+        // a packet iff the packet has a key and the keys are equal.
+        let p = pkt();
+        let m = Match::from_packet(&p, PortNo::Phys(3));
+        let mk = m.exact_key().unwrap();
+        assert_eq!(ExactKey::of_packet(&p, PortNo::Phys(3)), Some(mk));
+        assert!(m.matches(&p, PortNo::Phys(3)));
+        // Different port: keys differ and the match misses.
+        assert_ne!(ExactKey::of_packet(&p, PortNo::Phys(4)), Some(mk));
+        assert!(!m.matches(&p, PortNo::Phys(4)));
+        // A keyless packet never hits an exact entry.
+        let arp = Packet::arp(
+            p.eth_src,
+            p.eth_dst,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 1, 2),
+        );
+        assert!(ExactKey::of_packet(&arp, PortNo::Phys(3)).is_none());
+        assert!(!m.matches(&arp, PortNo::Phys(3)));
+    }
+
+    #[test]
+    fn wildcard_class_prefilters_subsumption() {
+        let p = pkt();
+        let wide = Match::eth_dst(p.eth_dst);
+        let narrow = Match::from_packet(&p, PortNo::Phys(1));
+        assert!(wide.wildcard_class().could_subsume(narrow.wildcard_class()));
+        assert!(!narrow.wildcard_class().could_subsume(wide.wildcard_class()));
+        assert!(Match::any()
+            .wildcard_class()
+            .could_subsume(wide.wildcard_class()));
+        // The class is only a necessary condition, so it must never be false
+        // when subsumption actually holds.
+        let prefix_wide = Match::ip_dst_prefix(Ipv4Addr::new(10, 0, 0, 0), 8);
+        let prefix_narrow = Match::ip_dst_prefix(Ipv4Addr::new(10, 0, 1, 0), 24);
+        assert!(prefix_wide.subsumes(&prefix_narrow));
+        assert!(prefix_wide
+            .wildcard_class()
+            .could_subsume(prefix_narrow.wildcard_class()));
     }
 
     #[test]

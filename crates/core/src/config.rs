@@ -133,12 +133,21 @@ pub struct DispatchConfig {
     /// [`DispatchMode::Sequential`].
     pub window: DispatchWindow,
     /// Worker shards: apps are partitioned across `workers` shards by a
-    /// stable hash, each with its own AppVisor proxy, Crash-Pad, and
-    /// window machinery (DESIGN.md §13). `1` (the default) runs the
-    /// single-threaded engine; values above 1 take effect under
+    /// load-aware balancer, each with its own AppVisor proxy, Crash-Pad,
+    /// and window machinery (DESIGN.md §13, §15). `1` (the default) runs
+    /// the single-threaded engine; values above 1 take effect under
     /// [`DispatchMode::Pipelined`] and commit through the cross-shard
     /// barrier, bit-identical to the sequential reference.
     pub workers: usize,
+    /// Cross-cycle windowing: one `run_cycle` call may consume follow-on
+    /// events triggered by its own commits, up to `lookahead_cycles ×`
+    /// the cycle's initial event count, instead of draining the window
+    /// at every cycle boundary (DESIGN.md §15). `1` (the default) is
+    /// today's behavior — a cycle processes exactly the events queued
+    /// when it started. Applies identically in every dispatch mode, so
+    /// sharded runs stay bit-identical to the sequential reference at
+    /// the same lookahead.
+    pub lookahead_cycles: usize,
 }
 
 impl Default for DispatchConfig {
@@ -147,6 +156,7 @@ impl Default for DispatchConfig {
             mode: DispatchMode::default(),
             window: DispatchWindow::default(),
             workers: 1,
+            lookahead_cycles: 1,
         }
     }
 }
@@ -183,6 +193,14 @@ impl DispatchConfig {
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Set the cross-cycle lookahead budget. Not clamped: 0 is rejected
+    /// by [`LegoSdnConfig::build`].
+    #[must_use]
+    pub fn lookahead(mut self, lookahead_cycles: usize) -> Self {
+        self.lookahead_cycles = lookahead_cycles;
         self
     }
 }
@@ -243,9 +261,9 @@ pub struct ObsConfig {
     /// Causal-trace sampling: begin a flight-recorder trace for every
     /// Nth translated event. `1` (the default) traces every event, `0`
     /// disables tracing entirely; untraced events pay a single relaxed
-    /// atomic load per layer hook. Ignored (tracing off) when
-    /// `dispatch.workers > 1`: worker shards share one recorder and
-    /// ambient scoping is not meaningful across threads.
+    /// atomic load per layer hook. Worker shards share one recorder with
+    /// per-thread ambient scopes, so sampling works at any
+    /// `dispatch.workers` count.
     pub trace_sample: u64,
     /// `false` routes the runtime to a throwaway private instance and
     /// requires `trace_sample == 0` (enforced by
@@ -310,6 +328,9 @@ pub enum ConfigError {
     ZeroIoThreads,
     /// `dispatch.workers == 0`: at least one worker shard must exist.
     ZeroWorkers,
+    /// `dispatch.lookahead_cycles == 0`: a cycle must be allowed to
+    /// process at least its own events.
+    ZeroLookahead,
     /// `obs.trace_sample > 0` with `obs.enabled == false`: traces would
     /// record into a throwaway instance nobody can read.
     TraceWithObsDisabled,
@@ -321,6 +342,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroWindowDepth => write!(f, "dispatch.window.depth must be at least 1"),
             ConfigError::ZeroIoThreads => write!(f, "io polled mode needs at least 1 io thread"),
             ConfigError::ZeroWorkers => write!(f, "dispatch.workers must be at least 1"),
+            ConfigError::ZeroLookahead => {
+                write!(f, "dispatch.lookahead_cycles must be at least 1")
+            }
             ConfigError::TraceWithObsDisabled => {
                 write!(f, "trace_sample > 0 requires observability enabled")
             }
@@ -395,6 +419,9 @@ impl LegoSdnConfig {
         if self.dispatch.workers == 0 {
             return Err(ConfigError::ZeroWorkers);
         }
+        if self.dispatch.lookahead_cycles == 0 {
+            return Err(ConfigError::ZeroLookahead);
+        }
         if let IoMode::Polled { io_threads } = self.io.mode {
             if io_threads == 0 {
                 return Err(ConfigError::ZeroIoThreads);
@@ -423,6 +450,10 @@ mod tests {
         assert_eq!(c.dispatch.mode, DispatchMode::Pipelined);
         assert_eq!(c.dispatch.window, DispatchWindow { depth: 1 });
         assert_eq!(c.dispatch.workers, 1);
+        assert_eq!(
+            c.dispatch.lookahead_cycles, 1,
+            "default lookahead drains the window at each cycle boundary"
+        );
         assert_eq!(c.io.mode, IoMode::Blocking);
         assert_eq!(c.netlog_mode, TxMode::Immediate);
         assert!(c.checker.is_some());
@@ -469,6 +500,15 @@ mod tests {
         };
         assert_eq!(zero_workers.build().unwrap_err(), ConfigError::ZeroWorkers);
 
+        let zero_lookahead = LegoSdnConfig {
+            dispatch: DispatchConfig::pipelined().lookahead(0),
+            ..LegoSdnConfig::default()
+        };
+        assert_eq!(
+            zero_lookahead.build().unwrap_err(),
+            ConfigError::ZeroLookahead
+        );
+
         let zero_io = LegoSdnConfig {
             io: IoConfig::polled(0),
             ..LegoSdnConfig::default()
@@ -497,6 +537,7 @@ mod tests {
             ConfigError::ZeroWindowDepth,
             ConfigError::ZeroIoThreads,
             ConfigError::ZeroWorkers,
+            ConfigError::ZeroLookahead,
             ConfigError::TraceWithObsDisabled,
         ] {
             assert!(!e.to_string().is_empty());

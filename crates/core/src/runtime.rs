@@ -31,8 +31,8 @@
 use crate::config::{DispatchMode, IsolationMode, LegoSdnConfig, ResourceLimits};
 use crate::host::{Host, ProxyAdapter};
 use crate::workers::{
-    commit_outcome, delivery_label, select_app, stable_shard, AppRecord, CommitLane, ShardApp,
-    ShardCtx, ShardRouter, WindowSlot, WorkerRun, WorkerShard, TXS_PER_POS,
+    commit_outcome, delivery_label, select_app, AppRecord, CommitLane, ShardApp, ShardCtx,
+    ShardRouter, SlotStore, WindowSlot, WorkerRun, WorkerShard, TXS_PER_POS,
 };
 use legosdn_appvisor::{AppHandle, AppVisorProxy, TransportKind};
 use legosdn_controller::app::SdnApp;
@@ -42,6 +42,8 @@ use legosdn_crashpad::{CrashPad, DeliveryResult, DispatchResult, LocalSandbox, R
 use legosdn_invariants::Checker;
 use legosdn_netlog::{CommitBarrier, NetLog};
 use legosdn_obs::{Obs, TraceId};
+use legosdn_openflow::prelude::Message;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -159,6 +161,16 @@ pub struct LegoSdnRuntime {
     /// cycles (an Add displacing a notify-flagged entry would enqueue a
     /// `FlowRemoved` out of order).
     notify_flows_seen: bool,
+    /// Per-app-name dispatch-cost EWMA (nanoseconds), integrated from
+    /// the `dispatch_app_ns` histograms the workers feed. Drives the
+    /// load-aware shard balancer (DESIGN.md §15). Placement is
+    /// residue-independent (commits are admitted in global position
+    /// order), so this timing-derived signal cannot perturb the
+    /// determinism contract.
+    cost_ewma: HashMap<String, u64>,
+    /// Last-seen (sum, count) per `dispatch_app_ns` histogram, so each
+    /// EWMA update integrates only the newest observations.
+    cost_prev: HashMap<String, (u64, u64)>,
 }
 
 impl LegoSdnRuntime {
@@ -210,18 +222,21 @@ impl LegoSdnRuntime {
             trace_seen: 0,
             txid_cursor: 1,
             notify_flows_seen: false,
+            cost_ewma: HashMap::new(),
+            cost_prev: HashMap::new(),
             config,
         }
     }
 
     /// Sampling gate for the flight recorder: begin a trace for this
     /// event if it is the `trace_sample`th since the last traced one.
-    /// Returns the id for scope switching (`None`: not sampled). Sharded
-    /// runs never sample — the recorder's ambient scope is per-process,
-    /// not per-worker.
+    /// Returns the id for scope switching (`None`: not sampled).
+    /// Recorder scopes are per-thread, so sampling works at any worker
+    /// count — each worker tags its own slice of the window with the
+    /// event's trace id.
     fn trace_for_event(&mut self, event: &Event) -> Option<TraceId> {
         let sample = self.config.obs.trace_sample;
-        if sample == 0 || self.shards.len() > 1 {
+        if sample == 0 {
             return None;
         }
         self.trace_seen += 1;
@@ -265,9 +280,10 @@ impl LegoSdnRuntime {
     }
 
     /// Attach an app with specific resource limits (paper §3.4). The app
-    /// lands on the shard [`stable_shard`] maps its (name, attach
-    /// ordinal) to — a pure function, so the same roster shards the same
-    /// way on every run.
+    /// lands on the least-loaded shard by the dispatch-cost EWMA
+    /// (deterministic tie-break: fewest apps, then lowest worker id) —
+    /// with no cost signal yet, that is a pure count-balanced
+    /// round-robin, so the same roster shards the same way on every run.
     pub fn attach_with_limits(
         &mut self,
         app: Box<dyn SdnApp>,
@@ -276,7 +292,16 @@ impl LegoSdnRuntime {
         let name = app.name().to_string();
         let subscriptions = app.subscriptions();
         let global = self.router.len();
-        let worker = stable_shard(&name, global, self.shards.len());
+        let worker = (0..self.shards.len())
+            .min_by_key(|&w| {
+                let load: u64 = self.shards[w]
+                    .apps
+                    .iter()
+                    .map(|a| self.cost_ewma.get(&a.rec.name).copied().unwrap_or(0))
+                    .sum();
+                (load, self.shards[w].apps.len(), w)
+            })
+            .unwrap_or(0);
         let shard = &mut self.shards[worker];
         let host = match self.config.isolation {
             IsolationMode::Local => Host::Local(LocalSandbox::new(app)),
@@ -419,17 +444,51 @@ impl LegoSdnRuntime {
     pub fn run_cycle(&mut self, net: &mut Network) -> LegoCycleReport {
         let _span = self.obs.span("core.run_cycle");
         let started = Instant::now();
+        // Placement changes only ever land here, at a cycle boundary —
+        // never while a window is in flight.
+        self.rebalance_shards();
         self.stats.cycles += 1;
         let mut report = LegoCycleReport::default();
+        let lookahead = self.config.dispatch.lookahead_cycles.max(1);
         let windowed = self.config.dispatch.mode == DispatchMode::Pipelined
             && (self.config.dispatch.window.depth > 1 || self.shards.len() > 1);
         if windowed {
             let slots = self.translate_burst(net, &mut report);
-            self.dispatch_windowed(net, &slots, &mut report);
+            self.dispatch_windowed(net, slots, lookahead, &mut report);
         } else {
             let tx_cycle_base = self.txid_cursor;
             let n_apps = self.router.len() as u64;
             for raw in net.poll_events() {
+                let events = self.translator.process(net, raw);
+                self.stats.events_translated += events.len() as u64;
+                self.obs
+                    .counter("core", "events_translated", "")
+                    .add(events.len() as u64);
+                for ev in events {
+                    let ordinal = report.events as u64;
+                    report.events += 1;
+                    let trace = self.trace_for_event(&ev);
+                    self.obs.trace_scope(trace);
+                    let tx_event_base = tx_cycle_base + ordinal * n_apps * TXS_PER_POS;
+                    self.dispatch_event(net, &ev, &mut report, tx_event_base);
+                    self.obs.trace_scope(None);
+                }
+            }
+            // Cross-cycle windowing on the per-event path (DESIGN.md
+            // §15): keep dispatching the follow-on events this cycle's
+            // commits triggered, up to `lookahead_cycles` bursts'
+            // worth, for as long as their translation is pure. The cap
+            // is checked before each raw pop, so one raw translating
+            // to several events may overshoot it — exactly like the
+            // windowed scheduler, which keeps the two paths
+            // bit-identical at matching lookahead.
+            let cap = report.events.saturating_mul(lookahead);
+            while report.events < cap {
+                let Some(raw) = net.peek_event() else { break };
+                if !extendable(raw) {
+                    break;
+                }
+                let raw = net.pop_event().expect("peeked above");
                 let events = self.translator.process(net, raw);
                 self.stats.events_translated += events.len() as u64;
                 self.obs
@@ -461,26 +520,163 @@ impl LegoSdnRuntime {
         net: &mut Network,
         report: &mut LegoCycleReport,
     ) -> Vec<WindowSlot> {
+        let cycle = self.stats.cycles;
+        let mut bt = BurstTranslator {
+            translator: &mut self.translator,
+            stats: &mut self.stats,
+            obs: &self.obs,
+            trace_seen: &mut self.trace_seen,
+            trace_sample: self.config.obs.trace_sample,
+            cycle,
+        };
         let mut slots = Vec::new();
         for raw in net.poll_events() {
-            let events = self.translator.process(net, raw);
-            self.stats.events_translated += events.len() as u64;
-            self.obs
-                .counter("core", "events_translated", "")
-                .add(events.len() as u64);
-            for ev in events {
-                report.events += 1;
-                let trace = self.trace_for_event(&ev);
-                slots.push(WindowSlot {
-                    event: ev,
-                    topology: self.translator.topology.clone(),
-                    devices: self.translator.devices.clone(),
-                    now: net.now(),
-                    trace,
-                });
-            }
+            report.events += bt.translate_raw(net, raw, &mut slots);
         }
         slots
+    }
+
+    /// Integrate the newest `dispatch_app_ns` observations into the
+    /// per-app-name cost EWMA (integer, 3/4 old + 1/4 new).
+    fn refresh_app_costs(&mut self) {
+        let names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.apps.iter().map(|a| a.rec.name.clone()))
+            .collect();
+        for name in names {
+            let h = self.obs.histogram("core", "dispatch_app_ns", &name);
+            let (sum, count) = (h.sum(), h.count());
+            let (psum, pcount) = self.cost_prev.get(&name).copied().unwrap_or((0, 0));
+            if count > pcount {
+                let avg = sum.saturating_sub(psum) / (count - pcount);
+                let e = self.cost_ewma.entry(name.clone()).or_insert(avg);
+                *e = (*e * 3 + avg) / 4;
+                self.cost_prev.insert(name, (sum, count));
+            }
+        }
+    }
+
+    /// Load-aware shard re-balance (DESIGN.md §15): refresh the per-app
+    /// cost EWMA, export per-worker load gauges, and — when a
+    /// first-fit-decreasing plan improves the bottleneck load by more
+    /// than 10% — migrate apps (with their Crash-Pad checkpoint state)
+    /// between shards. Movable apps are Local-hosted ones whose name is
+    /// unique in the roster: checkpoint state is keyed by app name, and
+    /// stubs are pinned to the proxy that launched them. Runs only at
+    /// cycle start, so placement never changes under a live window, and
+    /// commits stay admitted in global position order regardless of
+    /// placement — the residue is placement-independent.
+    fn rebalance_shards(&mut self) {
+        let workers = self.shards.len();
+        if workers < 2 {
+            return;
+        }
+        self.refresh_app_costs();
+        let current: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.apps
+                    .iter()
+                    .map(|a| self.cost_ewma.get(&a.rec.name).copied().unwrap_or(0))
+                    .sum()
+            })
+            .collect();
+        for (w, &load) in current.iter().enumerate() {
+            self.obs
+                .gauge("core", "worker_load", &format!("w{w}"))
+                .set(i64::try_from(load).unwrap_or(i64::MAX));
+        }
+        let cur_max = current.iter().copied().max().unwrap_or(0);
+        if cur_max == 0 {
+            return;
+        }
+        let mut name_counts: HashMap<String, usize> = HashMap::new();
+        for s in &self.shards {
+            for a in &s.apps {
+                *name_counts.entry(a.rec.name.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut movable: Vec<(u64, usize)> = Vec::new();
+        let mut planned = vec![0u64; workers];
+        let mut counts = vec![0usize; workers];
+        for (w, s) in self.shards.iter().enumerate() {
+            for a in &s.apps {
+                let cost = self.cost_ewma.get(&a.rec.name).copied().unwrap_or(0);
+                if name_counts.get(&a.rec.name) == Some(&1) && matches!(a.rec.host, Host::Local(_))
+                {
+                    movable.push((cost, a.global));
+                } else {
+                    planned[w] += cost;
+                    counts[w] += 1;
+                }
+            }
+        }
+        if movable.is_empty() {
+            return;
+        }
+        // First-fit decreasing with deterministic tie-breaks: heaviest
+        // app first (attach order breaks cost ties), each onto the
+        // least-loaded worker (fewest planned apps, then lowest id,
+        // break load ties).
+        movable.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut target: Vec<(usize, usize)> = Vec::new();
+        for &(cost, global) in &movable {
+            let w = (0..workers)
+                .min_by_key(|&w| (planned[w], counts[w], w))
+                .unwrap_or(0);
+            planned[w] += cost;
+            counts[w] += 1;
+            target.push((global, w));
+        }
+        let new_max = planned.iter().copied().max().unwrap_or(0);
+        // Migration shuffles checkpoint state and cache affinity;
+        // demand a real (>10%) win on the bottleneck load.
+        if new_max.saturating_mul(10) >= cur_max.saturating_mul(9) {
+            return;
+        }
+        let mut moved = false;
+        for (global, to) in target {
+            let (from, local) = self
+                .shards
+                .iter()
+                .enumerate()
+                .find_map(|(w, s)| {
+                    s.apps
+                        .iter()
+                        .position(|a| a.global == global)
+                        .map(|l| (w, l))
+                })
+                .expect("movable app is attached");
+            if from == to {
+                continue;
+            }
+            let app = self.shards[from].apps.remove(local);
+            let name = app.rec.name.clone();
+            if let Some(state) = self.shards[from].crashpad.checkpoints.extract(&name) {
+                self.shards[to].crashpad.checkpoints.adopt(&name, state);
+            }
+            // Keep each shard's roster sorted by global attach index —
+            // the windowed sweep relies on local order == global order.
+            let at = self.shards[to]
+                .apps
+                .iter()
+                .position(|a| a.global > global)
+                .unwrap_or(self.shards[to].apps.len());
+            self.shards[to].apps.insert(at, app);
+            moved = true;
+        }
+        if !moved {
+            return;
+        }
+        self.router.rebuild(&self.shards);
+        for (w, s) in self.shards.iter().enumerate() {
+            self.obs
+                .gauge("core", "worker_apps", &format!("w{w}"))
+                .set(i64::try_from(s.apps.len()).unwrap_or(i64::MAX));
+        }
+        self.obs.counter("core", "rebalance_count", "").inc();
     }
 
     /// Deliver a Tick to subscribed apps.
@@ -731,17 +927,26 @@ impl LegoSdnRuntime {
         }
     }
 
-    /// Cross-event window scheduler (DESIGN.md §10, sharded per §13): up
-    /// to `dispatch.window.depth` slots are in flight per worker at once.
-    /// Each worker runs the two-cursor fill/commit machinery over its own
-    /// shard's apps; commits synchronize through the [`CommitBarrier`] in
-    /// global (event, attach) position order — or overtake it on the
-    /// provably-disjoint fastpath — so network state, the txlog, and
-    /// runtime counters stay bit-identical to the sequential reference.
+    /// Cross-event window scheduler (DESIGN.md §10, sharded per §13,
+    /// cross-cycle per §15): up to `dispatch.window.depth` slots are in
+    /// flight per worker at once. Each worker runs the two-cursor
+    /// fill/commit machinery over its own shard's apps; commits
+    /// synchronize through the [`CommitBarrier`] in global (event,
+    /// attach) position order — or overtake it on the provably-disjoint
+    /// fastpath — so network state, the txlog, and runtime counters stay
+    /// bit-identical to the sequential reference.
+    ///
+    /// With `lookahead_cycles > 1` the window grows past the initial
+    /// burst while commits are still in flight: the runtime pops
+    /// follow-on events off the net queue as soon as their translation
+    /// is pure (cannot observe mid-window state out of order), appends
+    /// them to the shared [`SlotStore`], and the workers' send cursors
+    /// run ahead across what used to be a cycle boundary.
     fn dispatch_windowed(
         &mut self,
         net: &mut Network,
-        slots: &[WindowSlot],
+        slots: Vec<WindowSlot>,
+        lookahead: usize,
         report: &mut LegoCycleReport,
     ) {
         if slots.is_empty() {
@@ -764,6 +969,20 @@ impl LegoSdnRuntime {
         let checker = self.checker.as_ref();
         let shutdown_on_no_compromise = self.config.shutdown_network_on_no_compromise;
         let obs = self.obs.clone();
+        // Event cap of the lookahead window: checked before each raw
+        // pop, so one raw translating to several events may overshoot.
+        let cap = slots.len().saturating_mul(lookahead);
+        let store = SlotStore::new(slots);
+        let can_extend = cap > store.len();
+        let cycle = self.stats.cycles;
+        let mut bt = BurstTranslator {
+            translator: &mut self.translator,
+            stats: &mut self.stats,
+            obs: &self.obs,
+            trace_seen: &mut self.trace_seen,
+            trace_sample: self.config.obs.trace_sample,
+            cycle,
+        };
         let lane = Mutex::new(CommitLane {
             net,
             netlog: &mut self.netlog,
@@ -774,7 +993,7 @@ impl LegoSdnRuntime {
         if !sharded {
             let mut run = WorkerRun {
                 shard: &mut self.shards[0],
-                slots,
+                store: &store,
                 barrier: &barrier,
                 lane: &lane,
                 obs: obs.clone(),
@@ -784,13 +1003,31 @@ impl LegoSdnRuntime {
                 n_apps,
                 tx_cycle_base,
                 sharded: false,
+                wait_more: false,
                 wl: String::new(),
                 stats: RuntimeStats::default(),
                 report: LegoCycleReport::default(),
+                pending: Vec::new(),
+                inflight: Vec::new(),
+                next_send: 0,
+                commit_pos: 0,
             };
-            run.run();
+            // Drain/extend alternation: each run() commits every slot
+            // the store holds; each extension appends the follow-on
+            // events those commits triggered.
+            loop {
+                run.run();
+                if !can_extend || extend_window(&mut bt, &lane, &store, cap, report) == 0 {
+                    break;
+                }
+            }
             deltas.push((run.stats, run.report));
         } else {
+            if !can_extend {
+                // The window can never grow: close up front so workers
+                // drain the burst and exit without parking.
+                store.close();
+            }
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
@@ -800,12 +1037,13 @@ impl LegoSdnRuntime {
                         let obs = obs.clone();
                         let barrier = &barrier;
                         let lane = &lane;
+                        let store = &store;
                         std::thread::Builder::new()
                             .name(format!("lego-worker-{worker}"))
                             .spawn_scoped(scope, move || {
                                 let mut run = WorkerRun {
                                     shard,
-                                    slots,
+                                    store,
                                     barrier,
                                     lane,
                                     obs,
@@ -815,9 +1053,14 @@ impl LegoSdnRuntime {
                                     n_apps,
                                     tx_cycle_base,
                                     sharded: true,
+                                    wait_more: true,
                                     wl: format!("w{worker}"),
                                     stats: RuntimeStats::default(),
                                     report: LegoCycleReport::default(),
+                                    pending: Vec::new(),
+                                    inflight: Vec::new(),
+                                    next_send: 0,
+                                    commit_pos: 0,
                                 };
                                 run.run();
                                 (run.stats, run.report)
@@ -825,6 +1068,27 @@ impl LegoSdnRuntime {
                             .expect("spawn worker thread")
                     })
                     .collect();
+                if can_extend {
+                    // Extension loop. The commit cursor is read BEFORE
+                    // each drain attempt, so a commit landing between
+                    // the drain and the wait advances the cursor past
+                    // the snapshot and `wait_cursor_past` returns
+                    // immediately — the close can never be missed.
+                    // Deadlock-free: workers take the barrier before
+                    // the lane, and this thread never holds the lane
+                    // while waiting on the barrier.
+                    loop {
+                        let cursor = barrier.cursor();
+                        if extend_window(&mut bt, &lane, &store, cap, report) > 0 {
+                            continue;
+                        }
+                        if cursor >= (store.len() * n_apps) as u64 {
+                            break;
+                        }
+                        barrier.wait_cursor_past(cursor);
+                    }
+                    store.close();
+                }
                 for handle in handles {
                     deltas.push(handle.join().expect("worker thread panicked"));
                 }
@@ -976,13 +1240,126 @@ impl LegoSdnRuntime {
     }
 }
 
-use legosdn_netsim::Network;
+use legosdn_netsim::{NetEvent, Network};
 
 /// Adapter shim: the pipelined path collects
 /// [`legosdn_appvisor::FanoutDelivery`] values whose `outcome` field is
 /// what [`crate::host::outcome_to_delivery`] converts.
 fn outcome_to_delivery_outcome(d: legosdn_appvisor::FanoutDelivery) -> DeliveryResult {
     crate::host::outcome_to_delivery(d.outcome)
+}
+
+/// Whether a raw event's translation is *pure* — reads nothing but the
+/// translator's own views, so translating it mid-window is identical to
+/// translating it after the window drains. `PortStatus` probes ports
+/// and drains the net queue; `SwitchConnected` handshakes (feature
+/// replies, port probes). Either one ends the extension prefix; the
+/// remaining raws wait for the next cycle.
+fn extendable(raw: &NetEvent) -> bool {
+    match raw {
+        NetEvent::FromSwitch(_, msg) => !matches!(msg, Message::PortStatus(_)),
+        NetEvent::SwitchDisconnected(_) => true,
+        NetEvent::SwitchConnected(_) => false,
+    }
+}
+
+/// The windowed translation engine, split off the runtime so the main
+/// thread can translate (fields: translator, stats, trace cursor) while
+/// the worker shards are mutably borrowed by the dispatch threads.
+struct BurstTranslator<'a> {
+    translator: &'a mut EventTranslator,
+    stats: &'a mut RuntimeStats,
+    obs: &'a Obs,
+    trace_seen: &'a mut u64,
+    trace_sample: u64,
+    cycle: u64,
+}
+
+impl BurstTranslator<'_> {
+    /// The same sampling gate as `LegoSdnRuntime::trace_for_event`,
+    /// over the borrowed trace cursor.
+    fn trace_for_event(&mut self, event: &Event) -> Option<TraceId> {
+        if self.trace_sample == 0 {
+            return None;
+        }
+        *self.trace_seen += 1;
+        if !(*self.trace_seen - 1).is_multiple_of(self.trace_sample) {
+            return None;
+        }
+        let id = TraceId {
+            cycle: self.cycle,
+            seq: *self.trace_seen,
+        };
+        self.obs.trace_begin(id, &format!("{:?}", event.kind()));
+        Some(id)
+    }
+
+    /// Translate one raw event into window slots (with the translator's
+    /// views snapshotted per event) and return how many events it
+    /// yielded.
+    fn translate_raw(
+        &mut self,
+        net: &mut Network,
+        raw: NetEvent,
+        out: &mut Vec<WindowSlot>,
+    ) -> usize {
+        let events = self.translator.process(net, raw);
+        let n = events.len();
+        self.stats.events_translated += n as u64;
+        self.obs
+            .counter("core", "events_translated", "")
+            .add(n as u64);
+        for ev in events {
+            let trace = self.trace_for_event(&ev);
+            out.push(WindowSlot {
+                event: ev,
+                topology: self.translator.topology.clone(),
+                devices: self.translator.devices.clone(),
+                now: net.now(),
+                trace,
+            });
+        }
+        n
+    }
+}
+
+/// Grow the window: pop the pure prefix of the net queue (under a brief
+/// lane lock — commits and translation serialize on the same network),
+/// translate it, and append the slots to the store. Returns how many
+/// slots were appended; 0 means the queue head is non-extendable,
+/// empty, or the lookahead cap is reached. Event-producing commits are
+/// always barrier-Ordered, so the queue grows in strict commit-position
+/// order and this incremental prefix-popping yields exactly the
+/// sequence a post-drain batch pop would.
+fn extend_window(
+    bt: &mut BurstTranslator<'_>,
+    lane: &Mutex<CommitLane<'_>>,
+    store: &SlotStore,
+    cap: usize,
+    report: &mut LegoCycleReport,
+) -> usize {
+    let mut appended = 0;
+    loop {
+        if report.events >= cap {
+            return appended;
+        }
+        let mut out = Vec::new();
+        {
+            let mut guard = lane.lock().expect("commit lane poisoned");
+            let net: &mut Network = guard.net;
+            match net.peek_event() {
+                Some(raw) if extendable(raw) => {}
+                _ => return appended,
+            }
+            let raw = net.pop_event().expect("peeked above");
+            bt.translate_raw(net, raw, &mut out);
+        }
+        for slot in out {
+            report.events += 1;
+            store.append(slot);
+            appended += 1;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,13 +1,14 @@
-//! Worker shards: the runtime's per-worker half (DESIGN.md §13).
+//! Worker shards: the runtime's per-worker half (DESIGN.md §13, §15).
 //!
-//! The runtime partitions attached apps across N worker shards by a
-//! stable hash of `(name, attach ordinal)`. Each shard owns a private
-//! AppVisor proxy (its stubs and, under polled I/O, its poll pool) and a
-//! private Crash-Pad, so the per-app dispatch path never crosses a shard
-//! boundary. The network and the NetLog stay shared: every commit goes
-//! through one [`CommitLane`] guarded by a mutex, admitted in sequential
-//! order (or provably-safe fastpath order) by the
-//! [`legosdn_netlog::CommitBarrier`].
+//! The runtime partitions attached apps across N worker shards with a
+//! load-aware balancer: least-loaded placement at attach, and a
+//! cost-EWMA re-balance pass at cycle boundaries (never mid-window).
+//! Each shard owns a private AppVisor proxy (its stubs and, under polled
+//! I/O, its poll pool) and a private Crash-Pad, so the per-app dispatch
+//! path never crosses a shard boundary. The network and the NetLog stay
+//! shared: every commit goes through one [`CommitLane`] guarded by a
+//! mutex, admitted in sequential order (or provably-safe fastpath order)
+//! by the [`legosdn_netlog::CommitBarrier`].
 //!
 //! Determinism contract: a position's transaction ids are derived from
 //! the position itself (`tx_base + pos * TXS_PER_POS + sub`), never from
@@ -30,7 +31,7 @@ use legosdn_netlog::{CommitBarrier, NetLog, TxId, TxMode, TxTouch};
 use legosdn_netsim::{Network, SimTime};
 use legosdn_obs::{Obs, TraceId};
 use legosdn_openflow::prelude::{DatapathId, FlowModCommand, Message};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Transaction-id stride per commit position. Each (event, app) position
@@ -88,6 +89,18 @@ impl ShardRouter {
     pub(crate) fn get(&self, global: usize) -> Option<(usize, usize)> {
         self.dir.get(global).copied()
     }
+
+    /// Rewrite the whole directory from the shards' current rosters.
+    /// A re-balance migration shifts the local indices of every app
+    /// behind the one that moved, so patching single entries is never
+    /// enough — the directory is rebuilt wholesale.
+    pub(crate) fn rebuild(&mut self, shards: &[WorkerShard]) {
+        for (worker, shard) in shards.iter().enumerate() {
+            for (local, app) in shard.apps.iter().enumerate() {
+                self.dir[app.global] = (worker, local);
+            }
+        }
+    }
 }
 
 /// Stable app→worker assignment: FNV-1a over the app name and its attach
@@ -127,9 +140,9 @@ pub(crate) struct WindowSlot {
     /// Flight-recorder trace for this event, if it was sampled. Window
     /// operations switch the obs trace scope to this id so every layer
     /// hook (proxy queue/collect, Crash-Pad recovery, NetLog commit)
-    /// lands in the right causal timeline. Always `None` under shards:
-    /// the recorder's scope is ambient per-process state, so worker
-    /// threads leave it alone.
+    /// lands in the right causal timeline. Recorder scopes are
+    /// per-thread, so worker threads tag their own work without
+    /// fighting over ambient state.
     pub(crate) trace: Option<TraceId>,
 }
 
@@ -148,6 +161,68 @@ pub(crate) struct WindowEntry {
     /// When the delivery was queued (feeds the per-event queue-latency
     /// histogram at collect time).
     pub(crate) queued_at: Instant,
+}
+
+/// A growable, shareable window of translated events. The runtime seeds
+/// it with the cycle's initial burst and — when `lookahead_cycles`
+/// allows — appends follow-on events triggered by commits while the
+/// workers are still draining the window (DESIGN.md §15). Workers index
+/// it by slot number; `Arc` hands each worker a stable view of a slot
+/// without holding the store lock across dispatch work.
+pub(crate) struct SlotStore {
+    state: Mutex<StoreState>,
+    cv: Condvar,
+}
+
+struct StoreState {
+    slots: Vec<Arc<WindowSlot>>,
+    closed: bool,
+}
+
+impl SlotStore {
+    pub(crate) fn new(initial: Vec<WindowSlot>) -> Self {
+        Self {
+            state: Mutex::new(StoreState {
+                slots: initial.into_iter().map(Arc::new).collect(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().expect("slot store poisoned").slots.len()
+    }
+
+    pub(crate) fn get(&self, i: usize) -> Arc<WindowSlot> {
+        Arc::clone(&self.state.lock().expect("slot store poisoned").slots[i])
+    }
+
+    /// Append one slot and wake every worker parked in [`wait_beyond`].
+    ///
+    /// [`wait_beyond`]: SlotStore::wait_beyond
+    pub(crate) fn append(&self, slot: WindowSlot) {
+        let mut st = self.state.lock().expect("slot store poisoned");
+        st.slots.push(Arc::new(slot));
+        self.cv.notify_all();
+    }
+
+    /// Mark the window complete: no further appends will come.
+    pub(crate) fn close(&self) {
+        let mut st = self.state.lock().expect("slot store poisoned");
+        st.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Block until the store grows past `known` slots (`Some(new_len)`)
+    /// or is closed with nothing beyond them (`None`).
+    pub(crate) fn wait_beyond(&self, known: usize) -> Option<usize> {
+        let mut st = self.state.lock().expect("slot store poisoned");
+        while st.slots.len() <= known && !st.closed {
+            st = self.cv.wait(st).expect("slot store poisoned");
+        }
+        (st.slots.len() > known).then_some(st.slots.len())
+    }
 }
 
 /// The shared commit lane: the one place network effects happen. Workers
@@ -579,19 +654,25 @@ pub(crate) fn mark_dead(
 }
 
 /// One worker's execution of a cycle's window: the fill → collect →
-/// commit machinery of DESIGN.md §10, scoped to the shard's apps, with
-/// every commit admitted by the shared [`CommitBarrier`].
+/// commit machinery of DESIGN.md §10 over a growable [`SlotStore`],
+/// scoped to the shard's apps, with every commit admitted by the shared
+/// [`CommitBarrier`].
 ///
 /// The same engine runs the single-worker configuration (inline on the
-/// runtime's thread, `sharded == false`, full flight-recorder fidelity)
-/// and the multi-worker one (on `lego-worker-N` scoped threads,
-/// `sharded == true`, recorder scope untouched). Stats and the cycle
-/// report accumulate into worker-local zero-initialized deltas the
-/// runtime merges after the cycle — identical totals at any worker
-/// count.
+/// runtime's thread, `sharded == false`, `wait_more == false` so each
+/// [`run`] call drains what the store holds and returns for more) and
+/// the multi-worker one (on `lego-worker-N` scoped threads,
+/// `sharded == true`, `wait_more == true` so workers park in the store
+/// until the runtime closes it). Recorder scopes are per-thread, so
+/// both configurations record full flight-recorder traces. Stats and
+/// the cycle report accumulate into worker-local zero-initialized
+/// deltas the runtime merges after the cycle — identical totals at any
+/// worker count.
+///
+/// [`run`]: WorkerRun::run
 pub(crate) struct WorkerRun<'env, 'net> {
     pub(crate) shard: &'env mut WorkerShard,
-    pub(crate) slots: &'env [WindowSlot],
+    pub(crate) store: &'env SlotStore,
     pub(crate) barrier: &'env CommitBarrier,
     pub(crate) lane: &'env Mutex<CommitLane<'net>>,
     pub(crate) obs: Obs,
@@ -603,21 +684,34 @@ pub(crate) struct WorkerRun<'env, 'net> {
     /// First transaction id of the cycle (position 0, sub 0).
     pub(crate) tx_cycle_base: u64,
     pub(crate) sharded: bool,
+    /// When caught up with the store, park in [`SlotStore::wait_beyond`]
+    /// for more slots (worker threads, fed by the runtime's extension
+    /// loop) instead of returning to the caller (single-worker drain
+    /// mode, where the caller alternates draining with extending).
+    pub(crate) wait_more: bool,
     /// Worker label for span histograms: empty when single-worker (the
     /// runtime's historical metric names), `"wN"` per worker otherwise.
     pub(crate) wl: String,
     pub(crate) stats: RuntimeStats,
     pub(crate) report: LegoCycleReport,
+    /// Cross-call window state (single-worker drain mode re-enters
+    /// [`run`] after each extension): speculative in-flight entries per
+    /// slot, uncollected deliveries per app, and the fill/commit
+    /// cursors.
+    ///
+    /// [`run`]: WorkerRun::run
+    pub(crate) pending: Vec<Vec<WindowEntry>>,
+    pub(crate) inflight: Vec<u64>,
+    pub(crate) next_send: usize,
+    pub(crate) commit_pos: usize,
 }
 
 impl WorkerRun<'_, '_> {
-    /// Switch the flight-recorder scope — only when running inline on the
-    /// runtime's thread. The scope is ambient per-process state; worker
-    /// threads must not fight over it.
+    /// Switch this thread's flight-recorder scope. Scopes are
+    /// per-thread, so each worker tags its own fill/commit work with
+    /// the slot's trace without disturbing its peers.
     fn scope(&self, trace: Option<TraceId>) {
-        if !self.sharded {
-            self.obs.trace_scope(trace);
-        }
+        self.obs.trace_scope(trace);
     }
 
     fn cx(&mut self) -> ShardCtx<'_> {
@@ -636,17 +730,34 @@ impl WorkerRun<'_, '_> {
         (slot * self.n_apps + self.shard.apps[local].global) as u64
     }
 
-    /// Run the whole window over this shard's apps.
+    /// Run the window over this shard's apps: drain every slot the
+    /// store currently holds (and, under `wait_more`, every slot the
+    /// runtime appends until it closes the store).
     pub(crate) fn run(&mut self) {
-        let slots = self.slots;
-        let mut pending: Vec<Vec<WindowEntry>> = (0..slots.len()).map(|_| Vec::new()).collect();
-        let mut inflight: Vec<u64> = vec![0; self.shard.apps.len()];
-        let mut next_send = 0usize;
-        let mut commit_pos = 0usize;
-        while commit_pos < slots.len() {
+        let mut pending = std::mem::take(&mut self.pending);
+        let mut inflight = std::mem::take(&mut self.inflight);
+        if inflight.len() < self.shard.apps.len() {
+            inflight.resize(self.shard.apps.len(), 0);
+        }
+        let mut next_send = self.next_send;
+        let mut commit_pos = self.commit_pos;
+        loop {
+            let len = self.store.len();
+            if commit_pos >= len {
+                if !self.wait_more {
+                    break;
+                }
+                match self.store.wait_beyond(len) {
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+            if pending.len() < len {
+                pending.resize_with(len, Vec::new);
+            }
             {
                 let _span = self.obs.span_labeled("core.window_fill", &self.wl);
-                while next_send < slots.len() && next_send < commit_pos + self.depth {
+                while next_send < len && next_send < commit_pos + self.depth {
                     pending[next_send] = self.send_slot(next_send, &mut inflight);
                     next_send += 1;
                 }
@@ -658,6 +769,10 @@ impl WorkerRun<'_, '_> {
             commit_pos += 1;
         }
         self.scope(None);
+        self.pending = pending;
+        self.inflight = inflight;
+        self.next_send = next_send;
+        self.commit_pos = commit_pos;
     }
 
     /// Speculatively select and queue one slot's deliveries to the
@@ -666,9 +781,9 @@ impl WorkerRun<'_, '_> {
     /// send time and are rolled back entry-by-entry if a failure on an
     /// earlier slot cancels the entry.
     fn send_slot(&mut self, s: usize, inflight: &mut [u64]) -> Vec<WindowEntry> {
-        let slots = self.slots;
-        self.scope(slots[s].trace);
-        let kind = slots[s].event.kind();
+        let slot = self.store.get(s);
+        self.scope(slot.trace);
+        let kind = slot.event.kind();
         let mut entries = Vec::new();
         for local in 0..self.shard.apps.len() {
             if !matches!(self.shard.apps[local].rec.host, Host::Isolated(_)) {
@@ -677,7 +792,7 @@ impl WorkerRun<'_, '_> {
             if !select_app(&mut self.cx(), local, kind) {
                 continue;
             }
-            entries.push(self.queue_one(local, s, inflight));
+            entries.push(self.queue_one(local, &slot, inflight));
         }
         entries
     }
@@ -687,8 +802,7 @@ impl WorkerRun<'_, '_> {
     /// in-flight deliveries: a snapshot queued on the FIFO stream between
     /// deliveries *k* and *k+1* captures the state after *k* — exactly
     /// the pre-event checkpoint the sequential protocol takes.
-    fn queue_one(&mut self, local: usize, s: usize, inflight: &mut [u64]) -> WindowEntry {
-        let slot = &self.slots[s];
+    fn queue_one(&mut self, local: usize, slot: &WindowSlot, inflight: &mut [u64]) -> WindowEntry {
         let Host::Isolated(handle) = &self.shard.apps[local].rec.host else {
             unreachable!("windowed entries are stub-only");
         };
@@ -741,8 +855,7 @@ impl WorkerRun<'_, '_> {
         pending: &mut [Vec<WindowEntry>],
         inflight: &mut [u64],
     ) {
-        let slots = self.slots;
-        let slot = &slots[commit_pos];
+        let slot = self.store.get(commit_pos);
         self.scope(slot.trace);
         let kind = slot.event.kind();
         let entries = std::mem::take(&mut pending[commit_pos]);
@@ -753,47 +866,81 @@ impl WorkerRun<'_, '_> {
                 if matches!(self.shard.apps[local].rec.host, Host::Local(_))
                     && select_app(&mut self.cx(), local, kind)
                 {
-                    let result = self.deliver_local(local, commit_pos);
+                    let result = self.deliver_local(local, &slot);
                     eager.push_back((local, result));
                 }
             }
         }
+        // Harvest sweep: collect every position's outcome and declare
+        // its barrier touch the moment it is known, so this worker's
+        // declarations for the whole slot land before its first
+        // admission wait. Peers deciding fastpath eligibility see the
+        // declared touches that much sooner.
+        let mut settles: Vec<(usize, Option<DispatchResult>, bool, bool)> = Vec::new();
         for local in 0..self.shard.apps.len() {
             if entries.peek().is_some_and(|e| e.local == local) {
                 let entry = entries.next().expect("peeked");
                 inflight[local] -= 1;
-                self.commit_entry(entry, commit_pos, next_send, pending, inflight);
+                let (result, failed) =
+                    self.harvest_entry(entry, &slot, commit_pos, pending, inflight);
+                self.declare_or_queue(local, commit_pos, &slot, result, true, failed, &mut settles);
             } else if eager.front().is_some_and(|e| e.0 == local) {
                 let (_, result) = eager.pop_front().expect("peeked");
-                self.settle(local, commit_pos, result);
+                self.declare_or_queue(local, commit_pos, &slot, result, false, false, &mut settles);
             } else {
                 let selected = !self.sharded
                     && matches!(self.shard.apps[local].rec.host, Host::Local(_))
                     && select_app(&mut self.cx(), local, kind);
                 if selected {
-                    self.commit_local(local, commit_pos);
+                    // A local sandbox has no stub to overlap with: it
+                    // runs inline at commit, against the slot's
+                    // captured views.
+                    let result = self.deliver_local(local, &slot);
+                    self.declare_or_queue(
+                        local,
+                        commit_pos,
+                        &slot,
+                        result,
+                        false,
+                        false,
+                        &mut settles,
+                    );
                 } else {
                     self.barrier.finish_empty(self.pos_of(commit_pos, local));
                 }
             }
         }
-    }
-
-    /// A local sandbox has no stub to overlap with: it runs inline at
-    /// commit, against the slot's captured views.
-    fn commit_local(&mut self, local: usize, commit_pos: usize) {
-        let result = self.deliver_local(local, commit_pos);
-        self.settle(local, commit_pos, result);
+        // Settle sweep, in the same local order: admission + lane
+        // commit, then the window repair (cancel/resend) the inline
+        // path used to perform per entry.
+        for (local, result, is_stub, failed) in settles {
+            let byz_before = self.stats.byzantine_blocked;
+            if let Some(result) = result {
+                self.settle_declared(local, commit_pos, &slot, result);
+            }
+            let byz_recovered = self.stats.byzantine_blocked > byz_before;
+            if is_stub && byz_recovered && !failed {
+                // Byzantine caught at commit: the app was restored
+                // mid-stream, so its queued later deliveries ran from
+                // the wrong state.
+                self.cancel_app(local, commit_pos, pending, inflight);
+            }
+            if is_stub && (failed || byz_recovered) {
+                self.resend_app(local, commit_pos, next_send, pending, inflight);
+                // The resend loop re-scoped the recorder to the
+                // refilled slots; later settles still belong here.
+                self.scope(slot.trace);
+            }
+        }
     }
 
     /// Run one local-sandbox dispatch (checkpoint-if-due, deliver,
     /// gather/recover) against the slot's captured views, without
     /// touching the barrier.
-    fn deliver_local(&mut self, local: usize, commit_pos: usize) -> DispatchResult {
-        let slots = self.slots;
-        let slot = &slots[commit_pos];
+    fn deliver_local(&mut self, local: usize, slot: &WindowSlot) -> DispatchResult {
         let name = self.shard.apps[local].rec.name.clone();
-        {
+        let started = Instant::now();
+        let result = {
             let obs = self.obs.clone();
             let Host::Local(sandbox) = &mut self.shard.apps[local].rec.host else {
                 unreachable!("checked by the caller");
@@ -811,22 +958,29 @@ impl WorkerRun<'_, '_> {
                 &slot.devices,
                 slot.now,
             )
-        }
+        };
+        // Per-app dispatch cost, fed back to the runtime's load-aware
+        // re-balancer (DESIGN.md §15).
+        self.obs
+            .histogram("core", "dispatch_app_ns", &name)
+            .observe(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        result
     }
 
-    /// Collect, gather, and commit one in-flight (event, app) entry, then
-    /// handle window cancellation/refill if the app failed or was
-    /// restored mid-stream.
-    fn commit_entry(
+    /// Collect and gather one in-flight (event, app) entry: snapshot
+    /// collect, delivery collect, failure-path cancellation (before
+    /// recovery restores the app, so the RPC stream is clean when
+    /// replay begins), and the Crash-Pad's completion/recovery.
+    /// Returns the dispatch outcome plus whether the delivery failed;
+    /// settling happens later, after the whole slot has declared.
+    fn harvest_entry(
         &mut self,
         entry: WindowEntry,
+        slot: &WindowSlot,
         commit_pos: usize,
-        next_send: usize,
         pending: &mut [Vec<WindowEntry>],
         inflight: &mut [u64],
-    ) {
-        let slots = self.slots;
-        let slot = &slots[commit_pos];
+    ) -> (DispatchResult, bool) {
         let local = entry.local;
         let name = self.shard.apps[local].rec.name.clone();
 
@@ -847,9 +1001,16 @@ impl WorkerRun<'_, '_> {
             Some(seq) => outcome_to_delivery(self.shard.proxy.collect_deliver(entry.handle, seq)),
             None => DeliveryResult::CommFailure,
         };
+        let queue_ns = u64::try_from(entry.queued_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.obs
             .histogram("core", "window_queue_ns", &self.wl)
-            .observe(u64::try_from(entry.queued_at.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            .observe(queue_ns);
+        // Queue latency doubles as the stub's load signal for the
+        // runtime's re-balancer: a stub that keeps the window waiting
+        // is a stub worth spreading away from its shard-mates.
+        self.obs
+            .histogram("core", "dispatch_app_ns", &name)
+            .observe(queue_ns);
 
         let failed = !matches!(delivery, DeliveryResult::Ok(_));
         if failed {
@@ -857,7 +1018,6 @@ impl WorkerRun<'_, '_> {
             // restores it, so the RPC stream is clean when replay begins.
             self.cancel_app(local, commit_pos, pending, inflight);
         }
-        let byz_before = self.stats.byzantine_blocked;
         let result = {
             let mut adapter = ProxyAdapter {
                 proxy: &mut self.shard.proxy,
@@ -873,27 +1033,25 @@ impl WorkerRun<'_, '_> {
                 slot.now,
             )
         };
-        self.settle(local, commit_pos, result);
-        let byz_recovered = self.stats.byzantine_blocked > byz_before;
-        if byz_recovered && !failed {
-            // Byzantine caught at commit: the app was restored mid-stream,
-            // so its queued later deliveries ran from the wrong state.
-            self.cancel_app(local, commit_pos, pending, inflight);
-        }
-        if failed || byz_recovered {
-            self.resend_app(local, commit_pos, next_send, pending, inflight);
-            // The resend loop re-scoped the recorder to the refilled
-            // slots; later entries of this commit still belong here.
-            self.scope(slot.trace);
-        }
+        (result, failed)
     }
 
-    /// Settle one position at the barrier: elide it if it needs no
-    /// network transaction, otherwise declare its touch, wait for
-    /// admission, and run the commit inside the shared lane.
-    fn settle(&mut self, local: usize, commit_pos: usize, result: DispatchResult) {
-        let slots = self.slots;
-        let slot = &slots[commit_pos];
+    /// Declare one harvested position at the barrier, or elide it on
+    /// the spot if it needs no network transaction. Lane-needing
+    /// positions are queued for the settle sweep; elided failed stubs
+    /// are queued too (result already settled) so the settle sweep
+    /// still repairs their window.
+    #[allow(clippy::too_many_arguments)]
+    fn declare_or_queue(
+        &mut self,
+        local: usize,
+        commit_pos: usize,
+        slot: &WindowSlot,
+        result: DispatchResult,
+        is_stub: bool,
+        failed: bool,
+        settles: &mut Vec<(usize, Option<DispatchResult>, bool, bool)>,
+    ) {
         let pos = self.pos_of(commit_pos, local);
         if !lane_need(&self.cx(), local, &slot.event, &result) {
             let mut cx = ShardCtx {
@@ -905,6 +1063,9 @@ impl WorkerRun<'_, '_> {
             };
             commit_outcome_elided(&mut cx, local, &slot.event, result, &mut self.report);
             self.barrier.finish_empty(pos);
+            if is_stub && failed {
+                settles.push((local, None, is_stub, failed));
+            }
             return;
         }
         let (touch, notify) = match &result {
@@ -917,6 +1078,19 @@ impl WorkerRun<'_, '_> {
             self.barrier.poison_fastpath();
         }
         self.barrier.declare(pos, self.shard.id, touch);
+        settles.push((local, Some(result), is_stub, failed));
+    }
+
+    /// Settle one already-declared position: wait for admission and run
+    /// the commit inside the shared lane.
+    fn settle_declared(
+        &mut self,
+        local: usize,
+        commit_pos: usize,
+        slot: &WindowSlot,
+        result: DispatchResult,
+    ) {
+        let pos = self.pos_of(commit_pos, local);
         let _admission = self.barrier.acquire(pos);
         {
             let mut lane = self.lane.lock().expect("commit lane poisoned");
@@ -951,7 +1125,6 @@ impl WorkerRun<'_, '_> {
         pending: &mut [Vec<WindowEntry>],
         inflight: &mut [u64],
     ) {
-        let slots = self.slots;
         let name = self.shard.apps[local].rec.name.clone();
         let mut tags = Vec::new();
         let mut handle = None;
@@ -969,7 +1142,7 @@ impl WorkerRun<'_, '_> {
                 inflight[local] -= 1;
                 // The cancellation belongs to the *cancelled* event's
                 // timeline, not the failed one currently in scope.
-                if let Some(tid) = slots[s].trace {
+                if let Some(tid) = self.store.get(s).trace {
                     self.obs
                         .trace_event_for(tid, "cancel", &name, "crash_upstream");
                 }
@@ -992,21 +1165,26 @@ impl WorkerRun<'_, '_> {
         pending: &mut [Vec<WindowEntry>],
         inflight: &mut [u64],
     ) {
-        let slots = self.slots;
-        for s in (commit_pos + 1)..next_send {
+        for (s, pend) in pending
+            .iter_mut()
+            .enumerate()
+            .take(next_send)
+            .skip(commit_pos + 1)
+        {
+            let slot = self.store.get(s);
             // Re-queued work records into the re-sent event's trace.
-            self.scope(slots[s].trace);
-            if !select_app(&mut self.cx(), local, slots[s].event.kind()) {
+            self.scope(slot.trace);
+            if !select_app(&mut self.cx(), local, slot.event.kind()) {
                 continue;
             }
             self.obs
                 .trace_event("resend", &self.shard.apps[local].rec.name, "requeued");
-            let entry = self.queue_one(local, s, inflight);
-            let pos = pending[s]
+            let entry = self.queue_one(local, &slot, inflight);
+            let pos = pend
                 .iter()
                 .position(|e| e.local > local)
-                .unwrap_or(pending[s].len());
-            pending[s].insert(pos, entry);
+                .unwrap_or(pend.len());
+            pend.insert(pos, entry);
         }
     }
 }

@@ -22,7 +22,9 @@ pub mod policy;
 pub mod ticket;
 pub mod transform;
 
-pub use checkpoint::{fnv1a, Checkpoint, CheckpointPolicy, CheckpointStore, RecoveryPlan};
+pub use checkpoint::{
+    fnv1a, AppMigration, Checkpoint, CheckpointPolicy, CheckpointStore, RecoveryPlan,
+};
 pub use diagnose::{DiagnoseError, Diagnosis};
 pub use engine::{
     CrashPad, CrashPadConfig, CrashPadStats, DeliveryResult, DispatchResult, LocalSandbox,

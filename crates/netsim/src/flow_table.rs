@@ -383,6 +383,47 @@ impl FlowTable {
         }
     }
 
+    /// True when an installed entry at `fm.priority` overlaps `fm.mat`
+    /// without being identical to it — the `OFPFF_CHECK_OVERLAP` test,
+    /// answered from the tiers instead of a full-table scan.
+    fn has_overlap(&self, fm: &FlowMod) -> bool {
+        match fm.mat.exact_key() {
+            // An exact outer is *identical* to every same-key bucket member
+            // (the key is injective) and can neither subsume nor be subsumed
+            // by a concrete match with a different key, so distinct-match
+            // overlap can only involve the wildcard tier — in either
+            // subsumption direction (the non-/32-prefix oddities make even
+            // exact-subsumes-wild possible).
+            Some(_) => self
+                .wild
+                .iter()
+                .any(|(c, m)| c.0 == fm.priority && (fm.mat.subsumes(m) || m.subsumes(&fm.mat))),
+            None => {
+                let class = fm.mat.wildcard_class();
+                // Wildcard-tier peers at the priority, class-gated on both
+                // directions before the field-by-field subsumption test.
+                if self.wild.iter().any(|(c, m)| {
+                    c.0 == fm.priority
+                        && *m != fm.mat
+                        && ((class.could_subsume(m.wildcard_class()) && fm.mat.subsumes(m))
+                            || (m.wildcard_class().could_subsume(class) && m.subsumes(&fm.mat)))
+                }) {
+                    return true;
+                }
+                // Exact-tier entries the wildcard overlaps. A concrete match
+                // is never equal to a keyless one, so no identity filter is
+                // needed; both directions still apply (see above).
+                self.exact.values().flatten().any(|&cand| {
+                    if cand.0 != fm.priority {
+                        return false;
+                    }
+                    let e = &self.entries[self.position_of(cand)];
+                    fm.mat.subsumes(&e.mat) || e.mat.subsumes(&fm.mat)
+                })
+            }
+        }
+    }
+
     /// Apply a flow-mod. Returns what was displaced, or the OpenFlow error
     /// the switch would send (table full, overlap).
     pub fn apply(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, ErrorMsg> {
@@ -396,13 +437,7 @@ impl FlowTable {
     }
 
     fn add(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, ErrorMsg> {
-        if fm.check_overlap
-            && self.entries.iter().any(|e| {
-                e.priority == fm.priority
-                    && e.mat != fm.mat
-                    && (e.mat.subsumes(&fm.mat) || fm.mat.subsumes(&e.mat))
-            })
-        {
+        if fm.check_overlap && self.has_overlap(fm) {
             return Err(ErrorMsg {
                 err_type: ErrorType::FlowModFailed,
                 code: ErrorCode::Overlap,

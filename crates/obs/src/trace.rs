@@ -16,10 +16,11 @@
 //! the fleet aggregator (deduplicated by `trace_seq`, last write wins) and
 //! are served locally via `GET /traces` and `GET /traces/<id>`.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::thread::ThreadId;
 
 use legosdn_codec::Codec;
 
@@ -151,9 +152,11 @@ impl Trace {
 /// Bounded drop-oldest ring of recent [`Trace`]s, plus the *scope*: the
 /// trace that layer-level [`FlightRecorder::event`] calls append to.
 ///
-/// Scope changes and event appends happen on the runtime's dispatch
-/// thread; the `active` flag makes the disabled path (sampling off, or no
-/// trace in scope) a single relaxed atomic load.
+/// Scopes are per calling thread, so the worker-sharded runtime can keep
+/// one recorder and have each worker thread point its own scope at the
+/// event it is dispatching; the `active` flag makes the disabled path
+/// (sampling off, or no trace in scope anywhere) a single relaxed atomic
+/// load.
 #[derive(Debug)]
 pub struct FlightRecorder {
     capacity: usize,
@@ -165,7 +168,10 @@ pub struct FlightRecorder {
 #[derive(Debug, Default)]
 struct RecorderState {
     traces: VecDeque<Trace>,
-    current: Option<TraceId>,
+    /// Scope per thread: which trace this thread's [`FlightRecorder::event`]
+    /// calls append to. Keyed by `ThreadId` rather than thread-local so
+    /// two recorder instances on one thread stay independent.
+    scopes: HashMap<ThreadId, TraceId>,
     next_seq: u64,
 }
 
@@ -203,28 +209,40 @@ impl FlightRecorder {
         evicted
     }
 
-    /// Point subsequent [`FlightRecorder::event`] calls at `id` (or
-    /// nowhere, when `None`).
+    /// Point the calling thread's subsequent [`FlightRecorder::event`]
+    /// calls at `id` (or nowhere, when `None`). Other threads' scopes are
+    /// untouched.
     pub fn set_scope(&self, id: Option<TraceId>) {
         let mut st = self.inner.lock().unwrap();
-        st.current = id;
-        self.active.store(id.is_some(), Ordering::Relaxed);
+        let tid = std::thread::current().id();
+        match id {
+            Some(id) => {
+                st.scopes.insert(tid, id);
+            }
+            None => {
+                st.scopes.remove(&tid);
+            }
+        }
+        self.active.store(!st.scopes.is_empty(), Ordering::Relaxed);
     }
 
-    /// The trace currently in scope.
+    /// The trace the calling thread currently has in scope.
     #[must_use]
     pub fn scope(&self) -> Option<TraceId> {
-        self.inner.lock().unwrap().current
+        let st = self.inner.lock().unwrap();
+        st.scopes.get(&std::thread::current().id()).copied()
     }
 
-    /// Append an event to the trace in scope. No-op (one atomic load)
-    /// when nothing is in scope.
+    /// Append an event to the calling thread's trace in scope. No-op (one
+    /// atomic load) when no thread has a scope anywhere.
     pub fn event(&self, now_ns: u64, phase: &str, app: &str, outcome: &str) {
         if !self.active.load(Ordering::Relaxed) {
             return;
         }
         let mut st = self.inner.lock().unwrap();
-        let Some(id) = st.current else { return };
+        let Some(&id) = st.scopes.get(&std::thread::current().id()) else {
+            return;
+        };
         Self::append(&mut st, id, now_ns, phase, app, outcome);
     }
 
@@ -383,6 +401,38 @@ mod tests {
         let t = r.get(id).unwrap();
         assert_eq!(t.events.len(), MAX_TRACE_EVENTS);
         assert_eq!(t.truncated, 10);
+    }
+
+    #[test]
+    fn scopes_are_per_thread() {
+        use std::sync::Arc;
+        let r = Arc::new(FlightRecorder::new(8));
+        let a = TraceId { cycle: 1, seq: 0 };
+        let b = TraceId { cycle: 1, seq: 1 };
+        r.begin(a, "PacketIn", 0);
+        r.begin(b, "PacketIn", 0);
+        r.set_scope(Some(a));
+        let worker = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                // This thread starts with no scope even though the main
+                // thread has one.
+                assert_eq!(r.scope(), None);
+                r.event(5, "fill", "w", "ignored");
+                r.set_scope(Some(b));
+                r.event(10, "send", "w", "queued");
+                r.set_scope(None);
+            })
+        };
+        worker.join().unwrap();
+        r.event(20, "commit", "m", "ok");
+        r.set_scope(None);
+        let a = r.get(a).unwrap();
+        assert_eq!(a.events.len(), 1, "worker events never landed in a");
+        assert_eq!(a.events[0].phase, "commit");
+        let b = r.get(b).unwrap();
+        assert_eq!(b.events.len(), 1);
+        assert_eq!(b.events[0].phase, "send");
     }
 
     #[test]

@@ -352,6 +352,11 @@ pub enum Message {
     BarrierRequest,
     BarrierReply,
     Error(ErrorMsg),
+    /// Every flow-mod of one transaction packed into a single frame — the
+    /// wire-level batching that amortises per-message header and transport
+    /// overhead when a commit flushes many installs at once. Semantically
+    /// identical to sending the flow-mods back to back in order.
+    FlowModBatch(Vec<FlowMod>),
 }
 
 /// The kind of a message, used for subscriptions and policy keys.
@@ -418,6 +423,9 @@ impl Message {
             Message::BarrierRequest => MessageKind::BarrierRequest,
             Message::BarrierReply => MessageKind::BarrierReply,
             Message::Error(_) => MessageKind::Error,
+            // A batch is flow-mods for subscription and policy purposes;
+            // it deliberately has no kind of its own (`ALL` stays closed).
+            Message::FlowModBatch(_) => MessageKind::FlowMod,
         }
     }
 
@@ -427,7 +435,10 @@ impl Message {
     /// be inverted.
     #[must_use]
     pub fn alters_network_state(&self) -> bool {
-        matches!(self, Message::FlowMod(_) | Message::PortMod(_))
+        matches!(
+            self,
+            Message::FlowMod(_) | Message::PortMod(_) | Message::FlowModBatch(_)
+        )
     }
 }
 

@@ -74,6 +74,9 @@ const T_STATS_REQUEST: u8 = 16;
 const T_STATS_REPLY: u8 = 17;
 const T_BARRIER_REQUEST: u8 = 18;
 const T_BARRIER_REPLY: u8 = 19;
+/// Extension beyond OF 1.0's type space: a transaction's flow-mods in one
+/// frame (`u16` count, then back-to-back flow-mod bodies).
+const T_FLOW_MOD_BATCH: u8 = 20;
 
 // ofp_flow_wildcards bits
 const OFPFW_IN_PORT: u32 = 1 << 0;
@@ -166,6 +169,7 @@ fn type_byte(msg: &Message) -> u8 {
         Message::StatsReply(_) => T_STATS_REPLY,
         Message::BarrierRequest => T_BARRIER_REQUEST,
         Message::BarrierReply => T_BARRIER_REPLY,
+        Message::FlowModBatch(_) => T_FLOW_MOD_BATCH,
     }
 }
 
@@ -216,32 +220,13 @@ fn encode_body(msg: &Message, buf: &mut Vec<u8>) {
                 None => buf.put_u8(0),
             }
         }
-        Message::FlowMod(fm) => {
-            put_match(buf, &fm.mat);
-            buf.put_u64(fm.cookie);
-            buf.put_u16(match fm.command {
-                FlowModCommand::Add => 0,
-                FlowModCommand::Modify => 1,
-                FlowModCommand::ModifyStrict => 2,
-                FlowModCommand::Delete => 3,
-                FlowModCommand::DeleteStrict => 4,
-            });
-            buf.put_u16(fm.idle_timeout);
-            buf.put_u16(fm.hard_timeout);
-            buf.put_u16(fm.priority);
-            buf.put_u32(fm.buffer_id.0);
-            buf.put_u16(fm.out_port.to_wire());
-            let mut flags = 0u16;
-            if fm.send_flow_removed {
-                flags |= 1;
-            }
-            if fm.check_overlap {
-                flags |= 2;
-            }
-            buf.put_u16(flags);
-            buf.put_u16(fm.actions.len() as u16);
-            for a in &fm.actions {
-                put_action(buf, a);
+        Message::FlowMod(fm) => put_flow_mod(buf, fm),
+        Message::FlowModBatch(fms) => {
+            // The whole-frame u16 length assert in `encode` bounds the batch
+            // (each flow-mod body is ≥ 60 bytes), so the count cannot wrap.
+            buf.put_u16(fms.len() as u16);
+            for fm in fms {
+                put_flow_mod(buf, fm);
             }
         }
         Message::FlowRemoved(fr) => {
@@ -404,41 +389,14 @@ fn decode_body(ty: u8, r: &mut Reader<'_>) -> Result<Message, CodecError> {
                 packet,
             })
         }
-        T_FLOW_MOD => {
-            let mat = get_match(r)?;
-            let cookie = r.u64()?;
-            let command = match r.u16()? {
-                0 => FlowModCommand::Add,
-                1 => FlowModCommand::Modify,
-                2 => FlowModCommand::ModifyStrict,
-                3 => FlowModCommand::Delete,
-                4 => FlowModCommand::DeleteStrict,
-                _ => return Err(CodecError::BadField("flow-mod command")),
-            };
-            let idle_timeout = r.u16()?;
-            let hard_timeout = r.u16()?;
-            let priority = r.u16()?;
-            let buffer_id = BufferId(r.u32()?);
-            let out_port = PortNo::from_wire(r.u16()?);
-            let flags = r.u16()?;
-            let n_actions = r.u16()? as usize;
-            let mut actions = Vec::with_capacity(n_actions.min(256));
-            for _ in 0..n_actions {
-                actions.push(get_action(r)?);
+        T_FLOW_MOD => Message::FlowMod(get_flow_mod(r)?),
+        T_FLOW_MOD_BATCH => {
+            let n = r.u16()? as usize;
+            let mut fms = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                fms.push(get_flow_mod(r)?);
             }
-            Message::FlowMod(FlowMod {
-                command,
-                mat,
-                cookie,
-                priority,
-                idle_timeout,
-                hard_timeout,
-                buffer_id,
-                out_port,
-                send_flow_removed: flags & 1 != 0,
-                check_overlap: flags & 2 != 0,
-                actions,
-            })
+            Message::FlowModBatch(fms)
         }
         T_FLOW_REMOVED => {
             let mat = get_match(r)?;
@@ -558,6 +516,73 @@ fn decode_body(ty: u8, r: &mut Reader<'_>) -> Result<Message, CodecError> {
 // -------------------------------------------------------------------------
 // structure codecs
 // -------------------------------------------------------------------------
+
+/// The `ofp_flow_mod` body, shared by the singleton frame and the batch.
+fn put_flow_mod(buf: &mut Vec<u8>, fm: &FlowMod) {
+    put_match(buf, &fm.mat);
+    buf.put_u64(fm.cookie);
+    buf.put_u16(match fm.command {
+        FlowModCommand::Add => 0,
+        FlowModCommand::Modify => 1,
+        FlowModCommand::ModifyStrict => 2,
+        FlowModCommand::Delete => 3,
+        FlowModCommand::DeleteStrict => 4,
+    });
+    buf.put_u16(fm.idle_timeout);
+    buf.put_u16(fm.hard_timeout);
+    buf.put_u16(fm.priority);
+    buf.put_u32(fm.buffer_id.0);
+    buf.put_u16(fm.out_port.to_wire());
+    let mut flags = 0u16;
+    if fm.send_flow_removed {
+        flags |= 1;
+    }
+    if fm.check_overlap {
+        flags |= 2;
+    }
+    buf.put_u16(flags);
+    buf.put_u16(fm.actions.len() as u16);
+    for a in &fm.actions {
+        put_action(buf, a);
+    }
+}
+
+fn get_flow_mod(r: &mut Reader<'_>) -> Result<FlowMod, CodecError> {
+    let mat = get_match(r)?;
+    let cookie = r.u64()?;
+    let command = match r.u16()? {
+        0 => FlowModCommand::Add,
+        1 => FlowModCommand::Modify,
+        2 => FlowModCommand::ModifyStrict,
+        3 => FlowModCommand::Delete,
+        4 => FlowModCommand::DeleteStrict,
+        _ => return Err(CodecError::BadField("flow-mod command")),
+    };
+    let idle_timeout = r.u16()?;
+    let hard_timeout = r.u16()?;
+    let priority = r.u16()?;
+    let buffer_id = BufferId(r.u32()?);
+    let out_port = PortNo::from_wire(r.u16()?);
+    let flags = r.u16()?;
+    let n_actions = r.u16()? as usize;
+    let mut actions = Vec::with_capacity(n_actions.min(256));
+    for _ in 0..n_actions {
+        actions.push(get_action(r)?);
+    }
+    Ok(FlowMod {
+        command,
+        mat,
+        cookie,
+        priority,
+        idle_timeout,
+        hard_timeout,
+        buffer_id,
+        out_port,
+        send_flow_removed: flags & 1 != 0,
+        check_overlap: flags & 2 != 0,
+        actions,
+    })
+}
 
 fn put_match(buf: &mut Vec<u8>, m: &Match) {
     let mut wc = 0u32;
@@ -1135,6 +1160,26 @@ mod tests {
             fm.check_overlap = true;
             roundtrip(Message::FlowMod(fm));
         }
+    }
+
+    #[test]
+    fn roundtrip_flow_mod_batch() {
+        roundtrip(Message::FlowModBatch(vec![]));
+        let narrow = FlowMod::add(sample_match())
+            .priority(7)
+            .action(Action::Output(PortNo::Phys(1)));
+        let wide = FlowMod::delete(Match::any());
+        roundtrip(Message::FlowModBatch(vec![narrow, wide]));
+    }
+
+    #[test]
+    fn batch_frames_smaller_than_singleton_frames() {
+        // The point of batching: n flow-mods in one frame cost one header
+        // and a count instead of n headers.
+        let fm = FlowMod::add(sample_match()).action(Action::Output(PortNo::Phys(1)));
+        let batched = encode(&Message::FlowModBatch(vec![fm.clone(); 8]), Xid(0)).len();
+        let singles = 8 * encode(&Message::FlowMod(fm), Xid(0)).len();
+        assert!(batched < singles, "batch {batched} >= singles {singles}");
     }
 
     #[test]

@@ -41,6 +41,15 @@ timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1
   --dispatch pipelined --isolation channel --window 4 --workers 4 \
   || { echo "sharded campaign smoke run failed or hung" >&2; exit 1; }
 
+# Sharded dispatch with the send cursor running ahead across cycle
+# boundaries: load-aware rebalancing, declare-ahead commits, and
+# cross-cycle cancellation all live on this path, so the full
+# failure/recovery story must hold with lookahead enabled too.
+echo "==> campaign smoke under cross-cycle lookahead (--workers 4 --lookahead 2)"
+timeout 60 ./target/release/campaign --addr 127.0.0.1:0 --rounds 2 --period-ms 1 \
+  --dispatch pipelined --isolation channel --window 4 --workers 4 --lookahead 2 \
+  || { echo "lookahead campaign smoke run failed or hung" >&2; exit 1; }
+
 # Scrape one path from a live endpoint over bash's /dev/tcp (curl may be
 # absent), under a hard timeout so a wedged responder fails fast.
 scrape() { # scrape HOST:PORT PATH

@@ -70,6 +70,11 @@ struct Residue {
 /// through three rounds of bursts with a crash trigger in the middle of
 /// each burst.
 fn run(mode: DispatchMode, depth: usize, workers: usize) -> Residue {
+    run_lookahead(mode, depth, workers, 1)
+}
+
+/// [`run`] with an explicit cross-cycle lookahead.
+fn run_lookahead(mode: DispatchMode, depth: usize, workers: usize, lookahead: usize) -> Residue {
     let topo = Topology::linear(2, 2);
     let mut net = Network::new(&topo);
     let poison = topo.hosts[topo.hosts.len() - 1].mac;
@@ -82,7 +87,8 @@ fn run(mode: DispatchMode, depth: usize, workers: usize) -> Residue {
                 ..DispatchConfig::default()
             }
             .window(depth)
-            .workers(workers),
+            .workers(workers)
+            .lookahead(lookahead),
             obs: ObsConfig::instance(obs.clone()),
             crashpad: CrashPadConfig {
                 checkpoints: CheckpointPolicy {
@@ -195,6 +201,44 @@ fn cross_shard_writes_to_one_switch_commit_in_sequential_order() {
         assert_eq!(
             reference.stats, sharded.stats,
             "workers {workers}: runtime counters diverge from sequential"
+        );
+    }
+}
+
+#[test]
+fn crash_during_lookahead_replays_contested_commits_in_order() {
+    // At lookahead 2 the per-stub send cursor runs ahead into raws this
+    // cycle's own commits enqueue (flood replies arriving as fresh
+    // packet-ins on the contested switch). The mid-burst crash must
+    // cancel those cross-cycle in-flight tags and re-send them from the
+    // restored state without perturbing the contested commit order.
+    let reference = run_lookahead(DispatchMode::Sequential, 1, 1, 2);
+    assert!(
+        reference.recoveries > 0,
+        "lookahead campaign produced no crash recovery"
+    );
+    assert!(!reference.txlog.is_empty(), "campaign produced no txlog");
+    for workers in [2usize, 4] {
+        let sharded = run_lookahead(DispatchMode::Pipelined, 4, workers, 2);
+        assert!(
+            sharded.worker_spread > 1,
+            "workers {workers}: all writers landed on one shard"
+        );
+        assert!(
+            sharded.recoveries > 0,
+            "workers {workers}: the crasher never fired under lookahead"
+        );
+        assert_eq!(
+            reference.flow_tables, sharded.flow_tables,
+            "workers {workers}: lookahead flow tables diverge from sequential"
+        );
+        assert_eq!(
+            reference.txlog, sharded.txlog,
+            "workers {workers}: lookahead NetLog order diverges from sequential"
+        );
+        assert_eq!(
+            reference.stats, sharded.stats,
+            "workers {workers}: lookahead counters diverge from sequential"
         );
     }
 }
